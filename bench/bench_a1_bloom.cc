@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A1 -- Bloom-filter sizing ablation. Small filters alias distinct
+ * lines and terminate chunks on false conflicts, inflating the log;
+ * the exact-shadow instrumentation classifies every conflict
+ * termination as true or false. Run on the three most
+ * conflict-sensitive workloads.
+ */
+
+#include "common.hh"
+
+using namespace qr;
+
+int
+main()
+{
+    benchHeader("A1", "Bloom-filter size vs false conflicts");
+    const char *names[] = {"radix", "fft", "ocean"};
+    Table t({"benchmark", "bloom bits", "chunks", "conflict term",
+             "false confl", "false %", "memlog B/KI"});
+    for (const char *name : names) {
+        Workload w = makeByName(name, benchThreads, benchScale);
+        for (std::uint32_t bits : {64u, 128u, 256u, 512u, 1024u, 2048u,
+                                   4096u}) {
+            RecorderConfig rcfg = benchRecorder();
+            rcfg.rnr.bloom.bits = bits;
+            rcfg.rnr.exactShadow = true;
+            RecordResult rec = recordProgram(w.program, benchMachine(),
+                                             rcfg);
+            const RunMetrics &m = rec.metrics;
+            std::uint64_t confl =
+                m.reasonCounts[static_cast<int>(
+                    ChunkReason::ConflictRaw)] +
+                m.reasonCounts[static_cast<int>(
+                    ChunkReason::ConflictWar)] +
+                m.reasonCounts[static_cast<int>(
+                    ChunkReason::ConflictWaw)];
+            t.row().cell(name)
+                .cell(static_cast<std::uint64_t>(bits)).cell(m.chunks)
+                .cell(confl).cell(m.falseConflicts)
+                .cellPct(percent(static_cast<double>(m.falseConflicts),
+                                 static_cast<double>(confl)))
+                .cell(m.memLogBytesPerKiloInstr(), 3);
+        }
+    }
+    t.print();
+    std::printf("\nExpected shape: false conflicts (and the log) "
+                "shrink rapidly with filter\nsize and are negligible at "
+                "the default 1024 bits.\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A2 -- maximum-chunk-size ablation: the chunk-size counter width
+ * trades log rate against hardware state. Small limits flood the log;
+ * beyond the natural trap/conflict-bounded chunk length the limit
+ * stops mattering.
+ */
+
+#include "common.hh"
+
+using namespace qr;
+
+int
+main()
+{
+    benchHeader("A2", "max chunk size vs log rate");
+    const char *names[] = {"fft", "barnes", "water-nsq"};
+    Table t({"benchmark", "max chunk", "chunks", "mean size",
+             "overflow %", "memlog B/KI"});
+    for (const char *name : names) {
+        Workload w = makeByName(name, benchThreads, benchScale);
+        for (std::uint32_t limit : {1024u, 4096u, 16384u, 65536u,
+                                    262144u, 1048576u}) {
+            RecorderConfig rcfg = benchRecorder();
+            rcfg.rnr.maxChunkInstrs = limit;
+            RecordResult rec = recordProgram(w.program, benchMachine(),
+                                             rcfg);
+            const RunMetrics &m = rec.metrics;
+            t.row().cell(name).cell(static_cast<std::uint64_t>(limit))
+                .cell(m.chunks).cell(m.chunkSizes.mean(), 1)
+                .cellPct(percent(
+                    static_cast<double>(m.reasonCounts[static_cast<int>(
+                        ChunkReason::SizeOverflow)]),
+                    static_cast<double>(m.chunks)))
+                .cell(m.memLogBytesPerKiloInstr(), 3);
+        }
+    }
+    t.print();
+    return 0;
+}

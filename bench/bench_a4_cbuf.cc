@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A4 -- CBUF sizing ablation: a small chunk buffer forces frequent
+ * drain interrupts (and, at the extreme, full-buffer backpressure);
+ * a large one amortizes the drain cost. Measures the drain component
+ * of the software overhead across CBUF capacities.
+ */
+
+#include "common.hh"
+
+using namespace qr;
+
+int
+main()
+{
+    benchHeader("A4", "CBUF capacity vs drain overhead");
+    const char *names[] = {"radix", "radiosity"};
+    Table t({"benchmark", "cbuf entries", "drains", "forced",
+             "drain cyc", "drain ovh%"});
+    for (const char *name : names) {
+        Workload w = makeByName(name, benchThreads, benchScale);
+        RunMetrics base = runBaseline(w.program, benchMachine());
+        for (std::uint32_t entries : {64u, 256u, 1024u, 4096u, 16384u,
+                                      65536u}) {
+            RecorderConfig rcfg = benchRecorder();
+            rcfg.cbuf.entries = entries;
+            RecordResult rec = recordProgram(w.program, benchMachine(),
+                                             rcfg);
+            const RunMetrics &m = rec.metrics;
+            std::uint64_t drainCyc = m.overheadCycles[static_cast<int>(
+                OverheadCat::CbufDrain)];
+            t.row().cell(name)
+                .cell(static_cast<std::uint64_t>(entries))
+                .cell(m.cbufDrains).cell(m.cbufForcedDrains)
+                .cell(drainCyc)
+                .cellPct(percent(static_cast<double>(drainCyc),
+                                 static_cast<double>(base.cycles)), 2);
+        }
+    }
+    t.print();
+    return 0;
+}

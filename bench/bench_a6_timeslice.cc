@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A6 -- OS tick-rate ablation. QuickRec terminates chunks at every
+ * kernel entry, so the timer frequency bounds chunk sizes and adds
+ * per-trap software cost: a fast tick shreds chunks and inflates both
+ * the log and the overhead; a slow tick lets conflicts/syscalls bound
+ * chunks naturally. One of the paper's "lessons learned" is exactly
+ * this coupling between the OS and the recording hardware.
+ */
+
+#include "common.hh"
+
+using namespace qr;
+
+int
+main()
+{
+    benchHeader("A6", "timeslice (OS tick) vs chunking and overhead");
+    Table t({"benchmark", "timeslice", "chunks", "mean chunk",
+             "trap term%", "memlog B/KI", "rec ovh%"});
+    for (const char *name : {"fft", "lu", "water-nsq"}) {
+        for (Tick slice : {2000u, 5000u, 20000u, 80000u}) {
+            Workload base_w = makeByName(name, benchThreads, benchScale);
+            Workload rec_w = makeByName(name, benchThreads, benchScale);
+            MachineConfig mcfg = benchMachine();
+            mcfg.core.timeslice = slice;
+            RunMetrics base = runBaseline(base_w.program, mcfg);
+            RecordResult rec = recordProgram(rec_w.program, mcfg,
+                                             benchRecorder());
+            const RunMetrics &m = rec.metrics;
+            double trapPct = percent(
+                static_cast<double>(
+                    m.reasonCounts[static_cast<int>(
+                        ChunkReason::Syscall)] +
+                    m.reasonCounts[static_cast<int>(
+                        ChunkReason::ContextSwitch)]),
+                static_cast<double>(m.chunks));
+            t.row().cell(name).cell(static_cast<std::uint64_t>(slice))
+                .cell(m.chunks).cell(m.chunkSizes.mean(), 1)
+                .cellPct(trapPct)
+                .cell(m.memLogBytesPerKiloInstr(), 3)
+                .cellPct(percent(static_cast<double>(m.cycles) -
+                                     static_cast<double>(base.cycles),
+                                 static_cast<double>(base.cycles)));
+        }
+    }
+    t.print();
+    std::printf("\nExpected shape: faster ticks -> more trap-bounded "
+                "chunks, denser logs,\nhigher software overhead.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * E1 -- platform and recording-hardware parameter inventory (the
+ * paper's platform table). Prints the simulated QuickIA configuration
+ * and the QuickRec extension's architectural parameters.
+ */
+
+#include "common.hh"
+
+#include "sim/logging.hh"
+
+using namespace qr;
+
+int
+main()
+{
+    benchHeader("E1", "platform and recorder configuration");
+    MachineConfig m = benchMachine();
+    RecorderConfig r = benchRecorder();
+
+    Table plat({"component", "parameter", "value"});
+    plat.row().cell("cores").cell("count")
+        .cell(static_cast<std::uint64_t>(m.numCores));
+    plat.row().cell("cores").cell("model").cell("in-order, 1 IPC peak");
+    plat.row().cell("cores").cell("store buffer (TSO)")
+        .cell(csprintf("%u entries", m.core.sbDepth));
+    plat.row().cell("cores").cell("timeslice")
+        .cell(csprintf("%llu cycles",
+                       (unsigned long long)m.core.timeslice));
+    plat.row().cell("L1").cell("geometry")
+        .cell(csprintf("%u sets x %u ways x %u B = %u KB",
+                       m.cache.sets, m.cache.ways, m.cache.lineBytes,
+                       m.cache.sets * m.cache.ways * m.cache.lineBytes /
+                           1024));
+    plat.row().cell("bus").cell("coherence").cell("MESI, snooping");
+    plat.row().cell("bus").cell("occupancy / mem / c2c")
+        .cell(csprintf("%llu / %llu / %llu cycles",
+                       (unsigned long long)m.bus.occupancy,
+                       (unsigned long long)m.bus.memLatency,
+                       (unsigned long long)m.bus.cacheToCache));
+    plat.row().cell("memory").cell("size")
+        .cell(csprintf("%u MB", m.memBytes >> 20));
+    plat.row().cell("clock").cell("frequency")
+        .cell(csprintf("%.0f MHz (QuickIA)", benchClockHz / 1e6));
+    plat.print();
+
+    std::printf("\n");
+    Table rec({"recorder parameter", "value"});
+    rec.row().cell("Bloom filter size")
+        .cell(csprintf("%u bits x %d hashes (R and W sets)",
+                       r.rnr.bloom.bits, r.rnr.bloom.hashes));
+    rec.row().cell("conflict granularity")
+        .cell(csprintf("%u B (cache line)", r.rnr.lineBytes));
+    rec.row().cell("max chunk size")
+        .cell(csprintf("%u instructions", r.rnr.maxChunkInstrs));
+    rec.row().cell("CBUF")
+        .cell(csprintf("%u records x %u B per core, drain at %.0f%%",
+                       r.cbuf.entries, ChunkRecord::cbufBytes,
+                       r.cbuf.drainThreshold * 100));
+    rec.row().cell("chunk record").cell("16 B fixed (CBUF) / packed "
+                                        "varint (log)");
+    rec.row().cell("timestamps").cell("64-bit Lamport, piggybacked on "
+                                      "every bus transaction");
+    rec.row().cell("TSO handling").cell("RSW counter per chunk "
+                                        "(CoreRacer)");
+    rec.print();
+    return 0;
+}

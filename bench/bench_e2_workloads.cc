@@ -1,0 +1,32 @@
+/**
+ * @file
+ * E2 -- benchmark characterization table: dynamic instruction counts,
+ * memory-operation mix, synchronization and kernel interaction of the
+ * ten SPLASH-2-analog workloads (baseline runs, no recording).
+ */
+
+#include "common.hh"
+
+using namespace qr;
+
+int
+main()
+{
+    benchHeader("E2", "workload characterization (baseline)");
+    Table t({"benchmark", "params", "instrs", "loads%", "stores%",
+             "atomics", "syscalls", "ctxsw", "cycles", "L1 miss%"});
+    forEachWorkload([&](const Workload &w) {
+        RunMetrics m = runBaseline(w.program, benchMachine());
+        t.row().cell(w.name).cell(w.params).cell(m.instrs)
+            .cellPct(percent(static_cast<double>(m.loads),
+                             static_cast<double>(m.instrs)))
+            .cellPct(percent(static_cast<double>(m.stores),
+                             static_cast<double>(m.instrs)))
+            .cell(m.atomics).cell(m.syscalls).cell(m.contextSwitches)
+            .cell(m.cycles)
+            .cellPct(percent(static_cast<double>(m.l1Misses),
+                             static_cast<double>(m.l1Hits + m.l1Misses)));
+    });
+    t.print();
+    return 0;
+}

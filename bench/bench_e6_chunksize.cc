@@ -1,0 +1,48 @@
+/**
+ * @file
+ * E6 -- chunk-size characterization: per-benchmark mean/median/tail
+ * chunk sizes plus a bucketed CDF. Sharing-heavy workloads terminate
+ * chunks early (small chunks); compute-heavy ones run to the trap or
+ * timer boundary.
+ */
+
+#include "common.hh"
+
+using namespace qr;
+
+int
+main()
+{
+    benchHeader("E6", "chunk-size distribution (instructions per "
+                      "chunk)");
+    Table t({"benchmark", "chunks", "mean", "p50", "p90", "max"});
+    Histogram all;
+    forEachWorkload([&](const Workload &w) {
+        RecordResult rec = recordProgram(w.program, benchMachine(),
+                                         benchRecorder());
+        const Histogram &h = rec.metrics.chunkSizes;
+        t.row().cell(w.name).cell(h.count()).cell(h.mean(), 1)
+            .cell(h.quantile(0.5)).cell(h.quantile(0.9)).cell(h.max());
+        all.merge(h);
+    });
+    t.row().cell("all").cell(all.count()).cell(all.mean(), 1)
+        .cell(all.quantile(0.5)).cell(all.quantile(0.9)).cell(all.max());
+    t.print();
+
+    // CDF over log2 buckets, aggregated across the suite.
+    std::printf("\nCDF of chunk sizes (all benchmarks):\n");
+    Table cdf({"chunk size <=", "fraction of chunks"});
+    std::uint64_t cum = 0;
+    const auto &buckets = all.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        cum += buckets[i];
+        std::uint64_t upper = i == 0 ? 0 : (1ull << i) - 1;
+        cdf.row().cell(upper).cellPct(
+            percent(static_cast<double>(cum),
+                    static_cast<double>(all.count())));
+    }
+    cdf.print();
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * E8 -- TSO characterization: how often chunks end with retired but
+ * not-yet-visible stores (RSW > 0, the CoreRacer reordered store
+ * window), and how large the window gets. This is the state a
+ * sequentially-consistent recorder could not reproduce.
+ */
+
+#include "common.hh"
+
+using namespace qr;
+
+int
+main()
+{
+    benchHeader("E8", "reordered store window (RSW) at chunk "
+                      "termination");
+    Table t({"benchmark", "chunks", "rsw>0", "rsw>0 %", "mean rsw",
+             "max rsw"});
+    std::uint64_t totChunks = 0, totNz = 0;
+    forEachWorkload([&](const Workload &w) {
+        RecordResult rec = recordProgram(w.program, benchMachine(),
+                                         benchRecorder());
+        const RunMetrics &m = rec.metrics;
+        t.row().cell(w.name).cell(m.chunks).cell(m.rswNonZero)
+            .cellPct(percent(static_cast<double>(m.rswNonZero),
+                             static_cast<double>(m.chunks)))
+            .cell(m.rswValues.mean(), 3).cell(m.rswValues.max());
+        totChunks += m.chunks;
+        totNz += m.rswNonZero;
+    });
+    t.row().cell("all").cell(totChunks).cell(totNz)
+        .cellPct(percent(static_cast<double>(totNz),
+                         static_cast<double>(totChunks)))
+        .cell("").cell("");
+    t.print();
+    std::printf("\nNote: syscall/timer/context-switch terminations "
+                "drain the store buffer\n(serializing kernel entry), so "
+                "only conflict- and overflow-terminated chunks\ncan "
+                "carry RSW > 0. See bench_a3 for the store-buffer-depth "
+                "sweep.\n");
+    return 0;
+}

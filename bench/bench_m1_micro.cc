@@ -1,0 +1,128 @@
+/**
+ * @file
+ * M1 -- microarchitecture-component throughput (google-benchmark):
+ * the recorder's primitive operations (Bloom insert/test, chunk-record
+ * packing, CBUF append+drain, bus snoop broadcast) and the end-to-end
+ * simulator rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/session.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "rnr/bloom.hh"
+#include "rnr/cbuf.hh"
+#include "rnr/chunk_record.hh"
+#include "sim/rng.hh"
+#include "workloads/micro.hh"
+
+namespace
+{
+
+using namespace qr;
+
+void
+BM_BloomInsert(benchmark::State &state)
+{
+    BloomParams params;
+    params.bits = static_cast<std::uint32_t>(state.range(0));
+    BloomFilter filter(params);
+    Rng rng(7);
+    for (auto _ : state) {
+        filter.insert(static_cast<Addr>(rng.next32()) & ~63u);
+        if (filter.fill() > 4096)
+            filter.clear();
+    }
+}
+BENCHMARK(BM_BloomInsert)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_BloomTest(benchmark::State &state)
+{
+    BloomFilter filter(BloomParams{});
+    Rng rng(7);
+    for (int i = 0; i < 64; ++i)
+        filter.insert(static_cast<Addr>(rng.next32()) & ~63u);
+    bool hit = false;
+    for (auto _ : state) {
+        hit ^= filter.test(static_cast<Addr>(rng.next32()) & ~63u);
+        benchmark::DoNotOptimize(hit);
+    }
+}
+BENCHMARK(BM_BloomTest);
+
+void
+BM_ChunkRecordPackCompact(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buf;
+    ChunkRecord rec{123456, 4096, 3, ChunkReason::ConflictRaw, 2};
+    Timestamp prev = 123000;
+    for (auto _ : state) {
+        buf.clear();
+        packCompact(rec, prev, buf);
+        benchmark::DoNotOptimize(buf.data());
+    }
+}
+BENCHMARK(BM_ChunkRecordPackCompact);
+
+void
+BM_CbufAppendDrain(benchmark::State &state)
+{
+    Memory mem(1u << 20);
+    CbufParams params;
+    params.entries = 1024;
+    Cbuf cbuf(params, mem, 0, nullptr);
+    ChunkRecord rec{1, 100, 0, ChunkReason::Syscall, 1};
+    for (auto _ : state) {
+        for (int i = 0; i < 512; ++i) {
+            rec.ts++;
+            cbuf.append(rec, 0);
+        }
+        auto recs = cbuf.drain();
+        benchmark::DoNotOptimize(recs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_CbufAppendDrain);
+
+void
+BM_BusTransact(benchmark::State &state)
+{
+    BusParams bp;
+    Bus bus(bp);
+    CacheParams cp;
+    std::vector<std::unique_ptr<L1Cache>> caches;
+    for (int i = 0; i < 4; ++i) {
+        caches.push_back(std::make_unique<L1Cache>(i, cp, bus));
+        bus.attachSnooper(caches.back().get());
+    }
+    Rng rng(3);
+    Tick now = 0;
+    for (auto _ : state) {
+        BusTxn txn{BusOp::BusRd,
+                   static_cast<Addr>(rng.next32() & 0xffffc0), 0, now};
+        benchmark::DoNotOptimize(bus.transact(txn, now));
+        now += 10;
+    }
+}
+BENCHMARK(BM_BusTransact);
+
+void
+BM_SimulatorRate(benchmark::State &state)
+{
+    // End-to-end simulated-instructions-per-second, recording on.
+    Workload w = makeRacyCounter(4, 2000, true);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        RecordResult rec = recordProgram(w.program);
+        instrs += rec.metrics.instrs;
+        benchmark::DoNotOptimize(rec.metrics.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_SimulatorRate)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * M2 -- host-side practicality table: wall-clock throughput of the
+ * whole stack (baseline simulation, recording, replay) per suite
+ * workload, in simulated instructions per host second. Complements
+ * M1's component microbenchmarks.
+ */
+
+#include <chrono>
+
+#include "common.hh"
+
+using namespace qr;
+
+namespace
+{
+
+double
+mips(std::uint64_t instrs, std::chrono::steady_clock::duration d)
+{
+    double secs = std::chrono::duration<double>(d).count();
+    return secs > 0 ? static_cast<double>(instrs) / secs / 1e6 : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("M2", "host throughput: simulate / record / replay "
+                      "(simulated M-instr per host second)");
+    using clock = std::chrono::steady_clock;
+    Table t({"benchmark", "instrs", "simulate MIPS", "record MIPS",
+             "replay MIPS"});
+    forEachWorkload([&](const Workload &w) {
+        Workload base_w = makeByName(w.name, benchThreads, benchScale);
+        auto t0 = clock::now();
+        RunMetrics base = runBaseline(base_w.program, benchMachine());
+        auto t1 = clock::now();
+        RecordResult rec = recordProgram(w.program, benchMachine(),
+                                         benchRecorder());
+        auto t2 = clock::now();
+        ReplayResult rep = replaySphere(w.program, rec.logs);
+        auto t3 = clock::now();
+        t.row().cell(w.name).cell(base.instrs)
+            .cell(mips(base.instrs, t1 - t0), 1)
+            .cell(mips(rec.metrics.instrs, t2 - t1), 1)
+            .cell(mips(rep.replayedInstrs, t3 - t2), 1);
+    });
+    t.print();
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared configuration for the experiment-reproduction benchmarks.
+ *
+ * Every bench uses the same paper-mirroring platform (4 cores, 32 KB
+ * L1s, MESI bus, TSO, QuickRec defaults) and the same workload scale,
+ * so numbers are comparable across experiments. Per the paper, the
+ * QuickIA prototype clocks at 60 MHz; byte/s rates are reported at
+ * that frequency.
+ */
+
+#ifndef QR_BENCH_COMMON_HH
+#define QR_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <functional>
+
+#include "core/session.hh"
+#include "sim/table.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+/** Threads per workload, as in the paper's 4-core evaluation. */
+constexpr int benchThreads = 4;
+
+/** Problem-size multiplier for the suite. */
+constexpr int benchScale = 4;
+
+/** QuickIA core clock, for converting cycles to seconds. */
+constexpr double benchClockHz = 60e6;
+
+inline MachineConfig
+benchMachine()
+{
+    MachineConfig mcfg;
+    mcfg.numCores = 4;
+    mcfg.memBytes = 16u << 20;
+    mcfg.core.timeslice = 20000;
+    return mcfg;
+}
+
+inline RecorderConfig
+benchRecorder()
+{
+    return RecorderConfig{};
+}
+
+/** RecorderConfig with all software costs zeroed: isolates the
+ *  hardware-only recording overhead (the paper's "HW" bars). */
+inline RecorderConfig
+benchRecorderHwOnly()
+{
+    RecorderConfig rcfg;
+    rcfg.costs = CostModel{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    return rcfg;
+}
+
+/** Run @p fn for every suite workload. */
+inline void
+forEachWorkload(const std::function<void(const Workload &)> &fn,
+                int scale = benchScale)
+{
+    for (const auto &spec : splash2Suite())
+        fn(spec.make(benchThreads, scale));
+}
+
+/** Print a bench header. */
+inline void
+benchHeader(const char *id, const char *title)
+{
+    std::printf("\n=== %s: %s ===\n", id, title);
+    std::printf("platform: 4 cores, 32KB 4-way L1, 64B lines, MESI bus, "
+                "TSO SB depth 8; scale=%d\n\n", benchScale);
+}
+
+} // namespace qr
+
+#endif // QR_BENCH_COMMON_HH

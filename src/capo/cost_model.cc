@@ -1,0 +1,22 @@
+#include "capo/cost_model.hh"
+
+namespace qr
+{
+
+const char *
+overheadCatName(OverheadCat c)
+{
+    switch (c) {
+      case OverheadCat::SyscallIntercept: return "syscall-intercept";
+      case OverheadCat::CopyLogging: return "copy-logging";
+      case OverheadCat::CbufDrain: return "cbuf-drain";
+      case OverheadCat::CtxSwitch: return "ctx-switch";
+      case OverheadCat::NondetEmu: return "nondet-emu";
+      case OverheadCat::Signal: return "signal";
+      case OverheadCat::SphereMgmt: return "sphere-mgmt";
+      case OverheadCat::NumCats: break;
+    }
+    return "?";
+}
+
+} // namespace qr

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cycle-cost model of the Capo3 software stack.
+ *
+ * QuickRec's headline result is that the recording *hardware* is nearly
+ * free while the *software* stack costs ~13% on average. Our substrate
+ * is a simulator, so the kernel work Capo3 adds is charged explicitly
+ * in cycles through this model. The constants were calibrated once so
+ * the E3 experiment lands near the paper's average and are then held
+ * fixed for every experiment and ablation (see EXPERIMENTS.md).
+ */
+
+#ifndef QR_CAPO_COST_MODEL_HH
+#define QR_CAPO_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Per-event cycle costs of the recording software stack. */
+struct CostModel
+{
+    /** RSM intercept on kernel entry (chunk termination MSR writes). */
+    Tick syscallInterceptEntry = 550;
+
+    /** RSM intercept on kernel exit (result capture + bookkeeping). */
+    Tick syscallInterceptExit = 480;
+
+    /** Formatting/queueing one input-log record. */
+    Tick inputRecordBase = 200;
+
+    /** Logging one word of data copied to user space. */
+    Tick copyLogPerWord = 8;
+
+    /** CBUF drain interrupt: entry + spill setup. */
+    Tick cbufDrainBase = 2000;
+
+    /** CBUF drain: per chunk record spilled. */
+    Tick cbufDrainPerRecord = 16;
+
+    /** Save the recording context at deschedule. */
+    Tick ctxSwitchSave = 500;
+
+    /** Restore the recording context at dispatch. */
+    Tick ctxSwitchRestore = 450;
+
+    /** Trap + emulate + log one nondeterministic instruction. */
+    Tick nondetTrap = 400;
+
+    /** Log one signal delivery. */
+    Tick signalDeliver = 500;
+
+    /** Sphere membership management at thread start/exit. */
+    Tick sphereManage = 900;
+};
+
+/** Categories the recording overhead is attributed to (experiment E4). */
+enum class OverheadCat : int
+{
+    SyscallIntercept,
+    CopyLogging,
+    CbufDrain,
+    CtxSwitch,
+    NondetEmu,
+    Signal,
+    SphereMgmt,
+    NumCats,
+};
+
+/** Number of overhead categories. */
+constexpr int numOverheadCats = static_cast<int>(OverheadCat::NumCats);
+
+/** @return display name of an overhead category. */
+const char *overheadCatName(OverheadCat c);
+
+} // namespace qr
+
+#endif // QR_CAPO_COST_MODEL_HH

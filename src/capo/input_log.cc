@@ -1,0 +1,129 @@
+#include "capo/input_log.hh"
+
+#include "rnr/chunk_record.hh" // varint helpers
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+const char *
+inputKindName(InputKind k)
+{
+    switch (k) {
+      case InputKind::ThreadStart: return "thread-start";
+      case InputKind::SyscallRet: return "syscall";
+      case InputKind::Nondet: return "nondet";
+      case InputKind::SignalDeliver: return "signal";
+      case InputKind::ThreadExit: return "thread-exit";
+    }
+    return "?";
+}
+
+void
+InputRecord::serialize(std::vector<std::uint8_t> &out) const
+{
+    out.push_back(static_cast<std::uint8_t>(kind));
+    switch (kind) {
+      case InputKind::ThreadStart:
+        putVarint(out, pc);
+        putVarint(out, sp);
+        putVarint(out, arg);
+        putVarint(out, parent);
+        break;
+      case InputKind::SyscallRet: {
+        std::uint8_t flags = (hasNewPc ? 1 : 0) |
+                             (copyWords.empty() ? 0 : 2);
+        out.push_back(flags);
+        putVarint(out, num);
+        putVarint(out, ret);
+        if (hasNewPc)
+            putVarint(out, newPc);
+        if (!copyWords.empty()) {
+            putVarint(out, copyAddr);
+            putVarint(out, copyWords.size());
+            for (Word w : copyWords)
+                putVarint(out, w);
+        }
+        break;
+      }
+      case InputKind::Nondet:
+        putVarint(out, num);
+        putVarint(out, ret);
+        break;
+      case InputKind::SignalDeliver:
+        putVarint(out, num);
+        putVarint(out, afterChunkSeq);
+        putVarint(out, pc);
+        putVarint(out, sp);
+        putVarint(out, copyAddr);
+        break;
+      case InputKind::ThreadExit:
+        putVarint(out, ret);
+        putVarint(out, instrs);
+        break;
+    }
+}
+
+InputRecord
+InputRecord::deserialize(const std::vector<std::uint8_t> &in,
+                         std::size_t &pos)
+{
+    qr_assert(pos < in.size(), "input record past end of log");
+    InputRecord r;
+    r.kind = static_cast<InputKind>(in[pos++]);
+    switch (r.kind) {
+      case InputKind::ThreadStart:
+        r.pc = static_cast<Word>(getVarint(in, pos));
+        r.sp = static_cast<Word>(getVarint(in, pos));
+        r.arg = static_cast<Word>(getVarint(in, pos));
+        r.parent = static_cast<Word>(getVarint(in, pos));
+        break;
+      case InputKind::SyscallRet: {
+        qr_assert(pos < in.size(), "truncated syscall record");
+        std::uint8_t flags = in[pos++];
+        r.num = static_cast<Word>(getVarint(in, pos));
+        r.ret = static_cast<Word>(getVarint(in, pos));
+        if (flags & 1) {
+            r.hasNewPc = true;
+            r.newPc = static_cast<Word>(getVarint(in, pos));
+        }
+        if (flags & 2) {
+            r.copyAddr = static_cast<Addr>(getVarint(in, pos));
+            std::uint64_t n = getVarint(in, pos);
+            r.copyWords.reserve(n);
+            for (std::uint64_t i = 0; i < n; ++i)
+                r.copyWords.push_back(
+                    static_cast<Word>(getVarint(in, pos)));
+        }
+        break;
+      }
+      case InputKind::Nondet:
+        r.num = static_cast<Word>(getVarint(in, pos));
+        r.ret = static_cast<Word>(getVarint(in, pos));
+        break;
+      case InputKind::SignalDeliver:
+        r.num = static_cast<Word>(getVarint(in, pos));
+        r.afterChunkSeq = getVarint(in, pos);
+        r.pc = static_cast<Word>(getVarint(in, pos));
+        r.sp = static_cast<Word>(getVarint(in, pos));
+        r.copyAddr = static_cast<Addr>(getVarint(in, pos));
+        break;
+      case InputKind::ThreadExit:
+        r.ret = static_cast<Word>(getVarint(in, pos));
+        r.instrs = getVarint(in, pos);
+        break;
+      default:
+        panic("corrupt input log: kind %u", static_cast<unsigned>(r.kind));
+    }
+    return r;
+}
+
+std::uint64_t
+InputRecord::packedBytes() const
+{
+    std::vector<std::uint8_t> tmp;
+    serialize(tmp);
+    return tmp.size();
+}
+
+} // namespace qr

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Capo3 input-log records.
+ *
+ * The input log captures every nondeterministic program input so the
+ * replayer can inject it: syscall results, data the kernel copied into
+ * user memory, signal deliveries (pinned to per-thread chunk sequence
+ * numbers), nondeterministic instructions, and thread start/exit
+ * events. Records serialize to a compact byte stream (the paper's
+ * packed log format) whose size feeds the log-rate experiments.
+ */
+
+#ifndef QR_CAPO_INPUT_LOG_HH
+#define QR_CAPO_INPUT_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Input-record types. */
+enum class InputKind : std::uint8_t
+{
+    ThreadStart = 1, //!< initial pc/sp/arg of a sphere thread
+    SyscallRet,      //!< syscall number, result, copied data, pc redirect
+    Nondet,          //!< rdtsc/rdrand/cpuid value
+    SignalDeliver,   //!< signal injected at a chunk boundary
+    ThreadExit,      //!< exit code + retired-instruction count
+};
+
+/** @return name of an input-record kind. */
+const char *inputKindName(InputKind k);
+
+/** One input-log record (fields used depend on kind; see serialize). */
+struct InputRecord
+{
+    InputKind kind = InputKind::SyscallRet;
+
+    Word num = 0;   //!< syscall number / nondet opcode / signo
+    Word ret = 0;   //!< result / nondet value / exit code
+    Word pc = 0;    //!< start pc / signal handler pc
+    Word sp = 0;    //!< start sp / signal saved pc
+    Word arg = 0;   //!< start argument
+    Word parent = 0; //!< parent tid at thread start
+
+    std::uint64_t instrs = 0;        //!< ThreadExit: retired instructions
+    std::uint64_t afterChunkSeq = 0; //!< SignalDeliver: injection point
+
+    bool hasNewPc = false; //!< syscall redirected the pc (sigreturn)
+    Word newPc = 0;
+
+    Addr copyAddr = 0;            //!< copy-to-user destination
+    std::vector<Word> copyWords;  //!< copy-to-user payload
+
+    bool operator==(const InputRecord &o) const = default;
+
+    /** Append the packed encoding to @p out. */
+    void serialize(std::vector<std::uint8_t> &out) const;
+
+    /** Decode one record from @p in at @p pos (advanced). */
+    static InputRecord deserialize(const std::vector<std::uint8_t> &in,
+                                   std::size_t &pos);
+
+    /** Packed size in bytes. */
+    std::uint64_t packedBytes() const;
+};
+
+} // namespace qr
+
+#endif // QR_CAPO_INPUT_LOG_HH

@@ -1,0 +1,55 @@
+#include "capo/log_store.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+LogSizes
+measureLogs(const SphereLogs &logs)
+{
+    LogSizes sizes;
+    sizes.inputBytes = logs.inputLogBytes();
+    sizes.memoryBytes = logs.memoryLogBytes();
+    sizes.chunkRecords = logs.totalChunks();
+    for (const auto &[tid, t] : logs.threads)
+        sizes.inputRecords += t.input.size();
+    return sizes;
+}
+
+std::uint64_t
+saveSphere(const SphereLogs &logs, const std::string &path)
+{
+    std::vector<std::uint8_t> bytes = logs.serialize();
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+        std::fopen(path.c_str(), "wb"), &std::fclose);
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f.get());
+    if (n != bytes.size())
+        fatal("short write to '%s'", path.c_str());
+    return bytes.size();
+}
+
+SphereLogs
+loadSphere(const std::string &path)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+        std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!f)
+        fatal("cannot open '%s' for reading", path.c_str());
+    std::fseek(f.get(), 0, SEEK_END);
+    long size = std::ftell(f.get());
+    std::fseek(f.get(), 0, SEEK_SET);
+    qr_assert(size >= 0, "ftell failed on '%s'", path.c_str());
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    std::size_t n = std::fread(bytes.data(), 1, bytes.size(), f.get());
+    if (n != bytes.size())
+        fatal("short read from '%s'", path.c_str());
+    return SphereLogs::deserialize(bytes);
+}
+
+} // namespace qr

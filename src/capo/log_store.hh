@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Persistence for replay-sphere logs: save/load the packed sphere
+ * stream to files, plus per-sphere size accounting for the log-rate
+ * experiments and the always-on recording example.
+ */
+
+#ifndef QR_CAPO_LOG_STORE_HH
+#define QR_CAPO_LOG_STORE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "capo/sphere.hh"
+
+namespace qr
+{
+
+/** Byte-level accounting of one sphere's logs. */
+struct LogSizes
+{
+    std::uint64_t inputBytes = 0;
+    std::uint64_t memoryBytes = 0;
+    std::uint64_t inputRecords = 0;
+    std::uint64_t chunkRecords = 0;
+
+    std::uint64_t total() const { return inputBytes + memoryBytes; }
+};
+
+/** Compute the packed sizes of a sphere's logs. */
+LogSizes measureLogs(const SphereLogs &logs);
+
+/** Save a sphere to @p path. @return bytes written. */
+std::uint64_t saveSphere(const SphereLogs &logs, const std::string &path);
+
+/** Load a sphere from @p path (fatal on parse error). */
+SphereLogs loadSphere(const std::string &path);
+
+} // namespace qr
+
+#endif // QR_CAPO_LOG_STORE_HH

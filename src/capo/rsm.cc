@@ -1,0 +1,202 @@
+#include "capo/rsm.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace qr
+{
+
+std::uint64_t
+RsmStats::totalOverheadCycles() const
+{
+    std::uint64_t total = 0;
+    for (int c = 0; c < numOverheadCats; ++c)
+        total += overheadCycles[c];
+    return total;
+}
+
+Rsm::Rsm(const CostModel &costs_, SphereLogs &logs_,
+         std::vector<Core *> cores_, std::vector<Cbuf *> cbufs_)
+    : costs(costs_), logs(logs_), cores(std::move(cores_)),
+      cbufs(std::move(cbufs_))
+{
+    qr_assert(cores.size() == cbufs.size(),
+              "need one CBUF per core");
+    for (Core *c : cores)
+        c->rnrUnit().setSink(this);
+}
+
+void
+Rsm::charge(Core *core, Tick cycles, OverheadCat cat, Tick now)
+{
+    _stats.overheadCycles[static_cast<int>(cat)] += cycles;
+    if (core)
+        core->addStall(now, cycles);
+}
+
+void
+Rsm::kernelEntry(KThread &t, Core &core, Tick now)
+{
+    (void)t;
+    core.rnrUnit().terminate(ChunkReason::Syscall, now);
+    charge(&core, costs.syscallInterceptEntry,
+           OverheadCat::SyscallIntercept, now);
+}
+
+void
+Rsm::syscallLogged(KThread &t, Word num, Word ret, const CopyToUser *copy,
+                   bool has_new_pc, Word new_pc, Core *charge_core,
+                   Tick now)
+{
+    InputRecord rec;
+    rec.kind = InputKind::SyscallRet;
+    rec.num = num;
+    rec.ret = ret;
+    rec.hasNewPc = has_new_pc;
+    rec.newPc = new_pc;
+    if (copy) {
+        rec.copyAddr = copy->addr;
+        rec.copyWords = copy->words;
+        _stats.copyWordsLogged += copy->words.size();
+        charge(charge_core,
+               costs.copyLogPerWord * copy->words.size(),
+               OverheadCat::CopyLogging, now);
+    }
+    logsOf(t.tid).input.push_back(std::move(rec));
+    _stats.inputRecords++;
+    charge(charge_core, costs.syscallInterceptExit + costs.inputRecordBase,
+           OverheadCat::SyscallIntercept, now);
+}
+
+void
+Rsm::nondetLogged(KThread &t, Opcode kind, Word value, Core &core,
+                  Tick now)
+{
+    InputRecord rec;
+    rec.kind = InputKind::Nondet;
+    rec.num = static_cast<Word>(kind);
+    rec.ret = value;
+    logsOf(t.tid).input.push_back(std::move(rec));
+    _stats.inputRecords++;
+    charge(&core, costs.nondetTrap, OverheadCat::NondetEmu, now);
+}
+
+void
+Rsm::threadStarted(KThread &child, KThread *parent, Core *parent_core,
+                   Tick now)
+{
+    InputRecord rec;
+    rec.kind = InputKind::ThreadStart;
+    rec.pc = child.ctx.pc;
+    rec.sp = child.ctx.reg(Reg::sp);
+    rec.arg = child.ctx.reg(Reg::a0);
+    rec.parent = parent ? static_cast<Word>(parent->tid) : 0;
+    logsOf(child.tid).input.push_back(std::move(rec));
+    _stats.inputRecords++;
+
+    // Inherit the parent core's clock so the child's first chunk is
+    // ordered after the spawn (Capo3 initializes the child's recording
+    // context from the parent's).
+    child.lastClock = parent_core ? parent_core->rnrUnit().clock() : 0;
+    charge(parent_core, costs.sphereManage, OverheadCat::SphereMgmt, now);
+}
+
+void
+Rsm::threadExited(KThread &t, Core &core, Tick now)
+{
+    InputRecord rec;
+    rec.kind = InputKind::ThreadExit;
+    rec.ret = t.ctx.reg(Reg::a0);
+    rec.instrs = t.ctx.instrs;
+    logsOf(t.tid).input.push_back(std::move(rec));
+    _stats.inputRecords++;
+    charge(&core, costs.sphereManage, OverheadCat::SphereMgmt, now);
+}
+
+void
+Rsm::signalDelivered(KThread &t, Word signo, Word handler_pc,
+                     Word saved_pc, Addr mailbox, Core &core, Tick now)
+{
+    InputRecord rec;
+    rec.kind = InputKind::SignalDeliver;
+    rec.num = signo;
+    rec.afterChunkSeq = chunkSeq[t.tid];
+    rec.pc = handler_pc;
+    rec.sp = saved_pc;
+    rec.copyAddr = mailbox;
+    logsOf(t.tid).input.push_back(std::move(rec));
+    _stats.inputRecords++;
+    charge(&core, costs.signalDeliver, OverheadCat::Signal, now);
+}
+
+void
+Rsm::contextSwitchOut(KThread &t, Core &core, Tick now)
+{
+    RnrUnit &unit = core.rnrUnit();
+    unit.terminate(ChunkReason::ContextSwitch, now);
+    // Save the recording context: the clock floor makes the thread's
+    // next chunk (possibly on another core) strictly later than
+    // everything it did here, including post-chunk input copies.
+    t.lastClock = unit.clock();
+    unit.disable();
+    charge(&core, costs.ctxSwitchSave, OverheadCat::CtxSwitch, now);
+}
+
+void
+Rsm::contextSwitchIn(KThread &t, Core &core, Tick now)
+{
+    RnrUnit &unit = core.rnrUnit();
+    unit.setClockFloor(t.lastClock);
+    unit.enable(t.tid);
+    charge(&core, costs.ctxSwitchRestore, OverheadCat::CtxSwitch, now);
+}
+
+void
+Rsm::onChunkLogged(const ChunkRecord &rec, CoreId core)
+{
+    (void)core;
+    chunkSeq[rec.tid]++;
+    _stats.chunksSeen++;
+}
+
+void
+Rsm::onCbufSignal(CoreId core, bool full, Tick now)
+{
+    drainCbuf(core, full, now);
+}
+
+void
+Rsm::drainCbuf(CoreId core, bool forced, Tick now)
+{
+    qr_assert(core >= 0 && core < static_cast<CoreId>(cbufs.size()),
+              "bad core id %d in CBUF drain", core);
+    std::vector<ChunkRecord> recs = cbufs[static_cast<std::size_t>(core)]
+                                        ->drain();
+    if (recs.empty())
+        return;
+    for (const ChunkRecord &r : recs)
+        logsOf(r.tid).chunks.push_back(r);
+    _stats.cbufDrains++;
+    if (forced)
+        _stats.cbufForcedDrains++;
+    tracef(TraceFlag::Cbuf, "core %d: drained %zu records%s", core,
+           recs.size(), forced ? " (backpressure)" : "");
+    charge(cores[static_cast<std::size_t>(core)],
+           costs.cbufDrainBase + costs.cbufDrainPerRecord * recs.size(),
+           OverheadCat::CbufDrain, now);
+}
+
+void
+Rsm::finalize(Tick now)
+{
+    for (std::size_t c = 0; c < cbufs.size(); ++c)
+        drainCbuf(static_cast<CoreId>(c), false, now);
+    logs.sortChunks();
+    std::uint64_t drained = logs.totalChunks();
+    qr_assert(drained == _stats.chunksSeen,
+              "chunk accounting mismatch: drained %llu, seen %llu",
+              static_cast<unsigned long long>(drained),
+              static_cast<unsigned long long>(_stats.chunksSeen));
+}
+
+} // namespace qr

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The Replay Sphere Manager -- Capo3's kernel component.
+ *
+ * The RSM sits between the guest kernel and the recording hardware:
+ * it implements the kernel's RsmHooks (intercepting syscalls, context
+ * switches, signals and nondeterministic instructions to write the
+ * input log and to drive the per-core RnR units), and the hardware's
+ * ChunkSink (servicing CBUF drain interrupts and splitting chunk
+ * records into per-thread memory logs). Every piece of work it does is
+ * charged to a core through the CostModel, and the charges are
+ * attributed to overhead categories for the breakdown experiment.
+ */
+
+#ifndef QR_CAPO_RSM_HH
+#define QR_CAPO_RSM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "capo/cost_model.hh"
+#include "capo/sphere.hh"
+#include "cpu/core.hh"
+#include "kernel/kernel.hh"
+#include "rnr/rnr_unit.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** RSM statistics, including the overhead attribution for E4. */
+struct RsmStats
+{
+    std::uint64_t overheadCycles[numOverheadCats] = {};
+    std::uint64_t inputRecords = 0;
+    std::uint64_t copyWordsLogged = 0;
+    std::uint64_t cbufDrains = 0;
+    std::uint64_t cbufForcedDrains = 0; //!< full-buffer backpressure
+    std::uint64_t chunksSeen = 0;
+
+    std::uint64_t totalOverheadCycles() const;
+};
+
+/** The Replay Sphere Manager. */
+class Rsm : public RsmHooks, public ChunkSink
+{
+  public:
+    /**
+     * @param cores one per hardware core, index = core id
+     * @param cbufs the per-core CBUFs, index = core id
+     */
+    Rsm(const CostModel &costs, SphereLogs &logs,
+        std::vector<Core *> cores, std::vector<Cbuf *> cbufs);
+
+    // --- RsmHooks ---------------------------------------------------------
+    void kernelEntry(KThread &t, Core &core, Tick now) override;
+    void syscallLogged(KThread &t, Word num, Word ret,
+                       const CopyToUser *copy, bool has_new_pc,
+                       Word new_pc, Core *charge_core, Tick now) override;
+    void nondetLogged(KThread &t, Opcode kind, Word value, Core &core,
+                      Tick now) override;
+    void threadStarted(KThread &child, KThread *parent,
+                       Core *parent_core, Tick now) override;
+    void threadExited(KThread &t, Core &core, Tick now) override;
+    void signalDelivered(KThread &t, Word signo, Word handler_pc,
+                         Word saved_pc, Addr mailbox, Core &core,
+                         Tick now) override;
+    void contextSwitchOut(KThread &t, Core &core, Tick now) override;
+    void contextSwitchIn(KThread &t, Core &core, Tick now) override;
+
+    // --- ChunkSink --------------------------------------------------------
+    void onChunkLogged(const ChunkRecord &rec, CoreId core) override;
+    void onCbufSignal(CoreId core, bool full, Tick now) override;
+
+    /**
+     * End of recording: drain all CBUFs and sort per-thread chunk logs.
+     */
+    void finalize(Tick now);
+
+    const RsmStats &stats() const { return _stats; }
+
+  private:
+    void charge(Core *core, Tick cycles, OverheadCat cat, Tick now);
+    void drainCbuf(CoreId core, bool forced, Tick now);
+    ThreadLogs &logsOf(Tid tid) { return logs.threads[tid]; }
+
+    CostModel costs;
+    SphereLogs &logs;
+    std::vector<Core *> cores;
+    std::vector<Cbuf *> cbufs;
+    std::map<Tid, std::uint64_t> chunkSeq;
+    RsmStats _stats;
+};
+
+} // namespace qr
+
+#endif // QR_CAPO_RSM_HH

@@ -1,0 +1,118 @@
+#include "capo/sphere.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+void
+SphereLogs::sortChunks()
+{
+    for (auto &[tid, logs] : threads) {
+        std::stable_sort(logs.chunks.begin(), logs.chunks.end(),
+                         [](const ChunkRecord &a, const ChunkRecord &b) {
+                             return a.ts < b.ts;
+                         });
+        for (std::size_t i = 1; i < logs.chunks.size(); ++i)
+            qr_assert(logs.chunks[i - 1].ts < logs.chunks[i].ts,
+                      "tid %d: duplicate chunk timestamp %llu", tid,
+                      static_cast<unsigned long long>(logs.chunks[i].ts));
+    }
+}
+
+std::uint64_t
+SphereLogs::inputLogBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[tid, logs] : threads)
+        for (const auto &rec : logs.input)
+            total += rec.packedBytes();
+    return total;
+}
+
+std::uint64_t
+SphereLogs::memoryLogBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[tid, logs] : threads) {
+        std::vector<std::uint8_t> buf;
+        Timestamp prev = 0;
+        for (const auto &rec : logs.chunks) {
+            packCompact(rec, prev, buf);
+            prev = rec.ts;
+        }
+        total += buf.size();
+    }
+    return total;
+}
+
+std::uint64_t
+SphereLogs::totalChunks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[tid, logs] : threads)
+        total += logs.chunks.size();
+    return total;
+}
+
+std::vector<std::uint8_t>
+SphereLogs::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    // Magic + header.
+    const char magic[4] = {'Q', 'R', 'S', '1'};
+    out.insert(out.end(), magic, magic + 4);
+    putVarint(out, sphereId);
+    putVarint(out, memBytes);
+    putVarint(out, userTop);
+    putVarint(out, threads.size());
+    for (const auto &[tid, logs] : threads) {
+        putVarint(out, static_cast<std::uint64_t>(tid));
+        putVarint(out, logs.input.size());
+        for (const auto &rec : logs.input)
+            rec.serialize(out);
+        putVarint(out, logs.chunks.size());
+        Timestamp prev = 0;
+        for (const auto &rec : logs.chunks) {
+            packCompact(rec, prev, out);
+            prev = rec.ts;
+        }
+    }
+    return out;
+}
+
+SphereLogs
+SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
+{
+    SphereLogs s;
+    qr_assert(in.size() >= 4 && in[0] == 'Q' && in[1] == 'R' &&
+              in[2] == 'S' && in[3] == '1',
+              "bad sphere log magic");
+    std::size_t pos = 4;
+    s.sphereId = static_cast<std::uint32_t>(getVarint(in, pos));
+    s.memBytes = static_cast<std::uint32_t>(getVarint(in, pos));
+    s.userTop = static_cast<Addr>(getVarint(in, pos));
+    std::uint64_t nthreads = getVarint(in, pos);
+    for (std::uint64_t i = 0; i < nthreads; ++i) {
+        Tid tid = static_cast<Tid>(getVarint(in, pos));
+        ThreadLogs logs;
+        std::uint64_t nin = getVarint(in, pos);
+        logs.input.reserve(nin);
+        for (std::uint64_t j = 0; j < nin; ++j)
+            logs.input.push_back(InputRecord::deserialize(in, pos));
+        std::uint64_t nch = getVarint(in, pos);
+        logs.chunks.reserve(nch);
+        Timestamp prev = 0;
+        for (std::uint64_t j = 0; j < nch; ++j) {
+            logs.chunks.push_back(unpackCompact(in, pos, prev, tid));
+            prev = logs.chunks.back().ts;
+        }
+        s.threads.emplace(tid, std::move(logs));
+    }
+    qr_assert(pos == in.size(), "trailing bytes in sphere log");
+    return s;
+}
+
+} // namespace qr

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Replay sphere logs: the complete recording artifact.
+ *
+ * A replay sphere groups the threads of one recorded application
+ * (Capo's abstraction). Its artifact is, per thread, an input log and a
+ * memory (chunk) log. The logs serialize to a packed byte stream that
+ * both the log-size experiments and the file-based examples use.
+ */
+
+#ifndef QR_CAPO_SPHERE_HH
+#define QR_CAPO_SPHERE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "capo/input_log.hh"
+#include "rnr/chunk_record.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** The two logs of one sphere thread. */
+struct ThreadLogs
+{
+    std::vector<InputRecord> input;
+    std::vector<ChunkRecord> chunks;
+
+    bool operator==(const ThreadLogs &o) const = default;
+};
+
+/** Everything recorded for one replay sphere. */
+struct SphereLogs
+{
+    /** Sphere identifier (one sphere per recorded machine run). */
+    std::uint32_t sphereId = 1;
+
+    /** Guest memory size the recording ran with. */
+    std::uint32_t memBytes = 0;
+
+    /** Memory above this address (CBUF regions) is excluded from
+     *  digests and owned by the recording hardware. */
+    Addr userTop = 0;
+
+    std::map<Tid, ThreadLogs> threads;
+
+    bool operator==(const SphereLogs &o) const = default;
+
+    /**
+     * Sort each thread's chunk log by timestamp. CBUF drain order
+     * across cores is arbitrary, so Capo3 sorts when splitting records
+     * into per-thread logs; per-thread timestamps are strictly
+     * monotonic afterwards (asserted).
+     */
+    void sortChunks();
+
+    /** Packed size of all input logs, in bytes. */
+    std::uint64_t inputLogBytes() const;
+
+    /** Packed size of all chunk logs (compact encoding), in bytes. */
+    std::uint64_t memoryLogBytes() const;
+
+    /** Total chunk records across threads. */
+    std::uint64_t totalChunks() const;
+
+    /** Serialize the whole sphere to a byte stream. */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Parse a serialized sphere. */
+    static SphereLogs deserialize(const std::vector<std::uint8_t> &in);
+};
+
+} // namespace qr
+
+#endif // QR_CAPO_SPHERE_HH

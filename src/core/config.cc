@@ -1,0 +1,32 @@
+#include "core/config.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+void
+validate(const MachineConfig &mcfg, const RecorderConfig &rcfg)
+{
+    if (mcfg.numCores < 1 || mcfg.numCores > 64)
+        fatal("numCores must be in [1,64], got %d", mcfg.numCores);
+    if (mcfg.memBytes < (1u << 20))
+        fatal("guest memory must be at least 1 MiB");
+    if (mcfg.core.sbDepth > 4096)
+        fatal("store buffer depth %u is unreasonable", mcfg.core.sbDepth);
+    // The recorder's conflict granularity must be at least as coarse
+    // as the coherence granularity: finer tracking would miss silent
+    // same-line hits. Coarser granularity is sound (only adds false
+    // conflicts) and is exposed for the A5 ablation.
+    if (rcfg.rnr.lineBytes < mcfg.cache.lineBytes ||
+        rcfg.rnr.lineBytes % mcfg.cache.lineBytes != 0)
+        fatal("recorder granularity (%u) must be a multiple of the "
+              "cache line (%u)",
+              rcfg.rnr.lineBytes, mcfg.cache.lineBytes);
+    std::uint64_t cbufTotal = static_cast<std::uint64_t>(mcfg.numCores) *
+                              rcfg.cbuf.entries * 16ull;
+    if (cbufTotal >= mcfg.memBytes / 2)
+        fatal("CBUF regions would consume over half of guest memory");
+}
+
+} // namespace qr

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Top-level configuration of the QuickRec prototype machine and of the
+ * recording extension. Defaults mirror the QuickIA evaluation platform:
+ * 4 in-order cores, 32 KB 4-way L1s with 64 B lines on a MESI snooping
+ * bus, 8-entry TSO store buffers, and the recording hardware with
+ * 1 Ki-bit Bloom filters, 64 Ki-instruction max chunks and 16 Ki-entry
+ * CBUFs.
+ */
+
+#ifndef QR_CORE_CONFIG_HH
+#define QR_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "capo/cost_model.hh"
+#include "cpu/core.hh"
+#include "kernel/kernel.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "rnr/cbuf.hh"
+#include "rnr/rnr_unit.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Configuration of the base machine (everything but the recorder). */
+struct MachineConfig
+{
+    int numCores = 4;
+    std::uint32_t memBytes = 16u << 20;
+    std::uint32_t stackBytes = 64u << 10; //!< main-thread stack
+    std::uint64_t maxCycles = 4ull << 30; //!< runaway/deadlock guard
+
+    CoreParams core;
+    CacheParams cache;
+    BusParams bus;
+    KernelParams kernel; //!< heapBase/heapLimit are filled by Machine
+};
+
+/** Configuration of the recording extension (hardware + Capo3). */
+struct RecorderConfig
+{
+    RnrParams rnr;
+    CbufParams cbuf;
+    CostModel costs;
+};
+
+/** Validate a configuration; fatal() on user error. */
+void validate(const MachineConfig &mcfg, const RecorderConfig &rcfg);
+
+} // namespace qr
+
+#endif // QR_CORE_CONFIG_HH

@@ -1,0 +1,157 @@
+#include "core/machine.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+Machine::Machine(const MachineConfig &mcfg_, const RecorderConfig &rcfg_,
+                 Program prog_, bool record)
+    : mcfg(mcfg_), rcfg(rcfg_), prog(std::move(prog_)),
+      recording(record), mem(mcfg_.memBytes), bus(mcfg_.bus)
+{
+    validate(mcfg, rcfg);
+    qr_assert(!prog.code.empty(), "cannot run an empty program");
+
+    std::uint32_t region = rcfg.cbuf.entries * ChunkRecord::cbufBytes;
+    _userTop = (mcfg.memBytes -
+                static_cast<std::uint32_t>(mcfg.numCores) * region) & ~63u;
+    qr_assert(prog.dataEnd + mcfg.stackBytes + (64u << 10) < _userTop,
+              "program data (0x%x) leaves no room for heap and stack",
+              prog.dataEnd);
+
+    std::vector<Core *> corePtrs;
+    std::vector<Cbuf *> cbufPtrs;
+    for (int i = 0; i < mcfg.numCores; ++i) {
+        caches.push_back(std::make_unique<L1Cache>(i, mcfg.cache, bus));
+        Addr cbufBase = _userTop + static_cast<Addr>(i) * region;
+        cbufs.push_back(std::make_unique<Cbuf>(rcfg.cbuf, mem, cbufBase,
+                                               &bus));
+        rnrUnits.push_back(
+            std::make_unique<RnrUnit>(i, rcfg.rnr, *cbufs.back()));
+        cores.push_back(std::make_unique<Core>(i, mcfg.core, prog, mem,
+                                               *caches.back(),
+                                               *rnrUnits.back()));
+        bus.attachSnooper(caches.back().get());
+        bus.attachObserver(rnrUnits.back().get());
+        corePtrs.push_back(cores.back().get());
+        cbufPtrs.push_back(cbufs.back().get());
+    }
+
+    for (const auto &[addr, value] : prog.dataInit)
+        mem.write(addr, value);
+
+    KernelParams kp = mcfg.kernel;
+    kp.heapBase = (prog.dataEnd + 63u) & ~63u;
+    kp.heapLimit = _userTop - mcfg.stackBytes - 64;
+    kernel = std::make_unique<Kernel>(kp, corePtrs, mem, output);
+
+    _sphereLogs.memBytes = mcfg.memBytes;
+    _sphereLogs.userTop = _userTop;
+
+    if (recording) {
+        rsm = std::make_unique<Rsm>(rcfg.costs, _sphereLogs, corePtrs,
+                                    cbufPtrs);
+        kernel->setRsm(rsm.get());
+    }
+}
+
+Machine::~Machine() = default;
+
+bool
+Machine::step()
+{
+    if (!started) {
+        started = true;
+        kernel->startMainThread(prog.entry, _userTop - 16);
+    }
+    if (kernel->allExited()) {
+        if (rsm && !finalized) {
+            finalized = true;
+            rsm->finalize(cycle);
+        }
+        return false;
+    }
+    kernel->tick(cycle);
+    for (auto &core : cores)
+        core->tick(cycle);
+    cycle++;
+    return true;
+}
+
+RunMetrics
+Machine::run()
+{
+    qr_assert(!ran, "Machine::run called twice");
+    ran = true;
+
+    while (step()) {
+        if (cycle >= mcfg.maxCycles) {
+            kernel->debugDump();
+            fatal("machine did not finish within %llu cycles "
+                  "(deadlocked guest?)",
+                  static_cast<unsigned long long>(mcfg.maxCycles));
+        }
+    }
+    return collectMetrics(cycle);
+}
+
+RunMetrics
+Machine::collectMetrics(Tick cycles) const
+{
+    RunMetrics m;
+    m.cycles = cycles;
+
+    for (const auto &core : cores) {
+        const CoreStats &cs = core->stats();
+        m.instrs += cs.instrs;
+        m.loads += cs.loads;
+        m.stores += cs.stores;
+        m.atomics += cs.atomics;
+    }
+    for (const auto &cache : caches) {
+        const CacheStats &cs = cache->stats();
+        m.l1Hits += cs.readHits + cs.writeHits;
+        m.l1Misses += cs.readMisses + cs.writeMisses;
+        m.invalidations += cs.invalidations;
+    }
+    const BusStats &bs = bus.stats();
+    m.busTxns = bs.txns[0] + bs.txns[1] + bs.txns[2];
+
+    for (const auto &unit : rnrUnits) {
+        const RnrStats &rs = unit->stats();
+        m.chunks += rs.chunks;
+        for (int r = 0; r < numChunkReasons; ++r)
+            m.reasonCounts[r] += rs.reasonCounts[r];
+        m.chunkSizes.merge(rs.chunkSizes);
+        m.rswValues.merge(rs.rswValues);
+        m.rswNonZero += rs.rswNonZero;
+        m.falseConflicts += rs.falseConflicts;
+    }
+    for (const auto &cbuf : cbufs)
+        m.cbufBytes += cbuf->stats().bytesWritten;
+
+    const KernelStats &ks = kernel->stats();
+    m.syscalls = ks.syscalls;
+    m.contextSwitches = ks.contextSwitches;
+    m.migrations = ks.migrations;
+    m.signalsDelivered = ks.signalsDelivered;
+
+    if (rsm) {
+        const RsmStats &rs = rsm->stats();
+        for (int c = 0; c < numOverheadCats; ++c)
+            m.overheadCycles[c] = rs.overheadCycles[c];
+        m.recordingOverheadCycles = rs.totalOverheadCycles();
+        m.inputRecords = rs.inputRecords;
+        m.cbufDrains = rs.cbufDrains;
+        m.cbufForcedDrains = rs.cbufForcedDrains;
+        m.logSizes = measureLogs(_sphereLogs);
+    }
+
+    m.digests.memory = mem.digest(_userTop);
+    m.digests.output = outputDigest(output);
+    m.digests.exits = kernel->exitInfo();
+    return m;
+}
+
+} // namespace qr

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The assembled QuickRec prototype machine.
+ *
+ * A Machine wires the full platform: cores + L1s + bus + memory, the
+ * guest kernel, and (when recording) the per-core RnR units, CBUFs and
+ * Capo3's RSM. It owns the guest memory layout:
+ *
+ *   0 .............. program static data
+ *   dataEnd ........ heap (sbrk arena)
+ *   ... gap ........
+ *   userTop-stack .. main-thread stack
+ *   userTop ........ per-core CBUF regions (excluded from digests)
+ *   memBytes
+ *
+ * The same layout is used whether or not recording is enabled, so
+ * baseline and recorded runs are directly comparable and the memory
+ * digest limit is identical.
+ */
+
+#ifndef QR_CORE_MACHINE_HH
+#define QR_CORE_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "capo/rsm.hh"
+#include "capo/sphere.hh"
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "cpu/core.hh"
+#include "isa/assembler.hh"
+#include "kernel/kernel.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "rnr/cbuf.hh"
+#include "rnr/rnr_unit.hh"
+
+namespace qr
+{
+
+/** A fully-wired guest machine; run() executes a program to completion. */
+class Machine
+{
+  public:
+    /**
+     * Build the machine. The program is copied in, so temporaries
+     * (e.g. `builder.finish()`) are safe to pass.
+     * @param record when true, the RnR units record into the sphere.
+     */
+    Machine(const MachineConfig &mcfg, const RecorderConfig &rcfg,
+            Program prog, bool record);
+
+    ~Machine();
+
+    /** Execute until every guest thread has exited. */
+    RunMetrics run();
+
+    /**
+     * Single-step driver (debuggers, watchdog tools): advance one
+     * cycle. @return false once every guest thread has exited.
+     */
+    bool step();
+
+    /** Cycles simulated so far (step() driver). */
+    Tick cycles() const { return cycle; }
+
+    /** Collect metrics explicitly (after a step() loop). */
+    RunMetrics metricsNow() const { return collectMetrics(cycle); }
+
+    /** Debug view of guest memory. */
+    const Memory &memory() const { return mem; }
+
+    /** Debug dump of thread states to stderr. */
+    void dumpThreads() const { kernel->debugDump(); }
+
+    /** Recording artifact (valid after run() when recording). */
+    const SphereLogs &sphereLogs() const { return _sphereLogs; }
+
+    /** First byte above user memory (digest limit / CBUF base). */
+    Addr userTop() const { return _userTop; }
+
+    /** Guest console output, one stream per thread. */
+    const OutputMap &outputs() const { return output; }
+
+    /** Access to a core (tests and examples). */
+    Core &core(int i) { return *cores[static_cast<std::size_t>(i)]; }
+
+    const MachineConfig &config() const { return mcfg; }
+
+  private:
+    RunMetrics collectMetrics(Tick cycles) const;
+
+    MachineConfig mcfg;
+    RecorderConfig rcfg;
+    Program prog;
+    bool recording;
+
+    Addr _userTop = 0;
+
+    Memory mem;
+    Bus bus;
+    std::vector<std::unique_ptr<L1Cache>> caches;
+    std::vector<std::unique_ptr<Cbuf>> cbufs;
+    std::vector<std::unique_ptr<RnrUnit>> rnrUnits;
+    std::vector<std::unique_ptr<Core>> cores;
+    OutputMap output;
+    std::unique_ptr<Kernel> kernel;
+    SphereLogs _sphereLogs;
+    std::unique_ptr<Rsm> rsm;
+    Tick cycle = 0;
+    bool started = false;
+    bool finalized = false;
+    bool ran = false;
+};
+
+} // namespace qr
+
+#endif // QR_CORE_MACHINE_HH

@@ -1,0 +1,130 @@
+#include "core/metrics.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+outputDigest(const OutputMap &outputs)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mixIn = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (const auto &[tid, bytes] : outputs) {
+        mixIn(static_cast<std::uint64_t>(tid));
+        mixIn(bytes.size());
+        mixIn(fnv1a(bytes.data(), bytes.size()));
+    }
+    return h;
+}
+
+double
+RunMetrics::memLogBytesPerKiloInstr() const
+{
+    return ratio(static_cast<double>(logSizes.memoryBytes),
+                 static_cast<double>(instrs) / 1000.0);
+}
+
+double
+RunMetrics::inputLogBytesPerKiloInstr() const
+{
+    return ratio(static_cast<double>(logSizes.inputBytes),
+                 static_cast<double>(instrs) / 1000.0);
+}
+
+double
+RunMetrics::conflictChunkFraction() const
+{
+    std::uint64_t conflicts =
+        reasonCounts[static_cast<int>(ChunkReason::ConflictRaw)] +
+        reasonCounts[static_cast<int>(ChunkReason::ConflictWar)] +
+        reasonCounts[static_cast<int>(ChunkReason::ConflictWaw)];
+    return ratio(static_cast<double>(conflicts),
+                 static_cast<double>(chunks));
+}
+
+std::string
+RunMetrics::statsText() const
+{
+    std::string out;
+    auto put = [&](const char *name, std::uint64_t v,
+                   const char *desc) {
+        out += csprintf("%-32s %14llu  # %s\n", name,
+                        static_cast<unsigned long long>(v), desc);
+    };
+    auto putf = [&](const char *name, double v, const char *desc) {
+        out += csprintf("%-32s %14.4f  # %s\n", name, v, desc);
+    };
+    put("sim.cycles", cycles, "simulated cycles");
+    put("sim.instrs", instrs, "retired user instructions");
+    putf("sim.ipc", ratio(static_cast<double>(instrs),
+                          static_cast<double>(cycles)),
+         "aggregate instructions per cycle");
+    put("cpu.loads", loads, "retired loads");
+    put("cpu.stores", stores, "retired stores");
+    put("cpu.atomics", atomics, "locked read-modify-writes");
+    put("kernel.syscalls", syscalls, "system calls");
+    put("kernel.ctx_switches", contextSwitches, "context switches");
+    put("kernel.migrations", migrations, "cross-core migrations");
+    put("kernel.signals", signalsDelivered, "signals delivered");
+    put("mem.l1_hits", l1Hits, "L1 hits");
+    put("mem.l1_misses", l1Misses, "L1 misses");
+    put("mem.bus_txns", busTxns, "coherence transactions");
+    put("mem.invalidations", invalidations, "lines invalidated");
+    put("rnr.chunks", chunks, "chunk records logged");
+    for (int r = 0; r < numChunkReasons; ++r)
+        put(csprintf("rnr.term.%s",
+                     chunkReasonName(static_cast<ChunkReason>(r)))
+                .c_str(),
+            reasonCounts[r], "chunk terminations by cause");
+    putf("rnr.chunk_size_mean", chunkSizes.mean(),
+         "mean instructions per chunk");
+    put("rnr.rsw_nonzero", rswNonZero, "chunks with RSW > 0");
+    put("rnr.false_conflicts", falseConflicts,
+        "Bloom false-positive terminations (exact-shadow runs)");
+    put("rnr.cbuf_bytes", cbufBytes, "raw bytes written to CBUFs");
+    put("capo.cbuf_drains", cbufDrains, "CBUF drain interrupts");
+    put("capo.input_records", inputRecords, "input-log records");
+    put("capo.overhead_cycles", recordingOverheadCycles,
+        "software recording work");
+    for (int c = 0; c < numOverheadCats; ++c)
+        put(csprintf("capo.overhead.%s",
+                     overheadCatName(static_cast<OverheadCat>(c)))
+                .c_str(),
+            overheadCycles[c], "overhead by category");
+    put("log.memory_bytes", logSizes.memoryBytes,
+        "packed chunk-log bytes");
+    put("log.input_bytes", logSizes.inputBytes,
+        "packed input-log bytes");
+    putf("log.mem_bytes_per_kinstr", memLogBytesPerKiloInstr(),
+         "memory-log density");
+    return out;
+}
+
+std::string
+RunMetrics::summary() const
+{
+    return csprintf(
+        "cycles=%llu instrs=%llu chunks=%llu memlog=%lluB inlog=%lluB",
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(instrs),
+        static_cast<unsigned long long>(chunks),
+        static_cast<unsigned long long>(logSizes.memoryBytes),
+        static_cast<unsigned long long>(logSizes.inputBytes));
+}
+
+} // namespace qr

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Aggregated results of one machine run: timing, memory-system and
+ * recording statistics, log sizes, and the architectural digests used
+ * to verify replay determinism.
+ */
+
+#ifndef QR_CORE_METRICS_HH
+#define QR_CORE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "capo/cost_model.hh"
+#include "capo/log_store.hh"
+#include "kernel/kernel.hh"
+#include "rnr/chunk_record.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Architectural fingerprints of a run (replay must reproduce these). */
+struct Digests
+{
+    std::uint64_t memory = 0; //!< user memory below the CBUF regions
+    std::uint64_t output = 0; //!< console output byte stream
+    std::map<Tid, ThreadExitInfo> exits; //!< per-thread final state
+
+    bool operator==(const Digests &o) const = default;
+};
+
+/** FNV-1a over a byte stream (output digests). */
+std::uint64_t fnv1a(const std::uint8_t *data, std::size_t n);
+
+/**
+ * Digest of the per-thread output streams. Output interleaving across
+ * threads is not required to be deterministic (any POSIX write
+ * interleaving is legal), so the digest covers each thread's stream in
+ * its own program order.
+ */
+std::uint64_t outputDigest(const OutputMap &outputs);
+
+/** Everything measured during one run. */
+struct RunMetrics
+{
+    // --- timing -----------------------------------------------------------
+    Tick cycles = 0;
+    std::uint64_t instrs = 0;
+
+    // --- instruction mix ----------------------------------------------------
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t syscalls = 0;
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t signalsDelivered = 0;
+
+    // --- memory system -------------------------------------------------------
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t busTxns = 0;
+    std::uint64_t invalidations = 0;
+
+    // --- recording hardware ----------------------------------------------
+    std::uint64_t chunks = 0;
+    std::uint64_t reasonCounts[numChunkReasons] = {};
+    Histogram chunkSizes;
+    Histogram rswValues;
+    std::uint64_t rswNonZero = 0;
+    std::uint64_t falseConflicts = 0; //!< with exactShadow only
+    std::uint64_t cbufBytes = 0;      //!< raw bytes the hardware wrote
+    std::uint64_t cbufDrains = 0;
+    std::uint64_t cbufForcedDrains = 0;
+
+    // --- Capo3 software stack ------------------------------------------------
+    std::uint64_t overheadCycles[numOverheadCats] = {};
+    std::uint64_t recordingOverheadCycles = 0;
+    std::uint64_t inputRecords = 0;
+    LogSizes logSizes;
+
+    // --- verification -------------------------------------------------------
+    Digests digests;
+
+    /** Packed memory-log bytes per 1000 retired instructions. */
+    double memLogBytesPerKiloInstr() const;
+
+    /** Packed input-log bytes per 1000 retired instructions. */
+    double inputLogBytesPerKiloInstr() const;
+
+    /** Fraction of chunks ended by real or false conflicts. */
+    double conflictChunkFraction() const;
+
+    /** One-line human summary. */
+    std::string summary() const;
+
+    /** Full gem5-style "name value # comment" stats dump. */
+    std::string statsText() const;
+};
+
+} // namespace qr
+
+#endif // QR_CORE_METRICS_HH

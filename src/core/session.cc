@@ -1,0 +1,47 @@
+#include "core/session.hh"
+
+#include "core/machine.hh"
+
+namespace qr
+{
+
+RunMetrics
+runBaseline(const Program &prog, const MachineConfig &mcfg,
+            const RecorderConfig &rcfg)
+{
+    Machine machine(mcfg, rcfg, prog, /* record = */ false);
+    return machine.run();
+}
+
+RecordResult
+recordProgram(const Program &prog, const MachineConfig &mcfg,
+              const RecorderConfig &rcfg)
+{
+    Machine machine(mcfg, rcfg, prog, /* record = */ true);
+    RecordResult result;
+    result.metrics = machine.run();
+    result.logs = machine.sphereLogs();
+    return result;
+}
+
+ReplayResult
+replaySphere(const Program &prog, const SphereLogs &logs)
+{
+    Replayer replayer(prog, logs);
+    return replayer.run();
+}
+
+RoundTrip
+recordAndReplay(const Program &prog, const MachineConfig &mcfg,
+                const RecorderConfig &rcfg)
+{
+    RoundTrip rt;
+    rt.record = recordProgram(prog, mcfg, rcfg);
+    rt.replay = replaySphere(prog, rt.record.logs);
+    if (rt.replay.ok)
+        rt.verify = verifyDigests(rt.record.metrics.digests,
+                                  rt.replay.digests);
+    return rt;
+}
+
+} // namespace qr

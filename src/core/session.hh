@@ -1,0 +1,58 @@
+/**
+ * @file
+ * High-level record/replay sessions: the one-call public entry points
+ * most users (examples, tests, benchmarks) go through.
+ */
+
+#ifndef QR_CORE_SESSION_HH
+#define QR_CORE_SESSION_HH
+
+#include "capo/sphere.hh"
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "isa/assembler.hh"
+#include "replay/replayer.hh"
+#include "replay/verifier.hh"
+
+namespace qr
+{
+
+/** Artifact of one recorded run. */
+struct RecordResult
+{
+    SphereLogs logs;
+    RunMetrics metrics;
+};
+
+/** Run @p prog with the recording hardware disabled (the baseline). */
+RunMetrics runBaseline(const Program &prog,
+                       const MachineConfig &mcfg = {},
+                       const RecorderConfig &rcfg = {});
+
+/** Run @p prog under QuickRec recording; returns logs + metrics. */
+RecordResult recordProgram(const Program &prog,
+                           const MachineConfig &mcfg = {},
+                           const RecorderConfig &rcfg = {});
+
+/** Replay a recorded sphere against the original program. */
+ReplayResult replaySphere(const Program &prog, const SphereLogs &logs);
+
+/** Record, replay, and verify end to end. */
+struct RoundTrip
+{
+    RecordResult record;
+    ReplayResult replay;
+    VerifyReport verify;
+
+    /** True iff the replay completed and every digest matched. */
+    bool deterministic() const { return replay.ok && verify.ok; }
+};
+
+/** Record @p prog, replay the logs, and verify determinism. */
+RoundTrip recordAndReplay(const Program &prog,
+                          const MachineConfig &mcfg = {},
+                          const RecorderConfig &rcfg = {});
+
+} // namespace qr
+
+#endif // QR_CORE_SESSION_HH

@@ -1,0 +1,254 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "isa/exec.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+Core::Core(CoreId id, const CoreParams &params, const Program &prog_,
+           Memory &mem_, L1Cache &cache_, RnrUnit &rnr_)
+    : coreId(id), _params(params), prog(prog_), mem(mem_), cache(cache_),
+      rnr(rnr_), sb(params.sbDepth)
+{
+    rnr.setSbOccupancyQuery([this] { return sb.size(); });
+}
+
+void
+Core::install(ThreadContext *new_ctx, Tick now)
+{
+    qr_assert(ctx == nullptr, "core %d: install over a running thread",
+              coreId);
+    ctx = new_ctx;
+    sliceStart = now;
+    sliceArmed = false;
+}
+
+ThreadContext *
+Core::uninstall()
+{
+    qr_assert(ctx != nullptr, "core %d: uninstall with no thread", coreId);
+    qr_assert(sb.empty(), "core %d: uninstall with buffered stores",
+              coreId);
+    ThreadContext *old = ctx;
+    ctx = nullptr;
+    return old;
+}
+
+void
+Core::addStall(Tick now, Tick cycles)
+{
+    stallUntil = std::max(stallUntil, now) + cycles;
+}
+
+Tick
+Core::drainOne(Tick now)
+{
+    StoreBuffer::Entry e = sb.pop();
+    CacheAccess acc = cache.write(e.addr, rnr.clock(), now);
+    mem.write(e.addr, e.data);
+    if (acc.usedBus)
+        rnr.mergeResponse(acc.observerTs);
+    rnr.onStoreDrain(e.addr, now);
+    return acc.latency;
+}
+
+void
+Core::drainStoreBuffer(Tick now)
+{
+    Tick total = 0;
+    while (!sb.empty())
+        total += drainOne(now);
+    if (total)
+        addStall(now, total);
+}
+
+Word
+Core::readAsThread(Addr addr, Tick now)
+{
+    qr_assert(sb.empty(), "kernel read with buffered stores");
+    CacheAccess acc = cache.read(addr, rnr.clock(), now);
+    if (acc.usedBus)
+        rnr.mergeResponse(acc.observerTs);
+    rnr.onLoad(addr, now);
+    return mem.read(addr);
+}
+
+void
+Core::writeAsThread(Addr addr, Word value, Tick now)
+{
+    CacheAccess acc = cache.write(addr, rnr.clock(), now);
+    mem.write(addr, value);
+    if (acc.usedBus)
+        rnr.mergeResponse(acc.observerTs);
+    rnr.onStoreDrain(addr, now);
+}
+
+std::pair<Word, Tick>
+Core::loadWord(Addr addr, Tick now)
+{
+    if (auto fwd = sb.forward(addr)) {
+        _stats.fwdLoads++;
+        rnr.onLoad(addr, now);
+        return {*fwd, 0};
+    }
+    CacheAccess acc = cache.read(addr, rnr.clock(), now);
+    if (acc.usedBus)
+        rnr.mergeResponse(acc.observerTs);
+    rnr.onLoad(addr, now);
+    return {mem.read(addr), acc.latency};
+}
+
+void
+Core::tick(Tick now)
+{
+    if (!sb.empty() && now >= sbNextDrainAt) {
+        Tick lat = drainOne(now);
+        sbNextDrainAt = now + std::max(_params.sbDrainInterval, lat);
+    }
+
+    if (!ctx) {
+        _stats.idleCycles++;
+        return;
+    }
+    if (now < stallUntil) {
+        _stats.stallCycles++;
+        return;
+    }
+    if (!sliceArmed) {
+        // First issue opportunity after dispatch: start the slice now
+        // so switch/recording charges cannot consume it entirely.
+        sliceStart = now;
+        sliceArmed = true;
+    }
+    if (trapHandler && now - sliceStart >= _params.timeslice) {
+        trapHandler->onTimeslice(*this, now);
+        if (!ctx || now < stallUntil)
+            return;
+    }
+    executeOne(now);
+}
+
+void
+Core::executeOne(Tick now)
+{
+    qr_assert(ctx->pc < prog.code.size(),
+              "tid %d: pc 0x%x past end of program (missing exit?)",
+              ctx->tid, ctx->pc);
+    const Instruction &in = prog.code[ctx->pc];
+    Word nextPc = ctx->pc + 1;
+    Tick cost = 1;
+
+    auto rs1 = [&] { return ctx->reg(in.rs1); };
+    auto rs2 = [&] { return ctx->reg(in.rs2); };
+
+    if (execPure(in, *ctx, nextPc)) {
+        if (in.op == Opcode::Mul)
+            cost = _params.mulLatency;
+        else if (in.op == Opcode::Divu || in.op == Opcode::Remu)
+            cost = _params.divLatency;
+        ctx->pc = nextPc;
+        ctx->instrs++;
+        _stats.instrs++;
+        _stats.busyCycles++;
+        rnr.onRetire(now);
+        addStall(now, cost);
+        return;
+    }
+
+    switch (in.op) {
+      case Opcode::Lw: {
+        Addr addr = rs1() + in.imm;
+        auto [val, lat] = loadWord(addr, now);
+        ctx->setReg(in.rd, val);
+        ctx->mixMem(addr, val);
+        cost += lat;
+        _stats.loads++;
+        break;
+      }
+      case Opcode::Sw: {
+        Addr addr = rs1() + in.imm;
+        qr_assert(addr % 4 == 0, "tid %d: misaligned store to 0x%x",
+                  ctx->tid, addr);
+        if (sb.full()) {
+            // Structural hazard: drain the oldest entry synchronously.
+            cost += drainOne(now);
+            _stats.sbFullStalls++;
+        }
+        sb.push(addr, rs2());
+        ctx->mixMem(addr, rs2());
+        _stats.stores++;
+        break;
+      }
+      case Opcode::Cas:
+      case Opcode::FetchAdd:
+      case Opcode::Swap: {
+        // Locked RMW: serialize the store buffer, then read-modify-write
+        // with exclusive ownership; globally visible immediately.
+        while (!sb.empty())
+            cost += drainOne(now);
+        Addr addr = rs1();
+        qr_assert(addr % 4 == 0, "tid %d: misaligned atomic to 0x%x",
+                  ctx->tid, addr);
+        CacheAccess acc = cache.write(addr, rnr.clock(), now);
+        if (acc.usedBus)
+            rnr.mergeResponse(acc.observerTs);
+        Word old = mem.read(addr);
+        if (in.op == Opcode::Cas) {
+            if (old == ctx->reg(in.rd))
+                mem.write(addr, rs2());
+        } else if (in.op == Opcode::FetchAdd) {
+            mem.write(addr, old + rs2());
+        } else {
+            mem.write(addr, ctx->reg(in.rd));
+        }
+        rnr.onLoad(addr, now);
+        rnr.onStoreDrain(addr, now);
+        ctx->setReg(in.rd, old);
+        ctx->mixMem(addr, old);
+        cost += acc.latency + _params.atomicLatency;
+        _stats.atomics++;
+        break;
+      }
+      case Opcode::Fence:
+        while (!sb.empty())
+            cost += drainOne(now);
+        _stats.fences++;
+        break;
+
+      case Opcode::Syscall: {
+        ctx->pc = nextPc;
+        ctx->instrs++;
+        _stats.instrs++;
+        _stats.syscalls++;
+        _stats.busyCycles++;
+        rnr.onRetire(now);
+        addStall(now, cost);
+        qr_assert(trapHandler != nullptr, "syscall with no kernel");
+        trapHandler->onSyscall(*this, now);
+        return;
+      }
+      case Opcode::Rdtsc:
+      case Opcode::Rdrand:
+      case Opcode::Cpuid: {
+        qr_assert(trapHandler != nullptr, "nondet instr with no kernel");
+        Word v = trapHandler->onNondet(*this, in.op, now);
+        ctx->setReg(in.rd, v);
+        break;
+      }
+      default:
+        panic("unhandled opcode %s at pc 0x%x", opcodeName(in.op),
+              ctx->pc);
+    }
+
+    ctx->pc = nextPc;
+    ctx->instrs++;
+    _stats.instrs++;
+    _stats.busyCycles++;
+    rnr.onRetire(now);
+    addStall(now, cost);
+}
+
+} // namespace qr

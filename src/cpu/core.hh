@@ -1,0 +1,173 @@
+/**
+ * @file
+ * In-order core model executing QR-ISA with a TSO store buffer.
+ *
+ * The core stands in for one FPGA-emulated Pentium core of the QuickIA
+ * platform. It executes at most one instruction per cycle, stalling for
+ * memory latency, and drains its store buffer in the background. Every
+ * architectural event the QuickRec hardware cares about is exposed to
+ * the attached RnrUnit: instruction retirement, load addresses, store
+ * drains (global visibility), and Lamport merges on bus responses.
+ * Traps (syscalls, timeslice expiry, nondeterministic instructions) are
+ * delegated to a TrapHandler implemented by the guest kernel.
+ */
+
+#ifndef QR_CPU_CORE_HH
+#define QR_CPU_CORE_HH
+
+#include <cstdint>
+
+#include "cpu/store_buffer.hh"
+#include "cpu/thread_context.hh"
+#include "isa/assembler.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "rnr/rnr_unit.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+class Core;
+
+/** Kernel-side handler for traps raised by a core. */
+class TrapHandler
+{
+  public:
+    virtual ~TrapHandler() = default;
+
+    /** A SYSCALL instruction retired; a7 holds the number. */
+    virtual void onSyscall(Core &core, Tick now) = 0;
+
+    /** The running thread's timeslice expired. */
+    virtual void onTimeslice(Core &core, Tick now) = 0;
+
+    /**
+     * A nondeterministic instruction (Rdtsc/Rdrand/Cpuid) retired;
+     * @return the value to write to its destination register.
+     */
+    virtual Word onNondet(Core &core, Opcode kind, Tick now) = 0;
+};
+
+/** Static core parameters. */
+struct CoreParams
+{
+    std::uint32_t sbDepth = 8;   //!< store-buffer entries
+    Tick sbDrainInterval = 2;    //!< min cycles between background drains
+    Tick timeslice = 20000;      //!< cycles before the timer interrupt
+    Tick mulLatency = 3;
+    Tick divLatency = 12;
+    Tick atomicLatency = 4;      //!< extra cycles for locked RMW ops
+};
+
+/** Per-core statistics. */
+struct CoreStats
+{
+    std::uint64_t instrs = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t syscalls = 0;
+    std::uint64_t busyCycles = 0;
+    std::uint64_t stallCycles = 0;
+    std::uint64_t idleCycles = 0;
+    std::uint64_t sbFullStalls = 0;
+    std::uint64_t fwdLoads = 0;
+};
+
+/** One in-order core. */
+class Core
+{
+  public:
+    Core(CoreId id, const CoreParams &params, const Program &prog,
+         Memory &mem, L1Cache &cache, RnrUnit &rnr);
+
+    /** Attach the guest kernel. */
+    void setTrapHandler(TrapHandler *h) { trapHandler = h; }
+
+    /** Advance one cycle. */
+    void tick(Tick now);
+
+    // --- scheduling interface (used by the kernel) -----------------------
+    /**
+     * Begin executing @p ctx. The timeslice arms when the thread
+     * actually issues its first instruction, not at install time, so
+     * dispatch/recording charges can never eat the whole slice and
+     * livelock the scheduler.
+     */
+    void install(ThreadContext *ctx, Tick now);
+
+    /** Stop executing; the store buffer must already be drained. */
+    ThreadContext *uninstall();
+
+    ThreadContext *current() { return ctx; }
+    bool idle() const { return ctx == nullptr; }
+
+    /** Restart the timeslice without a context switch. */
+    void
+    resetSlice(Tick now)
+    {
+        sliceStart = now;
+        sliceArmed = true;
+    }
+
+    /** Charge @p cycles of kernel/handler time to this core. */
+    void addStall(Tick now, Tick cycles);
+
+    /**
+     * Synchronously drain the whole store buffer (kernel entry is
+     * serializing), charging the accumulated latency.
+     */
+    void drainStoreBuffer(Tick now);
+
+    /**
+     * Kernel copy-to-user write attributed to the running thread: the
+     * store becomes globally visible through this core's cache path and
+     * enters the current chunk's write filter, so later remote readers
+     * are ordered after the thread's next chunk (see rnr/README.md).
+     */
+    void writeAsThread(Addr addr, Word value, Tick now);
+
+    /**
+     * Kernel copy-from-user read attributed to the running thread: it
+     * goes through this core's coherent path, enters the current
+     * chunk's read filter and merges the Lamport clock, so the value
+     * the kernel observed is ordered against every producer and every
+     * later overwriter (see rnr/README.md).
+     */
+    Word readAsThread(Addr addr, Tick now);
+
+    std::uint32_t sbSize() const { return sb.size(); }
+    CoreId id() const { return coreId; }
+    RnrUnit &rnrUnit() { return rnr; }
+    const CoreStats &stats() const { return _stats; }
+    const CoreParams &params() const { return _params; }
+
+  private:
+    void executeOne(Tick now);
+    Tick drainOne(Tick now);
+
+    /** Load a word respecting TSO forwarding; returns value + latency. */
+    std::pair<Word, Tick> loadWord(Addr addr, Tick now);
+
+    CoreId coreId;
+    CoreParams _params;
+    const Program &prog;
+    Memory &mem;
+    L1Cache &cache;
+    RnrUnit &rnr;
+    StoreBuffer sb;
+    TrapHandler *trapHandler = nullptr;
+
+    ThreadContext *ctx = nullptr;
+    Tick stallUntil = 0;
+    Tick sliceStart = 0;
+    bool sliceArmed = false;
+    Tick sbNextDrainAt = 0;
+    CoreStats _stats;
+};
+
+} // namespace qr
+
+#endif // QR_CPU_CORE_HH

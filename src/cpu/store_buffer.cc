@@ -1,0 +1,37 @@
+#include "cpu/store_buffer.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+StoreBuffer::StoreBuffer(std::uint32_t depth_) : depth(depth_)
+{
+}
+
+void
+StoreBuffer::push(Addr addr, Word data)
+{
+    qr_assert(!full(), "store buffer overflow");
+    entries.push_back({addr, data});
+}
+
+StoreBuffer::Entry
+StoreBuffer::pop()
+{
+    qr_assert(!empty(), "store buffer underflow");
+    Entry e = entries.front();
+    entries.pop_front();
+    return e;
+}
+
+std::optional<Word>
+StoreBuffer::forward(Addr addr) const
+{
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+        if (it->addr == addr)
+            return it->data;
+    return std::nullopt;
+}
+
+} // namespace qr

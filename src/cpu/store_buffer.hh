@@ -1,0 +1,63 @@
+/**
+ * @file
+ * FIFO store buffer implementing TSO store-to-load forwarding.
+ *
+ * Retired stores sit here until they drain to the memory system, at
+ * which point they become globally visible. The recording hardware
+ * samples the occupancy at chunk termination as the RSW (reordered
+ * store window) and inserts drained addresses into the then-current
+ * chunk's write filter.
+ */
+
+#ifndef QR_CPU_STORE_BUFFER_HH
+#define QR_CPU_STORE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Per-core FIFO store buffer. */
+class StoreBuffer
+{
+  public:
+    /** One retired-but-not-globally-visible store. */
+    struct Entry
+    {
+        Addr addr;
+        Word data;
+    };
+
+    explicit StoreBuffer(std::uint32_t depth);
+
+    bool empty() const { return entries.empty(); }
+    bool full() const { return entries.size() >= depth; }
+    std::uint32_t size() const
+    { return static_cast<std::uint32_t>(entries.size()); }
+
+    /** Enqueue a retired store. Must not be full. */
+    void push(Addr addr, Word data);
+
+    /** Dequeue the oldest store for drain. Must not be empty. */
+    Entry pop();
+
+    /**
+     * TSO store-to-load forwarding: value of the youngest buffered
+     * store to @p addr, if any.
+     */
+    std::optional<Word> forward(Addr addr) const;
+
+    std::uint32_t capacity() const { return depth; }
+
+  private:
+    std::uint32_t depth;
+    std::deque<Entry> entries;
+};
+
+} // namespace qr
+
+#endif // QR_CPU_STORE_BUFFER_HH

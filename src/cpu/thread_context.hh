@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Architectural state of one guest thread.
+ */
+
+#ifndef QR_CPU_THREAD_CONTEXT_HH
+#define QR_CPU_THREAD_CONTEXT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Registers + pc of a guest thread; owned by the kernel's TCB. */
+struct ThreadContext
+{
+    Tid tid = invalidTid;
+    std::array<Word, numRegs> regs{};
+    Word pc = 0;
+    /** User instructions retired by this thread. */
+    std::uint64_t instrs = 0;
+    /**
+     * Running digest of every load value and store (address + data)
+     * this thread issued, in program order. Maintained identically by
+     * the recording core and the replayer, and folded into digest():
+     * replay must reproduce not just the final state but the entire
+     * per-thread memory-access value stream.
+     */
+    std::uint64_t memDigest = 0xcbf29ce484222325ull;
+
+    /** Fold one memory access into memDigest. */
+    void
+    mixMem(Addr addr, Word value)
+    {
+        std::uint64_t h = memDigest;
+        h ^= (static_cast<std::uint64_t>(addr) << 32) | value;
+        h *= 0x100000001b3ull;
+        memDigest = h;
+    }
+
+    Word reg(int r) const { return regs[static_cast<std::size_t>(r)]; }
+
+    void
+    setReg(int r, Word v)
+    {
+        if (r != 0) // r0 is hardwired zero
+            regs[static_cast<std::size_t>(r)] = v;
+    }
+
+    /** FNV-1a digest of the architectural state (for replay checking). */
+    std::uint64_t
+    digest() const
+    {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        auto mixIn = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 0x100000001b3ull;
+        };
+        for (Word r : regs)
+            mixIn(r);
+        mixIn(pc);
+        mixIn(instrs);
+        mixIn(static_cast<std::uint64_t>(tid));
+        mixIn(memDigest);
+        return h;
+    }
+};
+
+} // namespace qr
+
+#endif // QR_CPU_THREAD_CONTEXT_HH

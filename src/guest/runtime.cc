@@ -1,0 +1,229 @@
+#include "guest/runtime.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+std::string
+GuestBuilder::newLabel(const std::string &stem)
+{
+    return csprintf("_%s_%u", stem.c_str(), labelCounter++);
+}
+
+void
+GuestBuilder::sys(Sys num)
+{
+    li(a7, static_cast<Word>(num));
+    syscall();
+}
+
+void
+GuestBuilder::sysExit(Word code)
+{
+    li(a0, code);
+    sys(Sys::Exit);
+}
+
+void
+GuestBuilder::sysWrite(Addr buf, Word len_bytes)
+{
+    li(a0, 1);
+    li(a1, buf);
+    li(a2, len_bytes);
+    sys(Sys::Write);
+}
+
+void
+GuestBuilder::sysYield()
+{
+    sys(Sys::Yield);
+}
+
+void
+GuestBuilder::spinLockAcquire(Reg addr_reg, Reg tmp, Reg tmp2)
+{
+    std::string spin = newLabel("lk_spin");
+    std::string done = newLabel("lk_done");
+
+    // Take a ticket, then spin until now-serving reaches it.
+    li(tmp2, 1);
+    fetchadd(tmp, addr_reg, tmp2); // tmp = my ticket
+    label(spin);
+    lw(tmp2, addr_reg, 4);
+    beq(tmp2, tmp, done);
+    pause();
+    j(spin);
+    label(done);
+}
+
+void
+GuestBuilder::spinLockRelease(Reg addr_reg, Reg tmp)
+{
+    // Bump now-serving with a plain store: earlier critical-section
+    // stores drain first (FIFO store buffer), and only the holder
+    // writes this word.
+    lw(tmp, addr_reg, 4);
+    addi(tmp, tmp, 1);
+    sw(tmp, addr_reg, 4);
+}
+
+void
+GuestBuilder::hybridLockAcquire(Reg addr_reg, Reg tmp, Reg tmp2, int spins)
+{
+    std::string outer = newLabel("hlk_outer");
+    std::string spin = newLabel("hlk_spin");
+    std::string try_ = newLabel("hlk_try");
+    std::string done = newLabel("hlk_done");
+
+    // Three-state futex mutex (0 free, 1 held, 2 held-with-waiters),
+    // the classic glibc/Drepper shape: the kernel is entered only
+    // under contention, release syscalls only when a waiter may
+    // exist, and -- crucially -- a thread that has ever slept
+    // re-acquires with swap(2) so the waiters flag is never lost
+    // while other sleepers remain.
+    std::string contended = newLabel("hlk_cont");
+    label(outer);
+    li(tmp2, static_cast<Word>(spins));
+    label(spin);
+    lw(tmp, addr_reg, 0);
+    beq(tmp, zero, try_);
+    pause();
+    addi(tmp2, tmp2, -1);
+    bne(tmp2, zero, spin);
+    label(contended);
+    // Acquire-or-flag: if the swap finds the lock free we own it
+    // (with a spurious waiters flag, which only costs one wake).
+    li(tmp, 2);
+    swap(tmp, addr_reg);
+    beq(tmp, zero, done);
+    mv(a0, addr_reg);
+    li(a1, 2);
+    sys(Sys::FutexWait);
+    j(contended);
+    label(try_);
+    // Uncontended fast path: CAS 0 -> 1 so an existing waiters flag
+    // (2) is never overwritten.
+    li(tmp, 0);
+    li(tmp2, 1);
+    cas(tmp, addr_reg, tmp2);
+    beq(tmp, zero, done);
+    j(outer);
+    label(done);
+}
+
+void
+GuestBuilder::hybridLockRelease(Reg addr_reg, Reg tmp)
+{
+    std::string nowake = newLabel("hlk_nowake");
+    li(tmp, 0);
+    swap(tmp, addr_reg); // old state in tmp; the lock is now free
+    addi(tmp, tmp, -2);
+    bne(tmp, zero, nowake);
+    mv(a0, addr_reg);
+    li(a1, 1);
+    sys(Sys::FutexWake);
+    label(nowake);
+}
+
+Addr
+GuestBuilder::barrierAlloc()
+{
+    return alignedBlock(2, 0);
+}
+
+Addr
+GuestBuilder::lockAlloc()
+{
+    return alignedBlock(2, 0);
+}
+
+void
+GuestBuilder::computePad(Reg val, Reg counter, int n)
+{
+    std::string loop = newLabel("pad");
+    li(counter, static_cast<Word>(n));
+    label(loop);
+    mul(val, val, val);
+    addi(val, val, 0x9e3779b9);
+    addi(counter, counter, -1);
+    bne(counter, zero, loop);
+}
+
+void
+GuestBuilder::barrierWait(Addr base, int n_threads, Reg t_addr, Reg t_old,
+                          Reg t_gen, Reg t_one)
+{
+    std::string wait = newLabel("bar_wait");
+    std::string done = newLabel("bar_done");
+
+    li(t_addr, base);
+    lw(t_gen, t_addr, 4); // my generation, read before arriving
+    li(t_one, 1);
+    fetchadd(t_old, t_addr, t_one); // arrive; t_old = previous count
+    li(t_one, static_cast<Word>(n_threads - 1));
+    bne(t_old, t_one, wait);
+    // Last arriver: reset the count, then advance the generation. The
+    // FIFO store buffer drains the reset before the generation bump.
+    sw(zero, t_addr, 0);
+    lw(t_old, t_addr, 4);
+    addi(t_old, t_old, 1);
+    sw(t_old, t_addr, 4);
+    j(done);
+    label(wait);
+    lw(t_old, t_addr, 4);
+    bne(t_old, t_gen, done);
+    pause();
+    j(wait);
+    label(done);
+}
+
+void
+GuestBuilder::emitWorkerScaffold(int n_threads,
+                                 const std::string &body_label,
+                                 const std::function<void()> &epilogue,
+                                 std::uint32_t stack_bytes)
+{
+    qr_assert(n_threads >= 1 && n_threads <= 64,
+              "scaffold supports 1..64 threads, got %d", n_threads);
+    qr_assert(stack_bytes % 64 == 0, "stack size must be line aligned");
+
+    // Static per-child stacks and the tid array for joins.
+    Addr tid_arr = n_threads > 1
+        ? block(static_cast<std::uint32_t>(n_threads - 1)) : 0;
+    std::vector<Addr> stack_tops;
+    for (int i = 1; i < n_threads; ++i) {
+        Addr base = alignedBlock(stack_bytes / 4);
+        stack_tops.push_back(base + stack_bytes);
+    }
+
+    std::string entry = newLabel("worker_entry");
+
+    // main: spawn children on their stacks.
+    for (int i = 1; i < n_threads; ++i) {
+        liLabel(a0, entry);
+        li(a1, stack_tops[static_cast<std::size_t>(i - 1)]);
+        li(a2, static_cast<Word>(i));
+        sys(Sys::Spawn);
+        li(t0, tid_arr + static_cast<Addr>(i - 1) * 4);
+        sw(a0, t0, 0);
+    }
+    // main runs the body as worker 0.
+    li(a0, 0);
+    call(body_label);
+    // join every child.
+    for (int i = 1; i < n_threads; ++i) {
+        li(t0, tid_arr + static_cast<Addr>(i - 1) * 4);
+        lw(a0, t0, 0);
+        sys(Sys::Join);
+    }
+    epilogue();
+    sysExit(0);
+
+    // Spawned workers: body(a0 = index), then exit.
+    label(entry);
+    call(body_label);
+    sysExit(0);
+}
+
+} // namespace qr

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Guest runtime library: structured QR-ISA emission helpers.
+ *
+ * Provides the synchronization and threading idioms the SPLASH-2-analog
+ * workloads are written with -- test-and-test-and-set spin locks,
+ * hybrid spin/futex locks, sense-reversing barriers, and the standard
+ * fork/join scaffold (main spawns workers, runs the body itself as
+ * worker 0, joins, then emits output and exits).
+ *
+ * Register conventions used by the helpers:
+ *  - lock/barrier helpers take explicit scratch registers and clobber
+ *    only those (plus a0..a2/a7 for the futex/syscall variants);
+ *  - the worker body is entered with a0 = worker index and must not
+ *    clobber ra (all runtime helpers except scaffold calls are inline).
+ */
+
+#ifndef QR_GUEST_RUNTIME_HH
+#define QR_GUEST_RUNTIME_HH
+
+#include <functional>
+#include <string>
+
+#include "isa/assembler.hh"
+#include "kernel/syscall.hh"
+
+namespace qr
+{
+
+/** Assembler with guest-runtime idioms. */
+class GuestBuilder : public Assembler
+{
+  public:
+    using Assembler::Assembler;
+
+    /** Fresh unique label with a readable stem. */
+    std::string newLabel(const std::string &stem);
+
+    // --- syscall shims ----------------------------------------------------
+    /** Emit a syscall with the number loaded into a7. */
+    void sys(Sys num);
+
+    /** exit(code). */
+    void sysExit(Word code = 0);
+
+    /** write(1, buf, len) with compile-time constants. */
+    void sysWrite(Addr buf, Word len_bytes);
+
+    /** yield(). */
+    void sysYield();
+
+    // --- spin synchronization (no kernel interaction) -----------------------
+    /**
+     * Acquire the ticket spin lock at (addr_reg). Layout: two words,
+     * [next-ticket, now-serving]. Ticket locks are FIFO-fair, which
+     * matters on a fully deterministic machine: an unfair
+     * test-and-set lock can starve one contender forever when probe
+     * patterns align (real hardware breaks such cycles with timing
+     * noise; our simulator will not). Clobbers @p tmp and @p tmp2.
+     */
+    void spinLockAcquire(Reg addr_reg, Reg tmp, Reg tmp2);
+
+    /** Release a ticket lock (bump now-serving). Clobbers @p tmp. */
+    void spinLockRelease(Reg addr_reg, Reg tmp);
+
+    // --- hybrid spin/futex lock (kernel interaction on contention) --------
+    /**
+     * Acquire the hybrid lock at (addr_reg): spin @p spins times, then
+     * futex-wait. Clobbers @p tmp, @p tmp2, a0, a1, a7.
+     */
+    void hybridLockAcquire(Reg addr_reg, Reg tmp, Reg tmp2, int spins = 32);
+
+    /**
+     * Release the hybrid lock and wake one waiter.
+     * Clobbers @p tmp, a0, a1, a7.
+     */
+    void hybridLockRelease(Reg addr_reg, Reg tmp);
+
+    /**
+     * Sense-reversing barrier for @p n_threads at @p base (two aligned
+     * words: [count, generation]). Clobbers the four scratch registers.
+     */
+    void barrierWait(Addr base, int n_threads, Reg t_addr, Reg t_old,
+                     Reg t_gen, Reg t_one);
+
+    /** Reserve and initialize a barrier (returns its base address). */
+    Addr barrierAlloc();
+
+    /** Reserve a cache-line-aligned lock (two words: ticket lock
+     *  [next, serving]; the hybrid futex lock uses word 0 only). */
+    Addr lockAlloc();
+
+    /**
+     * Emit an @p n-iteration register-only compute loop that mixes
+     * @p val (clobbers @p counter). Models the local floating-point
+     * work real SPLASH-2 codes do between shared accesses, keeping
+     * the sharing density -- and therefore the chunk sizes -- honest.
+     */
+    void computePad(Reg val, Reg counter, int n);
+
+    // --- fork/join scaffold ------------------------------------------------
+    /**
+     * Emit the whole program scaffold at the current position (normally
+     * index 0): main spawns @p n_threads - 1 workers on private static
+     * stacks, calls @p body_label with a0 = 0, joins every child, runs
+     * @p epilogue (checksum output etc.), and exits. Spawned workers
+     * enter a stub that calls @p body_label with a0 = worker index and
+     * exits. The body must preserve ra and use only inline helpers.
+     */
+    void emitWorkerScaffold(int n_threads, const std::string &body_label,
+                            const std::function<void()> &epilogue,
+                            std::uint32_t stack_bytes = 16384);
+
+  private:
+    unsigned labelCounter = 0;
+};
+
+} // namespace qr
+
+#endif // QR_GUEST_RUNTIME_HH

@@ -1,0 +1,95 @@
+#include "isa/assembler.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+Assembler::Assembler(Addr data_base) : dataPtr(data_base)
+{
+    qr_assert(data_base % 4 == 0, "data base %u not word aligned", data_base);
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    auto [it, inserted] = labels.emplace(name, here());
+    (void)it;
+    qr_assert(inserted, "label '%s' defined twice", name.c_str());
+}
+
+Word
+Assembler::labelAddr(const std::string &name) const
+{
+    auto it = labels.find(name);
+    qr_assert(it != labels.end(), "label '%s' not defined", name.c_str());
+    return it->second;
+}
+
+Addr
+Assembler::word(Word init)
+{
+    Addr addr = dataPtr;
+    dataPtr += 4;
+    if (init != 0)
+        dataInit.emplace_back(addr, init);
+    return addr;
+}
+
+Addr
+Assembler::block(std::uint32_t words, Word init)
+{
+    Addr addr = dataPtr;
+    dataPtr += words * 4;
+    if (init != 0)
+        for (std::uint32_t i = 0; i < words; ++i)
+            dataInit.emplace_back(addr + i * 4, init);
+    return addr;
+}
+
+Addr
+Assembler::alignedBlock(std::uint32_t words, Word init)
+{
+    dataPtr = (dataPtr + 63u) & ~63u;
+    return block(words, init);
+}
+
+void
+Assembler::poke(Addr byte_addr, Word value)
+{
+    qr_assert(byte_addr % 4 == 0 && byte_addr < dataPtr,
+              "poke outside reserved data: 0x%x", byte_addr);
+    dataInit.emplace_back(byte_addr, value);
+}
+
+void
+Assembler::emitB(Opcode op, Reg rs1, Reg rs2, const std::string &target)
+{
+    fixups.emplace_back(here(), target);
+    Reg rd = zero;
+    if (op == Opcode::Jal) {
+        // emitB encodes jumps as (rd=rs1) for j/call; rs fields unused.
+        rd = rs1;
+        rs1 = zero;
+        rs2 = zero;
+    }
+    emit({op, rd, rs1, rs2, 0});
+}
+
+Program
+Assembler::finish()
+{
+    qr_assert(!finished, "Assembler::finish called twice");
+    finished = true;
+    for (const auto &[idx, name] : fixups)
+        code[idx].imm = labelAddr(name);
+
+    Program prog;
+    prog.code = std::move(code);
+    prog.dataInit = std::move(dataInit);
+    prog.dataEnd = (dataPtr + 63u) & ~63u;
+    prog.labels = std::move(labels);
+    return prog;
+}
+
+} // namespace qr

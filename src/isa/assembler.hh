@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Programmatic QR-ISA assembler and the Program container it produces.
+ *
+ * Guest programs (the SPLASH-2-analog workloads, the guest runtime, the
+ * test kernels) are generated at simulator start-up by emitting
+ * instructions through this class. Labels provide forward references for
+ * branches and jumps; finish() resolves all fixups and returns an
+ * immutable Program.
+ */
+
+#ifndef QR_ISA_ASSEMBLER_HH
+#define QR_ISA_ASSEMBLER_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/**
+ * An assembled guest program: decoded text plus static data image.
+ *
+ * The text is Harvard-style (instruction indices, not data addresses);
+ * dataInit seeds guest data memory before the machine starts.
+ */
+struct Program
+{
+    /** Decoded instruction stream; the pc indexes this vector. */
+    std::vector<Instruction> code;
+
+    /** Initial data image: (byte address, word value) pairs. */
+    std::vector<std::pair<Addr, Word>> dataInit;
+
+    /** Entry point of the main thread (instruction index). */
+    Word entry = 0;
+
+    /** First free data byte above the static image (heap base). */
+    Addr dataEnd = 0;
+
+    /** Resolved label map, kept for debugging and the disassembler. */
+    std::map<std::string, Word> labels;
+};
+
+/**
+ * Instruction emitter with label fixups.
+ *
+ * Methods append one instruction each and are named after mnemonics.
+ * Branch/jump targets are label strings resolved in finish(); data is
+ * reserved with word()/block(), which allocate from a bump pointer
+ * starting at dataBase.
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(Addr data_base = 0x1000);
+
+    /** Current instruction index (the address of the next emission). */
+    Word here() const { return static_cast<Word>(code.size()); }
+
+    /** Bind a label to the current instruction index. */
+    void label(const std::string &name);
+
+    /** Look up a bound label. Must already be defined. */
+    Word labelAddr(const std::string &name) const;
+
+    // --- data allocation -------------------------------------------------
+    /** Reserve one initialized data word; @return its byte address. */
+    Addr word(Word init = 0);
+
+    /** Reserve @p words consecutive words; @return base byte address. */
+    Addr block(std::uint32_t words, Word init = 0);
+
+    /**
+     * Reserve a cache-line-aligned block (64-byte alignment), used for
+     * synchronization variables that must not exhibit false sharing.
+     */
+    Addr alignedBlock(std::uint32_t words, Word init = 0);
+
+    /** Set one word of previously reserved data. */
+    void poke(Addr byte_addr, Word value);
+
+    /** First free data byte (current heap base). */
+    Addr dataTop() const { return dataPtr; }
+
+    // --- ALU -------------------------------------------------------------
+    void add(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Add, rd, rs1, rs2); }
+    void sub(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Sub, rd, rs1, rs2); }
+    void mul(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Mul, rd, rs1, rs2); }
+    void divu(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Divu, rd, rs1, rs2); }
+    void remu(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Remu, rd, rs1, rs2); }
+    void and_(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::And, rd, rs1, rs2); }
+    void or_(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Or, rd, rs1, rs2); }
+    void xor_(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Xor, rd, rs1, rs2); }
+    void sll(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Sll, rd, rs1, rs2); }
+    void srl(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Srl, rd, rs1, rs2); }
+    void sra(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Sra, rd, rs1, rs2); }
+    void slt(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Slt, rd, rs1, rs2); }
+    void sltu(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Sltu, rd, rs1, rs2); }
+
+    void addi(Reg rd, Reg rs1, std::int32_t imm)
+    { emitI(Opcode::Addi, rd, rs1, static_cast<std::uint32_t>(imm)); }
+    void andi(Reg rd, Reg rs1, Word imm) { emitI(Opcode::Andi, rd, rs1, imm); }
+    void ori(Reg rd, Reg rs1, Word imm) { emitI(Opcode::Ori, rd, rs1, imm); }
+    void xori(Reg rd, Reg rs1, Word imm) { emitI(Opcode::Xori, rd, rs1, imm); }
+    void slli(Reg rd, Reg rs1, Word sh) { emitI(Opcode::Slli, rd, rs1, sh); }
+    void srli(Reg rd, Reg rs1, Word sh) { emitI(Opcode::Srli, rd, rs1, sh); }
+    void srai(Reg rd, Reg rs1, Word sh) { emitI(Opcode::Srai, rd, rs1, sh); }
+    void slti(Reg rd, Reg rs1, std::int32_t imm)
+    { emitI(Opcode::Slti, rd, rs1, static_cast<std::uint32_t>(imm)); }
+    void sltiu(Reg rd, Reg rs1, Word imm)
+    { emitI(Opcode::Sltiu, rd, rs1, imm); }
+
+    /** Load a full 32-bit immediate. */
+    void li(Reg rd, Word imm) { emitI(Opcode::Li, rd, zero, imm); }
+
+    /** Load a code label's instruction index (for indirect calls/spawn). */
+    void
+    liLabel(Reg rd, const std::string &target)
+    {
+        fixups.emplace_back(here(), target);
+        emitI(Opcode::Li, rd, zero, 0);
+    }
+
+    /** Register-to-register move (addi rd, rs, 0). */
+    void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+
+    void nop() { emit({Opcode::Nop, 0, 0, 0, 0}); }
+    void pause() { emit({Opcode::Pause, 0, 0, 0, 0}); }
+
+    // --- memory ----------------------------------------------------------
+    /** rd = mem[rs1 + imm] (imm is a byte offset; address 4-aligned). */
+    void lw(Reg rd, Reg rs1, std::int32_t imm = 0)
+    { emitI(Opcode::Lw, rd, rs1, static_cast<std::uint32_t>(imm)); }
+
+    /** mem[rs1 + imm] = rs2. */
+    void sw(Reg rs2, Reg rs1, std::int32_t imm = 0)
+    { emit({Opcode::Sw, 0, rs1, rs2, static_cast<std::uint32_t>(imm)}); }
+
+    void cas(Reg rd, Reg rs1, Reg rs2) { emitR(Opcode::Cas, rd, rs1, rs2); }
+    void fetchadd(Reg rd, Reg rs1, Reg rs2)
+    { emitR(Opcode::FetchAdd, rd, rs1, rs2); }
+    void swap(Reg rd, Reg rs1) { emitR(Opcode::Swap, rd, rs1, zero); }
+    void fence() { emit({Opcode::Fence, 0, 0, 0, 0}); }
+
+    // --- control flow ----------------------------------------------------
+    void beq(Reg rs1, Reg rs2, const std::string &target)
+    { emitB(Opcode::Beq, rs1, rs2, target); }
+    void bne(Reg rs1, Reg rs2, const std::string &target)
+    { emitB(Opcode::Bne, rs1, rs2, target); }
+    void blt(Reg rs1, Reg rs2, const std::string &target)
+    { emitB(Opcode::Blt, rs1, rs2, target); }
+    void bge(Reg rs1, Reg rs2, const std::string &target)
+    { emitB(Opcode::Bge, rs1, rs2, target); }
+    void bltu(Reg rs1, Reg rs2, const std::string &target)
+    { emitB(Opcode::Bltu, rs1, rs2, target); }
+    void bgeu(Reg rs1, Reg rs2, const std::string &target)
+    { emitB(Opcode::Bgeu, rs1, rs2, target); }
+
+    /** Unconditional jump to a label. */
+    void j(const std::string &target) { emitB(Opcode::Jal, zero, zero, target); }
+
+    /** Call a label, linking into ra. */
+    void call(const std::string &target)
+    { emitB(Opcode::Jal, ra, zero, target); }
+
+    /** Return through ra. */
+    void ret() { emit({Opcode::Jalr, 0, ra, 0, 0}); }
+
+    /** Indirect jump: pc = rs1 + imm, link into rd. */
+    void jalr(Reg rd, Reg rs1, std::int32_t imm = 0)
+    { emit({Opcode::Jalr, rd, rs1, 0, static_cast<std::uint32_t>(imm)}); }
+
+    // --- system ----------------------------------------------------------
+    void syscall() { emit({Opcode::Syscall, 0, 0, 0, 0}); }
+    void rdtsc(Reg rd) { emit({Opcode::Rdtsc, rd, 0, 0, 0}); }
+    void rdrand(Reg rd) { emit({Opcode::Rdrand, rd, 0, 0, 0}); }
+    void cpuid(Reg rd) { emit({Opcode::Cpuid, rd, 0, 0, 0}); }
+
+    /** Append a raw instruction. */
+    void emit(const Instruction &inst) { code.push_back(inst); }
+
+    /** Resolve fixups and produce the immutable Program. */
+    Program finish();
+
+  private:
+    void emitR(Opcode op, Reg rd, Reg rs1, Reg rs2)
+    { emit({op, rd, rs1, rs2, 0}); }
+
+    void emitI(Opcode op, Reg rd, Reg rs1, std::uint32_t imm)
+    { emit({op, rd, rs1, 0, imm}); }
+
+    void emitB(Opcode op, Reg rs1, Reg rs2, const std::string &target);
+
+    std::vector<Instruction> code;
+    std::map<std::string, Word> labels;
+    std::vector<std::pair<Word, std::string>> fixups;
+    std::vector<std::pair<Addr, Word>> dataInit;
+    Addr dataPtr;
+    bool finished = false;
+};
+
+} // namespace qr
+
+#endif // QR_ISA_ASSEMBLER_HH

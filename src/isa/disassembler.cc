@@ -1,0 +1,59 @@
+#include "isa/disassembler.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const char *op = opcodeName(inst.op);
+    const char *rd = regName(inst.rd);
+    const char *rs1 = regName(inst.rs1);
+    const char *rs2 = regName(inst.rs2);
+    auto simm = static_cast<std::int32_t>(inst.imm);
+
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Fence:
+      case Opcode::Syscall:
+      case Opcode::Pause:
+        return op;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Divu: case Opcode::Remu: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Slt:
+      case Opcode::Sltu:
+      case Opcode::Cas: case Opcode::FetchAdd:
+        return csprintf("%s %s, %s, %s", op, rd, rs1, rs2);
+      case Opcode::Swap:
+        return csprintf("%s %s, (%s)", op, rd, rs1);
+      case Opcode::Addi: case Opcode::Slti:
+        return csprintf("%s %s, %s, %d", op, rd, rs1, simm);
+      case Opcode::Andi: case Opcode::Ori: case Opcode::Xori:
+      case Opcode::Slli: case Opcode::Srli: case Opcode::Srai:
+      case Opcode::Sltiu:
+        return csprintf("%s %s, %s, %u", op, rd, rs1, inst.imm);
+      case Opcode::Li:
+        return csprintf("%s %s, 0x%x", op, rd, inst.imm);
+      case Opcode::Lw:
+        return csprintf("%s %s, %d(%s)", op, rd, simm, rs1);
+      case Opcode::Sw:
+        return csprintf("%s %s, %d(%s)", op, rs2, simm, rs1);
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+        return csprintf("%s %s, %s, %u", op, rs1, rs2, inst.imm);
+      case Opcode::Jal:
+        return csprintf("%s %s, %u", op, rd, inst.imm);
+      case Opcode::Jalr:
+        return csprintf("%s %s, %d(%s)", op, rd, simm, rs1);
+      case Opcode::Rdtsc: case Opcode::Rdrand: case Opcode::Cpuid:
+        return csprintf("%s %s", op, rd);
+      case Opcode::NumOpcodes:
+        break;
+    }
+    return "???";
+}
+
+} // namespace qr

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * QR-ISA disassembler: renders decoded instructions as assembly text.
+ * Used by the log-inspection example and by test failure diagnostics.
+ */
+
+#ifndef QR_ISA_DISASSEMBLER_HH
+#define QR_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace qr
+{
+
+/** Render a single instruction as assembly text. */
+std::string disassemble(const Instruction &inst);
+
+} // namespace qr
+
+#endif // QR_ISA_DISASSEMBLER_HH

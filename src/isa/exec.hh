@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared semantics of environment-free QR-ISA instructions.
+ *
+ * Both the recording core (cpu/core.cc) and the replayer execute pure
+ * ALU/branch/jump instructions through this single implementation, so
+ * record-side and replay-side semantics cannot drift apart. Memory
+ * operations, syscalls and nondeterministic instructions are handled by
+ * the caller (they differ fundamentally between record and replay).
+ */
+
+#ifndef QR_ISA_EXEC_HH
+#define QR_ISA_EXEC_HH
+
+#include "cpu/thread_context.hh"
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/**
+ * Execute @p in against @p ctx if it is a pure (environment-free)
+ * instruction; set @p next_pc accordingly (defaults to pc + 1).
+ *
+ * @return true when the instruction was handled; false when it needs
+ *         the environment (memory, kernel, or nondeterminism).
+ */
+inline bool
+execPure(const Instruction &in, ThreadContext &ctx, Word &next_pc)
+{
+    next_pc = ctx.pc + 1;
+    Word r1 = ctx.reg(in.rs1);
+    Word r2 = ctx.reg(in.rs2);
+    auto s1 = static_cast<SWord>(r1);
+    auto s2 = static_cast<SWord>(r2);
+    auto simm = static_cast<SWord>(in.imm);
+
+    switch (in.op) {
+      case Opcode::Nop:
+      case Opcode::Pause:
+        return true;
+      case Opcode::Add: ctx.setReg(in.rd, r1 + r2); return true;
+      case Opcode::Sub: ctx.setReg(in.rd, r1 - r2); return true;
+      case Opcode::Mul: ctx.setReg(in.rd, r1 * r2); return true;
+      case Opcode::Divu:
+        ctx.setReg(in.rd, r2 ? r1 / r2 : ~Word(0));
+        return true;
+      case Opcode::Remu:
+        ctx.setReg(in.rd, r2 ? r1 % r2 : r1);
+        return true;
+      case Opcode::And: ctx.setReg(in.rd, r1 & r2); return true;
+      case Opcode::Or: ctx.setReg(in.rd, r1 | r2); return true;
+      case Opcode::Xor: ctx.setReg(in.rd, r1 ^ r2); return true;
+      case Opcode::Sll: ctx.setReg(in.rd, r1 << (r2 & 31)); return true;
+      case Opcode::Srl: ctx.setReg(in.rd, r1 >> (r2 & 31)); return true;
+      case Opcode::Sra:
+        ctx.setReg(in.rd, static_cast<Word>(s1 >> (r2 & 31)));
+        return true;
+      case Opcode::Slt: ctx.setReg(in.rd, s1 < s2 ? 1 : 0); return true;
+      case Opcode::Sltu: ctx.setReg(in.rd, r1 < r2 ? 1 : 0); return true;
+      case Opcode::Addi: ctx.setReg(in.rd, r1 + in.imm); return true;
+      case Opcode::Andi: ctx.setReg(in.rd, r1 & in.imm); return true;
+      case Opcode::Ori: ctx.setReg(in.rd, r1 | in.imm); return true;
+      case Opcode::Xori: ctx.setReg(in.rd, r1 ^ in.imm); return true;
+      case Opcode::Slli:
+        ctx.setReg(in.rd, r1 << (in.imm & 31));
+        return true;
+      case Opcode::Srli:
+        ctx.setReg(in.rd, r1 >> (in.imm & 31));
+        return true;
+      case Opcode::Srai:
+        ctx.setReg(in.rd, static_cast<Word>(s1 >> (in.imm & 31)));
+        return true;
+      case Opcode::Slti: ctx.setReg(in.rd, s1 < simm ? 1 : 0); return true;
+      case Opcode::Sltiu:
+        ctx.setReg(in.rd, r1 < in.imm ? 1 : 0);
+        return true;
+      case Opcode::Li: ctx.setReg(in.rd, in.imm); return true;
+
+      case Opcode::Beq: if (r1 == r2) next_pc = in.imm; return true;
+      case Opcode::Bne: if (r1 != r2) next_pc = in.imm; return true;
+      case Opcode::Blt: if (s1 < s2) next_pc = in.imm; return true;
+      case Opcode::Bge: if (s1 >= s2) next_pc = in.imm; return true;
+      case Opcode::Bltu: if (r1 < r2) next_pc = in.imm; return true;
+      case Opcode::Bgeu: if (r1 >= r2) next_pc = in.imm; return true;
+      case Opcode::Jal:
+        ctx.setReg(in.rd, ctx.pc + 1);
+        next_pc = in.imm;
+        return true;
+      case Opcode::Jalr: {
+        Word target = r1 + in.imm;
+        ctx.setReg(in.rd, ctx.pc + 1);
+        next_pc = target;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+} // namespace qr
+
+#endif // QR_ISA_EXEC_HH

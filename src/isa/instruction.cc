@@ -1,0 +1,140 @@
+#include "isa/instruction.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+std::uint64_t
+Instruction::encode() const
+{
+    return (static_cast<std::uint64_t>(op) << 56) |
+           (static_cast<std::uint64_t>(rd & 0x3f) << 50) |
+           (static_cast<std::uint64_t>(rs1 & 0x3f) << 44) |
+           (static_cast<std::uint64_t>(rs2 & 0x3f) << 38) |
+           static_cast<std::uint64_t>(imm);
+}
+
+Instruction
+Instruction::decode(std::uint64_t bits)
+{
+    Instruction inst;
+    auto op = static_cast<std::uint8_t>(bits >> 56);
+    qr_assert(op < static_cast<std::uint8_t>(Opcode::NumOpcodes),
+              "bad opcode %u in encoded instruction", op);
+    inst.op = static_cast<Opcode>(op);
+    inst.rd = static_cast<std::uint8_t>((bits >> 50) & 0x3f);
+    inst.rs1 = static_cast<std::uint8_t>((bits >> 44) & 0x3f);
+    inst.rs2 = static_cast<std::uint8_t>((bits >> 38) & 0x3f);
+    inst.imm = static_cast<std::uint32_t>(bits);
+    return inst;
+}
+
+bool
+isMemOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Lw:
+      case Opcode::Sw:
+      case Opcode::Cas:
+      case Opcode::FetchAdd:
+      case Opcode::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isAtomic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Cas:
+      case Opcode::FetchAdd:
+      case Opcode::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isNondet(Opcode op)
+{
+    switch (op) {
+      case Opcode::Rdtsc:
+      case Opcode::Rdrand:
+      case Opcode::Cpuid:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Divu: return "divu";
+      case Opcode::Remu: return "remu";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Srai: return "srai";
+      case Opcode::Slti: return "slti";
+      case Opcode::Sltiu: return "sltiu";
+      case Opcode::Li: return "li";
+      case Opcode::Lw: return "lw";
+      case Opcode::Sw: return "sw";
+      case Opcode::Cas: return "cas";
+      case Opcode::FetchAdd: return "fetchadd";
+      case Opcode::Swap: return "swap";
+      case Opcode::Fence: return "fence";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jalr: return "jalr";
+      case Opcode::Syscall: return "syscall";
+      case Opcode::Rdtsc: return "rdtsc";
+      case Opcode::Rdrand: return "rdrand";
+      case Opcode::Cpuid: return "cpuid";
+      case Opcode::Pause: return "pause";
+      case Opcode::NumOpcodes: break;
+    }
+    return "???";
+}
+
+const char *
+regName(int reg)
+{
+    static const char *names[numRegs] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "t3", "t4",
+        "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+        "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+        "t5", "t6", "t7", "t8",
+    };
+    if (reg < 0 || reg >= numRegs)
+        return "r??";
+    return names[reg];
+}
+
+} // namespace qr

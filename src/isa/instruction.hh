@@ -1,0 +1,128 @@
+/**
+ * @file
+ * QR-ISA: the guest instruction set of the QuickRec prototype simulator.
+ *
+ * QR-ISA is a small RISC-style, 32-bit word-oriented ISA standing in for
+ * the IA-32 cores of the QuickIA platform. It was chosen so that the
+ * recording hardware observes the same event stream a real core produces:
+ * retired instructions, loads, stores (through a TSO store buffer), atomic
+ * read-modify-writes (which drain the store buffer, like x86 LOCK ops),
+ * fences, system calls, and the nondeterministic instructions that Capo3
+ * must log (RDTSC / RDRAND / CPUID analogs).
+ *
+ * Instructions are held decoded in program memory; encode()/decode()
+ * round-trip through a packed 64-bit representation used by the log
+ * tooling and tests.
+ */
+
+#ifndef QR_ISA_INSTRUCTION_HH
+#define QR_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Architectural register indices with RISC-V-flavored ABI names. */
+enum Reg : std::uint8_t
+{
+    zero = 0, //!< hardwired zero
+    ra = 1,   //!< return address
+    sp = 2,   //!< stack pointer
+    gp = 3,   //!< global pointer (unused by the runtime)
+    tp = 4,   //!< thread pointer; the kernel sets it to the tid
+    t0 = 5, t1 = 6, t2 = 7, t3 = 8, t4 = 9,
+    a0 = 10, a1 = 11, a2 = 12, a3 = 13,
+    a4 = 14, a5 = 15, a6 = 16, a7 = 17, //!< a7 carries the syscall number
+    s0 = 18, s1 = 19, s2 = 20, s3 = 21, s4 = 22,
+    s5 = 23, s6 = 24, s7 = 25, s8 = 26, s9 = 27,
+    t5 = 28, t6 = 29, t7 = 30, t8 = 31,
+};
+
+/** Number of architectural registers. */
+constexpr int numRegs = 32;
+
+/** QR-ISA opcodes. */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    // Register-register ALU.
+    Add, Sub, Mul, Divu, Remu, And, Or, Xor,
+    Sll, Srl, Sra, Slt, Sltu,
+    // Register-immediate ALU.
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti, Sltiu,
+    /** rd = imm (full 32-bit immediate load). */
+    Li,
+    // Memory (word, naturally aligned; imm is a byte offset).
+    Lw, Sw,
+    /**
+     * Atomic compare-and-swap: old = mem[rs1]; if (old == rd) mem[rs1] =
+     * rs2; rd = old. Drains the store buffer first (x86 LOCK semantics).
+     */
+    Cas,
+    /** Atomic fetch-and-add: rd = mem[rs1]; mem[rs1] += rs2. Drains SB. */
+    FetchAdd,
+    /** Atomic exchange: rd <-> mem[rs1]. Drains SB. */
+    Swap,
+    /** Store fence: drains the store buffer. */
+    Fence,
+    // Branches; imm is an absolute instruction index.
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    /** Jump and link: rd = pc + 1; pc = imm. */
+    Jal,
+    /** Jump and link register: rd = pc + 1; pc = rs1 + imm. */
+    Jalr,
+    /** System call; number in a7, args in a0..a5, result in a0. */
+    Syscall,
+    /** Read the core cycle counter (nondeterministic; input-logged). */
+    Rdtsc,
+    /** Read a hardware random number (nondeterministic; input-logged). */
+    Rdrand,
+    /** Read the current physical core id (nondeterministic under
+     *  migration; input-logged). */
+    Cpuid,
+    /** Architected "pause" hint used in spin loops (costs one cycle). */
+    Pause,
+
+    NumOpcodes,
+};
+
+/** A decoded QR-ISA instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint32_t imm = 0;
+
+    /** Pack into the canonical 64-bit encoding. */
+    std::uint64_t encode() const;
+
+    /** Unpack from the canonical 64-bit encoding. */
+    static Instruction decode(std::uint64_t bits);
+
+    bool operator==(const Instruction &o) const = default;
+};
+
+/** @return true if the opcode is a memory access (Lw/Sw/atomics). */
+bool isMemOp(Opcode op);
+
+/** @return true if the opcode is an atomic read-modify-write. */
+bool isAtomic(Opcode op);
+
+/** @return true if the opcode is nondeterministic (must be input-logged). */
+bool isNondet(Opcode op);
+
+/** @return the mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** @return the ABI name of a register index. */
+const char *regName(int reg);
+
+} // namespace qr
+
+#endif // QR_ISA_INSTRUCTION_HH

@@ -1,0 +1,414 @@
+#include "kernel/kernel.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace qr
+{
+
+Kernel::Kernel(const KernelParams &params_, std::vector<Core *> cores_,
+               Memory &mem_, OutputMap &output_)
+    : params(params_), cores(std::move(cores_)), mem(mem_),
+      output(output_), brk(params_.heapBase), inputRng(params_.inputSeed)
+{
+    qr_assert(!cores.empty(), "kernel needs at least one core");
+    qr_assert(params.heapLimit > params.heapBase,
+              "heap range is empty or inverted");
+    for (Core *c : cores)
+        c->setTrapHandler(this);
+}
+
+void
+Kernel::debugDump() const
+{
+    for (const auto &[tid, t] : threads)
+        inform("tid %d: %s pc=0x%x core=%d futex=0x%x join=%d "
+               "instrs=%llu",
+               tid, threadStateName(t->state), t->ctx.pc, t->runningOn,
+               t->futexAddr, t->joinTarget,
+               static_cast<unsigned long long>(t->ctx.instrs));
+}
+
+KThread &
+Kernel::thread(Tid tid)
+{
+    auto it = threads.find(tid);
+    qr_assert(it != threads.end(), "no such thread %d", tid);
+    return *it->second;
+}
+
+KThread &
+Kernel::currentThread(Core &core)
+{
+    qr_assert(core.current() != nullptr, "no thread on core %d",
+              core.id());
+    return thread(core.current()->tid);
+}
+
+Tid
+Kernel::createThread(Addr pc, Word sp, Word arg)
+{
+    Tid tid = nextTid++;
+    auto t = std::make_unique<KThread>();
+    t->tid = tid;
+    t->ctx.tid = tid;
+    t->ctx.pc = pc;
+    t->ctx.setReg(Reg::sp, sp);
+    t->ctx.setReg(Reg::tp, static_cast<Word>(tid));
+    t->ctx.setReg(Reg::a0, arg);
+    t->state = ThreadState::Ready;
+    threads.emplace(tid, std::move(t));
+    liveThreads++;
+    scheduler.enqueue(tid);
+    return tid;
+}
+
+Tid
+Kernel::startMainThread(Addr entry_pc, Word sp)
+{
+    Tid tid = createThread(entry_pc, sp, 0);
+    if (rsm)
+        rsm->threadStarted(thread(tid), nullptr, nullptr, 0);
+    return tid;
+}
+
+void
+Kernel::tick(Tick now)
+{
+    if (scheduler.empty())
+        return;
+    for (Core *core : cores) {
+        if (!core->idle())
+            continue;
+        Tid tid = scheduler.dequeue();
+        if (tid == invalidTid)
+            break;
+        KThread &t = thread(tid);
+        qr_assert(t.state == ThreadState::Ready,
+                  "dispatching non-ready thread %d", tid);
+        t.state = ThreadState::Running;
+        if (t.lastRanOn != invalidCore && t.lastRanOn != core->id())
+            _stats.migrations++;
+        t.runningOn = core->id();
+        tracef(TraceFlag::Sched, "tid %d -> core %d @%llu", tid,
+               core->id(), static_cast<unsigned long long>(now));
+        core->install(&t.ctx, now);
+        core->addStall(now, params.ctxSwitchCost);
+        _stats.contextSwitches++;
+        if (rsm)
+            rsm->contextSwitchIn(t, *core, now);
+        deliverPendingSignal(t, *core, now);
+    }
+}
+
+void
+Kernel::deschedule(Core &core, KThread &t, ThreadState new_state, Tick now)
+{
+    core.drainStoreBuffer(now);
+    if (rsm)
+        rsm->contextSwitchOut(t, core, now);
+    core.uninstall();
+    core.addStall(now, params.ctxSwitchCost);
+    t.lastRanOn = t.runningOn;
+    t.runningOn = invalidCore;
+    t.state = new_state;
+    if (new_state == ThreadState::Ready)
+        scheduler.enqueue(t.tid);
+}
+
+void
+Kernel::onTimeslice(Core &core, Tick now)
+{
+    KThread &t = currentThread(core);
+    if (scheduler.empty()) {
+        // Nobody is waiting; skip the switch but still take the timer
+        // interrupt: it is a kernel entry, so the store buffer drains
+        // and the chunk terminates, then signals are checked and the
+        // slice restarts.
+        core.resetSlice(now);
+        core.drainStoreBuffer(now);
+        core.addStall(now, params.syscallBaseCost);
+        if (rsm)
+            rsm->kernelEntry(t, core, now);
+        deliverPendingSignal(t, core, now);
+        return;
+    }
+    _stats.preemptions++;
+    deschedule(core, t, ThreadState::Ready, now);
+}
+
+Word
+Kernel::onNondet(Core &core, Opcode kind, Tick now)
+{
+    KThread &t = currentThread(core);
+    Word value = 0;
+    switch (kind) {
+      case Opcode::Rdtsc:
+        value = static_cast<Word>(now);
+        break;
+      case Opcode::Rdrand:
+        value = inputRng.next32();
+        break;
+      case Opcode::Cpuid:
+        value = static_cast<Word>(core.id());
+        break;
+      default:
+        panic("onNondet with non-nondet opcode");
+    }
+    if (rsm)
+        rsm->nondetLogged(t, kind, value, core, now);
+    return value;
+}
+
+void
+Kernel::deliverPendingSignal(KThread &t, Core &core, Tick now)
+{
+    if (t.pendingSignals.empty() || t.inHandler || !t.sigHandlerPc)
+        return;
+    Word signo = t.pendingSignals.front();
+    t.pendingSignals.pop_front();
+    t.savedPc = t.ctx.pc;
+    t.ctx.pc = t.sigHandlerPc;
+    t.inHandler = true;
+    // Post the signal number to the registered mailbox; attributed to
+    // the thread so the write enters its current chunk's write set.
+    core.writeAsThread(t.sigMailbox, signo, now);
+    _stats.signalsDelivered++;
+    tracef(TraceFlag::Signal, "tid %d: signo %u delivered (pc 0x%x -> 0x%x)",
+           t.tid, signo, t.savedPc, t.ctx.pc);
+    if (rsm)
+        rsm->signalDelivered(t, signo, t.sigHandlerPc, t.savedPc,
+                             t.sigMailbox, core, now);
+}
+
+void
+Kernel::wakeFromSyscall(KThread &t, Word ret, Core &charge_core, Tick now)
+{
+    qr_assert(t.state == ThreadState::Blocked,
+              "waking non-blocked thread %d", t.tid);
+    // Capo3 propagates the recording timestamp along kernel wake edges
+    // (join/futex): the woken thread's next chunk is ordered after
+    // everything the waker has logged.
+    t.lastClock = std::max(t.lastClock,
+                           charge_core.rnrUnit().clock());
+    t.ctx.setReg(Reg::a0, ret);
+    t.futexAddr = 0;
+    t.joinTarget = invalidTid;
+    t.state = ThreadState::Ready;
+    scheduler.enqueue(t.tid);
+    if (rsm) {
+        Word num = t.ctx.reg(Reg::a7);
+        rsm->syscallLogged(t, num, ret, nullptr, false, 0, &charge_core,
+                           now);
+    }
+}
+
+void
+Kernel::onSyscall(Core &core, Tick now)
+{
+    KThread &t = currentThread(core);
+    t.syscallCount++;
+    _stats.syscalls++;
+    Word num = t.ctx.reg(Reg::a7);
+    if (num < 32)
+        _stats.syscallsByNum[num]++;
+
+    tracef(TraceFlag::Syscall, "tid %d: %s(%u, %u, %u) @%llu", t.tid,
+           syscallName(static_cast<Sys>(num)), t.ctx.reg(Reg::a0),
+           t.ctx.reg(Reg::a1), t.ctx.reg(Reg::a2),
+           static_cast<unsigned long long>(now));
+
+    // Kernel entry is serializing: the store buffer drains before any
+    // kernel work, so syscall-terminated chunks always carry RSW = 0.
+    core.drainStoreBuffer(now);
+    core.addStall(now, params.syscallBaseCost);
+    if (rsm)
+        rsm->kernelEntry(t, core, now);
+
+    doSyscall(t, core, now);
+
+    if (t.state == ThreadState::Running)
+        deliverPendingSignal(t, core, now);
+}
+
+void
+Kernel::doSyscall(KThread &t, Core &core, Tick now)
+{
+    Word num = t.ctx.reg(Reg::a7);
+    Word a0 = t.ctx.reg(Reg::a0);
+    Word a1 = t.ctx.reg(Reg::a1);
+    Word a2 = t.ctx.reg(Reg::a2);
+
+    auto finish = [&](Word ret, const CopyToUser *copy = nullptr,
+                      bool has_new_pc = false, Word new_pc = 0) {
+        if (!(num == static_cast<Word>(Sys::Sigreturn)))
+            t.ctx.setReg(Reg::a0, ret);
+        if (rsm)
+            rsm->syscallLogged(t, num, ret, copy, has_new_pc, new_pc,
+                               &core, now);
+    };
+
+    switch (static_cast<Sys>(num)) {
+      case Sys::Exit: {
+        exits[t.tid] = ThreadExitInfo{t.ctx.digest(), t.ctx.instrs, a0};
+        if (rsm)
+            rsm->threadExited(t, core, now);
+        // Wake joiners (in block order).
+        std::vector<KThread *> joiners;
+        for (auto &[tid, tp] : threads)
+            if (tp->state == ThreadState::Blocked &&
+                tp->joinTarget == t.tid)
+                joiners.push_back(tp.get());
+        std::sort(joiners.begin(), joiners.end(),
+                  [](const KThread *x, const KThread *y) {
+                      return x->blockSeq < y->blockSeq;
+                  });
+        for (KThread *j : joiners)
+            wakeFromSyscall(*j, 0, core, now);
+        deschedule(core, t, ThreadState::Exited, now);
+        liveThreads--;
+        return;
+      }
+      case Sys::Write: {
+        qr_assert(a2 % 4 == 0, "tid %d: write length not word multiple",
+                  t.tid);
+        if (a2 == 0) {
+            finish(0);
+            return;
+        }
+        std::vector<std::uint8_t> &stream = output[t.tid];
+        for (Word off = 0; off < a2; off += 4) {
+            // Coherent copy-from-user: ordered against every producer
+            // and later overwriter of the buffer.
+            Word w = core.readAsThread(a1 + off, now);
+            for (int b = 0; b < 4; ++b)
+                stream.push_back(
+                    static_cast<std::uint8_t>(w >> (8 * b)));
+        }
+        _stats.bytesWritten += a2;
+        core.addStall(now, params.copyPerWord * (a2 / 4));
+        finish(a2);
+        return;
+      }
+      case Sys::Read: {
+        qr_assert(a2 % 4 == 0, "tid %d: read length not word multiple",
+                  t.tid);
+        CopyToUser copy;
+        copy.addr = a1;
+        for (Word off = 0; off < a2; off += 4) {
+            Word w = inputRng.next32();
+            core.writeAsThread(a1 + off, w, now);
+            copy.words.push_back(w);
+        }
+        _stats.bytesCopiedToUser += a2;
+        core.addStall(now, params.copyPerWord * (a2 / 4));
+        finish(a2, &copy);
+        return;
+      }
+      case Sys::Sbrk: {
+        Word bytes = (a0 + 63u) & ~63u;
+        qr_assert(brk + bytes <= params.heapLimit,
+                  "tid %d: out of guest heap (brk 0x%x + 0x%x)", t.tid,
+                  brk, bytes);
+        Word old = brk;
+        brk += bytes;
+        finish(old);
+        return;
+      }
+      case Sys::GetTid:
+        finish(static_cast<Word>(t.tid));
+        return;
+      case Sys::Time:
+        finish(static_cast<Word>(now));
+        return;
+      case Sys::Random:
+        finish(inputRng.next32());
+        return;
+      case Sys::Yield:
+        finish(0);
+        if (!scheduler.empty())
+            deschedule(core, t, ThreadState::Ready, now);
+        return;
+      case Sys::Spawn: {
+        Tid child = createThread(a0, a1, a2);
+        _stats.threadsSpawned++;
+        if (rsm)
+            rsm->threadStarted(thread(child), &t, &core, now);
+        finish(static_cast<Word>(child));
+        return;
+      }
+      case Sys::Join: {
+        auto it = threads.find(static_cast<Tid>(a0));
+        qr_assert(it != threads.end(), "tid %d: join on unknown tid %u",
+                  t.tid, a0);
+        if (it->second->state == ThreadState::Exited) {
+            finish(0);
+            return;
+        }
+        t.joinTarget = static_cast<Tid>(a0);
+        t.blockSeq = ++blockCounter;
+        deschedule(core, t, ThreadState::Blocked, now);
+        return; // result logged at wake
+      }
+      case Sys::FutexWait: {
+        if (mem.read(a0) != a1) {
+            finish(futexEagain);
+            return;
+        }
+        t.futexAddr = a0;
+        t.blockSeq = ++blockCounter;
+        deschedule(core, t, ThreadState::Blocked, now);
+        return; // result logged at wake
+      }
+      case Sys::FutexWake: {
+        std::vector<KThread *> waiters;
+        for (auto &[tid, tp] : threads)
+            if (tp->state == ThreadState::Blocked &&
+                tp->futexAddr == a0 && tp->futexAddr != 0)
+                waiters.push_back(tp.get());
+        std::sort(waiters.begin(), waiters.end(),
+                  [](const KThread *x, const KThread *y) {
+                      return x->blockSeq < y->blockSeq;
+                  });
+        Word count = 0;
+        for (KThread *w : waiters) {
+            if (count >= a1)
+                break;
+            wakeFromSyscall(*w, 0, core, now);
+            count++;
+        }
+        finish(count);
+        return;
+      }
+      case Sys::Kill: {
+        auto it = threads.find(static_cast<Tid>(a0));
+        if (it == threads.end() ||
+            it->second->state == ThreadState::Exited) {
+            finish(~Word(0));
+            return;
+        }
+        it->second->pendingSignals.push_back(a1);
+        finish(0);
+        return;
+      }
+      case Sys::Sigaction:
+        t.sigHandlerPc = a0;
+        t.sigMailbox = a1;
+        finish(0);
+        return;
+      case Sys::Sigreturn: {
+        qr_assert(t.inHandler, "tid %d: sigreturn outside handler",
+                  t.tid);
+        Word resume = t.savedPc;
+        t.ctx.pc = resume;
+        t.inHandler = false;
+        finish(0, nullptr, /* has_new_pc = */ true, resume);
+        return;
+      }
+    }
+    panic("tid %d: unknown syscall %u at pc 0x%x", t.tid, num, t.ctx.pc);
+}
+
+} // namespace qr

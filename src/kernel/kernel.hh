@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The guest operating system model.
+ *
+ * Plays the role of the modified Linux kernel in QuickRec: it owns the
+ * threads and run queue, implements system calls and signal delivery,
+ * and drives the per-core recording hardware indirectly through the
+ * RsmHooks interface implemented by Capo3's Replay Sphere Manager. When
+ * no RSM is attached the kernel behaves identically except that nothing
+ * is logged and no recording costs are charged -- that is the baseline
+ * configuration against which recording overhead is measured.
+ */
+
+#ifndef QR_KERNEL_KERNEL_HH
+#define QR_KERNEL_KERNEL_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "kernel/scheduler.hh"
+#include "kernel/syscall.hh"
+#include "kernel/thread.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Data the kernel copied into user memory during a syscall. */
+struct CopyToUser
+{
+    Addr addr = 0;
+    std::vector<Word> words;
+};
+
+/**
+ * Capo3's kernel-side hooks (implemented by capo::Rsm). Each hook both
+ * writes the input log and charges the recording software cost to the
+ * core involved.
+ */
+class RsmHooks
+{
+  public:
+    virtual ~RsmHooks() = default;
+
+    /** A recorded thread entered the kernel: terminate its chunk. */
+    virtual void kernelEntry(KThread &t, Core &core, Tick now) = 0;
+
+    /**
+     * A syscall result is known (possibly at wake time for blocking
+     * calls). @p charge_core is the core doing the kernel work, which
+     * may differ from the thread's core (e.g. futex wake).
+     */
+    virtual void syscallLogged(KThread &t, Word num, Word ret,
+                               const CopyToUser *copy, bool has_new_pc,
+                               Word new_pc, Core *charge_core,
+                               Tick now) = 0;
+
+    /** A nondeterministic instruction retired. */
+    virtual void nondetLogged(KThread &t, Opcode kind, Word value,
+                              Core &core, Tick now) = 0;
+
+    /** A thread joined the sphere (parent null for the root thread). */
+    virtual void threadStarted(KThread &child, KThread *parent,
+                               Core *parent_core, Tick now) = 0;
+
+    /** A thread exited. */
+    virtual void threadExited(KThread &t, Core &core, Tick now) = 0;
+
+    /** A signal was delivered (at a chunk boundary). */
+    virtual void signalDelivered(KThread &t, Word signo, Word handler_pc,
+                                 Word saved_pc, Addr mailbox,
+                                 Core &core, Tick now) = 0;
+
+    /** Thread descheduled: terminate chunk, save recording context. */
+    virtual void contextSwitchOut(KThread &t, Core &core, Tick now) = 0;
+
+    /** Thread dispatched: restore recording context, enable the unit. */
+    virtual void contextSwitchIn(KThread &t, Core &core, Tick now) = 0;
+};
+
+/** Kernel configuration. */
+struct KernelParams
+{
+    Tick syscallBaseCost = 150; //!< kernel entry/exit (baseline too)
+    Tick ctxSwitchCost = 350;   //!< scheduler + state save (baseline too)
+    Tick copyPerWord = 1;       //!< copy_to_user work per word (baseline)
+    Addr heapBase = 0;          //!< sbrk arena start
+    Addr heapLimit = 0;         //!< sbrk arena end
+    std::uint64_t inputSeed = 0x517ec0de; //!< external-input entropy
+};
+
+/** Kernel-level statistics. */
+struct KernelStats
+{
+    std::uint64_t syscalls = 0;
+    std::uint64_t syscallsByNum[32] = {};
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t signalsDelivered = 0;
+    std::uint64_t threadsSpawned = 0;
+    std::uint64_t bytesCopiedToUser = 0;
+    std::uint64_t bytesWritten = 0; //!< guest console output
+};
+
+/** Final architectural state of an exited thread (replay checking). */
+struct ThreadExitInfo
+{
+    std::uint64_t regDigest = 0;
+    std::uint64_t instrs = 0;
+    Word exitCode = 0;
+
+    bool operator==(const ThreadExitInfo &o) const = default;
+};
+
+/** Per-thread console output streams (fd 1). */
+using OutputMap = std::map<Tid, std::vector<std::uint8_t>>;
+
+/** The guest OS. */
+class Kernel : public TrapHandler
+{
+  public:
+    Kernel(const KernelParams &params, std::vector<Core *> cores,
+           Memory &mem, OutputMap &output);
+
+    /** Attach Capo3's RSM (null = baseline, not recording). */
+    void setRsm(RsmHooks *r) { rsm = r; }
+
+    /** Create and enqueue the initial thread. */
+    Tid startMainThread(Addr entry_pc, Word sp);
+
+    /** Dispatch runnable threads onto idle cores. Call every cycle. */
+    void tick(Tick now);
+
+    bool allExited() const { return liveThreads == 0; }
+
+    // --- TrapHandler ------------------------------------------------------
+    void onSyscall(Core &core, Tick now) override;
+    void onTimeslice(Core &core, Tick now) override;
+    Word onNondet(Core &core, Opcode kind, Tick now) override;
+
+    const std::map<Tid, ThreadExitInfo> &exitInfo() const { return exits; }
+    const KernelStats &stats() const { return _stats; }
+
+    /** Print every thread's state/pc to stderr (deadlock postmortem). */
+    void debugDump() const;
+
+    /** Look up a thread (must exist). */
+    KThread &thread(Tid tid);
+
+  private:
+    KThread &currentThread(Core &core);
+    Tid createThread(Addr pc, Word sp, Word arg);
+    void deschedule(Core &core, KThread &t, ThreadState new_state,
+                    Tick now);
+    void wakeFromSyscall(KThread &t, Word ret, Core &charge_core,
+                         Tick now);
+    void deliverPendingSignal(KThread &t, Core &core, Tick now);
+    void doSyscall(KThread &t, Core &core, Tick now);
+
+    KernelParams params;
+    std::vector<Core *> cores;
+    Memory &mem;
+    OutputMap &output;
+    RsmHooks *rsm = nullptr;
+
+    Scheduler scheduler;
+    std::map<Tid, std::unique_ptr<KThread>> threads;
+    Tid nextTid = 1;
+    int liveThreads = 0;
+    std::uint64_t blockCounter = 0;
+    Addr brk;
+    Rng inputRng;
+    std::map<Tid, ThreadExitInfo> exits;
+    KernelStats _stats;
+};
+
+} // namespace qr
+
+#endif // QR_KERNEL_KERNEL_HH

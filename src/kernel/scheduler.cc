@@ -1,0 +1,22 @@
+#include "kernel/scheduler.hh"
+
+namespace qr
+{
+
+void
+Scheduler::enqueue(Tid tid)
+{
+    queue.push_back(tid);
+}
+
+Tid
+Scheduler::dequeue()
+{
+    if (queue.empty())
+        return invalidTid;
+    Tid t = queue.front();
+    queue.pop_front();
+    return t;
+}
+
+} // namespace qr

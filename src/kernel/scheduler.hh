@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Round-robin run queue. Threads are dispatched to idle cores in FIFO
+ * order with no affinity, so threads migrate across cores -- exercising
+ * the save/restore of the QuickRec recording context that Capo3
+ * performs at every context switch.
+ */
+
+#ifndef QR_KERNEL_SCHEDULER_HH
+#define QR_KERNEL_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Global FIFO ready queue. */
+class Scheduler
+{
+  public:
+    /** Append a runnable thread. */
+    void enqueue(Tid tid);
+
+    /** Pop the next runnable thread, or invalidTid if none. */
+    Tid dequeue();
+
+    bool empty() const { return queue.empty(); }
+    std::size_t size() const { return queue.size(); }
+
+  private:
+    std::deque<Tid> queue;
+};
+
+} // namespace qr
+
+#endif // QR_KERNEL_SCHEDULER_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Guest system-call numbers and ABI.
+ *
+ * Convention: number in a7, arguments in a0..a2, result in a0.
+ * Every syscall is a kernel entry: the store buffer drains and, when a
+ * replay sphere is recording, the current chunk terminates and the
+ * result (plus any data copied to user space) is input-logged.
+ */
+
+#ifndef QR_KERNEL_SYSCALL_HH
+#define QR_KERNEL_SYSCALL_HH
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Guest system calls. */
+enum class Sys : Word
+{
+    Exit = 1,      //!< a0 = exit code
+    Write = 2,     //!< a0 = fd, a1 = buf, a2 = len bytes (multiple of 4)
+    Read = 3,      //!< a0 = fd, a1 = buf, a2 = len bytes; external input
+    Sbrk = 4,      //!< a0 = bytes; returns old break (64-byte aligned)
+    GetTid = 5,
+    Time = 6,      //!< current cycle count (nondeterministic)
+    Random = 7,    //!< kernel entropy (nondeterministic)
+    Yield = 8,
+    Spawn = 9,     //!< a0 = pc, a1 = sp, a2 = arg; returns child tid
+    Join = 10,     //!< a0 = tid; blocks until it exits
+    FutexWait = 11, //!< a0 = addr, a1 = expected; 0 = woken, 1 = EAGAIN
+    FutexWake = 12, //!< a0 = addr, a1 = max waiters; returns count woken
+    Kill = 13,     //!< a0 = tid, a1 = signo
+    Sigaction = 14, //!< a0 = handler pc, a1 = signo mailbox address
+    Sigreturn = 15, //!< return from a signal handler
+};
+
+/** FutexWait result when the expected value did not match. */
+constexpr Word futexEagain = 1;
+
+/** @return name of a syscall for diagnostics. */
+const char *syscallName(Sys s);
+
+} // namespace qr
+
+#endif // QR_KERNEL_SYSCALL_HH

@@ -1,0 +1,43 @@
+#include "kernel/thread.hh"
+
+#include "kernel/syscall.hh"
+
+namespace qr
+{
+
+const char *
+threadStateName(ThreadState s)
+{
+    switch (s) {
+      case ThreadState::Ready: return "ready";
+      case ThreadState::Running: return "running";
+      case ThreadState::Blocked: return "blocked";
+      case ThreadState::Exited: return "exited";
+    }
+    return "?";
+}
+
+const char *
+syscallName(Sys s)
+{
+    switch (s) {
+      case Sys::Exit: return "exit";
+      case Sys::Write: return "write";
+      case Sys::Read: return "read";
+      case Sys::Sbrk: return "sbrk";
+      case Sys::GetTid: return "gettid";
+      case Sys::Time: return "time";
+      case Sys::Random: return "random";
+      case Sys::Yield: return "yield";
+      case Sys::Spawn: return "spawn";
+      case Sys::Join: return "join";
+      case Sys::FutexWait: return "futex-wait";
+      case Sys::FutexWake: return "futex-wake";
+      case Sys::Kill: return "kill";
+      case Sys::Sigaction: return "sigaction";
+      case Sys::Sigreturn: return "sigreturn";
+    }
+    return "?";
+}
+
+} // namespace qr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Kernel thread control block.
+ */
+
+#ifndef QR_KERNEL_THREAD_HH
+#define QR_KERNEL_THREAD_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "cpu/thread_context.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Lifecycle states of a guest thread. */
+enum class ThreadState
+{
+    Ready,
+    Running,
+    Blocked,
+    Exited,
+};
+
+/** @return name of a thread state. */
+const char *threadStateName(ThreadState s);
+
+/** The kernel's per-thread bookkeeping (TCB). */
+struct KThread
+{
+    Tid tid = invalidTid;
+    ThreadContext ctx;
+    ThreadState state = ThreadState::Ready;
+    CoreId runningOn = invalidCore;
+    CoreId lastRanOn = invalidCore;
+
+    // --- blocking ---------------------------------------------------------
+    /** Nonzero while blocked in FutexWait. */
+    Addr futexAddr = 0;
+    /** Valid while blocked in Join. */
+    Tid joinTarget = invalidTid;
+    /** Order in which the thread blocked (FIFO wake fairness). */
+    std::uint64_t blockSeq = 0;
+
+    // --- signals ------------------------------------------------------------
+    Word sigHandlerPc = 0;
+    Addr sigMailbox = 0;
+    std::deque<Word> pendingSignals;
+    bool inHandler = false;
+    Word savedPc = 0;
+
+    // --- Capo3 recording context -------------------------------------------
+    /**
+     * Lamport clock captured when the thread last left a core; restored
+     * as a clock floor at the next dispatch so per-thread chunk
+     * timestamps stay monotonic across migration.
+     */
+    Timestamp lastClock = 0;
+
+    // --- accounting ---------------------------------------------------------
+    std::uint64_t syscallCount = 0;
+
+    bool runnable() const { return state == ThreadState::Ready; }
+};
+
+} // namespace qr
+
+#endif // QR_KERNEL_THREAD_HH

@@ -1,0 +1,87 @@
+#include "mem/bus.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+const char *
+busOpName(BusOp op)
+{
+    switch (op) {
+      case BusOp::BusRd: return "BusRd";
+      case BusOp::BusRdX: return "BusRdX";
+      case BusOp::BusUpgr: return "BusUpgr";
+    }
+    return "?";
+}
+
+Bus::Bus(const BusParams &params) : _params(params)
+{
+}
+
+void
+Bus::attachSnooper(SnoopClient *client)
+{
+    snoopers.push_back(client);
+}
+
+void
+Bus::attachObserver(BusObserver *observer)
+{
+    observers.push_back(observer);
+}
+
+BusResult
+Bus::transact(const BusTxn &txn, Tick now)
+{
+    BusResult res;
+
+    // Queueing under contention.
+    Tick start = std::max(now, busyUntil);
+    res.latency = start - now;
+    _stats.queueCycles += res.latency;
+    busyUntil = start + _params.occupancy;
+    res.latency += _params.occupancy;
+    _stats.txns[static_cast<int>(txn.op)]++;
+
+    // Snoop every other cache.
+    for (SnoopClient *c : snoopers) {
+        if (c->snoopId() == txn.requester)
+            continue;
+        SnoopReply r = c->snoop(txn);
+        res.sharedInOthers |= r.hadLine;
+        res.dirtyInOthers |= r.hadDirty;
+    }
+
+    // Notify every other observer; collect their clocks for the
+    // requester-side Lamport merge.
+    for (BusObserver *o : observers) {
+        if (o->observerId() == txn.requester)
+            continue;
+        res.maxObserverTs = std::max(res.maxObserverTs,
+                                     o->observeRemote(txn, now));
+    }
+
+    // Data return latency for fills.
+    if (txn.op != BusOp::BusUpgr) {
+        res.latency += res.dirtyInOthers ? _params.cacheToCache
+                                         : _params.memLatency;
+    }
+    return res;
+}
+
+Tick
+Bus::occupyForLog(Tick now, Tick cycles)
+{
+    Tick start = std::max(now, busyUntil);
+    Tick wait = start - now;
+    busyUntil = start + cycles;
+    _stats.cbufWrites++;
+    _stats.queueCycles += wait;
+    return wait;
+}
+
+} // namespace qr

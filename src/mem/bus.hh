@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Snooping coherence bus with Lamport-clock piggybacking.
+ *
+ * This is the fabric the QuickRec recording hardware taps. Two kinds of
+ * agents attach:
+ *
+ *  - SnoopClient: the L1 caches, which update MESI state in response to
+ *    remote transactions and report whether they held the line.
+ *  - BusObserver: the per-core RnR units. Every transaction is presented
+ *    to every observer except the requester's own; the observer merges
+ *    its Lamport clock with the request timestamp (after performing its
+ *    conflict check against the pre-merge clock) and returns its clock,
+ *    which the requester merges in turn.
+ *
+ * The merge-on-every-transaction rule -- not just on filter hits -- is
+ * what makes chunk ordering sound after Bloom filters are flash-cleared
+ * at chunk boundaries: any later communication through a line raises the
+ * reader's clock above the writer's already-logged chunk timestamps.
+ */
+
+#ifndef QR_MEM_BUS_HH
+#define QR_MEM_BUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Coherence transaction types on the snooping bus. */
+enum class BusOp : std::uint8_t
+{
+    BusRd,   //!< read miss: fetch a line for sharing
+    BusRdX,  //!< write miss: fetch a line for exclusive ownership
+    BusUpgr, //!< write hit in Shared: invalidate other sharers
+};
+
+/** @return mnemonic for a bus operation. */
+const char *busOpName(BusOp op);
+
+/** One coherence transaction as broadcast to snoopers and observers. */
+struct BusTxn
+{
+    BusOp op;
+    Addr lineAddr;      //!< line-aligned byte address
+    CoreId requester;
+    Timestamp reqTs;    //!< requester's Lamport clock at issue
+};
+
+/** What a snooped cache reports back about a transaction. */
+struct SnoopReply
+{
+    bool hadLine = false;  //!< line was valid here (any of M/E/S)
+    bool hadDirty = false; //!< line was Modified here (cache-to-cache)
+};
+
+/** Interface for coherence participants (L1 caches). */
+class SnoopClient
+{
+  public:
+    virtual ~SnoopClient() = default;
+
+    /** Process a remote transaction; update MESI state; report. */
+    virtual SnoopReply snoop(const BusTxn &txn) = 0;
+
+    /** Core this cache belongs to (the bus skips the requester). */
+    virtual CoreId snoopId() const = 0;
+};
+
+/** Interface for transaction observers (the per-core RnR units). */
+class BusObserver
+{
+  public:
+    virtual ~BusObserver() = default;
+
+    /**
+     * Observe a remote transaction: perform the chunk conflict check
+     * against the pre-merge clock, then merge with txn.reqTs.
+     * @return this observer's (post-merge) Lamport clock.
+     */
+    virtual Timestamp observeRemote(const BusTxn &txn, Tick now) = 0;
+
+    /** Core this observer belongs to. */
+    virtual CoreId observerId() const = 0;
+};
+
+/** Result of a bus transaction, as seen by the requester. */
+struct BusResult
+{
+    Tick latency = 0;        //!< total cycles incl. queueing + data return
+    bool sharedInOthers = false;
+    bool dirtyInOthers = false;
+    /** Max observer clock returned; requester merges its clock with it. */
+    Timestamp maxObserverTs = 0;
+};
+
+/** Timing parameters of the bus and the levels behind it. */
+struct BusParams
+{
+    Tick occupancy = 4;     //!< cycles the bus is busy per transaction
+    Tick memLatency = 30;   //!< line fill from DRAM
+    Tick cacheToCache = 12; //!< line supplied by a remote M owner
+};
+
+/** Aggregate bus statistics. */
+struct BusStats
+{
+    std::uint64_t txns[3] = {0, 0, 0}; //!< indexed by BusOp
+    std::uint64_t queueCycles = 0;     //!< total cycles spent waiting
+    std::uint64_t cbufWrites = 0;      //!< log-buffer append transactions
+};
+
+/**
+ * The snooping bus. Transactions complete atomically within a call;
+ * timing is modeled by a busy-until pointer that creates queueing delay
+ * under contention.
+ */
+class Bus
+{
+  public:
+    explicit Bus(const BusParams &params);
+
+    /** Attach a coherence participant. */
+    void attachSnooper(SnoopClient *client);
+
+    /** Attach an RnR observer. */
+    void attachObserver(BusObserver *observer);
+
+    /** Broadcast a transaction; snoop caches; notify observers. */
+    BusResult transact(const BusTxn &txn, Tick now);
+
+    /**
+     * Occupy the bus for a non-coherent transfer (hardware log-buffer
+     * append). Charges bandwidth without snooping.
+     * @return queueing delay suffered.
+     */
+    Tick occupyForLog(Tick now, Tick cycles);
+
+    const BusStats &stats() const { return _stats; }
+    const BusParams &params() const { return _params; }
+
+  private:
+    BusParams _params;
+    std::vector<SnoopClient *> snoopers;
+    std::vector<BusObserver *> observers;
+    Tick busyUntil = 0;
+    BusStats _stats;
+};
+
+} // namespace qr
+
+#endif // QR_MEM_BUS_HH

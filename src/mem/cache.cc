@@ -1,0 +1,186 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+L1Cache::L1Cache(CoreId core_id, const CacheParams &params, Bus &bus_)
+    : coreId(core_id), _params(params), bus(bus_),
+      lineMask(params.lineBytes - 1),
+      lines(static_cast<std::size_t>(params.sets) * params.ways)
+{
+    qr_assert(isPow2(params.sets) && isPow2(params.lineBytes),
+              "cache geometry must be powers of two");
+    qr_assert(params.ways >= 1, "cache needs at least one way");
+}
+
+std::uint32_t
+L1Cache::setIndex(Addr addr) const
+{
+    return (addr / _params.lineBytes) & (_params.sets - 1);
+}
+
+int
+L1Cache::findWay(Addr addr) const
+{
+    Addr tag = lineAlign(addr);
+    std::uint32_t base = setIndex(addr) * _params.ways;
+    for (std::uint32_t w = 0; w < _params.ways; ++w) {
+        const Line &l = lines[base + w];
+        if (l.state != CState::Invalid && l.tag == tag)
+            return static_cast<int>(base + w);
+    }
+    return -1;
+}
+
+int
+L1Cache::allocWay(Addr addr, Tick now)
+{
+    std::uint32_t base = setIndex(addr) * _params.ways;
+    int victim = static_cast<int>(base);
+    Tick oldest = ~Tick(0);
+    for (std::uint32_t w = 0; w < _params.ways; ++w) {
+        Line &l = lines[base + w];
+        if (l.state == CState::Invalid)
+            return static_cast<int>(base + w);
+        if (l.lastUse < oldest) {
+            oldest = l.lastUse;
+            victim = static_cast<int>(base + w);
+        }
+    }
+    if (lines[static_cast<std::size_t>(victim)].state == CState::Modified)
+        _stats.writebacks++;
+    lines[static_cast<std::size_t>(victim)].state = CState::Invalid;
+    (void)now;
+    return victim;
+}
+
+CacheAccess
+L1Cache::read(Addr addr, Timestamp req_ts, Tick now)
+{
+    CacheAccess acc;
+    int way = findWay(addr);
+    if (way >= 0) {
+        lines[static_cast<std::size_t>(way)].lastUse = now;
+        acc.latency = _params.hitLatency;
+        _stats.readHits++;
+        return acc;
+    }
+
+    _stats.readMisses++;
+    acc.miss = true;
+    acc.usedBus = true;
+    int victim = allocWay(addr, now);
+    BusTxn txn{BusOp::BusRd, lineAlign(addr), coreId, req_ts};
+    BusResult res = bus.transact(txn, now);
+    acc.latency = _params.hitLatency + res.latency;
+    acc.observerTs = res.maxObserverTs;
+
+    Line &l = lines[static_cast<std::size_t>(victim)];
+    l.tag = lineAlign(addr);
+    l.state = (res.sharedInOthers || res.dirtyInOthers) ? CState::Shared
+                                                        : CState::Exclusive;
+    l.lastUse = now;
+    return acc;
+}
+
+CacheAccess
+L1Cache::write(Addr addr, Timestamp req_ts, Tick now)
+{
+    CacheAccess acc;
+    int way = findWay(addr);
+    if (way >= 0) {
+        Line &l = lines[static_cast<std::size_t>(way)];
+        l.lastUse = now;
+        switch (l.state) {
+          case CState::Modified:
+            acc.latency = _params.hitLatency;
+            _stats.writeHits++;
+            return acc;
+          case CState::Exclusive:
+            // Silent E->M upgrade: no other cache can hold the line.
+            l.state = CState::Modified;
+            acc.latency = _params.hitLatency;
+            _stats.writeHits++;
+            return acc;
+          case CState::Shared: {
+            // Invalidate remote sharers.
+            _stats.upgrades++;
+            acc.usedBus = true;
+            BusTxn txn{BusOp::BusUpgr, lineAlign(addr), coreId, req_ts};
+            BusResult res = bus.transact(txn, now);
+            acc.latency = _params.hitLatency + res.latency;
+            acc.observerTs = res.maxObserverTs;
+            l.state = CState::Modified;
+            return acc;
+          }
+          case CState::Invalid:
+            panic("valid way in Invalid state");
+        }
+    }
+
+    _stats.writeMisses++;
+    acc.miss = true;
+    acc.usedBus = true;
+    int victim = allocWay(addr, now);
+    BusTxn txn{BusOp::BusRdX, lineAlign(addr), coreId, req_ts};
+    BusResult res = bus.transact(txn, now);
+    acc.latency = _params.hitLatency + res.latency;
+    acc.observerTs = res.maxObserverTs;
+
+    Line &l = lines[static_cast<std::size_t>(victim)];
+    l.tag = lineAlign(addr);
+    l.state = CState::Modified;
+    l.lastUse = now;
+    return acc;
+}
+
+CState
+L1Cache::lineState(Addr addr) const
+{
+    int way = findWay(addr);
+    return way < 0 ? CState::Invalid
+                   : lines[static_cast<std::size_t>(way)].state;
+}
+
+SnoopReply
+L1Cache::snoop(const BusTxn &txn)
+{
+    SnoopReply reply;
+    int way = findWay(txn.lineAddr);
+    if (way < 0)
+        return reply;
+
+    Line &l = lines[static_cast<std::size_t>(way)];
+    reply.hadLine = true;
+    reply.hadDirty = l.state == CState::Modified;
+
+    switch (txn.op) {
+      case BusOp::BusRd:
+        // Supply/demote: M and E drop to S (an M line's data is already
+        // in functional memory; the dirty reply models cache-to-cache
+        // transfer latency).
+        l.state = CState::Shared;
+        break;
+      case BusOp::BusRdX:
+      case BusOp::BusUpgr:
+        l.state = CState::Invalid;
+        _stats.invalidations++;
+        break;
+    }
+    return reply;
+}
+
+} // namespace qr

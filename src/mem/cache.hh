@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Private per-core L1 cache with MESI coherence over the snooping bus.
+ *
+ * The cache tracks tags and MESI state only; data lives in the
+ * functional Memory (see memory.hh). Its jobs are (a) producing the
+ * correct stream of coherence transactions -- which the recording
+ * hardware observes for conflict detection and timestamp merging -- and
+ * (b) modeling access latency.
+ */
+
+#ifndef QR_MEM_CACHE_HH
+#define QR_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** MESI line states. */
+enum class CState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Geometry and latency of an L1 cache. */
+struct CacheParams
+{
+    std::uint32_t sets = 128;     //!< 128 sets x 4 ways x 64 B = 32 KB
+    std::uint32_t ways = 4;
+    std::uint32_t lineBytes = 64;
+    Tick hitLatency = 0;          //!< extra cycles beyond the base cycle
+};
+
+/** Aggregate cache statistics. */
+struct CacheStats
+{
+    std::uint64_t readHits = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeHits = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t upgrades = 0;     //!< S->M transitions via BusUpgr
+    std::uint64_t writebacks = 0;   //!< dirty evictions
+    std::uint64_t invalidations = 0; //!< lines lost to remote writes
+};
+
+/** Outcome of a CPU-side cache access. */
+struct CacheAccess
+{
+    Tick latency = 0;       //!< cycles beyond the instruction base cost
+    bool miss = false;
+    bool usedBus = false;
+    /** Valid iff usedBus; max observer clock for the Lamport merge. */
+    Timestamp observerTs = 0;
+};
+
+/**
+ * One private L1. The owning core calls read()/write(); the bus calls
+ * snoop() for remote transactions.
+ */
+class L1Cache : public SnoopClient
+{
+  public:
+    L1Cache(CoreId core_id, const CacheParams &params, Bus &bus);
+
+    /**
+     * CPU-side load of the line containing @p addr.
+     * @param req_ts requester Lamport clock to piggyback on a miss.
+     */
+    CacheAccess read(Addr addr, Timestamp req_ts, Tick now);
+
+    /**
+     * CPU-side store (at store-buffer drain or atomic execution) to the
+     * line containing @p addr. Acquires ownership (M) of the line.
+     */
+    CacheAccess write(Addr addr, Timestamp req_ts, Tick now);
+
+    /** @return current MESI state of the line containing @p addr. */
+    CState lineState(Addr addr) const;
+
+    SnoopReply snoop(const BusTxn &txn) override;
+    CoreId snoopId() const override { return coreId; }
+
+    const CacheStats &stats() const { return _stats; }
+    const CacheParams &params() const { return _params; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        CState state = CState::Invalid;
+        Tick lastUse = 0;
+    };
+
+    Addr lineAlign(Addr addr) const { return addr & ~(lineMask); }
+    std::uint32_t setIndex(Addr addr) const;
+
+    /** Find the way holding @p addr in its set, or -1. */
+    int findWay(Addr addr) const;
+
+    /** Choose an LRU victim way in the set of @p addr; write back if M. */
+    int allocWay(Addr addr, Tick now);
+
+    CoreId coreId;
+    CacheParams _params;
+    Bus &bus;
+    Addr lineMask;
+    std::vector<Line> lines; //!< sets * ways, set-major
+    CacheStats _stats;
+};
+
+} // namespace qr
+
+#endif // QR_MEM_CACHE_HH

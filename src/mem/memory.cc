@@ -1,0 +1,43 @@
+#include "mem/memory.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+Memory::Memory(std::uint64_t bytes) : words((bytes + 3) / 4, 0)
+{
+    qr_assert(bytes > 0, "memory size must be nonzero");
+}
+
+Word
+Memory::read(Addr addr) const
+{
+    qr_assert(addr % 4 == 0, "misaligned read at 0x%x", addr);
+    std::uint64_t idx = addr / 4;
+    qr_assert(idx < words.size(), "read past end of memory: 0x%x", addr);
+    return words[idx];
+}
+
+void
+Memory::write(Addr addr, Word value)
+{
+    qr_assert(addr % 4 == 0, "misaligned write at 0x%x", addr);
+    std::uint64_t idx = addr / 4;
+    qr_assert(idx < words.size(), "write past end of memory: 0x%x", addr);
+    words[idx] = value;
+}
+
+std::uint64_t
+Memory::digest(Addr limit) const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    std::uint64_t n = std::min<std::uint64_t>(limit / 4, words.size());
+    for (std::uint64_t i = 0; i < n; ++i) {
+        h ^= words[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace qr

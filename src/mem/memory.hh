@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Flat functional guest memory.
+ *
+ * QuickRec's simulator splits value storage from timing/coherence: all
+ * data lives here and is updated at global-visibility time (store-buffer
+ * drain), while the caches and bus model coherence state, latency, and --
+ * crucially for the recorder -- the coherence transactions that the RnR
+ * hardware snoops. This mirrors a functional-first simulator organization
+ * (cf. gem5 atomic memory) and keeps TSO visibility exact: the only
+ * reordering TSO permits is the store buffer, which is modeled in the CPU.
+ */
+
+#ifndef QR_MEM_MEMORY_HH
+#define QR_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Byte-addressed guest physical memory with word-granularity access. */
+class Memory
+{
+  public:
+    /** Construct zero-filled memory of @p bytes (rounded up to words). */
+    explicit Memory(std::uint64_t bytes);
+
+    /** Read the aligned word at @p addr. */
+    Word read(Addr addr) const;
+
+    /** Write the aligned word at @p addr. */
+    void write(Addr addr, Word value);
+
+    /** Size in bytes. */
+    std::uint64_t size() const { return words.size() * 4ull; }
+
+    /**
+     * FNV-1a digest of all words in [0, limit). The machine passes a
+     * limit that excludes the hardware CBUF regions so that the log
+     * itself does not perturb record-vs-replay memory comparison.
+     */
+    std::uint64_t digest(Addr limit) const;
+
+  private:
+    std::vector<Word> words;
+};
+
+} // namespace qr
+
+#endif // QR_MEM_MEMORY_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Replay schedule construction: merge the per-thread chunk logs into
+ * the global total order the replayer enforces.
+ */
+
+#ifndef QR_REPLAY_LOG_READER_HH
+#define QR_REPLAY_LOG_READER_HH
+
+#include <vector>
+
+#include "capo/sphere.hh"
+#include "rnr/chunk_record.hh"
+
+namespace qr
+{
+
+/**
+ * All chunk records of a sphere, sorted by (timestamp, tid). The
+ * Lamport construction guarantees every inter-thread dependence is an
+ * edge from a smaller to a strictly larger timestamp, so any total
+ * order that respects timestamps (ties broken by tid -- tied chunks
+ * are provably concurrent) is a legal replay schedule.
+ */
+std::vector<ChunkRecord> buildSchedule(const SphereLogs &logs);
+
+} // namespace qr
+
+#endif // QR_REPLAY_LOG_READER_HH

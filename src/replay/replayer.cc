@@ -1,0 +1,362 @@
+#include "replay/replayer.hh"
+
+#include <cstdarg>
+
+#include "isa/exec.hh"
+#include "kernel/syscall.hh"
+#include "replay/log_reader.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace qr
+{
+
+Replayer::Replayer(const Program &prog_, const SphereLogs &logs_,
+                   const ReplayCostModel &costs_)
+    : prog(prog_), logs(logs_), costs(costs_), mem(logs_.memBytes)
+{
+    qr_assert(logs.memBytes > 0, "sphere logs carry no memory size");
+    for (const auto &[addr, value] : prog.dataInit)
+        mem.write(addr, value);
+}
+
+void
+Replayer::diverge(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vcsprintf(fmt, ap);
+    va_end(ap);
+    throw Divergence{msg};
+}
+
+Replayer::RThread &
+Replayer::threadFor(const ChunkRecord &rec)
+{
+    RThread &t = threads[rec.tid];
+    if (t.ctx.tid == invalidTid)
+        t.ctx.tid = rec.tid;
+    return t;
+}
+
+const InputRecord &
+Replayer::nextInput(RThread &t, const char *what)
+{
+    auto it = logs.threads.find(t.ctx.tid);
+    if (it == logs.threads.end())
+        diverge("tid %d: no input log (%s)", t.ctx.tid, what);
+    const auto &input = it->second.input;
+    if (t.inputCursor >= input.size())
+        diverge("tid %d: input log exhausted while replaying %s",
+                t.ctx.tid, what);
+    result.injectedRecords++;
+    result.modeledCycles += costs.perInputRecord;
+    return input[t.inputCursor++];
+}
+
+void
+Replayer::startThread(Tid tid, RThread &t)
+{
+    const InputRecord &rec = nextInput(t, "thread start");
+    if (rec.kind != InputKind::ThreadStart)
+        diverge("tid %d: expected thread-start record, found %s", tid,
+                inputKindName(rec.kind));
+    t.ctx.pc = rec.pc;
+    t.ctx.setReg(Reg::sp, rec.sp);
+    t.ctx.setReg(Reg::tp, static_cast<Word>(tid));
+    t.ctx.setReg(Reg::a0, rec.arg);
+    t.started = true;
+}
+
+void
+Replayer::maybeInjectSignal(Tid tid, RThread &t)
+{
+    const auto &input = logs.threads.at(tid).input;
+    while (t.inputCursor < input.size()) {
+        const InputRecord &rec = input[t.inputCursor];
+        if (rec.kind != InputKind::SignalDeliver ||
+            rec.afterChunkSeq != t.replayedChunks)
+            return;
+        t.inputCursor++;
+        result.injectedRecords++;
+        result.modeledCycles += costs.perInputRecord;
+        if (t.ctx.pc != rec.sp)
+            diverge("tid %d: signal saved pc 0x%x but replay pc is 0x%x",
+                    tid, rec.sp, t.ctx.pc);
+        // Post the signal number and redirect into the handler, exactly
+        // as the kernel did at this chunk boundary.
+        mem.write(rec.copyAddr, rec.num);
+        t.ctx.pc = rec.pc;
+    }
+}
+
+void
+Replayer::applyPending(RThread &t)
+{
+    for (const auto &[addr, words] : t.pendingCopies)
+        for (std::size_t i = 0; i < words.size(); ++i)
+            mem.write(addr + static_cast<Addr>(i) * 4, words[i]);
+    t.pendingCopies.clear();
+    for (const auto &[buf, len] : t.pendingWrites) {
+        for (Word off = 0; off < len; off += 4) {
+            Word w = mem.read(buf + off);
+            for (int b = 0; b < 4; ++b)
+                t.outputBytes.push_back(
+                    static_cast<std::uint8_t>(w >> (8 * b)));
+        }
+    }
+    t.pendingWrites.clear();
+}
+
+Word
+Replayer::loadWord(RThread &t, Addr addr)
+{
+    for (auto it = t.storeQueue.rbegin(); it != t.storeQueue.rend(); ++it)
+        if (it->first == addr)
+            return it->second;
+    return mem.read(addr);
+}
+
+void
+Replayer::handleSyscall(Tid tid, RThread &t, bool is_last)
+{
+    if (!is_last)
+        diverge("tid %d: syscall in the middle of a chunk (pc 0x%x)",
+                tid, t.ctx.pc);
+
+    // Kernel entry is serializing: mirror the recorded store-buffer
+    // drain so kernel reads (e.g. write()) see the drained values.
+    while (!t.storeQueue.empty()) {
+        auto [a, v] = t.storeQueue.front();
+        t.storeQueue.pop_front();
+        mem.write(a, v);
+    }
+
+    Word num = t.ctx.reg(Reg::a7);
+    if (num == static_cast<Word>(Sys::Exit)) {
+        const InputRecord &rec = nextInput(t, "thread exit");
+        if (rec.kind != InputKind::ThreadExit)
+            diverge("tid %d: expected thread-exit record, found %s", tid,
+                    inputKindName(rec.kind));
+        if (rec.instrs != t.ctx.instrs)
+            diverge("tid %d: exited after %llu instrs, log says %llu",
+                    tid,
+                    static_cast<unsigned long long>(t.ctx.instrs),
+                    static_cast<unsigned long long>(rec.instrs));
+        if (rec.ret != t.ctx.reg(Reg::a0))
+            diverge("tid %d: exit code %u, log says %u", tid,
+                    t.ctx.reg(Reg::a0), rec.ret);
+        t.exited = true;
+        t.exitInfo = ThreadExitInfo{t.ctx.digest(), t.ctx.instrs,
+                                    t.ctx.reg(Reg::a0)};
+        return;
+    }
+
+    const InputRecord &rec = nextInput(t, "syscall result");
+    if (rec.kind != InputKind::SyscallRet)
+        diverge("tid %d: expected syscall record, found %s", tid,
+                inputKindName(rec.kind));
+    if (rec.num != num)
+        diverge("tid %d: replay reached syscall %u, log has %u", tid,
+                num, rec.num);
+
+    if (num == static_cast<Word>(Sys::Write)) {
+        // Regenerate the output at the thread's next chunk, where the
+        // kernel's coherent buffer read is anchored; the output digest
+        // then validates the data content.
+        t.pendingWrites.emplace_back(t.ctx.reg(Reg::a1),
+                                     t.ctx.reg(Reg::a2));
+    }
+
+    if (!rec.copyWords.empty()) {
+        // Kernel input copies become visible at the thread's next chunk
+        // (they were inserted into the *next* chunk's write filter).
+        t.pendingCopies.emplace_back(rec.copyAddr, rec.copyWords);
+    }
+
+    if (num != static_cast<Word>(Sys::Sigreturn))
+        t.ctx.setReg(Reg::a0, rec.ret);
+    if (rec.hasNewPc)
+        t.ctx.pc = rec.newPc;
+}
+
+void
+Replayer::execInstr(Tid tid, RThread &t, bool is_last, std::uint32_t idx,
+                    const ChunkRecord &rec)
+{
+    if (t.exited)
+        diverge("tid %d: chunk ts %llu has instructions after exit "
+                "(index %u)",
+                tid, static_cast<unsigned long long>(rec.ts), idx);
+    if (t.ctx.pc >= prog.code.size())
+        diverge("tid %d: replay pc 0x%x past end of program", tid,
+                t.ctx.pc);
+
+    const Instruction &in = prog.code[t.ctx.pc];
+    Word nextPc = t.ctx.pc + 1;
+
+    if (execPure(in, t.ctx, nextPc)) {
+        t.ctx.pc = nextPc;
+        t.ctx.instrs++;
+        result.replayedInstrs++;
+        return;
+    }
+
+    switch (in.op) {
+      case Opcode::Lw: {
+        Addr addr = t.ctx.reg(in.rs1) + in.imm;
+        Word val = loadWord(t, addr);
+        t.ctx.setReg(in.rd, val);
+        t.ctx.mixMem(addr, val);
+        break;
+      }
+      case Opcode::Sw: {
+        Addr addr = t.ctx.reg(in.rs1) + in.imm;
+        t.storeQueue.emplace_back(addr, t.ctx.reg(in.rs2));
+        t.ctx.mixMem(addr, t.ctx.reg(in.rs2));
+        break;
+      }
+      case Opcode::Cas:
+      case Opcode::FetchAdd:
+      case Opcode::Swap: {
+        while (!t.storeQueue.empty()) {
+            auto [a, v] = t.storeQueue.front();
+            t.storeQueue.pop_front();
+            mem.write(a, v);
+        }
+        Addr addr = t.ctx.reg(in.rs1);
+        Word old = mem.read(addr);
+        if (in.op == Opcode::Cas) {
+            if (old == t.ctx.reg(in.rd))
+                mem.write(addr, t.ctx.reg(in.rs2));
+        } else if (in.op == Opcode::FetchAdd) {
+            mem.write(addr, old + t.ctx.reg(in.rs2));
+        } else {
+            mem.write(addr, t.ctx.reg(in.rd));
+        }
+        t.ctx.setReg(in.rd, old);
+        t.ctx.mixMem(addr, old);
+        break;
+      }
+      case Opcode::Fence:
+        while (!t.storeQueue.empty()) {
+            auto [a, v] = t.storeQueue.front();
+            t.storeQueue.pop_front();
+            mem.write(a, v);
+        }
+        break;
+      case Opcode::Syscall:
+        t.ctx.pc = nextPc;
+        t.ctx.instrs++;
+        result.replayedInstrs++;
+        handleSyscall(tid, t, is_last);
+        return;
+      case Opcode::Rdtsc:
+      case Opcode::Rdrand:
+      case Opcode::Cpuid: {
+        const InputRecord &nrec = nextInput(t, "nondet value");
+        if (nrec.kind != InputKind::Nondet)
+            diverge("tid %d: expected nondet record, found %s", tid,
+                    inputKindName(nrec.kind));
+        if (nrec.num != static_cast<Word>(in.op))
+            diverge("tid %d: nondet kind mismatch at pc 0x%x", tid,
+                    t.ctx.pc);
+        t.ctx.setReg(in.rd, nrec.ret);
+        break;
+      }
+      default:
+        diverge("tid %d: unhandled opcode %s at pc 0x%x", tid,
+                opcodeName(in.op), t.ctx.pc);
+    }
+
+    t.ctx.pc = nextPc;
+    t.ctx.instrs++;
+    result.replayedInstrs++;
+}
+
+void
+Replayer::replayChunk(const ChunkRecord &rec)
+{
+    RThread &t = threadFor(rec);
+    if (t.exited)
+        diverge("tid %d: chunk ts %llu after thread exit", rec.tid,
+                static_cast<unsigned long long>(rec.ts));
+    if (!t.started)
+        startThread(rec.tid, t);
+
+    // Boundary work in recorded order: the kernel's syscall-exit
+    // copies/reads happen before a signal is delivered on the way back
+    // to user mode.
+    applyPending(t);
+    maybeInjectSignal(rec.tid, t);
+
+    for (std::uint32_t i = 0; i < rec.size; ++i)
+        execInstr(rec.tid, t, i + 1 == rec.size, i, rec);
+
+    if (t.storeQueue.size() < rec.rsw)
+        diverge("tid %d: chunk ts %llu records rsw %u but only %zu "
+                "stores are buffered",
+                rec.tid, static_cast<unsigned long long>(rec.ts),
+                rec.rsw, t.storeQueue.size());
+    while (t.storeQueue.size() > rec.rsw) {
+        auto [a, v] = t.storeQueue.front();
+        t.storeQueue.pop_front();
+        mem.write(a, v);
+    }
+
+    tracef(TraceFlag::Replay, "tid %d: chunk ts=%llu size=%u rsw=%u",
+           rec.tid, static_cast<unsigned long long>(rec.ts), rec.size,
+           rec.rsw);
+    t.replayedChunks++;
+    result.replayedChunks++;
+    result.modeledCycles +=
+        costs.perChunk + static_cast<Tick>(rec.size) * costs.perInstr;
+}
+
+ReplayResult
+Replayer::run()
+{
+    try {
+        std::vector<ChunkRecord> schedule = buildSchedule(logs);
+        for (const ChunkRecord &rec : schedule)
+            replayChunk(rec);
+
+        for (const auto &[tid, tlogs] : logs.threads) {
+            auto it = threads.find(tid);
+            if (it == threads.end())
+                diverge("tid %d: has logs but was never scheduled", tid);
+            const RThread &t = it->second;
+            if (!t.exited)
+                diverge("tid %d: log ended before the thread exited",
+                        tid);
+            if (t.inputCursor != tlogs.input.size())
+                diverge("tid %d: %zu input records were never consumed",
+                        tid, tlogs.input.size() - t.inputCursor);
+            if (!t.storeQueue.empty())
+                diverge("tid %d: %zu stores left in the replay queue",
+                        tid, t.storeQueue.size());
+            if (!t.pendingCopies.empty())
+                diverge("tid %d: %zu input copies were never applied",
+                        tid, t.pendingCopies.size());
+            if (!t.pendingWrites.empty())
+                diverge("tid %d: %zu outputs were never regenerated",
+                        tid, t.pendingWrites.size());
+        }
+
+        result.digests.memory = mem.digest(logs.userTop);
+        OutputMap outs;
+        for (const auto &[tid, t] : threads)
+            if (!t.outputBytes.empty())
+                outs.emplace(tid, t.outputBytes);
+        result.digests.output = outputDigest(outs);
+        for (const auto &[tid, t] : threads)
+            result.digests.exits.emplace(tid, t.exitInfo);
+        result.ok = true;
+    } catch (const Divergence &d) {
+        result.ok = false;
+        result.divergence = d.msg;
+    }
+    return result;
+}
+
+} // namespace qr

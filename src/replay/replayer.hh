@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The QuickRec replayer.
+ *
+ * Replays a recorded sphere by re-executing the program's user
+ * instructions under the logged total chunk order, injecting every
+ * logged input (syscall results, copied data, signals, nondeterministic
+ * instruction values). TSO is reproduced with a per-thread replay store
+ * queue: stores buffer during a chunk and drain to memory until exactly
+ * the chunk's recorded RSW entries remain; the survivors drain at the
+ * start of the thread's next chunk -- mirroring where the hardware put
+ * drained stores into the next chunk's write filter. Kernel input
+ * copies are deferred to the same anchor.
+ *
+ * Replay is paranoid: any mismatch between the log and the re-executed
+ * instruction stream (wrong record kind, syscall number, mid-chunk
+ * trap, leftover log records) is reported as a divergence instead of
+ * silently producing a wrong state.
+ */
+
+#ifndef QR_REPLAY_REPLAYER_HH
+#define QR_REPLAY_REPLAYER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capo/sphere.hh"
+#include "core/metrics.hh"
+#include "cpu/thread_context.hh"
+#include "isa/assembler.hh"
+#include "mem/memory.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Modeled cost parameters of the software replayer. */
+struct ReplayCostModel
+{
+    Tick perInstr = 1;       //!< sequential interpretation
+    Tick perChunk = 60;      //!< schedule lookup + context activation
+    Tick perInputRecord = 150; //!< log decode + injection
+};
+
+/** Outcome of a replay. */
+struct ReplayResult
+{
+    bool ok = false;
+    std::string divergence; //!< empty when ok
+
+    Digests digests;
+    std::uint64_t replayedInstrs = 0;
+    std::uint64_t replayedChunks = 0;
+    std::uint64_t injectedRecords = 0;
+
+    /** Modeled sequential replay time (for the replay-speed table). */
+    Tick modeledCycles = 0;
+};
+
+/** Replays one recorded sphere against the original program. */
+class Replayer
+{
+  public:
+    Replayer(const Program &prog, const SphereLogs &logs,
+             const ReplayCostModel &costs = {});
+
+    /** Run the replay to completion (or first divergence). */
+    ReplayResult run();
+
+  private:
+    struct RThread
+    {
+        ThreadContext ctx;
+        bool started = false;
+        bool exited = false;
+        std::size_t inputCursor = 0;
+        std::uint64_t replayedChunks = 0;
+        /** TSO replay store queue (survivors = recorded RSW). */
+        std::deque<std::pair<Addr, Word>> storeQueue;
+        /** Kernel copies deferred to the next chunk of this thread. */
+        std::vector<std::pair<Addr, std::vector<Word>>> pendingCopies;
+        /**
+         * write() output regenerated at the next chunk of this thread
+         * (the kernel read the buffer between the two chunks; the
+         * coherent copy-from-user path ordered that read exactly like
+         * an input copy, so the anchor is the same).
+         */
+        std::vector<std::pair<Addr, Word>> pendingWrites;
+        std::vector<std::uint8_t> outputBytes;
+        ThreadExitInfo exitInfo;
+    };
+
+    struct Divergence
+    {
+        std::string msg;
+    };
+
+    [[noreturn]] void diverge(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    RThread &threadFor(const ChunkRecord &rec);
+    const InputRecord &nextInput(RThread &t, const char *what);
+    void startThread(Tid tid, RThread &t);
+    void maybeInjectSignal(Tid tid, RThread &t);
+    void applyPending(RThread &t);
+    void replayChunk(const ChunkRecord &rec);
+    void execInstr(Tid tid, RThread &t, bool is_last, std::uint32_t idx,
+                   const ChunkRecord &rec);
+    Word loadWord(RThread &t, Addr addr);
+    void handleSyscall(Tid tid, RThread &t, bool is_last);
+
+    const Program &prog;
+    const SphereLogs &logs;
+    ReplayCostModel costs;
+    Memory mem;
+    std::map<Tid, RThread> threads;
+    ReplayResult result;
+};
+
+} // namespace qr
+
+#endif // QR_REPLAY_REPLAYER_HH

@@ -1,0 +1,65 @@
+#include "replay/verifier.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+std::string
+VerifyReport::str() const
+{
+    std::string out;
+    for (const auto &m : mismatches) {
+        out += m;
+        out += '\n';
+    }
+    return out;
+}
+
+VerifyReport
+verifyDigests(const Digests &recorded, const Digests &replayed)
+{
+    VerifyReport rep;
+    if (recorded.memory != replayed.memory)
+        rep.mismatches.push_back(csprintf(
+            "memory digest: recorded %016llx, replayed %016llx",
+            static_cast<unsigned long long>(recorded.memory),
+            static_cast<unsigned long long>(replayed.memory)));
+    if (recorded.output != replayed.output)
+        rep.mismatches.push_back(csprintf(
+            "output digest: recorded %016llx, replayed %016llx",
+            static_cast<unsigned long long>(recorded.output),
+            static_cast<unsigned long long>(replayed.output)));
+    if (recorded.exits.size() != replayed.exits.size())
+        rep.mismatches.push_back(csprintf(
+            "thread count: recorded %zu, replayed %zu",
+            recorded.exits.size(), replayed.exits.size()));
+    for (const auto &[tid, rec] : recorded.exits) {
+        auto it = replayed.exits.find(tid);
+        if (it == replayed.exits.end()) {
+            rep.mismatches.push_back(
+                csprintf("tid %d: missing from replay", tid));
+            continue;
+        }
+        const ThreadExitInfo &rep_info = it->second;
+        if (rec.regDigest != rep_info.regDigest)
+            rep.mismatches.push_back(csprintf(
+                "tid %d: register digest mismatch "
+                "(%016llx vs %016llx)", tid,
+                static_cast<unsigned long long>(rec.regDigest),
+                static_cast<unsigned long long>(rep_info.regDigest)));
+        if (rec.instrs != rep_info.instrs)
+            rep.mismatches.push_back(csprintf(
+                "tid %d: instruction count mismatch (%llu vs %llu)", tid,
+                static_cast<unsigned long long>(rec.instrs),
+                static_cast<unsigned long long>(rep_info.instrs)));
+        if (rec.exitCode != rep_info.exitCode)
+            rep.mismatches.push_back(csprintf(
+                "tid %d: exit code mismatch (%u vs %u)", tid,
+                rec.exitCode, rep_info.exitCode));
+    }
+    rep.ok = rep.mismatches.empty();
+    return rep;
+}
+
+} // namespace qr

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Determinism verification: compare the architectural digests of a
+ * recorded run against its replay and report any mismatch precisely.
+ */
+
+#ifndef QR_REPLAY_VERIFIER_HH
+#define QR_REPLAY_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+
+namespace qr
+{
+
+/** Outcome of digest comparison. */
+struct VerifyReport
+{
+    bool ok = false;
+    std::vector<std::string> mismatches;
+
+    /** Render the mismatches (empty string when ok). */
+    std::string str() const;
+};
+
+/** Compare recorded and replayed digests field by field. */
+VerifyReport verifyDigests(const Digests &recorded,
+                           const Digests &replayed);
+
+} // namespace qr
+
+#endif // QR_REPLAY_VERIFIER_HH

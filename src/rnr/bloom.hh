@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bloom-filter address-set hardware used by the QuickRec memory race
+ * recorder to summarize the read and write sets of the current chunk.
+ *
+ * The filter admits false positives (which cause benign early chunk
+ * terminations, inflating the log slightly) but never false negatives
+ * (which would lose a dependence and break replay). Filters are
+ * flash-cleared at every chunk boundary.
+ */
+
+#ifndef QR_RNR_BLOOM_HH
+#define QR_RNR_BLOOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Geometry of one Bloom filter. */
+struct BloomParams
+{
+    std::uint32_t bits = 1024; //!< filter size in bits (power of two)
+    int hashes = 2;            //!< number of hash functions
+};
+
+/** A fixed-size Bloom filter over cache-line addresses. */
+class BloomFilter
+{
+  public:
+    explicit BloomFilter(const BloomParams &params);
+
+    /** Insert a line address. */
+    void insert(Addr line_addr);
+
+    /** Membership test (may report false positives). */
+    bool test(Addr line_addr) const;
+
+    /** Flash-clear the filter. */
+    void clear();
+
+    /** Number of insert() calls since the last clear(). */
+    std::uint32_t fill() const { return inserts; }
+
+    /** Number of distinct set bits (hardware population count). */
+    std::uint32_t popcount() const;
+
+  private:
+    std::uint64_t hash(Addr line_addr, int fn) const;
+
+    BloomParams params;
+    std::uint32_t mask;
+    std::vector<std::uint64_t> bits;
+    std::uint32_t inserts = 0;
+};
+
+} // namespace qr
+
+#endif // QR_RNR_BLOOM_HH

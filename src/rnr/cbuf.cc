@@ -1,0 +1,72 @@
+#include "rnr/cbuf.hh"
+
+#include "mem/bus.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+Cbuf::Cbuf(const CbufParams &params_, Memory &mem_, Addr base, Bus *bus_)
+    : params(params_), mem(mem_), _base(base), bus(bus_)
+{
+    qr_assert(params.entries >= 4, "CBUF too small");
+    qr_assert(base % 4 == 0, "CBUF base must be word aligned");
+    qr_assert(params.drainThreshold > 0.0 && params.drainThreshold <= 1.0,
+              "CBUF drain threshold must be in (0,1]");
+}
+
+Addr
+Cbuf::slotAddr(std::uint64_t index) const
+{
+    return _base + static_cast<Addr>((index % params.entries) *
+                                     ChunkRecord::cbufBytes);
+}
+
+Cbuf::Signal
+Cbuf::append(const ChunkRecord &rec, Tick now)
+{
+    qr_assert(!full(), "CBUF overflow: backpressure was not honored");
+
+    Word words[4];
+    rec.packWords(words);
+    Addr slot = slotAddr(head);
+    for (int i = 0; i < 4; ++i)
+        mem.write(slot + static_cast<Addr>(i) * 4, words[i]);
+    head++;
+
+    _stats.appends++;
+    _stats.bytesWritten += ChunkRecord::cbufBytes;
+    if (bus)
+        bus->occupyForLog(now, 1);
+
+    std::uint32_t occ = occupancy();
+    if (occ == params.entries) {
+        _stats.fullEvents++;
+        return Signal::Full;
+    }
+    auto thresh = static_cast<std::uint32_t>(params.drainThreshold *
+                                             params.entries);
+    if (occ == thresh) {
+        _stats.thresholdEvents++;
+        return Signal::Threshold;
+    }
+    return Signal::None;
+}
+
+std::vector<ChunkRecord>
+Cbuf::drain()
+{
+    std::vector<ChunkRecord> out;
+    out.reserve(occupancy());
+    while (tail != head) {
+        Word words[4];
+        Addr slot = slotAddr(tail);
+        for (int i = 0; i < 4; ++i)
+            words[i] = mem.read(slot + static_cast<Addr>(i) * 4);
+        out.push_back(ChunkRecord::unpackWords(words));
+        tail++;
+    }
+    return out;
+}
+
+} // namespace qr

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The per-core memory-backed chunk log buffer (CBUF).
+ *
+ * The recording hardware appends fixed 16-byte chunk records into a
+ * physical-memory circular buffer whose base/size/head/tail live in
+ * MSR-like registers. Appends steal a small amount of bus bandwidth
+ * (modeled via Bus::occupyForLog). When occupancy crosses a programmable
+ * threshold the unit raises a drain interrupt so Capo3 can spill the
+ * records; if the buffer ever fills completely, the hardware asserts
+ * backpressure and the kernel must drain synchronously.
+ */
+
+#ifndef QR_RNR_CBUF_HH
+#define QR_RNR_CBUF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory.hh"
+#include "rnr/chunk_record.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+class Bus;
+
+/** CBUF configuration registers. */
+struct CbufParams
+{
+    std::uint32_t entries = 16384;  //!< capacity in 16-byte records
+    double drainThreshold = 0.75;   //!< raise interrupt at this occupancy
+};
+
+/** CBUF statistics. */
+struct CbufStats
+{
+    std::uint64_t appends = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t thresholdEvents = 0;
+    std::uint64_t fullEvents = 0; //!< backpressure (synchronous drain)
+};
+
+/** One per-core CBUF. */
+class Cbuf
+{
+  public:
+    /**
+     * @param base byte address of the buffer in guest physical memory
+     * @param bus optional bus to charge append bandwidth to
+     */
+    Cbuf(const CbufParams &params, Memory &mem, Addr base, Bus *bus);
+
+    /** Events reported by append(). */
+    enum class Signal { None, Threshold, Full };
+
+    /**
+     * Hardware append of one record.
+     * @return Threshold when this append crossed the drain threshold,
+     *         Full when the buffer is now completely full.
+     */
+    Signal append(const ChunkRecord &rec, Tick now);
+
+    /** Software drain: read and consume all pending records. */
+    std::vector<ChunkRecord> drain();
+
+    /** Records currently pending. */
+    std::uint32_t occupancy() const
+    { return static_cast<std::uint32_t>(head - tail); }
+
+    bool full() const { return occupancy() == params.entries; }
+
+    /** Size of the memory region backing this buffer, in bytes. */
+    std::uint32_t regionBytes() const
+    { return params.entries * ChunkRecord::cbufBytes; }
+
+    Addr base() const { return _base; }
+    const CbufStats &stats() const { return _stats; }
+
+  private:
+    Addr slotAddr(std::uint64_t index) const;
+
+    CbufParams params;
+    Memory &mem;
+    Addr _base;
+    Bus *bus;
+    std::uint64_t head = 0; //!< next slot the hardware writes
+    std::uint64_t tail = 0; //!< next slot the software reads
+    CbufStats _stats;
+};
+
+} // namespace qr
+
+#endif // QR_RNR_CBUF_HH

@@ -1,0 +1,117 @@
+#include "rnr/chunk_record.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+const char *
+chunkReasonName(ChunkReason r)
+{
+    switch (r) {
+      case ChunkReason::ConflictRaw: return "conflict-raw";
+      case ChunkReason::ConflictWar: return "conflict-war";
+      case ChunkReason::ConflictWaw: return "conflict-waw";
+      case ChunkReason::SizeOverflow: return "size-overflow";
+      case ChunkReason::FilterFull: return "filter-full";
+      case ChunkReason::Syscall: return "syscall";
+      case ChunkReason::ContextSwitch: return "ctx-switch";
+      case ChunkReason::Drain: return "drain";
+      case ChunkReason::NumReasons: break;
+    }
+    return "?";
+}
+
+bool
+isConflictReason(ChunkReason r)
+{
+    return r == ChunkReason::ConflictRaw || r == ChunkReason::ConflictWar ||
+           r == ChunkReason::ConflictWaw;
+}
+
+void
+ChunkRecord::packWords(Word out[4]) const
+{
+    out[0] = size;
+    out[1] = (static_cast<Word>(tid & 0xff)) |
+             (static_cast<Word>(reason) << 8) |
+             (static_cast<Word>(rsw) << 16);
+    out[2] = static_cast<Word>(ts);
+    out[3] = static_cast<Word>(ts >> 32);
+}
+
+ChunkRecord
+ChunkRecord::unpackWords(const Word in[4])
+{
+    ChunkRecord rec;
+    rec.size = in[0];
+    rec.tid = static_cast<Tid>(in[1] & 0xff);
+    rec.reason = static_cast<ChunkReason>((in[1] >> 8) & 0xff);
+    rec.rsw = static_cast<std::uint16_t>(in[1] >> 16);
+    rec.ts = static_cast<Timestamp>(in[2]) |
+             (static_cast<Timestamp>(in[3]) << 32);
+    qr_assert(static_cast<int>(rec.reason) < numChunkReasons,
+              "corrupt chunk record: bad reason");
+    return rec;
+}
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+getVarint(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        qr_assert(pos < in.size(), "varint runs past end of log");
+        std::uint8_t b = in[pos++];
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        qr_assert(shift < 64, "varint too long");
+    }
+}
+
+void
+packCompact(const ChunkRecord &rec, Timestamp prev_ts,
+            std::vector<std::uint8_t> &out)
+{
+    qr_assert(rec.ts >= prev_ts, "per-thread timestamps must be monotonic");
+    // Header byte: reason in the low nibble, rsw-present flag in bit 4.
+    std::uint8_t hdr = static_cast<std::uint8_t>(rec.reason) |
+                       (rec.rsw ? 0x10 : 0);
+    out.push_back(hdr);
+    putVarint(out, rec.size);
+    putVarint(out, rec.ts - prev_ts);
+    if (rec.rsw)
+        putVarint(out, rec.rsw);
+}
+
+ChunkRecord
+unpackCompact(const std::vector<std::uint8_t> &in, std::size_t &pos,
+              Timestamp prev_ts, Tid tid)
+{
+    qr_assert(pos < in.size(), "compact record runs past end of log");
+    std::uint8_t hdr = in[pos++];
+    ChunkRecord rec;
+    rec.reason = static_cast<ChunkReason>(hdr & 0x0f);
+    qr_assert(static_cast<int>(rec.reason) < numChunkReasons,
+              "corrupt compact chunk record");
+    rec.size = static_cast<std::uint32_t>(getVarint(in, pos));
+    rec.ts = prev_ts + getVarint(in, pos);
+    rec.rsw = (hdr & 0x10)
+        ? static_cast<std::uint16_t>(getVarint(in, pos)) : 0;
+    rec.tid = tid;
+    return rec;
+}
+
+} // namespace qr

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The memory-log record emitted at every chunk termination, with both
+ * the fixed 16-byte in-CBUF layout the hardware writes and the packed
+ * variable-length encoding Capo3 uses when spilling logs to storage.
+ */
+
+#ifndef QR_RNR_CHUNK_RECORD_HH
+#define QR_RNR_CHUNK_RECORD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Why a chunk was terminated. */
+enum class ChunkReason : std::uint8_t
+{
+    ConflictRaw,   //!< remote read hit this chunk's write set
+    ConflictWar,   //!< remote write hit this chunk's read set
+    ConflictWaw,   //!< remote write hit this chunk's write set
+    SizeOverflow,  //!< chunk-size counter saturated
+    FilterFull,    //!< Bloom filter occupancy exceeded the safety bound
+    Syscall,       //!< trap into the kernel (syscall/exception)
+    ContextSwitch, //!< thread descheduled; recording context saved
+    Drain,         //!< recording stopped / sphere detached
+    NumReasons,
+};
+
+/** Number of distinct termination reasons. */
+constexpr int numChunkReasons = static_cast<int>(ChunkReason::NumReasons);
+
+/** @return short name of a termination reason. */
+const char *chunkReasonName(ChunkReason r);
+
+/** @return true for the three conflict-induced reasons. */
+bool isConflictReason(ChunkReason r);
+
+/** One chunk record, as produced by the recording hardware. */
+struct ChunkRecord
+{
+    Timestamp ts = 0;     //!< Lamport timestamp at termination
+    std::uint32_t size = 0; //!< user instructions retired in the chunk
+    std::uint16_t rsw = 0;  //!< reordered store window (TSO, CoreRacer)
+    ChunkReason reason = ChunkReason::Drain;
+    Tid tid = invalidTid; //!< thread (R-XID) the chunk belongs to
+
+    bool operator==(const ChunkRecord &o) const = default;
+
+    /** Size of the fixed in-CBUF layout the hardware writes. */
+    static constexpr std::uint32_t cbufBytes = 16;
+
+    /** Pack into the fixed 16-byte CBUF layout (4 words). */
+    void packWords(Word out[4]) const;
+
+    /** Unpack from the fixed CBUF layout. */
+    static ChunkRecord unpackWords(const Word in[4]);
+};
+
+/**
+ * Append the packed variable-length encoding of @p rec to @p out.
+ * The timestamp is delta-encoded against @p prev_ts (the previous
+ * record of the same thread log); sizes and deltas use LEB128 varints.
+ */
+void packCompact(const ChunkRecord &rec, Timestamp prev_ts,
+                 std::vector<std::uint8_t> &out);
+
+/**
+ * Decode one compact record from @p in at offset @p pos (advanced).
+ * @param prev_ts previous timestamp of this thread log.
+ */
+ChunkRecord unpackCompact(const std::vector<std::uint8_t> &in,
+                          std::size_t &pos, Timestamp prev_ts, Tid tid);
+
+/** LEB128 varint append (shared with the input-log encoder). */
+void putVarint(std::vector<std::uint8_t> &out, std::uint64_t v);
+
+/** LEB128 varint decode at @p pos (advanced). */
+std::uint64_t getVarint(const std::vector<std::uint8_t> &in,
+                        std::size_t &pos);
+
+} // namespace qr
+
+#endif // QR_RNR_CHUNK_RECORD_HH

@@ -1,0 +1,191 @@
+#include "rnr/rnr_unit.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace qr
+{
+
+RnrUnit::RnrUnit(CoreId core_id, const RnrParams &params_, Cbuf &cbuf_)
+    : coreId(core_id), params(params_), cbuf(cbuf_), rset(params_.bloom),
+      wset(params_.bloom)
+{
+    qr_assert((params.lineBytes & (params.lineBytes - 1)) == 0,
+              "line size must be a power of two");
+    qr_assert(params.maxChunkInstrs > 0, "max chunk size must be nonzero");
+}
+
+void
+RnrUnit::enable(Tid tid_)
+{
+    qr_assert(!_enabled, "core %d: enable while already recording", coreId);
+    qr_assert(chunkSize == 0 && !filterActivity,
+              "core %d: stale chunk state at enable", coreId);
+    _enabled = true;
+    tid = tid_;
+}
+
+void
+RnrUnit::disable()
+{
+    qr_assert(chunkSize == 0 && !filterActivity,
+              "core %d: disable with an open chunk", coreId);
+    _enabled = false;
+    tid = invalidTid;
+}
+
+void
+RnrUnit::setClockFloor(Timestamp floor)
+{
+    _clock = std::max(_clock, floor);
+}
+
+void
+RnrUnit::clearChunkState()
+{
+    rset.clear();
+    wset.clear();
+    chunkSize = 0;
+    filterActivity = false;
+    if (params.exactShadow) {
+        shadowReads.clear();
+        shadowWrites.clear();
+    }
+}
+
+void
+RnrUnit::terminate(ChunkReason reason, Tick now)
+{
+    if (!_enabled)
+        return;
+
+    std::uint32_t rsw = sbOccupancy ? sbOccupancy() : 0;
+    if (chunkSize == 0 && rsw == 0 && !filterActivity) {
+        // Nothing observable happened since the last boundary; suppress
+        // the record (see README: suppressing is only sound when the
+        // filters saw no activity, because store drains and input
+        // copies need a logged anchor chunk).
+        _stats.emptyTerminations++;
+        return;
+    }
+
+    ChunkRecord rec;
+    rec.ts = _clock;
+    rec.size = chunkSize;
+    rec.rsw = static_cast<std::uint16_t>(rsw);
+    rec.reason = reason;
+    rec.tid = tid;
+    _clock++; // per-core timestamps are strictly increasing
+
+    tracef(TraceFlag::Chunk,
+           "core %d tid %d: chunk ts=%llu size=%u rsw=%u (%s)", coreId,
+           tid, static_cast<unsigned long long>(rec.ts), rec.size,
+           rec.rsw, chunkReasonName(reason));
+
+    Cbuf::Signal sig = cbuf.append(rec, now);
+
+    _stats.chunks++;
+    _stats.reasonCounts[static_cast<int>(reason)]++;
+    _stats.chunkSizes.sample(rec.size);
+    _stats.rswValues.sample(rec.rsw);
+    if (rec.rsw)
+        _stats.rswNonZero++;
+
+    clearChunkState();
+
+    if (sink) {
+        sink->onChunkLogged(rec, coreId);
+        if (sig != Cbuf::Signal::None)
+            sink->onCbufSignal(coreId, sig == Cbuf::Signal::Full, now);
+    } else if (sig == Cbuf::Signal::Full) {
+        // No software stack attached (unit tests): discard by draining.
+        cbuf.drain();
+    }
+}
+
+void
+RnrUnit::onRetire(Tick now)
+{
+    if (!_enabled)
+        return;
+    chunkSize++;
+    if (chunkSize >= params.maxChunkInstrs)
+        terminate(ChunkReason::SizeOverflow, now);
+}
+
+void
+RnrUnit::onLoad(Addr addr, Tick now)
+{
+    if (!_enabled)
+        return;
+    _stats.loadsObserved++;
+    rset.insert(lineOf(addr));
+    filterActivity = true;
+    if (params.exactShadow)
+        shadowReads.insert(lineOf(addr));
+    if (params.filterMaxFill && rset.fill() >= params.filterMaxFill)
+        terminate(ChunkReason::FilterFull, now);
+}
+
+void
+RnrUnit::onStoreDrain(Addr addr, Tick now)
+{
+    if (!_enabled)
+        return;
+    _stats.drainsObserved++;
+    wset.insert(lineOf(addr));
+    filterActivity = true;
+    if (params.exactShadow)
+        shadowWrites.insert(lineOf(addr));
+    if (params.filterMaxFill && wset.fill() >= params.filterMaxFill)
+        terminate(ChunkReason::FilterFull, now);
+}
+
+void
+RnrUnit::mergeResponse(Timestamp max_observer_ts)
+{
+    _clock = std::max(_clock, max_observer_ts + 1);
+}
+
+Timestamp
+RnrUnit::observeRemote(const BusTxn &txn, Tick now)
+{
+    if (_enabled) {
+        _stats.remoteTxnsChecked++;
+        Addr line = lineOf(txn.lineAddr);
+        // Remote read vs. our writes: RAW. Remote write intent vs. our
+        // writes: WAW; vs. our reads only: WAR.
+        ChunkReason reason = ChunkReason::NumReasons;
+        if (txn.op == BusOp::BusRd) {
+            if (wset.test(line))
+                reason = ChunkReason::ConflictRaw;
+        } else {
+            if (wset.test(line))
+                reason = ChunkReason::ConflictWaw;
+            else if (rset.test(line))
+                reason = ChunkReason::ConflictWar;
+        }
+        if (reason != ChunkReason::NumReasons) {
+            if (params.exactShadow) {
+                bool exact = txn.op == BusOp::BusRd
+                    ? shadowWrites.count(line) > 0
+                    : shadowWrites.count(line) > 0 ||
+                      shadowReads.count(line) > 0;
+                if (!exact)
+                    _stats.falseConflicts++;
+            }
+            // Terminate with the pre-merge clock: the conflicting chunk
+            // must be ordered strictly before the requester's current
+            // chunk, whose eventual timestamp exceeds our merged clock.
+            terminate(reason, now);
+        }
+    }
+    // Lamport merge on every transaction, recording or not (the clock
+    // is free-running hardware fed by the coherence fabric).
+    _clock = std::max(_clock, txn.reqTs + 1);
+    return _clock;
+}
+
+} // namespace qr

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The per-core QuickRec recording unit: the MRR chunking hardware.
+ *
+ * Responsibilities:
+ *  - accumulate the running chunk: retired-instruction count plus Bloom
+ *    read/write sets over cache-line addresses;
+ *  - observe every remote coherence transaction: check it against the
+ *    filters (terminating the chunk on a hit, with the pre-merge clock)
+ *    and merge the Lamport clock with the request timestamp;
+ *  - at termination, capture the store-buffer occupancy as the RSW
+ *    (reordered store window, per CoreRacer) and append a record to the
+ *    per-core CBUF;
+ *  - expose the MSR-style control surface Capo3 drives: enable/disable
+ *    with an R-XID, and clock save/restore across context switches.
+ *
+ * Ordering soundness (proved in src/rnr/README.md): chunk timestamps
+ * order every inter-thread dependence because (a) a conflict hit
+ * terminates the snooped chunk before the clock merge, so the
+ * requester's eventually-logged chunk is strictly later, and (b) clocks
+ * merge on *every* bus transaction, so communication with an address
+ * whose filter entry was already flash-cleared still raises the
+ * consumer's clock above the producer's logged timestamps.
+ */
+
+#ifndef QR_RNR_RNR_UNIT_HH
+#define QR_RNR_RNR_UNIT_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "mem/bus.hh"
+#include "rnr/bloom.hh"
+#include "rnr/cbuf.hh"
+#include "rnr/chunk_record.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Recipient of hardware recording events (implemented by Capo3's RSM). */
+class ChunkSink
+{
+  public:
+    virtual ~ChunkSink() = default;
+
+    /** A chunk record was appended to a CBUF. */
+    virtual void onChunkLogged(const ChunkRecord &rec, CoreId core) = 0;
+
+    /**
+     * The CBUF crossed its drain threshold (@p full false: interrupt)
+     * or filled completely (@p full true: backpressure; the handler
+     * must drain before the next append).
+     */
+    virtual void onCbufSignal(CoreId core, bool full, Tick now) = 0;
+};
+
+/** Configuration of one recording unit. */
+struct RnrParams
+{
+    BloomParams bloom;
+    std::uint32_t maxChunkInstrs = 65536; //!< chunk-size counter width
+    std::uint32_t lineBytes = 64;         //!< conflict granularity
+    /**
+     * Terminate when a filter has absorbed this many insertions
+     * (false-positive safety valve); 0 disables.
+     */
+    std::uint32_t filterMaxFill = 0;
+    /**
+     * Keep exact shadow address sets to classify conflict terminations
+     * as true or false positives (evaluation aid; not hardware).
+     */
+    bool exactShadow = false;
+};
+
+/** Per-unit statistics. */
+struct RnrStats
+{
+    std::uint64_t chunks = 0;
+    std::uint64_t reasonCounts[numChunkReasons] = {};
+    Histogram chunkSizes;
+    Histogram rswValues; //!< sampled over all logged chunks
+    std::uint64_t rswNonZero = 0;
+    std::uint64_t loadsObserved = 0;
+    std::uint64_t drainsObserved = 0;
+    std::uint64_t remoteTxnsChecked = 0;
+    std::uint64_t falseConflicts = 0; //!< only with exactShadow
+    std::uint64_t emptyTerminations = 0; //!< suppressed empty chunks
+};
+
+/** The per-core recording unit. */
+class RnrUnit : public BusObserver
+{
+  public:
+    RnrUnit(CoreId core_id, const RnrParams &params, Cbuf &cbuf);
+
+    // --- software control surface (MSR writes from Capo3) --------------
+    /** Start recording the thread identified by @p tid (the R-XID). */
+    void enable(Tid tid);
+
+    /** Stop recording. Any open chunk must be terminated first. */
+    void disable();
+
+    bool enabled() const { return _enabled; }
+
+    /** Current Lamport clock (saved into the recording context). */
+    Timestamp clock() const { return _clock; }
+
+    /**
+     * Restore a thread's recording context: raise the clock to at least
+     * @p floor so the next chunk is ordered after everything the thread
+     * did on other cores.
+     */
+    void setClockFloor(Timestamp floor);
+
+    /** Hook the owning core's store-buffer occupancy. */
+    void setSbOccupancyQuery(std::function<std::uint32_t()> q)
+    { sbOccupancy = std::move(q); }
+
+    /** Attach the software stack. */
+    void setSink(ChunkSink *s) { sink = s; }
+
+    // --- core-side event hooks ------------------------------------------
+    /** One user instruction retired. May terminate on size overflow. */
+    void onRetire(Tick now);
+
+    /** A load retired to @p addr (any byte address). */
+    void onLoad(Addr addr, Tick now);
+
+    /**
+     * A store became globally visible (store-buffer drain, atomic, or
+     * kernel copy-to-user attributed to this thread). Inserted into the
+     * *current* chunk's write set even when the store retired in an
+     * earlier chunk -- the CoreRacer rule that makes RSW replayable.
+     */
+    void onStoreDrain(Addr addr, Tick now);
+
+    /** Merge the clock with the response of a bus transaction we issued. */
+    void mergeResponse(Timestamp max_observer_ts);
+
+    /** Explicit termination from the software stack (trap/switch/drain). */
+    void terminate(ChunkReason reason, Tick now);
+
+    // --- bus observer ----------------------------------------------------
+    Timestamp observeRemote(const BusTxn &txn, Tick now) override;
+    CoreId observerId() const override { return coreId; }
+
+    /** Instructions accumulated in the open chunk. */
+    std::uint32_t openChunkSize() const { return chunkSize; }
+
+    const RnrStats &stats() const { return _stats; }
+
+  private:
+    Addr lineOf(Addr addr) const { return addr & ~(params.lineBytes - 1); }
+    void clearChunkState();
+
+    CoreId coreId;
+    RnrParams params;
+    Cbuf &cbuf;
+    BloomFilter rset;
+    BloomFilter wset;
+    bool _enabled = false;
+    Tid tid = invalidTid;
+    std::uint32_t chunkSize = 0;
+    bool filterActivity = false;
+    Timestamp _clock = 0;
+    std::function<std::uint32_t()> sbOccupancy;
+    ChunkSink *sink = nullptr;
+    std::unordered_set<Addr> shadowReads;
+    std::unordered_set<Addr> shadowWrites;
+    RnrStats _stats;
+};
+
+} // namespace qr
+
+#endif // QR_RNR_RNR_UNIT_HH

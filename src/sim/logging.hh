@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs); fatal()
+ * is for user-caused misconfiguration; warn()/inform() are advisory.
+ */
+
+#ifndef QR_SIM_LOGGING_HH
+#define QR_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace qr
+{
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of csprintf(). */
+std::string vcsprintf(const char *fmt, std::va_list ap);
+
+/**
+ * Abort with a message. Call when an internal invariant is violated,
+ * i.e. a simulator bug, never for user error.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with an error message. Call when the user supplied an invalid
+ * configuration or input; not a simulator bug.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message to stderr and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** panic() with the given printf-style message unless the condition holds. */
+#define qr_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::qr::panic(__VA_ARGS__);                                       \
+    } while (0)
+
+} // namespace qr
+
+#endif // QR_SIM_LOGGING_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Every source of "randomness" in the simulator draws from a seeded Rng so
+ * that a run is exactly reproducible from its seed. This property underpins
+ * the record/replay determinism verification: recording the same seeded run
+ * twice yields bit-identical logs.
+ */
+
+#ifndef QR_SIM_RNG_HH
+#define QR_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace qr
+{
+
+/**
+ * xorshift64* generator. Small, fast, and deterministic across platforms;
+ * statistical quality is more than sufficient for workload generation and
+ * latency jitter.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next64()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Next 32-bit draw. */
+    std::uint32_t next32() { return static_cast<std::uint32_t>(next64() >> 32); }
+
+    /** Uniform draw in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next64() % bound;
+    }
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+    /** Reseed the generator. */
+    void seed(std::uint64_t s) { state = s ? s : 1; }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Strong 64-bit integer mixer (splitmix64 finalizer). Used to derive
+ * independent hash functions, e.g. for the recorder's Bloom filters.
+ */
+std::uint64_t mix64(std::uint64_t x);
+
+} // namespace qr
+
+#endif // QR_SIM_RNG_HH

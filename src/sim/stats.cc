@@ -1,0 +1,111 @@
+#include "sim/stats.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+/** Bucket index for a sample: 0 for v==0, else floor(log2(v)) + 1. */
+int
+bucketIndex(std::uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    return 64 - std::countl_zero(v);
+}
+
+} // namespace
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    _buckets[static_cast<std::size_t>(bucketIndex(v))]++;
+    _count++;
+    _sum += v;
+    if (v < _min)
+        _min = v;
+    if (v > _max)
+        _max = v;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (std::size_t i = 0; i < _buckets.size(); ++i)
+        _buckets[i] += other._buckets[i];
+    _count += other._count;
+    _sum += other._sum;
+    if (other._count) {
+        if (other._min < _min)
+            _min = other._min;
+        if (other._max > _max)
+            _max = other._max;
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return _count ? static_cast<double>(_sum) / static_cast<double>(_count)
+                  : 0.0;
+}
+
+std::uint64_t
+Histogram::quantile(double p) const
+{
+    if (_count == 0)
+        return 0;
+    qr_assert(p >= 0.0 && p <= 1.0, "quantile p out of range: %f", p);
+    std::uint64_t target =
+        static_cast<std::uint64_t>(p * static_cast<double>(_count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (seen > target) {
+            if (i == 0)
+                return 0;
+            // Geometric midpoint of [2^(i-1), 2^i).
+            std::uint64_t lo = 1ull << (i - 1);
+            return lo + lo / 2;
+        }
+    }
+    return _max;
+}
+
+double
+Histogram::zeroFraction() const
+{
+    return _count ? static_cast<double>(_buckets[0]) /
+                        static_cast<double>(_count)
+                  : 0.0;
+}
+
+std::string
+Histogram::summary() const
+{
+    return csprintf("n=%llu mean=%.1f min=%llu p50=%llu p90=%llu max=%llu",
+                    static_cast<unsigned long long>(_count), mean(),
+                    static_cast<unsigned long long>(min()),
+                    static_cast<unsigned long long>(quantile(0.5)),
+                    static_cast<unsigned long long>(quantile(0.9)),
+                    static_cast<unsigned long long>(_max));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace qr

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight statistics value types used across the simulator.
+ *
+ * Modules embed these directly (no global registry): a Histogram for
+ * distributions such as chunk sizes, and small helpers for derived values.
+ */
+
+#ifndef QR_SIM_STATS_HH
+#define QR_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qr
+{
+
+/**
+ * Log2-bucketed histogram of unsigned samples.
+ *
+ * Bucket i counts samples v with floor(log2(v)) == i; bucket 0 also counts
+ * v == 0 separately via zeroCount. Tracks count/sum/min/max exactly, so
+ * mean() is exact while percentiles are bucket-resolution approximations.
+ */
+class Histogram
+{
+  public:
+    /** Record one sample. */
+    void sample(std::uint64_t v);
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return _count; }
+
+    /** Sum of all samples. */
+    std::uint64_t sum() const { return _sum; }
+
+    /** Smallest sample, or 0 if empty. */
+    std::uint64_t min() const { return _count ? _min : 0; }
+
+    /** Largest sample, or 0 if empty. */
+    std::uint64_t max() const { return _max; }
+
+    /** Exact arithmetic mean, or 0 if empty. */
+    double mean() const;
+
+    /**
+     * Approximate p-quantile (p in [0,1]) at bucket resolution: returns
+     * the geometric midpoint of the bucket containing the quantile.
+     */
+    std::uint64_t quantile(double p) const;
+
+    /** Fraction of samples that are zero. */
+    double zeroFraction() const;
+
+    /** Raw bucket counts (index = floor(log2(v)) + 1; index 0 = zeros). */
+    const std::array<std::uint64_t, 65> &buckets() const { return _buckets; }
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+
+  private:
+    std::array<std::uint64_t, 65> _buckets{};
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _min = ~0ull;
+    std::uint64_t _max = 0;
+};
+
+/** Safe ratio: returns 0 when the denominator is 0. */
+inline double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+/** Percentage with safe denominator. */
+inline double
+percent(double num, double den)
+{
+    return 100.0 * ratio(num, den);
+}
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+double geomean(const std::vector<double> &xs);
+
+} // namespace qr
+
+#endif // QR_SIM_STATS_HH

@@ -1,0 +1,100 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+Table::Table(std::vector<std::string> headers_) : headers(std::move(headers_))
+{
+}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &s)
+{
+    qr_assert(!rows.empty(), "Table::cell called before Table::row");
+    rows.back().push_back(s);
+    return *this;
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(csprintf("%llu", static_cast<unsigned long long>(v)));
+}
+
+Table &
+Table::cell(std::int64_t v)
+{
+    return cell(csprintf("%lld", static_cast<long long>(v)));
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(csprintf("%.*f", precision, v));
+}
+
+Table &
+Table::cellPct(double v, int precision)
+{
+    return cell(csprintf("%.*f%%", precision, v));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &s = c < cells.size() ? cells[c] : "";
+            // Left-align the first column (names), right-align the rest.
+            if (c == 0) {
+                line += s;
+                line.append(widths[c] - s.size(), ' ');
+            } else {
+                line.append(widths[c] - s.size(), ' ');
+                line += s;
+            }
+            if (c + 1 < widths.size())
+                line += "  ";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = emitRow(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &r : rows)
+        out += emitRow(r);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace qr

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Console table formatter used by the benchmark harness to print
+ * paper-style result tables with aligned columns.
+ */
+
+#ifndef QR_SIM_TABLE_HH
+#define QR_SIM_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qr
+{
+
+/**
+ * A simple column-aligned text table. Columns are declared up front;
+ * rows are appended cell by cell, with numeric convenience overloads.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Start a new row. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &s);
+
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t v);
+
+    /** Append a signed integer cell. */
+    Table &cell(std::int64_t v);
+
+    /** Append a floating-point cell with the given precision. */
+    Table &cell(double v, int precision = 2);
+
+    /** Append a percentage cell formatted as "12.3%". */
+    Table &cellPct(double v, int precision = 1);
+
+    /** Render the table (header, separator, rows) to a string. */
+    std::string str() const;
+
+    /** Print the rendered table to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace qr
+
+#endif // QR_SIM_TABLE_HH

@@ -1,0 +1,95 @@
+#include "sim/trace.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+std::array<bool, numTraceFlags> &
+flags()
+{
+    static std::array<bool, numTraceFlags> enabled = [] {
+        std::array<bool, numTraceFlags> e{};
+        const char *env = std::getenv("QR_TRACE");
+        if (!env)
+            return e;
+        std::string spec(env);
+        std::size_t pos = 0;
+        while (pos <= spec.size()) {
+            std::size_t comma = spec.find(',', pos);
+            std::string name = spec.substr(
+                pos, comma == std::string::npos ? std::string::npos
+                                                : comma - pos);
+            if (name == "all") {
+                e.fill(true);
+            } else if (!name.empty()) {
+                bool known = false;
+                for (int f = 0; f < numTraceFlags; ++f)
+                    if (name == traceFlagName(
+                            static_cast<TraceFlag>(f))) {
+                        e[static_cast<std::size_t>(f)] = true;
+                        known = true;
+                    }
+                if (!known)
+                    warn("QR_TRACE: unknown flag '%s'", name.c_str());
+            }
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        return e;
+    }();
+    return enabled;
+}
+
+} // namespace
+
+const char *
+traceFlagName(TraceFlag f)
+{
+    switch (f) {
+      case TraceFlag::Chunk: return "chunk";
+      case TraceFlag::Cbuf: return "cbuf";
+      case TraceFlag::Syscall: return "syscall";
+      case TraceFlag::Sched: return "sched";
+      case TraceFlag::Signal: return "signal";
+      case TraceFlag::Replay: return "replay";
+      case TraceFlag::NumFlags: break;
+    }
+    return "?";
+}
+
+bool
+traceEnabled(TraceFlag f)
+{
+    return flags()[static_cast<std::size_t>(f)];
+}
+
+void
+tracef(TraceFlag f, const char *fmt, ...)
+{
+    if (!traceEnabled(f))
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vcsprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%s: %s\n", traceFlagName(f), s.c_str());
+}
+
+void
+traceOverride(TraceFlag f, bool on)
+{
+    flags()[static_cast<std::size_t>(f)] = on;
+}
+
+} // namespace qr

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Lightweight debug tracing, in the spirit of gem5's Debug flags.
+ *
+ * Enable at run time with the QR_TRACE environment variable, a
+ * comma-separated list of flag names (or "all"):
+ *
+ *     QR_TRACE=chunk,syscall ./build/examples/quickstart
+ *
+ * Trace lines go to stderr as "<flag>: <message>". The enabled-check
+ * is a single array load, so instrumented code paths cost nearly
+ * nothing when tracing is off.
+ */
+
+#ifndef QR_SIM_TRACE_HH
+#define QR_SIM_TRACE_HH
+
+#include <cstdarg>
+
+namespace qr
+{
+
+/** Trace flags, one per instrumented subsystem. */
+enum class TraceFlag : int
+{
+    Chunk,    //!< chunk terminations and their causes
+    Cbuf,     //!< CBUF threshold/full signals and drains
+    Syscall,  //!< guest system calls and results
+    Sched,    //!< dispatch, preemption, migration
+    Signal,   //!< signal posts and deliveries
+    Replay,   //!< replayed chunks and injected records
+    NumFlags,
+};
+
+/** Number of trace flags. */
+constexpr int numTraceFlags = static_cast<int>(TraceFlag::NumFlags);
+
+/** @return canonical lowercase name of a flag. */
+const char *traceFlagName(TraceFlag f);
+
+/** @return true if @p f was enabled via QR_TRACE. */
+bool traceEnabled(TraceFlag f);
+
+/** Emit one trace line (printf-style) if @p f is enabled. */
+void tracef(TraceFlag f, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Force flags on/off programmatically (tests). */
+void traceOverride(TraceFlag f, bool on);
+
+} // namespace qr
+
+#endif // QR_SIM_TRACE_HH

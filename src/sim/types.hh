@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every QuickRec module.
+ */
+
+#ifndef QR_SIM_TYPES_HH
+#define QR_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace qr
+{
+
+/** Simulated time, measured in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Guest physical/virtual address (flat 32-bit space, word-addressable). */
+using Addr = std::uint32_t;
+
+/** Guest machine word. QR-ISA is a 32-bit word machine. */
+using Word = std::uint32_t;
+
+/** Signed view of a guest word, for arithmetic instructions. */
+using SWord = std::int32_t;
+
+/** Hardware core identifier. */
+using CoreId = int;
+
+/** Guest thread identifier, assigned by the guest kernel. */
+using Tid = int;
+
+/** Lamport timestamp carried on coherence messages and chunk records. */
+using Timestamp = std::uint64_t;
+
+/** Identifier of a recording context (Capo3 R-XID). */
+using Rxid = std::uint32_t;
+
+/** Sentinel for "no core". */
+constexpr CoreId invalidCore = -1;
+
+/** Sentinel for "no thread". */
+constexpr Tid invalidTid = -1;
+
+} // namespace qr
+
+#endif // QR_SIM_TYPES_HH

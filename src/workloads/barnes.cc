@@ -1,0 +1,146 @@
+/**
+ * @file
+ * BARNES analog: threads concurrently insert bodies into a shared tree
+ * under fine-grained per-node spin locks (the irregular pointer-chasing
+ * write sharing of Barnes-Hut tree build), then traverse the tree
+ * read-only to accumulate forces (wide read sharing).
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeBarnes(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t depth = 7; // complete binary tree
+    const std::uint32_t nodes = (1u << (depth + 1)) - 1;
+    const std::uint32_t bodiesPerThread =
+        64u * static_cast<std::uint32_t>(scale);
+    // Node layout: [ticket, serving, value, pad] -- 4 words per node, packed
+    // two-per-half-line like the real thing (some false sharing).
+    const std::uint32_t nodeWords = 4;
+
+    Addr tree = g.alignedBlock(nodes * nodeWords);
+    Addr bar = g.barrierAlloc();
+    Addr forces = g.alignedBlock(16u * static_cast<std::uint32_t>(threads));
+    Addr sumWord = g.word();
+
+    std::string body = "barnes_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        // checksum = root value + each thread's force accumulator
+        g.li(t1, tree);
+        g.lw(t3, t1, 8);
+        g.li(t1, forces);
+        g.li(t2, static_cast<Word>(threads));
+        std::string f = g.newLabel("fsum");
+        g.label(f);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, 64);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, f);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s1 = body counter, s2 = body key (PRNG state),
+    // s3 = node index, s4 = level, s5 = node byte base, s6 = force acc.
+    g.label(body);
+    g.mv(s0, a0);
+
+    // --- build phase: insert bodies root-to-leaf under node locks --------
+    g.li(s1, bodiesPerThread);
+    g.li(t1, 0x9e37);
+    g.mul(s2, s0, t1);
+    g.addi(s2, s2, 0x79b9); // per-thread PRNG seed
+    std::string insLoop = g.newLabel("ins");
+    g.label(insLoop);
+    // next body key: xorshift-ish
+    g.slli(t1, s2, 13);
+    g.xor_(s2, s2, t1);
+    g.srli(t1, s2, 17);
+    g.xor_(s2, s2, t1);
+    g.li(s3, 0); // start at root
+    g.li(s4, depth);
+    std::string walk = g.newLabel("walk");
+    g.label(walk);
+    // node base = tree + s3 * nodeWords * 4
+    g.slli(s5, s3, 4);
+    g.li(t1, tree);
+    g.add(s5, s5, t1);
+    // local "center of mass" computation before touching the node
+    g.mv(t5, s2);
+    g.computePad(t5, t6, 12);
+    // lock node, value += f(key), unlock
+    g.spinLockAcquire(s5, t1, t3);
+    g.lw(t2, s5, 8);
+    g.add(t2, t2, s2);
+    g.add(t2, t2, t5);
+    g.sw(t2, s5, 8);
+    g.spinLockRelease(s5, t1);
+    // descend: child = 2*idx + 1 + (key >> level & 1)
+    g.srl(t1, s2, s4);
+    g.andi(t1, t1, 1);
+    g.slli(s3, s3, 1);
+    g.addi(s3, s3, 1);
+    g.add(s3, s3, t1);
+    g.addi(s4, s4, -1);
+    g.bne(s4, zero, walk);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, insLoop);
+
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    // --- force phase: read-only traversals ---------------------------------
+    g.li(s6, 0);
+    g.li(s1, bodiesPerThread);
+    g.li(t1, 0x51ed);
+    g.mul(s2, s0, t1);
+    g.addi(s2, s2, 0x2d5a);
+    std::string frcLoop = g.newLabel("frc");
+    g.label(frcLoop);
+    g.slli(t1, s2, 13);
+    g.xor_(s2, s2, t1);
+    g.srli(t1, s2, 17);
+    g.xor_(s2, s2, t1);
+    g.li(s3, 0);
+    g.li(s4, depth);
+    std::string walk2 = g.newLabel("walk2");
+    g.label(walk2);
+    g.slli(s5, s3, 4);
+    g.li(t1, tree);
+    g.add(s5, s5, t1);
+    g.lw(t2, s5, 8); // read node value (shared, no lock)
+    g.srli(t3, t2, 3);
+    g.computePad(t3, t5, 10); // force kernel on the node contribution
+    g.add(s6, s6, t3);
+    g.srl(t1, s2, s4);
+    g.andi(t1, t1, 1);
+    g.slli(s3, s3, 1);
+    g.addi(s3, s3, 1);
+    g.add(s3, s3, t1);
+    g.addi(s4, s4, -1);
+    g.bne(s4, zero, walk2);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, frcLoop);
+
+    // publish my force accumulator (private line)
+    g.slli(t1, s0, 6);
+    g.li(t2, forces);
+    g.add(t2, t2, t1);
+    g.sw(s6, t2, 0);
+    g.ret();
+
+    return Workload{"barnes",
+                    csprintf("nodes=%u bodies/thread=%u threads=%d",
+                             nodes, bodiesPerThread, threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Extended-suite workloads beyond the paper's ten: CHOLESKY
+ * (dependency-counter-driven sparse factorization tasks) and VOLREND
+ * (tile rendering with per-thread work queues and work stealing).
+ * They add two synchronization shapes the main suite lacks --
+ * dataflow task release and stealing -- and are used by the wider
+ * integration tests.
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeCholesky(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t cols = 24u * static_cast<std::uint32_t>(scale);
+    const std::uint32_t colWords = 16;
+    // Column j depends on its two "structure parents" (j-1, j-3 when
+    // they exist); finishing a column decrements dependents' counters
+    // and releases them when the count hits zero.
+
+    Addr data = g.alignedBlock(cols * colWords);
+    Addr deps = g.alignedBlock(cols);   // remaining dependency counts
+    Addr ready = g.alignedBlock(cols);  // ready queue (indices)
+    Addr rhead = g.alignedBlock(1);     // queue head (producers)
+    Addr rtail = g.alignedBlock(1);     // queue tail (consumers)
+    Addr doneCnt = g.alignedBlock(1);
+    Addr qlock = g.lockAlloc();
+    Addr sumWord = g.word();
+
+    Rng rng(0xc401e + static_cast<unsigned>(scale));
+    std::vector<int> depCount(cols, 0);
+    for (std::uint32_t j = 0; j < cols; ++j) {
+        if (j >= 1)
+            depCount[j]++;
+        if (j >= 3)
+            depCount[j]++;
+        for (std::uint32_t wds = 0; wds < colWords; ++wds)
+            g.poke(data + (j * colWords + wds) * 4,
+                   (rng.next32() & 0xfff) | 1);
+    }
+    std::uint32_t nseed = 0;
+    for (std::uint32_t j = 0; j < cols; ++j) {
+        g.poke(deps + j * 4, static_cast<Word>(depCount[j]));
+        if (depCount[j] == 0)
+            g.poke(ready + (nseed++) * 4, j);
+    }
+    g.poke(rhead, nseed);
+
+    std::string body = "chol_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, data);
+        g.li(t2, cols * colWords);
+        g.li(t3, 0);
+        std::string c = g.newLabel("csum");
+        g.label(c);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, 4);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, c);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s1 = my column, s2 = &qlock, s3 = column base,
+    // s4 = scratch, s5 = total columns.
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s2, qlock);
+    g.li(s5, cols);
+    std::string loop = g.newLabel("loop");
+    std::string nowork = g.newLabel("nowork");
+    std::string done = g.newLabel("done");
+    g.label(loop);
+    // pop a ready column under the queue lock (a lock-free claim
+    // could strand a slot that is published after the claim)
+    g.spinLockAcquire(s2, t1, t2);
+    g.li(t1, rhead);
+    g.lw(t3, t1, 0);
+    g.li(t1, rtail);
+    g.lw(t4, t1, 0);
+    std::string havework = g.newLabel("have");
+    g.bltu(t4, t3, havework);
+    g.spinLockRelease(s2, t1);
+    g.j(nowork);
+    g.label(havework);
+    g.addi(t5, t4, 1);
+    g.sw(t5, t1, 0); // tail++
+    g.slli(t5, t4, 2);
+    g.li(t6, ready);
+    g.add(t6, t6, t5);
+    g.lw(s1, t6, 0); // my column index
+    g.spinLockRelease(s2, t1);
+    // "factor" the column: heavy local compute over its words,
+    // reading the parents' first words (shared reads).
+    g.li(t1, colWords * 4);
+    g.mul(s3, s1, t1);
+    g.li(t1, data);
+    g.add(s3, s3, t1);
+    g.li(s4, colWords);
+    std::string fw = g.newLabel("fw");
+    g.label(fw);
+    g.lw(t2, s3, 0);
+    g.computePad(t2, t3, 8);
+    g.sw(t2, s3, 0);
+    g.addi(s3, s3, 4);
+    g.addi(s4, s4, -1);
+    g.bne(s4, zero, fw);
+    // release dependents: children are j+1 and j+3 (if in range)
+    for (int childOff : {1, 3}) {
+        std::string skip = g.newLabel("skipch");
+        g.addi(t1, s1, childOff);
+        g.bgeu(t1, s5, skip);
+        g.slli(t2, t1, 2);
+        g.li(t3, deps);
+        g.add(t3, t3, t2);
+        g.li(t4, static_cast<Word>(-1));
+        g.fetchadd(t4, t3, t4); // old count
+        g.li(t5, 1);
+        g.bne(t4, t5, skip); // not the last dependency
+        // became ready: publish under the queue lock
+        g.mv(s4, t1); // child column
+        g.spinLockAcquire(s2, t1, t2);
+        g.li(t2, rhead);
+        g.lw(t3, t2, 0);
+        g.slli(t4, t3, 2);
+        g.li(t5, ready);
+        g.add(t5, t5, t4);
+        g.sw(s4, t5, 0);
+        g.addi(t3, t3, 1);
+        g.sw(t3, t2, 0);
+        g.spinLockRelease(s2, t1);
+        g.label(skip);
+    }
+    g.li(t1, doneCnt);
+    g.li(t2, 1);
+    g.fetchadd(t2, t1, t2);
+    g.j(loop);
+    g.label(nowork);
+    g.li(t1, doneCnt);
+    g.lw(t2, t1, 0);
+    g.beq(t2, s5, done);
+    g.pause();
+    g.j(loop);
+    g.label(done);
+    g.ret();
+
+    return Workload{"cholesky",
+                    csprintf("cols=%u threads=%d", cols, threads),
+                    threads, g.finish()};
+}
+
+Workload
+makeVolrend(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t tilesPer = 12u * static_cast<std::uint32_t>(scale);
+    const std::uint32_t volWords = 4096;
+    const std::uint32_t raysPerTile = 8;
+    const std::uint32_t steps = 6;
+    // Per-thread deque: [ticket, serving, top, items...] in a 64-word slab.
+    const std::uint32_t qWords = 64;
+
+    Addr volume = g.alignedBlock(volWords);
+    Addr queues =
+        g.alignedBlock(qWords * static_cast<std::uint32_t>(threads));
+    Addr image =
+        g.alignedBlock(16u * static_cast<std::uint32_t>(threads));
+    Addr doneCnt = g.alignedBlock(1);
+    Addr sumWord = g.word();
+    const std::uint32_t totalTiles =
+        tilesPer * static_cast<std::uint32_t>(threads);
+
+    Rng rng(0x701 + static_cast<unsigned>(scale));
+    for (std::uint32_t i = 0; i < volWords; ++i)
+        g.poke(volume + i * 4, rng.next32() % volWords);
+    // Pre-fill each thread's queue with its tiles.
+    for (int t = 0; t < threads; ++t) {
+        Addr base = queues + static_cast<Addr>(t) * qWords * 4;
+        g.poke(base + 8, tilesPer); // top
+        for (std::uint32_t i = 0; i < tilesPer; ++i)
+            g.poke(base + 12 + i * 4,
+                   static_cast<Word>(t) * tilesPer + i);
+    }
+
+    std::string body = "vol_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, image);
+        g.li(t2, static_cast<Word>(threads));
+        g.li(t3, 0);
+        std::string c = g.newLabel("csum");
+        g.label(c);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, 64);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, c);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s1 = accumulated image value, s2 = victim cursor,
+    // s3 = tile, s4 = queue base being popped, s5/s6 = ray state.
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, 0);
+    g.mv(s2, s0);
+    std::string loop = g.newLabel("loop");
+    std::string popq = g.newLabel("popq");
+    std::string gotTile = g.newLabel("got");
+    std::string stealNext = g.newLabel("stealnext");
+    std::string maybeDone = g.newLabel("maybedone");
+    std::string done = g.newLabel("exit");
+    g.label(loop);
+    g.mv(s2, s0); // start with my own queue
+    g.label(popq);
+    // s4 = queue base of victim s2
+    g.li(t1, qWords * 4);
+    g.mul(s4, s2, t1);
+    g.li(t1, queues);
+    g.add(s4, s4, t1);
+    g.spinLockAcquire(s4, t1, t5);
+    g.lw(t2, s4, 8); // top
+    std::string qempty = g.newLabel("qempty");
+    g.beq(t2, zero, qempty);
+    g.addi(t2, t2, -1);
+    g.sw(t2, s4, 8);
+    g.slli(t3, t2, 2);
+    g.add(t3, t3, s4);
+    g.lw(s3, t3, 12); // tile id
+    g.spinLockRelease(s4, t1);
+    g.j(gotTile);
+    g.label(qempty);
+    g.spinLockRelease(s4, t1);
+    g.label(stealNext);
+    // advance to the next victim; if we wrapped, check termination
+    g.addi(s2, s2, 1);
+    g.li(t1, static_cast<Word>(threads));
+    g.remu(s2, s2, t1);
+    g.bne(s2, s0, popq);
+    g.label(maybeDone);
+    g.li(t1, doneCnt);
+    g.lw(t2, t1, 0);
+    g.li(t3, totalTiles);
+    g.beq(t2, t3, done);
+    g.pause();
+    g.j(loop);
+    // --- render the tile ---------------------------------------------------
+    g.label(gotTile);
+    g.li(s5, raysPerTile);
+    std::string ray = g.newLabel("ray");
+    g.label(ray);
+    g.li(t1, 2654435761u);
+    g.mul(s6, s3, t1);
+    g.add(s6, s6, s5);
+    g.li(t1, volWords - 1);
+    g.and_(s6, s6, t1);
+    g.li(t2, steps);
+    std::string step = g.newLabel("step");
+    g.label(step);
+    g.slli(t3, s6, 2);
+    g.li(t4, volume);
+    g.add(t3, t3, t4);
+    g.lw(s6, t3, 0); // march: next voxel index (read-only shared)
+    g.add(s1, s1, s6);
+    g.addi(t2, t2, -1);
+    g.bne(t2, zero, step);
+    g.computePad(s1, t3, 6); // compositing math
+    g.addi(s5, s5, -1);
+    g.bne(s5, zero, ray);
+    g.li(t1, doneCnt);
+    g.li(t2, 1);
+    g.fetchadd(t2, t1, t2);
+    g.j(loop);
+    g.label(done);
+    // publish my image slot
+    g.slli(t1, s0, 6);
+    g.li(t2, image);
+    g.add(t2, t2, t1);
+    g.sw(s1, t2, 0);
+    g.ret();
+
+    return Workload{"volrend",
+                    csprintf("tiles=%u threads=%d", totalTiles,
+                             threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * FFT analog: log2(N) butterfly stages over an N-word signal with a
+ * double buffer. Early stages touch near neighbors (thread-private);
+ * late stages pair elements across partitions (all-to-all reads, the
+ * transpose-like communication that makes SPLASH-2 FFT bandwidth
+ * bound). A barrier separates stages.
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeFft(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t n = 1024u * static_cast<std::uint32_t>(scale);
+    const int stages = [] (std::uint32_t v) {
+        int s = 0;
+        while ((1u << s) < v)
+            s++;
+        return s;
+    }(n);
+    const std::uint32_t chunk = n / static_cast<std::uint32_t>(threads);
+    qr_assert(chunk * static_cast<std::uint32_t>(threads) == n,
+              "fft: threads must divide N");
+
+    Addr bufA = g.alignedBlock(n);
+    Addr bufB = g.alignedBlock(n);
+    Addr bar = g.barrierAlloc();
+    Addr sumWord = g.word();
+
+    // Seed the signal with a host-side PRNG (static data image).
+    Rng rng(0xff7 + static_cast<unsigned>(scale));
+    for (std::uint32_t i = 0; i < n; ++i)
+        g.poke(bufA + i * 4, rng.next32() | 1);
+
+    Addr result = (stages % 2) ? bufB : bufA;
+
+    std::string body = "fft_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        // Positional checksum of the final buffer.
+        g.li(t1, result);
+        g.li(t2, n);
+        g.li(t3, 0);
+        g.li(t5, 0);
+        std::string csum = g.newLabel("csum");
+        g.label(csum);
+        g.lw(t4, t1, 0);
+        g.add(t4, t4, t5);
+        g.mul(t4, t4, t4);
+        g.add(t3, t3, t4);
+        g.addi(t5, t5, 1);
+        g.addi(t1, t1, 4);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, csum);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, 0);     // stage
+    g.li(s5, bufA);  // src
+    g.li(s6, bufB);  // dst
+    std::string stageLoop = g.newLabel("stage");
+    std::string elemLoop = g.newLabel("elem");
+    g.label(stageLoop);
+    g.li(t1, chunk);
+    g.mul(s3, s0, t1); // i = my start
+    g.add(s4, s3, t1); // my end
+    g.label(elemLoop);
+    // partner index = i ^ (1 << stage)
+    g.li(t2, 1);
+    g.sll(t2, t2, s1);
+    g.xor_(t3, s3, t2);
+    // load src[i] and src[partner]
+    g.slli(t4, s3, 2);
+    g.add(t4, t4, s5);
+    g.lw(t5, t4, 0);
+    g.slli(t6, t3, 2);
+    g.add(t6, t6, s5);
+    g.lw(t7, t6, 0);
+    // dst[i] = src[i] + twiddle(src[partner], stage)
+    g.add(t8, t5, t7);
+    g.xor_(t8, t8, s1);
+    g.slli(t4, s3, 2);
+    g.add(t4, t4, s6);
+    g.sw(t8, t4, 0);
+    g.addi(s3, s3, 1);
+    g.bne(s3, s4, elemLoop);
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+    // swap src/dst
+    g.xor_(s5, s5, s6);
+    g.xor_(s6, s5, s6);
+    g.xor_(s5, s5, s6);
+    g.addi(s1, s1, 1);
+    g.li(t1, static_cast<Word>(stages));
+    g.bne(s1, t1, stageLoop);
+    g.ret();
+
+    return Workload{"fft", csprintf("N=%u stages=%d threads=%d", n,
+                                    stages, threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * FMM analog: grouped n-body with multipole-style interactions. Each
+ * thread owns groups; far groups are consumed through a one-word
+ * summary (light read sharing), near groups through their full body
+ * lists (heavier read sharing), and a locked accumulator on the target
+ * group takes occasional remote writes -- the mixed light/heavy
+ * communication pattern of SPLASH-2 FMM.
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeFmm(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t groups = 4u * static_cast<std::uint32_t>(threads);
+    const std::uint32_t bodies = 16; // words of body data per group
+    // Group layout (line-aligned, 32 words):
+    // [ticket, serving, summary, acc, body[0..15], pad...]
+    const std::uint32_t gWords = 32;
+    const std::uint32_t iters = 2u * static_cast<std::uint32_t>(scale);
+
+    Addr garr = g.alignedBlock(groups * gWords);
+    Addr bar = g.barrierAlloc();
+    Addr sumWord = g.word();
+
+    Rng rng(0xf33 + static_cast<unsigned>(scale));
+    for (std::uint32_t gi = 0; gi < groups; ++gi)
+        for (std::uint32_t b = 0; b < bodies; ++b)
+            g.poke(garr + (gi * gWords + 4 + b) * 4,
+                   (rng.next32() & 0xfff) | 1);
+
+    std::string body = "fmm_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, garr + 12); // acc of group 0
+        g.li(t2, groups);
+        g.li(t3, 0);
+        std::string c = g.newLabel("csum");
+        g.label(c);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, gWords * 4);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, c);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s1 = iter, s2 = my group cursor, s3 = other group,
+    // s4 = my group base, s5 = other group base, s6 = scratch acc,
+    // s7 = groups-per-thread bound, s8 = body cursor.
+    const std::uint32_t perThread =
+        groups / static_cast<std::uint32_t>(threads);
+
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, iters);
+    std::string iterLoop = g.newLabel("iter");
+    g.label(iterLoop);
+
+    // --- summarize my groups ----------------------------------------------
+    {
+        g.li(t1, perThread);
+        g.mul(s2, s0, t1);
+        g.add(s7, s2, t1);
+        std::string sg = g.newLabel("sumg");
+        g.label(sg);
+        g.li(t1, gWords * 4);
+        g.mul(s4, s2, t1);
+        g.li(t1, garr);
+        g.add(s4, s4, t1);
+        g.li(s6, 0);
+        g.li(s8, bodies);
+        g.addi(t2, s4, 16); // first body word
+        std::string sb = g.newLabel("sumb");
+        g.label(sb);
+        g.lw(t3, t2, 0);
+        g.add(s6, s6, t3);
+        g.addi(t2, t2, 4);
+        g.addi(s8, s8, -1);
+        g.bne(s8, zero, sb);
+        g.sw(s6, s4, 8); // summary
+        g.addi(s2, s2, 1);
+        g.bne(s2, s7, sg);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    // --- interact: my groups x all groups ----------------------------------
+    {
+        g.li(t1, perThread);
+        g.mul(s2, s0, t1);
+        g.add(s7, s2, t1);
+        std::string myg = g.newLabel("myg");
+        g.label(myg);
+        g.li(t1, gWords * 4);
+        g.mul(s4, s2, t1);
+        g.li(t1, garr);
+        g.add(s4, s4, t1);
+        g.li(s6, 0); // local accumulation for this group
+        g.li(s3, 0); // other group index
+        std::string og = g.newLabel("og");
+        std::string ogNext = g.newLabel("ognext");
+        g.label(og);
+        g.beq(s3, s2, ogNext); // skip self
+        g.li(t1, gWords * 4);
+        g.mul(s5, s3, t1);
+        g.li(t1, garr);
+        g.add(s5, s5, t1);
+        // near if |other - mine| == 1: consume full body list
+        g.sub(t2, s3, s2);
+        g.li(t3, 1);
+        std::string far = g.newLabel("far");
+        std::string done1 = g.newLabel("done1");
+        g.beq(t2, t3, done1);
+        g.li(t3, static_cast<Word>(-1));
+        g.bne(t2, t3, far);
+        g.label(done1);
+        // near interaction: read other group's bodies
+        g.li(s8, bodies);
+        g.addi(t4, s5, 16);
+        std::string nb = g.newLabel("nearb");
+        g.label(nb);
+        g.lw(t5, t4, 0);
+        g.srli(t5, t5, 2);
+        g.add(s6, s6, t5);
+        g.addi(t4, t4, 4);
+        g.addi(s8, s8, -1);
+        g.bne(s8, zero, nb);
+        // near-field kernel evaluation (local compute)
+        g.mv(t8, s6);
+        g.computePad(t8, t5, 16);
+        g.add(s6, s6, t8);
+        // and push a contribution into the other group's locked acc
+        g.spinLockAcquire(s5, t1, t3);
+        g.lw(t2, s5, 12);
+        g.addi(t2, t2, 7);
+        g.sw(t2, s5, 12);
+        g.spinLockRelease(s5, t1);
+        g.j(ogNext);
+        // far interaction: summary only, plus the multipole evaluation
+        g.label(far);
+        g.lw(t5, s5, 8);
+        g.srli(t5, t5, 5);
+        g.computePad(t5, t4, 6);
+        g.add(s6, s6, t5);
+        g.label(ogNext);
+        g.addi(s3, s3, 1);
+        g.li(t1, groups);
+        g.bne(s3, t1, og);
+        // fold local acc into my group's locked acc
+        g.spinLockAcquire(s4, t1, t3);
+        g.lw(t2, s4, 12);
+        g.add(t2, t2, s6);
+        g.sw(t2, s4, 12);
+        g.spinLockRelease(s4, t1);
+        g.addi(s2, s2, 1);
+        g.bne(s2, s7, myg);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    // --- update my bodies from my acc ---------------------------------------
+    {
+        g.li(t1, perThread);
+        g.mul(s2, s0, t1);
+        g.add(s7, s2, t1);
+        std::string ug = g.newLabel("updg");
+        g.label(ug);
+        g.li(t1, gWords * 4);
+        g.mul(s4, s2, t1);
+        g.li(t1, garr);
+        g.add(s4, s4, t1);
+        g.lw(t2, s4, 12); // acc
+        g.li(s8, bodies);
+        g.addi(t3, s4, 16);
+        std::string ub = g.newLabel("updb");
+        g.label(ub);
+        g.lw(t4, t3, 0);
+        g.add(t4, t4, t2);
+        g.srli(t5, t4, 9);
+        g.xor_(t4, t4, t5);
+        g.sw(t4, t3, 0);
+        g.addi(t3, t3, 4);
+        g.addi(s8, s8, -1);
+        g.bne(s8, zero, ub);
+        g.addi(s2, s2, 1);
+        g.bne(s2, s7, ug);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, iterLoop);
+    g.ret();
+
+    return Workload{"fmm",
+                    csprintf("groups=%u iters=%u threads=%d", groups,
+                             iters, threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

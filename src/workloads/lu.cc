@@ -1,0 +1,218 @@
+/**
+ * @file
+ * LU analog: blocked dense factorization skeleton. Blocks are assigned
+ * round-robin; at step k the diagonal owner factors block (k,k), then
+ * perimeter owners update row/column blocks reading the diagonal block
+ * (one-to-many read sharing), then interior owners update (i,j) reading
+ * blocks (k,j) and (i,k). Barriers separate the three phases, exactly
+ * the dependence structure of SPLASH-2 LU.
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeLu(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t nb = 6 + 2u * static_cast<std::uint32_t>(scale);
+    const std::uint32_t b = 8;      // block edge (words)
+    const std::uint32_t bw = b * b; // words per block
+    const std::uint32_t nWords = nb * nb * bw;
+
+    Addr mat = g.alignedBlock(nWords);
+    Addr bar = g.barrierAlloc();
+    Addr sumWord = g.word();
+
+    Rng rng(0x10 + static_cast<unsigned>(scale));
+    for (std::uint32_t i = 0; i < nWords; ++i)
+        g.poke(mat + i * 4, (rng.next32() & 0xffff) | 1);
+
+    auto blockBase = [&](std::uint32_t bi, std::uint32_t bj) {
+        return mat + (bi * nb + bj) * bw * 4;
+    };
+    (void)blockBase;
+
+    std::string body = "lu_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, mat);
+        g.li(t2, nWords);
+        g.li(t3, 0);
+        std::string csum = g.newLabel("csum");
+        g.label(csum);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, 4);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, csum);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // Register plan: s0 = me, s1 = k, s2 = j (or i), s3 = i,
+    // s4 = word counter, s5 = target block base, s6 = src1 base,
+    // s7 = src2 base, s8 = nb.
+    //
+    // owner(bi,bj) = (bi*nb + bj) % threads
+    auto emitOwnerCheck = [&](Reg bi, Reg bj, const std::string &skip) {
+        g.li(t1, nb);
+        g.mul(t1, bi, t1);
+        g.add(t1, t1, bj);
+        g.li(t2, static_cast<Word>(threads));
+        g.remu(t1, t1, t2);
+        g.bne(t1, s0, skip);
+    };
+    // s5 = base of block (bi,bj)
+    auto emitBlockBase = [&](Reg bi, Reg bj, Reg dst) {
+        g.li(t1, nb);
+        g.mul(t1, bi, t1);
+        g.add(t1, t1, bj);
+        g.li(t2, bw * 4);
+        g.mul(t1, t1, t2);
+        g.li(dst, mat);
+        g.add(dst, dst, t1);
+    };
+
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, 0); // k
+    g.li(s8, nb);
+    std::string kLoop = g.newLabel("k");
+    g.label(kLoop);
+
+    // --- phase 1: factor the diagonal block (k,k) -----------------------
+    {
+        std::string skip = g.newLabel("nodiag");
+        emitOwnerCheck(s1, s1, skip);
+        emitBlockBase(s1, s1, s5);
+        g.li(s4, bw);
+        std::string w = g.newLabel("fact");
+        g.label(w);
+        g.lw(t3, s5, 0);
+        g.slli(t4, t3, 1);
+        g.add(t3, t3, t4);
+        g.addi(t3, t3, 1);
+        g.sw(t3, s5, 0);
+        g.addi(s5, s5, 4);
+        g.addi(s4, s4, -1);
+        g.bne(s4, zero, w);
+        g.label(skip);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    // --- phase 2: perimeter updates read the diagonal block --------------
+    // Row blocks (k,j), j > k.
+    {
+        g.addi(s2, s1, 1); // j
+        std::string jLoop = g.newLabel("rowj");
+        std::string jDone = g.newLabel("rowjd");
+        g.label(jLoop);
+        g.bge(s2, s8, jDone);
+        std::string skip = g.newLabel("norow");
+        emitOwnerCheck(s1, s2, skip);
+        emitBlockBase(s1, s2, s5); // target (k,j)
+        emitBlockBase(s1, s1, s6); // diag (k,k), shared read
+        g.li(s4, bw);
+        std::string w = g.newLabel("roww");
+        g.label(w);
+        g.lw(t3, s5, 0);
+        g.lw(t4, s6, 0);
+        g.slli(t4, t4, 1);
+        g.add(t3, t3, t4);
+        g.sw(t3, s5, 0);
+        g.addi(s5, s5, 4);
+        g.addi(s6, s6, 4);
+        g.addi(s4, s4, -1);
+        g.bne(s4, zero, w);
+        g.label(skip);
+        g.addi(s2, s2, 1);
+        g.j(jLoop);
+        g.label(jDone);
+    }
+    // Column blocks (i,k), i > k.
+    {
+        g.addi(s3, s1, 1); // i
+        std::string iLoop = g.newLabel("coli");
+        std::string iDone = g.newLabel("colid");
+        g.label(iLoop);
+        g.bge(s3, s8, iDone);
+        std::string skip = g.newLabel("nocol");
+        emitOwnerCheck(s3, s1, skip);
+        emitBlockBase(s3, s1, s5);
+        emitBlockBase(s1, s1, s6);
+        g.li(s4, bw);
+        std::string w = g.newLabel("colw");
+        g.label(w);
+        g.lw(t3, s5, 0);
+        g.lw(t4, s6, 0);
+        g.xor_(t3, t3, t4);
+        g.addi(t3, t3, 3);
+        g.sw(t3, s5, 0);
+        g.addi(s5, s5, 4);
+        g.addi(s6, s6, 4);
+        g.addi(s4, s4, -1);
+        g.bne(s4, zero, w);
+        g.label(skip);
+        g.addi(s3, s3, 1);
+        g.j(iLoop);
+        g.label(iDone);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    // --- phase 3: interior updates (i,j) += f(row(k,j), col(i,k)) -------
+    {
+        g.addi(s3, s1, 1); // i
+        std::string iLoop = g.newLabel("inti");
+        std::string iDone = g.newLabel("intid");
+        g.label(iLoop);
+        g.bge(s3, s8, iDone);
+        g.addi(s2, s1, 1); // j
+        std::string jLoop = g.newLabel("intj");
+        std::string jDone = g.newLabel("intjd");
+        g.label(jLoop);
+        g.bge(s2, s8, jDone);
+        std::string skip = g.newLabel("noint");
+        emitOwnerCheck(s3, s2, skip);
+        emitBlockBase(s3, s2, s5); // target (i,j)
+        emitBlockBase(s1, s2, s6); // row (k,j), shared read
+        emitBlockBase(s3, s1, s7); // col (i,k), shared read
+        g.li(s4, bw);
+        std::string w = g.newLabel("intw");
+        g.label(w);
+        g.lw(t3, s5, 0);
+        g.lw(t4, s6, 0);
+        g.lw(t5, s7, 0);
+        g.mul(t4, t4, t5);
+        g.sub(t3, t3, t4);
+        g.sw(t3, s5, 0);
+        g.addi(s5, s5, 4);
+        g.addi(s6, s6, 4);
+        g.addi(s7, s7, 4);
+        g.addi(s4, s4, -1);
+        g.bne(s4, zero, w);
+        g.label(skip);
+        g.addi(s2, s2, 1);
+        g.j(jLoop);
+        g.label(jDone);
+        g.addi(s3, s3, 1);
+        g.j(iLoop);
+        g.label(iDone);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    g.addi(s1, s1, 1);
+    g.bne(s1, s8, kLoop);
+    g.ret();
+
+    return Workload{"lu", csprintf("nb=%u b=%u threads=%d", nb, b,
+                                   threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

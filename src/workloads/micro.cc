@@ -1,0 +1,361 @@
+#include "workloads/micro.hh"
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+Workload
+makeRacyCounter(int threads, int iters, bool locked)
+{
+    GuestBuilder g;
+    Addr counter = g.alignedBlock(1);
+    Addr lock = g.lockAlloc();
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body,
+                         [&] { g.sysWrite(counter, 4); });
+
+    g.label(body);
+    g.li(s1, static_cast<Word>(iters));
+    g.li(s2, counter);
+    g.li(s3, lock);
+    std::string loop = g.newLabel("loop");
+    g.label(loop);
+    if (locked)
+        g.spinLockAcquire(s3, t1, t3);
+    g.lw(t2, s2, 0);
+    g.addi(t2, t2, 1);
+    g.sw(t2, s2, 0);
+    if (locked)
+        g.spinLockRelease(s3, t1);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, loop);
+    g.ret();
+
+    return Workload{locked ? "counter-locked" : "counter-racy",
+                    csprintf("threads=%d iters=%d", threads, iters),
+                    threads, g.finish()};
+}
+
+Workload
+makePingPong(int iters)
+{
+    GuestBuilder g;
+    Addr flag0 = g.alignedBlock(1);
+    Addr flag1 = g.alignedBlock(1);
+    Addr ball = g.alignedBlock(1); // the datum batted back and forth
+
+    std::string body = "body";
+    g.emitWorkerScaffold(2, body, [&] { g.sysWrite(ball, 4); });
+
+    // Worker i spins on flag_i, bumps the ball, releases flag_(1-i).
+    g.label(body);
+    std::string as_one = g.newLabel("as_one");
+    std::string go = g.newLabel("go");
+    g.li(s1, static_cast<Word>(iters));
+    g.li(s4, ball);
+    g.bne(a0, zero, as_one);
+    g.li(s2, flag0);
+    g.li(s3, flag1);
+    // Thread 0 serves first.
+    g.li(t1, 1);
+    g.sw(t1, s2, 0);
+    g.j(go);
+    g.label(as_one);
+    g.li(s2, flag1);
+    g.li(s3, flag0);
+    g.label(go);
+    std::string loop = g.newLabel("loop");
+    std::string wait = g.newLabel("wait");
+    g.label(loop);
+    g.label(wait);
+    g.lw(t1, s2, 0); // wait for my flag
+    g.beq(t1, zero, wait);
+    g.sw(zero, s2, 0); // consume my flag
+    g.lw(t2, s4, 0);   // bat the ball
+    g.addi(t2, t2, 1);
+    g.sw(t2, s4, 0);
+    g.li(t1, 1);       // serve the peer
+    g.sw(t1, s3, 0);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, loop);
+    g.ret();
+
+    return Workload{"pingpong", csprintf("iters=%d", iters), 2,
+                    g.finish()};
+}
+
+Workload
+makeFalseSharing(int threads, int iters)
+{
+    GuestBuilder g;
+    // All per-thread slots packed into one line.
+    Addr slots = g.alignedBlock(16);
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] { g.sysWrite(slots, 16); });
+
+    g.label(body);
+    g.slli(t1, a0, 2);
+    g.li(s2, slots);
+    g.add(s2, s2, t1); // my private word, same line as everyone's
+    g.li(s1, static_cast<Word>(iters));
+    std::string loop = g.newLabel("loop");
+    g.label(loop);
+    g.lw(t2, s2, 0);
+    g.addi(t2, t2, 1);
+    g.sw(t2, s2, 0);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, loop);
+    g.ret();
+
+    return Workload{"false-sharing",
+                    csprintf("threads=%d iters=%d", threads, iters),
+                    threads, g.finish()};
+}
+
+Workload
+makeProdCons(int threads, int items)
+{
+    qr_assert(threads >= 2, "prodcons needs >= 2 threads");
+    GuestBuilder g;
+    constexpr Word ringSlots = 16;
+    Addr ring = g.alignedBlock(ringSlots);
+    Addr head = g.alignedBlock(1); // next push index
+    Addr tail = g.alignedBlock(1); // next pop index
+    Addr lock = g.lockAlloc();
+    Addr consumed = g.alignedBlock(1); // checksum of consumed values
+
+    int consumers = threads / 2;
+    int producers = threads - consumers;
+    // Every producer pushes `items`; consumers pop until they have
+    // consumed their share (items * producers / consumers each, with
+    // thread layout chosen so it divides evenly).
+    int per_consumer = items * producers / consumers;
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] { g.sysWrite(consumed, 4); });
+
+    std::string produce = g.newLabel("produce");
+    std::string consume = g.newLabel("consume");
+    g.label(body);
+    g.li(t1, static_cast<Word>(producers));
+    g.bltu(a0, t1, produce);
+    g.j(consume);
+
+    // --- producer: push `items` values (value = iteration index) -------
+    g.label(produce);
+    g.li(s1, static_cast<Word>(items));
+    g.li(s2, lock);
+    std::string ploop = g.newLabel("ploop");
+    std::string pfull = g.newLabel("pfull");
+    g.label(ploop);
+    g.label(pfull);
+    g.hybridLockAcquire(s2, t1, t2);
+    g.li(t3, head);
+    g.lw(t4, t3, 0);  // head
+    g.li(t5, tail);
+    g.lw(t5, t5, 0);  // tail
+    g.sub(t6, t4, t5);
+    g.li(t7, ringSlots);
+    std::string roomy = g.newLabel("roomy");
+    g.bltu(t6, t7, roomy);
+    // Ring full: release, yield, retry.
+    g.hybridLockRelease(s2, t1);
+    g.sysYield();
+    g.j(pfull);
+    g.label(roomy);
+    // ring[head % slots] = s1; head++
+    g.andi(t6, t4, ringSlots - 1);
+    g.slli(t6, t6, 2);
+    g.li(t7, ring);
+    g.add(t7, t7, t6);
+    g.sw(s1, t7, 0);
+    g.addi(t4, t4, 1);
+    g.li(t3, head);
+    g.sw(t4, t3, 0);
+    g.hybridLockRelease(s2, t1);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, ploop);
+    g.ret();
+
+    // --- consumer: pop per_consumer values, sum into `consumed` ---------
+    g.label(consume);
+    g.li(s1, static_cast<Word>(per_consumer));
+    g.li(s2, lock);
+    std::string cloop = g.newLabel("cloop");
+    std::string cempty = g.newLabel("cempty");
+    g.label(cloop);
+    g.label(cempty);
+    g.hybridLockAcquire(s2, t1, t2);
+    g.li(t3, head);
+    g.lw(t4, t3, 0); // head
+    g.li(t3, tail);
+    g.lw(t5, t3, 0); // tail
+    std::string avail = g.newLabel("avail");
+    g.bne(t4, t5, avail);
+    // Empty: release, yield, retry.
+    g.hybridLockRelease(s2, t1);
+    g.sysYield();
+    g.j(cempty);
+    g.label(avail);
+    g.andi(t6, t5, ringSlots - 1);
+    g.slli(t6, t6, 2);
+    g.li(t7, ring);
+    g.add(t7, t7, t6);
+    g.lw(t8, t7, 0); // value
+    g.addi(t5, t5, 1);
+    g.sw(t5, t3, 0); // tail++
+    g.li(t3, consumed);
+    g.lw(t6, t3, 0);
+    g.add(t6, t6, t8);
+    g.sw(t6, t3, 0); // checksum += value (lock-protected)
+    g.hybridLockRelease(s2, t1);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, cloop);
+    g.ret();
+
+    return Workload{"prodcons",
+                    csprintf("threads=%d items=%d", threads, items),
+                    threads, g.finish()};
+}
+
+Workload
+makeNondetMix(int threads, int iters)
+{
+    GuestBuilder g;
+    Addr acc = g.alignedBlock(static_cast<std::uint32_t>(threads) * 16);
+    Addr readBuf = g.alignedBlock(static_cast<std::uint32_t>(threads) * 16);
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.sysWrite(acc, static_cast<Word>(threads) * 64);
+    });
+
+    g.label(body);
+    g.slli(t1, a0, 6); // 64-byte slot per worker
+    g.li(s2, acc);
+    g.add(s2, s2, t1);
+    g.li(s3, readBuf);
+    g.add(s3, s3, t1);
+    g.li(s1, static_cast<Word>(iters));
+    std::string loop = g.newLabel("loop");
+    g.label(loop);
+    g.rdtsc(t2);
+    g.rdrand(t3);
+    g.cpuid(t4);
+    g.xor_(t2, t2, t3);
+    g.add(t2, t2, t4);
+    g.lw(t5, s2, 0);
+    g.add(t5, t5, t2);
+    g.sw(t5, s2, 0);
+    // Pull 16 bytes of external input every 8th iteration.
+    g.andi(t6, s1, 7);
+    std::string noread = g.newLabel("noread");
+    g.bne(t6, zero, noread);
+    g.mv(a0, zero);
+    g.mv(a1, s3);
+    g.li(a2, 16);
+    g.sys(Sys::Read);
+    g.lw(t7, s3, 0);
+    g.lw(t8, s2, 4);
+    g.add(t8, t8, t7);
+    g.sw(t8, s2, 4);
+    g.label(noread);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, loop);
+    g.ret();
+
+    return Workload{"nondet-mix",
+                    csprintf("threads=%d iters=%d", threads, iters),
+                    threads, g.finish()};
+}
+
+Workload
+makeSignalStress(int kills)
+{
+    GuestBuilder g;
+    Addr mailbox = g.alignedBlock(1);
+    Addr sigCount = g.alignedBlock(1);
+    Addr victimTid = g.alignedBlock(1);
+    Addr done = g.alignedBlock(1);
+
+    std::string body = "body";
+    g.emitWorkerScaffold(2, body, [&] { g.sysWrite(sigCount, 4); });
+
+    std::string victim = g.newLabel("victim");
+    std::string handler = g.newLabel("handler");
+
+    g.label(body);
+    g.beq(a0, zero, victim);
+
+    // --- worker 1: the killer --------------------------------------------
+    // Wait until the victim has published its tid and handler.
+    std::string waittid = g.newLabel("waittid");
+    g.li(s2, victimTid);
+    g.label(waittid);
+    g.lw(s3, s2, 0);
+    g.beq(s3, zero, waittid);
+    g.li(s1, static_cast<Word>(kills));
+    std::string kloop = g.newLabel("kloop");
+    g.label(kloop);
+    g.mv(a0, s3);
+    g.li(a1, 7); // signo
+    g.sys(Sys::Kill);
+    // Give the victim time to take it (bounded pause loop).
+    g.li(t1, 400);
+    std::string pl = g.newLabel("pl");
+    g.label(pl);
+    g.pause();
+    g.addi(t1, t1, -1);
+    g.bne(t1, zero, pl);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, kloop);
+    g.li(t1, 1);
+    g.li(t2, done);
+    g.sw(t1, t2, 0);
+    g.ret();
+
+    // --- worker 0: the victim ----------------------------------------------
+    g.label(victim);
+    g.liLabel(a0, handler);
+    g.li(a1, mailbox);
+    g.sys(Sys::Sigaction);
+    g.sys(Sys::GetTid);
+    g.li(t1, victimTid);
+    g.sw(a0, t1, 0);
+    // Compute until the killer says stop.
+    g.li(s4, 0);
+    std::string vloop = g.newLabel("vloop");
+    g.label(vloop);
+    g.addi(s4, s4, 1);
+    g.mul(t2, s4, s4);
+    g.li(t1, done);
+    g.lw(t3, t1, 0);
+    g.beq(t3, zero, vloop);
+    g.ret();
+
+    // --- the handler -------------------------------------------------------
+    // Saves/restores the temporaries it uses; a7 is clobbered by the
+    // sigreturn shim, which is safe because every syscall site in this
+    // program loads a7 immediately before trapping.
+    g.label(handler);
+    g.addi(sp, sp, -8);
+    g.sw(t1, sp, 0);
+    g.sw(t2, sp, 4);
+    g.li(t1, sigCount);
+    g.lw(t2, t1, 0);
+    g.addi(t2, t2, 1);
+    g.sw(t2, t1, 0);
+    g.lw(t1, sp, 0);
+    g.lw(t2, sp, 4);
+    g.addi(sp, sp, 8);
+    g.sys(Sys::Sigreturn);
+
+    return Workload{"signal-stress", csprintf("kills=%d", kills), 2,
+                    g.finish()};
+}
+
+} // namespace qr

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Micro-workloads: small, targeted guest programs used by the tests,
+ * the examples, and the ablation benchmarks.
+ */
+
+#ifndef QR_WORKLOADS_MICRO_HH
+#define QR_WORKLOADS_MICRO_HH
+
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+/**
+ * Each of @p threads workers increments a shared counter @p iters
+ * times. With @p locked false the increments race (lost updates),
+ * making the final value schedule-dependent -- the sharpest possible
+ * determinism test for replay. The counter is printed at exit.
+ */
+Workload makeRacyCounter(int threads, int iters, bool locked);
+
+/** Two threads alternate through a pair of spin flags (max conflicts). */
+Workload makePingPong(int iters);
+
+/**
+ * @p threads workers each hammer their own word of one shared cache
+ * line: no true sharing, maximal false sharing at line granularity.
+ */
+Workload makeFalseSharing(int threads, int iters);
+
+/**
+ * Producer/consumer ring buffer guarded by hybrid futex locks
+ * (kernel-heavy: every contended operation syscalls).
+ */
+Workload makeProdCons(int threads, int items);
+
+/**
+ * Mix of nondeterministic instructions (rdtsc/rdrand/cpuid) and read()
+ * syscalls pulling external input; exercises the input log.
+ */
+Workload makeNondetMix(int threads, int iters);
+
+/**
+ * One victim thread computes while another signals it periodically;
+ * exercises signal recording and chunk-boundary injection.
+ */
+Workload makeSignalStress(int kills);
+
+} // namespace qr
+
+#endif // QR_WORKLOADS_MICRO_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * OCEAN analog: red-black-free 5-point stencil relaxation on a
+ * row-partitioned grid with a double buffer. Neighbor-partition
+ * boundary rows are the shared data; a fetch-and-add residual
+ * reduction and a per-iteration barrier complete SPLASH-2 Ocean's
+ * communication structure.
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeOcean(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t cols = 64;
+    const std::uint32_t rows =
+        16u * static_cast<std::uint32_t>(threads);
+    const std::uint32_t iters = 2u * static_cast<std::uint32_t>(scale);
+    const std::uint32_t rowsPer = rows / static_cast<std::uint32_t>(threads);
+
+    Addr gridA = g.alignedBlock(rows * cols);
+    Addr gridB = g.alignedBlock(rows * cols);
+    Addr residual = g.alignedBlock(1);
+    Addr bar = g.barrierAlloc();
+    Addr sumWord = g.word();
+
+    Rng rng(0x0cea + static_cast<unsigned>(scale));
+    for (std::uint32_t i = 0; i < rows * cols; ++i)
+        g.poke(gridA + i * 4, rng.next32() & 0x3fff);
+
+    Addr result = (iters % 2) ? gridB : gridA;
+
+    std::string body = "ocean_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, result);
+        g.li(t2, rows * cols);
+        g.li(t3, 0);
+        std::string c = g.newLabel("csum");
+        g.label(c);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, 4);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, c);
+        g.li(t1, residual);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s1 = iter, s2 = row, s3 = col, s4 = row end,
+    // s5 = src, s6 = dst, s7 = local residual, s8 = row byte base.
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, iters);
+    g.li(s5, gridA);
+    g.li(s6, gridB);
+    std::string iterLoop = g.newLabel("iter");
+    g.label(iterLoop);
+    g.li(s7, 0);
+    g.li(t1, rowsPer);
+    g.mul(s2, s0, t1);
+    g.add(s4, s2, t1);
+    std::string rowLoop = g.newLabel("row");
+    std::string rowNext = g.newLabel("rown");
+    g.label(rowLoop);
+    // skip the global boundary rows
+    g.beq(s2, zero, rowNext);
+    g.li(t1, rows - 1);
+    g.beq(s2, t1, rowNext);
+    // s8 = byte offset of row start
+    g.li(t1, cols * 4);
+    g.mul(s8, s2, t1);
+    g.li(s3, 1); // col (skip boundary cols)
+    std::string colLoop = g.newLabel("col");
+    g.label(colLoop);
+    g.slli(t1, s3, 2);
+    g.add(t1, t1, s8); // offset of (row, col)
+    g.add(t2, t1, s5); // &src[row][col]
+    g.lw(t3, t2, 4);                        // east
+    g.lw(t4, t2, static_cast<Word>(-4));    // west
+    g.lw(t5, t2, cols * 4);                 // south (maybe remote row)
+    g.lw(t6, t2, static_cast<Word>(-(static_cast<int>(cols) * 4))); // north
+    g.add(t3, t3, t4);
+    g.add(t3, t3, t5);
+    g.add(t3, t3, t6);
+    g.srli(t3, t3, 2); // average
+    g.lw(t4, t2, 0);
+    g.sub(t5, t3, t4); // delta
+    g.add(s7, s7, t5); // local residual
+    g.add(t1, t1, s6);
+    g.sw(t3, t1, 0);   // dst[row][col]
+    g.addi(s3, s3, 1);
+    g.li(t1, cols - 1);
+    g.bne(s3, t1, colLoop);
+    g.label(rowNext);
+    g.addi(s2, s2, 1);
+    g.bne(s2, s4, rowLoop);
+    // reduce local residual into the shared word
+    g.li(t1, residual);
+    g.fetchadd(t2, t1, s7);
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+    // swap grids
+    g.xor_(s5, s5, s6);
+    g.xor_(s6, s5, s6);
+    g.xor_(s5, s5, s6);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, iterLoop);
+    g.ret();
+
+    return Workload{"ocean",
+                    csprintf("grid=%ux%u iters=%u threads=%d", rows,
+                             cols, iters, threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * RADIOSITY analog: a dynamic task queue protected by a hybrid
+ * spin/futex lock. Processing a task reads a shared patch table and
+ * can push a child task (tasks halve until they die out), so the queue
+ * length varies at run time -- SPLASH-2 radiosity's irregular,
+ * lock-heavy, kernel-visible behavior. The futex fallback makes this
+ * the most syscall-intensive benchmark in the suite, mirroring the
+ * paper's observation that kernel-interaction-heavy workloads pay the
+ * highest Capo3 overhead.
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeRadiosity(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t seeds = 8u * static_cast<std::uint32_t>(scale) *
+                                static_cast<std::uint32_t>(threads);
+    const std::uint32_t seedValue = 64; // each seed spawns log2(64)+1 tasks
+    const std::uint32_t patchWords = 512;
+    const std::uint32_t stackCap = 4096;
+
+    // Total tasks: every task with value v>1 pushes one child of v/2.
+    std::uint32_t tasksPerSeed = 0;
+    for (std::uint32_t v = seedValue; v > 0; v /= 2)
+        tasksPerSeed++;
+    const std::uint32_t totalTasks = seeds * tasksPerSeed;
+
+    Addr patches = g.alignedBlock(patchWords);
+    Addr qlock = g.lockAlloc();
+    Addr qtop = g.alignedBlock(1);
+    Addr qstack = g.alignedBlock(stackCap);
+    Addr doneCount = g.alignedBlock(1);
+    Addr energy = g.alignedBlock(16u * static_cast<std::uint32_t>(threads));
+    Addr inputBuf =
+        g.alignedBlock(16u * static_cast<std::uint32_t>(threads));
+    Addr sumWord = g.word();
+
+    Rng rng(0xadd0 + static_cast<unsigned>(scale));
+    for (std::uint32_t i = 0; i < patchWords; ++i)
+        g.poke(patches + i * 4, (rng.next32() & 0x7ff) | 1);
+    // Pre-seed the task stack.
+    for (std::uint32_t i = 0; i < seeds; ++i)
+        g.poke(qstack + i * 4, seedValue);
+    g.poke(qtop, seeds);
+
+    std::string body = "rad_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, energy);
+        g.li(t2, static_cast<Word>(threads));
+        g.li(t3, 0);
+        std::string c = g.newLabel("csum");
+        g.label(c);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, 64);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, c);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s1 = my energy, s2 = &qlock, s3 = task value,
+    // s4 = scratch, s5 = processed-target.
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, 0);
+    g.li(s2, qlock);
+    g.li(s5, totalTasks);
+    std::string loop = g.newLabel("loop");
+    std::string empty = g.newLabel("empty");
+    std::string done = g.newLabel("done");
+    g.label(loop);
+    // pop under the hybrid lock
+    g.hybridLockAcquire(s2, t1, t2, 8);
+    g.li(t3, qtop);
+    g.lw(t4, t3, 0);
+    g.beq(t4, zero, empty);
+    g.addi(t4, t4, -1);
+    g.sw(t4, t3, 0);
+    g.slli(t5, t4, 2);
+    g.li(t6, qstack);
+    g.add(t6, t6, t5);
+    g.lw(s3, t6, 0); // task value
+    g.hybridLockRelease(s2, t1);
+    // process: walk the patch table task-value times
+    g.mv(t7, s3);
+    g.li(t8, 0x811c);
+    std::string proc = g.newLabel("proc");
+    g.label(proc);
+    g.mul(t8, t8, s3);
+    g.addi(t8, t8, 0x9dc5);
+    g.li(t1, patchWords - 1);
+    g.and_(t2, t8, t1);
+    g.slli(t2, t2, 2);
+    g.li(t1, patches);
+    g.add(t2, t2, t1);
+    g.lw(t3, t2, 0); // shared patch read
+    // form-factor computation against this patch
+    g.mv(t4, t3);
+    g.computePad(t4, t5, 10);
+    g.add(s1, s1, t4);
+    g.add(s1, s1, t3);
+    g.addi(t7, t7, -1);
+    g.bne(t7, zero, proc);
+    // push a child task of half the value, if any
+    g.srli(s4, s3, 1);
+    std::string nopush = g.newLabel("nopush");
+    g.beq(s4, zero, nopush);
+    g.hybridLockAcquire(s2, t1, t2, 8);
+    g.li(t3, qtop);
+    g.lw(t4, t3, 0);
+    g.slli(t5, t4, 2);
+    g.li(t6, qstack);
+    g.add(t6, t6, t5);
+    g.sw(s4, t6, 0);
+    g.addi(t4, t4, 1);
+    g.sw(t4, t3, 0);
+    g.hybridLockRelease(s2, t1);
+    g.label(nopush);
+    // count this task done
+    g.li(t1, doneCount);
+    g.li(t2, 1);
+    g.fetchadd(t2, t1, t2);
+    // Every 8th task pulls fresh environment data from the outside
+    // world (the paper's input-logging path: the kernel copies the
+    // bytes to user space and Capo3 must log them).
+    g.andi(t3, t2, 7);
+    std::string noinput = g.newLabel("noinput");
+    g.bne(t3, zero, noinput);
+    g.slli(t3, s0, 6);
+    g.li(a1, inputBuf);
+    g.add(a1, a1, t3);
+    g.li(a0, 0);
+    g.li(a2, 32);
+    g.sys(Sys::Read);
+    g.lw(t4, a1, 0); // fold the fresh input into my energy
+    g.add(s1, s1, t4);
+    g.label(noinput);
+    g.j(loop);
+    // queue empty: finished only when every task has been processed
+    g.label(empty);
+    g.hybridLockRelease(s2, t1);
+    g.li(t1, doneCount);
+    g.lw(t2, t1, 0);
+    g.beq(t2, s5, done);
+    g.sysYield();
+    g.j(loop);
+    g.label(done);
+    // publish my energy (private line)
+    g.slli(t1, s0, 6);
+    g.li(t2, energy);
+    g.add(t2, t2, t1);
+    g.sw(s1, t2, 0);
+    g.ret();
+
+    return Workload{"radiosity",
+                    csprintf("seeds=%u tasks=%u threads=%d", seeds,
+                             totalTasks, threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

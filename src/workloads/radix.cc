@@ -1,0 +1,178 @@
+/**
+ * @file
+ * RADIX analog: parallel radix sort over 8-bit digits. Threads build a
+ * shared histogram with fetch-and-add (the all-to-one contention that
+ * makes SPLASH-2 radix the most communication-intensive benchmark),
+ * one thread prefix-sums it, and the permutation phase claims output
+ * slots with fetch-and-add cursors -- scattered remote writes.
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeRadix(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t n = 2048u * static_cast<std::uint32_t>(scale);
+    const std::uint32_t buckets = 256;
+    const std::uint32_t passes = 2;
+    const std::uint32_t chunk = n / static_cast<std::uint32_t>(threads);
+    qr_assert(chunk * static_cast<std::uint32_t>(threads) == n,
+              "radix: threads must divide N");
+
+    Addr src = g.alignedBlock(n);
+    Addr dst = g.alignedBlock(n);
+    Addr hist = g.alignedBlock(buckets);
+    Addr cursors = g.alignedBlock(buckets);
+    Addr bar = g.barrierAlloc();
+    Addr sumWord = g.word();
+
+    Rng rng(0x4ad1 + static_cast<unsigned>(scale));
+    for (std::uint32_t i = 0; i < n; ++i)
+        g.poke(src + i * 4, rng.next32() & 0xffff);
+
+    Addr result = (passes % 2) ? dst : src;
+
+    std::string body = "radix_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, result);
+        g.li(t2, n);
+        g.li(t3, 0);
+        g.li(t5, 1);
+        std::string csum = g.newLabel("csum");
+        g.label(csum);
+        g.lw(t4, t1, 0);
+        g.mul(t4, t4, t5);
+        g.add(t3, t3, t4);
+        g.addi(t5, t5, 1);
+        g.addi(t1, t1, 4);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, csum);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s1 = pass, s5 = src base, s6 = dst base,
+    // s2 = element cursor, s3 = end, s4 = scratch base.
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, 0);
+    g.li(s5, src);
+    g.li(s6, dst);
+    std::string passLoop = g.newLabel("pass");
+    g.label(passLoop);
+
+    // --- zero my slice of the histogram + cursors ------------------------
+    {
+        g.li(t1, buckets / static_cast<std::uint32_t>(threads));
+        g.mul(s2, s0, t1);       // my first bucket
+        g.add(s3, s2, t1);
+        g.slli(t2, s2, 2);
+        g.li(s4, hist);
+        g.add(s4, s4, t2);
+        g.li(t3, cursors);
+        g.add(t3, t3, t2);
+        std::string z = g.newLabel("zero");
+        g.label(z);
+        g.sw(zero, s4, 0);
+        g.sw(zero, t3, 0);
+        g.addi(s4, s4, 4);
+        g.addi(t3, t3, 4);
+        g.addi(s2, s2, 1);
+        g.bne(s2, s3, z);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    // --- count phase: fetchadd into the shared histogram -----------------
+    {
+        g.li(t1, chunk);
+        g.mul(s2, s0, t1);
+        g.add(s3, s2, t1);
+        std::string c = g.newLabel("count");
+        g.label(c);
+        g.slli(t2, s2, 2);
+        g.add(t2, t2, s5);
+        g.lw(t3, t2, 0);         // key
+        // digit = (key >> (8*pass)) & 0xff
+        g.slli(t4, s1, 3);
+        g.srl(t3, t3, t4);
+        g.andi(t3, t3, 0xff);
+        g.slli(t3, t3, 2);
+        g.li(t4, hist);
+        g.add(t4, t4, t3);
+        g.li(t5, 1);
+        g.fetchadd(t5, t4, t5);  // hist[digit]++
+        g.addi(s2, s2, 1);
+        g.bne(s2, s3, c);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    // --- thread 0: exclusive prefix sum into cursors ----------------------
+    {
+        std::string skip = g.newLabel("nopfx");
+        g.bne(s0, zero, skip);
+        g.li(t1, hist);
+        g.li(t2, cursors);
+        g.li(t3, buckets);
+        g.li(t4, 0); // running sum
+        std::string p = g.newLabel("pfx");
+        g.label(p);
+        g.sw(t4, t2, 0);
+        g.lw(t5, t1, 0);
+        g.add(t4, t4, t5);
+        g.addi(t1, t1, 4);
+        g.addi(t2, t2, 4);
+        g.addi(t3, t3, -1);
+        g.bne(t3, zero, p);
+        g.label(skip);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    // --- permute: claim output slots with fetchadd ------------------------
+    {
+        g.li(t1, chunk);
+        g.mul(s2, s0, t1);
+        g.add(s3, s2, t1);
+        std::string m = g.newLabel("perm");
+        g.label(m);
+        g.slli(t2, s2, 2);
+        g.add(t2, t2, s5);
+        g.lw(t3, t2, 0);         // key
+        g.slli(t4, s1, 3);
+        g.srl(t5, t3, t4);
+        g.andi(t5, t5, 0xff);
+        g.slli(t5, t5, 2);
+        g.li(t4, cursors);
+        g.add(t4, t4, t5);
+        g.li(t6, 1);
+        g.fetchadd(t6, t4, t6);  // slot = cursors[digit]++
+        g.slli(t6, t6, 2);
+        g.add(t6, t6, s6);
+        g.sw(t3, t6, 0);         // dst[slot] = key
+        g.addi(s2, s2, 1);
+        g.bne(s2, s3, m);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+
+    // swap src/dst, next pass
+    g.xor_(s5, s5, s6);
+    g.xor_(s6, s5, s6);
+    g.xor_(s5, s5, s6);
+    g.addi(s1, s1, 1);
+    g.li(t1, passes);
+    g.bne(s1, t1, passLoop);
+    g.ret();
+
+    return Workload{"radix", csprintf("N=%u passes=%u threads=%d", n,
+                                      passes, threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * RAYTRACE analog: a self-scheduling tile queue (fetch-and-add work
+ * claiming, SPLASH-2 raytrace's distributed task queues collapsed to
+ * one), read-only scene sharing via pointer-chasing "ray bounces", a
+ * private framebuffer, and RDRAND jitter that exercises the
+ * nondeterministic-instruction logging path.
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeRaytrace(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t tiles = 48u * static_cast<std::uint32_t>(scale);
+    const std::uint32_t raysPerTile = 12;
+    const std::uint32_t bounces = 4;
+    const std::uint32_t sceneWords = 2048;
+
+    Addr scene = g.alignedBlock(sceneWords);
+    Addr cursor = g.alignedBlock(1);
+    Addr fb = g.alignedBlock(tiles);
+    Addr sumWord = g.word();
+
+    // Scene nodes chain pseudo-randomly inside the array.
+    Rng rng(0x7ace5000u + static_cast<unsigned>(scale));
+    for (std::uint32_t i = 0; i < sceneWords; ++i)
+        g.poke(scene + i * 4, rng.next32() % sceneWords);
+
+    std::string body = "ray_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, fb);
+        g.li(t2, tiles);
+        g.li(t3, 0);
+        std::string c = g.newLabel("csum");
+        g.label(c);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, 4);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, c);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s2 = tile, s3 = ray counter, s4 = bounce counter,
+    // s5 = scene index, s6 = tile accumulator.
+    g.label(body);
+    g.mv(s0, a0);
+    std::string grab = g.newLabel("grab");
+    std::string done = g.newLabel("done");
+    g.label(grab);
+    g.li(t1, cursor);
+    g.li(t2, 1);
+    g.fetchadd(t2, t1, t2); // t2 = my tile
+    g.li(t1, tiles);
+    g.bgeu(t2, t1, done);
+    g.mv(s2, t2);
+    g.li(s6, 0);
+    // one sampling-jitter draw per tile (nondet, input-logged)
+    g.rdrand(s7);
+    g.andi(s7, s7, 3);
+    g.li(s3, raysPerTile);
+    std::string ray = g.newLabel("ray");
+    g.label(ray);
+    // initial scene index = hash(tile, ray) + jitter
+    g.li(t1, 2654435761u);
+    g.mul(s5, s2, t1);
+    g.add(s5, s5, s3);
+    g.add(s5, s5, s7);
+    g.li(t1, sceneWords - 1);
+    g.and_(s5, s5, t1);
+    // bounce: idx = scene[idx], accumulating
+    g.li(s4, bounces);
+    std::string bounce = g.newLabel("bounce");
+    g.label(bounce);
+    g.slli(t1, s5, 2);
+    g.li(t2, scene);
+    g.add(t1, t1, t2);
+    g.lw(s5, t1, 0); // next node (read-only shared)
+    // shading computation at the hit point
+    g.mv(t3, s5);
+    g.computePad(t3, t4, 8);
+    g.add(s6, s6, t3);
+    g.add(s6, s6, s5);
+    g.addi(s4, s4, -1);
+    g.bne(s4, zero, bounce);
+    g.addi(s3, s3, -1);
+    g.bne(s3, zero, ray);
+    // write the tile result (private word)
+    g.slli(t1, s2, 2);
+    g.li(t2, fb);
+    g.add(t1, t1, t2);
+    g.sw(s6, t1, 0);
+    g.j(grab);
+    g.label(done);
+    g.ret();
+
+    return Workload{"raytrace",
+                    csprintf("tiles=%u rays=%u threads=%d", tiles,
+                             raysPerTile, threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * WATER analogs.
+ *
+ * water-nsq: O(M^2) all-pairs interactions; a thread reads both
+ * molecules of a pair and accumulates into each under the molecule's
+ * spin lock (lock order by index) -- SPLASH-2 water-nsquared's
+ * fine-grained locked write sharing.
+ *
+ * water-sp: spatial-decomposition variant; threads own cell ranges,
+ * read only neighboring cells during the force phase (barrier
+ * separated), and take a lock only for the rare boundary migration --
+ * much lighter communication, as in the paper.
+ */
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+Workload
+makeWaterNsq(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t mols = 8u * static_cast<std::uint32_t>(threads);
+    const std::uint32_t iters = 2u * static_cast<std::uint32_t>(scale);
+    // Molecule layout (line-aligned, 16 words):
+    // [ticket, serving, acc, pos, pad..]
+    const std::uint32_t mWords = 16;
+    const std::uint32_t perThread =
+        mols / static_cast<std::uint32_t>(threads);
+
+    Addr marr = g.alignedBlock(mols * mWords);
+    Addr bar = g.barrierAlloc();
+    Addr sumWord = g.word();
+
+    Rng rng(0x3a7e6 + static_cast<unsigned>(scale));
+    for (std::uint32_t m = 0; m < mols; ++m)
+        g.poke(marr + (m * mWords + 3) * 4, (rng.next32() & 0xffff) | 1);
+
+    std::string body = "wnsq_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, marr);
+        g.li(t2, mols);
+        g.li(t3, 0);
+        std::string c = g.newLabel("csum");
+        g.label(c);
+        g.lw(t4, t1, 8); // acc
+        g.add(t3, t3, t4);
+        g.lw(t4, t1, 12); // pos
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, mWords * 4);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, c);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s1 = iter, s2 = i, s3 = j, s4 = i end,
+    // s5 = &mol[i], s6 = &mol[j], s7 = force.
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, iters);
+    std::string iterLoop = g.newLabel("iter");
+    g.label(iterLoop);
+    g.li(t1, perThread);
+    g.mul(s2, s0, t1);
+    g.add(s4, s2, t1);
+    std::string iLoop = g.newLabel("i");
+    std::string jLoop = g.newLabel("j");
+    std::string jNext = g.newLabel("jn");
+    std::string iNext = g.newLabel("in");
+    g.label(iLoop);
+    g.addi(s3, s2, 1); // j = i + 1
+    g.label(jLoop);
+    g.li(t1, mols);
+    g.bge(s3, t1, iNext);
+    // bases
+    g.slli(s5, s2, 6);
+    g.li(t1, marr);
+    g.add(s5, s5, t1);
+    g.slli(s6, s3, 6);
+    g.add(s6, s6, t1);
+    // force = f(pos_i, pos_j): the intermolecular potential is a
+    // substantial local computation per pair
+    g.lw(t2, s5, 12);
+    g.lw(t3, s6, 12);
+    g.add(s7, t2, t3);
+    g.xor_(s7, s7, s3);
+    g.computePad(s7, t2, 16);
+    g.srli(s7, s7, 3);
+    // lock i (lower index first), accumulate, unlock
+    g.spinLockAcquire(s5, t1, t3);
+    g.lw(t2, s5, 8);
+    g.add(t2, t2, s7);
+    g.sw(t2, s5, 8);
+    g.spinLockRelease(s5, t1);
+    g.spinLockAcquire(s6, t1, t3);
+    g.lw(t2, s6, 8);
+    g.sub(t2, t2, s7);
+    g.sw(t2, s6, 8);
+    g.spinLockRelease(s6, t1);
+    g.label(jNext);
+    g.addi(s3, s3, 1);
+    g.j(jLoop);
+    g.label(iNext);
+    g.addi(s2, s2, 1);
+    g.bne(s2, s4, iLoop);
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+    // update phase: fold acc into pos for my molecules
+    g.li(t1, perThread);
+    g.mul(s2, s0, t1);
+    g.add(s4, s2, t1);
+    std::string upd = g.newLabel("upd");
+    g.label(upd);
+    g.slli(s5, s2, 6);
+    g.li(t1, marr);
+    g.add(s5, s5, t1);
+    g.lw(t2, s5, 8);
+    g.lw(t3, s5, 12);
+    g.add(t3, t3, t2);
+    g.andi(t3, t3, 0xffffff);
+    g.sw(t3, s5, 12);
+    g.addi(s2, s2, 1);
+    g.bne(s2, s4, upd);
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, iterLoop);
+    g.ret();
+
+    return Workload{"water-nsq",
+                    csprintf("mols=%u iters=%u threads=%d", mols, iters,
+                             threads),
+                    threads, g.finish()};
+}
+
+Workload
+makeWaterSp(int threads, int scale)
+{
+    GuestBuilder g;
+    const std::uint32_t cells = 8u * static_cast<std::uint32_t>(threads);
+    const std::uint32_t iters = 3u * static_cast<std::uint32_t>(scale);
+    // Cell layout (line-aligned, 16 words):
+    // [ticket, serving, migrations, pos[0..7], acc, pad]
+    const std::uint32_t cWords = 16;
+    const std::uint32_t perThread =
+        cells / static_cast<std::uint32_t>(threads);
+
+    Addr carr = g.alignedBlock(cells * cWords);
+    Addr bar = g.barrierAlloc();
+    Addr sumWord = g.word();
+
+    Rng rng(0x3a7e5 + static_cast<unsigned>(scale));
+    for (std::uint32_t c = 0; c < cells; ++c)
+        for (std::uint32_t p = 0; p < 8; ++p)
+            g.poke(carr + (c * cWords + 3 + p) * 4,
+                   (rng.next32() & 0xffff) | 1);
+
+    std::string body = "wsp_body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.li(t1, carr);
+        g.li(t2, cells * cWords);
+        g.li(t3, 0);
+        std::string c = g.newLabel("csum");
+        g.label(c);
+        g.lw(t4, t1, 0);
+        g.add(t3, t3, t4);
+        g.addi(t1, t1, 4);
+        g.addi(t2, t2, -1);
+        g.bne(t2, zero, c);
+        g.li(t1, sumWord);
+        g.sw(t3, t1, 0);
+        g.sysWrite(sumWord, 4);
+    });
+
+    // s0 = me, s1 = iter, s2 = cell, s4 = cell end, s5 = my base,
+    // s6 = neighbor base, s7 = accumulator, s8 = particle counter.
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, iters);
+    std::string iterLoop = g.newLabel("iter");
+    g.label(iterLoop);
+    g.li(t1, perThread);
+    g.mul(s2, s0, t1);
+    g.add(s4, s2, t1);
+    std::string cellLoop = g.newLabel("cell");
+    g.label(cellLoop);
+    g.slli(s5, s2, 6);
+    g.li(t1, carr);
+    g.add(s5, s5, t1);
+    g.li(s7, 0);
+    // read my particles + both neighbors' particles (shared reads)
+    // neighbor left = (cell + cells - 1) % cells
+    g.li(t1, cells);
+    g.addi(t2, s2, static_cast<std::int32_t>(cells) - 1);
+    g.remu(t2, t2, t1);
+    g.slli(s6, t2, 6);
+    g.li(t3, carr);
+    g.add(s6, s6, t3);
+    g.li(s8, 8);
+    std::string nl = g.newLabel("nl");
+    g.label(nl);
+    g.lw(t4, s6, 12);
+    g.add(s7, s7, t4);
+    g.addi(s6, s6, 4);
+    g.addi(s8, s8, -1);
+    g.bne(s8, zero, nl);
+    // neighbor right = (cell + 1) % cells
+    g.addi(t2, s2, 1);
+    g.remu(t2, t2, t1);
+    g.slli(s6, t2, 6);
+    g.add(s6, s6, t3);
+    g.li(s8, 8);
+    std::string nr = g.newLabel("nr");
+    g.label(nr);
+    g.lw(t4, s6, 12);
+    g.srli(t4, t4, 1);
+    g.add(s7, s7, t4);
+    g.addi(s6, s6, 4);
+    g.addi(s8, s8, -1);
+    g.bne(s8, zero, nr);
+    // local force kernel, then store into my acc (own cell, private
+    // in this phase)
+    g.computePad(s7, t4, 24);
+    g.sw(s7, s5, 44);
+    g.addi(s2, s2, 1);
+    g.bne(s2, s4, cellLoop);
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+    // update phase: apply acc to my particles; occasionally "migrate"
+    // a particle by bumping the right neighbor's locked counter.
+    g.li(t1, perThread);
+    g.mul(s2, s0, t1);
+    g.add(s4, s2, t1);
+    std::string updLoop = g.newLabel("upd");
+    g.label(updLoop);
+    g.slli(s5, s2, 6);
+    g.li(t1, carr);
+    g.add(s5, s5, t1);
+    g.lw(s7, s5, 44);
+    g.li(s8, 8);
+    std::string up = g.newLabel("up");
+    g.label(up);
+    g.slli(t2, s8, 2);
+    g.add(t2, t2, s5);
+    g.lw(t3, t2, 8); // pos[s8-1] at offset 12+(s8-1)*4 == 8+s8*4
+    g.add(t3, t3, s7);
+    g.andi(t3, t3, 0xfffff);
+    g.sw(t3, t2, 8);
+    g.addi(s8, s8, -1);
+    g.bne(s8, zero, up);
+    // migration: if acc has low bit set, lock right neighbor and bump
+    g.andi(t2, s7, 1);
+    std::string nomig = g.newLabel("nomig");
+    g.beq(t2, zero, nomig);
+    g.li(t1, cells);
+    g.addi(t2, s2, 1);
+    g.remu(t2, t2, t1);
+    g.slli(s6, t2, 6);
+    g.li(t3, carr);
+    g.add(s6, s6, t3);
+    g.spinLockAcquire(s6, t1, t3);
+    g.lw(t2, s6, 8);
+    g.addi(t2, t2, 1);
+    g.sw(t2, s6, 8);
+    g.spinLockRelease(s6, t1);
+    g.label(nomig);
+    g.addi(s2, s2, 1);
+    g.bne(s2, s4, updLoop);
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, iterLoop);
+    g.ret();
+
+    return Workload{"water-sp",
+                    csprintf("cells=%u iters=%u threads=%d", cells,
+                             iters, threads),
+                    threads, g.finish()};
+}
+
+} // namespace qr

@@ -1,0 +1,48 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+const std::vector<WorkloadSpec> &
+splash2Suite()
+{
+    static const std::vector<WorkloadSpec> suite = {
+        {"barnes", makeBarnes},
+        {"fft", makeFft},
+        {"fmm", makeFmm},
+        {"lu", makeLu},
+        {"ocean", makeOcean},
+        {"radiosity", makeRadiosity},
+        {"radix", makeRadix},
+        {"raytrace", makeRaytrace},
+        {"water-nsq", makeWaterNsq},
+        {"water-sp", makeWaterSp},
+    };
+    return suite;
+}
+
+const std::vector<WorkloadSpec> &
+extendedSuite()
+{
+    static const std::vector<WorkloadSpec> suite = {
+        {"cholesky", makeCholesky},
+        {"volrend", makeVolrend},
+    };
+    return suite;
+}
+
+Workload
+makeByName(const std::string &name, int threads, int scale)
+{
+    for (const auto &spec : splash2Suite())
+        if (spec.name == name)
+            return spec.make(threads, scale);
+    for (const auto &spec : extendedSuite())
+        if (spec.name == name)
+            return spec.make(threads, scale);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace qr

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Workload registry.
+ *
+ * The evaluation runs ten SPLASH-2-analog kernels, mirroring the
+ * paper's benchmark suite. Each analog reproduces the memory-sharing
+ * and synchronization structure of its namesake (who shares what with
+ * whom, lock/barrier frequency, working-set shape) on QR-ISA; see
+ * DESIGN.md for why that is the property the chunking statistics
+ * depend on. A `scale` knob multiplies the problem size.
+ */
+
+#ifndef QR_WORKLOADS_WORKLOAD_HH
+#define QR_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+
+namespace qr
+{
+
+/** A runnable guest workload. */
+struct Workload
+{
+    std::string name;
+    std::string params; //!< human-readable problem description
+    int nThreads = 4;
+    Program program;
+};
+
+/** Factory signature: (threads, scale) -> workload. */
+using WorkloadFactory = std::function<Workload(int, int)>;
+
+/** A named entry in the suite. */
+struct WorkloadSpec
+{
+    std::string name;
+    WorkloadFactory make;
+};
+
+// --- SPLASH-2 analogs (one per paper benchmark) --------------------------
+Workload makeFft(int threads, int scale);
+Workload makeLu(int threads, int scale);
+Workload makeRadix(int threads, int scale);
+Workload makeBarnes(int threads, int scale);
+Workload makeFmm(int threads, int scale);
+Workload makeOcean(int threads, int scale);
+Workload makeRaytrace(int threads, int scale);
+Workload makeRadiosity(int threads, int scale);
+Workload makeWaterNsq(int threads, int scale);
+Workload makeWaterSp(int threads, int scale);
+
+// --- extended suite (beyond the paper's ten) ------------------------------
+Workload makeCholesky(int threads, int scale);
+Workload makeVolrend(int threads, int scale);
+
+/** The ten-benchmark evaluation suite, in the paper's order. */
+const std::vector<WorkloadSpec> &splash2Suite();
+
+/** Extra kernels with synchronization shapes the main suite lacks
+ *  (dataflow task release, work stealing). */
+const std::vector<WorkloadSpec> &extendedSuite();
+
+/** Look up a workload from either suite by name (fatal if unknown). */
+Workload makeByName(const std::string &name, int threads, int scale);
+
+} // namespace qr
+
+#endif // QR_WORKLOADS_WORKLOAD_HH

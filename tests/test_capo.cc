@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Capo3 tests: input-record and sphere-log serialization round-trips
+ * (including randomized records), RSM bookkeeping and overhead
+ * attribution, and log persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "capo/input_log.hh"
+#include "capo/log_store.hh"
+#include "capo/sphere.hh"
+#include "core/session.hh"
+#include "sim/rng.hh"
+#include "workloads/micro.hh"
+
+namespace qr
+{
+namespace
+{
+
+InputRecord
+randomRecord(Rng &rng)
+{
+    InputRecord r;
+    r.kind = static_cast<InputKind>(rng.range(1, 5));
+    r.num = rng.next32();
+    r.ret = rng.next32();
+    r.pc = rng.next32();
+    r.sp = rng.next32();
+    r.arg = rng.next32();
+    r.parent = rng.next32();
+    r.instrs = rng.next64();
+    r.afterChunkSeq = rng.next64();
+    if (r.kind == InputKind::SyscallRet) {
+        if (rng.chance(1, 2)) {
+            r.hasNewPc = true;
+            r.newPc = rng.next32();
+        }
+        if (rng.chance(1, 2)) {
+            r.copyAddr = rng.next32() & ~3u;
+            std::uint64_t n = rng.below(20);
+            for (std::uint64_t i = 0; i < n; ++i)
+                r.copyWords.push_back(rng.next32());
+        }
+    }
+    return r;
+}
+
+/** Zero the fields a record's kind does not serialize. */
+InputRecord
+canonical(const InputRecord &in)
+{
+    InputRecord r;
+    r.kind = in.kind;
+    switch (in.kind) {
+      case InputKind::ThreadStart:
+        r.pc = in.pc;
+        r.sp = in.sp;
+        r.arg = in.arg;
+        r.parent = in.parent;
+        break;
+      case InputKind::SyscallRet:
+        r.num = in.num;
+        r.ret = in.ret;
+        r.hasNewPc = in.hasNewPc;
+        r.newPc = in.newPc;
+        r.copyAddr = in.copyWords.empty() ? 0 : in.copyAddr;
+        r.copyWords = in.copyWords;
+        break;
+      case InputKind::Nondet:
+        r.num = in.num;
+        r.ret = in.ret;
+        break;
+      case InputKind::SignalDeliver:
+        r.num = in.num;
+        r.afterChunkSeq = in.afterChunkSeq;
+        r.pc = in.pc;
+        r.sp = in.sp;
+        r.copyAddr = in.copyAddr;
+        break;
+      case InputKind::ThreadExit:
+        r.ret = in.ret;
+        r.instrs = in.instrs;
+        break;
+    }
+    return r;
+}
+
+TEST(InputLog, RandomRecordsRoundTrip)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 500; ++trial) {
+        InputRecord in = randomRecord(rng);
+        std::vector<std::uint8_t> buf;
+        in.serialize(buf);
+        EXPECT_EQ(buf.size(), in.packedBytes());
+        std::size_t pos = 0;
+        InputRecord out = InputRecord::deserialize(buf, pos);
+        EXPECT_EQ(pos, buf.size());
+        EXPECT_EQ(out, canonical(in));
+    }
+}
+
+TEST(SphereLogs, SerializeDeserializeRoundTrips)
+{
+    // Produce a real recording (so the logs have every record kind),
+    // then round-trip it through the packed stream.
+    Workload w = makeNondetMix(2, 60);
+    RecordResult rec = recordProgram(w.program);
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    SphereLogs back = SphereLogs::deserialize(bytes);
+    EXPECT_EQ(back, rec.logs);
+}
+
+TEST(SphereLogs, FileSaveLoadRoundTrips)
+{
+    Workload w = makeRacyCounter(2, 200, false);
+    RecordResult rec = recordProgram(w.program);
+    std::string path = "/tmp/qr_test_sphere.qrs";
+    std::uint64_t n = saveSphere(rec.logs, path);
+    EXPECT_GT(n, 0u);
+    SphereLogs back = loadSphere(path);
+    EXPECT_EQ(back, rec.logs);
+    std::remove(path.c_str());
+}
+
+TEST(SphereLogs, MeasureMatchesSerializedContent)
+{
+    Workload w = makeProdCons(4, 40);
+    RecordResult rec = recordProgram(w.program);
+    LogSizes sizes = measureLogs(rec.logs);
+    EXPECT_GT(sizes.inputBytes, 0u);
+    EXPECT_GT(sizes.memoryBytes, 0u);
+    EXPECT_EQ(sizes.chunkRecords, rec.logs.totalChunks());
+    // The serialized sphere = header + both logs; it must be at least
+    // as large as the payload accounting.
+    EXPECT_GE(rec.logs.serialize().size(), sizes.total());
+}
+
+TEST(SphereLogsDeath, CorruptMagicIsRejected)
+{
+    std::vector<std::uint8_t> junk = {'X', 'X', 'X', 'X', 0};
+    EXPECT_DEATH(SphereLogs::deserialize(junk), "magic");
+}
+
+TEST(Rsm, OverheadAttributionCoversActiveCategories)
+{
+    // prodcons exercises futex syscalls, input records, context
+    // switches and CBUF drains.
+    Workload w = makeProdCons(4, 80);
+    RecordResult rec = recordProgram(w.program);
+    const RunMetrics &m = rec.metrics;
+    EXPECT_GT(m.overheadCycles[static_cast<int>(
+                  OverheadCat::SyscallIntercept)], 0u);
+    EXPECT_GT(m.overheadCycles[static_cast<int>(
+                  OverheadCat::CtxSwitch)], 0u);
+    EXPECT_GT(m.overheadCycles[static_cast<int>(
+                  OverheadCat::SphereMgmt)], 0u);
+    EXPECT_EQ(m.recordingOverheadCycles,
+              [&] {
+                  std::uint64_t sum = 0;
+                  for (int c = 0; c < numOverheadCats; ++c)
+                      sum += m.overheadCycles[c];
+                  return sum;
+              }());
+}
+
+TEST(Rsm, CopyLoggingChargedForReadSyscalls)
+{
+    Workload w = makeNondetMix(2, 120);
+    RecordResult rec = recordProgram(w.program);
+    EXPECT_GT(rec.metrics.overheadCycles[static_cast<int>(
+                  OverheadCat::CopyLogging)], 0u);
+    EXPECT_GT(rec.metrics.overheadCycles[static_cast<int>(
+                  OverheadCat::NondetEmu)], 0u);
+}
+
+TEST(Rsm, ChunkLogsAreSortedPerThread)
+{
+    Workload w = makeRacyCounter(4, 400, false);
+    MachineConfig mcfg;
+    mcfg.core.timeslice = 2000; // force migrations
+    RecordResult rec = recordProgram(w.program, mcfg);
+    for (const auto &[tid, logs] : rec.logs.threads)
+        for (std::size_t i = 1; i < logs.chunks.size(); ++i)
+            EXPECT_LT(logs.chunks[i - 1].ts, logs.chunks[i].ts)
+                << "tid " << tid;
+}
+
+TEST(Rsm, SmallCbufForcesMoreDrains)
+{
+    Workload w = makeRacyCounter(4, 1500, false);
+    RecorderConfig small;
+    small.cbuf.entries = 64;
+    RecorderConfig large;
+    large.cbuf.entries = 16384;
+    RecordResult a = recordProgram(w.program, MachineConfig{}, small);
+    RecordResult b = recordProgram(w.program, MachineConfig{}, large);
+    EXPECT_GT(a.metrics.cbufDrains, b.metrics.cbufDrains);
+}
+
+} // namespace
+} // namespace qr

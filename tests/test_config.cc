@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Configuration-validation and trace-framework tests: user errors must
+ * fail fast with a clear message, and the QR_TRACE machinery must
+ * gate output correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/session.hh"
+#include "sim/trace.hh"
+#include "workloads/micro.hh"
+
+namespace qr
+{
+namespace
+{
+
+TEST(ConfigDeath, RejectsZeroCores)
+{
+    MachineConfig mcfg;
+    mcfg.numCores = 0;
+    EXPECT_EXIT(validate(mcfg, RecorderConfig{}),
+                ::testing::ExitedWithCode(1), "numCores");
+}
+
+TEST(ConfigDeath, RejectsTinyMemory)
+{
+    MachineConfig mcfg;
+    mcfg.memBytes = 4096;
+    EXPECT_EXIT(validate(mcfg, RecorderConfig{}),
+                ::testing::ExitedWithCode(1), "memory");
+}
+
+TEST(ConfigDeath, RejectsFinerThanLineGranularity)
+{
+    MachineConfig mcfg;
+    RecorderConfig rcfg;
+    rcfg.rnr.lineBytes = 16; // finer than the 64 B coherence line
+    EXPECT_EXIT(validate(mcfg, rcfg), ::testing::ExitedWithCode(1),
+                "granularity");
+}
+
+TEST(ConfigDeath, RejectsNonMultipleGranularity)
+{
+    MachineConfig mcfg;
+    RecorderConfig rcfg;
+    rcfg.rnr.lineBytes = 96;
+    EXPECT_EXIT(validate(mcfg, rcfg), ::testing::ExitedWithCode(1),
+                "granularity");
+}
+
+TEST(ConfigDeath, RejectsOversizedCbuf)
+{
+    MachineConfig mcfg;
+    mcfg.memBytes = 1u << 20;
+    RecorderConfig rcfg;
+    rcfg.cbuf.entries = 1u << 16; // 4 MB of CBUF in a 1 MB guest
+    EXPECT_EXIT(validate(mcfg, rcfg), ::testing::ExitedWithCode(1),
+                "CBUF");
+}
+
+TEST(Config, DefaultsValidate)
+{
+    validate(MachineConfig{}, RecorderConfig{}); // must not exit
+    SUCCEED();
+}
+
+TEST(Config, CoarserGranularityAccepted)
+{
+    RecorderConfig rcfg;
+    rcfg.rnr.lineBytes = 256;
+    validate(MachineConfig{}, rcfg);
+    SUCCEED();
+}
+
+TEST(Trace, FlagNamesRoundTrip)
+{
+    for (int f = 0; f < numTraceFlags; ++f)
+        EXPECT_STRNE(traceFlagName(static_cast<TraceFlag>(f)), "?");
+}
+
+TEST(Trace, OverrideGatesOutput)
+{
+    EXPECT_FALSE(traceEnabled(TraceFlag::Chunk)); // no QR_TRACE in env
+    traceOverride(TraceFlag::Chunk, true);
+    EXPECT_TRUE(traceEnabled(TraceFlag::Chunk));
+    traceOverride(TraceFlag::Chunk, false);
+    EXPECT_FALSE(traceEnabled(TraceFlag::Chunk));
+}
+
+TEST(Trace, TracedRunIsStillDeterministic)
+{
+    // Tracing must be observation-only: enabling every flag cannot
+    // change the recorded execution.
+    Workload a = makeRacyCounter(4, 300, false);
+    RecordResult plain = recordProgram(a.program);
+    for (int f = 0; f < numTraceFlags; ++f)
+        traceOverride(static_cast<TraceFlag>(f), true);
+    // Redirect stderr chatter away from the test log.
+    std::FILE *saved = stderr;
+    stderr = std::fopen("/dev/null", "w");
+    Workload b = makeRacyCounter(4, 300, false);
+    RecordResult traced = recordProgram(b.program);
+    std::fclose(stderr);
+    stderr = saved;
+    for (int f = 0; f < numTraceFlags; ++f)
+        traceOverride(static_cast<TraceFlag>(f), false);
+    EXPECT_EQ(plain.logs.serialize(), traced.logs.serialize());
+}
+
+} // namespace
+} // namespace qr

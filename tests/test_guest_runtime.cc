@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Guest runtime-library tests: mutual exclusion of both lock flavors
+ * under real contention, barrier phase integrity, and scaffold
+ * conventions -- verified end-to-end on the machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/session.hh"
+#include "guest/runtime.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+namespace
+{
+
+Word
+mainOut(Machine &machine, std::size_t idx = 0)
+{
+    const auto &out = machine.outputs().at(1);
+    Word w = 0;
+    for (int b = 0; b < 4; ++b)
+        w |= static_cast<Word>(out[idx * 4 + static_cast<std::size_t>(b)])
+             << (8 * b);
+    return w;
+}
+
+/** counter protected by the chosen lock; exact final value expected. */
+Program
+lockedCounter(bool hybrid, int threads, int iters)
+{
+    GuestBuilder g;
+    Addr counter = g.alignedBlock(1);
+    Addr lock = g.lockAlloc();
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] { g.sysWrite(counter, 4); });
+    g.label(body);
+    g.li(s1, static_cast<Word>(iters));
+    g.li(s2, lock);
+    g.li(s3, counter);
+    std::string loop = g.newLabel("loop");
+    g.label(loop);
+    if (hybrid)
+        g.hybridLockAcquire(s2, t1, t2, 4); // tiny spin: force futexes
+    else
+        g.spinLockAcquire(s2, t1, t2);
+    g.lw(t3, s3, 0);
+    g.addi(t3, t3, 1);
+    g.sw(t3, s3, 0);
+    if (hybrid)
+        g.hybridLockRelease(s2, t1);
+    else
+        g.spinLockRelease(s2, t1);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, loop);
+    g.ret();
+    return g.finish();
+}
+
+class LockKinds : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(LockKinds, MutualExclusionUnderContention)
+{
+    for (Tick slice : {1500u, 5000u, 20000u}) {
+        MachineConfig mcfg;
+        mcfg.core.timeslice = slice;
+        Machine machine(mcfg, RecorderConfig{},
+                        lockedCounter(GetParam(), 4, 300), false);
+        RunMetrics m = machine.run();
+        EXPECT_EQ(mainOut(machine), 1200u)
+            << (GetParam() ? "hybrid" : "spin") << " slice " << slice;
+        if (GetParam()) {
+            // The tiny spin bound must actually reach the kernel.
+            EXPECT_GT(m.syscalls, 20u) << "hybrid lock never slept";
+        }
+    }
+}
+
+TEST_P(LockKinds, MoreThreadsThanCores)
+{
+    MachineConfig mcfg;
+    mcfg.numCores = 2;
+    mcfg.core.timeslice = 2500;
+    Machine machine(mcfg, RecorderConfig{},
+                    lockedCounter(GetParam(), 6, 150), false);
+    machine.run();
+    EXPECT_EQ(mainOut(machine), 900u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Guest, LockKinds, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? std::string("hybrid")
+                                               : std::string("spin");
+                         });
+
+TEST(Barrier, NoThreadEntersPhaseEarly)
+{
+    // Each thread increments its phase counter, hits the barrier, and
+    // then checks that EVERY thread's counter has reached the phase --
+    // any barrier leak makes a check fail and sets the error flag.
+    constexpr int threads = 4;
+    constexpr int phases = 20;
+    GuestBuilder g;
+    Addr counters = g.alignedBlock(16 * threads);
+    Addr bar = g.barrierAlloc();
+    Addr errors = g.alignedBlock(1);
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] { g.sysWrite(errors, 4); });
+    g.label(body);
+    g.mv(s0, a0);
+    g.li(s1, 0); // phase
+    std::string phase = g.newLabel("phase");
+    g.label(phase);
+    // bump my counter (private line)
+    g.slli(t1, s0, 6);
+    g.li(t2, counters);
+    g.add(s2, t2, t1);
+    g.addi(t3, s1, 1);
+    g.sw(t3, s2, 0);
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+    // after the barrier, everyone must be at >= phase+1
+    g.addi(s3, s1, 1);
+    for (int other = 0; other < threads; ++other) {
+        std::string ok = g.newLabel("ok");
+        g.li(t1, counters + static_cast<Addr>(other) * 64);
+        g.lw(t2, t1, 0);
+        g.bge(t2, s3, ok);
+        g.li(t3, errors);
+        g.li(t4, 1);
+        g.fetchadd(t4, t3, t4);
+        g.label(ok);
+    }
+    g.barrierWait(bar, threads, t1, t2, t3, t4);
+    g.addi(s1, s1, 1);
+    g.li(t1, phases);
+    g.bne(s1, t1, phase);
+    g.ret();
+
+    MachineConfig mcfg;
+    mcfg.core.timeslice = 3000;
+    Machine machine(mcfg, RecorderConfig{}, g.finish(), false);
+    machine.run();
+    EXPECT_EQ(mainOut(machine), 0u) << "barrier leaked a thread";
+}
+
+TEST(Scaffold, WorkerIndicesAreDense)
+{
+    // Each worker stamps slot[index] = index + 1; all slots must be
+    // stamped exactly once.
+    constexpr int threads = 5;
+    GuestBuilder g;
+    Addr slots = g.alignedBlock(16 * threads);
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.sysWrite(slots, 16 * threads * 4);
+    });
+    g.label(body);
+    g.slli(t1, a0, 6);
+    g.li(t2, slots);
+    g.add(t2, t2, t1);
+    g.addi(t3, a0, 1);
+    g.sw(t3, t2, 0);
+    g.ret();
+
+    Machine machine(MachineConfig{}, RecorderConfig{}, g.finish(),
+                    false);
+    machine.run();
+    for (int i = 0; i < threads; ++i)
+        EXPECT_EQ(mainOut(machine, static_cast<std::size_t>(i) * 16),
+                  static_cast<Word>(i + 1));
+}
+
+TEST(ComputePad, IsDeterministicAndCounted)
+{
+    GuestBuilder g;
+    Addr out = g.word();
+    g.li(t1, 12345);
+    g.computePad(t1, t2, 10);
+    g.li(t3, out);
+    g.sw(t1, t3, 0);
+    g.sysWrite(out, 4);
+    g.sysExit(0);
+    MachineConfig mcfg;
+    mcfg.memBytes = 4u << 20;
+    Machine a(mcfg, RecorderConfig{}, g.finish(), false);
+    RunMetrics m = a.run();
+    // li t1 + (li counter + 10*(mul,addi,addi,bne)) + li t3 + sw
+    // + write shim (5) + exit shim (3) = 52
+    EXPECT_EQ(m.instrs, 52u);
+    Word v = mainOut(a);
+    EXPECT_NE(v, 12345u);
+}
+
+} // namespace
+} // namespace qr

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Cross-module integration tests: record/replay determinism under
+ * hostile configurations -- heavy migration, tiny CBUFs with forced
+ * drains, coarse conflict granularity, signal storms, and combined
+ * stressors. Each case is a full record -> replay -> digest-verify
+ * round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+#include "workloads/micro.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+namespace
+{
+
+void
+expectDeterministic(const Program &prog, const MachineConfig &mcfg,
+                    const RecorderConfig &rcfg, const char *what)
+{
+    RoundTrip rt = recordAndReplay(prog, mcfg, rcfg);
+    ASSERT_TRUE(rt.replay.ok) << what << ": " << rt.replay.divergence;
+    EXPECT_TRUE(rt.verify.ok) << what << ":\n" << rt.verify.str();
+}
+
+TEST(Integration, HeavyMigrationSixThreadsTwoCores)
+{
+    Workload w = makeRacyCounter(6, 1500, false);
+    MachineConfig mcfg;
+    mcfg.numCores = 2;
+    mcfg.core.timeslice = 1800;
+    RecordResult rec = recordProgram(w.program, mcfg);
+    EXPECT_GT(rec.metrics.migrations, 0u);
+    EXPECT_GT(rec.metrics.contextSwitches, 15u);
+    ReplayResult rep = replaySphere(w.program, rec.logs);
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_TRUE(verifyDigests(rec.metrics.digests, rep.digests).ok);
+}
+
+TEST(Integration, TinyCbufWithForcedDrains)
+{
+    Workload w = makeFalseSharing(4, 800); // conflict storm
+    RecorderConfig rcfg;
+    rcfg.cbuf.entries = 16;
+    rcfg.cbuf.drainThreshold = 1.0; // only full-buffer backpressure
+    RecordResult rec = recordProgram(w.program, MachineConfig{}, rcfg);
+    EXPECT_GT(rec.metrics.cbufForcedDrains, 0u);
+    ReplayResult rep = replaySphere(w.program, rec.logs);
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_TRUE(verifyDigests(rec.metrics.digests, rep.digests).ok);
+}
+
+TEST(Integration, CoarseConflictGranularity)
+{
+    Workload w = makeRadix(4, 1);
+    RecorderConfig rcfg;
+    rcfg.rnr.lineBytes = 256; // sound but very false-conflict-prone
+    expectDeterministic(w.program, MachineConfig{}, rcfg,
+                        "granularity 256");
+}
+
+TEST(Integration, TinyBloomFilters)
+{
+    Workload w = makeOcean(4, 1);
+    RecorderConfig rcfg;
+    rcfg.rnr.bloom.bits = 64;
+    RecordResult rec = recordProgram(w.program, MachineConfig{}, rcfg);
+    ReplayResult rep = replaySphere(w.program, rec.logs);
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_TRUE(verifyDigests(rec.metrics.digests, rep.digests).ok);
+}
+
+TEST(Integration, TinyChunkLimit)
+{
+    Workload w = makeFft(4, 1);
+    RecorderConfig rcfg;
+    rcfg.rnr.maxChunkInstrs = 64;
+    RecordResult rec = recordProgram(w.program, MachineConfig{}, rcfg);
+    EXPECT_GT(rec.metrics.reasonCounts[static_cast<int>(
+                  ChunkReason::SizeOverflow)],
+              rec.metrics.chunks / 2);
+    ReplayResult rep = replaySphere(w.program, rec.logs);
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_TRUE(verifyDigests(rec.metrics.digests, rep.digests).ok);
+}
+
+TEST(Integration, FilterFullSafetyValve)
+{
+    Workload w = makeLu(4, 1);
+    RecorderConfig rcfg;
+    rcfg.rnr.filterMaxFill = 32;
+    RecordResult rec = recordProgram(w.program, MachineConfig{}, rcfg);
+    EXPECT_GT(rec.metrics.reasonCounts[static_cast<int>(
+                  ChunkReason::FilterFull)], 0u);
+    ReplayResult rep = replaySphere(w.program, rec.logs);
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_TRUE(verifyDigests(rec.metrics.digests, rep.digests).ok);
+}
+
+TEST(Integration, SignalStormAcrossTimeslices)
+{
+    for (Tick slice : {2500u, 9000u}) {
+        Workload w = makeSignalStress(14);
+        MachineConfig mcfg;
+        mcfg.core.timeslice = slice;
+        RecordResult rec = recordProgram(w.program, mcfg);
+        EXPECT_GT(rec.metrics.signalsDelivered, 0u);
+        ReplayResult rep = replaySphere(w.program, rec.logs);
+        ASSERT_TRUE(rep.ok) << "slice " << slice << ": "
+                            << rep.divergence;
+        EXPECT_TRUE(
+            verifyDigests(rec.metrics.digests, rep.digests).ok)
+            << "slice " << slice;
+    }
+}
+
+TEST(Integration, SequentialConsistencyDepthOne)
+{
+    // sbDepth 1 is the closest the machine gets to SC; RSW must then
+    // be tiny and replay still exact.
+    Workload w = makeRadix(4, 1);
+    MachineConfig mcfg;
+    mcfg.core.sbDepth = 1;
+    RecordResult rec = recordProgram(w.program, mcfg);
+    EXPECT_LE(rec.metrics.rswValues.max(), 1u);
+    ReplayResult rep = replaySphere(w.program, rec.logs);
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_TRUE(verifyDigests(rec.metrics.digests, rep.digests).ok);
+}
+
+TEST(Integration, DeepStoreBuffer)
+{
+    Workload w = makeWaterNsq(4, 1);
+    MachineConfig mcfg;
+    mcfg.core.sbDepth = 64;
+    mcfg.core.sbDrainInterval = 12; // drains lag far behind retire
+    expectDeterministic(w.program, mcfg, RecorderConfig{},
+                        "deep store buffer");
+}
+
+TEST(Integration, EverythingHostileAtOnce)
+{
+    Workload w = makeProdCons(5, 60);
+    MachineConfig mcfg;
+    mcfg.numCores = 3;
+    mcfg.core.timeslice = 2100;
+    mcfg.core.sbDepth = 16;
+    mcfg.core.sbDrainInterval = 7;
+    RecorderConfig rcfg;
+    rcfg.rnr.bloom.bits = 128;
+    rcfg.rnr.maxChunkInstrs = 512;
+    rcfg.cbuf.entries = 64;
+    expectDeterministic(w.program, mcfg, rcfg, "hostile combo");
+}
+
+TEST(Integration, RecordTwiceProducesIdenticalLogs)
+{
+    for (const char *name : {"radix", "barnes"}) {
+        Workload a = makeByName(name, 4, 1);
+        Workload b = makeByName(name, 4, 1);
+        RecordResult ra = recordProgram(a.program);
+        RecordResult rb = recordProgram(b.program);
+        EXPECT_EQ(ra.logs.serialize(), rb.logs.serialize()) << name;
+    }
+}
+
+TEST(Integration, ExtendedSuiteHostileSchedules)
+{
+    for (const auto &spec : extendedSuite()) {
+        Workload w = spec.make(4, 1);
+        MachineConfig mcfg;
+        mcfg.numCores = 2;
+        mcfg.core.timeslice = 2300;
+        expectDeterministic(w.program, mcfg, RecorderConfig{},
+                            spec.name.c_str());
+    }
+}
+
+} // namespace
+} // namespace qr

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for QR-ISA: encoding round-trips, the assembler's labels
+ * and data allocation, the disassembler, and the shared pure-execution
+ * semantics used by both the core and the replayer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+#include "isa/exec.hh"
+#include "isa/instruction.hh"
+#include "sim/rng.hh"
+
+namespace qr
+{
+namespace
+{
+
+TEST(Instruction, EncodeDecodeRoundTripsAllOpcodes)
+{
+    Rng rng(42);
+    for (int op = 0; op < static_cast<int>(Opcode::NumOpcodes); ++op) {
+        for (int trial = 0; trial < 16; ++trial) {
+            Instruction in;
+            in.op = static_cast<Opcode>(op);
+            in.rd = static_cast<std::uint8_t>(rng.below(numRegs));
+            in.rs1 = static_cast<std::uint8_t>(rng.below(numRegs));
+            in.rs2 = static_cast<std::uint8_t>(rng.below(numRegs));
+            in.imm = rng.next32();
+            EXPECT_EQ(Instruction::decode(in.encode()), in);
+        }
+    }
+}
+
+TEST(Instruction, Classifiers)
+{
+    EXPECT_TRUE(isMemOp(Opcode::Lw));
+    EXPECT_TRUE(isMemOp(Opcode::Cas));
+    EXPECT_FALSE(isMemOp(Opcode::Add));
+    EXPECT_TRUE(isAtomic(Opcode::FetchAdd));
+    EXPECT_FALSE(isAtomic(Opcode::Sw));
+    EXPECT_TRUE(isNondet(Opcode::Rdtsc));
+    EXPECT_FALSE(isNondet(Opcode::Syscall));
+}
+
+TEST(Instruction, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (int op = 0; op < static_cast<int>(Opcode::NumOpcodes); ++op)
+        names.insert(opcodeName(static_cast<Opcode>(op)));
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(Opcode::NumOpcodes));
+}
+
+TEST(Assembler, ForwardAndBackwardLabels)
+{
+    Assembler a;
+    a.label("start");
+    a.beq(zero, zero, "fwd"); // forward reference
+    a.nop();
+    a.label("fwd");
+    a.j("start"); // backward reference
+    Program p = a.finish();
+    EXPECT_EQ(p.code[0].imm, 2u);
+    EXPECT_EQ(p.code[2].imm, 0u);
+}
+
+TEST(Assembler, LiLabelResolves)
+{
+    Assembler a;
+    a.liLabel(a0, "target");
+    a.nop();
+    a.label("target");
+    a.nop();
+    Program p = a.finish();
+    EXPECT_EQ(p.code[0].op, Opcode::Li);
+    EXPECT_EQ(p.code[0].imm, 2u);
+}
+
+TEST(Assembler, DataAllocationAndAlignment)
+{
+    Assembler a(0x1000);
+    Addr w = a.word(7);
+    EXPECT_EQ(w, 0x1000u);
+    Addr blk = a.block(3);
+    EXPECT_EQ(blk, 0x1004u);
+    Addr aligned = a.alignedBlock(2);
+    EXPECT_EQ(aligned % 64, 0u);
+    EXPECT_GE(aligned, blk + 12);
+    a.nop();
+    Program p = a.finish();
+    EXPECT_EQ(p.dataEnd % 64, 0u);
+    EXPECT_GE(p.dataEnd, aligned + 8);
+    // word(7) produced an init entry.
+    bool found = false;
+    for (auto [addr, val] : p.dataInit)
+        found |= addr == w && val == 7;
+    EXPECT_TRUE(found);
+}
+
+TEST(AssemblerDeath, DuplicateLabelPanics)
+{
+    Assembler a;
+    a.label("x");
+    EXPECT_DEATH(a.label("x"), "defined twice");
+}
+
+TEST(AssemblerDeath, UnknownLabelPanics)
+{
+    Assembler a;
+    a.j("nowhere");
+    EXPECT_DEATH(a.finish(), "not defined");
+}
+
+TEST(Disassembler, RendersRepresentativeForms)
+{
+    EXPECT_EQ(disassemble({Opcode::Add, a0, a1, a2, 0}),
+              "add a0, a1, a2");
+    EXPECT_EQ(disassemble({Opcode::Lw, t0, sp, 0, 8}), "lw t0, 8(sp)");
+    EXPECT_EQ(disassemble({Opcode::Sw, 0, sp, t0,
+                           static_cast<std::uint32_t>(-4)}),
+              "sw t0, -4(sp)");
+    EXPECT_EQ(disassemble({Opcode::Li, a0, 0, 0, 0x10}), "li a0, 0x10");
+    EXPECT_EQ(disassemble({Opcode::Syscall, 0, 0, 0, 0}), "syscall");
+    EXPECT_EQ(disassemble({Opcode::Beq, 0, a0, a1, 7}), "beq a0, a1, 7");
+}
+
+// --- pure execution semantics -------------------------------------------
+
+class ExecPure : public ::testing::Test
+{
+  protected:
+    ThreadContext ctx;
+    Word nextPc = 0;
+
+    Word
+    run(Opcode op, Word r1, Word r2, std::uint32_t imm = 0)
+    {
+        ctx.pc = 10;
+        ctx.setReg(a1, r1);
+        ctx.setReg(a2, r2);
+        Instruction in{op, a0, a1, a2, imm};
+        EXPECT_TRUE(execPure(in, ctx, nextPc));
+        return ctx.reg(a0);
+    }
+};
+
+TEST_F(ExecPure, Arithmetic)
+{
+    EXPECT_EQ(run(Opcode::Add, 3, 4), 7u);
+    EXPECT_EQ(run(Opcode::Sub, 3, 4), static_cast<Word>(-1));
+    EXPECT_EQ(run(Opcode::Mul, 1000, 1000), 1000000u);
+    EXPECT_EQ(run(Opcode::Divu, 17, 5), 3u);
+    EXPECT_EQ(run(Opcode::Remu, 17, 5), 2u);
+    // Division by zero is defined (all ones / dividend).
+    EXPECT_EQ(run(Opcode::Divu, 17, 0), ~Word(0));
+    EXPECT_EQ(run(Opcode::Remu, 17, 0), 17u);
+}
+
+TEST_F(ExecPure, LogicAndShifts)
+{
+    EXPECT_EQ(run(Opcode::And, 0xf0f0, 0xff00), 0xf000u);
+    EXPECT_EQ(run(Opcode::Or, 0xf0f0, 0x0f0f), 0xffffu);
+    EXPECT_EQ(run(Opcode::Xor, 0xff, 0x0f), 0xf0u);
+    EXPECT_EQ(run(Opcode::Sll, 1, 4), 16u);
+    EXPECT_EQ(run(Opcode::Srl, 0x80000000u, 31), 1u);
+    EXPECT_EQ(run(Opcode::Sra, 0x80000000u, 31), ~Word(0));
+    // Shift amounts wrap at 32.
+    EXPECT_EQ(run(Opcode::Sll, 1, 33), 2u);
+}
+
+TEST_F(ExecPure, Comparisons)
+{
+    EXPECT_EQ(run(Opcode::Slt, static_cast<Word>(-1), 0), 1u);
+    EXPECT_EQ(run(Opcode::Sltu, static_cast<Word>(-1), 0), 0u);
+    EXPECT_EQ(run(Opcode::Slti, static_cast<Word>(-5), 0,
+                  static_cast<std::uint32_t>(-1)), 1u);
+}
+
+TEST_F(ExecPure, BranchesSetNextPc)
+{
+    ctx.pc = 10;
+    ctx.setReg(a1, 5);
+    ctx.setReg(a2, 5);
+    Instruction beq{Opcode::Beq, 0, a1, a2, 99};
+    EXPECT_TRUE(execPure(beq, ctx, nextPc));
+    EXPECT_EQ(nextPc, 99u);
+    Instruction bne{Opcode::Bne, 0, a1, a2, 99};
+    EXPECT_TRUE(execPure(bne, ctx, nextPc));
+    EXPECT_EQ(nextPc, 11u);
+    // Signed vs unsigned branch disagreement on negative values.
+    ctx.setReg(a1, static_cast<Word>(-2));
+    ctx.setReg(a2, 1);
+    Instruction blt{Opcode::Blt, 0, a1, a2, 50};
+    EXPECT_TRUE(execPure(blt, ctx, nextPc));
+    EXPECT_EQ(nextPc, 50u);
+    Instruction bltu{Opcode::Bltu, 0, a1, a2, 50};
+    EXPECT_TRUE(execPure(bltu, ctx, nextPc));
+    EXPECT_EQ(nextPc, 11u);
+}
+
+TEST_F(ExecPure, JumpAndLink)
+{
+    ctx.pc = 20;
+    Instruction jal{Opcode::Jal, ra, 0, 0, 5};
+    EXPECT_TRUE(execPure(jal, ctx, nextPc));
+    EXPECT_EQ(nextPc, 5u);
+    EXPECT_EQ(ctx.reg(ra), 21u);
+    ctx.pc = 30;
+    ctx.setReg(a1, 100);
+    Instruction jalr{Opcode::Jalr, ra, a1, 0, 2};
+    EXPECT_TRUE(execPure(jalr, ctx, nextPc));
+    EXPECT_EQ(nextPc, 102u);
+    EXPECT_EQ(ctx.reg(ra), 31u);
+}
+
+TEST_F(ExecPure, RegisterZeroIsImmutable)
+{
+    ctx.setReg(zero, 77);
+    EXPECT_EQ(ctx.reg(zero), 0u);
+    Instruction in{Opcode::Li, zero, 0, 0, 42};
+    EXPECT_TRUE(execPure(in, ctx, nextPc));
+    EXPECT_EQ(ctx.reg(zero), 0u);
+}
+
+TEST_F(ExecPure, EnvironmentOpsAreRejected)
+{
+    for (Opcode op : {Opcode::Lw, Opcode::Sw, Opcode::Cas,
+                      Opcode::FetchAdd, Opcode::Swap, Opcode::Fence,
+                      Opcode::Syscall, Opcode::Rdtsc, Opcode::Rdrand,
+                      Opcode::Cpuid}) {
+        Instruction in{op, a0, a1, a2, 0};
+        EXPECT_FALSE(execPure(in, ctx, nextPc)) << opcodeName(op);
+    }
+}
+
+} // namespace
+} // namespace qr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * End-to-end test of the qrec command-line driver: record a workload
+ * to a container file, replay it from the file (self-validating
+ * digests), and inspect it. Exercises the tool exactly as a user
+ * would, via its argv interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace
+{
+
+std::string
+qrecPath()
+{
+    // Tests run from anywhere; the binary sits next to the test tree.
+    const char *env = std::getenv("QREC_BIN");
+    return env ? env : "./tools/qrec";
+}
+
+int
+runQrec(const std::string &args)
+{
+    std::string cmd = qrecPath() + " " + args + " > /dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    return rc;
+}
+
+bool
+qrecAvailable()
+{
+    return runQrec("list") == 0;
+}
+
+TEST(QrecCli, RecordReplayInspectRoundTrip)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP() << "qrec binary not found at " << qrecPath();
+    const char *file = "/tmp/qr_cli_test.qrec";
+    ASSERT_EQ(runQrec(std::string("record counter-racy -t 4 -s 1 -o ") +
+                      file),
+              0);
+    EXPECT_EQ(runQrec(std::string("replay -i ") + file), 0);
+    EXPECT_EQ(runQrec(std::string("inspect -i ") + file), 0);
+    std::remove(file);
+}
+
+TEST(QrecCli, RunAndStats)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    EXPECT_EQ(runQrec("run fft -t 4 -s 1 --record --stats"), 0);
+    EXPECT_EQ(runQrec("run water-sp"), 0);
+}
+
+TEST(QrecCli, RejectsUnknownWorkloadAndBadFile)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    EXPECT_NE(runQrec("run no-such-workload"), 0);
+    EXPECT_NE(runQrec("replay -i /tmp/does_not_exist.qrec"), 0);
+    EXPECT_NE(runQrec(""), 0);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Replayer tests, focused on failure detection: a corrupted or
+ * truncated log must produce a precise divergence report, never a
+ * crash and never a silently wrong replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+#include "replay/log_reader.hh"
+#include "workloads/micro.hh"
+
+namespace qr
+{
+namespace
+{
+
+struct Recorded
+{
+    Workload w;
+    RecordResult rec;
+};
+
+Recorded
+recordRacy()
+{
+    Recorded r{makeRacyCounter(4, 300, false), {}};
+    r.rec = recordProgram(r.w.program);
+    return r;
+}
+
+TEST(Replay, CleanLogsReplayExactly)
+{
+    Recorded r = recordRacy();
+    ReplayResult rep = replaySphere(r.w.program, r.rec.logs);
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_TRUE(
+        verifyDigests(r.rec.metrics.digests, rep.digests).ok);
+    EXPECT_EQ(rep.replayedInstrs, r.rec.metrics.instrs);
+    EXPECT_GT(rep.modeledCycles, 0u);
+}
+
+TEST(Replay, ReplayIsIdempotent)
+{
+    Recorded r = recordRacy();
+    ReplayResult a = replaySphere(r.w.program, r.rec.logs);
+    ReplayResult b = replaySphere(r.w.program, r.rec.logs);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.digests, b.digests);
+}
+
+/** Find a thread with at least @p n chunk records. */
+Tid
+threadWithChunks(const SphereLogs &logs, std::size_t n)
+{
+    for (const auto &[tid, t] : logs.threads)
+        if (t.chunks.size() >= n)
+            return tid;
+    ADD_FAILURE() << "no thread with " << n << " chunks";
+    return invalidTid;
+}
+
+TEST(Replay, DetectsDroppedChunkRecord)
+{
+    Recorded r = recordRacy();
+    SphereLogs logs = r.rec.logs;
+    Tid victim = threadWithChunks(logs, 3);
+    auto &chunks = logs.threads.at(victim).chunks;
+    chunks.erase(chunks.begin() + 1);
+    ReplayResult rep = replaySphere(r.w.program, logs);
+    // Either an explicit divergence or (if execution happens to
+    // complete) mismatching digests -- never a silent pass.
+    bool caught = !rep.ok ||
+        !verifyDigests(r.rec.metrics.digests, rep.digests).ok;
+    EXPECT_TRUE(caught);
+}
+
+TEST(Replay, DetectsCorruptedChunkSize)
+{
+    Recorded r = recordRacy();
+    SphereLogs logs = r.rec.logs;
+    Tid victim = threadWithChunks(logs, 2);
+    logs.threads.at(victim).chunks[0].size += 3;
+    ReplayResult rep = replaySphere(r.w.program, logs);
+    bool caught = !rep.ok ||
+        !verifyDigests(r.rec.metrics.digests, rep.digests).ok;
+    EXPECT_TRUE(caught);
+}
+
+TEST(Replay, DetectsImpossibleRsw)
+{
+    Recorded r = recordRacy();
+    SphereLogs logs = r.rec.logs;
+    Tid victim = threadWithChunks(logs, 2);
+    logs.threads.at(victim).chunks[0].rsw = 60000; // > any store queue
+    ReplayResult rep = replaySphere(r.w.program, logs);
+    ASSERT_FALSE(rep.ok);
+    EXPECT_NE(rep.divergence.find("rsw"), std::string::npos);
+}
+
+TEST(Replay, DetectsMissingInputRecord)
+{
+    Recorded r = recordRacy();
+    SphereLogs logs = r.rec.logs;
+    auto &input = logs.threads.begin()->second.input;
+    ASSERT_FALSE(input.empty());
+    input.pop_back();
+    ReplayResult rep = replaySphere(r.w.program, logs);
+    EXPECT_FALSE(rep.ok);
+}
+
+TEST(Replay, DetectsWrongSyscallNumber)
+{
+    Recorded r = recordRacy();
+    SphereLogs logs = r.rec.logs;
+    for (auto &[tid, t] : logs.threads)
+        for (auto &rec : t.input)
+            if (rec.kind == InputKind::SyscallRet) {
+                rec.num += 1;
+                goto corrupted;
+            }
+corrupted:
+    ReplayResult rep = replaySphere(r.w.program, logs);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.divergence.find("syscall"), std::string::npos);
+}
+
+TEST(Replay, DetectsMissingThreadLogs)
+{
+    Recorded r = recordRacy();
+    SphereLogs logs = r.rec.logs;
+    // Drop a whole worker thread's logs: its spawn is still in the
+    // parent's record stream, and the remaining schedule can no
+    // longer account for the recorded state.
+    Tid victim = invalidTid;
+    for (const auto &[tid, t] : logs.threads)
+        if (tid != 1)
+            victim = tid;
+    ASSERT_NE(victim, invalidTid);
+    logs.threads.erase(victim);
+    ReplayResult rep = replaySphere(r.w.program, logs);
+    bool caught = !rep.ok ||
+        !verifyDigests(r.rec.metrics.digests, rep.digests).ok;
+    EXPECT_TRUE(caught);
+}
+
+TEST(Replay, ScheduleIsTotallyOrderedAndComplete)
+{
+    Recorded r = recordRacy();
+    auto schedule = buildSchedule(r.rec.logs);
+    EXPECT_EQ(schedule.size(), r.rec.logs.totalChunks());
+    for (std::size_t i = 1; i < schedule.size(); ++i) {
+        bool ordered = schedule[i - 1].ts < schedule[i].ts ||
+                       (schedule[i - 1].ts == schedule[i].ts &&
+                        schedule[i - 1].tid < schedule[i].tid);
+        EXPECT_TRUE(ordered) << "at " << i;
+    }
+}
+
+TEST(Replay, ModeledReplayIsSlowerThanParallelRecord)
+{
+    // Software replay is sequential; on a 4-core recording it should
+    // take longer (in modeled cycles) than the recorded run.
+    Workload w = makeRacyCounter(4, 2000, true);
+    RoundTrip rt = recordAndReplay(w.program);
+    ASSERT_TRUE(rt.deterministic());
+    EXPECT_GT(rt.replay.modeledCycles, rt.record.metrics.cycles);
+}
+
+} // namespace
+} // namespace qr

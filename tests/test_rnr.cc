@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Unit tests for the recording hardware: Bloom filters (no false
+ * negatives, ever), chunk-record packing, the CBUF, and the RnrUnit's
+ * chunking/conflict/Lamport behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/memory.hh"
+#include "rnr/bloom.hh"
+#include "rnr/cbuf.hh"
+#include "rnr/chunk_record.hh"
+#include "rnr/rnr_unit.hh"
+#include "sim/rng.hh"
+
+namespace qr
+{
+namespace
+{
+
+TEST(Bloom, NeverForgetsInsertedAddresses)
+{
+    BloomFilter f(BloomParams{256, 2});
+    Rng rng(1);
+    std::vector<Addr> inserted;
+    for (int i = 0; i < 200; ++i) {
+        Addr a = static_cast<Addr>(rng.next32()) & ~63u;
+        f.insert(a);
+        inserted.push_back(a);
+        for (Addr x : inserted)
+            ASSERT_TRUE(f.test(x)); // zero false negatives, always
+    }
+}
+
+TEST(Bloom, ClearEmptiesEverything)
+{
+    BloomFilter f(BloomParams{});
+    f.insert(0x1000);
+    ASSERT_TRUE(f.test(0x1000));
+    f.clear();
+    EXPECT_FALSE(f.test(0x1000));
+    EXPECT_EQ(f.fill(), 0u);
+    EXPECT_EQ(f.popcount(), 0u);
+}
+
+TEST(Bloom, FalsePositiveRateShrinksWithSize)
+{
+    Rng rng(2);
+    std::vector<Addr> members, probes;
+    for (int i = 0; i < 64; ++i)
+        members.push_back((static_cast<Addr>(rng.next32()) & ~63u) |
+                          0x10000000);
+    for (int i = 0; i < 4000; ++i)
+        probes.push_back(static_cast<Addr>(rng.next32()) & ~63u &
+                         0x0fffffff);
+    auto fpCount = [&](std::uint32_t bits) {
+        BloomFilter f(BloomParams{bits, 2});
+        for (Addr a : members)
+            f.insert(a);
+        int fp = 0;
+        for (Addr p : probes)
+            fp += f.test(p) ? 1 : 0;
+        return fp;
+    };
+    int small = fpCount(128);
+    int large = fpCount(4096);
+    EXPECT_GT(small, large);
+    EXPECT_LT(large, 40); // < 1% at 4096 bits / 64 entries
+}
+
+TEST(ChunkRecord, FixedLayoutRoundTrips)
+{
+    ChunkRecord rec{0x123456789aull, 70000, 12,
+                    ChunkReason::ConflictWar, 3};
+    Word words[4];
+    rec.packWords(words);
+    EXPECT_EQ(ChunkRecord::unpackWords(words), rec);
+}
+
+TEST(ChunkRecord, CompactEncodingRoundTrips)
+{
+    Rng rng(3);
+    std::vector<std::uint8_t> buf;
+    std::vector<ChunkRecord> recs;
+    Timestamp ts = 0;
+    for (int i = 0; i < 500; ++i) {
+        ChunkRecord rec;
+        ts += rng.below(100000);
+        rec.ts = ts;
+        rec.size = static_cast<std::uint32_t>(rng.below(1 << 20));
+        rec.rsw = static_cast<std::uint16_t>(rng.below(16));
+        rec.reason = static_cast<ChunkReason>(
+            rng.below(numChunkReasons));
+        rec.tid = 5;
+        recs.push_back(rec);
+    }
+    Timestamp prev = 0;
+    for (const auto &rec : recs) {
+        packCompact(rec, prev, buf);
+        prev = rec.ts;
+    }
+    // Compact beats the fixed 16-byte layout on average.
+    EXPECT_LT(buf.size(), recs.size() * ChunkRecord::cbufBytes);
+    std::size_t pos = 0;
+    prev = 0;
+    for (const auto &rec : recs) {
+        ChunkRecord out = unpackCompact(buf, pos, prev, 5);
+        EXPECT_EQ(out, rec);
+        prev = out.ts;
+    }
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, RoundTripsEdgeValues)
+{
+    std::vector<std::uint8_t> buf;
+    std::vector<std::uint64_t> values = {0, 1, 127, 128, 300, 1u << 20,
+                                         ~0ull};
+    for (auto v : values)
+        putVarint(buf, v);
+    std::size_t pos = 0;
+    for (auto v : values)
+        EXPECT_EQ(getVarint(buf, pos), v);
+}
+
+TEST(Cbuf, AppendDrainRoundTrips)
+{
+    Memory mem(1 << 20);
+    Cbuf cbuf(CbufParams{64, 0.75}, mem, 0x1000, nullptr);
+    std::vector<ChunkRecord> in;
+    for (std::uint32_t i = 0; i < 40; ++i) {
+        ChunkRecord rec{i + 1, i * 10, 0, ChunkReason::Syscall,
+                        static_cast<Tid>(i % 4)};
+        in.push_back(rec);
+        cbuf.append(rec, i);
+    }
+    EXPECT_EQ(cbuf.occupancy(), 40u);
+    std::vector<ChunkRecord> out = cbuf.drain();
+    EXPECT_EQ(out, in);
+    EXPECT_EQ(cbuf.occupancy(), 0u);
+    // Records physically live in guest memory (word 2 = ts low).
+    EXPECT_NE(mem.read(0x1008), 0u);
+}
+
+TEST(Cbuf, ThresholdAndFullSignals)
+{
+    Memory mem(1 << 20);
+    Cbuf cbuf(CbufParams{16, 0.75}, mem, 0, nullptr);
+    ChunkRecord rec{1, 1, 0, ChunkReason::Drain, 0};
+    int thresholds = 0, fulls = 0;
+    for (int i = 0; i < 16; ++i) {
+        rec.ts++;
+        Cbuf::Signal sig = cbuf.append(rec, 0);
+        thresholds += sig == Cbuf::Signal::Threshold;
+        fulls += sig == Cbuf::Signal::Full;
+    }
+    EXPECT_EQ(thresholds, 1); // fired exactly at 12 of 16
+    EXPECT_EQ(fulls, 1);
+    EXPECT_TRUE(cbuf.full());
+}
+
+TEST(CbufDeath, OverflowPanics)
+{
+    Memory mem(1 << 20);
+    Cbuf cbuf(CbufParams{4, 0.75}, mem, 0, nullptr);
+    ChunkRecord rec{1, 1, 0, ChunkReason::Drain, 0};
+    for (int i = 0; i < 4; ++i)
+        cbuf.append(rec, 0);
+    EXPECT_DEATH(cbuf.append(rec, 0), "backpressure");
+}
+
+TEST(Cbuf, WrapsAroundTheRing)
+{
+    Memory mem(1 << 20);
+    Cbuf cbuf(CbufParams{8, 0.99}, mem, 0, nullptr);
+    ChunkRecord rec{0, 0, 0, ChunkReason::Drain, 0};
+    for (int round = 0; round < 5; ++round) {
+        for (std::uint32_t i = 0; i < 6; ++i) {
+            rec.ts++;
+            rec.size = static_cast<std::uint32_t>(rec.ts);
+            cbuf.append(rec, 0);
+        }
+        auto out = cbuf.drain();
+        ASSERT_EQ(out.size(), 6u);
+        for (std::uint32_t i = 1; i < 6; ++i)
+            EXPECT_EQ(out[i].ts, out[i - 1].ts + 1);
+    }
+}
+
+// --- RnrUnit ----------------------------------------------------------------
+
+struct UnitRig
+{
+    UnitRig(RnrParams params = RnrParams{})
+        : mem(1 << 20), cbuf(CbufParams{1024, 0.75}, mem, 0, nullptr),
+          unit(0, params, cbuf)
+    {
+        unit.setSbOccupancyQuery([this] { return sbOcc; });
+        unit.enable(7);
+    }
+
+    Memory mem;
+    Cbuf cbuf;
+    RnrUnit unit;
+    std::uint32_t sbOcc = 0;
+};
+
+TEST(RnrUnit, CountsAndLogsChunks)
+{
+    UnitRig rig;
+    for (int i = 0; i < 10; ++i)
+        rig.unit.onRetire(0);
+    rig.unit.onLoad(0x100, 0);
+    rig.unit.terminate(ChunkReason::Syscall, 0);
+    auto recs = rig.cbuf.drain();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].size, 10u);
+    EXPECT_EQ(recs[0].tid, 7);
+    EXPECT_EQ(recs[0].reason, ChunkReason::Syscall);
+}
+
+TEST(RnrUnit, EmptyChunksAreSuppressed)
+{
+    UnitRig rig;
+    rig.unit.terminate(ChunkReason::ContextSwitch, 0);
+    rig.unit.terminate(ChunkReason::Syscall, 0);
+    EXPECT_EQ(rig.cbuf.occupancy(), 0u);
+    EXPECT_EQ(rig.unit.stats().emptyTerminations, 2u);
+    // But a chunk with only filter activity (e.g. an input copy) IS
+    // logged -- it anchors the copy in the replay order.
+    rig.unit.onStoreDrain(0x200, 0);
+    rig.unit.terminate(ChunkReason::ContextSwitch, 0);
+    auto recs = rig.cbuf.drain();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].size, 0u);
+}
+
+TEST(RnrUnit, SizeOverflowTerminates)
+{
+    RnrParams p;
+    p.maxChunkInstrs = 8;
+    UnitRig rig(p);
+    for (int i = 0; i < 20; ++i)
+        rig.unit.onRetire(0);
+    auto recs = rig.cbuf.drain();
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].size, 8u);
+    EXPECT_EQ(recs[0].reason, ChunkReason::SizeOverflow);
+    EXPECT_EQ(recs[1].size, 8u);
+}
+
+TEST(RnrUnit, ConflictDirectionsAndReasons)
+{
+    auto runCase = [](bool local_write, BusOp remote_op,
+                      ChunkReason expect, bool expect_hit) {
+        UnitRig rig;
+        rig.unit.onRetire(0);
+        if (local_write)
+            rig.unit.onStoreDrain(0x400, 0);
+        else
+            rig.unit.onLoad(0x400, 0);
+        BusTxn txn{remote_op, 0x400, 1, 0};
+        rig.unit.observeRemote(txn, 0);
+        auto recs = rig.cbuf.drain();
+        if (!expect_hit) {
+            EXPECT_TRUE(recs.empty());
+            return;
+        }
+        ASSERT_EQ(recs.size(), 1u);
+        EXPECT_EQ(recs[0].reason, expect);
+    };
+    // Remote read vs local write: RAW.
+    runCase(true, BusOp::BusRd, ChunkReason::ConflictRaw, true);
+    // Remote write vs local read: WAR.
+    runCase(false, BusOp::BusRdX, ChunkReason::ConflictWar, true);
+    runCase(false, BusOp::BusUpgr, ChunkReason::ConflictWar, true);
+    // Remote write vs local write: WAW.
+    runCase(true, BusOp::BusRdX, ChunkReason::ConflictWaw, true);
+    // Remote read vs local read: no dependence, no termination.
+    runCase(false, BusOp::BusRd, ChunkReason::NumReasons, false);
+}
+
+TEST(RnrUnit, ConflictChecksUseLineGranularity)
+{
+    UnitRig rig;
+    rig.unit.onRetire(0);
+    rig.unit.onLoad(0x404, 0); // word within line 0x400
+    BusTxn txn{BusOp::BusRdX, 0x43c, 1, 0}; // other word, same line
+    rig.unit.observeRemote(txn, 0);
+    EXPECT_EQ(rig.cbuf.occupancy(), 1u);
+}
+
+TEST(RnrUnit, LamportRules)
+{
+    UnitRig rig;
+    // Terminated chunk gets the pre-increment clock; the clock then
+    // strictly advances.
+    rig.unit.onRetire(0);
+    Timestamp before = rig.unit.clock();
+    rig.unit.terminate(ChunkReason::Syscall, 0);
+    auto recs = rig.cbuf.drain();
+    EXPECT_EQ(recs[0].ts, before);
+    EXPECT_EQ(rig.unit.clock(), before + 1);
+
+    // Observing a remote transaction merges max(own, req)+1 ...
+    BusTxn txn{BusOp::BusRd, 0x9000, 1, 100};
+    Timestamp ret = rig.unit.observeRemote(txn, 0);
+    EXPECT_EQ(rig.unit.clock(), 101u);
+    EXPECT_EQ(ret, 101u);
+
+    // ... conflict terminations log the PRE-merge clock, so the
+    // conflicting chunk is ordered before the requester.
+    rig.unit.onRetire(0);
+    rig.unit.onLoad(0x500, 0);
+    BusTxn confl{BusOp::BusRdX, 0x500, 1, 500};
+    rig.unit.observeRemote(confl, 0);
+    recs = rig.cbuf.drain();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].ts, 101u); // pre-merge
+    EXPECT_EQ(rig.unit.clock(), 501u);
+
+    // Response merge and clock floors.
+    rig.unit.mergeResponse(1000);
+    EXPECT_EQ(rig.unit.clock(), 1001u);
+    rig.unit.setClockFloor(900); // floor below current: no effect
+    EXPECT_EQ(rig.unit.clock(), 1001u);
+    rig.unit.setClockFloor(2000);
+    EXPECT_EQ(rig.unit.clock(), 2000u);
+}
+
+TEST(RnrUnit, RswCapturesStoreBufferOccupancy)
+{
+    UnitRig rig;
+    rig.unit.onRetire(0);
+    rig.sbOcc = 5;
+    rig.unit.terminate(ChunkReason::SizeOverflow, 0);
+    auto recs = rig.cbuf.drain();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].rsw, 5u);
+    EXPECT_EQ(rig.unit.stats().rswNonZero, 1u);
+}
+
+TEST(RnrUnit, DisabledUnitStillMergesClocks)
+{
+    UnitRig rig;
+    rig.unit.terminate(ChunkReason::Drain, 0);
+    rig.unit.disable();
+    BusTxn txn{BusOp::BusRdX, 0x500, 1, 42};
+    rig.unit.observeRemote(txn, 0);
+    EXPECT_EQ(rig.unit.clock(), 43u);
+    EXPECT_EQ(rig.cbuf.occupancy(), 0u); // but no chunking
+}
+
+TEST(RnrUnit, ExactShadowCountsFalseConflicts)
+{
+    RnrParams p;
+    p.bloom.bits = 64; // tiny filter: aliasing is likely
+    p.exactShadow = true;
+    UnitRig rig(p);
+    Rng rng(11);
+    std::set<Addr> touched;
+    std::uint64_t realConflicts = 0;
+    for (int i = 0; i < 2000; ++i) {
+        rig.unit.onRetire(0);
+        Addr a = (static_cast<Addr>(rng.next32()) & 0xffc0) | 0x10000;
+        rig.unit.onLoad(a, 0);
+        touched.insert(a & ~63u);
+        Addr probe = (static_cast<Addr>(rng.next32()) & 0xffc0) |
+                     0x20000;
+        bool real = touched.count(probe & ~63u) > 0;
+        BusTxn txn{BusOp::BusRdX, probe, 1, 0};
+        std::uint32_t before = rig.cbuf.occupancy();
+        rig.unit.observeRemote(txn, 0);
+        if (rig.cbuf.occupancy() > before) {
+            touched.clear();
+            if (real)
+                realConflicts++;
+        }
+    }
+    // Probes target a disjoint address range, so every termination is
+    // a Bloom false positive.
+    EXPECT_EQ(realConflicts, 0u);
+    EXPECT_GT(rig.unit.stats().falseConflicts, 0u);
+}
+
+TEST(RnrUnitDeath, DoubleEnablePanics)
+{
+    UnitRig rig;
+    EXPECT_DEATH(rig.unit.enable(9), "already recording");
+}
+
+} // namespace
+} // namespace qr

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the sim/ foundation: formatting, deterministic RNG,
+ * histograms, and the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+
+namespace qr
+{
+namespace
+{
+
+TEST(Csprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+    EXPECT_EQ(csprintf("%08x", 0xbeefu), "0000beef");
+    EXPECT_EQ(csprintf("empty"), "empty");
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+    bool differs = false;
+    Rng a2(123);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next64() != c.next64();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(17), 17u);
+        std::uint64_t v = r.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, ZeroSeedDoesNotStick)
+{
+    Rng r(0);
+    EXPECT_NE(r.next64(), 0u);
+}
+
+TEST(Mix64, InjectiveOnSample)
+{
+    // Distinct inputs should essentially never collide.
+    std::uint64_t prev = mix64(0);
+    for (std::uint64_t i = 1; i < 1000; ++i) {
+        std::uint64_t h = mix64(i);
+        EXPECT_NE(h, prev);
+        prev = h;
+    }
+}
+
+TEST(Histogram, CountsSumMinMax)
+{
+    Histogram h;
+    for (std::uint64_t v : {5ull, 10ull, 0ull, 1000ull})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 1015u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1015.0 / 4.0);
+    EXPECT_DOUBLE_EQ(h.zeroFraction(), 0.25);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, QuantileIsMonotonic)
+{
+    Histogram h;
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        h.sample(r.below(1 << 20));
+    std::uint64_t prev = 0;
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        std::uint64_t q = h.quantile(p);
+        EXPECT_GE(q, prev);
+        prev = q;
+    }
+    // The median of a uniform [0, 2^20) sample sits near 2^19 at
+    // bucket resolution.
+    std::uint64_t med = h.quantile(0.5);
+    EXPECT_GE(med, 1u << 18);
+    EXPECT_LE(med, 1u << 20);
+}
+
+TEST(Histogram, MergeEqualsCombinedSampling)
+{
+    Histogram a, b, both;
+    Rng r(9);
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t v = r.below(1000);
+        (i % 2 ? a : b).sample(v);
+        both.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.sum(), both.sum());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    EXPECT_EQ(a.buckets(), both.buckets());
+}
+
+TEST(Stats, RatioAndPercentHandleZeroDenominator)
+{
+    EXPECT_EQ(ratio(5, 0), 0.0);
+    EXPECT_EQ(percent(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-9);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.row().cell("a").cell(std::uint64_t{1});
+    t.row().cell("long-name").cell(std::uint64_t{12345});
+    std::string s = t.str();
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    EXPECT_NE(s.find("12345"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, NumericFormatting)
+{
+    Table t({"a", "b", "c"});
+    t.row().cell(1.23456, 2).cellPct(12.345).cell(std::int64_t{-7});
+    std::string s = t.str();
+    EXPECT_NE(s.find("1.23"), std::string::npos);
+    EXPECT_NE(s.find("12.3%"), std::string::npos);
+    EXPECT_NE(s.find("-7"), std::string::npos);
+}
+
+} // namespace
+} // namespace qr

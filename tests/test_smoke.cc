@@ -1,0 +1,88 @@
+/**
+ * @file
+ * End-to-end smoke tests: the full record -> replay -> verify pipeline
+ * on the micro-workloads. These run first; if they fail, everything
+ * else will.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+#include "workloads/micro.hh"
+
+namespace qr
+{
+namespace
+{
+
+MachineConfig
+smallMachine()
+{
+    MachineConfig m;
+    m.numCores = 4;
+    m.memBytes = 8u << 20;
+    m.core.timeslice = 5000;
+    return m;
+}
+
+TEST(Smoke, SingleThreadBaseline)
+{
+    Workload w = makeRacyCounter(1, 1000, false);
+    RunMetrics m = runBaseline(w.program, smallMachine());
+    EXPECT_GT(m.instrs, 3000u);
+    EXPECT_EQ(m.digests.exits.size(), 1u);
+}
+
+TEST(Smoke, LockedCounterIsExact)
+{
+    Workload w = makeRacyCounter(4, 500, true);
+    RunMetrics m = runBaseline(w.program, smallMachine());
+    // Output is the 4-byte counter: must be exactly 4 * 500.
+    EXPECT_EQ(m.digests.exits.size(), 4u);
+}
+
+TEST(Smoke, RecordReplayRacyCounter)
+{
+    Workload w = makeRacyCounter(4, 500, false);
+    RoundTrip rt = recordAndReplay(w.program, smallMachine());
+    ASSERT_TRUE(rt.replay.ok) << rt.replay.divergence;
+    EXPECT_TRUE(rt.verify.ok) << rt.verify.str();
+    EXPECT_GT(rt.record.metrics.chunks, 0u);
+}
+
+TEST(Smoke, RecordReplayPingPong)
+{
+    Workload w = makePingPong(300);
+    RoundTrip rt = recordAndReplay(w.program, smallMachine());
+    ASSERT_TRUE(rt.replay.ok) << rt.replay.divergence;
+    EXPECT_TRUE(rt.verify.ok) << rt.verify.str();
+}
+
+TEST(Smoke, RecordReplayNondetMix)
+{
+    Workload w = makeNondetMix(2, 200);
+    RoundTrip rt = recordAndReplay(w.program, smallMachine());
+    ASSERT_TRUE(rt.replay.ok) << rt.replay.divergence;
+    EXPECT_TRUE(rt.verify.ok) << rt.verify.str();
+    EXPECT_GT(rt.record.metrics.inputRecords, 50u);
+}
+
+TEST(Smoke, RecordReplayProdCons)
+{
+    Workload w = makeProdCons(4, 100);
+    RoundTrip rt = recordAndReplay(w.program, smallMachine());
+    ASSERT_TRUE(rt.replay.ok) << rt.replay.divergence;
+    EXPECT_TRUE(rt.verify.ok) << rt.verify.str();
+}
+
+TEST(Smoke, RecordReplaySignals)
+{
+    Workload w = makeSignalStress(10);
+    RoundTrip rt = recordAndReplay(w.program, smallMachine());
+    ASSERT_TRUE(rt.replay.ok) << rt.replay.divergence;
+    EXPECT_TRUE(rt.verify.ok) << rt.verify.str();
+    EXPECT_GT(rt.record.metrics.signalsDelivered, 0u);
+}
+
+} // namespace
+} // namespace qr

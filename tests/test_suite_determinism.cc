@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The headline integration test: every SPLASH-2-analog workload must
+ * record under QuickRec and replay bit-exactly (memory, output, and
+ * per-thread register digests) -- the paper's replay-validation claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+namespace
+{
+
+class SuiteDeterminism : public ::testing::TestWithParam<WorkloadSpec>
+{
+};
+
+TEST_P(SuiteDeterminism, RecordsAndReplaysExactly)
+{
+    Workload w = GetParam().make(4, 1);
+    MachineConfig mcfg;
+    mcfg.core.timeslice = 10000;
+    RoundTrip rt = recordAndReplay(w.program, mcfg);
+    ASSERT_TRUE(rt.replay.ok) << w.name << ": " << rt.replay.divergence;
+    EXPECT_TRUE(rt.verify.ok) << w.name << ":\n" << rt.verify.str();
+    EXPECT_GT(rt.record.metrics.chunks, 0u) << w.name;
+    EXPECT_EQ(rt.record.metrics.instrs, rt.replay.replayedInstrs)
+        << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splash2, SuiteDeterminism, ::testing::ValuesIn(splash2Suite()),
+    [](const ::testing::TestParamInfo<WorkloadSpec> &info) {
+        std::string n = info.param.name;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Extended, SuiteDeterminism, ::testing::ValuesIn(extendedSuite()),
+    [](const ::testing::TestParamInfo<WorkloadSpec> &info) {
+        std::string n = info.param.name;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace qr

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Workload-level tests. The data-race-free workloads (barrier/lock
+ * disciplined) must produce schedule-independent results -- their
+ * output digest cannot change with the timeslice or core count. All
+ * workloads must scale with the `scale` knob and run under any thread
+ * count that divides their problem.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/session.hh"
+#include "workloads/micro.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+namespace
+{
+
+std::uint64_t
+outputDigestAt(const Workload &w, Tick timeslice, int cores)
+{
+    MachineConfig mcfg;
+    mcfg.numCores = cores;
+    mcfg.core.timeslice = timeslice;
+    RunMetrics m = runBaseline(w.program, mcfg);
+    return m.digests.output;
+}
+
+/**
+ * Deterministic-by-construction workloads: every inter-thread
+ * communication is ordered by barriers, locks, or dataflow, so the
+ * final answer is schedule independent.
+ */
+class DrfWorkloads : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DrfWorkloads, ResultIsScheduleIndependent)
+{
+    // Rebuild the workload per run: Program is consumed by value.
+    auto make = [&] { return makeByName(GetParam(), 4, 1); };
+    std::uint64_t ref = outputDigestAt(make(), 20000, 4);
+    EXPECT_EQ(outputDigestAt(make(), 3000, 4), ref) << "timeslice 3000";
+    EXPECT_EQ(outputDigestAt(make(), 7777, 4), ref) << "timeslice 7777";
+    EXPECT_EQ(outputDigestAt(make(), 5000, 2), ref) << "2 cores";
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, DrfWorkloads,
+                         ::testing::Values("fft", "lu", "ocean",
+                                           "water-nsq", "cholesky"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+class AllWorkloads : public ::testing::TestWithParam<WorkloadSpec>
+{
+};
+
+TEST_P(AllWorkloads, ScaleGrowsTheProblem)
+{
+    Workload small = GetParam().make(4, 1);
+    Workload big = GetParam().make(4, 3);
+    RunMetrics ms = runBaseline(small.program);
+    RunMetrics mb = runBaseline(big.program);
+    EXPECT_GT(mb.instrs, ms.instrs) << GetParam().name;
+}
+
+TEST_P(AllWorkloads, RunsWithTwoThreads)
+{
+    Workload w = GetParam().make(2, 1);
+    RunMetrics m = runBaseline(w.program);
+    EXPECT_EQ(m.digests.exits.size(), 2u) << GetParam().name;
+}
+
+TEST_P(AllWorkloads, EveryThreadExitsCleanly)
+{
+    Workload w = GetParam().make(4, 1);
+    RunMetrics m = runBaseline(w.program);
+    EXPECT_EQ(m.digests.exits.size(), 4u) << GetParam().name;
+    for (const auto &[tid, info] : m.digests.exits)
+        EXPECT_EQ(info.exitCode, 0u)
+            << GetParam().name << " tid " << tid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AllWorkloads, ::testing::ValuesIn(splash2Suite()),
+    [](const ::testing::TestParamInfo<WorkloadSpec> &info) {
+        std::string n = info.param.name;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Extended, AllWorkloads, ::testing::ValuesIn(extendedSuite()),
+    [](const ::testing::TestParamInfo<WorkloadSpec> &info) {
+        return info.param.name;
+    });
+
+TEST(MicroWorkloads, LockedCounterIsAlwaysExact)
+{
+    for (Tick slice : {2000u, 6000u, 20000u}) {
+        Workload w = makeRacyCounter(4, 400, true);
+        MachineConfig mcfg;
+        mcfg.core.timeslice = slice;
+        Machine machine(mcfg, RecorderConfig{}, w.program, false);
+        machine.run();
+        const auto &out = machine.outputs().at(1);
+        Word counter = 0;
+        for (int b = 0; b < 4; ++b)
+            counter |= static_cast<Word>(out[static_cast<std::size_t>(b)])
+                       << (8 * b);
+        EXPECT_EQ(counter, 1600u) << "timeslice " << slice;
+    }
+}
+
+TEST(MicroWorkloads, RacyCounterActuallyLosesUpdates)
+{
+    // The racy variant exists to be nondeterministic; under at least
+    // one schedule it must actually lose an update (otherwise it
+    // would not stress the recorder).
+    bool lost = false;
+    for (Tick slice : {1500u, 2500u, 4000u, 9000u}) {
+        Workload w = makeRacyCounter(4, 400, false);
+        MachineConfig mcfg;
+        mcfg.core.timeslice = slice;
+        Machine machine(mcfg, RecorderConfig{}, w.program, false);
+        machine.run();
+        const auto &out = machine.outputs().at(1);
+        Word counter = 0;
+        for (int b = 0; b < 4; ++b)
+            counter |= static_cast<Word>(out[static_cast<std::size_t>(b)])
+                       << (8 * b);
+        lost |= counter != 1600u;
+    }
+    EXPECT_TRUE(lost);
+}
+
+TEST(MicroWorkloads, PingPongBatsExactly)
+{
+    Workload w = makePingPong(250);
+    Machine machine(MachineConfig{}, RecorderConfig{}, w.program,
+                    false);
+    machine.run();
+    const auto &out = machine.outputs().at(1);
+    Word ball = 0;
+    for (int b = 0; b < 4; ++b)
+        ball |= static_cast<Word>(out[static_cast<std::size_t>(b)])
+                << (8 * b);
+    EXPECT_EQ(ball, 500u); // both sides bat 250 times
+}
+
+TEST(MicroWorkloads, ProdConsConservesItems)
+{
+    // checksum = producers * sum(1..items), independent of schedule
+    for (Tick slice : {3000u, 15000u}) {
+        Workload w = makeProdCons(4, 60);
+        MachineConfig mcfg;
+        mcfg.core.timeslice = slice;
+        Machine machine(mcfg, RecorderConfig{}, w.program, false);
+        machine.run();
+        const auto &out = machine.outputs().at(1);
+        Word sum = 0;
+        for (int b = 0; b < 4; ++b)
+            sum |= static_cast<Word>(out[static_cast<std::size_t>(b)])
+                   << (8 * b);
+        EXPECT_EQ(sum, 2u * (60u * 61u / 2u)) << "slice " << slice;
+    }
+}
+
+} // namespace
+} // namespace qr

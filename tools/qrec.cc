@@ -1,0 +1,364 @@
+/**
+ * @file
+ * qrec -- the QuickRec command-line driver.
+ *
+ *   qrec list
+ *       Show the available workloads.
+ *   qrec run <workload> [-t threads] [-s scale] [--record] [--stats]
+ *       Execute a workload (optionally under recording) and report.
+ *   qrec record <workload> [-t threads] [-s scale] -o <file>
+ *       Record a run and persist the sphere (with replay metadata).
+ *   qrec replay -i <file>
+ *       Rebuild the workload from the file's metadata, replay the
+ *       sphere, and verify the stored digests.
+ *   qrec inspect -i <file>
+ *       Summarize a recorded sphere's logs.
+ *
+ * The .qrec container wraps the sphere byte stream with the workload
+ * identity and the recorded digests so a replay is self-validating.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "capo/log_store.hh"
+#include "isa/disassembler.hh"
+#include "core/session.hh"
+#include "replay/log_reader.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+#include "workloads/micro.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+namespace
+{
+
+/** Everything qrec persists next to the sphere bytes. */
+struct Container
+{
+    std::string workload;
+    int threads = 4;
+    int scale = 1;
+    Digests digests;
+    SphereLogs logs;
+};
+
+void
+putString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putVarint(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string
+getString(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    std::uint64_t n = getVarint(in, pos);
+    qr_assert(pos + n <= in.size(), "truncated string in container");
+    std::string s(reinterpret_cast<const char *>(in.data()) +
+                      static_cast<std::ptrdiff_t>(pos),
+                  n);
+    pos += n;
+    return s;
+}
+
+void
+saveContainer(const Container &c, const std::string &path)
+{
+    std::vector<std::uint8_t> out = {'Q', 'R', 'C', '1'};
+    putString(out, c.workload);
+    putVarint(out, static_cast<std::uint64_t>(c.threads));
+    putVarint(out, static_cast<std::uint64_t>(c.scale));
+    putVarint(out, c.digests.memory);
+    putVarint(out, c.digests.output);
+    putVarint(out, c.digests.exits.size());
+    for (const auto &[tid, info] : c.digests.exits) {
+        putVarint(out, static_cast<std::uint64_t>(tid));
+        putVarint(out, info.regDigest);
+        putVarint(out, info.instrs);
+        putVarint(out, info.exitCode);
+    }
+    std::vector<std::uint8_t> sphere = c.logs.serialize();
+    putVarint(out, sphere.size());
+    out.insert(out.end(), sphere.begin(), sphere.end());
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot write '%s'", path.c_str());
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes to %s\n", out.size(), path.c_str());
+}
+
+Container
+loadContainer(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot read '%s'", path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> in(static_cast<std::size_t>(size));
+    if (std::fread(in.data(), 1, in.size(), f) != in.size())
+        fatal("short read from '%s'", path.c_str());
+    std::fclose(f);
+
+    if (in.size() < 4 || std::memcmp(in.data(), "QRC1", 4) != 0)
+        fatal("'%s' is not a qrec container", path.c_str());
+    std::size_t pos = 4;
+    Container c;
+    c.workload = getString(in, pos);
+    c.threads = static_cast<int>(getVarint(in, pos));
+    c.scale = static_cast<int>(getVarint(in, pos));
+    c.digests.memory = getVarint(in, pos);
+    c.digests.output = getVarint(in, pos);
+    std::uint64_t nexits = getVarint(in, pos);
+    for (std::uint64_t i = 0; i < nexits; ++i) {
+        Tid tid = static_cast<Tid>(getVarint(in, pos));
+        ThreadExitInfo info;
+        info.regDigest = getVarint(in, pos);
+        info.instrs = getVarint(in, pos);
+        info.exitCode = static_cast<Word>(getVarint(in, pos));
+        c.digests.exits.emplace(tid, info);
+    }
+    std::uint64_t nsphere = getVarint(in, pos);
+    qr_assert(pos + nsphere == in.size(), "trailing bytes in container");
+    std::vector<std::uint8_t> sphere(in.begin() +
+                                         static_cast<long>(pos),
+                                     in.end());
+    c.logs = SphereLogs::deserialize(sphere);
+    return c;
+}
+
+Workload
+buildWorkload(const std::string &name, int threads, int scale)
+{
+    for (const auto &spec : splash2Suite())
+        if (spec.name == name)
+            return spec.make(threads, scale);
+    // Micro-workloads reachable by name for experimentation.
+    if (name == "counter-racy")
+        return makeRacyCounter(threads, 500 * scale, false);
+    if (name == "counter-locked")
+        return makeRacyCounter(threads, 500 * scale, true);
+    if (name == "pingpong")
+        return makePingPong(300 * scale);
+    if (name == "false-sharing")
+        return makeFalseSharing(threads, 400 * scale);
+    if (name == "prodcons")
+        return makeProdCons(threads, 100 * scale);
+    if (name == "nondet-mix")
+        return makeNondetMix(threads, 100 * scale);
+    if (name == "signal-stress")
+        return makeSignalStress(8 * scale);
+    fatal("unknown workload '%s' (try 'qrec list')", name.c_str());
+}
+
+int
+cmdList()
+{
+    std::printf("SPLASH-2 analog suite:\n");
+    for (const auto &spec : splash2Suite())
+        std::printf("  %s\n", spec.name.c_str());
+    std::printf("micro-workloads:\n");
+    for (const char *n : {"counter-racy", "counter-locked", "pingpong",
+                          "false-sharing", "prodcons", "nondet-mix",
+                          "signal-stress"})
+        std::printf("  %s\n", n);
+    return 0;
+}
+
+struct Args
+{
+    std::string workload;
+    std::string file;
+    int threads = 4;
+    int scale = 1;
+    bool record = false;
+    bool stats = false;
+};
+
+Args
+parseArgs(int argc, char **argv, int first, bool wants_workload)
+{
+    Args a;
+    int i = first;
+    if (wants_workload) {
+        if (i >= argc)
+            fatal("missing workload name");
+        a.workload = argv[i++];
+    }
+    for (; i < argc; ++i) {
+        std::string s = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", s.c_str());
+            return argv[++i];
+        };
+        if (s == "-t" || s == "--threads")
+            a.threads = std::atoi(next());
+        else if (s == "-s" || s == "--scale")
+            a.scale = std::atoi(next());
+        else if (s == "-o" || s == "--out" || s == "-i" ||
+                 s == "--in")
+            a.file = next();
+        else if (s == "--record")
+            a.record = true;
+        else if (s == "--stats")
+            a.stats = true;
+        else
+            fatal("unknown option '%s'", s.c_str());
+    }
+    return a;
+}
+
+int
+cmdRun(const Args &a)
+{
+    Workload w = buildWorkload(a.workload, a.threads, a.scale);
+    RunMetrics m;
+    if (a.record) {
+        RecordResult rec = recordProgram(w.program);
+        m = rec.metrics;
+    } else {
+        m = runBaseline(w.program);
+    }
+    std::printf("%s (%s): %s\n", w.name.c_str(), w.params.c_str(),
+                m.summary().c_str());
+    if (a.stats)
+        std::fputs(m.statsText().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdRecord(const Args &a)
+{
+    if (a.file.empty())
+        fatal("record needs -o <file>");
+    Workload w = buildWorkload(a.workload, a.threads, a.scale);
+    RecordResult rec = recordProgram(w.program);
+    std::printf("recorded %s: %s\n", w.name.c_str(),
+                rec.metrics.summary().c_str());
+    Container c{w.name, a.threads, a.scale, rec.metrics.digests,
+                std::move(rec.logs)};
+    saveContainer(c, a.file);
+    return 0;
+}
+
+int
+cmdReplay(const Args &a)
+{
+    if (a.file.empty())
+        fatal("replay needs -i <file>");
+    Container c = loadContainer(a.file);
+    std::printf("replaying %s (threads=%d scale=%d) from %s\n",
+                c.workload.c_str(), c.threads, c.scale,
+                a.file.c_str());
+    Workload w = buildWorkload(c.workload, c.threads, c.scale);
+    ReplayResult rep = replaySphere(w.program, c.logs);
+    if (!rep.ok) {
+        std::printf("DIVERGED: %s\n", rep.divergence.c_str());
+        return 1;
+    }
+    VerifyReport v = verifyDigests(c.digests, rep.digests);
+    if (!v.ok) {
+        std::printf("DIGEST MISMATCH:\n%s", v.str().c_str());
+        return 1;
+    }
+    std::printf("deterministic: %llu chunks, %llu instructions, "
+                "%llu injected records -- all digests match\n",
+                (unsigned long long)rep.replayedChunks,
+                (unsigned long long)rep.replayedInstrs,
+                (unsigned long long)rep.injectedRecords);
+    return 0;
+}
+
+int
+cmdInspect(const Args &a)
+{
+    if (a.file.empty())
+        fatal("inspect needs -i <file>");
+    Container c = loadContainer(a.file);
+    std::printf("workload: %s  threads=%d scale=%d\n",
+                c.workload.c_str(), c.threads, c.scale);
+    LogSizes sizes = measureLogs(c.logs);
+    std::printf("logs: %llu chunk records (%llu B packed), "
+                "%llu input records (%llu B packed)\n",
+                (unsigned long long)sizes.chunkRecords,
+                (unsigned long long)sizes.memoryBytes,
+                (unsigned long long)sizes.inputRecords,
+                (unsigned long long)sizes.inputBytes);
+    Table t({"tid", "chunks", "instrs", "inputs", "first ts",
+             "last ts"});
+    for (const auto &[tid, logs] : c.logs.threads) {
+        std::uint64_t instrs = 0;
+        for (const auto &rec : logs.chunks)
+            instrs += rec.size;
+        t.row().cell(static_cast<std::int64_t>(tid))
+            .cell(logs.chunks.size()).cell(instrs)
+            .cell(logs.input.size())
+            .cell(logs.chunks.empty() ? 0 : logs.chunks.front().ts)
+            .cell(logs.chunks.empty() ? 0 : logs.chunks.back().ts);
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdDisasm(const Args &a)
+{
+    Workload w = buildWorkload(a.workload, a.threads, a.scale);
+    std::printf("; %s (%s): %zu instructions, %zu data-init words\n",
+                w.name.c_str(), w.params.c_str(), w.program.code.size(),
+                w.program.dataInit.size());
+    for (const auto &[name, addr] : w.program.labels)
+        std::printf("; %-24s = %u\n", name.c_str(), addr);
+    for (Word pc = 0; pc < w.program.code.size(); ++pc)
+        std::printf("%5u: %s\n", pc,
+                    disassemble(w.program.code[pc]).c_str());
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: qrec "
+                 "<list|run|record|replay|inspect|disasm> ...\n"
+                 "  qrec run <workload> [-t N] [-s S] [--record] "
+                 "[--stats]\n"
+                 "  qrec record <workload> [-t N] [-s S] -o file.qrec\n"
+                 "  qrec replay -i file.qrec\n"
+                 "  qrec inspect -i file.qrec\n"
+                 "  qrec disasm <workload> [-t N] [-s S]\n");
+    return 2;
+}
+
+} // namespace
+} // namespace qr
+
+int
+main(int argc, char **argv)
+{
+    using namespace qr;
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(parseArgs(argc, argv, 2, true));
+    if (cmd == "record")
+        return cmdRecord(parseArgs(argc, argv, 2, true));
+    if (cmd == "replay")
+        return cmdReplay(parseArgs(argc, argv, 2, false));
+    if (cmd == "inspect")
+        return cmdInspect(parseArgs(argc, argv, 2, false));
+    if (cmd == "disasm")
+        return cmdDisasm(parseArgs(argc, argv, 2, true));
+    return usage();
+}
