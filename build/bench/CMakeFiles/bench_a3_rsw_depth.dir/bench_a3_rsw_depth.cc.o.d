@@ -228,5 +228,7 @@ bench/CMakeFiles/bench_a3_rsw_depth.dir/bench_a3_rsw_depth.cc.o: \
  /root/repo/src/kernel/scheduler.hh /root/repo/src/kernel/syscall.hh \
  /root/repo/src/kernel/thread.hh /root/repo/src/sim/rng.hh \
  /root/repo/src/core/metrics.hh /root/repo/src/capo/log_store.hh \
- /root/repo/src/replay/replayer.hh /root/repo/src/replay/verifier.hh \
- /root/repo/src/sim/table.hh /root/repo/src/workloads/workload.hh
+ /root/repo/src/replay/parallel_replayer.hh \
+ /root/repo/src/replay/chunk_graph.hh /root/repo/src/replay/replayer.hh \
+ /root/repo/src/replay/verifier.hh /root/repo/src/sim/table.hh \
+ /root/repo/src/workloads/workload.hh

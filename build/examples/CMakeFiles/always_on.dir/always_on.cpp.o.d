@@ -229,6 +229,8 @@ examples/CMakeFiles/always_on.dir/always_on.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/kernel/scheduler.hh /root/repo/src/kernel/syscall.hh \
  /root/repo/src/kernel/thread.hh /root/repo/src/sim/rng.hh \
- /root/repo/src/core/metrics.hh /root/repo/src/replay/replayer.hh \
+ /root/repo/src/core/metrics.hh \
+ /root/repo/src/replay/parallel_replayer.hh \
+ /root/repo/src/replay/chunk_graph.hh /root/repo/src/replay/replayer.hh \
  /root/repo/src/replay/verifier.hh /root/repo/src/sim/table.hh \
  /root/repo/src/workloads/workload.hh

@@ -29,7 +29,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/mem/bus.cc" "src/CMakeFiles/quickrec.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/mem/bus.cc.o.d"
   "/root/repo/src/mem/cache.cc" "src/CMakeFiles/quickrec.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/mem/cache.cc.o.d"
   "/root/repo/src/mem/memory.cc" "src/CMakeFiles/quickrec.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/mem/memory.cc.o.d"
+  "/root/repo/src/replay/chunk_graph.cc" "src/CMakeFiles/quickrec.dir/replay/chunk_graph.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/chunk_graph.cc.o.d"
   "/root/repo/src/replay/log_reader.cc" "src/CMakeFiles/quickrec.dir/replay/log_reader.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/log_reader.cc.o.d"
+  "/root/repo/src/replay/parallel_replayer.cc" "src/CMakeFiles/quickrec.dir/replay/parallel_replayer.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/parallel_replayer.cc.o.d"
   "/root/repo/src/replay/replayer.cc" "src/CMakeFiles/quickrec.dir/replay/replayer.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/replayer.cc.o.d"
   "/root/repo/src/replay/verifier.cc" "src/CMakeFiles/quickrec.dir/replay/verifier.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/verifier.cc.o.d"
   "/root/repo/src/rnr/bloom.cc" "src/CMakeFiles/quickrec.dir/rnr/bloom.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/rnr/bloom.cc.o.d"

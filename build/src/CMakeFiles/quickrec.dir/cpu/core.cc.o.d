@@ -160,4 +160,5 @@ src/CMakeFiles/quickrec.dir/cpu/core.cc.o: /root/repo/src/cpu/core.cc \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/isa/exec.hh \
- /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/stdexcept

@@ -64,7 +64,8 @@ src/CMakeFiles/quickrec.dir/cpu/store_buffer.cc.o: \
  /usr/include/c++/12/bits/functional_hash.h /root/repo/src/sim/types.hh \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/floatn.h \

@@ -103,6 +103,10 @@ src/CMakeFiles/quickrec.dir/mem/bus.cc.o: /root/repo/src/mem/bus.cc \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \

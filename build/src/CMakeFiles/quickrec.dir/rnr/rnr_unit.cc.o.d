@@ -145,4 +145,7 @@ src/CMakeFiles/quickrec.dir/rnr/rnr_unit.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/sim/trace.hh
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /root/repo/src/sim/trace.hh

@@ -143,4 +143,8 @@ src/CMakeFiles/quickrec.dir/workloads/extended.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/isa/instruction.hh \
  /root/repo/src/sim/types.hh /root/repo/src/kernel/syscall.hh \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/sim/rng.hh /root/repo/src/workloads/workload.hh
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /root/repo/src/sim/rng.hh \
+ /root/repo/src/workloads/workload.hh

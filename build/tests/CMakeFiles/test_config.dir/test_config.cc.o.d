@@ -309,7 +309,9 @@ tests/CMakeFiles/test_config.dir/test_config.cc.o: \
  /root/repo/src/kernel/syscall.hh /root/repo/src/kernel/thread.hh \
  /root/repo/src/sim/rng.hh /root/repo/src/core/config.hh \
  /root/repo/src/core/metrics.hh /root/repo/src/capo/log_store.hh \
- /root/repo/src/core/session.hh /root/repo/src/replay/replayer.hh \
+ /root/repo/src/core/session.hh \
+ /root/repo/src/replay/parallel_replayer.hh \
+ /root/repo/src/replay/chunk_graph.hh /root/repo/src/replay/replayer.hh \
  /root/repo/src/replay/verifier.hh /root/repo/src/sim/trace.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/workloads/micro.hh \
  /root/repo/src/workloads/workload.hh

@@ -309,6 +309,8 @@ tests/CMakeFiles/test_kernel.dir/test_kernel.cc.o: \
  /root/repo/src/kernel/syscall.hh /root/repo/src/kernel/thread.hh \
  /root/repo/src/sim/rng.hh /root/repo/src/core/config.hh \
  /root/repo/src/core/metrics.hh /root/repo/src/capo/log_store.hh \
- /root/repo/src/core/session.hh /root/repo/src/replay/replayer.hh \
+ /root/repo/src/core/session.hh \
+ /root/repo/src/replay/parallel_replayer.hh \
+ /root/repo/src/replay/chunk_graph.hh /root/repo/src/replay/replayer.hh \
  /root/repo/src/replay/verifier.hh /root/repo/src/guest/runtime.hh \
  /root/repo/src/workloads/workload.hh

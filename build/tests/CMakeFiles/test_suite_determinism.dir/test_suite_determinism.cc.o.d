@@ -308,5 +308,7 @@ tests/CMakeFiles/test_suite_determinism.dir/test_suite_determinism.cc.o: \
  /root/repo/src/kernel/kernel.hh /root/repo/src/kernel/scheduler.hh \
  /root/repo/src/kernel/syscall.hh /root/repo/src/kernel/thread.hh \
  /root/repo/src/sim/rng.hh /root/repo/src/core/metrics.hh \
- /root/repo/src/capo/log_store.hh /root/repo/src/replay/replayer.hh \
+ /root/repo/src/capo/log_store.hh \
+ /root/repo/src/replay/parallel_replayer.hh \
+ /root/repo/src/replay/chunk_graph.hh /root/repo/src/replay/replayer.hh \
  /root/repo/src/replay/verifier.hh /root/repo/src/workloads/workload.hh

@@ -16,6 +16,7 @@ include("/root/repo/build/tests/test_replay[1]_include.cmake")
 include("/root/repo/build/tests/test_config[1]_include.cmake")
 include("/root/repo/build/tests/test_core_facade[1]_include.cmake")
 include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_replay[1]_include.cmake")
 include("/root/repo/build/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build/tests/test_guest_runtime[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -39,14 +39,20 @@ main()
 
         // Reload from disk and verify it still replays bit-exactly --
         // the artifact on disk is the product, not the in-memory state.
-        SphereLogs reloaded = loadSphere(path);
-        ReplayResult rep = replaySphere(w.program, reloaded);
-        VerifyReport v =
-            verifyDigests(rec.metrics.digests, rep.digests);
+        SphereLoadResult reloaded = loadSphere(path);
+        bool ok = false;
+        if (reloaded) {
+            ReplayResult rep = replaySphere(w.program, reloaded.logs);
+            ok = rep.ok &&
+                 verifyDigests(rec.metrics.digests, rep.digests).ok;
+        } else {
+            std::fprintf(stderr, "reload failed: %s\n",
+                         reloaded.error.c_str());
+        }
 
         t.row().cell(w.name).cell(path).cell(bytes)
             .cell(static_cast<double>(bytes) / secs / 1024.0, 1)
-            .cell(rep.ok && v.ok ? "ok" : "FAILED");
+            .cell(ok ? "ok" : "FAILED");
         sphere++;
     }
     t.print();

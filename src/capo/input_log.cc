@@ -68,7 +68,8 @@ InputRecord
 InputRecord::deserialize(const std::vector<std::uint8_t> &in,
                          std::size_t &pos)
 {
-    qr_assert(pos < in.size(), "input record past end of log");
+    if (pos >= in.size())
+        parseFail("input record past end of log");
     InputRecord r;
     r.kind = static_cast<InputKind>(in[pos++]);
     switch (r.kind) {
@@ -79,7 +80,8 @@ InputRecord::deserialize(const std::vector<std::uint8_t> &in,
         r.parent = static_cast<Word>(getVarint(in, pos));
         break;
       case InputKind::SyscallRet: {
-        qr_assert(pos < in.size(), "truncated syscall record");
+        if (pos >= in.size())
+            parseFail("truncated syscall record");
         std::uint8_t flags = in[pos++];
         r.num = static_cast<Word>(getVarint(in, pos));
         r.ret = static_cast<Word>(getVarint(in, pos));
@@ -90,6 +92,11 @@ InputRecord::deserialize(const std::vector<std::uint8_t> &in,
         if (flags & 2) {
             r.copyAddr = static_cast<Addr>(getVarint(in, pos));
             std::uint64_t n = getVarint(in, pos);
+            // Each copied word takes at least one byte; a count beyond
+            // the remaining bytes is corruption, not a huge allocation.
+            if (n > in.size() - pos)
+                parseFail("copy-word count %llu exceeds log tail",
+                          static_cast<unsigned long long>(n));
             r.copyWords.reserve(n);
             for (std::uint64_t i = 0; i < n; ++i)
                 r.copyWords.push_back(
@@ -113,7 +120,8 @@ InputRecord::deserialize(const std::vector<std::uint8_t> &in,
         r.instrs = getVarint(in, pos);
         break;
       default:
-        panic("corrupt input log: kind %u", static_cast<unsigned>(r.kind));
+        parseFail("corrupt input log: kind %u",
+                  static_cast<unsigned>(r.kind));
     }
     return r;
 }

@@ -34,22 +34,38 @@ saveSphere(const SphereLogs &logs, const std::string &path)
     return bytes.size();
 }
 
-SphereLogs
+SphereLoadResult
 loadSphere(const std::string &path)
 {
+    SphereLoadResult res;
     std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
         std::fopen(path.c_str(), "rb"), &std::fclose);
-    if (!f)
-        fatal("cannot open '%s' for reading", path.c_str());
+    if (!f) {
+        res.error = csprintf("cannot open '%s' for reading",
+                             path.c_str());
+        return res;
+    }
     std::fseek(f.get(), 0, SEEK_END);
     long size = std::ftell(f.get());
     std::fseek(f.get(), 0, SEEK_SET);
-    qr_assert(size >= 0, "ftell failed on '%s'", path.c_str());
+    if (size < 0) {
+        res.error = csprintf("cannot size '%s'", path.c_str());
+        return res;
+    }
     std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
     std::size_t n = std::fread(bytes.data(), 1, bytes.size(), f.get());
-    if (n != bytes.size())
-        fatal("short read from '%s'", path.c_str());
-    return SphereLogs::deserialize(bytes);
+    if (n != bytes.size()) {
+        res.error = csprintf("short read from '%s'", path.c_str());
+        return res;
+    }
+    try {
+        res.logs = SphereLogs::deserialize(bytes);
+        res.ok = true;
+    } catch (const ParseError &e) {
+        res.error = csprintf("'%s' is not a valid sphere log: %s",
+                             path.c_str(), e.what());
+    }
+    return res;
 }
 
 } // namespace qr

@@ -33,8 +33,22 @@ LogSizes measureLogs(const SphereLogs &logs);
 /** Save a sphere to @p path. @return bytes written. */
 std::uint64_t saveSphere(const SphereLogs &logs, const std::string &path);
 
-/** Load a sphere from @p path (fatal on parse error). */
-SphereLogs loadSphere(const std::string &path);
+/** Outcome of loading a sphere file. */
+struct SphereLoadResult
+{
+    SphereLogs logs;
+    std::string error; //!< empty on success
+    bool ok = false;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Load a sphere from @p path. A missing, truncated, or corrupted file
+ * is a recoverable error reported in the result, never a crash: an
+ * always-on recording service must survive a bad artifact on disk.
+ */
+SphereLoadResult loadSphere(const std::string &path);
 
 } // namespace qr
 

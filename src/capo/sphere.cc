@@ -87,9 +87,9 @@ SphereLogs
 SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
 {
     SphereLogs s;
-    qr_assert(in.size() >= 4 && in[0] == 'Q' && in[1] == 'R' &&
-              in[2] == 'S' && in[3] == '1',
-              "bad sphere log magic");
+    if (in.size() < 4 || in[0] != 'Q' || in[1] != 'R' || in[2] != 'S' ||
+        in[3] != '1')
+        parseFail("bad sphere log magic");
     std::size_t pos = 4;
     s.sphereId = static_cast<std::uint32_t>(getVarint(in, pos));
     s.memBytes = static_cast<std::uint32_t>(getVarint(in, pos));
@@ -99,20 +99,65 @@ SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
         Tid tid = static_cast<Tid>(getVarint(in, pos));
         ThreadLogs logs;
         std::uint64_t nin = getVarint(in, pos);
+        // Every record is at least one byte, so a count larger than the
+        // remaining stream is corruption; refuse before reserving.
+        if (nin > in.size() - pos)
+            parseFail("input-record count %llu exceeds log tail",
+                      static_cast<unsigned long long>(nin));
         logs.input.reserve(nin);
         for (std::uint64_t j = 0; j < nin; ++j)
             logs.input.push_back(InputRecord::deserialize(in, pos));
         std::uint64_t nch = getVarint(in, pos);
+        if (nch > in.size() - pos)
+            parseFail("chunk-record count %llu exceeds log tail",
+                      static_cast<unsigned long long>(nch));
         logs.chunks.reserve(nch);
         Timestamp prev = 0;
         for (std::uint64_t j = 0; j < nch; ++j) {
             logs.chunks.push_back(unpackCompact(in, pos, prev, tid));
             prev = logs.chunks.back().ts;
         }
-        s.threads.emplace(tid, std::move(logs));
+        if (!s.threads.emplace(tid, std::move(logs)).second)
+            parseFail("duplicate thread %d in sphere log", tid);
     }
-    qr_assert(pos == in.size(), "trailing bytes in sphere log");
+    if (pos != in.size())
+        parseFail("trailing bytes in sphere log");
     return s;
+}
+
+std::vector<ChunkRecord>
+SphereLogs::chunksByTimestamp() const
+{
+    std::vector<ChunkRecord> all;
+    all.reserve(totalChunks());
+    for (const auto &[tid, logs] : threads) {
+        for (std::size_t i = 0; i < logs.chunks.size(); ++i) {
+            qr_assert(logs.chunks[i].tid == tid,
+                      "chunk log of tid %d contains tid %d", tid,
+                      logs.chunks[i].tid);
+            if (i > 0)
+                qr_assert(logs.chunks[i - 1].ts < logs.chunks[i].ts,
+                          "tid %d: non-monotonic chunk timestamps", tid);
+        }
+        all.insert(all.end(), logs.chunks.begin(), logs.chunks.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const ChunkRecord &a, const ChunkRecord &b) {
+                  if (a.ts != b.ts)
+                      return a.ts < b.ts;
+                  return a.tid < b.tid;
+              });
+    return all;
+}
+
+std::map<Tid, std::vector<std::uint32_t>>
+SphereLogs::chunkIndexByThread(
+    const std::vector<ChunkRecord> &schedule)
+{
+    std::map<Tid, std::vector<std::uint32_t>> index;
+    for (std::uint32_t i = 0; i < schedule.size(); ++i)
+        index[schedule[i].tid].push_back(i);
+    return index;
 }
 
 } // namespace qr

@@ -65,10 +65,31 @@ struct SphereLogs
     /** Total chunk records across threads. */
     std::uint64_t totalChunks() const;
 
+    /**
+     * All chunk records across threads, sorted by (timestamp, tid).
+     * The Lamport construction makes every inter-thread dependence an
+     * edge from a smaller to a strictly larger timestamp, so this is
+     * the canonical total order the sequential replayer enforces and
+     * the spine the chunk-dependence graph indexes into.
+     */
+    std::vector<ChunkRecord> chunksByTimestamp() const;
+
+    /**
+     * Per-thread positions into a (ts, tid)-sorted schedule: for each
+     * tid, the ascending schedule indices of that thread's chunks
+     * (program order). Used to lay same-thread edges in the chunk
+     * graph and to walk one thread's chunks without re-scanning.
+     */
+    static std::map<Tid, std::vector<std::uint32_t>>
+    chunkIndexByThread(const std::vector<ChunkRecord> &schedule);
+
     /** Serialize the whole sphere to a byte stream. */
     std::vector<std::uint8_t> serialize() const;
 
-    /** Parse a serialized sphere. */
+    /**
+     * Parse a serialized sphere. Throws qr::ParseError on truncated or
+     * corrupted input (recoverable; see loadSphere).
+     */
     static SphereLogs deserialize(const std::vector<std::uint8_t> &in);
 };
 

@@ -127,4 +127,38 @@ RunMetrics::summary() const
         static_cast<unsigned long long>(logSizes.inputBytes));
 }
 
+double
+ReplaySpeed::modeledSpeedup() const
+{
+    if (modeledParallelCycles == 0)
+        return 1.0;
+    return static_cast<double>(modeledSequentialCycles) /
+           static_cast<double>(modeledParallelCycles);
+}
+
+double
+ReplaySpeed::availableParallelism() const
+{
+    if (criticalPathCycles == 0)
+        return 1.0;
+    return static_cast<double>(modeledSequentialCycles) /
+           static_cast<double>(criticalPathCycles);
+}
+
+std::string
+ReplaySpeed::summary() const
+{
+    return csprintf(
+        "replay-speed: jobs=%d modeled-sequential=%llu "
+        "modeled-parallel=%llu modeled-speedup=%.2fx "
+        "critical-path=%llu available-parallelism=%.2fx "
+        "graph-wall=%.0fus exec-wall=%.0fus",
+        jobs,
+        static_cast<unsigned long long>(modeledSequentialCycles),
+        static_cast<unsigned long long>(modeledParallelCycles),
+        modeledSpeedup(),
+        static_cast<unsigned long long>(criticalPathCycles),
+        availableParallelism(), graphMicros, execMicros);
+}
+
 } // namespace qr

@@ -43,6 +43,31 @@ std::uint64_t fnv1a(const std::uint8_t *data, std::size_t n);
  */
 std::uint64_t outputDigest(const OutputMap &outputs);
 
+/**
+ * Replay-speed accounting for the parallel replay engine: modeled
+ * cycles for the sequential oracle vs. the chunk-graph schedule at a
+ * given worker count, plus measured wall-clock for the graph build and
+ * the parallel execution phases.
+ */
+struct ReplaySpeed
+{
+    int jobs = 1;
+    Tick modeledSequentialCycles = 0; //!< sum of per-chunk costs
+    Tick modeledParallelCycles = 0;   //!< greedy list schedule, N jobs
+    Tick criticalPathCycles = 0;      //!< schedule with unbounded jobs
+    double graphMicros = 0;           //!< wall: analysis + edge build
+    double execMicros = 0;            //!< wall: worker-pool execution
+
+    /** Modeled sequential / parallel replay-time ratio. */
+    double modeledSpeedup() const;
+
+    /** Upper bound on speedup: sequential / critical path. */
+    double availableParallelism() const;
+
+    /** One-line "replay-speed: ..." report (the qrec output fields). */
+    std::string summary() const;
+};
+
 /** Everything measured during one run. */
 struct RunMetrics
 {

@@ -31,6 +31,14 @@ replaySphere(const Program &prog, const SphereLogs &logs)
     return replayer.run();
 }
 
+ParallelReplayResult
+replaySphereParallel(const Program &prog, const SphereLogs &logs,
+                     int jobs)
+{
+    ParallelReplayer replayer(prog, logs, jobs);
+    return replayer.run();
+}
+
 RoundTrip
 recordAndReplay(const Program &prog, const MachineConfig &mcfg,
                 const RecorderConfig &rcfg)

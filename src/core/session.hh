@@ -11,6 +11,7 @@
 #include "core/config.hh"
 #include "core/metrics.hh"
 #include "isa/assembler.hh"
+#include "replay/parallel_replayer.hh"
 #include "replay/replayer.hh"
 #include "replay/verifier.hh"
 
@@ -36,6 +37,16 @@ RecordResult recordProgram(const Program &prog,
 
 /** Replay a recorded sphere against the original program. */
 ReplayResult replaySphere(const Program &prog, const SphereLogs &logs);
+
+/**
+ * Replay a recorded sphere on the parallel chunk-graph engine with
+ * @p jobs worker threads (>= 1). Digests are bit-identical to
+ * replaySphere() on every valid sphere; callers wanting a differential
+ * check run both and compare.
+ */
+ParallelReplayResult replaySphereParallel(const Program &prog,
+                                          const SphereLogs &logs,
+                                          int jobs);
 
 /** Record, replay, and verify end to end. */
 struct RoundTrip

@@ -1,0 +1,228 @@
+#include "replay/chunk_graph.hh"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+void
+sortUnique(std::vector<Addr> &v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+} // namespace
+
+ChunkGraph
+buildChunkGraph(const Program &prog, const SphereLogs &logs,
+                const ReplayCostModel &costs)
+{
+    ChunkGraph g;
+    std::vector<ChunkRecord> schedule = logs.chunksByTimestamp();
+    g.nodes.reserve(schedule.size());
+
+    // Analysis replay: sequential, recording each chunk's shared-memory
+    // access sets and modeled cost.
+    ReplayCore core(prog, logs, costs);
+    try {
+        for (const ChunkRecord &rec : schedule) {
+            ChunkTrace trace;
+            core.replayChunk(rec, &trace);
+            ChunkNode node;
+            node.rec = rec;
+            node.reads = std::move(trace.reads);
+            node.writes = std::move(trace.writes);
+            sortUnique(node.reads);
+            sortUnique(node.writes);
+            node.modeledCost = trace.modeledCycles;
+            node.injected = trace.injected;
+            g.nodes.push_back(std::move(node));
+        }
+        // Consume the end-of-replay residue checks too: a sphere whose
+        // logs do not fully account for execution has no valid graph.
+        core.finish();
+    } catch (const ReplayCore::Divergence &d) {
+        g.divergence = d.msg;
+        return g;
+    }
+
+    // Edge construction in schedule order. For each shared word track
+    // the last writing chunk and every reader since; RAW/WAW/WAR edges
+    // then order exactly the conflicting pairs (transitively).
+    std::unordered_map<Addr, std::uint32_t> lastWriter;
+    std::unordered_map<Addr, std::vector<std::uint32_t>> readersSince;
+    std::map<Tid, std::uint32_t> lastOfThread;
+
+    auto addEdge = [&g](std::uint32_t from, std::uint32_t to) {
+        qr_assert(from < to, "chunk-graph edge against schedule order");
+        g.nodes[from].succs.push_back(to);
+    };
+
+    for (std::uint32_t i = 0; i < g.nodes.size(); ++i) {
+        const ChunkNode &node = g.nodes[i];
+        auto prev = lastOfThread.find(node.rec.tid);
+        if (prev != lastOfThread.end())
+            addEdge(prev->second, i);
+        lastOfThread[node.rec.tid] = i;
+
+        for (Addr a : node.reads) {
+            auto w = lastWriter.find(a);
+            if (w != lastWriter.end() && w->second != i)
+                addEdge(w->second, i);
+            readersSince[a].push_back(i);
+        }
+        for (Addr a : node.writes) {
+            auto w = lastWriter.find(a);
+            if (w != lastWriter.end() && w->second != i)
+                addEdge(w->second, i);
+            for (std::uint32_t r : readersSince[a])
+                if (r != i)
+                    addEdge(r, i);
+            readersSince[a].clear();
+            lastWriter[a] = i;
+        }
+    }
+
+    for (ChunkNode &node : g.nodes) {
+        std::sort(node.succs.begin(), node.succs.end());
+        node.succs.erase(
+            std::unique(node.succs.begin(), node.succs.end()),
+            node.succs.end());
+        g.edges += node.succs.size();
+    }
+    for (const ChunkNode &node : g.nodes)
+        for (std::uint32_t s : node.succs)
+            g.nodes[s].preds++;
+
+    g.ok = true;
+    return g;
+}
+
+bool
+ChunkGraph::isAcyclic() const
+{
+    std::vector<std::uint32_t> indeg(nodes.size(), 0);
+    for (const ChunkNode &n : nodes)
+        for (std::uint32_t s : n.succs)
+            indeg[s]++;
+    std::queue<std::uint32_t> q;
+    for (std::uint32_t i = 0; i < nodes.size(); ++i)
+        if (indeg[i] == 0)
+            q.push(i);
+    std::size_t visited = 0;
+    while (!q.empty()) {
+        std::uint32_t i = q.front();
+        q.pop();
+        visited++;
+        for (std::uint32_t s : nodes[i].succs)
+            if (--indeg[s] == 0)
+                q.push(s);
+    }
+    return visited == nodes.size();
+}
+
+Tick
+ChunkGraph::totalCycles() const
+{
+    Tick total = 0;
+    for (const ChunkNode &n : nodes)
+        total += n.modeledCost;
+    return total;
+}
+
+Tick
+ChunkGraph::criticalPathCycles() const
+{
+    // Edges only point forward in schedule order, so index order is a
+    // topological order.
+    std::vector<Tick> finish(nodes.size(), 0);
+    Tick longest = 0;
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+        finish[i] += nodes[i].modeledCost;
+        longest = std::max(longest, finish[i]);
+        for (std::uint32_t s : nodes[i].succs)
+            finish[s] = std::max(finish[s], finish[i]);
+    }
+    return longest;
+}
+
+Tick
+ChunkGraph::modeledScheduleCycles(int jobs) const
+{
+    qr_assert(jobs >= 1, "modeledScheduleCycles needs jobs >= 1");
+    if (nodes.empty())
+        return 0;
+
+    std::vector<std::uint32_t> indeg(nodes.size(), 0);
+    for (const ChunkNode &n : nodes)
+        for (std::uint32_t s : n.succs)
+            indeg[s]++;
+
+    // Greedy list schedule: at each instant, free workers claim ready
+    // chunks lowest-schedule-index first. Deterministic by design so
+    // the modeled numbers are reproducible run to run.
+    using Completion = std::pair<Tick, std::uint32_t>; // (finish, node)
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>> running;
+    std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                        std::greater<std::uint32_t>> ready;
+    for (std::uint32_t i = 0; i < nodes.size(); ++i)
+        if (indeg[i] == 0)
+            ready.push(i);
+
+    Tick now = 0;
+    int freeWorkers = jobs;
+    std::size_t done = 0;
+    while (done < nodes.size()) {
+        while (freeWorkers > 0 && !ready.empty()) {
+            std::uint32_t i = ready.top();
+            ready.pop();
+            running.emplace(now + nodes[i].modeledCost, i);
+            freeWorkers--;
+        }
+        qr_assert(!running.empty(), "chunk-graph schedule deadlock");
+        auto [t, i] = running.top();
+        running.pop();
+        now = t;
+        freeWorkers++;
+        done++;
+        for (std::uint32_t s : nodes[i].succs)
+            if (--indeg[s] == 0)
+                ready.push(s);
+    }
+    return now;
+}
+
+ReachMatrix::ReachMatrix(const ChunkGraph &g)
+    : n(g.nodes.size()), stride((n + 63) / 64), bits(n * stride, 0)
+{
+    // Rows in reverse schedule order: a node reaches everything its
+    // successors reach, plus the successors themselves.
+    for (std::size_t i = n; i-- > 0;) {
+        std::uint64_t *row = bits.data() + i * stride;
+        for (std::uint32_t s : g.nodes[i].succs) {
+            row[s / 64] |= 1ull << (s % 64);
+            const std::uint64_t *srow = bits.data() + s * stride;
+            for (std::size_t w = 0; w < stride; ++w)
+                row[w] |= srow[w];
+        }
+    }
+}
+
+bool
+ReachMatrix::reaches(std::uint32_t from, std::uint32_t to) const
+{
+    qr_assert(from < n && to < n, "ReachMatrix query out of range");
+    return bits[from * stride + to / 64] >> (to % 64) & 1;
+}
+
+} // namespace qr

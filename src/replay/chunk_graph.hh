@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The chunk-dependence DAG: the partial order a recorded sphere
+ * actually requires, extracted from the total (timestamp, tid) order
+ * the sequential replayer uses.
+ *
+ * The logged Lamport timestamps over-serialize replay: they encode a
+ * total order, but only *conflicting* chunks (two chunks of different
+ * threads touching the same shared word, at least one writing) and
+ * same-thread chunks (program order) must actually be ordered. An
+ * analysis replay -- a sequential replay that records every
+ * shared-memory access each chunk performs -- recovers the exact
+ * per-chunk read/write sets, and the graph keeps only the edges that
+ * matter:
+ *
+ *   1. program order: thread's chunk k -> chunk k+1;
+ *   2. RAW: last writer of a word -> a later chunk reading it;
+ *   3. WAW: last writer of a word -> the next chunk writing it;
+ *   4. WAR: every reader since the last write -> the next writer.
+ *
+ * Edges always point from a smaller to a larger schedule index, so the
+ * graph is acyclic by construction (isAcyclic() re-verifies with a
+ * topological count for the property tests). Any linear extension --
+ * and therefore any parallel execution that respects the edges --
+ * projects, per shared word, to the same read/write sequence as the
+ * sequential schedule, so replay results are bit-identical.
+ */
+
+#ifndef QR_REPLAY_CHUNK_GRAPH_HH
+#define QR_REPLAY_CHUNK_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capo/sphere.hh"
+#include "isa/assembler.hh"
+#include "replay/replayer.hh"
+
+namespace qr
+{
+
+/** One chunk in the dependence graph. */
+struct ChunkNode
+{
+    ChunkRecord rec;
+    /** Shared-memory words this chunk read/wrote (sorted, deduped);
+     *  store-queue-forwarded loads are thread-local and excluded. */
+    std::vector<Addr> reads;
+    std::vector<Addr> writes;
+    /** Modeled cost of replaying just this chunk (interpretation +
+     *  chunk activation + input-record injection). */
+    Tick modeledCost = 0;
+    std::uint64_t injected = 0; //!< input records the chunk consumes
+    /** Dependence edges to later schedule indices (sorted, deduped). */
+    std::vector<std::uint32_t> succs;
+    std::uint32_t preds = 0; //!< in-degree
+};
+
+/** The dependence DAG of one recorded sphere, in schedule order. */
+struct ChunkGraph
+{
+    /** Nodes indexed by position in the (ts, tid) total order. */
+    std::vector<ChunkNode> nodes;
+    std::uint64_t edges = 0;
+
+    /** False iff the analysis replay diverged (graph unusable). */
+    bool ok = false;
+    std::string divergence;
+
+    /** Kahn's-algorithm check; true for every well-formed graph. */
+    bool isAcyclic() const;
+
+    /** Sum of all node costs == modeled sequential replay time. */
+    Tick totalCycles() const;
+
+    /** Longest cost-weighted path: modeled replay time with
+     *  unbounded workers. */
+    Tick criticalPathCycles() const;
+
+    /**
+     * Modeled replay time with @p jobs workers under a deterministic
+     * greedy list schedule (free workers claim the lowest-index ready
+     * chunk). Bounded below by criticalPathCycles() and by
+     * totalCycles() / jobs.
+     */
+    Tick modeledScheduleCycles(int jobs) const;
+};
+
+/**
+ * Build the dependence graph of @p logs by running an analysis replay
+ * of @p prog. If the analysis replay diverges the graph comes back
+ * with ok = false and the divergence message (the sphere cannot be
+ * replayed at all, sequentially or otherwise).
+ */
+ChunkGraph buildChunkGraph(const Program &prog, const SphereLogs &logs,
+                           const ReplayCostModel &costs = {});
+
+/**
+ * Dense transitive closure over a ChunkGraph for path queries --
+ * O(V^2/64) memory, used by the DAG-soundness property tests to check
+ * that every conflicting chunk pair is ordered by some path.
+ */
+class ReachMatrix
+{
+  public:
+    explicit ReachMatrix(const ChunkGraph &g);
+
+    /** True iff a directed path @p from -> @p to exists. */
+    bool reaches(std::uint32_t from, std::uint32_t to) const;
+
+  private:
+    std::size_t n = 0;
+    std::size_t stride = 0; //!< 64-bit words per row
+    std::vector<std::uint64_t> bits;
+};
+
+} // namespace qr
+
+#endif // QR_REPLAY_CHUNK_GRAPH_HH

@@ -1,34 +1,12 @@
 #include "replay/log_reader.hh"
 
-#include <algorithm>
-
-#include "sim/logging.hh"
-
 namespace qr
 {
 
 std::vector<ChunkRecord>
 buildSchedule(const SphereLogs &logs)
 {
-    std::vector<ChunkRecord> schedule;
-    for (const auto &[tid, t] : logs.threads) {
-        for (std::size_t i = 0; i < t.chunks.size(); ++i) {
-            qr_assert(t.chunks[i].tid == tid,
-                      "chunk log of tid %d contains tid %d", tid,
-                      t.chunks[i].tid);
-            if (i > 0)
-                qr_assert(t.chunks[i - 1].ts < t.chunks[i].ts,
-                          "tid %d: non-monotonic chunk timestamps", tid);
-        }
-        schedule.insert(schedule.end(), t.chunks.begin(), t.chunks.end());
-    }
-    std::sort(schedule.begin(), schedule.end(),
-              [](const ChunkRecord &a, const ChunkRecord &b) {
-                  if (a.ts != b.ts)
-                      return a.ts < b.ts;
-                  return a.tid < b.tid;
-              });
-    return schedule;
+    return logs.chunksByTimestamp();
 }
 
 } // namespace qr

@@ -1,0 +1,180 @@
+#include "replay/parallel_replayer.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+double
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * The worker-pool scheduler: a mutex-protected ready queue over the
+ * DAG. Claiming a chunk and publishing its completion both go through
+ * the lock, which also carries the happens-before edge each dependence
+ * needs (a successor's worker acquires the lock after its
+ * predecessor's worker released it).
+ */
+class DagScheduler
+{
+  public:
+    explicit DagScheduler(const ChunkGraph &g) : graph(g)
+    {
+        preds.reserve(g.nodes.size());
+        for (const ChunkNode &n : g.nodes)
+            preds.push_back(n.preds);
+        for (std::uint32_t i = 0; i < g.nodes.size(); ++i)
+            if (preds[i] == 0)
+                ready.push(i);
+    }
+
+    /** Claim the next ready chunk; false when replay is over. */
+    bool
+    claim(std::uint32_t &out)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] {
+            return !ready.empty() || aborted ||
+                   done == graph.nodes.size();
+        });
+        if (aborted || ready.empty())
+            return false;
+        out = ready.top();
+        ready.pop();
+        return true;
+    }
+
+    /** Publish completion of @p i, waking workers for new ready work. */
+    void
+    complete(std::uint32_t i)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        done++;
+        for (std::uint32_t s : graph.nodes[i].succs)
+            if (--preds[s] == 0)
+                ready.push(s);
+        cv.notify_all();
+    }
+
+    /** Abort the pool, keeping the first divergence reported. */
+    void
+    abort(const std::string &msg)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!aborted) {
+            aborted = true;
+            divergence = msg;
+        }
+        cv.notify_all();
+    }
+
+    bool wasAborted() const { return aborted; }
+    const std::string &firstDivergence() const { return divergence; }
+
+  private:
+    const ChunkGraph &graph;
+    std::mutex mu;
+    std::condition_variable cv;
+    /** Min-heap: idle workers claim the lowest schedule index first. */
+    std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                        std::greater<std::uint32_t>> ready;
+    std::vector<std::uint32_t> preds;
+    std::size_t done = 0;
+    bool aborted = false;
+    std::string divergence;
+};
+
+} // namespace
+
+ParallelReplayer::ParallelReplayer(const Program &prog_,
+                                   const SphereLogs &logs_, int jobs_,
+                                   const ReplayCostModel &costs_)
+    : prog(prog_), logs(logs_), jobs(jobs_), costs(costs_)
+{
+    qr_assert(jobs >= 1, "parallel replay needs jobs >= 1, got %d",
+              jobs);
+}
+
+ParallelReplayResult
+ParallelReplayer::run()
+{
+    ParallelReplayResult res;
+    res.speed.jobs = jobs;
+
+    auto t0 = std::chrono::steady_clock::now();
+    ChunkGraph graph = buildChunkGraph(prog, logs, costs);
+    res.speed.graphMicros = microsSince(t0);
+    res.graphNodes = graph.nodes.size();
+    res.graphEdges = graph.edges;
+
+    if (!graph.ok) {
+        // The analysis replay is a sequential replay; its divergence is
+        // exactly what the oracle reports. Never silently dropped.
+        res.replay.ok = false;
+        res.replay.divergence = graph.divergence;
+        return res;
+    }
+
+    res.speed.modeledSequentialCycles = graph.totalCycles();
+    res.speed.criticalPathCycles = graph.criticalPathCycles();
+    res.speed.modeledParallelCycles = graph.modeledScheduleCycles(jobs);
+
+    ReplayCore core(prog, logs, costs);
+    DagScheduler sched(graph);
+    int workers = std::max(
+        1, std::min<int>(jobs, static_cast<int>(graph.nodes.size())));
+
+    auto t1 = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&core, &sched, &graph] {
+            std::uint32_t i;
+            while (sched.claim(i)) {
+                try {
+                    core.replayChunk(graph.nodes[i].rec);
+                } catch (const ReplayCore::Divergence &d) {
+                    sched.abort(d.msg);
+                    return;
+                }
+                sched.complete(i);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    res.speed.execMicros = microsSince(t1);
+
+    if (sched.wasAborted()) {
+        core.collectCounters(res.replay);
+        res.replay.ok = false;
+        res.replay.divergence = sched.firstDivergence();
+        return res;
+    }
+
+    try {
+        res.replay = core.finish();
+    } catch (const ReplayCore::Divergence &d) {
+        core.collectCounters(res.replay);
+        res.replay.ok = false;
+        res.replay.divergence = d.msg;
+    }
+    return res;
+}
+
+} // namespace qr

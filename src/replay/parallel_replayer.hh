@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Parallel chunk-graph replay.
+ *
+ * The sequential replayer walks the total (timestamp, tid) order; this
+ * engine replays the chunk-dependence DAG (chunk_graph.hh) with a pool
+ * of N worker threads. Workers pull ready chunks (all predecessors
+ * done) from a shared queue and execute them through the same
+ * ReplayCore the sequential oracle uses; per-thread replay state
+ * (ThreadContext, replay store queue, pending copies) is confined to
+ * one chunk at a time by the graph's program-order edges, and every
+ * conflicting shared-memory access pair is ordered by a dependence
+ * edge, so workers synchronize only at DAG edges (via the scheduler
+ * lock) and the result is bit-identical to sequential replay.
+ *
+ * Divergences are never dropped: a worker that hits one aborts the
+ * pool and the first divergence (by completion) is reported exactly as
+ * the sequential replayer would report it. The analysis pass that
+ * builds the graph *is* a sequential replay, so a corrupt log
+ * surfaces the identical divergence message before any worker starts.
+ */
+
+#ifndef QR_REPLAY_PARALLEL_REPLAYER_HH
+#define QR_REPLAY_PARALLEL_REPLAYER_HH
+
+#include "replay/chunk_graph.hh"
+#include "replay/replayer.hh"
+
+namespace qr
+{
+
+/** Outcome of a parallel replay. */
+struct ParallelReplayResult
+{
+    /** Same shape as the sequential result; digests must match the
+     *  sequential oracle bit for bit. */
+    ReplayResult replay;
+
+    /** Modeled + wall-clock replay-speed accounting. */
+    ReplaySpeed speed;
+
+    std::uint64_t graphNodes = 0;
+    std::uint64_t graphEdges = 0;
+};
+
+/** Replays one recorded sphere with @p jobs worker threads. */
+class ParallelReplayer
+{
+  public:
+    /** @p jobs must be >= 1 (validate user input before constructing). */
+    ParallelReplayer(const Program &prog, const SphereLogs &logs,
+                     int jobs, const ReplayCostModel &costs = {});
+
+    /** Build the chunk graph and replay it to completion (or first
+     *  divergence). */
+    ParallelReplayResult run();
+
+  private:
+    const Program &prog;
+    const SphereLogs &logs;
+    int jobs;
+    ReplayCostModel costs;
+};
+
+} // namespace qr
+
+#endif // QR_REPLAY_PARALLEL_REPLAYER_HH

@@ -11,17 +11,23 @@
 namespace qr
 {
 
-Replayer::Replayer(const Program &prog_, const SphereLogs &logs_,
-                   const ReplayCostModel &costs_)
+ReplayCore::ReplayCore(const Program &prog_, const SphereLogs &logs_,
+                       const ReplayCostModel &costs_)
     : prog(prog_), logs(logs_), costs(costs_), mem(logs_.memBytes)
 {
     qr_assert(logs.memBytes > 0, "sphere logs carry no memory size");
     for (const auto &[addr, value] : prog.dataInit)
         mem.write(addr, value);
+    // Pre-create every logged thread's state so the map is never
+    // mutated during replay -- required for concurrent replayChunk.
+    for (const auto &[tid, tlogs] : logs.threads) {
+        RThread &t = threads[tid];
+        t.ctx.tid = tid;
+    }
 }
 
 void
-Replayer::diverge(const char *fmt, ...)
+ReplayCore::diverge(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
@@ -30,17 +36,44 @@ Replayer::diverge(const char *fmt, ...)
     throw Divergence{msg};
 }
 
-Replayer::RThread &
-Replayer::threadFor(const ChunkRecord &rec)
+ReplayCore::RThread &
+ReplayCore::threadFor(const ChunkRecord &rec)
 {
-    RThread &t = threads[rec.tid];
-    if (t.ctx.tid == invalidTid)
-        t.ctx.tid = rec.tid;
-    return t;
+    auto it = threads.find(rec.tid);
+    if (it == threads.end())
+        diverge("tid %d: chunk ts %llu but no thread logs", rec.tid,
+                static_cast<unsigned long long>(rec.ts));
+    return it->second;
+}
+
+Word
+ReplayCore::memRead(RThread &t, Addr addr)
+{
+    if (t.trace)
+        t.trace->reads.push_back(addr);
+    return mem.read(addr);
+}
+
+void
+ReplayCore::memWrite(RThread &t, Addr addr, Word value)
+{
+    if (t.trace)
+        t.trace->writes.push_back(addr);
+    mem.write(addr, value);
+}
+
+void
+ReplayCore::drainStores(RThread &t, std::size_t keep)
+{
+    while (t.storeQueue.size() > keep) {
+        auto [a, v] = t.storeQueue.front();
+        t.storeQueue.pop_front();
+        memWrite(t, a, v);
+    }
 }
 
 const InputRecord &
-Replayer::nextInput(RThread &t, const char *what)
+ReplayCore::nextInput(RThread &t, const char *what)
 {
     auto it = logs.threads.find(t.ctx.tid);
     if (it == logs.threads.end())
@@ -49,13 +82,17 @@ Replayer::nextInput(RThread &t, const char *what)
     if (t.inputCursor >= input.size())
         diverge("tid %d: input log exhausted while replaying %s",
                 t.ctx.tid, what);
-    result.injectedRecords++;
-    result.modeledCycles += costs.perInputRecord;
+    t.injectedRecords++;
+    t.modeledCycles += costs.perInputRecord;
+    if (t.trace) {
+        t.trace->injected++;
+        t.trace->modeledCycles += costs.perInputRecord;
+    }
     return input[t.inputCursor++];
 }
 
 void
-Replayer::startThread(Tid tid, RThread &t)
+ReplayCore::startThread(Tid tid, RThread &t)
 {
     const InputRecord &rec = nextInput(t, "thread start");
     if (rec.kind != InputKind::ThreadStart)
@@ -69,7 +106,7 @@ Replayer::startThread(Tid tid, RThread &t)
 }
 
 void
-Replayer::maybeInjectSignal(Tid tid, RThread &t)
+ReplayCore::maybeInjectSignal(Tid tid, RThread &t)
 {
     const auto &input = logs.threads.at(tid).input;
     while (t.inputCursor < input.size()) {
@@ -78,28 +115,32 @@ Replayer::maybeInjectSignal(Tid tid, RThread &t)
             rec.afterChunkSeq != t.replayedChunks)
             return;
         t.inputCursor++;
-        result.injectedRecords++;
-        result.modeledCycles += costs.perInputRecord;
+        t.injectedRecords++;
+        t.modeledCycles += costs.perInputRecord;
+        if (t.trace) {
+            t.trace->injected++;
+            t.trace->modeledCycles += costs.perInputRecord;
+        }
         if (t.ctx.pc != rec.sp)
             diverge("tid %d: signal saved pc 0x%x but replay pc is 0x%x",
                     tid, rec.sp, t.ctx.pc);
         // Post the signal number and redirect into the handler, exactly
         // as the kernel did at this chunk boundary.
-        mem.write(rec.copyAddr, rec.num);
+        memWrite(t, rec.copyAddr, rec.num);
         t.ctx.pc = rec.pc;
     }
 }
 
 void
-Replayer::applyPending(RThread &t)
+ReplayCore::applyPending(RThread &t)
 {
     for (const auto &[addr, words] : t.pendingCopies)
         for (std::size_t i = 0; i < words.size(); ++i)
-            mem.write(addr + static_cast<Addr>(i) * 4, words[i]);
+            memWrite(t, addr + static_cast<Addr>(i) * 4, words[i]);
     t.pendingCopies.clear();
     for (const auto &[buf, len] : t.pendingWrites) {
         for (Word off = 0; off < len; off += 4) {
-            Word w = mem.read(buf + off);
+            Word w = memRead(t, buf + off);
             for (int b = 0; b < 4; ++b)
                 t.outputBytes.push_back(
                     static_cast<std::uint8_t>(w >> (8 * b)));
@@ -109,16 +150,16 @@ Replayer::applyPending(RThread &t)
 }
 
 Word
-Replayer::loadWord(RThread &t, Addr addr)
+ReplayCore::loadWord(RThread &t, Addr addr)
 {
     for (auto it = t.storeQueue.rbegin(); it != t.storeQueue.rend(); ++it)
         if (it->first == addr)
             return it->second;
-    return mem.read(addr);
+    return memRead(t, addr);
 }
 
 void
-Replayer::handleSyscall(Tid tid, RThread &t, bool is_last)
+ReplayCore::handleSyscall(Tid tid, RThread &t, bool is_last)
 {
     if (!is_last)
         diverge("tid %d: syscall in the middle of a chunk (pc 0x%x)",
@@ -126,11 +167,7 @@ Replayer::handleSyscall(Tid tid, RThread &t, bool is_last)
 
     // Kernel entry is serializing: mirror the recorded store-buffer
     // drain so kernel reads (e.g. write()) see the drained values.
-    while (!t.storeQueue.empty()) {
-        auto [a, v] = t.storeQueue.front();
-        t.storeQueue.pop_front();
-        mem.write(a, v);
-    }
+    drainStores(t);
 
     Word num = t.ctx.reg(Reg::a7);
     if (num == static_cast<Word>(Sys::Exit)) {
@@ -181,8 +218,8 @@ Replayer::handleSyscall(Tid tid, RThread &t, bool is_last)
 }
 
 void
-Replayer::execInstr(Tid tid, RThread &t, bool is_last, std::uint32_t idx,
-                    const ChunkRecord &rec)
+ReplayCore::execInstr(Tid tid, RThread &t, bool is_last,
+                      std::uint32_t idx, const ChunkRecord &rec)
 {
     if (t.exited)
         diverge("tid %d: chunk ts %llu has instructions after exit "
@@ -198,7 +235,7 @@ Replayer::execInstr(Tid tid, RThread &t, bool is_last, std::uint32_t idx,
     if (execPure(in, t.ctx, nextPc)) {
         t.ctx.pc = nextPc;
         t.ctx.instrs++;
-        result.replayedInstrs++;
+        t.replayedInstrs++;
         return;
     }
 
@@ -219,36 +256,28 @@ Replayer::execInstr(Tid tid, RThread &t, bool is_last, std::uint32_t idx,
       case Opcode::Cas:
       case Opcode::FetchAdd:
       case Opcode::Swap: {
-        while (!t.storeQueue.empty()) {
-            auto [a, v] = t.storeQueue.front();
-            t.storeQueue.pop_front();
-            mem.write(a, v);
-        }
+        drainStores(t);
         Addr addr = t.ctx.reg(in.rs1);
-        Word old = mem.read(addr);
+        Word old = memRead(t, addr);
         if (in.op == Opcode::Cas) {
             if (old == t.ctx.reg(in.rd))
-                mem.write(addr, t.ctx.reg(in.rs2));
+                memWrite(t, addr, t.ctx.reg(in.rs2));
         } else if (in.op == Opcode::FetchAdd) {
-            mem.write(addr, old + t.ctx.reg(in.rs2));
+            memWrite(t, addr, old + t.ctx.reg(in.rs2));
         } else {
-            mem.write(addr, t.ctx.reg(in.rd));
+            memWrite(t, addr, t.ctx.reg(in.rd));
         }
         t.ctx.setReg(in.rd, old);
         t.ctx.mixMem(addr, old);
         break;
       }
       case Opcode::Fence:
-        while (!t.storeQueue.empty()) {
-            auto [a, v] = t.storeQueue.front();
-            t.storeQueue.pop_front();
-            mem.write(a, v);
-        }
+        drainStores(t);
         break;
       case Opcode::Syscall:
         t.ctx.pc = nextPc;
         t.ctx.instrs++;
-        result.replayedInstrs++;
+        t.replayedInstrs++;
         handleSyscall(tid, t, is_last);
         return;
       case Opcode::Rdtsc:
@@ -271,13 +300,14 @@ Replayer::execInstr(Tid tid, RThread &t, bool is_last, std::uint32_t idx,
 
     t.ctx.pc = nextPc;
     t.ctx.instrs++;
-    result.replayedInstrs++;
+    t.replayedInstrs++;
 }
 
 void
-Replayer::replayChunk(const ChunkRecord &rec)
+ReplayCore::replayChunk(const ChunkRecord &rec, ChunkTrace *trace)
 {
     RThread &t = threadFor(rec);
+    t.trace = trace;
     if (t.exited)
         diverge("tid %d: chunk ts %llu after thread exit", rec.tid,
                 static_cast<unsigned long long>(rec.ts));
@@ -298,19 +328,76 @@ Replayer::replayChunk(const ChunkRecord &rec)
                 "stores are buffered",
                 rec.tid, static_cast<unsigned long long>(rec.ts),
                 rec.rsw, t.storeQueue.size());
-    while (t.storeQueue.size() > rec.rsw) {
-        auto [a, v] = t.storeQueue.front();
-        t.storeQueue.pop_front();
-        mem.write(a, v);
-    }
+    drainStores(t, rec.rsw);
 
     tracef(TraceFlag::Replay, "tid %d: chunk ts=%llu size=%u rsw=%u",
            rec.tid, static_cast<unsigned long long>(rec.ts), rec.size,
            rec.rsw);
     t.replayedChunks++;
-    result.replayedChunks++;
-    result.modeledCycles +=
+    Tick chunkCost =
         costs.perChunk + static_cast<Tick>(rec.size) * costs.perInstr;
+    t.modeledCycles += chunkCost;
+    if (t.trace)
+        t.trace->modeledCycles += chunkCost;
+    t.trace = nullptr;
+}
+
+void
+ReplayCore::collectCounters(ReplayResult &r) const
+{
+    r.replayedInstrs = 0;
+    r.replayedChunks = 0;
+    r.injectedRecords = 0;
+    r.modeledCycles = 0;
+    for (const auto &[tid, t] : threads) {
+        r.replayedInstrs += t.replayedInstrs;
+        r.replayedChunks += t.replayedChunks;
+        r.injectedRecords += t.injectedRecords;
+        r.modeledCycles += t.modeledCycles;
+    }
+}
+
+ReplayResult
+ReplayCore::finish()
+{
+    for (const auto &[tid, tlogs] : logs.threads) {
+        const RThread &t = threads.at(tid);
+        if (tlogs.chunks.empty())
+            diverge("tid %d: has logs but was never scheduled", tid);
+        if (!t.exited)
+            diverge("tid %d: log ended before the thread exited", tid);
+        if (t.inputCursor != tlogs.input.size())
+            diverge("tid %d: %zu input records were never consumed",
+                    tid, tlogs.input.size() - t.inputCursor);
+        if (!t.storeQueue.empty())
+            diverge("tid %d: %zu stores left in the replay queue",
+                    tid, t.storeQueue.size());
+        if (!t.pendingCopies.empty())
+            diverge("tid %d: %zu input copies were never applied",
+                    tid, t.pendingCopies.size());
+        if (!t.pendingWrites.empty())
+            diverge("tid %d: %zu outputs were never regenerated",
+                    tid, t.pendingWrites.size());
+    }
+
+    ReplayResult result;
+    result.digests.memory = mem.digest(logs.userTop);
+    OutputMap outs;
+    for (const auto &[tid, t] : threads)
+        if (!t.outputBytes.empty())
+            outs.emplace(tid, t.outputBytes);
+    result.digests.output = outputDigest(outs);
+    for (const auto &[tid, t] : threads)
+        result.digests.exits.emplace(tid, t.exitInfo);
+    collectCounters(result);
+    result.ok = true;
+    return result;
+}
+
+Replayer::Replayer(const Program &prog_, const SphereLogs &logs_,
+                   const ReplayCostModel &costs_)
+    : logs(logs_), core(prog_, logs_, costs_)
+{
 }
 
 ReplayResult
@@ -319,44 +406,15 @@ Replayer::run()
     try {
         std::vector<ChunkRecord> schedule = buildSchedule(logs);
         for (const ChunkRecord &rec : schedule)
-            replayChunk(rec);
-
-        for (const auto &[tid, tlogs] : logs.threads) {
-            auto it = threads.find(tid);
-            if (it == threads.end())
-                diverge("tid %d: has logs but was never scheduled", tid);
-            const RThread &t = it->second;
-            if (!t.exited)
-                diverge("tid %d: log ended before the thread exited",
-                        tid);
-            if (t.inputCursor != tlogs.input.size())
-                diverge("tid %d: %zu input records were never consumed",
-                        tid, tlogs.input.size() - t.inputCursor);
-            if (!t.storeQueue.empty())
-                diverge("tid %d: %zu stores left in the replay queue",
-                        tid, t.storeQueue.size());
-            if (!t.pendingCopies.empty())
-                diverge("tid %d: %zu input copies were never applied",
-                        tid, t.pendingCopies.size());
-            if (!t.pendingWrites.empty())
-                diverge("tid %d: %zu outputs were never regenerated",
-                        tid, t.pendingWrites.size());
-        }
-
-        result.digests.memory = mem.digest(logs.userTop);
-        OutputMap outs;
-        for (const auto &[tid, t] : threads)
-            if (!t.outputBytes.empty())
-                outs.emplace(tid, t.outputBytes);
-        result.digests.output = outputDigest(outs);
-        for (const auto &[tid, t] : threads)
-            result.digests.exits.emplace(tid, t.exitInfo);
-        result.ok = true;
-    } catch (const Divergence &d) {
+            core.replayChunk(rec);
+        return core.finish();
+    } catch (const ReplayCore::Divergence &d) {
+        ReplayResult result;
+        core.collectCounters(result);
         result.ok = false;
         result.divergence = d.msg;
+        return result;
     }
-    return result;
 }
 
 } // namespace qr

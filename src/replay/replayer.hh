@@ -3,14 +3,23 @@
  * The QuickRec replayer.
  *
  * Replays a recorded sphere by re-executing the program's user
- * instructions under the logged total chunk order, injecting every
- * logged input (syscall results, copied data, signals, nondeterministic
+ * instructions under the logged chunk order, injecting every logged
+ * input (syscall results, copied data, signals, nondeterministic
  * instruction values). TSO is reproduced with a per-thread replay store
  * queue: stores buffer during a chunk and drain to memory until exactly
  * the chunk's recorded RSW entries remain; the survivors drain at the
  * start of the thread's next chunk -- mirroring where the hardware put
  * drained stores into the next chunk's write filter. Kernel input
  * copies are deferred to the same anchor.
+ *
+ * The per-chunk execution machinery lives in ReplayCore, shared by two
+ * drivers: the sequential Replayer (the oracle -- walks the total
+ * (timestamp, tid) order) and the ParallelReplayer
+ * (parallel_replayer.hh -- walks the chunk-dependence DAG with a
+ * worker pool). ReplayCore::replayChunk only touches the chunk's own
+ * per-thread state plus shared guest memory, so chunks of different
+ * threads may execute concurrently as long as the caller orders
+ * conflicting chunks (which the DAG guarantees).
  *
  * Replay is paranoid: any mismatch between the log and the re-executed
  * instruction stream (wrong record kind, syscall number, mid-chunk
@@ -60,15 +69,63 @@ struct ReplayResult
     Tick modeledCycles = 0;
 };
 
-/** Replays one recorded sphere against the original program. */
-class Replayer
+/**
+ * Everything one chunk did to globally visible state, captured by an
+ * analysis replay (ReplayCore::replayChunk with a trace sink). The
+ * chunk-graph builder turns these into dependence edges, and the
+ * per-chunk modeled cost feeds the parallel schedule model. Store-queue
+ * forwarding is thread-local and deliberately not recorded; only
+ * accesses that reached shared memory create dependences.
+ */
+struct ChunkTrace
+{
+    std::vector<Addr> reads;  //!< shared-memory words read
+    std::vector<Addr> writes; //!< shared-memory words written
+    Tick modeledCycles = 0;   //!< modeled cost of this chunk alone
+    std::uint64_t injected = 0; //!< input records consumed by the chunk
+};
+
+/**
+ * The shared per-chunk replay engine. Drivers feed it chunk records;
+ * it executes them against guest memory and per-thread contexts, and
+ * throws Divergence at the first log/execution mismatch.
+ *
+ * Thread-safety contract for parallel drivers: replayChunk(a) and
+ * replayChunk(b) may run concurrently iff a and b belong to different
+ * threads and are not ordered by a chunk-graph dependence (no shared
+ * word is accessed by both with at least one write). All per-thread
+ * state is pre-created at construction, so the thread map is never
+ * mutated during replay. finish() must be called after all chunks
+ * completed (single-threaded).
+ */
+class ReplayCore
 {
   public:
-    Replayer(const Program &prog, const SphereLogs &logs,
-             const ReplayCostModel &costs = {});
+    /** Raised (and caught by drivers) on any log/execution mismatch. */
+    struct Divergence
+    {
+        std::string msg;
+    };
 
-    /** Run the replay to completion (or first divergence). */
-    ReplayResult run();
+    ReplayCore(const Program &prog, const SphereLogs &logs,
+               const ReplayCostModel &costs);
+
+    /**
+     * Replay one chunk. With a non-null @p trace, records the chunk's
+     * shared-memory access sets and modeled cost into it (analysis
+     * mode; sequential drivers only).
+     */
+    void replayChunk(const ChunkRecord &rec, ChunkTrace *trace = nullptr);
+
+    /**
+     * End-of-replay checks (leftover records, non-exited threads) and
+     * digest computation. Returns the completed result (ok = true);
+     * throws Divergence if any log residue remains.
+     */
+    ReplayResult finish();
+
+    /** Sum the per-thread counters into @p r (used on divergence). */
+    void collectCounters(ReplayResult &r) const;
 
   private:
     struct RThread
@@ -77,7 +134,6 @@ class Replayer
         bool started = false;
         bool exited = false;
         std::size_t inputCursor = 0;
-        std::uint64_t replayedChunks = 0;
         /** TSO replay store queue (survivors = recorded RSW). */
         std::deque<std::pair<Addr, Word>> storeQueue;
         /** Kernel copies deferred to the next chunk of this thread. */
@@ -91,11 +147,17 @@ class Replayer
         std::vector<std::pair<Addr, Word>> pendingWrites;
         std::vector<std::uint8_t> outputBytes;
         ThreadExitInfo exitInfo;
-    };
 
-    struct Divergence
-    {
-        std::string msg;
+        // Per-thread counters: summed by finish()/collectCounters().
+        // Keeping them thread-local (instead of on a shared result)
+        // lets concurrent workers run without atomics.
+        std::uint64_t replayedChunks = 0;
+        std::uint64_t replayedInstrs = 0;
+        std::uint64_t injectedRecords = 0;
+        Tick modeledCycles = 0;
+
+        /** Active trace sink while this thread replays a chunk. */
+        ChunkTrace *trace = nullptr;
     };
 
     [[noreturn]] void diverge(const char *fmt, ...)
@@ -106,18 +168,39 @@ class Replayer
     void startThread(Tid tid, RThread &t);
     void maybeInjectSignal(Tid tid, RThread &t);
     void applyPending(RThread &t);
-    void replayChunk(const ChunkRecord &rec);
     void execInstr(Tid tid, RThread &t, bool is_last, std::uint32_t idx,
                    const ChunkRecord &rec);
     Word loadWord(RThread &t, Addr addr);
     void handleSyscall(Tid tid, RThread &t, bool is_last);
+
+    /** Shared-memory access points; route through these so analysis
+     *  replays can observe every globally visible read and write. */
+    Word memRead(RThread &t, Addr addr);
+    void memWrite(RThread &t, Addr addr, Word value);
+
+    /** Drain the store queue down to @p keep entries. */
+    void drainStores(RThread &t, std::size_t keep = 0);
 
     const Program &prog;
     const SphereLogs &logs;
     ReplayCostModel costs;
     Memory mem;
     std::map<Tid, RThread> threads;
-    ReplayResult result;
+};
+
+/** Replays one recorded sphere sequentially (the oracle). */
+class Replayer
+{
+  public:
+    Replayer(const Program &prog, const SphereLogs &logs,
+             const ReplayCostModel &costs = {});
+
+    /** Run the replay to completion (or first divergence). */
+    ReplayResult run();
+
+  private:
+    const SphereLogs &logs;
+    ReplayCore core;
 };
 
 } // namespace qr

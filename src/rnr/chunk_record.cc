@@ -71,13 +71,15 @@ getVarint(const std::vector<std::uint8_t> &in, std::size_t &pos)
     std::uint64_t v = 0;
     int shift = 0;
     for (;;) {
-        qr_assert(pos < in.size(), "varint runs past end of log");
+        if (pos >= in.size())
+            parseFail("varint runs past end of log");
         std::uint8_t b = in[pos++];
         v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
         if (!(b & 0x80))
             return v;
         shift += 7;
-        qr_assert(shift < 64, "varint too long");
+        if (shift >= 64)
+            parseFail("varint too long");
     }
 }
 
@@ -100,12 +102,13 @@ ChunkRecord
 unpackCompact(const std::vector<std::uint8_t> &in, std::size_t &pos,
               Timestamp prev_ts, Tid tid)
 {
-    qr_assert(pos < in.size(), "compact record runs past end of log");
+    if (pos >= in.size())
+        parseFail("compact record runs past end of log");
     std::uint8_t hdr = in[pos++];
     ChunkRecord rec;
     rec.reason = static_cast<ChunkReason>(hdr & 0x0f);
-    qr_assert(static_cast<int>(rec.reason) < numChunkReasons,
-              "corrupt compact chunk record");
+    if (static_cast<int>(rec.reason) >= numChunkReasons)
+        parseFail("corrupt compact chunk record");
     rec.size = static_cast<std::uint32_t>(getVarint(in, pos));
     rec.ts = prev_ts + getVarint(in, pos);
     rec.rsw = (hdr & 0x10)

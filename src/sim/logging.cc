@@ -30,6 +30,16 @@ csprintf(const char *fmt, ...)
 }
 
 void
+parseFail(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vcsprintf(fmt, ap);
+    va_end(ap);
+    throw ParseError(s);
+}
+
+void
 panic(const char *fmt, ...)
 {
     std::va_list ap;

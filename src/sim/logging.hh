@@ -10,10 +10,27 @@
 #define QR_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace qr
 {
+
+/**
+ * Malformed external input (truncated/corrupted log files and
+ * containers). Unlike panic() -- which is reserved for simulator bugs
+ * and aborts -- a ParseError is recoverable: loaders catch it and
+ * report the bad file to the caller.
+ */
+class ParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Throw a ParseError with a printf-style message. */
+[[noreturn]] void parseFail(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 /** printf-style formatting into a std::string. */
 std::string csprintf(const char *fmt, ...)

@@ -13,6 +13,8 @@
 #include "capo/log_store.hh"
 #include "capo/sphere.hh"
 #include "core/session.hh"
+#include "rnr/chunk_record.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "workloads/micro.hh"
 
@@ -122,8 +124,9 @@ TEST(SphereLogs, FileSaveLoadRoundTrips)
     std::string path = "/tmp/qr_test_sphere.qrs";
     std::uint64_t n = saveSphere(rec.logs, path);
     EXPECT_GT(n, 0u);
-    SphereLogs back = loadSphere(path);
-    EXPECT_EQ(back, rec.logs);
+    SphereLoadResult back = loadSphere(path);
+    ASSERT_TRUE(back) << back.error;
+    EXPECT_EQ(back.logs, rec.logs);
     std::remove(path.c_str());
 }
 
@@ -140,10 +143,107 @@ TEST(SphereLogs, MeasureMatchesSerializedContent)
     EXPECT_GE(rec.logs.serialize().size(), sizes.total());
 }
 
-TEST(SphereLogsDeath, CorruptMagicIsRejected)
+TEST(SphereLogsCorruption, CorruptMagicIsRejected)
 {
     std::vector<std::uint8_t> junk = {'X', 'X', 'X', 'X', 0};
-    EXPECT_DEATH(SphereLogs::deserialize(junk), "magic");
+    EXPECT_THROW(SphereLogs::deserialize(junk), ParseError);
+}
+
+TEST(SphereLogsCorruption, EveryTruncationIsRecoverable)
+{
+    // Deserializing any strict prefix of a valid sphere must throw a
+    // recoverable ParseError -- never crash, never return garbage that
+    // compares equal to the original.
+    Workload w = makeNondetMix(2, 30);
+    RecordResult rec = recordProgram(w.program);
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    ASSERT_GT(bytes.size(), 16u);
+    // Every short prefix, then a spread of longer ones.
+    for (std::size_t len = 0; len < bytes.size();
+         len += (len < 64 ? 1 : 97)) {
+        std::vector<std::uint8_t> cut(bytes.begin(),
+                                      bytes.begin() + len);
+        EXPECT_THROW(SphereLogs::deserialize(cut), ParseError)
+            << "prefix length " << len;
+    }
+    // Trailing garbage is rejected too.
+    std::vector<std::uint8_t> padded = bytes;
+    padded.push_back(0xab);
+    EXPECT_THROW(SphereLogs::deserialize(padded), ParseError);
+}
+
+TEST(SphereLogsCorruption, BitFlipsNeverCrash)
+{
+    // A single flipped bit either still parses (flip hit payload data)
+    // or throws ParseError; it must never abort or throw anything
+    // else. Every surviving parse must differ from or equal the
+    // original without tripping internal asserts.
+    Workload w = makeRacyCounter(2, 60, false);
+    RecordResult rec = recordProgram(w.program);
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    Rng rng(4242);
+    for (int trial = 0; trial < 400; ++trial) {
+        std::vector<std::uint8_t> mut = bytes;
+        std::size_t byte = rng.below(mut.size());
+        mut[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        try {
+            SphereLogs parsed = SphereLogs::deserialize(mut);
+            (void)parsed.totalChunks(); // must be safely usable
+        } catch (const ParseError &) {
+            // Recoverable rejection is the other acceptable outcome.
+        }
+    }
+}
+
+TEST(SphereLogsCorruption, LoadSphereReportsBadFiles)
+{
+    Workload w = makeRacyCounter(2, 50, false);
+    RecordResult rec = recordProgram(w.program);
+    std::string path = "/tmp/qr_test_corrupt.qrs";
+
+    // Missing file.
+    std::remove(path.c_str());
+    SphereLoadResult missing = loadSphere(path);
+    EXPECT_FALSE(missing);
+    EXPECT_FALSE(missing.error.empty());
+
+    // Zero-length file.
+    { std::FILE *f = std::fopen(path.c_str(), "wb"); std::fclose(f); }
+    SphereLoadResult empty = loadSphere(path);
+    EXPECT_FALSE(empty);
+    EXPECT_FALSE(empty.error.empty());
+
+    // Truncated file: drop the tail half.
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+        std::fclose(f);
+    }
+    SphereLoadResult cut = loadSphere(path);
+    EXPECT_FALSE(cut);
+    EXPECT_FALSE(cut.error.empty());
+
+    // A record count far beyond the file size must be refused before
+    // any allocation is attempted.
+    std::vector<std::uint8_t> lying = {'Q', 'R', 'S', '1'};
+    putVarint(lying, 1);          // sphereId
+    putVarint(lying, 1 << 20);    // memBytes
+    putVarint(lying, 1 << 19);    // userTop
+    putVarint(lying, 1);          // one thread
+    putVarint(lying, 0);          // tid
+    putVarint(lying, 1u << 30);   // input records: impossible
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fwrite(lying.data(), 1, lying.size(), f);
+        std::fclose(f);
+    }
+    SphereLoadResult huge = loadSphere(path);
+    EXPECT_FALSE(huge);
+    EXPECT_NE(huge.error.find("count"), std::string::npos)
+        << huge.error;
+
+    std::remove(path.c_str());
 }
 
 TEST(Rsm, OverheadAttributionCoversActiveCategories)

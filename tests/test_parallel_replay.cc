@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Differential tests of the parallel chunk-graph replayer against the
+ * sequential oracle: for randomized racy micro workloads, every job
+ * count must produce bit-identical digests, identical injected-record
+ * counts, and identical divergence behavior (a corrupt log must be
+ * reported by both engines, never silently dropped by the parallel
+ * one).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+#include "guest/runtime.hh"
+#include "replay/chunk_graph.hh"
+#include "sim/rng.hh"
+#include "workloads/micro.hh"
+
+namespace qr
+{
+namespace
+{
+
+/** Generate a random racy multithreaded program (loads, stores,
+ *  atomics, lock sections, nondet instructions, syscalls). */
+Program
+randomRacyProgram(std::uint64_t seed, int threads, int ops)
+{
+    GuestBuilder g;
+    Rng rng(seed);
+    constexpr std::uint32_t sharedWords = 64; // dense conflicts
+    Addr shared = g.alignedBlock(sharedWords);
+    Addr lock = g.lockAlloc();
+    Addr results =
+        g.alignedBlock(16u * static_cast<std::uint32_t>(threads));
+
+    auto sharedAddr = [&] {
+        return shared + static_cast<Addr>(rng.below(sharedWords)) * 4;
+    };
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        g.sysWrite(results, static_cast<Word>(threads) * 64);
+    });
+
+    g.label(body);
+    g.mv(s0, a0);
+    g.addi(s1, a0, 1);
+    for (int i = 0; i < ops; ++i) {
+        switch (rng.below(10)) {
+          case 0:
+            g.li(t1, rng.next32());
+            g.add(s1, s1, t1);
+            break;
+          case 1: {
+            g.li(t1, sharedAddr());
+            g.lw(t2, t1, 0);
+            g.xor_(s1, s1, t2);
+            break;
+          }
+          case 2: {
+            g.li(t1, sharedAddr());
+            g.sw(s1, t1, 0);
+            break;
+          }
+          case 3: {
+            g.li(t1, sharedAddr());
+            g.fetchadd(t2, t1, s1);
+            g.add(s1, s1, t2);
+            break;
+          }
+          case 4: {
+            g.li(t1, sharedAddr());
+            g.li(t2, rng.next32() & 0xff);
+            g.cas(t2, t1, s1);
+            g.add(s1, s1, t2);
+            break;
+          }
+          case 5:
+            g.fence();
+            break;
+          case 6: {
+            g.li(s3, lock);
+            g.spinLockAcquire(s3, t1, t4);
+            g.li(t1, sharedAddr());
+            g.lw(t2, t1, 0);
+            g.add(t2, t2, s1);
+            g.sw(t2, t1, 0);
+            g.spinLockRelease(s3, t1);
+            break;
+          }
+          case 7: {
+            switch (rng.below(3)) {
+              case 0: g.rdtsc(t2); break;
+              case 1: g.rdrand(t2); break;
+              default: g.cpuid(t2); break;
+            }
+            g.add(s1, s1, t2);
+            break;
+          }
+          case 8: {
+            switch (rng.below(3)) {
+              case 0: g.sys(Sys::Time); break;
+              case 1: g.sys(Sys::Random); break;
+              default: g.sys(Sys::GetTid); break;
+            }
+            g.add(s1, s1, a0);
+            break;
+          }
+          case 9: {
+            g.li(t1, sharedAddr());
+            g.mv(t2, s1);
+            g.swap(t2, t1);
+            g.xor_(s1, s1, t2);
+            break;
+          }
+        }
+    }
+    g.slli(t1, s0, 6);
+    g.li(t2, results);
+    g.add(t2, t2, t1);
+    g.sw(s1, t2, 0);
+    g.ret();
+    return g.finish();
+}
+
+/** Assert the parallel result at @p jobs matches the sequential
+ *  oracle in every observable way. */
+void
+expectIdentical(const ReplayResult &seq, const SphereLogs &logs,
+                const Program &prog, int jobs, const char *what)
+{
+    ParallelReplayResult par = replaySphereParallel(prog, logs, jobs);
+    ASSERT_EQ(par.replay.ok, seq.ok)
+        << what << " jobs=" << jobs << ": " << par.replay.divergence;
+    EXPECT_EQ(par.replay.digests, seq.digests) << what << " jobs=" << jobs;
+    EXPECT_EQ(par.replay.injectedRecords, seq.injectedRecords)
+        << what << " jobs=" << jobs;
+    EXPECT_EQ(par.replay.replayedInstrs, seq.replayedInstrs)
+        << what << " jobs=" << jobs;
+    EXPECT_EQ(par.replay.replayedChunks, seq.replayedChunks)
+        << what << " jobs=" << jobs;
+    EXPECT_EQ(par.replay.modeledCycles, seq.modeledCycles)
+        << what << " jobs=" << jobs;
+    EXPECT_EQ(par.graphNodes, seq.replayedChunks) << what;
+}
+
+class RandomizedDifferential
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomizedDifferential, ParallelMatchesSequentialAcrossJobs)
+{
+    std::uint64_t seed = GetParam();
+    int threads = 2 + static_cast<int>(seed % 3);
+    Program prog =
+        randomRacyProgram(seed * 0x9e3779b9ull + 7, threads, 120);
+
+    MachineConfig mcfg;
+    mcfg.memBytes = 8u << 20;
+    mcfg.numCores = 4;
+    RecordResult rec = recordProgram(prog, mcfg);
+
+    ReplayResult seq = replaySphere(prog, rec.logs);
+    ASSERT_TRUE(seq.ok) << "seed=" << seed << ": " << seq.divergence;
+    ASSERT_TRUE(verifyDigests(rec.metrics.digests, seq.digests).ok);
+
+    for (int jobs : {1, 2, 4, 8})
+        expectIdentical(seq, rec.logs, prog, jobs, "random");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomizedDifferential,
+                         ::testing::Values(11ull, 12ull, 13ull, 14ull,
+                                           15ull, 16ull, 17ull, 18ull));
+
+TEST(ParallelReplay, MicroWorkloadsMatchAcrossJobs)
+{
+    struct Case
+    {
+        const char *name;
+        Workload w;
+    };
+    Case cases[] = {
+        {"counter-racy", makeRacyCounter(4, 400, false)},
+        {"counter-locked", makeRacyCounter(4, 300, true)},
+        {"false-sharing", makeFalseSharing(4, 300)},
+        {"prodcons", makeProdCons(4, 60)},
+        {"nondet-mix", makeNondetMix(2, 80)},
+        {"signal-stress", makeSignalStress(8)},
+    };
+    for (const Case &c : cases) {
+        RecordResult rec = recordProgram(c.w.program);
+        ReplayResult seq = replaySphere(c.w.program, rec.logs);
+        ASSERT_TRUE(seq.ok) << c.name << ": " << seq.divergence;
+        for (int jobs : {1, 2, 4, 8})
+            expectIdentical(seq, rec.logs, c.w.program, jobs, c.name);
+    }
+}
+
+TEST(ParallelReplay, ParallelReplayIsIdempotent)
+{
+    Workload w = makeRacyCounter(4, 500, false);
+    RecordResult rec = recordProgram(w.program);
+    ParallelReplayResult a = replaySphereParallel(w.program, rec.logs, 4);
+    ParallelReplayResult b = replaySphereParallel(w.program, rec.logs, 4);
+    ASSERT_TRUE(a.replay.ok && b.replay.ok);
+    EXPECT_EQ(a.replay.digests, b.replay.digests);
+    EXPECT_EQ(a.speed.modeledParallelCycles,
+              b.speed.modeledParallelCycles);
+}
+
+TEST(ParallelReplay, ModeledSpeedBoundsHold)
+{
+    Workload w = makeFalseSharing(4, 400);
+    RecordResult rec = recordProgram(w.program);
+    ParallelReplayResult par =
+        replaySphereParallel(w.program, rec.logs, 4);
+    ASSERT_TRUE(par.replay.ok) << par.replay.divergence;
+    const ReplaySpeed &s = par.speed;
+    EXPECT_EQ(s.modeledSequentialCycles, par.replay.modeledCycles);
+    EXPECT_LE(s.modeledParallelCycles, s.modeledSequentialCycles);
+    EXPECT_GE(s.modeledParallelCycles, s.criticalPathCycles);
+    EXPECT_GE(s.modeledParallelCycles,
+              s.modeledSequentialCycles / 4);
+    // More workers never model slower.
+    ParallelReplayResult one =
+        replaySphereParallel(w.program, rec.logs, 1);
+    EXPECT_GE(one.speed.modeledParallelCycles,
+              s.modeledParallelCycles);
+    EXPECT_EQ(one.speed.modeledParallelCycles,
+              one.speed.modeledSequentialCycles);
+}
+
+TEST(ParallelReplay, CorruptLogDivergesIdenticallyToSequential)
+{
+    Workload w = makeRacyCounter(4, 300, false);
+    RecordResult rec = recordProgram(w.program);
+
+    // Corrupt an input record: both engines must report a divergence,
+    // with the same message (the graph's analysis pass IS the
+    // sequential replay, so nothing is ever silently dropped).
+    SphereLogs corrupt = rec.logs;
+    bool mutated = false;
+    for (auto &[tid, t] : corrupt.threads) {
+        for (auto &in : t.input)
+            if (in.kind == InputKind::SyscallRet) {
+                in.num += 1;
+                mutated = true;
+                break;
+            }
+        if (mutated)
+            break;
+    }
+    ASSERT_TRUE(mutated);
+
+    ReplayResult seq = replaySphere(w.program, corrupt);
+    ASSERT_FALSE(seq.ok);
+    for (int jobs : {1, 2, 4}) {
+        ParallelReplayResult par =
+            replaySphereParallel(w.program, corrupt, jobs);
+        ASSERT_FALSE(par.replay.ok) << "jobs=" << jobs;
+        EXPECT_EQ(par.replay.divergence, seq.divergence)
+            << "jobs=" << jobs;
+    }
+
+    // An impossible RSW hits the same path.
+    SphereLogs badRsw = rec.logs;
+    for (auto &[tid, t] : badRsw.threads) {
+        if (!t.chunks.empty()) {
+            t.chunks[0].rsw = 60000;
+            break;
+        }
+    }
+    ReplayResult seq2 = replaySphere(w.program, badRsw);
+    ASSERT_FALSE(seq2.ok);
+    ParallelReplayResult par2 =
+        replaySphereParallel(w.program, badRsw, 4);
+    ASSERT_FALSE(par2.replay.ok);
+    EXPECT_EQ(par2.replay.divergence, seq2.divergence);
+}
+
+TEST(ParallelReplay, JobsBeyondChunkCountStillWork)
+{
+    Workload w = makeNondetMix(2, 20);
+    RecordResult rec = recordProgram(w.program);
+    ReplayResult seq = replaySphere(w.program, rec.logs);
+    ASSERT_TRUE(seq.ok);
+    ParallelReplayResult par =
+        replaySphereParallel(w.program, rec.logs, 64);
+    ASSERT_TRUE(par.replay.ok) << par.replay.divergence;
+    EXPECT_EQ(par.replay.digests, seq.digests);
+}
+
+} // namespace
+} // namespace qr

@@ -15,6 +15,7 @@
 
 #include "core/session.hh"
 #include "guest/runtime.hh"
+#include "replay/chunk_graph.hh"
 #include "sim/rng.hh"
 #include "workloads/workload.hh"
 
@@ -197,6 +198,80 @@ INSTANTIATE_TEST_SUITE_P(
                                          6ull, 7ull, 8ull),
                        ::testing::Values(1u, 8u, 32u),
                        ::testing::Values(Tick{1500}, Tick{20000})));
+
+/** True iff two sorted address vectors share an element. */
+bool
+intersects(const std::vector<Addr> &a, const std::vector<Addr> &b)
+{
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j])
+            i++;
+        else if (b[j] < a[i])
+            j++;
+        else
+            return true;
+    }
+    return false;
+}
+
+/**
+ * DAG soundness: over random recorded spheres, the chunk-dependence
+ * graph must be acyclic, must order every conflicting chunk pair
+ * (overlapping access sets with at least one write) by a path, must
+ * order every same-thread pair, and must account for exactly the
+ * sequential modeled replay cost.
+ */
+TEST(ChunkGraphSoundness, ConflictingPairsAreOrderedByAPath)
+{
+    for (std::uint64_t seed = 200; seed < 206; ++seed) {
+        Program prog = randomProgram(seed, 3, 110);
+        MachineConfig mcfg;
+        mcfg.memBytes = 8u << 20;
+        mcfg.numCores = 4;
+        RecordResult rec = recordProgram(prog, mcfg);
+        ReplayResult rep = replaySphere(prog, rec.logs);
+        ASSERT_TRUE(rep.ok) << "seed=" << seed << ": " << rep.divergence;
+
+        ChunkGraph g = buildChunkGraph(prog, rec.logs);
+        ASSERT_TRUE(g.ok) << "seed=" << seed << ": " << g.divergence;
+        ASSERT_EQ(g.nodes.size(), rep.replayedChunks);
+        EXPECT_TRUE(g.isAcyclic()) << "seed=" << seed;
+        EXPECT_EQ(g.totalCycles(), rep.modeledCycles) << "seed=" << seed;
+        EXPECT_LE(g.criticalPathCycles(), g.totalCycles());
+
+        // Edges are forward-only and in-degrees match edge count.
+        std::uint64_t edgeCount = 0, predSum = 0;
+        for (std::uint32_t i = 0; i < g.nodes.size(); ++i) {
+            for (std::uint32_t s : g.nodes[i].succs) {
+                EXPECT_GT(s, i) << "seed=" << seed;
+                EXPECT_LT(s, g.nodes.size());
+                edgeCount++;
+            }
+            predSum += g.nodes[i].preds;
+        }
+        EXPECT_EQ(edgeCount, g.edges) << "seed=" << seed;
+        EXPECT_EQ(predSum, g.edges) << "seed=" << seed;
+
+        ReachMatrix reach(g);
+        for (std::uint32_t i = 0; i < g.nodes.size(); ++i) {
+            for (std::uint32_t j = i + 1; j < g.nodes.size(); ++j) {
+                const ChunkNode &a = g.nodes[i];
+                const ChunkNode &b = g.nodes[j];
+                bool conflict = intersects(a.writes, b.writes) ||
+                                intersects(a.writes, b.reads) ||
+                                intersects(a.reads, b.writes);
+                bool sameThread = a.rec.tid == b.rec.tid;
+                if (conflict || sameThread) {
+                    EXPECT_TRUE(reach.reaches(i, j))
+                        << "seed=" << seed << " unordered chunks " << i
+                        << " (tid " << a.rec.tid << ") and " << j
+                        << " (tid " << b.rec.tid << ")";
+                }
+            }
+        }
+    }
+}
 
 TEST(RandomProgramsLong, ManySeedsDefaultConfig)
 {

@@ -31,6 +31,22 @@ runQrec(const std::string &args)
     return rc;
 }
 
+/** Run qrec and capture combined stdout+stderr. */
+int
+runQrecCapture(const std::string &args, std::string &out)
+{
+    std::string cmd = qrecPath() + " " + args + " 2>&1";
+    out.clear();
+    std::FILE *p = popen(cmd.c_str(), "r");
+    if (!p)
+        return -1;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, p)) > 0)
+        out.append(buf, n);
+    return pclose(p);
+}
+
 bool
 qrecAvailable()
 {
@@ -65,6 +81,77 @@ TEST(QrecCli, RejectsUnknownWorkloadAndBadFile)
     EXPECT_NE(runQrec("run no-such-workload"), 0);
     EXPECT_NE(runQrec("replay -i /tmp/does_not_exist.qrec"), 0);
     EXPECT_NE(runQrec(""), 0);
+}
+
+TEST(QrecCli, ParallelReplayReportsSpeed)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_par_test.qrec";
+    ASSERT_EQ(runQrec(std::string("record counter-racy -t 4 -s 1 -o ") +
+                      file),
+              0);
+    std::string out;
+    ASSERT_EQ(runQrecCapture(std::string("replay -i ") + file +
+                                 " --replay-jobs 4",
+                             out),
+              0)
+        << out;
+    EXPECT_NE(out.find("parallel replay: jobs=4 identical"),
+              std::string::npos) << out;
+    EXPECT_NE(out.find("replay-speed:"), std::string::npos) << out;
+    EXPECT_NE(out.find("jobs=4"), std::string::npos) << out;
+    EXPECT_NE(out.find("modeled-speedup="), std::string::npos) << out;
+    EXPECT_NE(out.find("critical-path="), std::string::npos) << out;
+
+    // The short spelling behaves identically.
+    std::string outShort;
+    ASSERT_EQ(runQrecCapture(std::string("replay -i ") + file + " -j 2",
+                             outShort),
+              0)
+        << outShort;
+    EXPECT_NE(outShort.find("jobs=2"), std::string::npos) << outShort;
+    std::remove(file);
+}
+
+TEST(QrecCli, RejectsBadReplayJobs)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_badjobs_test.qrec";
+    ASSERT_EQ(runQrec(std::string("record counter-racy -t 2 -s 1 -o ") +
+                      file),
+              0);
+    for (const char *bad : {"0", "-3", "garbage", "2x", ""}) {
+        std::string out;
+        int rc = runQrecCapture(std::string("replay -i ") + file +
+                                    " --replay-jobs \"" + bad + "\"",
+                                out);
+        EXPECT_NE(rc, 0) << "--replay-jobs '" << bad
+                         << "' was accepted:\n" << out;
+        EXPECT_NE(out.find("replay-jobs"), std::string::npos) << out;
+    }
+    // A flag with no value at all is rejected, not read out of bounds.
+    EXPECT_NE(runQrec(std::string("replay -i ") + file +
+                      " --replay-jobs"),
+              0);
+    std::remove(file);
+}
+
+TEST(QrecCli, RejectsCorruptContainer)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_corrupt_test.qrec";
+    std::FILE *f = std::fopen(file, "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a qrec container at all";
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+    std::string out;
+    EXPECT_NE(runQrecCapture(std::string("replay -i ") + file, out), 0);
+    EXPECT_NE(out.find("corrupt"), std::string::npos) << out;
+    std::remove(file);
 }
 
 } // namespace

@@ -8,9 +8,12 @@
  *       Execute a workload (optionally under recording) and report.
  *   qrec record <workload> [-t threads] [-s scale] -o <file>
  *       Record a run and persist the sphere (with replay metadata).
- *   qrec replay -i <file>
+ *   qrec replay -i <file> [--replay-jobs N]
  *       Rebuild the workload from the file's metadata, replay the
- *       sphere, and verify the stored digests.
+ *       sphere, and verify the stored digests. With --replay-jobs,
+ *       additionally run the parallel chunk-graph replayer with N
+ *       worker threads, check it against the sequential oracle, and
+ *       report the replay-speed fields.
  *   qrec inspect -i <file>
  *       Summarize a recorded sphere's logs.
  *
@@ -19,6 +22,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -57,7 +61,8 @@ std::string
 getString(const std::vector<std::uint8_t> &in, std::size_t &pos)
 {
     std::uint64_t n = getVarint(in, pos);
-    qr_assert(pos + n <= in.size(), "truncated string in container");
+    if (n > in.size() - pos)
+        parseFail("truncated string in container");
     std::string s(reinterpret_cast<const char *>(in.data()) +
                       static_cast<std::ptrdiff_t>(pos),
                   n);
@@ -109,29 +114,41 @@ loadContainer(const std::string &path)
 
     if (in.size() < 4 || std::memcmp(in.data(), "QRC1", 4) != 0)
         fatal("'%s' is not a qrec container", path.c_str());
-    std::size_t pos = 4;
-    Container c;
-    c.workload = getString(in, pos);
-    c.threads = static_cast<int>(getVarint(in, pos));
-    c.scale = static_cast<int>(getVarint(in, pos));
-    c.digests.memory = getVarint(in, pos);
-    c.digests.output = getVarint(in, pos);
-    std::uint64_t nexits = getVarint(in, pos);
-    for (std::uint64_t i = 0; i < nexits; ++i) {
-        Tid tid = static_cast<Tid>(getVarint(in, pos));
-        ThreadExitInfo info;
-        info.regDigest = getVarint(in, pos);
-        info.instrs = getVarint(in, pos);
-        info.exitCode = static_cast<Word>(getVarint(in, pos));
-        c.digests.exits.emplace(tid, info);
+    // A corrupted container is user input, not a bug: surface every
+    // parse failure as a fatal error message instead of an abort.
+    try {
+        std::size_t pos = 4;
+        Container c;
+        c.workload = getString(in, pos);
+        c.threads = static_cast<int>(getVarint(in, pos));
+        c.scale = static_cast<int>(getVarint(in, pos));
+        c.digests.memory = getVarint(in, pos);
+        c.digests.output = getVarint(in, pos);
+        std::uint64_t nexits = getVarint(in, pos);
+        for (std::uint64_t i = 0; i < nexits; ++i) {
+            Tid tid = static_cast<Tid>(getVarint(in, pos));
+            ThreadExitInfo info;
+            info.regDigest = getVarint(in, pos);
+            info.instrs = getVarint(in, pos);
+            info.exitCode = static_cast<Word>(getVarint(in, pos));
+            c.digests.exits.emplace(tid, info);
+        }
+        std::uint64_t nsphere = getVarint(in, pos);
+        if (nsphere > in.size() - pos)
+            parseFail("container truncated: sphere log needs %llu "
+                      "bytes, %llu remain",
+                      static_cast<unsigned long long>(nsphere),
+                      static_cast<unsigned long long>(in.size() - pos));
+        if (nsphere != in.size() - pos)
+            parseFail("trailing bytes in container");
+        std::vector<std::uint8_t> sphere(in.begin() +
+                                             static_cast<long>(pos),
+                                         in.end());
+        c.logs = SphereLogs::deserialize(sphere);
+        return c;
+    } catch (const ParseError &e) {
+        fatal("'%s' is corrupt: %s", path.c_str(), e.what());
     }
-    std::uint64_t nsphere = getVarint(in, pos);
-    qr_assert(pos + nsphere == in.size(), "trailing bytes in container");
-    std::vector<std::uint8_t> sphere(in.begin() +
-                                         static_cast<long>(pos),
-                                     in.end());
-    c.logs = SphereLogs::deserialize(sphere);
-    return c;
 }
 
 Workload
@@ -178,6 +195,7 @@ struct Args
     std::string file;
     int threads = 4;
     int scale = 1;
+    int replayJobs = 0; //!< 0 = flag not given (sequential only)
     bool record = false;
     bool stats = false;
 };
@@ -206,6 +224,15 @@ parseArgs(int argc, char **argv, int first, bool wants_workload)
         else if (s == "-o" || s == "--out" || s == "-i" ||
                  s == "--in")
             a.file = next();
+        else if (s == "-j" || s == "--replay-jobs") {
+            const char *v = next();
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 4096)
+                fatal("%s expects a positive integer, got '%s'",
+                      s.c_str(), v);
+            a.replayJobs = static_cast<int>(n);
+        }
         else if (s == "--record")
             a.record = true;
         else if (s == "--stats")
@@ -274,6 +301,30 @@ cmdReplay(const Args &a)
                 (unsigned long long)rep.replayedChunks,
                 (unsigned long long)rep.replayedInstrs,
                 (unsigned long long)rep.injectedRecords);
+
+    if (a.replayJobs >= 1) {
+        // Differential parallel replay: the chunk-graph engine must
+        // reproduce the sequential oracle bit for bit.
+        ParallelReplayResult par =
+            replaySphereParallel(w.program, c.logs, a.replayJobs);
+        if (!par.replay.ok) {
+            std::printf("PARALLEL DIVERGED: %s\n",
+                        par.replay.divergence.c_str());
+            return 1;
+        }
+        VerifyReport pv = verifyDigests(rep.digests, par.replay.digests);
+        if (!pv.ok) {
+            std::printf("PARALLEL DIGEST MISMATCH vs sequential:\n%s",
+                        pv.str().c_str());
+            return 1;
+        }
+        std::printf("parallel replay: jobs=%d identical to sequential "
+                    "(%llu chunks, %llu edges in the dependence graph)\n",
+                    a.replayJobs,
+                    (unsigned long long)par.graphNodes,
+                    (unsigned long long)par.graphEdges);
+        std::printf("%s\n", par.speed.summary().c_str());
+    }
     return 0;
 }
 
@@ -332,7 +383,7 @@ usage()
                  "  qrec run <workload> [-t N] [-s S] [--record] "
                  "[--stats]\n"
                  "  qrec record <workload> [-t N] [-s S] -o file.qrec\n"
-                 "  qrec replay -i file.qrec\n"
+                 "  qrec replay -i file.qrec [--replay-jobs N]\n"
                  "  qrec inspect -i file.qrec\n"
                  "  qrec disasm <workload> [-t N] [-s S]\n");
     return 2;

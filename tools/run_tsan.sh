@@ -1,0 +1,25 @@
+#!/bin/sh
+# Race-check the parallel replayer: configure a ThreadSanitizer build,
+# compile, and run the replay-focused tests (the parallel differential
+# suite plus the sequential replay and property suites that drive the
+# same ReplayCore). Any reported race fails the script.
+#
+# Usage: tools/run_tsan.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . -DQR_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$(nproc)" \
+    --target test_parallel_replay test_replay test_property qrec
+
+# halt_on_error makes the first race fail the run instead of just
+# printing; ctest then reports it as a test failure.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+cd "$BUILD"
+ctest --output-on-failure -R 'ParallelReplay|RandomizedDifferential'
+
+echo "tsan: no races detected in the parallel replayer"
