@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_bloom.dir/bench_a1_bloom.cc.o"
+  "CMakeFiles/bench_a1_bloom.dir/bench_a1_bloom.cc.o.d"
+  "bench_a1_bloom"
+  "bench_a1_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

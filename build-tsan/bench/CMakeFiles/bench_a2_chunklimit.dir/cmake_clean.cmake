@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_chunklimit.dir/bench_a2_chunklimit.cc.o"
+  "CMakeFiles/bench_a2_chunklimit.dir/bench_a2_chunklimit.cc.o.d"
+  "bench_a2_chunklimit"
+  "bench_a2_chunklimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_chunklimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

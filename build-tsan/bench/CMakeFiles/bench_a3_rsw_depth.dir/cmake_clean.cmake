@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_rsw_depth.dir/bench_a3_rsw_depth.cc.o"
+  "CMakeFiles/bench_a3_rsw_depth.dir/bench_a3_rsw_depth.cc.o.d"
+  "bench_a3_rsw_depth"
+  "bench_a3_rsw_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_rsw_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

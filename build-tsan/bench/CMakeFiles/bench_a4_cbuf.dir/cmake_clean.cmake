@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_cbuf.dir/bench_a4_cbuf.cc.o"
+  "CMakeFiles/bench_a4_cbuf.dir/bench_a4_cbuf.cc.o.d"
+  "bench_a4_cbuf"
+  "bench_a4_cbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_cbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

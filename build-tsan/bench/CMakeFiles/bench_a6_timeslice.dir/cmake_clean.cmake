@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_timeslice.dir/bench_a6_timeslice.cc.o"
+  "CMakeFiles/bench_a6_timeslice.dir/bench_a6_timeslice.cc.o.d"
+  "bench_a6_timeslice"
+  "bench_a6_timeslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_timeslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_platform.dir/bench_e1_platform.cc.o"
+  "CMakeFiles/bench_e1_platform.dir/bench_e1_platform.cc.o.d"
+  "bench_e1_platform"
+  "bench_e1_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

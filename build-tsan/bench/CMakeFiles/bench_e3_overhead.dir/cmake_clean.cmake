@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_overhead.dir/bench_e3_overhead.cc.o"
+  "CMakeFiles/bench_e3_overhead.dir/bench_e3_overhead.cc.o.d"
+  "bench_e3_overhead"
+  "bench_e3_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_breakdown.dir/bench_e4_breakdown.cc.o"
+  "CMakeFiles/bench_e4_breakdown.dir/bench_e4_breakdown.cc.o.d"
+  "bench_e4_breakdown"
+  "bench_e4_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_lograte.dir/bench_e5_lograte.cc.o"
+  "CMakeFiles/bench_e5_lograte.dir/bench_e5_lograte.cc.o.d"
+  "bench_e5_lograte"
+  "bench_e5_lograte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_lograte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_chunksize.dir/bench_e6_chunksize.cc.o"
+  "CMakeFiles/bench_e6_chunksize.dir/bench_e6_chunksize.cc.o.d"
+  "bench_e6_chunksize"
+  "bench_e6_chunksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_chunksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

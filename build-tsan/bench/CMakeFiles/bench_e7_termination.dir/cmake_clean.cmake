@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_termination.dir/bench_e7_termination.cc.o"
+  "CMakeFiles/bench_e7_termination.dir/bench_e7_termination.cc.o.d"
+  "bench_e7_termination"
+  "bench_e7_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_rsw.dir/bench_e8_rsw.cc.o"
+  "CMakeFiles/bench_e8_rsw.dir/bench_e8_rsw.cc.o.d"
+  "bench_e8_rsw"
+  "bench_e8_rsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_rsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

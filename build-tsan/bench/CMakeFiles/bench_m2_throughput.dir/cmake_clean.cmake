@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m2_throughput.dir/bench_m2_throughput.cc.o"
+  "CMakeFiles/bench_m2_throughput.dir/bench_m2_throughput.cc.o.d"
+  "bench_m2_throughput"
+  "bench_m2_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m2_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/always_on.dir/always_on.cpp.o"
+  "CMakeFiles/always_on.dir/always_on.cpp.o.d"
+  "always_on"
+  "always_on.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/always_on.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

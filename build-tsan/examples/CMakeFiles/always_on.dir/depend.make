@@ -1,0 +1,2 @@
+# Empty dependencies file for always_on.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_race.dir/debug_race.cpp.o"
+  "CMakeFiles/debug_race.dir/debug_race.cpp.o.d"
+  "debug_race"
+  "debug_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_logs.dir/inspect_logs.cpp.o"
+  "CMakeFiles/inspect_logs.dir/inspect_logs.cpp.o.d"
+  "inspect_logs"
+  "inspect_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

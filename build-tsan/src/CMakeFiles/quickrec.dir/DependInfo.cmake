@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capo/cost_model.cc" "src/CMakeFiles/quickrec.dir/capo/cost_model.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/capo/cost_model.cc.o.d"
+  "/root/repo/src/capo/input_log.cc" "src/CMakeFiles/quickrec.dir/capo/input_log.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/capo/input_log.cc.o.d"
+  "/root/repo/src/capo/log_store.cc" "src/CMakeFiles/quickrec.dir/capo/log_store.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/capo/log_store.cc.o.d"
+  "/root/repo/src/capo/rsm.cc" "src/CMakeFiles/quickrec.dir/capo/rsm.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/capo/rsm.cc.o.d"
+  "/root/repo/src/capo/sphere.cc" "src/CMakeFiles/quickrec.dir/capo/sphere.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/capo/sphere.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/quickrec.dir/core/config.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/core/config.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/CMakeFiles/quickrec.dir/core/machine.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/core/machine.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/quickrec.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/quickrec.dir/core/session.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/core/session.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/quickrec.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/store_buffer.cc" "src/CMakeFiles/quickrec.dir/cpu/store_buffer.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/cpu/store_buffer.cc.o.d"
+  "/root/repo/src/guest/runtime.cc" "src/CMakeFiles/quickrec.dir/guest/runtime.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/guest/runtime.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/quickrec.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/disassembler.cc" "src/CMakeFiles/quickrec.dir/isa/disassembler.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/isa/disassembler.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/quickrec.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/quickrec.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/scheduler.cc" "src/CMakeFiles/quickrec.dir/kernel/scheduler.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/kernel/scheduler.cc.o.d"
+  "/root/repo/src/kernel/thread.cc" "src/CMakeFiles/quickrec.dir/kernel/thread.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/kernel/thread.cc.o.d"
+  "/root/repo/src/mem/bus.cc" "src/CMakeFiles/quickrec.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/mem/bus.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/quickrec.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/quickrec.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/mem/memory.cc.o.d"
+  "/root/repo/src/replay/chunk_graph.cc" "src/CMakeFiles/quickrec.dir/replay/chunk_graph.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/chunk_graph.cc.o.d"
+  "/root/repo/src/replay/log_reader.cc" "src/CMakeFiles/quickrec.dir/replay/log_reader.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/log_reader.cc.o.d"
+  "/root/repo/src/replay/parallel_replayer.cc" "src/CMakeFiles/quickrec.dir/replay/parallel_replayer.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/parallel_replayer.cc.o.d"
+  "/root/repo/src/replay/replayer.cc" "src/CMakeFiles/quickrec.dir/replay/replayer.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/replayer.cc.o.d"
+  "/root/repo/src/replay/verifier.cc" "src/CMakeFiles/quickrec.dir/replay/verifier.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/replay/verifier.cc.o.d"
+  "/root/repo/src/rnr/bloom.cc" "src/CMakeFiles/quickrec.dir/rnr/bloom.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/rnr/bloom.cc.o.d"
+  "/root/repo/src/rnr/cbuf.cc" "src/CMakeFiles/quickrec.dir/rnr/cbuf.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/rnr/cbuf.cc.o.d"
+  "/root/repo/src/rnr/chunk_record.cc" "src/CMakeFiles/quickrec.dir/rnr/chunk_record.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/rnr/chunk_record.cc.o.d"
+  "/root/repo/src/rnr/rnr_unit.cc" "src/CMakeFiles/quickrec.dir/rnr/rnr_unit.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/rnr/rnr_unit.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/quickrec.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/quickrec.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/quickrec.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/CMakeFiles/quickrec.dir/sim/table.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/sim/table.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/quickrec.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workloads/barnes.cc" "src/CMakeFiles/quickrec.dir/workloads/barnes.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/barnes.cc.o.d"
+  "/root/repo/src/workloads/extended.cc" "src/CMakeFiles/quickrec.dir/workloads/extended.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/extended.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/CMakeFiles/quickrec.dir/workloads/fft.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/fft.cc.o.d"
+  "/root/repo/src/workloads/fmm.cc" "src/CMakeFiles/quickrec.dir/workloads/fmm.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/fmm.cc.o.d"
+  "/root/repo/src/workloads/lu.cc" "src/CMakeFiles/quickrec.dir/workloads/lu.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/lu.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/quickrec.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/ocean.cc" "src/CMakeFiles/quickrec.dir/workloads/ocean.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/ocean.cc.o.d"
+  "/root/repo/src/workloads/radiosity.cc" "src/CMakeFiles/quickrec.dir/workloads/radiosity.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/radiosity.cc.o.d"
+  "/root/repo/src/workloads/radix.cc" "src/CMakeFiles/quickrec.dir/workloads/radix.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/radix.cc.o.d"
+  "/root/repo/src/workloads/raytrace.cc" "src/CMakeFiles/quickrec.dir/workloads/raytrace.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/raytrace.cc.o.d"
+  "/root/repo/src/workloads/water.cc" "src/CMakeFiles/quickrec.dir/workloads/water.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/water.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/quickrec.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/quickrec.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capo.dir/test_capo.cc.o"
+  "CMakeFiles/test_capo.dir/test_capo.cc.o.d"
+  "test_capo"
+  "test_capo.pdb"
+  "test_capo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_facade.dir/test_core_facade.cc.o"
+  "CMakeFiles/test_core_facade.dir/test_core_facade.cc.o.d"
+  "test_core_facade"
+  "test_core_facade.pdb"
+  "test_core_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

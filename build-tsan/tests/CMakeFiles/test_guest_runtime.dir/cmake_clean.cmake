@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest_runtime.dir/test_guest_runtime.cc.o"
+  "CMakeFiles/test_guest_runtime.dir/test_guest_runtime.cc.o.d"
+  "test_guest_runtime"
+  "test_guest_runtime.pdb"
+  "test_guest_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

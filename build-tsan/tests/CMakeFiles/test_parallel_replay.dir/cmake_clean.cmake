@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_replay.dir/test_parallel_replay.cc.o"
+  "CMakeFiles/test_parallel_replay.dir/test_parallel_replay.cc.o.d"
+  "test_parallel_replay"
+  "test_parallel_replay.pdb"
+  "test_parallel_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qrec_cli.dir/test_qrec_cli.cc.o"
+  "CMakeFiles/test_qrec_cli.dir/test_qrec_cli.cc.o.d"
+  "test_qrec_cli"
+  "test_qrec_cli.pdb"
+  "test_qrec_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qrec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

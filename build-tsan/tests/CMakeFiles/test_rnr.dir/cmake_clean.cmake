@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rnr.dir/test_rnr.cc.o"
+  "CMakeFiles/test_rnr.dir/test_rnr.cc.o.d"
+  "test_rnr"
+  "test_rnr.pdb"
+  "test_rnr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_determinism.dir/test_suite_determinism.cc.o"
+  "CMakeFiles/test_suite_determinism.dir/test_suite_determinism.cc.o.d"
+  "test_suite_determinism"
+  "test_suite_determinism.pdb"
+  "test_suite_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

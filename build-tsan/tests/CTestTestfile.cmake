@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_isa[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mem[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_rnr[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_capo[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_replay[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_config[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core_facade[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_property[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parallel_replay[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_guest_runtime[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_suite_determinism[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_qrec_cli[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrec.dir/qrec.cc.o"
+  "CMakeFiles/qrec.dir/qrec.cc.o.d"
+  "qrec"
+  "qrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qrec.
+# This may be replaced when dependencies are built.
