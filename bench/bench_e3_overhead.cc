@@ -17,6 +17,7 @@ main()
 {
     benchHeader("E3", "recording overhead: baseline vs HW-only vs full "
                       "stack (paper: HW ~0%, full ~13% avg)");
+    BenchJson json("E3");
     Table t({"benchmark", "base cycles", "hw-only", "full rec",
              "hw ovh%", "full ovh%"});
     std::vector<double> hwRatios, fullRatios;
@@ -40,11 +41,19 @@ main()
                              static_cast<double>(base.cycles));
         t.row().cell(w.name).cell(base.cycles).cell(hw.metrics.cycles)
             .cell(full.metrics.cycles).cellPct(hwOvh).cellPct(fullOvh);
+        json.add(w.name, "hw_overhead_pct", hwOvh);
+        json.add(w.name, "full_overhead_pct", fullOvh);
     });
-    t.row().cell("geomean").cell("").cell("").cell("")
-        .cellPct((geomean(hwRatios) - 1.0) * 100.0)
-        .cellPct((geomean(fullRatios) - 1.0) * 100.0);
+    if (!hwRatios.empty()) {
+        double gHw = (geomean(hwRatios) - 1.0) * 100.0;
+        double gFull = (geomean(fullRatios) - 1.0) * 100.0;
+        t.row().cell("geomean").cell("").cell("").cell("")
+            .cellPct(gHw).cellPct(gFull);
+        json.add("geomean", "hw_overhead_pct", gHw);
+        json.add("geomean", "full_overhead_pct", gFull);
+    }
     t.print();
+    benchJsonEmit(json);
     std::printf("\nShape check vs paper: hw-only overhead should be "
                 "near zero;\nfull-stack overhead should average in the "
                 "~10-15%% band with\nkernel-interaction-heavy workloads "

@@ -4,49 +4,64 @@
  * whole stack (baseline simulation, recording, replay) per suite
  * workload, in simulated instructions per host second. Complements
  * M1's component microbenchmarks.
+ *
+ * Each phase is timed with benchMips(), which repeats the run until a
+ * minimum of host time has accumulated (QR_BENCH_MIN_SECS): individual
+ * runs are tens of milliseconds, far too short for a single sample to
+ * be trustworthy. Emits BENCH_M2.json with per-workload and geomean
+ * simulate/record/replay MIPS (the record_mips geomean is the
+ * record-path perf trajectory metric tracked in BENCH_RECORD.json).
  */
 
-#include <chrono>
+#include <vector>
 
 #include "common.hh"
 
 using namespace qr;
-
-namespace
-{
-
-double
-mips(std::uint64_t instrs, std::chrono::steady_clock::duration d)
-{
-    double secs = std::chrono::duration<double>(d).count();
-    return secs > 0 ? static_cast<double>(instrs) / secs / 1e6 : 0.0;
-}
-
-} // namespace
 
 int
 main()
 {
     benchHeader("M2", "host throughput: simulate / record / replay "
                       "(simulated M-instr per host second)");
-    using clock = std::chrono::steady_clock;
+    BenchJson json("M2");
     Table t({"benchmark", "instrs", "simulate MIPS", "record MIPS",
              "replay MIPS"});
+    std::vector<double> sim, rec, rep;
     forEachWorkload([&](const Workload &w) {
-        Workload base_w = makeByName(w.name, benchThreads, benchScale);
-        auto t0 = clock::now();
-        RunMetrics base = runBaseline(base_w.program, benchMachine());
-        auto t1 = clock::now();
-        RecordResult rec = recordProgram(w.program, benchMachine(),
-                                         benchRecorder());
-        auto t2 = clock::now();
-        ReplayResult rep = replaySphere(w.program, rec.logs);
-        auto t3 = clock::now();
-        t.row().cell(w.name).cell(base.instrs)
-            .cell(mips(base.instrs, t1 - t0), 1)
-            .cell(mips(rec.metrics.instrs, t2 - t1), 1)
-            .cell(mips(rep.replayedInstrs, t3 - t2), 1);
+        int scale = benchScaleEff();
+        double simMips = benchMips([&] {
+            Workload base_w = makeByName(w.name, benchThreads, scale);
+            return runBaseline(base_w.program, benchMachine()).instrs;
+        });
+        RecordResult recorded; // last recording feeds the replay phase
+        double recMips = benchMips([&] {
+            recorded = recordProgram(w.program, benchMachine(),
+                                     benchRecorder());
+            return recorded.metrics.instrs;
+        });
+        double repMips = benchMips([&] {
+            return replaySphere(w.program, recorded.logs).replayedInstrs;
+        });
+        sim.push_back(simMips);
+        rec.push_back(recMips);
+        rep.push_back(repMips);
+        json.add(w.name, "simulate_mips", simMips);
+        json.add(w.name, "record_mips", recMips);
+        json.add(w.name, "replay_mips", repMips);
+        t.row().cell(w.name).cell(recorded.metrics.instrs)
+            .cell(simMips, 1).cell(recMips, 1).cell(repMips, 1);
     });
+    if (!rec.empty()) {
+        double gSim = geomean(sim), gRec = geomean(rec),
+               gRep = geomean(rep);
+        t.row().cell("geomean").cell("").cell(gSim, 1).cell(gRec, 1)
+            .cell(gRep, 1);
+        json.add("geomean", "simulate_mips", gSim);
+        json.add("geomean", "record_mips", gRec);
+        json.add("geomean", "replay_mips", gRep);
+    }
     t.print();
+    benchJsonEmit(json);
     return 0;
 }

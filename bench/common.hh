@@ -7,15 +7,28 @@
  * so numbers are comparable across experiments. Per the paper, the
  * QuickIA prototype clocks at 60 MHz; byte/s rates are reported at
  * that frequency.
+ *
+ * Environment overrides (the perf harness and the CTest smoke entry
+ * drive these; unset means full-suite defaults):
+ *
+ *   QR_BENCH_SCALE      problem-size multiplier (default 4)
+ *   QR_BENCH_WORKLOADS  comma-separated workload-name filter
+ *   QR_BENCH_MIN_SECS   min measured host seconds per timing sample
+ *   QR_BENCH_JSON_DIR   where BenchJson::write() puts BENCH_<id>.json
  */
 
 #ifndef QR_BENCH_COMMON_HH
 #define QR_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <string>
 
 #include "core/session.hh"
+#include "sim/bench_json.hh"
+#include "sim/stats.hh"
 #include "sim/table.hh"
 #include "workloads/workload.hh"
 
@@ -30,6 +43,18 @@ constexpr int benchScale = 4;
 
 /** QuickIA core clock, for converting cycles to seconds. */
 constexpr double benchClockHz = 60e6;
+
+/** Effective problem-size multiplier (QR_BENCH_SCALE override). */
+inline int
+benchScaleEff()
+{
+    if (const char *s = std::getenv("QR_BENCH_SCALE")) {
+        int v = std::atoi(s);
+        if (v > 0)
+            return v;
+    }
+    return benchScale;
+}
 
 inline MachineConfig
 benchMachine()
@@ -57,13 +82,65 @@ benchRecorderHwOnly()
     return rcfg;
 }
 
-/** Run @p fn for every suite workload. */
+/** @return true if @p name passes the QR_BENCH_WORKLOADS filter. */
+inline bool
+benchWorkloadSelected(const std::string &name)
+{
+    const char *filter = std::getenv("QR_BENCH_WORKLOADS");
+    if (!filter || !*filter)
+        return true;
+    std::string list(filter);
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (list.compare(pos, comma - pos, name) == 0)
+            return true;
+        pos = comma + 1;
+    }
+    return false;
+}
+
+/** Run @p fn for every selected suite workload. */
 inline void
 forEachWorkload(const std::function<void(const Workload &)> &fn,
-                int scale = benchScale)
+                int scale = 0)
 {
-    for (const auto &spec : splash2Suite())
+    if (scale <= 0)
+        scale = benchScaleEff();
+    for (const auto &spec : splash2Suite()) {
+        if (!benchWorkloadSelected(spec.name))
+            continue;
         fn(spec.make(benchThreads, scale));
+    }
+}
+
+/**
+ * Measure the steady-state rate of @p run (which returns simulated
+ * instructions): repeat until at least QR_BENCH_MIN_SECS (default
+ * 0.25 s) of host time has accumulated so a single short run's timing
+ * noise cannot dominate, then return simulated M-instr per host
+ * second.
+ */
+inline double
+benchMips(const std::function<std::uint64_t()> &run)
+{
+    using clock = std::chrono::steady_clock;
+    double minSecs = 0.25;
+    if (const char *s = std::getenv("QR_BENCH_MIN_SECS")) {
+        double v = std::atof(s);
+        if (v >= 0.0)
+            minSecs = v;
+    }
+    std::uint64_t instrs = 0;
+    double secs = 0.0;
+    do {
+        auto t0 = clock::now();
+        instrs += run();
+        secs += std::chrono::duration<double>(clock::now() - t0).count();
+    } while (secs < minSecs);
+    return secs > 0 ? static_cast<double>(instrs) / secs / 1e6 : 0.0;
 }
 
 /** Print a bench header. */
@@ -72,7 +149,19 @@ benchHeader(const char *id, const char *title)
 {
     std::printf("\n=== %s: %s ===\n", id, title);
     std::printf("platform: 4 cores, 32KB 4-way L1, 64B lines, MESI bus, "
-                "TSO SB depth 8; scale=%d\n\n", benchScale);
+                "TSO SB depth 8; scale=%d\n\n", benchScaleEff());
+}
+
+/** Write @p json as BENCH_<id>.json and report where it went. */
+inline void
+benchJsonEmit(const BenchJson &json)
+{
+    std::string path = json.write();
+    if (path.empty())
+        std::fprintf(stderr, "warning: could not write BENCH_%s.json\n",
+                     json.document().bench.c_str());
+    else
+        std::printf("\nwrote %s\n", path.c_str());
 }
 
 } // namespace qr

@@ -33,7 +33,11 @@ Machine::Machine(const MachineConfig &mcfg_, const RecorderConfig &rcfg_,
                                                *caches.back(),
                                                *rnrUnits.back()));
         bus.attachSnooper(caches.back().get());
-        bus.attachObserver(rnrUnits.back().get());
+        // Observers only matter when the RnR units can ever be enabled;
+        // baseline machines skip the whole observer broadcast this way
+        // (the units' free-running clocks are never consumed either).
+        if (recording)
+            bus.attachObserver(rnrUnits.back().get());
         corePtrs.push_back(cores.back().get());
         cbufPtrs.push_back(cbufs.back().get());
     }
@@ -127,6 +131,7 @@ Machine::collectMetrics(Tick cycles) const
         m.rswValues.merge(rs.rswValues);
         m.rswNonZero += rs.rswNonZero;
         m.falseConflicts += rs.falseConflicts;
+        m.coalescedAccesses += rs.coalescedLoads + rs.coalescedDrains;
     }
     for (const auto &cbuf : cbufs)
         m.cbufBytes += cbuf->stats().bytesWritten;

@@ -97,6 +97,7 @@ struct RunMetrics
     Histogram rswValues;
     std::uint64_t rswNonZero = 0;
     std::uint64_t falseConflicts = 0; //!< with exactShadow only
+    std::uint64_t coalescedAccesses = 0; //!< absorbed by last-line caches
     std::uint64_t cbufBytes = 0;      //!< raw bytes the hardware wrote
     std::uint64_t cbufDrains = 0;
     std::uint64_t cbufForcedDrains = 0;

@@ -13,7 +13,7 @@ Core::Core(CoreId id, const CoreParams &params, const Program &prog_,
     : coreId(id), _params(params), prog(prog_), mem(mem_), cache(cache_),
       rnr(rnr_), sb(params.sbDepth)
 {
-    rnr.setSbOccupancyQuery([this] { return sb.size(); });
+    rnr.setSbSource(this);
 }
 
 void

@@ -77,7 +77,7 @@ struct CoreStats
 };
 
 /** One in-order core. */
-class Core
+class Core : public SbOccupancySource
 {
   public:
     Core(CoreId id, const CoreParams &params, const Program &prog,
@@ -139,6 +139,9 @@ class Core
     Word readAsThread(Addr addr, Tick now);
 
     std::uint32_t sbSize() const { return sb.size(); }
+
+    /** RSW sample for the recording unit (SbOccupancySource). */
+    std::uint32_t sbOccupancy() const override { return sb.size(); }
     CoreId id() const { return coreId; }
     RnrUnit &rnrUnit() { return rnr; }
     const CoreStats &stats() const { return _stats; }

@@ -39,30 +39,45 @@ Bus::transact(const BusTxn &txn, Tick now)
 {
     BusResult res;
 
-    // Queueing under contention.
-    Tick start = std::max(now, busyUntil);
-    res.latency = start - now;
-    _stats.queueCycles += res.latency;
+    // Queueing under contention. The stat update only touches memory
+    // when a transaction actually queued.
+    Tick start = now;
+    if (busyUntil > now) {
+        start = busyUntil;
+        res.latency = start - now;
+        _stats.queueCycles += res.latency;
+    }
     busyUntil = start + _params.occupancy;
     res.latency += _params.occupancy;
     _stats.txns[static_cast<int>(txn.op)]++;
 
-    // Snoop every other cache.
-    for (SnoopClient *c : snoopers) {
-        if (c->snoopId() == txn.requester)
-            continue;
-        SnoopReply r = c->snoop(txn);
-        res.sharedInOthers |= r.hadLine;
-        res.dirtyInOthers |= r.hadDirty;
+    // Broadcast loops are skipped outright when no *remote* agent can
+    // respond: with zero agents, or a single agent that is the
+    // requester itself, the loop body would never run. Baseline
+    // (non-recording) machines attach no observers at all, so the
+    // observer broadcast disappears from the simulate path entirely.
+    const std::size_t ns = snoopers.size();
+    if (ns > 1 || (ns == 1 && snoopers[0]->snoopId() != txn.requester)) {
+        // Snoop every other cache.
+        for (SnoopClient *c : snoopers) {
+            if (c->snoopId() == txn.requester)
+                continue;
+            SnoopReply r = c->snoop(txn);
+            res.sharedInOthers |= r.hadLine;
+            res.dirtyInOthers |= r.hadDirty;
+        }
     }
 
-    // Notify every other observer; collect their clocks for the
-    // requester-side Lamport merge.
-    for (BusObserver *o : observers) {
-        if (o->observerId() == txn.requester)
-            continue;
-        res.maxObserverTs = std::max(res.maxObserverTs,
-                                     o->observeRemote(txn, now));
+    const std::size_t no = observers.size();
+    if (no > 1 || (no == 1 && observers[0]->observerId() != txn.requester)) {
+        // Notify every other observer; collect their clocks for the
+        // requester-side Lamport merge.
+        for (BusObserver *o : observers) {
+            if (o->observerId() == txn.requester)
+                continue;
+            res.maxObserverTs = std::max(res.maxObserverTs,
+                                         o->observeRemote(txn, now));
+        }
     }
 
     // Data return latency for fills.

@@ -129,7 +129,13 @@ class Bus
     /** Attach an RnR observer. */
     void attachObserver(BusObserver *observer);
 
-    /** Broadcast a transaction; snoop caches; notify observers. */
+    /**
+     * Broadcast a transaction; snoop caches; notify observers. Either
+     * broadcast loop is skipped when no remote agent is attached (zero
+     * agents, or only the requester itself) -- in particular, machines
+     * with recording disabled attach no observers, removing the
+     * observer dispatch from the baseline simulate path.
+     */
     BusResult transact(const BusTxn &txn, Tick now);
 
     /**

@@ -1,69 +1,19 @@
 #include "rnr/bloom.hh"
 
-#include <bit>
-
 #include "sim/logging.hh"
-#include "sim/rng.hh"
 
 namespace qr
 {
 
-BloomFilter::BloomFilter(const BloomParams &params_)
-    : params(params_), mask(params_.bits - 1),
-      bits((params_.bits + 63) / 64, 0)
+BloomFilter::BloomFilter(const BloomParams &params)
+    : mask(params.bits - 1), nHashes(params.hashes),
+      words((params.bits + 63) / 64, 0)
 {
     qr_assert(params.bits >= 64 && (params.bits & (params.bits - 1)) == 0,
               "bloom filter bits must be a power of two >= 64");
     qr_assert(params.hashes >= 1 && params.hashes <= 8,
               "bloom filter needs 1..8 hash functions");
-}
-
-std::uint64_t
-BloomFilter::hash(Addr line_addr, int fn) const
-{
-    // Derive independent hash functions by mixing with the function
-    // index; hardware would use distinct XOR-fold networks.
-    return mix64((static_cast<std::uint64_t>(fn) << 32) ^ line_addr);
-}
-
-void
-BloomFilter::insert(Addr line_addr)
-{
-    for (int f = 0; f < params.hashes; ++f) {
-        std::uint32_t b = static_cast<std::uint32_t>(hash(line_addr, f)) &
-                          mask;
-        bits[b / 64] |= 1ull << (b % 64);
-    }
-    inserts++;
-}
-
-bool
-BloomFilter::test(Addr line_addr) const
-{
-    for (int f = 0; f < params.hashes; ++f) {
-        std::uint32_t b = static_cast<std::uint32_t>(hash(line_addr, f)) &
-                          mask;
-        if (!(bits[b / 64] & (1ull << (b % 64))))
-            return false;
-    }
-    return true;
-}
-
-void
-BloomFilter::clear()
-{
-    for (auto &w : bits)
-        w = 0;
-    inserts = 0;
-}
-
-std::uint32_t
-BloomFilter::popcount() const
-{
-    std::uint32_t n = 0;
-    for (auto w : bits)
-        n += static_cast<std::uint32_t>(std::popcount(w));
-    return n;
+    dirty.reserve(words.size());
 }
 
 } // namespace qr

@@ -7,14 +7,34 @@
  * terminations, inflating the log slightly) but never false negatives
  * (which would lose a dependence and break replay). Filters are
  * flash-cleared at every chunk boundary.
+ *
+ * Hot-path engineering (see src/rnr/README.md): insert() and test()
+ * sit on the per-retired-access record path, and clear() runs at every
+ * chunk boundary, so all three are engineered like the tiny hardware
+ * state machine they model rather than a generic container:
+ *
+ *  - All k probe indices derive from a *single* mix64() call by double
+ *    hashing (Kirsch-Mitzenmacher): index_f = h1 + f*h2 with h2 forced
+ *    odd so every probe stride is coprime with the power-of-two filter
+ *    size and the k probes never collapse onto one slot.
+ *  - insert()/test() are inline in this header; the per-access cost is
+ *    one multiply-shift mix and k masked word probes.
+ *  - clear() is O(words actually touched): insert() appends each word
+ *    index to a dirty list the first time it makes the word nonzero
+ *    (bits are only ever set between clears, so "word != 0" is exactly
+ *    "word is on the dirty list"). Chunks are short and filters are
+ *    1024+ bits, so clearing only the handful of touched words beats
+ *    the old O(bits/64) flash loop by a wide margin.
  */
 
 #ifndef QR_RNR_BLOOM_HH
 #define QR_RNR_BLOOM_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "sim/rng.hh"
 #include "sim/types.hh"
 
 namespace qr
@@ -34,26 +54,77 @@ class BloomFilter
     explicit BloomFilter(const BloomParams &params);
 
     /** Insert a line address. */
-    void insert(Addr line_addr);
+    void
+    insert(Addr line_addr)
+    {
+        std::uint64_t h = mix64(line_addr);
+        std::uint32_t h1 = static_cast<std::uint32_t>(h);
+        // Odd stride: coprime with the power-of-two filter size, so
+        // the k probes land on k distinct slots.
+        std::uint32_t h2 = static_cast<std::uint32_t>(h >> 32) | 1u;
+        for (int f = 0; f < nHashes; ++f) {
+            std::uint32_t b = h1 & mask;
+            std::uint64_t &w = words[b >> 6];
+            if (!w)
+                dirty.push_back(b >> 6);
+            w |= 1ull << (b & 63);
+            h1 += h2;
+        }
+        inserts++;
+    }
 
     /** Membership test (may report false positives). */
-    bool test(Addr line_addr) const;
+    bool
+    test(Addr line_addr) const
+    {
+        std::uint64_t h = mix64(line_addr);
+        std::uint32_t h1 = static_cast<std::uint32_t>(h);
+        std::uint32_t h2 = static_cast<std::uint32_t>(h >> 32) | 1u;
+        for (int f = 0; f < nHashes; ++f) {
+            std::uint32_t b = h1 & mask;
+            if (!(words[b >> 6] & (1ull << (b & 63))))
+                return false;
+            h1 += h2;
+        }
+        return true;
+    }
 
-    /** Flash-clear the filter. */
-    void clear();
+    /**
+     * Count an insertion that was coalesced away because the line is
+     * already known to be present (the unit's last-line cache hit).
+     * Keeps fill() -- and therefore the filterMaxFill safety valve --
+     * bit-identical to the uncoalesced path without touching the bits.
+     */
+    void countDuplicate() { inserts++; }
+
+    /** Flash-clear the filter: O(words actually set). */
+    void
+    clear()
+    {
+        for (std::uint32_t wi : dirty)
+            words[wi] = 0;
+        dirty.clear();
+        inserts = 0;
+    }
 
     /** Number of insert() calls since the last clear(). */
     std::uint32_t fill() const { return inserts; }
 
     /** Number of distinct set bits (hardware population count). */
-    std::uint32_t popcount() const;
+    std::uint32_t
+    popcount() const
+    {
+        std::uint32_t n = 0;
+        for (std::uint32_t wi : dirty)
+            n += static_cast<std::uint32_t>(std::popcount(words[wi]));
+        return n;
+    }
 
   private:
-    std::uint64_t hash(Addr line_addr, int fn) const;
-
-    BloomParams params;
     std::uint32_t mask;
-    std::vector<std::uint64_t> bits;
+    int nHashes;
+    std::vector<std::uint64_t> words;
+    std::vector<std::uint32_t> dirty; //!< indices of nonzero words
     std::uint32_t inserts = 0;
 };
 

@@ -9,8 +9,9 @@ namespace qr
 {
 
 RnrUnit::RnrUnit(CoreId core_id, const RnrParams &params_, Cbuf &cbuf_)
-    : coreId(core_id), params(params_), cbuf(cbuf_), rset(params_.bloom),
-      wset(params_.bloom)
+    : coreId(core_id), params(params_),
+      lineMask(~static_cast<Addr>(params_.lineBytes - 1)), cbuf(cbuf_),
+      rset(params_.bloom), wset(params_.bloom)
 {
     qr_assert((params.lineBytes & (params.lineBytes - 1)) == 0,
               "line size must be a power of two");
@@ -49,7 +50,9 @@ RnrUnit::clearChunkState()
     wset.clear();
     chunkSize = 0;
     filterActivity = false;
-    if (params.exactShadow) {
+    lastReadLine = noLine;
+    lastWriteLine = noLine;
+    if (params.exactShadow) [[unlikely]] {
         shadowReads.clear();
         shadowWrites.clear();
     }
@@ -61,7 +64,7 @@ RnrUnit::terminate(ChunkReason reason, Tick now)
     if (!_enabled)
         return;
 
-    std::uint32_t rsw = sbOccupancy ? sbOccupancy() : 0;
+    std::uint32_t rsw = sbSource ? sbSource->sbOccupancy() : 0;
     if (chunkSize == 0 && rsw == 0 && !filterActivity) {
         // Nothing observable happened since the last boundary; suppress
         // the record (see README: suppressing is only sound when the
@@ -79,10 +82,12 @@ RnrUnit::terminate(ChunkReason reason, Tick now)
     rec.tid = tid;
     _clock++; // per-core timestamps are strictly increasing
 
-    tracef(TraceFlag::Chunk,
-           "core %d tid %d: chunk ts=%llu size=%u rsw=%u (%s)", coreId,
-           tid, static_cast<unsigned long long>(rec.ts), rec.size,
-           rec.rsw, chunkReasonName(reason));
+    if (traceEnabled(TraceFlag::Chunk)) [[unlikely]] {
+        tracef(TraceFlag::Chunk,
+               "core %d tid %d: chunk ts=%llu size=%u rsw=%u (%s)", coreId,
+               tid, static_cast<unsigned long long>(rec.ts), rec.size,
+               rec.rsw, chunkReasonName(reason));
+    }
 
     Cbuf::Signal sig = cbuf.append(rec, now);
 
@@ -103,44 +108,6 @@ RnrUnit::terminate(ChunkReason reason, Tick now)
         // No software stack attached (unit tests): discard by draining.
         cbuf.drain();
     }
-}
-
-void
-RnrUnit::onRetire(Tick now)
-{
-    if (!_enabled)
-        return;
-    chunkSize++;
-    if (chunkSize >= params.maxChunkInstrs)
-        terminate(ChunkReason::SizeOverflow, now);
-}
-
-void
-RnrUnit::onLoad(Addr addr, Tick now)
-{
-    if (!_enabled)
-        return;
-    _stats.loadsObserved++;
-    rset.insert(lineOf(addr));
-    filterActivity = true;
-    if (params.exactShadow)
-        shadowReads.insert(lineOf(addr));
-    if (params.filterMaxFill && rset.fill() >= params.filterMaxFill)
-        terminate(ChunkReason::FilterFull, now);
-}
-
-void
-RnrUnit::onStoreDrain(Addr addr, Tick now)
-{
-    if (!_enabled)
-        return;
-    _stats.drainsObserved++;
-    wset.insert(lineOf(addr));
-    filterActivity = true;
-    if (params.exactShadow)
-        shadowWrites.insert(lineOf(addr));
-    if (params.filterMaxFill && wset.fill() >= params.filterMaxFill)
-        terminate(ChunkReason::FilterFull, now);
 }
 
 void
@@ -168,7 +135,7 @@ RnrUnit::observeRemote(const BusTxn &txn, Tick now)
                 reason = ChunkReason::ConflictWar;
         }
         if (reason != ChunkReason::NumReasons) {
-            if (params.exactShadow) {
+            if (params.exactShadow) [[unlikely]] {
                 bool exact = txn.op == BusOp::BusRd
                     ? shadowWrites.count(line) > 0
                     : shadowWrites.count(line) > 0 ||

@@ -21,13 +21,23 @@
  * merge on *every* bus transaction, so communication with an address
  * whose filter entry was already flash-cleared still raises the
  * consumer's clock above the producer's logged timestamps.
+ *
+ * Hot-path engineering (see src/rnr/README.md, "Hot-path engineering"):
+ * onRetire/onLoad/onStoreDrain run for every retired instruction and
+ * access, so they are inline and keep per-access work to a line mask,
+ * one compare against the last-line coalescing cache, and (on a miss)
+ * one Bloom insert. Coalescing is log-identical to the naive path:
+ * re-inserting a line already in the set changes no filter bit, and the
+ * skipped insert still counts toward fill() via countDuplicate(), so
+ * conflict detection, FilterFull termination and every logged chunk are
+ * bit-for-bit unchanged (tests/test_record_differential.cc proves this
+ * per suite workload against the coalesce=false reference path).
  */
 
 #ifndef QR_RNR_RNR_UNIT_HH
 #define QR_RNR_RNR_UNIT_HH
 
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
 
 #include "mem/bus.hh"
@@ -57,6 +67,20 @@ class ChunkSink
     virtual void onCbufSignal(CoreId core, bool full, Tick now) = 0;
 };
 
+/**
+ * Provider of the owning core's store-buffer occupancy, sampled at
+ * chunk termination as the RSW. A direct interface pointer keeps the
+ * terminate path free of std::function dispatch overhead.
+ */
+class SbOccupancySource
+{
+  public:
+    virtual ~SbOccupancySource() = default;
+
+    /** Retired-but-not-globally-visible stores right now. */
+    virtual std::uint32_t sbOccupancy() const = 0;
+};
+
 /** Configuration of one recording unit. */
 struct RnrParams
 {
@@ -73,6 +97,12 @@ struct RnrParams
      * as true or false positives (evaluation aid; not hardware).
      */
     bool exactShadow = false;
+    /**
+     * Last-line coalescing caches (hardware line-granularity filter
+     * front-end). Log output is bit-identical either way; false selects
+     * the reference path for differential testing.
+     */
+    bool coalesce = true;
 };
 
 /** Per-unit statistics. */
@@ -88,6 +118,8 @@ struct RnrStats
     std::uint64_t remoteTxnsChecked = 0;
     std::uint64_t falseConflicts = 0; //!< only with exactShadow
     std::uint64_t emptyTerminations = 0; //!< suppressed empty chunks
+    std::uint64_t coalescedLoads = 0;  //!< loads absorbed by the caches
+    std::uint64_t coalescedDrains = 0; //!< drains absorbed by the caches
 };
 
 /** The per-core recording unit. */
@@ -116,18 +148,47 @@ class RnrUnit : public BusObserver
     void setClockFloor(Timestamp floor);
 
     /** Hook the owning core's store-buffer occupancy. */
-    void setSbOccupancyQuery(std::function<std::uint32_t()> q)
-    { sbOccupancy = std::move(q); }
+    void setSbSource(const SbOccupancySource *s) { sbSource = s; }
 
     /** Attach the software stack. */
     void setSink(ChunkSink *s) { sink = s; }
 
     // --- core-side event hooks ------------------------------------------
     /** One user instruction retired. May terminate on size overflow. */
-    void onRetire(Tick now);
+    void
+    onRetire(Tick now)
+    {
+        if (!_enabled)
+            return;
+        if (++chunkSize >= params.maxChunkInstrs)
+            terminate(ChunkReason::SizeOverflow, now);
+    }
 
     /** A load retired to @p addr (any byte address). */
-    void onLoad(Addr addr, Tick now);
+    void
+    onLoad(Addr addr, Tick now)
+    {
+        if (!_enabled)
+            return;
+        _stats.loadsObserved++;
+        Addr line = addr & lineMask;
+        if (params.coalesce && line == lastReadLine) {
+            // Same line as the previous load of this chunk: the filter
+            // bits cannot change; only the insertion count advances.
+            _stats.coalescedLoads++;
+            rset.countDuplicate();
+        } else {
+            lastReadLine = line;
+            rset.insert(line);
+            filterActivity = true;
+            if (params.exactShadow) [[unlikely]]
+                shadowReads.insert(line);
+        }
+        if (params.filterMaxFill) [[unlikely]] {
+            if (rset.fill() >= params.filterMaxFill)
+                terminate(ChunkReason::FilterFull, now);
+        }
+    }
 
     /**
      * A store became globally visible (store-buffer drain, atomic, or
@@ -135,7 +196,28 @@ class RnrUnit : public BusObserver
      * *current* chunk's write set even when the store retired in an
      * earlier chunk -- the CoreRacer rule that makes RSW replayable.
      */
-    void onStoreDrain(Addr addr, Tick now);
+    void
+    onStoreDrain(Addr addr, Tick now)
+    {
+        if (!_enabled)
+            return;
+        _stats.drainsObserved++;
+        Addr line = addr & lineMask;
+        if (params.coalesce && line == lastWriteLine) {
+            _stats.coalescedDrains++;
+            wset.countDuplicate();
+        } else {
+            lastWriteLine = line;
+            wset.insert(line);
+            filterActivity = true;
+            if (params.exactShadow) [[unlikely]]
+                shadowWrites.insert(line);
+        }
+        if (params.filterMaxFill) [[unlikely]] {
+            if (wset.fill() >= params.filterMaxFill)
+                terminate(ChunkReason::FilterFull, now);
+        }
+    }
 
     /** Merge the clock with the response of a bus transaction we issued. */
     void mergeResponse(Timestamp max_observer_ts);
@@ -153,11 +235,18 @@ class RnrUnit : public BusObserver
     const RnrStats &stats() const { return _stats; }
 
   private:
-    Addr lineOf(Addr addr) const { return addr & ~(params.lineBytes - 1); }
+    /** Line address of @p addr. The mask is widened to Addr before the
+     *  complement so the upper address bits survive if Addr outgrows
+     *  the 32-bit lineBytes parameter. */
+    Addr lineOf(Addr addr) const { return addr & lineMask; }
     void clearChunkState();
+
+    /** No line has this value: real lines are 64-byte aligned. */
+    static constexpr Addr noLine = ~static_cast<Addr>(0);
 
     CoreId coreId;
     RnrParams params;
+    Addr lineMask;
     Cbuf &cbuf;
     BloomFilter rset;
     BloomFilter wset;
@@ -165,8 +254,10 @@ class RnrUnit : public BusObserver
     Tid tid = invalidTid;
     std::uint32_t chunkSize = 0;
     bool filterActivity = false;
+    Addr lastReadLine = noLine;  //!< coalescing cache over rset
+    Addr lastWriteLine = noLine; //!< coalescing cache over wset
     Timestamp _clock = 0;
-    std::function<std::uint32_t()> sbOccupancy;
+    const SbOccupancySource *sbSource = nullptr;
     ChunkSink *sink = nullptr;
     std::unordered_set<Addr> shadowReads;
     std::unordered_set<Addr> shadowWrites;

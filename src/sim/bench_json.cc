@@ -1,0 +1,439 @@
+#include "sim/bench_json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+
+namespace qr
+{
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+std::string
+formatNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    // JSON has no inf/nan; degrade to null-ish 0 rather than emit an
+    // unparseable token.
+    if (std::strchr(buf, 'i') || std::strchr(buf, 'n'))
+        return "0";
+    return buf;
+}
+
+// --- minimal JSON reader ----------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+        Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::shared_ptr<JsonArray> arr;
+    std::shared_ptr<JsonObject> obj;
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string &err)
+        : s(text), error(err)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        error = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            pos++;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            return fail("invalid literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.b = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.b = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        pos++; // opening quote
+        out.clear();
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                return fail("unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // Basic-plane code points only; fine for bench ids.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        if (pos >= s.size())
+            return fail("unterminated string");
+        pos++; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            pos++;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            pos++;
+        if (pos == start)
+            return fail("expected a value");
+        out.kind = JsonValue::Kind::Number;
+        char *end = nullptr;
+        std::string tok = s.substr(start, pos - start);
+        out.num = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("malformed number");
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        out.arr = std::make_shared<JsonArray>();
+        pos++; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            pos++;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            skipWs();
+            if (!parseValue(v))
+                return false;
+            out.arr->push_back(std::move(v));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                pos++;
+                continue;
+            }
+            if (s[pos] == ']') {
+                pos++;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        out.obj = std::make_shared<JsonObject>();
+        pos++; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            pos++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'");
+            pos++;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            (*out.obj)[key] = std::move(v);
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                pos++;
+                continue;
+            }
+            if (s[pos] == '}') {
+                pos++;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &s;
+    std::string &error;
+    std::size_t pos = 0;
+};
+
+const JsonValue *
+member(const JsonValue &v, const char *key)
+{
+    if (v.kind != JsonValue::Kind::Object)
+        return nullptr;
+    auto it = v.obj->find(key);
+    return it == v.obj->end() ? nullptr : &it->second;
+}
+
+bool
+memberString(const JsonValue &v, const char *key, std::string &out)
+{
+    const JsonValue *m = member(v, key);
+    if (!m || m->kind != JsonValue::Kind::String)
+        return false;
+    out = m->str;
+    return true;
+}
+
+} // namespace
+
+std::string
+BenchDoc::str() const
+{
+    std::string out = "{\n  \"bench\": ";
+    appendEscaped(out, bench);
+    out += ",\n  \"schema\": " + std::to_string(schema);
+    out += ",\n  \"results\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"bench\": ";
+        appendEscaped(out, r.bench.empty() ? bench : r.bench);
+        out += ", \"workload\": ";
+        appendEscaped(out, r.workload);
+        out += ", \"metric\": ";
+        appendEscaped(out, r.metric);
+        out += ", \"value\": " + formatNumber(r.value) + "}";
+    }
+    out += results.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+BenchJson::BenchJson(std::string bench_id)
+{
+    doc.bench = std::move(bench_id);
+}
+
+void
+BenchJson::add(const std::string &workload, const std::string &metric,
+               double value)
+{
+    doc.results.push_back({doc.bench, workload, metric, value});
+}
+
+std::string
+BenchJson::write() const
+{
+    const char *dir = std::getenv("QR_BENCH_JSON_DIR");
+    std::string path = dir && *dir ? std::string(dir) + "/" : "";
+    path += "BENCH_" + doc.bench + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return "";
+    std::string text = str();
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok ? path : "";
+}
+
+bool
+parseBenchJson(const std::string &text, BenchDoc &out, std::string &err)
+{
+    JsonValue root;
+    JsonParser parser(text, err);
+    if (!parser.parse(root))
+        return false;
+    if (root.kind != JsonValue::Kind::Object) {
+        err = "document is not a JSON object";
+        return false;
+    }
+    if (!memberString(root, "bench", out.bench)) {
+        err = "missing or non-string \"bench\"";
+        return false;
+    }
+    const JsonValue *schema = member(root, "schema");
+    if (!schema || schema->kind != JsonValue::Kind::Number) {
+        err = "missing or non-numeric \"schema\"";
+        return false;
+    }
+    out.schema = static_cast<int>(schema->num);
+    if (out.schema != 1) {
+        err = "unsupported schema version " + std::to_string(out.schema);
+        return false;
+    }
+    const JsonValue *results = member(root, "results");
+    if (!results || results->kind != JsonValue::Kind::Array) {
+        err = "missing or non-array \"results\"";
+        return false;
+    }
+    out.results.clear();
+    for (const JsonValue &row : *results->arr) {
+        BenchResult r;
+        if (!memberString(row, "workload", r.workload) ||
+            !memberString(row, "metric", r.metric)) {
+            err = "result row missing \"workload\" or \"metric\"";
+            return false;
+        }
+        if (!memberString(row, "bench", r.bench))
+            r.bench = out.bench;
+        const JsonValue *value = member(row, "value");
+        if (!value || value->kind != JsonValue::Kind::Number) {
+            err = "result row missing numeric \"value\"";
+            return false;
+        }
+        r.value = value->num;
+        out.results.push_back(std::move(r));
+    }
+    return true;
+}
+
+BenchDoc
+mergeBenchDocs(const std::string &bench_id,
+               const std::vector<BenchDoc> &docs)
+{
+    BenchDoc out;
+    out.bench = bench_id;
+    for (const BenchDoc &d : docs)
+        for (const BenchResult &r : d.results) {
+            BenchResult row = r;
+            if (row.bench.empty())
+                row.bench = d.bench;
+            out.results.push_back(std::move(row));
+        }
+    return out;
+}
+
+} // namespace qr

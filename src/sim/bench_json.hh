@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Machine-readable benchmark output: a tiny writer, parser, and merger
+ * for the BENCH_<id>.json files every bench_* binary can emit next to
+ * its human-readable table.
+ *
+ * Schema (version 1):
+ *
+ *     {
+ *       "bench": "M2",
+ *       "schema": 1,
+ *       "results": [
+ *         {"bench": "M2", "workload": "fft",
+ *          "metric": "record_mips", "value": 41.3},
+ *         ...
+ *       ]
+ *     }
+ *
+ * Every row is one (workload, metric, value) measurement; the per-row
+ * "bench" tag carries the source experiment through merges (a merged
+ * document, e.g. BENCH_RECORD.json, contains rows from several
+ * benches). Aggregate rows use the pseudo-workload "geomean".
+ *
+ * The parser is a deliberately small but complete JSON reader (objects,
+ * arrays, strings with escapes, numbers, booleans, null) so the CTest
+ * smoke entry and tools/bench_json_util can validate emitted files
+ * without external dependencies.
+ */
+
+#ifndef QR_SIM_BENCH_JSON_HH
+#define QR_SIM_BENCH_JSON_HH
+
+#include <string>
+#include <vector>
+
+namespace qr
+{
+
+/** One benchmark measurement. */
+struct BenchResult
+{
+    std::string bench;    //!< source experiment id, e.g. "M2"
+    std::string workload; //!< workload name or "geomean"
+    std::string metric;   //!< e.g. "record_mips"
+    double value = 0.0;
+};
+
+/** A parsed/buildable benchmark document. */
+struct BenchDoc
+{
+    std::string bench;
+    int schema = 1;
+    std::vector<BenchResult> results;
+
+    /** Serialize to pretty-printed JSON text. */
+    std::string str() const;
+};
+
+/** Accumulates results for one bench binary and writes BENCH_<id>.json. */
+class BenchJson
+{
+  public:
+    /** @param bench_id experiment id, e.g. "M2". */
+    explicit BenchJson(std::string bench_id);
+
+    /** Record one measurement. */
+    void add(const std::string &workload, const std::string &metric,
+             double value);
+
+    /** Serialized document. */
+    std::string str() const { return doc.str(); }
+
+    /**
+     * Write BENCH_<id>.json into $QR_BENCH_JSON_DIR (falling back to
+     * the working directory).
+     * @return the path written, or "" on I/O failure.
+     */
+    std::string write() const;
+
+    const BenchDoc &document() const { return doc; }
+
+  private:
+    BenchDoc doc;
+};
+
+/**
+ * Parse @p text as a benchmark JSON document, validating the schema
+ * (required keys, types, schema version 1).
+ * @return true on success; on failure @p err describes the problem.
+ */
+bool parseBenchJson(const std::string &text, BenchDoc &out,
+                    std::string &err);
+
+/** Merge several documents into one with id @p bench_id; rows keep
+ *  their per-row source bench tag. */
+BenchDoc mergeBenchDocs(const std::string &bench_id,
+                        const std::vector<BenchDoc> &docs);
+
+} // namespace qr
+
+#endif // QR_SIM_BENCH_JSON_HH

@@ -1,15 +1,4 @@
 #include "sim/rng.hh"
 
-namespace qr
-{
-
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
-
-} // namespace qr
+// mix64 and the Rng member functions are header-inline (hot paths);
+// this translation unit intentionally holds no out-of-line definitions.

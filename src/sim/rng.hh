@@ -70,8 +70,16 @@ class Rng
 /**
  * Strong 64-bit integer mixer (splitmix64 finalizer). Used to derive
  * independent hash functions, e.g. for the recorder's Bloom filters.
+ * Inline: it sits on the per-retired-access record path.
  */
-std::uint64_t mix64(std::uint64_t x);
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
 
 } // namespace qr
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Differential proof that the record-path hot-loop optimizations do
+ * not change what gets recorded. The last-line coalescing caches
+ * (RnrParams::coalesce) are the only optimization with an unoptimized
+ * twin still in the tree, so recording every suite workload with
+ * coalescing on and off and comparing the complete serialized sphere
+ * (chunk counts, sizes, timestamps, termination reasons, RSW, input
+ * log) plus the architectural digests checks the whole chain: if the
+ * caches ever skipped a Bloom insert that mattered, a chunk would
+ * terminate at a different instruction and the streams would diverge.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace qr;
+
+RecorderConfig
+recorder(bool coalesce)
+{
+    RecorderConfig rcfg;
+    rcfg.rnr.coalesce = coalesce;
+    return rcfg;
+}
+
+class RecordDifferential
+    : public ::testing::TestWithParam<const WorkloadSpec *>
+{
+};
+
+TEST_P(RecordDifferential, CoalescedRecordingIsBitIdentical)
+{
+    Workload w = GetParam()->make(4, 1);
+
+    RecordResult fast = recordProgram(w.program, {}, recorder(true));
+    RecordResult ref = recordProgram(w.program, {}, recorder(false));
+
+    // The full serialized sphere: every chunk's size, timestamp,
+    // termination reason, and RSW count, plus the input log.
+    EXPECT_EQ(fast.logs.serialize(), ref.logs.serialize()) << w.name;
+    EXPECT_EQ(fast.logs, ref.logs) << w.name;
+
+    // Same architectural outcome and same hardware event counts.
+    EXPECT_EQ(fast.metrics.digests, ref.metrics.digests) << w.name;
+    EXPECT_EQ(fast.metrics.chunks, ref.metrics.chunks) << w.name;
+    EXPECT_EQ(fast.metrics.cycles, ref.metrics.cycles) << w.name;
+    for (int r = 0; r < numChunkReasons; ++r)
+        EXPECT_EQ(fast.metrics.reasonCounts[r], ref.metrics.reasonCounts[r])
+            << w.name << " reason " << r;
+
+    // The comparison is only meaningful if the fast path actually ran.
+    EXPECT_GT(fast.metrics.coalescedAccesses, 0u) << w.name;
+    EXPECT_EQ(ref.metrics.coalescedAccesses, 0u) << w.name;
+
+    // And the optimized recording must still replay deterministically.
+    ReplayResult rep = replaySphere(w.program, fast.logs);
+    ASSERT_TRUE(rep.ok) << w.name;
+    EXPECT_TRUE(verifyDigests(fast.metrics.digests, rep.digests).ok)
+        << w.name;
+}
+
+std::vector<const WorkloadSpec *>
+suitePointers()
+{
+    std::vector<const WorkloadSpec *> out;
+    for (const auto &spec : splash2Suite())
+        out.push_back(&spec);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splash2, RecordDifferential, ::testing::ValuesIn(suitePointers()),
+    [](const ::testing::TestParamInfo<const WorkloadSpec *> &info) {
+        std::string name = info.param->name;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace

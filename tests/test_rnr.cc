@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "mem/memory.hh"
@@ -69,6 +70,145 @@ TEST(Bloom, FalsePositiveRateShrinksWithSize)
     int large = fpCount(4096);
     EXPECT_GT(small, large);
     EXPECT_LT(large, 40); // < 1% at 4096 bits / 64 entries
+}
+
+/**
+ * Reference scalar Bloom filter: same double-hashing index derivation
+ * as the optimized BloomFilter, but a plain bit vector with an
+ * O(bits) flash clear and a recount-everything popcount. The property
+ * test below proves the optimized filter (inline probes + dirty-word
+ * clear) is observationally identical to this.
+ */
+class ReferenceBloom
+{
+  public:
+    explicit ReferenceBloom(const BloomParams &p)
+        : mask(p.bits - 1), nHashes(p.hashes), bits(p.bits, false)
+    {}
+
+    void
+    insert(Addr line_addr)
+    {
+        forEachIndex(line_addr, [&](std::uint32_t b) { bits[b] = true; });
+        inserts++;
+    }
+
+    bool
+    test(Addr line_addr) const
+    {
+        bool hit = true;
+        forEachIndex(line_addr, [&](std::uint32_t b) { hit &= bits[b]; });
+        return hit;
+    }
+
+    void
+    clear()
+    {
+        std::fill(bits.begin(), bits.end(), false);
+        inserts = 0;
+    }
+
+    std::uint32_t fill() const { return inserts; }
+
+    std::uint32_t
+    popcount() const
+    {
+        std::uint32_t n = 0;
+        for (bool b : bits)
+            n += b;
+        return n;
+    }
+
+  private:
+    template <typename Fn>
+    void
+    forEachIndex(Addr line_addr, Fn fn) const
+    {
+        std::uint64_t h = mix64(line_addr);
+        std::uint32_t h1 = static_cast<std::uint32_t>(h);
+        std::uint32_t h2 = static_cast<std::uint32_t>(h >> 32) | 1u;
+        for (int f = 0; f < nHashes; ++f) {
+            fn(h1 & mask);
+            h1 += h2;
+        }
+    }
+
+    std::uint32_t mask;
+    int nHashes;
+    std::vector<bool> bits;
+    std::uint32_t inserts = 0;
+};
+
+TEST(Bloom, MatchesReferenceOverRandomInsertClearSequences)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        BloomParams p;
+        p.bits = 128u << (seed % 4);
+        p.hashes = 1 + static_cast<int>(seed % 5);
+        BloomFilter fast(p);
+        ReferenceBloom ref(p);
+        Rng rng(seed * 77);
+        for (int step = 0; step < 5000; ++step) {
+            switch (rng.below(8)) {
+              case 0: // flash clear (chunk boundary)
+                fast.clear();
+                ref.clear();
+                break;
+              case 1: { // membership probe of a random address
+                Addr probe = static_cast<Addr>(rng.next32()) & ~63u;
+                ASSERT_EQ(fast.test(probe), ref.test(probe))
+                    << "seed=" << seed << " step=" << step;
+                break;
+              }
+              default: { // insert
+                Addr a = static_cast<Addr>(rng.next32()) & ~63u;
+                fast.insert(a);
+                ref.insert(a);
+                ASSERT_TRUE(fast.test(a));
+                break;
+              }
+            }
+            ASSERT_EQ(fast.fill(), ref.fill());
+            ASSERT_EQ(fast.popcount(), ref.popcount())
+                << "seed=" << seed << " step=" << step;
+        }
+    }
+}
+
+TEST(Bloom, DirtyListClearSurvivesHeavyReuse)
+{
+    // Exercises the touched-word bookkeeping across many short
+    // chunk-like fill/clear rounds: stale bits surviving a clear would
+    // surface as false positives against a fresh filter.
+    BloomFilter f(BloomParams{1024, 2});
+    Rng rng(9);
+    for (int round = 0; round < 300; ++round) {
+        std::vector<Addr> members;
+        for (int i = 0; i < 5; ++i) {
+            Addr a = static_cast<Addr>(rng.next32()) & ~63u;
+            f.insert(a);
+            members.push_back(a);
+        }
+        for (Addr a : members)
+            ASSERT_TRUE(f.test(a));
+        BloomFilter fresh(BloomParams{1024, 2});
+        for (Addr a : members)
+            fresh.insert(a);
+        ASSERT_EQ(f.popcount(), fresh.popcount()) << "round " << round;
+        f.clear();
+        ASSERT_EQ(f.popcount(), 0u);
+        ASSERT_EQ(f.fill(), 0u);
+    }
+}
+
+TEST(Bloom, CountDuplicateAdvancesFillWithoutTouchingBits)
+{
+    BloomFilter f(BloomParams{});
+    f.insert(0x1000);
+    std::uint32_t pop = f.popcount();
+    f.countDuplicate();
+    EXPECT_EQ(f.fill(), 2u);
+    EXPECT_EQ(f.popcount(), pop);
 }
 
 TEST(ChunkRecord, FixedLayoutRoundTrips)
@@ -192,15 +332,17 @@ TEST(Cbuf, WrapsAroundTheRing)
 
 // --- RnrUnit ----------------------------------------------------------------
 
-struct UnitRig
+struct UnitRig : SbOccupancySource
 {
     UnitRig(RnrParams params = RnrParams{})
         : mem(1 << 20), cbuf(CbufParams{1024, 0.75}, mem, 0, nullptr),
           unit(0, params, cbuf)
     {
-        unit.setSbOccupancyQuery([this] { return sbOcc; });
+        unit.setSbSource(this);
         unit.enable(7);
     }
+
+    std::uint32_t sbOccupancy() const override { return sbOcc; }
 
     Memory mem;
     Cbuf cbuf;
@@ -384,6 +526,97 @@ TEST(RnrUnit, ExactShadowCountsFalseConflicts)
     // a Bloom false positive.
     EXPECT_EQ(realConflicts, 0u);
     EXPECT_GT(rig.unit.stats().falseConflicts, 0u);
+}
+
+TEST(RnrUnit, LineMaskKeepsHighAddressBits)
+{
+    // Regression: lineOf() used `addr & ~(params.lineBytes - 1)` with a
+    // 32-bit uint32_t mask; if Addr is ever widened past 32 bits that
+    // silently clears the upper address bits for addresses >= 4 GiB.
+    // The mask is now widened to Addr before the complement. With the
+    // current 32-bit Addr this pins the behavior at the very top of
+    // the address space.
+    UnitRig rig;
+    rig.unit.onRetire(0);
+    Addr high = ~static_cast<Addr>(0) - 0x3b; // 0x...ffc4: line 0x...ffc0
+    rig.unit.onLoad(high, 0);
+    // A remote write to another word of the same top-of-memory line
+    // must hit the read filter and terminate the chunk.
+    BusTxn txn{BusOp::BusRdX, high | 0x30, 1, 0};
+    rig.unit.observeRemote(txn, 0);
+    auto recs = rig.cbuf.drain();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].reason, ChunkReason::ConflictWar);
+}
+
+TEST(RnrUnit, CoalescingIsLogIdenticalToReferencePath)
+{
+    // Drive two units through the same access stream, one with the
+    // last-line caches and one on the coalesce=false reference path;
+    // every observable (fill, termination pattern, logged records)
+    // must match. Repeated same-line runs make coalescing actually
+    // fire; filterMaxFill makes fill() observable in the log.
+    RnrParams fast;
+    fast.filterMaxFill = 24;
+    RnrParams ref = fast;
+    ref.coalesce = false;
+    UnitRig a(fast), b(ref);
+    Rng rng(21);
+    for (int i = 0; i < 4000; ++i) {
+        Addr addr = (static_cast<Addr>(rng.below(8)) * 64 + 0x4000) |
+                    (static_cast<Addr>(rng.next32()) & 0x3c);
+        int burst = 1 + static_cast<int>(rng.below(4));
+        for (int j = 0; j < burst; ++j) {
+            a.unit.onRetire(0);
+            b.unit.onRetire(0);
+            if (rng.chance(1, 3)) {
+                a.unit.onStoreDrain(addr, 0);
+                b.unit.onStoreDrain(addr, 0);
+            } else {
+                a.unit.onLoad(addr, 0);
+                b.unit.onLoad(addr, 0);
+            }
+        }
+        if (rng.chance(1, 40)) {
+            BusTxn txn{rng.chance(1, 2) ? BusOp::BusRd : BusOp::BusRdX,
+                       static_cast<Addr>(rng.below(8)) * 64 + 0x4000, 1,
+                       rng.below(50)};
+            a.unit.observeRemote(txn, 0);
+            b.unit.observeRemote(txn, 0);
+        }
+    }
+    a.unit.terminate(ChunkReason::Drain, 0);
+    b.unit.terminate(ChunkReason::Drain, 0);
+    EXPECT_GT(a.unit.stats().coalescedLoads +
+                  a.unit.stats().coalescedDrains, 0u);
+    EXPECT_EQ(b.unit.stats().coalescedLoads, 0u);
+    auto ra = a.cbuf.drain();
+    auto rb = b.cbuf.drain();
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        EXPECT_EQ(ra[i], rb[i]) << "record " << i;
+    EXPECT_EQ(a.unit.stats().chunks, b.unit.stats().chunks);
+    EXPECT_EQ(a.unit.clock(), b.unit.clock());
+}
+
+TEST(RnrUnit, CoalescingCacheResetsAtChunkBoundary)
+{
+    // After a termination the caches must not swallow the first access
+    // to the previously-cached line: the new chunk needs its filter
+    // bit back or the dependence would be lost.
+    UnitRig rig;
+    rig.unit.onRetire(0);
+    rig.unit.onLoad(0x1000, 0);
+    rig.unit.onLoad(0x1004, 0); // coalesced
+    EXPECT_EQ(rig.unit.stats().coalescedLoads, 1u);
+    rig.unit.terminate(ChunkReason::Syscall, 0);
+    rig.unit.onRetire(0);
+    rig.unit.onLoad(0x1008, 0); // same line, new chunk: must insert
+    BusTxn txn{BusOp::BusRdX, 0x1000, 1, 0};
+    rig.unit.observeRemote(txn, 0);
+    auto recs = rig.cbuf.drain();
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[1].reason, ChunkReason::ConflictWar);
 }
 
 TEST(RnrUnitDeath, DoubleEnablePanics)

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Command-line helper for BENCH_<id>.json files:
+ *
+ *   bench_json_util validate FILE...        parse + schema-check each file
+ *   bench_json_util merge ID OUT FILE...    merge into one document "ID"
+ *
+ * Used by tools/run_bench.sh to assemble BENCH_RECORD.json and by the
+ * CTest smoke entry to prove that bench binaries emit parseable JSON.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/bench_json.hh"
+
+namespace
+{
+
+bool
+readFile(const char *path, std::string &out)
+{
+    std::FILE *f = std::fopen(path, "r");
+    if (!f)
+        return false;
+    char buf[4096];
+    std::size_t n;
+    out.clear();
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_json_util validate FILE...\n"
+                 "       bench_json_util merge ID OUT FILE...\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qr;
+    if (argc < 2)
+        return usage();
+
+    if (std::strcmp(argv[1], "validate") == 0) {
+        if (argc < 3)
+            return usage();
+        for (int i = 2; i < argc; ++i) {
+            std::string text, err;
+            BenchDoc doc;
+            if (!readFile(argv[i], text)) {
+                std::fprintf(stderr, "%s: cannot read\n", argv[i]);
+                return 1;
+            }
+            if (!parseBenchJson(text, doc, err)) {
+                std::fprintf(stderr, "%s: invalid: %s\n", argv[i],
+                             err.c_str());
+                return 1;
+            }
+            std::printf("%s: ok (bench %s, %zu results)\n", argv[i],
+                        doc.bench.c_str(), doc.results.size());
+        }
+        return 0;
+    }
+
+    if (std::strcmp(argv[1], "merge") == 0) {
+        if (argc < 5)
+            return usage();
+        std::vector<BenchDoc> docs;
+        for (int i = 4; i < argc; ++i) {
+            std::string text, err;
+            BenchDoc doc;
+            if (!readFile(argv[i], text) ||
+                !parseBenchJson(text, doc, err)) {
+                std::fprintf(stderr, "%s: %s\n", argv[i],
+                             err.empty() ? "cannot read" : err.c_str());
+                return 1;
+            }
+            docs.push_back(std::move(doc));
+        }
+        BenchDoc merged = mergeBenchDocs(argv[2], docs);
+        std::string text = merged.str();
+        // Round-trip the merged document through the parser before
+        // writing: the merger must never emit what validate rejects.
+        std::string err;
+        BenchDoc check;
+        if (!parseBenchJson(text, check, err)) {
+            std::fprintf(stderr, "internal error: merged doc invalid: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        std::FILE *f = std::fopen(argv[3], "w");
+        if (!f || std::fwrite(text.data(), 1, text.size(), f) !=
+                      text.size() ||
+            std::fclose(f) != 0) {
+            std::fprintf(stderr, "%s: cannot write\n", argv[3]);
+            return 1;
+        }
+        std::printf("wrote %s (%zu results from %d files)\n", argv[3],
+                    merged.results.size(), argc - 4);
+        return 0;
+    }
+
+    return usage();
+}

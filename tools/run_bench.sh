@@ -1,0 +1,58 @@
+#!/bin/sh
+# Run the perf-trajectory benchmark set (M1 micro, M2 throughput,
+# E3 overhead) and merge their JSON outputs into BENCH_RECORD.json at
+# the repo root.
+#
+# Usage: tools/run_bench.sh [build-dir]
+#
+# Environment knobs forwarded to the benches (see bench/common.hh):
+#   QR_BENCH_SCALE, QR_BENCH_WORKLOADS, QR_BENCH_MIN_SECS
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-${QR_BUILD_DIR:-$ROOT/build}}
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+    cmake -B "$BUILD" -S "$ROOT"
+fi
+cmake --build "$BUILD" -j --target \
+    bench_m1_micro bench_m2_throughput bench_e3_overhead bench_json_util
+
+OUT="$BUILD/bench"
+QR_BENCH_JSON_DIR="$OUT"
+export QR_BENCH_JSON_DIR
+
+echo "== M1: component microbenchmarks =="
+"$BUILD/bench/bench_m1_micro" \
+    --benchmark_out_format=json \
+    --benchmark_out="$OUT/BENCH_M1.raw.json"
+
+# google-benchmark emits its own JSON layout; flatten it to schema v1
+# (one ns_per_op row per benchmark) so it can join the merge. Skipped
+# (with a warning) if python3 is unavailable.
+M1_JSON=""
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT/BENCH_M1.raw.json" "$OUT/BENCH_M1.json" <<'EOF'
+import json, sys
+raw = json.load(open(sys.argv[1]))
+doc = {"bench": "M1", "schema": 1, "results": [
+    {"bench": "M1", "workload": b["name"], "metric": "ns_per_op",
+     "value": float(b["real_time"])}
+    for b in raw.get("benchmarks", [])
+    if b.get("run_type", "iteration") == "iteration"]}
+json.dump(doc, open(sys.argv[2], "w"), indent=2)
+EOF
+    M1_JSON="$OUT/BENCH_M1.json"
+else
+    echo "warning: python3 not found; BENCH_RECORD.json will omit M1" >&2
+fi
+
+echo "== M2: host throughput =="
+"$BUILD/bench/bench_m2_throughput"
+
+echo "== E3: recording overhead =="
+"$BUILD/bench/bench_e3_overhead"
+
+# shellcheck disable=SC2086  # M1_JSON is intentionally word-split
+"$BUILD/tools/bench_json_util" merge RECORD "$ROOT/BENCH_RECORD.json" \
+    $M1_JSON "$OUT/BENCH_M2.json" "$OUT/BENCH_E3.json"
