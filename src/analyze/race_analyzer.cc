@@ -1,0 +1,649 @@
+#include "analyze/race_analyzer.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "replay/chunk_graph.hh"
+#include "rnr/bloom.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+/** Sorted-vector membership test. */
+bool
+containsLine(const std::vector<Addr> &sorted, Addr line)
+{
+    return std::binary_search(sorted.begin(), sorted.end(), line);
+}
+
+/**
+ * Schedule-position bookkeeping shared by every stage: maps a schedule
+ * index to its thread's per-thread chunk position and (in exact mode)
+ * shadow sets.
+ */
+struct ScheduleIndex
+{
+    std::map<Tid, std::vector<std::uint32_t>> byThread;
+    std::vector<std::uint32_t> posInThread; //!< per schedule index
+    std::vector<const ChunkShadow *> shadows; //!< null without exact
+
+    ScheduleIndex(const SphereLogs &logs,
+                  const std::vector<ChunkRecord> &schedule, bool exact)
+        : byThread(SphereLogs::chunkIndexByThread(schedule)),
+          posInThread(schedule.size(), 0),
+          shadows(schedule.size(), nullptr)
+    {
+        for (const auto &[tid, positions] : byThread) {
+            for (std::uint32_t p = 0; p < positions.size(); ++p) {
+                posInThread[positions[p]] = p;
+                if (exact)
+                    shadows[positions[p]] =
+                        &logs.threads.at(tid).shadows[p];
+            }
+        }
+    }
+};
+
+/** Merge-or-insert one conflict line between a chunk pair. */
+void
+noteConflict(std::map<std::pair<std::uint32_t, std::uint32_t>,
+                      ConflictEdge> &edges,
+             std::uint32_t from, std::uint32_t to, ChunkReason kind,
+             Addr line)
+{
+    ConflictEdge &e = edges[{from, to}];
+    e.from = from;
+    e.to = to;
+    switch (kind) {
+      case ChunkReason::ConflictRaw: e.raw = true; break;
+      case ChunkReason::ConflictWar: e.war = true; break;
+      case ChunkReason::ConflictWaw: e.waw = true; break;
+      default: qr_assert(false, "non-conflict kind in noteConflict");
+    }
+    e.lines.push_back(line);
+}
+
+/**
+ * Sweep the schedule deriving cross-thread dependences from the exact
+ * shadow sets -- the same last-writer/readers-since construction the
+ * parallel replayer's chunk graph uses, at line rather than word
+ * granularity and without needing a replay.
+ */
+std::map<std::pair<std::uint32_t, std::uint32_t>, ConflictEdge>
+sweepConflicts(const std::vector<ChunkRecord> &schedule,
+               const ScheduleIndex &index)
+{
+    std::map<std::pair<std::uint32_t, std::uint32_t>, ConflictEdge> edges;
+    std::unordered_map<Addr, std::uint32_t> lastWriter;
+    std::unordered_map<Addr, std::vector<std::uint32_t>> readersSince;
+
+    for (std::uint32_t i = 0; i < schedule.size(); ++i) {
+        const ChunkShadow &sh = *index.shadows[i];
+        for (Addr line : sh.reads) {
+            auto w = lastWriter.find(line);
+            if (w != lastWriter.end() && w->second != i &&
+                schedule[w->second].tid != schedule[i].tid)
+                noteConflict(edges, w->second, i,
+                             ChunkReason::ConflictRaw, line);
+            readersSince[line].push_back(i);
+        }
+        for (Addr line : sh.writes) {
+            auto w = lastWriter.find(line);
+            if (w != lastWriter.end() && w->second != i &&
+                schedule[w->second].tid != schedule[i].tid)
+                noteConflict(edges, w->second, i,
+                             ChunkReason::ConflictWaw, line);
+            for (std::uint32_t r : readersSince[line])
+                if (r != i && schedule[r].tid != schedule[i].tid)
+                    noteConflict(edges, r, i, ChunkReason::ConflictWar,
+                                 line);
+            readersSince[line].clear();
+            lastWriter[line] = i;
+        }
+    }
+    for (auto &[key, e] : edges) {
+        std::sort(e.lines.begin(), e.lines.end());
+        e.lines.erase(std::unique(e.lines.begin(), e.lines.end()),
+                      e.lines.end());
+    }
+    return edges;
+}
+
+/** Append @p to to @p succs[from], keeping rows sorted afterwards. */
+struct BaseGraph
+{
+    std::vector<std::vector<std::uint32_t>> succs;
+
+    explicit BaseGraph(std::size_t n) : succs(n) {}
+
+    void
+    addEdge(std::uint32_t from, std::uint32_t to)
+    {
+        qr_assert(from < to, "analyzer edge against schedule order");
+        succs[from].push_back(to);
+    }
+
+    void
+    finalize()
+    {
+        for (auto &row : succs) {
+            std::sort(row.begin(), row.end());
+            row.erase(std::unique(row.begin(), row.end()), row.end());
+        }
+    }
+
+    bool
+    hasEdge(std::uint32_t from, std::uint32_t to) const
+    {
+        return std::binary_search(succs[from].begin(),
+                                  succs[from].end(), to);
+    }
+};
+
+/**
+ * Program-order and kernel-synchronization edges of the sphere; the
+ * "synchronized skeleton" races are judged against.
+ */
+BaseGraph
+buildBaseGraph(const SphereLogs &logs,
+               const std::vector<ChunkRecord> &schedule,
+               const ScheduleIndex &index, std::uint64_t &program_edges,
+               std::uint64_t &sync_edges)
+{
+    BaseGraph g(schedule.size());
+    for (const auto &[tid, positions] : index.byThread)
+        for (std::size_t p = 1; p < positions.size(); ++p) {
+            g.addEdge(positions[p - 1], positions[p]);
+            program_edges++;
+        }
+
+    for (const auto &[tid, tl] : logs.threads) {
+        auto own = index.byThread.find(tid);
+        for (const SyncPoint &sp : tl.syncs) {
+            // Target: the woken/spawned thread's first chunk after the
+            // synchronization point. A thread that logged nothing
+            // afterwards has nothing left to order.
+            if (own == index.byThread.end() ||
+                sp.afterChunkSeq >= own->second.size())
+                continue;
+            std::uint32_t to =
+                own->second[static_cast<std::size_t>(sp.afterChunkSeq)];
+            // Source: the last chunk the waker logged strictly before
+            // the sync (per-thread timestamps are strictly monotonic,
+            // so ts < clockFloor identifies exactly those chunks).
+            auto partner = logs.threads.find(sp.other);
+            if (partner == logs.threads.end())
+                continue;
+            const std::vector<ChunkRecord> &pch = partner->second.chunks;
+            auto it = std::lower_bound(
+                pch.begin(), pch.end(), sp.clockFloor,
+                [](const ChunkRecord &r, Timestamp floor) {
+                    return r.ts < floor;
+                });
+            if (it == pch.begin())
+                continue; // waker logged nothing before the sync
+            std::uint32_t k =
+                static_cast<std::uint32_t>(it - pch.begin()) - 1;
+            std::uint32_t from = index.byThread.at(sp.other)[k];
+            if (from >= to)
+                continue;
+            g.addEdge(from, to);
+            sync_edges++;
+        }
+    }
+    g.finalize();
+    return g;
+}
+
+/**
+ * Fixpoint race classification. An edge (a, b) is *covered* when some
+ * other path a -> ... -> b exists: a direct synchronization edge, or a
+ * hop through any successor that still reaches b. Uncovered conflict
+ * edges are races; removing them can uncover further races that were
+ * masked behind the removed ordering, hence the iteration.
+ */
+void
+classifyRaces(const BaseGraph &base, std::vector<ConflictEdge *> &live,
+              std::size_t n)
+{
+    for (int round = 0; round < 64; ++round) {
+        std::vector<std::vector<std::uint32_t>> succs = base.succs;
+        for (const ConflictEdge *e : live)
+            succs[e->from].push_back(e->to);
+        for (auto &row : succs) {
+            std::sort(row.begin(), row.end());
+            row.erase(std::unique(row.begin(), row.end()), row.end());
+        }
+        ReachMatrix reach(succs);
+
+        std::vector<ConflictEdge *> still;
+        std::vector<ConflictEdge *> newlyRacy;
+        still.reserve(live.size());
+        for (ConflictEdge *e : live) {
+            bool covered = base.hasEdge(e->from, e->to);
+            for (std::uint32_t c : succs[e->from]) {
+                if (covered)
+                    break;
+                if (c != e->to && reach.reaches(c, e->to))
+                    covered = true;
+            }
+            (covered ? still : newlyRacy).push_back(e);
+        }
+        if (newlyRacy.empty())
+            return;
+        for (ConflictEdge *e : newlyRacy)
+            e->racy = true;
+        live = std::move(still);
+    }
+    (void)n;
+}
+
+/**
+ * Transitively reduce @p succs (drop every edge implied by another
+ * path) and return the surviving adjacency; @p kept counts edges.
+ */
+std::vector<std::vector<std::uint32_t>>
+transitiveReduce(const std::vector<std::vector<std::uint32_t>> &succs,
+                 std::uint64_t &kept)
+{
+    ReachMatrix reach(succs);
+    std::vector<std::vector<std::uint32_t>> reduced(succs.size());
+    for (std::uint32_t a = 0; a < succs.size(); ++a) {
+        for (std::uint32_t b : succs[a]) {
+            bool implied = false;
+            for (std::uint32_t c : succs[a]) {
+                if (c != b && reach.reaches(c, b)) {
+                    implied = true;
+                    break;
+                }
+            }
+            if (!implied) {
+                reduced[a].push_back(b);
+                kept++;
+            }
+        }
+    }
+    return reduced;
+}
+
+/**
+ * Re-judge one conflict termination against filters rebuilt from the
+ * chunk's exact sets: find the requester chunk whose access the
+ * filters flagged, then ask whether any flagged line is really in the
+ * terminated chunk's set or only aliases into the filter.
+ */
+void
+auditTermination(const std::vector<ChunkRecord> &schedule,
+                 const ScheduleIndex &index, const RecordMeta &meta,
+                 std::uint32_t i, PrecisionAudit &audit)
+{
+    const ChunkRecord &rec = schedule[i];
+    const ChunkShadow &sh = *index.shadows[i];
+    BloomParams bp{meta.bloomBits, static_cast<int>(meta.bloomHashes)};
+
+    // The filter the terminating access hit, and the exact set it is
+    // checked against, mirror RnrUnit::observeRemote: a remote read
+    // tests the write set (RAW); a remote write tests the write set
+    // first (WAW), then the read set (WAR).
+    BloomFilter wset(bp);
+    for (Addr line : sh.writes)
+        wset.insert(line);
+    BloomFilter rset(bp);
+    if (rec.reason == ChunkReason::ConflictWar)
+        for (Addr line : sh.reads)
+            rset.insert(line);
+
+    auto hitsFilter = [&](Addr line) {
+        switch (rec.reason) {
+          case ChunkReason::ConflictRaw:
+          case ChunkReason::ConflictWaw:
+            return wset.test(line);
+          case ChunkReason::ConflictWar:
+            // A WAR termination means the write missed the write set.
+            return !wset.test(line) && rset.test(line);
+          default:
+            return false;
+        }
+    };
+    const std::vector<Addr> &exactSet =
+        rec.reason == ChunkReason::ConflictWar ? sh.reads : sh.writes;
+
+    // The requester's chunk is logged with a timestamp above ours (the
+    // snooped chunk terminates with the pre-merge clock); scan forward
+    // for the first other-thread chunk whose relevant access set hits
+    // the filter the way the hardware saw it.
+    for (std::uint32_t j = i + 1; j < schedule.size(); ++j) {
+        if (schedule[j].tid == rec.tid)
+            continue;
+        const ChunkShadow &rem = *index.shadows[j];
+        const std::vector<Addr> &requester =
+            rec.reason == ChunkReason::ConflictRaw ? rem.reads
+                                                   : rem.writes;
+        bool anyHit = false;
+        bool anyExact = false;
+        for (Addr line : requester) {
+            if (!hitsFilter(line))
+                continue;
+            anyHit = true;
+            if (containsLine(exactSet, line)) {
+                anyExact = true;
+                break;
+            }
+        }
+        if (!anyHit)
+            continue;
+        if (anyExact)
+            audit.trueConflicts++;
+        else
+            audit.bloomFalseConflicts++;
+        return;
+    }
+    audit.unattributed++;
+}
+
+} // namespace
+
+std::string
+ConflictEdge::kindStr() const
+{
+    std::string s;
+    auto tag = [&](bool on, const char *name) {
+        if (!on)
+            return;
+        if (!s.empty())
+            s += '|';
+        s += name;
+    };
+    tag(raw, "RAW");
+    tag(war, "WAR");
+    tag(waw, "WAW");
+    return s.empty() ? "?" : s;
+}
+
+double
+PrecisionAudit::falseConflictRate() const
+{
+    if (conflictTerminations == 0)
+        return 0.0;
+    return static_cast<double>(bloomFalseConflicts) /
+           static_cast<double>(conflictTerminations);
+}
+
+bool
+RaceReport::happensBefore(std::uint32_t a, std::uint32_t b) const
+{
+    if (a == b)
+        return false;
+    bool le = true;
+    bool lt = false;
+    for (std::uint32_t s = 0; s < nThreads; ++s) {
+        std::uint64_t va = vc(a, static_cast<int>(s));
+        std::uint64_t vb = vc(b, static_cast<int>(s));
+        if (va > vb)
+            le = false;
+        if (va < vb)
+            lt = true;
+    }
+    return le && lt;
+}
+
+RaceReport
+analyzeSphere(const SphereLogs &logs)
+{
+    RaceReport rep;
+    rep.exact = logs.hasShadows();
+    rep.schedule = logs.chunksByTimestamp();
+    rep.nChunks = rep.schedule.size();
+    rep.nThreads = static_cast<std::uint32_t>(logs.threads.size());
+    int slot = 0;
+    for (const auto &[tid, tl] : logs.threads)
+        rep.threadSlot[tid] = slot++;
+
+    for (const ChunkRecord &rec : rep.schedule) {
+        rep.reasonCounts[static_cast<int>(rec.reason)]++;
+        rep.rswValues.sample(rec.rsw);
+        rep.chunkSizes.sample(rec.size);
+    }
+
+    ScheduleIndex index(logs, rep.schedule, rep.exact);
+    BaseGraph base = buildBaseGraph(logs, rep.schedule, index,
+                                    rep.programEdges, rep.syncEdges);
+
+    if (rep.exact) {
+        auto edgeMap = sweepConflicts(rep.schedule, index);
+        rep.conflicts.reserve(edgeMap.size());
+        for (auto &[key, e] : edgeMap)
+            rep.conflicts.push_back(std::move(e));
+
+        std::vector<ConflictEdge *> live;
+        live.reserve(rep.conflicts.size());
+        for (ConflictEdge &e : rep.conflicts)
+            live.push_back(&e);
+        classifyRaces(base, live, rep.schedule.size());
+
+        for (const ConflictEdge &e : rep.conflicts) {
+            if (!e.racy)
+                continue;
+            rep.races.push_back(e);
+            rep.racyLines.insert(rep.racyLines.end(), e.lines.begin(),
+                                 e.lines.end());
+        }
+        std::sort(rep.racyLines.begin(), rep.racyLines.end());
+        rep.racyLines.erase(
+            std::unique(rep.racyLines.begin(), rep.racyLines.end()),
+            rep.racyLines.end());
+
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(rep.schedule.size()); ++i)
+            if (isConflictReason(rep.schedule[i].reason))
+                auditTermination(rep.schedule, index, logs.meta, i,
+                                 rep.audit);
+        for (int r = 0; r < numChunkReasons; ++r)
+            if (isConflictReason(static_cast<ChunkReason>(r)))
+                rep.audit.conflictTerminations += rep.reasonCounts[r];
+    } else {
+        // Degraded (Bloom-only) mode: the log carries no addresses, so
+        // conflict terminations become chunk-pair candidates. The
+        // requester is approximated by the first later other-thread
+        // chunk; a candidate with no synchronization path is a
+        // "possible race" with unknown line.
+        ReachMatrix reach(base.succs);
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(rep.schedule.size()); ++i) {
+            if (!isConflictReason(rep.schedule[i].reason))
+                continue;
+            rep.audit.conflictTerminations++;
+            for (std::uint32_t j = i + 1; j < rep.schedule.size(); ++j) {
+                if (rep.schedule[j].tid == rep.schedule[i].tid)
+                    continue;
+                ConflictEdge e;
+                e.from = i;
+                e.to = j;
+                switch (rep.schedule[i].reason) {
+                  case ChunkReason::ConflictRaw: e.raw = true; break;
+                  case ChunkReason::ConflictWar: e.war = true; break;
+                  default: e.waw = true; break;
+                }
+                e.racy = !base.hasEdge(i, j) && !reach.reaches(i, j);
+                if (e.racy)
+                    rep.races.push_back(e);
+                rep.conflicts.push_back(std::move(e));
+                break;
+            }
+        }
+    }
+    rep.conflictEdges = rep.conflicts.size();
+
+    // Final synchronized graph: base plus the ordered (non-racy)
+    // dependences; reduce it and propagate vector clocks forward (the
+    // schedule is a topological order, so one ascending pass where
+    // each finalized clock is pushed into its successors suffices).
+    std::vector<std::vector<std::uint32_t>> merged = base.succs;
+    for (const ConflictEdge &e : rep.conflicts)
+        if (!e.racy && rep.exact)
+            merged[e.from].push_back(e.to);
+    for (auto &row : merged) {
+        std::sort(row.begin(), row.end());
+        row.erase(std::unique(row.begin(), row.end()), row.end());
+        rep.totalEdges += row.size();
+    }
+    std::vector<std::vector<std::uint32_t>> reduced =
+        transitiveReduce(merged, rep.reducedEdges);
+
+    rep.vectorClocks.assign(rep.schedule.size() * rep.nThreads, 0);
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(rep.schedule.size()); ++i) {
+        std::size_t row = static_cast<std::size_t>(i) * rep.nThreads;
+        int own = rep.threadSlot.at(rep.schedule[i].tid);
+        rep.vectorClocks[row + static_cast<std::size_t>(own)] =
+            index.posInThread[i] + 1;
+        for (std::uint32_t s : reduced[i]) {
+            std::size_t srow = static_cast<std::size_t>(s) * rep.nThreads;
+            for (std::uint32_t k = 0; k < rep.nThreads; ++k)
+                rep.vectorClocks[srow + k] =
+                    std::max(rep.vectorClocks[srow + k],
+                             rep.vectorClocks[row + k]);
+        }
+    }
+    return rep;
+}
+
+std::string
+RaceReport::str() const
+{
+    std::string out;
+    out += csprintf("chunks: %llu across %u threads; exact shadow "
+                    "sets: %s\n",
+                    static_cast<unsigned long long>(nChunks), nThreads,
+                    exact ? "yes" : "no");
+    out += csprintf("graph: %llu program + %llu sync + %llu conflict "
+                    "edges; %llu total, %llu after transitive "
+                    "reduction\n",
+                    static_cast<unsigned long long>(programEdges),
+                    static_cast<unsigned long long>(syncEdges),
+                    static_cast<unsigned long long>(conflictEdges),
+                    static_cast<unsigned long long>(totalEdges),
+                    static_cast<unsigned long long>(reducedEdges));
+
+    // A racy line shows up once per conflicting chunk pair; cap the
+    // per-edge listing so a tight racy loop doesn't swamp the report
+    // (the distinct-line list below is the actionable part anyway).
+    constexpr std::size_t maxListed = 16;
+
+    if (exact) {
+        out += csprintf("races: %zu unsynchronized conflict edge(s), "
+                        "%zu distinct line(s)\n",
+                        races.size(), racyLines.size());
+        for (std::size_t i = 0;
+             i < races.size() && i < maxListed; ++i) {
+            const ConflictEdge &e = races[i];
+            std::string lines;
+            for (Addr a : e.lines)
+                lines += csprintf(" 0x%x", a);
+            out += csprintf(
+                "  race [%s] tid %d chunk %llu (ts %llu) <-> tid %d "
+                "chunk %llu (ts %llu): line(s)%s\n",
+                e.kindStr().c_str(), schedule[e.from].tid,
+                static_cast<unsigned long long>(e.from),
+                static_cast<unsigned long long>(schedule[e.from].ts),
+                schedule[e.to].tid,
+                static_cast<unsigned long long>(e.to),
+                static_cast<unsigned long long>(schedule[e.to].ts),
+                lines.c_str());
+        }
+        if (races.size() > maxListed)
+            out += csprintf("  ... and %zu more racy edge(s)\n",
+                            races.size() - maxListed);
+        if (!racyLines.empty()) {
+            out += "racy lines:";
+            for (Addr a : racyLines)
+                out += csprintf(" 0x%x", a);
+            out += '\n';
+        }
+        out += csprintf(
+            "precision: %llu conflict terminations = %llu true + %llu "
+            "Bloom false (rate %.4f) + %llu unattributed\n",
+            static_cast<unsigned long long>(audit.conflictTerminations),
+            static_cast<unsigned long long>(audit.trueConflicts),
+            static_cast<unsigned long long>(audit.bloomFalseConflicts),
+            audit.falseConflictRate(),
+            static_cast<unsigned long long>(audit.unattributed));
+    } else {
+        out += csprintf("possible races: %zu conflict termination(s) "
+                        "with no synchronization path (record with "
+                        "--exact-shadow for line addresses)\n",
+                        races.size());
+        for (std::size_t i = 0;
+             i < races.size() && i < maxListed; ++i) {
+            const ConflictEdge &e = races[i];
+            out += csprintf(
+                "  possible race [%s] tid %d chunk %llu (ts %llu) <-> "
+                "tid %d chunk %llu (ts %llu)\n",
+                e.kindStr().c_str(), schedule[e.from].tid,
+                static_cast<unsigned long long>(e.from),
+                static_cast<unsigned long long>(schedule[e.from].ts),
+                schedule[e.to].tid,
+                static_cast<unsigned long long>(e.to),
+                static_cast<unsigned long long>(schedule[e.to].ts));
+        }
+        if (races.size() > maxListed)
+            out += csprintf("  ... and %zu more candidate(s)\n",
+                            races.size() - maxListed);
+        out += "precision: n/a (no exact shadow sets in this sphere)\n";
+    }
+
+    out += "terminations:";
+    for (int r = 0; r < numChunkReasons; ++r)
+        if (reasonCounts[r])
+            out += csprintf(" %s=%llu",
+                            chunkReasonName(static_cast<ChunkReason>(r)),
+                            static_cast<unsigned long long>(
+                                reasonCounts[r]));
+    out += csprintf("\nrsw: nonzero in %.4f of chunks, mean %.2f\n",
+                    1.0 - rswValues.zeroFraction(), rswValues.mean());
+    return out;
+}
+
+BenchDoc
+RaceReport::toBenchDoc(const std::string &workload) const
+{
+    BenchJson json("ANALYZE");
+    auto add = [&](const char *metric, double value) {
+        json.add(workload, metric, value);
+    };
+    add("chunks", static_cast<double>(nChunks));
+    add("threads", static_cast<double>(nThreads));
+    add("exact", exact ? 1.0 : 0.0);
+    add("program_edges", static_cast<double>(programEdges));
+    add("sync_edges", static_cast<double>(syncEdges));
+    add("conflict_edges", static_cast<double>(conflictEdges));
+    add("total_edges", static_cast<double>(totalEdges));
+    add("reduced_edges", static_cast<double>(reducedEdges));
+    add("races", static_cast<double>(races.size()));
+    add("racy_lines", static_cast<double>(racyLines.size()));
+    add("conflict_terminations",
+        static_cast<double>(audit.conflictTerminations));
+    add("true_conflicts", static_cast<double>(audit.trueConflicts));
+    add("bloom_false_conflicts",
+        static_cast<double>(audit.bloomFalseConflicts));
+    add("unattributed_conflicts",
+        static_cast<double>(audit.unattributed));
+    add("false_conflict_rate", audit.falseConflictRate());
+    for (int r = 0; r < numChunkReasons; ++r)
+        json.add(workload,
+                 csprintf("term_%s",
+                          chunkReasonName(static_cast<ChunkReason>(r))),
+                 static_cast<double>(reasonCounts[r]));
+    add("rsw_nonzero_frac", 1.0 - rswValues.zeroFraction());
+    add("rsw_mean", rswValues.mean());
+    add("chunk_size_mean", chunkSizes.mean());
+    return json.document();
+}
+
+} // namespace qr

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Offline happens-before race analysis over recorded chunk logs.
+ *
+ * Works from the serialized sphere alone -- no replay, no Program --
+ * which is the property that makes it usable on any recorded artifact:
+ * a .qrec file contains everything the analysis needs. Three stages
+ * (see src/analyze/README.md for the full methodology):
+ *
+ *  1. Graph reconstruction. The (ts, tid)-sorted chunk schedule is the
+ *     spine; program-order edges come from per-thread chunk sequences,
+ *     synchronization edges from the kernel SyncPoints Capo3 records at
+ *     spawn/join/futex wakes, and dependence (conflict) edges from the
+ *     exact per-chunk shadow sets when the sphere was recorded with
+ *     exactShadow.
+ *
+ *  2. Race detection. A cross-thread conflict edge is a *race* when no
+ *     alternative happens-before path orders its endpoints: the only
+ *     thing serializing the two accesses is the accident of recording.
+ *     Racy edges are removed and the check iterated to a fixpoint, so
+ *     a second race masked by the first is still found. Per-chunk
+ *     vector clocks are then computed over the transitively reduced
+ *     synchronized graph.
+ *
+ *  3. Precision audit. Every conflict-terminated chunk is re-judged
+ *     against Bloom filters rebuilt from its exact sets (using the
+ *     recorded filter geometry): did the terminating access really
+ *     overlap the chunk's address set, or did it merely alias in the
+ *     filter? The resulting false-conflict rate is the recording
+ *     precision the paper's filter-geometry experiments sweep.
+ *
+ * Without exact shadow sets the analyzer degrades gracefully: conflict
+ * terminations become "possible race" candidates (chunk pairs with no
+ * synchronization path) with no line addresses, and the precision
+ * audit is reported as not measured.
+ */
+
+#ifndef QR_ANALYZE_RACE_ANALYZER_HH
+#define QR_ANALYZE_RACE_ANALYZER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capo/sphere.hh"
+#include "sim/bench_json.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** One cross-thread dependence between two chunks. */
+struct ConflictEdge
+{
+    std::uint32_t from = 0; //!< schedule index of the earlier chunk
+    std::uint32_t to = 0;   //!< schedule index of the later chunk
+    bool raw = false;       //!< a write in @p from feeds a read in @p to
+    bool war = false;       //!< a read in @p from precedes a write in @p to
+    bool waw = false;       //!< both chunks write a common line
+    /** Conflicting line addresses (sorted unique; empty without exact
+     *  shadow sets). */
+    std::vector<Addr> lines;
+    /** No alternative happens-before path orders the endpoints. */
+    bool racy = false;
+
+    /** "[RAW|WAW]"-style kind tag. */
+    std::string kindStr() const;
+};
+
+/** Recording-precision audit of the conflict terminations. */
+struct PrecisionAudit
+{
+    std::uint64_t conflictTerminations = 0;
+    std::uint64_t trueConflicts = 0;      //!< terminating line was real
+    std::uint64_t bloomFalseConflicts = 0; //!< filter alias only
+    std::uint64_t unattributed = 0; //!< no requester chunk identified
+
+    /** Fraction of conflict terminations caused by filter aliasing. */
+    double falseConflictRate() const;
+};
+
+/** Everything the offline analyzer derives from one sphere. */
+struct RaceReport
+{
+    bool exact = false; //!< sphere carried exact shadow sets
+    std::uint32_t nThreads = 0;
+    std::uint64_t nChunks = 0;
+
+    // --- graph shape ------------------------------------------------------
+    std::uint64_t programEdges = 0;
+    std::uint64_t syncEdges = 0;
+    std::uint64_t conflictEdges = 0; //!< cross-thread dependence pairs
+    std::uint64_t totalEdges = 0;
+    std::uint64_t reducedEdges = 0; //!< after transitive reduction
+
+    /** Every cross-thread conflict edge (exact mode) or termination
+     *  candidate (degraded mode), schedule order. */
+    std::vector<ConflictEdge> conflicts;
+    /** The racy subset of @p conflicts. */
+    std::vector<ConflictEdge> races;
+    /** Union of racy line addresses (sorted unique; exact mode only). */
+    std::vector<Addr> racyLines;
+
+    // --- precision / recording statistics ---------------------------------
+    PrecisionAudit audit;
+    std::uint64_t reasonCounts[numChunkReasons] = {};
+    Histogram rswValues;
+    Histogram chunkSizes;
+
+    // --- vector clocks ----------------------------------------------------
+    /** tid -> component slot in the vector clocks. */
+    std::map<Tid, int> threadSlot;
+    /**
+     * Per-chunk vector clocks over the synchronized (non-racy) reduced
+     * graph, schedule-indexed, @p nThreads components each: entry
+     * [i * nThreads + slot] counts the chunks of that thread ordered
+     * at-or-before chunk i.
+     */
+    std::vector<std::uint64_t> vectorClocks;
+
+    /** The (ts, tid)-sorted schedule the indices above refer to. */
+    std::vector<ChunkRecord> schedule;
+
+    /** Clock component of chunk @p i for thread slot @p slot. */
+    std::uint64_t
+    vc(std::uint32_t i, int slot) const
+    {
+        return vectorClocks[static_cast<std::size_t>(i) * nThreads +
+                            static_cast<std::size_t>(slot)];
+    }
+
+    /** True iff chunk @p a happens-before chunk @p b per the clocks. */
+    bool happensBefore(std::uint32_t a, std::uint32_t b) const;
+
+    /** Human-readable multi-line report. */
+    std::string str() const;
+
+    /** Machine-readable rows (bench id "ANALYZE"), one document per
+     *  workload, mergeable next to BENCH_RECORD.json. */
+    BenchDoc toBenchDoc(const std::string &workload) const;
+};
+
+/**
+ * Analyze a recorded sphere. Pure function of the logs: throws
+ * qr::ParseError if the sphere is malformed (non-monotonic timestamps,
+ * mismatched shadow sets), never mutates its input.
+ */
+RaceReport analyzeSphere(const SphereLogs &logs);
+
+} // namespace qr
+
+#endif // QR_ANALYZE_RACE_ANALYZER_HH

@@ -1,5 +1,7 @@
 #include "capo/rsm.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -98,6 +100,11 @@ Rsm::threadStarted(KThread &child, KThread *parent, Core *parent_core,
     // ordered after the spawn (Capo3 initializes the child's recording
     // context from the parent's).
     child.lastClock = parent_core ? parent_core->rnrUnit().clock() : 0;
+    // The spawn is a synchronization edge: every chunk the parent
+    // logged before it happens-before all of the child.
+    if (parent)
+        logsOf(child.tid).syncs.push_back(
+            SyncPoint{0, parent->tid, child.lastClock});
     charge(parent_core, costs.sphereManage, OverheadCat::SphereMgmt, now);
 }
 
@@ -110,7 +117,32 @@ Rsm::threadExited(KThread &t, Core &core, Tick now)
     rec.instrs = t.ctx.instrs;
     logsOf(t.tid).input.push_back(std::move(rec));
     _stats.inputRecords++;
+    // Joins may resolve after the exiting thread's unit is recycled:
+    // capture its clock now so the edge can still be floored then.
+    exitClock[t.tid] = core.rnrUnit().clock();
     charge(&core, costs.sphereManage, OverheadCat::SphereMgmt, now);
+}
+
+void
+Rsm::threadWoken(KThread &woken, Core *woken_core, Tid waker,
+                 Core *waker_core, Tick now)
+{
+    Timestamp floor = waker_core ? waker_core->rnrUnit().clock() : 0;
+    auto it = exitClock.find(waker);
+    if (it != exitClock.end())
+        floor = std::max(floor, it->second);
+    if (woken_core) {
+        // The woken thread keeps running (join on an already-exited
+        // target): floor its unit directly, there is no context switch
+        // to restore lastClock through.
+        woken_core->rnrUnit().setClockFloor(floor);
+    } else {
+        woken.lastClock = std::max(woken.lastClock, floor);
+    }
+    logsOf(woken.tid).syncs.push_back(
+        SyncPoint{chunkSeq[woken.tid], waker, floor});
+    charge(woken_core ? woken_core : waker_core, costs.sphereManage,
+           OverheadCat::SphereMgmt, now);
 }
 
 void
@@ -152,11 +184,14 @@ Rsm::contextSwitchIn(KThread &t, Core &core, Tick now)
 }
 
 void
-Rsm::onChunkLogged(const ChunkRecord &rec, CoreId core)
+Rsm::onChunkLogged(const ChunkRecord &rec, CoreId core,
+                   const ChunkShadow *shadow)
 {
     (void)core;
     chunkSeq[rec.tid]++;
     _stats.chunksSeen++;
+    if (shadow)
+        pendingShadows[rec.tid].emplace(rec.ts, *shadow);
 }
 
 void
@@ -197,6 +232,24 @@ Rsm::finalize(Tick now)
               "chunk accounting mismatch: drained %llu, seen %llu",
               static_cast<unsigned long long>(drained),
               static_cast<unsigned long long>(_stats.chunksSeen));
+
+    // Attach the buffered shadow sets chunk-parallel, now that the
+    // per-thread logs are in their final (timestamp) order.
+    for (auto &[tid, shadows] : pendingShadows) {
+        ThreadLogs &tl = logs.threads[tid];
+        qr_assert(shadows.size() == tl.chunks.size(),
+                  "tid %d: %zu shadow sets for %zu chunks", tid,
+                  shadows.size(), tl.chunks.size());
+        tl.shadows.reserve(tl.chunks.size());
+        for (const ChunkRecord &rec : tl.chunks) {
+            auto it = shadows.find(rec.ts);
+            qr_assert(it != shadows.end(),
+                      "tid %d: no shadow for chunk ts %llu", tid,
+                      static_cast<unsigned long long>(rec.ts));
+            tl.shadows.push_back(std::move(it->second));
+        }
+    }
+    pendingShadows.clear();
 }
 
 } // namespace qr

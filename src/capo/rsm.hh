@@ -63,6 +63,8 @@ class Rsm : public RsmHooks, public ChunkSink
     void threadStarted(KThread &child, KThread *parent,
                        Core *parent_core, Tick now) override;
     void threadExited(KThread &t, Core &core, Tick now) override;
+    void threadWoken(KThread &woken, Core *woken_core, Tid waker,
+                     Core *waker_core, Tick now) override;
     void signalDelivered(KThread &t, Word signo, Word handler_pc,
                          Word saved_pc, Addr mailbox, Core &core,
                          Tick now) override;
@@ -70,11 +72,14 @@ class Rsm : public RsmHooks, public ChunkSink
     void contextSwitchIn(KThread &t, Core &core, Tick now) override;
 
     // --- ChunkSink --------------------------------------------------------
-    void onChunkLogged(const ChunkRecord &rec, CoreId core) override;
+    void onChunkLogged(const ChunkRecord &rec, CoreId core,
+                       const ChunkShadow *shadow) override;
     void onCbufSignal(CoreId core, bool full, Tick now) override;
 
     /**
-     * End of recording: drain all CBUFs and sort per-thread chunk logs.
+     * End of recording: drain all CBUFs, sort per-thread chunk logs,
+     * and attach the buffered exact shadow sets (keyed by timestamp,
+     * which is unique per thread) chunk-parallel into the sphere.
      */
     void finalize(Tick now);
 
@@ -90,6 +95,11 @@ class Rsm : public RsmHooks, public ChunkSink
     std::vector<Core *> cores;
     std::vector<Cbuf *> cbufs;
     std::map<Tid, std::uint64_t> chunkSeq;
+    /** Exact shadow sets buffered until finalize (ts is unique per
+     *  thread, so it keys the chunk even across CBUF drain reorder). */
+    std::map<Tid, std::map<Timestamp, ChunkShadow>> pendingShadows;
+    /** Clock captured when a thread exited; floors later join edges. */
+    std::map<Tid, Timestamp> exitClock;
     RsmStats _stats;
 };
 

@@ -1,11 +1,79 @@
 #include "capo/sphere.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "sim/logging.hh"
 
 namespace qr
 {
+
+namespace
+{
+
+/** Threads beyond this are corruption, not a real recording. */
+constexpr std::uint64_t maxSphereTid = 1u << 20;
+
+/** log2 of a power-of-two line size. */
+int
+lineShift(std::uint32_t line_bytes)
+{
+    int s = 0;
+    while ((1u << s) < line_bytes)
+        s++;
+    return s;
+}
+
+void
+putLineSet(std::vector<std::uint8_t> &out, const std::vector<Addr> &lines,
+           int shift)
+{
+    // Sorted unique line addresses delta-encode compactly once the
+    // always-zero alignment bits are shifted out.
+    putVarint(out, lines.size());
+    Addr prev = 0;
+    for (Addr a : lines) {
+        putVarint(out, static_cast<std::uint64_t>(a - prev) >> shift);
+        prev = a;
+    }
+}
+
+std::vector<Addr>
+getLineSet(const std::vector<std::uint8_t> &in, std::size_t &pos,
+           int shift)
+{
+    std::uint64_t n = getVarint(in, pos);
+    if (n > in.size() - pos)
+        parseFail("shadow-line count %llu exceeds log tail",
+                  static_cast<unsigned long long>(n));
+    std::vector<Addr> lines;
+    lines.reserve(n);
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t delta = getVarint(in, pos) << shift;
+        if (i > 0 && delta == 0)
+            parseFail("duplicate shadow line in sphere log");
+        std::uint64_t line = prev + delta;
+        if (line > std::numeric_limits<Addr>::max())
+            parseFail("shadow line overflows the address space");
+        prev = static_cast<Addr>(line);
+        lines.push_back(prev);
+    }
+    return lines;
+}
+
+} // namespace
+
+bool
+SphereLogs::hasShadows() const
+{
+    if (!meta.exactShadow)
+        return false;
+    for (const auto &[tid, logs] : threads)
+        if (logs.shadows.size() != logs.chunks.size())
+            return false;
+    return true;
+}
 
 void
 SphereLogs::sortChunks()
@@ -60,13 +128,27 @@ SphereLogs::totalChunks() const
 std::vector<std::uint8_t>
 SphereLogs::serialize() const
 {
+    // v2 payload (sync points, shadow sets, recording metadata) forces
+    // the new format; plain spheres keep the legacy byte stream so old
+    // artifacts and new ones hash identically.
+    bool v2 = meta != RecordMeta{};
+    for (const auto &[tid, logs] : threads)
+        if (!logs.syncs.empty() || !logs.shadows.empty())
+            v2 = true;
+
     std::vector<std::uint8_t> out;
-    // Magic + header.
-    const char magic[4] = {'Q', 'R', 'S', '1'};
+    const char magic[4] = {'Q', 'R', 'S', v2 ? '2' : '1'};
     out.insert(out.end(), magic, magic + 4);
     putVarint(out, sphereId);
     putVarint(out, memBytes);
     putVarint(out, userTop);
+    int shift = lineShift(meta.lineBytes);
+    if (v2) {
+        putVarint(out, meta.lineBytes);
+        putVarint(out, meta.bloomBits);
+        putVarint(out, meta.bloomHashes);
+        putVarint(out, meta.exactShadow ? 1 : 0);
+    }
     putVarint(out, threads.size());
     for (const auto &[tid, logs] : threads) {
         putVarint(out, static_cast<std::uint64_t>(tid));
@@ -79,6 +161,22 @@ SphereLogs::serialize() const
             packCompact(rec, prev, out);
             prev = rec.ts;
         }
+        if (!v2)
+            continue;
+        putVarint(out, logs.syncs.size());
+        for (const SyncPoint &sp : logs.syncs) {
+            putVarint(out, sp.afterChunkSeq);
+            putVarint(out, static_cast<std::uint64_t>(sp.other));
+            putVarint(out, sp.clockFloor);
+        }
+        qr_assert(logs.shadows.empty() ||
+                      logs.shadows.size() == logs.chunks.size(),
+                  "tid %d: shadow sets out of step with chunk log", tid);
+        putVarint(out, logs.shadows.size());
+        for (const ChunkShadow &sh : logs.shadows) {
+            putLineSet(out, sh.reads, shift);
+            putLineSet(out, sh.writes, shift);
+        }
     }
     return out;
 }
@@ -87,16 +185,48 @@ SphereLogs
 SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
 {
     SphereLogs s;
-    if (in.size() < 4 || in[0] != 'Q' || in[1] != 'R' || in[2] != 'S' ||
-        in[3] != '1')
+    if (in.size() < 4 || in[0] != 'Q' || in[1] != 'R' || in[2] != 'S')
         parseFail("bad sphere log magic");
+    if (in[3] != '1' && in[3] != '2') {
+        // Distinguish "not a sphere at all" from "a sphere written by a
+        // newer tool": the latter is common user input worth a precise
+        // message.
+        if (in[3] > '2' && in[3] <= '9')
+            parseFail("sphere log version '%c' is from the future "
+                      "(this build reads versions 1-2)", in[3]);
+        parseFail("bad sphere log magic");
+    }
+    bool v2 = in[3] == '2';
     std::size_t pos = 4;
     s.sphereId = static_cast<std::uint32_t>(getVarint(in, pos));
     s.memBytes = static_cast<std::uint32_t>(getVarint(in, pos));
     s.userTop = static_cast<Addr>(getVarint(in, pos));
+    if (v2) {
+        s.meta.lineBytes =
+            static_cast<std::uint32_t>(getVarint(in, pos));
+        s.meta.bloomBits =
+            static_cast<std::uint32_t>(getVarint(in, pos));
+        s.meta.bloomHashes =
+            static_cast<std::uint32_t>(getVarint(in, pos));
+        s.meta.exactShadow = getVarint(in, pos) != 0;
+        if (s.meta.lineBytes == 0 || s.meta.lineBytes > 4096 ||
+            (s.meta.lineBytes & (s.meta.lineBytes - 1)) != 0)
+            parseFail("implausible line size %u in sphere log",
+                      s.meta.lineBytes);
+        if (s.meta.bloomBits == 0 ||
+            (s.meta.bloomBits & (s.meta.bloomBits - 1)) != 0 ||
+            s.meta.bloomHashes == 0 || s.meta.bloomHashes > 16)
+            parseFail("implausible Bloom geometry %u/%u in sphere log",
+                      s.meta.bloomBits, s.meta.bloomHashes);
+    }
+    int shift = lineShift(s.meta.lineBytes);
     std::uint64_t nthreads = getVarint(in, pos);
     for (std::uint64_t i = 0; i < nthreads; ++i) {
-        Tid tid = static_cast<Tid>(getVarint(in, pos));
+        std::uint64_t rawTid = getVarint(in, pos);
+        if (rawTid > maxSphereTid)
+            parseFail("thread id %llu out of range in sphere log",
+                      static_cast<unsigned long long>(rawTid));
+        Tid tid = static_cast<Tid>(rawTid);
         ThreadLogs logs;
         std::uint64_t nin = getVarint(in, pos);
         // Every record is at least one byte, so a count larger than the
@@ -115,7 +245,47 @@ SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
         Timestamp prev = 0;
         for (std::uint64_t j = 0; j < nch; ++j) {
             logs.chunks.push_back(unpackCompact(in, pos, prev, tid));
+            // A zero timestamp delta decodes fine but breaks the
+            // strict per-thread monotonicity every consumer relies on;
+            // reject it here instead of asserting later.
+            if (j > 0 && logs.chunks.back().ts <= prev)
+                parseFail("tid %d: non-monotonic chunk timestamps in "
+                          "sphere log", tid);
             prev = logs.chunks.back().ts;
+        }
+        if (v2) {
+            std::uint64_t nsync = getVarint(in, pos);
+            if (nsync > in.size() - pos)
+                parseFail("sync-point count %llu exceeds log tail",
+                          static_cast<unsigned long long>(nsync));
+            logs.syncs.reserve(nsync);
+            for (std::uint64_t j = 0; j < nsync; ++j) {
+                SyncPoint sp;
+                sp.afterChunkSeq = getVarint(in, pos);
+                std::uint64_t other = getVarint(in, pos);
+                if (other > maxSphereTid)
+                    parseFail("sync partner id %llu out of range",
+                              static_cast<unsigned long long>(other));
+                sp.other = static_cast<Tid>(other);
+                sp.clockFloor = getVarint(in, pos);
+                if (sp.afterChunkSeq > nch)
+                    parseFail("sync point past the end of tid %d's "
+                              "chunk log", tid);
+                logs.syncs.push_back(sp);
+            }
+            std::uint64_t nshadow = getVarint(in, pos);
+            if (nshadow != 0 && nshadow != nch)
+                parseFail("shadow-set count %llu does not match %llu "
+                          "chunks",
+                          static_cast<unsigned long long>(nshadow),
+                          static_cast<unsigned long long>(nch));
+            logs.shadows.reserve(nshadow);
+            for (std::uint64_t j = 0; j < nshadow; ++j) {
+                ChunkShadow sh;
+                sh.reads = getLineSet(in, pos, shift);
+                sh.writes = getLineSet(in, pos, shift);
+                logs.shadows.push_back(std::move(sh));
+            }
         }
         if (!s.threads.emplace(tid, std::move(logs)).second)
             parseFail("duplicate thread %d in sphere log", tid);
@@ -131,13 +301,15 @@ SphereLogs::chunksByTimestamp() const
     std::vector<ChunkRecord> all;
     all.reserve(totalChunks());
     for (const auto &[tid, logs] : threads) {
+        // Log-shaped input reaches this path (loadSphere/qrec), so a
+        // malformed sphere must surface as a recoverable ParseError,
+        // not an assertion failure.
         for (std::size_t i = 0; i < logs.chunks.size(); ++i) {
-            qr_assert(logs.chunks[i].tid == tid,
-                      "chunk log of tid %d contains tid %d", tid,
-                      logs.chunks[i].tid);
-            if (i > 0)
-                qr_assert(logs.chunks[i - 1].ts < logs.chunks[i].ts,
-                          "tid %d: non-monotonic chunk timestamps", tid);
+            if (logs.chunks[i].tid != tid)
+                parseFail("chunk log of tid %d contains tid %d", tid,
+                          logs.chunks[i].tid);
+            if (i > 0 && logs.chunks[i - 1].ts >= logs.chunks[i].ts)
+                parseFail("tid %d: non-monotonic chunk timestamps", tid);
         }
         all.insert(all.end(), logs.chunks.begin(), logs.chunks.end());
     }

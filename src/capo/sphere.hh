@@ -22,11 +22,54 @@
 namespace qr
 {
 
+/**
+ * A kernel-level synchronization edge recorded for one thread: after
+ * this thread's chunk number @p afterChunkSeq (per-thread index of the
+ * first chunk logged after the wake; equal to the chunk-log size when
+ * no chunk follows), everything thread @p other logged with a
+ * timestamp strictly below @p clockFloor happens-before this thread.
+ * Recorded at spawn (other = parent) and at kernel wake edges
+ * (join/futex, other = the waker). The offline analyzer uses these to
+ * separate programmatic synchronization from raw data communication.
+ */
+struct SyncPoint
+{
+    std::uint64_t afterChunkSeq = 0;
+    Tid other = invalidTid;
+    Timestamp clockFloor = 0;
+
+    bool operator==(const SyncPoint &o) const = default;
+};
+
+/**
+ * Recording configuration persisted with the sphere (v2 format):
+ * everything the offline analyzer needs to re-derive filter behavior
+ * from the exact shadow sets without access to the recorder.
+ */
+struct RecordMeta
+{
+    std::uint32_t lineBytes = 64;
+    std::uint32_t bloomBits = 1024;
+    std::uint32_t bloomHashes = 2;
+    bool exactShadow = false;
+
+    bool operator==(const RecordMeta &o) const = default;
+};
+
 /** The two logs of one sphere thread. */
 struct ThreadLogs
 {
     std::vector<InputRecord> input;
     std::vector<ChunkRecord> chunks;
+
+    /** Kernel synchronization edges affecting this thread (v2). */
+    std::vector<SyncPoint> syncs;
+
+    /**
+     * Exact shadow sets, parallel to @p chunks (empty when recorded
+     * without exactShadow). Attached by Rsm::finalize after sorting.
+     */
+    std::vector<ChunkShadow> shadows;
 
     bool operator==(const ThreadLogs &o) const = default;
 };
@@ -44,9 +87,15 @@ struct SphereLogs
      *  digests and owned by the recording hardware. */
     Addr userTop = 0;
 
+    /** Recording configuration (serialized only in the v2 format). */
+    RecordMeta meta;
+
     std::map<Tid, ThreadLogs> threads;
 
     bool operator==(const SphereLogs &o) const = default;
+
+    /** True iff every thread carries exact shadow sets. */
+    bool hasShadows() const;
 
     /**
      * Sort each thread's chunk log by timestamp. CBUF drain order
@@ -83,12 +132,18 @@ struct SphereLogs
     static std::map<Tid, std::vector<std::uint32_t>>
     chunkIndexByThread(const std::vector<ChunkRecord> &schedule);
 
-    /** Serialize the whole sphere to a byte stream. */
+    /**
+     * Serialize the whole sphere to a byte stream. Spheres carrying v2
+     * payload (sync points, shadow sets, or non-default RecordMeta) use
+     * the "QRS2" format; plain spheres keep the byte-identical legacy
+     * "QRS1" encoding.
+     */
     std::vector<std::uint8_t> serialize() const;
 
     /**
-     * Parse a serialized sphere. Throws qr::ParseError on truncated or
-     * corrupted input (recoverable; see loadSphere).
+     * Parse a serialized sphere (either format version). Throws
+     * qr::ParseError on truncated or corrupted input, and on version
+     * bytes from the future (recoverable; see loadSphere).
      */
     static SphereLogs deserialize(const std::vector<std::uint8_t> &in);
 };

@@ -52,6 +52,11 @@ Machine::Machine(const MachineConfig &mcfg_, const RecorderConfig &rcfg_,
 
     _sphereLogs.memBytes = mcfg.memBytes;
     _sphereLogs.userTop = _userTop;
+    _sphereLogs.meta.lineBytes = rcfg.rnr.lineBytes;
+    _sphereLogs.meta.bloomBits = rcfg.rnr.bloom.bits;
+    _sphereLogs.meta.bloomHashes =
+        static_cast<std::uint32_t>(rcfg.rnr.bloom.hashes);
+    _sphereLogs.meta.exactShadow = rcfg.rnr.exactShadow;
 
     if (recording) {
         rsm = std::make_unique<Rsm>(rcfg.costs, _sphereLogs, corePtrs,
@@ -105,6 +110,7 @@ Machine::collectMetrics(Tick cycles) const
 {
     RunMetrics m;
     m.cycles = cycles;
+    m.exactShadow = rcfg.rnr.exactShadow;
 
     for (const auto &core : cores) {
         const CoreStats &cs = core->stats();

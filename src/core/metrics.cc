@@ -94,8 +94,17 @@ RunMetrics::statsText() const
     putf("rnr.chunk_size_mean", chunkSizes.mean(),
          "mean instructions per chunk");
     put("rnr.rsw_nonzero", rswNonZero, "chunks with RSW > 0");
-    put("rnr.false_conflicts", falseConflicts,
-        "Bloom false-positive terminations (exact-shadow runs)");
+    // The false-conflict classifier only runs when the recorder keeps
+    // exact shadow sets; printing the counter otherwise would report a
+    // misleading hard zero for a measurement that never happened.
+    if (exactShadow) {
+        put("rnr.false_conflicts", falseConflicts,
+            "Bloom false-positive terminations (exact-shadow runs)");
+    } else {
+        out += csprintf("%-32s %14s  # %s\n", "rnr.false_conflicts",
+                        "n/a",
+                        "not measured (run without exact shadow sets)");
+    }
     put("rnr.cbuf_bytes", cbufBytes, "raw bytes written to CBUFs");
     put("capo.cbuf_drains", cbufDrains, "CBUF drain interrupts");
     put("capo.input_records", inputRecords, "input-log records");

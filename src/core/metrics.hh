@@ -96,6 +96,7 @@ struct RunMetrics
     Histogram chunkSizes;
     Histogram rswValues;
     std::uint64_t rswNonZero = 0;
+    bool exactShadow = false; //!< run kept exact shadow sets
     std::uint64_t falseConflicts = 0; //!< with exactShadow only
     std::uint64_t coalescedAccesses = 0; //!< absorbed by last-line caches
     std::uint64_t cbufBytes = 0;      //!< raw bytes the hardware wrote

@@ -184,7 +184,8 @@ Kernel::deliverPendingSignal(KThread &t, Core &core, Tick now)
 }
 
 void
-Kernel::wakeFromSyscall(KThread &t, Word ret, Core &charge_core, Tick now)
+Kernel::wakeFromSyscall(KThread &t, Word ret, Tid waker,
+                        Core &charge_core, Tick now)
 {
     qr_assert(t.state == ThreadState::Blocked,
               "waking non-blocked thread %d", t.tid);
@@ -199,6 +200,7 @@ Kernel::wakeFromSyscall(KThread &t, Word ret, Core &charge_core, Tick now)
     t.state = ThreadState::Ready;
     scheduler.enqueue(t.tid);
     if (rsm) {
+        rsm->threadWoken(t, nullptr, waker, &charge_core, now);
         Word num = t.ctx.reg(Reg::a7);
         rsm->syscallLogged(t, num, ret, nullptr, false, 0, &charge_core,
                            now);
@@ -266,7 +268,7 @@ Kernel::doSyscall(KThread &t, Core &core, Tick now)
                       return x->blockSeq < y->blockSeq;
                   });
         for (KThread *j : joiners)
-            wakeFromSyscall(*j, 0, core, now);
+            wakeFromSyscall(*j, 0, t.tid, core, now);
         deschedule(core, t, ThreadState::Exited, now);
         liveThreads--;
         return;
@@ -344,6 +346,12 @@ Kernel::doSyscall(KThread &t, Core &core, Tick now)
         qr_assert(it != threads.end(), "tid %d: join on unknown tid %u",
                   t.tid, a0);
         if (it->second->state == ThreadState::Exited) {
+            // The join still synchronizes: the caller must be ordered
+            // after everything the exited target logged, even though
+            // no wake happens. The RSM holds the clock it captured at
+            // the target's exit and floors the caller's unit with it.
+            if (rsm)
+                rsm->threadWoken(t, &core, it->first, nullptr, now);
             finish(0);
             return;
         }
@@ -376,7 +384,7 @@ Kernel::doSyscall(KThread &t, Core &core, Tick now)
         for (KThread *w : waiters) {
             if (count >= a1)
                 break;
-            wakeFromSyscall(*w, 0, core, now);
+            wakeFromSyscall(*w, 0, t.tid, core, now);
             count++;
         }
         finish(count);

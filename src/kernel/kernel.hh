@@ -70,6 +70,18 @@ class RsmHooks
     /** A thread exited. */
     virtual void threadExited(KThread &t, Core &core, Tick now) = 0;
 
+    /**
+     * A kernel synchronization edge from @p waker to @p woken: a
+     * join/futex wake, or a join that found its target already exited.
+     * @p woken_core is non-null when @p woken keeps running on that
+     * core (the already-exited-join fast path); otherwise @p woken is
+     * blocked and resumes through contextSwitchIn. @p waker_core is
+     * null when the waker no longer runs anywhere (it exited earlier);
+     * the RSM then uses the clock it captured at the waker's exit.
+     */
+    virtual void threadWoken(KThread &woken, Core *woken_core, Tid waker,
+                             Core *waker_core, Tick now) = 0;
+
     /** A signal was delivered (at a chunk boundary). */
     virtual void signalDelivered(KThread &t, Word signo, Word handler_pc,
                                  Word saved_pc, Addr mailbox,
@@ -157,8 +169,8 @@ class Kernel : public TrapHandler
     Tid createThread(Addr pc, Word sp, Word arg);
     void deschedule(Core &core, KThread &t, ThreadState new_state,
                     Tick now);
-    void wakeFromSyscall(KThread &t, Word ret, Core &charge_core,
-                         Tick now);
+    void wakeFromSyscall(KThread &t, Word ret, Tid waker,
+                         Core &charge_core, Tick now);
     void deliverPendingSignal(KThread &t, Core &core, Tick now);
     void doSyscall(KThread &t, Core &core, Tick now);
 

@@ -202,20 +202,34 @@ ChunkGraph::modeledScheduleCycles(int jobs) const
     return now;
 }
 
-ReachMatrix::ReachMatrix(const ChunkGraph &g)
-    : n(g.nodes.size()), stride((n + 63) / 64), bits(n * stride, 0)
+ReachMatrix::ReachMatrix(const std::vector<std::vector<std::uint32_t>>
+                             &succs)
+    : n(succs.size()), stride((n + 63) / 64), bits(n * stride, 0)
 {
     // Rows in reverse schedule order: a node reaches everything its
     // successors reach, plus the successors themselves.
     for (std::size_t i = n; i-- > 0;) {
         std::uint64_t *row = bits.data() + i * stride;
-        for (std::uint32_t s : g.nodes[i].succs) {
+        for (std::uint32_t s : succs[i]) {
+            qr_assert(s > i && s < n,
+                      "ReachMatrix edge against topological order");
             row[s / 64] |= 1ull << (s % 64);
             const std::uint64_t *srow = bits.data() + s * stride;
             for (std::size_t w = 0; w < stride; ++w)
                 row[w] |= srow[w];
         }
     }
+}
+
+ReachMatrix::ReachMatrix(const ChunkGraph &g)
+    : ReachMatrix([&g] {
+          std::vector<std::vector<std::uint32_t>> succs;
+          succs.reserve(g.nodes.size());
+          for (const ChunkNode &node : g.nodes)
+              succs.push_back(node.succs);
+          return succs;
+      }())
+{
 }
 
 bool

@@ -106,6 +106,16 @@ class ReachMatrix
   public:
     explicit ReachMatrix(const ChunkGraph &g);
 
+    /**
+     * Closure over a bare adjacency structure: @p succs[i] lists the
+     * successors of node i, every one strictly greater than i (nodes
+     * must be topologically ordered by index, as schedule order is).
+     * Lets graph builders without ChunkNodes (the offline analyzer)
+     * reuse the same dense-closure machinery.
+     */
+    explicit ReachMatrix(
+        const std::vector<std::vector<std::uint32_t>> &succs);
+
     /** True iff a directed path @p from -> @p to exists. */
     bool reaches(std::uint32_t from, std::uint32_t to) const;
 

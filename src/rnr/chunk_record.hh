@@ -62,6 +62,20 @@ struct ChunkRecord
 };
 
 /**
+ * Exact per-chunk address sets (cache-line granularity), captured by
+ * the recording unit when RnrParams::exactShadow is on. Not hardware
+ * state: this is the evaluation/analysis side channel the offline race
+ * analyzer consumes (src/analyze/). Lines are sorted and deduplicated.
+ */
+struct ChunkShadow
+{
+    std::vector<Addr> reads;
+    std::vector<Addr> writes;
+
+    bool operator==(const ChunkShadow &o) const = default;
+};
+
+/**
  * Append the packed variable-length encoding of @p rec to @p out.
  * The timestamp is delta-encoded against @p prev_ts (the previous
  * record of the same thread log); sizes and deltas use LEB128 varints.

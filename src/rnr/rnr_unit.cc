@@ -98,10 +98,22 @@ RnrUnit::terminate(ChunkReason reason, Tick now)
     if (rec.rsw)
         _stats.rswNonZero++;
 
+    // Materialize the exact shadow sets before they are flash-cleared
+    // with the rest of the chunk state; the sink (Capo3) persists them
+    // into the sphere for the offline analyzer.
+    ChunkShadow shadow;
+    bool haveShadow = params.exactShadow && sink;
+    if (haveShadow) [[unlikely]] {
+        shadow.reads.assign(shadowReads.begin(), shadowReads.end());
+        shadow.writes.assign(shadowWrites.begin(), shadowWrites.end());
+        std::sort(shadow.reads.begin(), shadow.reads.end());
+        std::sort(shadow.writes.begin(), shadow.writes.end());
+    }
+
     clearChunkState();
 
     if (sink) {
-        sink->onChunkLogged(rec, coreId);
+        sink->onChunkLogged(rec, coreId, haveShadow ? &shadow : nullptr);
         if (sig != Cbuf::Signal::None)
             sink->onCbufSignal(coreId, sig == Cbuf::Signal::Full, now);
     } else if (sig == Cbuf::Signal::Full) {

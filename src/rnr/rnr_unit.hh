@@ -56,8 +56,13 @@ class ChunkSink
   public:
     virtual ~ChunkSink() = default;
 
-    /** A chunk record was appended to a CBUF. */
-    virtual void onChunkLogged(const ChunkRecord &rec, CoreId core) = 0;
+    /**
+     * A chunk record was appended to a CBUF. @p shadow is the chunk's
+     * exact address sets when the unit runs with exactShadow (null
+     * otherwise); it is only valid for the duration of the call.
+     */
+    virtual void onChunkLogged(const ChunkRecord &rec, CoreId core,
+                               const ChunkShadow *shadow) = 0;
 
     /**
      * The CBUF crossed its drain threshold (@p full false: interrupt)

@@ -358,4 +358,61 @@ makeSignalStress(int kills)
                     g.finish()};
 }
 
+Workload
+makeRaceDemo(int threads, int iters, bool racy, Addr *planted_line)
+{
+    GuestBuilder g;
+    // One full line per worker: private counters never share a line.
+    Addr slots =
+        g.alignedBlock(static_cast<std::uint32_t>(threads) * 16);
+    Addr shared = g.alignedBlock(1); // the planted race, its own line
+    Addr total = g.alignedBlock(1);
+    if (planted_line)
+        *planted_line = shared;
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        // Post-join: sum the per-worker slots. These cross-thread reads
+        // are ordered by the join edges, so they must NOT be reported
+        // as races -- the clean twin checks exactly that.
+        g.li(s1, static_cast<Word>(threads));
+        g.li(s2, slots);
+        g.li(t2, 0);
+        std::string sum = g.newLabel("sum");
+        g.label(sum);
+        g.lw(t3, s2, 0);
+        g.add(t2, t2, t3);
+        g.addi(s2, s2, 64);
+        g.addi(s1, s1, -1);
+        g.bne(s1, zero, sum);
+        g.li(t1, total);
+        g.sw(t2, t1, 0);
+        g.sysWrite(total, 4);
+    });
+
+    g.label(body);
+    g.slli(t1, a0, 6); // 64-byte slot per worker
+    g.li(s2, slots);
+    g.add(s2, s2, t1);
+    g.li(s3, shared);
+    g.li(s1, static_cast<Word>(iters));
+    std::string loop = g.newLabel("loop");
+    g.label(loop);
+    g.lw(t2, s2, 0); // private increment: race-free by construction
+    g.addi(t2, t2, 1);
+    g.sw(t2, s2, 0);
+    if (racy) {
+        g.lw(t3, s3, 0); // unlocked shared increment: the planted race
+        g.addi(t3, t3, 1);
+        g.sw(t3, s3, 0);
+    }
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, loop);
+    g.ret();
+
+    return Workload{racy ? "race-demo-racy" : "race-demo-clean",
+                    csprintf("threads=%d iters=%d", threads, iters),
+                    threads, g.finish()};
+}
+
 } // namespace qr

@@ -47,6 +47,20 @@ Workload makeNondetMix(int threads, int iters);
  */
 Workload makeSignalStress(int kills);
 
+/**
+ * Ground-truth twins for the offline race analyzer (qrec analyze).
+ * Every worker increments a private counter in its own 64-byte slot
+ * (disjoint cache lines -- no sharing at all); main sums the slots
+ * after joining, so the only cross-thread dependences are ordered by
+ * the spawn/join synchronization edges and the clean twin must analyze
+ * to zero races. With @p racy the workers additionally increment one
+ * shared, unlocked counter placed on its own line: a planted data race
+ * whose line address is returned through @p planted_line (when
+ * non-null) so tests can check the analyzer reports exactly it.
+ */
+Workload makeRaceDemo(int threads, int iters, bool racy,
+                      Addr *planted_line = nullptr);
+
 } // namespace qr
 
 #endif // QR_WORKLOADS_MICRO_HH

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Offline race analyzer tests: ground-truth twin workloads (a planted
+ * race must be reported with its exact line address, the race-free
+ * twin must analyze to zero races), degraded Bloom-only mode, the
+ * recording-precision audit against deliberately tiny filters, vector
+ * clock sanity, JSON emission, and malformed-sphere rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analyze/race_analyzer.hh"
+#include "core/session.hh"
+#include "sim/bench_json.hh"
+#include "sim/logging.hh"
+#include "workloads/micro.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+namespace
+{
+
+RecordResult
+recordExact(const Workload &w, std::uint32_t bloom_bits = 1024)
+{
+    RecorderConfig rcfg;
+    rcfg.rnr.exactShadow = true;
+    rcfg.rnr.bloom.bits = bloom_bits;
+    return recordProgram(w.program, {}, rcfg);
+}
+
+TEST(RaceAnalyzer, RacyTwinFlagsExactlyThePlantedLine)
+{
+    Addr planted = 0;
+    Workload w = makeRaceDemo(4, 150, true, &planted);
+    ASSERT_NE(planted, 0u);
+    RecordResult rec = recordExact(w);
+    RaceReport rep = analyzeSphere(rec.logs);
+
+    EXPECT_TRUE(rep.exact);
+    EXPECT_EQ(rep.nThreads, 4u);
+    ASSERT_FALSE(rep.races.empty());
+    // Every racy line is the planted one -- nothing else in the
+    // program races, so one distinct address and no false alarms.
+    ASSERT_EQ(rep.racyLines.size(), 1u);
+    EXPECT_EQ(rep.racyLines[0], planted);
+    for (const ConflictEdge &e : rep.races) {
+        EXPECT_TRUE(e.racy);
+        ASSERT_EQ(e.lines.size(), 1u);
+        EXPECT_EQ(e.lines[0], planted);
+        EXPECT_NE(rep.schedule[e.from].tid, rep.schedule[e.to].tid);
+    }
+}
+
+TEST(RaceAnalyzer, CleanTwinAnalyzesToZeroRaces)
+{
+    Workload w = makeRaceDemo(4, 150, false);
+    RecordResult rec = recordExact(w);
+    RaceReport rep = analyzeSphere(rec.logs);
+
+    EXPECT_TRUE(rep.exact);
+    // The post-join summing loop reads every worker's slot, so there
+    // ARE cross-thread dependences -- they are all covered by the
+    // spawn/join synchronization edges the kernel recorded.
+    EXPECT_GT(rep.syncEdges, 0u);
+    EXPECT_TRUE(rep.races.empty()) << rep.str();
+    EXPECT_TRUE(rep.racyLines.empty());
+}
+
+TEST(RaceAnalyzer, DegradedModeStillFlagsTheRacyTwin)
+{
+    // No exact shadow sets: the analyzer falls back to conflict
+    // terminations as possible-race candidates, without addresses.
+    Workload racy = makeRaceDemo(4, 150, true);
+    RecordResult rec = recordProgram(racy.program);
+    EXPECT_FALSE(rec.logs.hasShadows());
+    RaceReport rep = analyzeSphere(rec.logs);
+    EXPECT_FALSE(rep.exact);
+    EXPECT_FALSE(rep.races.empty());
+    EXPECT_TRUE(rep.racyLines.empty());
+    for (const ConflictEdge &e : rep.races)
+        EXPECT_TRUE(e.lines.empty());
+
+    Workload clean = makeRaceDemo(4, 150, false);
+    RecordResult crec = recordProgram(clean.program);
+    RaceReport crep = analyzeSphere(crec.logs);
+    EXPECT_FALSE(crep.exact);
+    EXPECT_TRUE(crep.races.empty()) << crep.str();
+}
+
+TEST(RaceAnalyzer, AuditClassifiesEveryConflictTermination)
+{
+    Addr planted = 0;
+    Workload w = makeRaceDemo(4, 200, true, &planted);
+    RecordResult rec = recordExact(w);
+    RaceReport rep = analyzeSphere(rec.logs);
+
+    std::uint64_t conflictTerms = 0;
+    for (int r = 0; r < numChunkReasons; ++r)
+        if (isConflictReason(static_cast<ChunkReason>(r)))
+            conflictTerms += rep.reasonCounts[r];
+    EXPECT_EQ(rep.audit.conflictTerminations, conflictTerms);
+    EXPECT_EQ(rep.audit.trueConflicts + rep.audit.bloomFalseConflicts +
+                  rep.audit.unattributed,
+              rep.audit.conflictTerminations);
+    // With the default 1024-bit filters and this tiny footprint the
+    // terminations are all genuine: the planted counter really is
+    // shared.
+    EXPECT_GT(rep.audit.trueConflicts, 0u);
+    EXPECT_EQ(rep.audit.falseConflictRate(), 0.0) << rep.str();
+}
+
+TEST(RaceAnalyzer, TinyFiltersProduceBloomFalseConflicts)
+{
+    // Shrink the filters to the 64-bit minimum on a workload with real
+    // sharing: chunks insert many distinct lines, so remote accesses to
+    // lines a chunk never touched alias into its filter. The audit must
+    // attribute those terminations to the Bloom filter.
+    Workload w = makeByName("fft", 4, 1);
+    RecordResult rec = recordExact(w, /*bloom_bits=*/64);
+    ASSERT_GT(rec.metrics.falseConflicts, 0u)
+        << "recording did not alias; shrink the filter further";
+    RaceReport rep = analyzeSphere(rec.logs);
+    EXPECT_GT(rep.audit.conflictTerminations, 0u);
+    EXPECT_GT(rep.audit.bloomFalseConflicts, 0u) << rep.str();
+    EXPECT_GT(rep.audit.falseConflictRate(), 0.0);
+    EXPECT_EQ(rep.audit.trueConflicts + rep.audit.bloomFalseConflicts +
+                  rep.audit.unattributed,
+              rep.audit.conflictTerminations);
+}
+
+TEST(RaceAnalyzer, VectorClocksOrderProgramAndJoin)
+{
+    Workload w = makeRaceDemo(4, 100, false);
+    RecordResult rec = recordExact(w);
+    RaceReport rep = analyzeSphere(rec.logs);
+    ASSERT_TRUE(rep.races.empty());
+    ASSERT_GT(rep.nChunks, 2u);
+
+    // Program order: consecutive chunks of one thread are always
+    // clock-ordered.
+    auto byThread = SphereLogs::chunkIndexByThread(rep.schedule);
+    for (const auto &[tid, positions] : byThread)
+        for (std::size_t p = 1; p < positions.size(); ++p)
+            EXPECT_TRUE(rep.happensBefore(positions[p - 1],
+                                          positions[p]))
+                << "tid " << tid << " position " << p;
+
+    // Join order: main exits last, after joining every worker, so its
+    // final chunk is clock-after every chunk of the run.
+    std::uint32_t last = static_cast<std::uint32_t>(rep.nChunks) - 1;
+    for (std::uint32_t i = 0; i < last; ++i)
+        EXPECT_TRUE(rep.happensBefore(i, last)) << "chunk " << i;
+}
+
+TEST(RaceAnalyzer, RacyEndpointsAreConcurrentByVectorClock)
+{
+    Workload w = makeRaceDemo(4, 150, true);
+    RecordResult rec = recordExact(w);
+    RaceReport rep = analyzeSphere(rec.logs);
+    ASSERT_FALSE(rep.races.empty());
+    // A race is exactly a pair the clocks do not order.
+    for (std::size_t i = 0; i < rep.races.size() && i < 10; ++i) {
+        const ConflictEdge &e = rep.races[i];
+        EXPECT_FALSE(rep.happensBefore(e.from, e.to)) << i;
+        EXPECT_FALSE(rep.happensBefore(e.to, e.from)) << i;
+    }
+}
+
+TEST(RaceAnalyzer, BenchDocRoundTripsThroughTheJsonParser)
+{
+    Workload w = makeRaceDemo(2, 80, true);
+    RecordResult rec = recordExact(w);
+    RaceReport rep = analyzeSphere(rec.logs);
+    BenchDoc doc = rep.toBenchDoc("race-demo-racy");
+    EXPECT_EQ(doc.bench, "ANALYZE");
+
+    BenchDoc parsed;
+    std::string err;
+    ASSERT_TRUE(parseBenchJson(doc.str(), parsed, err)) << err;
+    EXPECT_EQ(parsed.bench, "ANALYZE");
+    auto find = [&](const char *metric) -> const BenchResult * {
+        for (const BenchResult &r : parsed.results)
+            if (r.metric == metric)
+                return &r;
+        return nullptr;
+    };
+    const BenchResult *races = find("races");
+    ASSERT_NE(races, nullptr);
+    EXPECT_EQ(races->value, static_cast<double>(rep.races.size()));
+    const BenchResult *rate = find("false_conflict_rate");
+    ASSERT_NE(rate, nullptr);
+    EXPECT_EQ(rate->value, rep.audit.falseConflictRate());
+    ASSERT_NE(find("chunks"), nullptr);
+    EXPECT_EQ(find("chunks")->value,
+              static_cast<double>(rep.nChunks));
+}
+
+TEST(RaceAnalyzer, MalformedSphereThrowsParseErrorNotAbort)
+{
+    // Non-monotonic per-thread timestamps violate the Lamport
+    // construction; the analyzer must reject them recoverably.
+    SphereLogs logs;
+    ChunkRecord a;
+    a.ts = 5;
+    a.tid = 1;
+    a.size = 10;
+    ChunkRecord b = a; // same timestamp: impossible in a valid log
+    logs.threads[1].chunks = {a, b};
+    EXPECT_THROW(analyzeSphere(logs), ParseError);
+}
+
+TEST(RaceAnalyzer, MismatchedShadowsDegradeInsteadOfCrashing)
+{
+    Workload w = makeRaceDemo(2, 60, true);
+    RecordResult rec = recordExact(w);
+    ASSERT_TRUE(rec.logs.hasShadows());
+    // Drop one shadow set: the sphere no longer carries a full exact
+    // view, so the analyzer falls back to degraded mode.
+    auto &tl = rec.logs.threads.begin()->second;
+    ASSERT_FALSE(tl.shadows.empty());
+    tl.shadows.pop_back();
+    EXPECT_FALSE(rec.logs.hasShadows());
+    RaceReport rep = analyzeSphere(rec.logs);
+    EXPECT_FALSE(rep.exact);
+}
+
+TEST(RaceAnalyzer, EmptySphereProducesEmptyReport)
+{
+    SphereLogs logs;
+    RaceReport rep = analyzeSphere(logs);
+    EXPECT_EQ(rep.nChunks, 0u);
+    EXPECT_TRUE(rep.races.empty());
+    EXPECT_EQ(rep.totalEdges, 0u);
+    EXPECT_FALSE(rep.str().empty());
+}
+
+} // namespace
+} // namespace qr

@@ -13,6 +13,7 @@
 #include "capo/log_store.hh"
 #include "capo/sphere.hh"
 #include "core/session.hh"
+#include "replay/log_reader.hh"
 #include "rnr/chunk_record.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -244,6 +245,131 @@ TEST(SphereLogsCorruption, LoadSphereReportsBadFiles)
         << huge.error;
 
     std::remove(path.c_str());
+}
+
+/** Minimal hand-built sphere: one thread, strictly monotonic chunks. */
+SphereLogs
+tinySphere(Timestamp ts0, Timestamp ts1)
+{
+    SphereLogs logs;
+    logs.memBytes = 1 << 20;
+    logs.userTop = 1 << 19;
+    ChunkRecord a;
+    a.ts = ts0;
+    a.tid = 0;
+    a.size = 10;
+    ChunkRecord b = a;
+    b.ts = ts1;
+    logs.threads[0].chunks = {a, b};
+    return logs;
+}
+
+TEST(SphereLogsCorruption, FutureVersionIsRejectedRecoverably)
+{
+    Workload w = makeRacyCounter(2, 40, false);
+    RecordResult rec = recordProgram(w.program);
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    ASSERT_GE(bytes.size(), 4u);
+    for (char v : {'3', '4', '9'}) {
+        std::vector<std::uint8_t> mut = bytes;
+        mut[3] = static_cast<std::uint8_t>(v);
+        try {
+            SphereLogs::deserialize(mut);
+            FAIL() << "version '" << v << "' accepted";
+        } catch (const ParseError &e) {
+            // The message must tell the user it's a versioning problem,
+            // not generic corruption.
+            EXPECT_NE(std::string(e.what()).find("future"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(SphereLogsCorruption, NonMonotonicTimestampsAreRejected)
+{
+    // Equal timestamps within a thread violate the Lamport
+    // construction; a corrupted stream decoding to a zero delta must be
+    // refused at parse time, not crash chunksByTimestamp() later.
+    std::vector<std::uint8_t> bytes = tinySphere(3, 3).serialize();
+    EXPECT_THROW(SphereLogs::deserialize(bytes), ParseError);
+    // buildSchedule on the in-memory equivalent is recoverable too.
+    EXPECT_THROW(buildSchedule(tinySphere(3, 3)), ParseError);
+    // The well-formed variant parses.
+    std::vector<std::uint8_t> ok = tinySphere(3, 4).serialize();
+    EXPECT_EQ(SphereLogs::deserialize(ok), tinySphere(3, 4));
+}
+
+TEST(SphereLogsCorruption, OutOfRangeTidIsRejected)
+{
+    SphereLogs logs = tinySphere(1, 2);
+    auto node = logs.threads.extract(0);
+    Tid huge = (1 << 20) + 1;
+    node.key() = huge;
+    for (ChunkRecord &rec : node.mapped().chunks)
+        rec.tid = huge;
+    logs.threads.insert(std::move(node));
+    std::vector<std::uint8_t> bytes = logs.serialize();
+    EXPECT_THROW(SphereLogs::deserialize(bytes), ParseError);
+}
+
+TEST(SphereLogsV2, PlainSpheresKeepTheLegacyV1Encoding)
+{
+    // A sphere without v2 payload must stay byte-compatible with old
+    // readers: magic "QRS1".
+    SphereLogs logs = tinySphere(1, 2);
+    std::vector<std::uint8_t> bytes = logs.serialize();
+    ASSERT_GE(bytes.size(), 4u);
+    EXPECT_EQ(bytes[3], '1');
+    EXPECT_EQ(SphereLogs::deserialize(bytes), logs);
+}
+
+TEST(SphereLogsV2, ShadowRecordingRoundTripsThroughV2)
+{
+    Workload w = makeRaceDemo(4, 80, true);
+    RecorderConfig rcfg;
+    rcfg.rnr.exactShadow = true;
+    RecordResult rec = recordProgram(w.program, {}, rcfg);
+
+    EXPECT_TRUE(rec.logs.meta.exactShadow);
+    EXPECT_TRUE(rec.logs.hasShadows());
+    bool anySync = false;
+    for (const auto &[tid, tl] : rec.logs.threads) {
+        EXPECT_EQ(tl.shadows.size(), tl.chunks.size()) << "tid " << tid;
+        anySync |= !tl.syncs.empty();
+    }
+    EXPECT_TRUE(anySync) << "spawn/join edges missing";
+
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    ASSERT_GE(bytes.size(), 4u);
+    EXPECT_EQ(bytes[3], '2');
+    SphereLogs back = SphereLogs::deserialize(bytes);
+    EXPECT_EQ(back, rec.logs);
+}
+
+TEST(SphereLogsV2, BitFlipsNeverCrashTheV2Reader)
+{
+    // Same fuzz contract as the v1 reader, over the richer v2 stream
+    // (meta, sync points, shadow sets): parse or ParseError, never an
+    // abort.
+    Workload w = makeRaceDemo(2, 50, true);
+    RecorderConfig rcfg;
+    rcfg.rnr.exactShadow = true;
+    RecordResult rec = recordProgram(w.program, {}, rcfg);
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    Rng rng(1717);
+    for (int trial = 0; trial < 400; ++trial) {
+        std::vector<std::uint8_t> mut = bytes;
+        std::size_t byte = rng.below(mut.size());
+        mut[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        try {
+            SphereLogs parsed = SphereLogs::deserialize(mut);
+            (void)parsed.totalChunks();
+            (void)parsed.hasShadows();
+        } catch (const ParseError &) {
+            // Recoverable rejection is the other acceptable outcome.
+        }
+    }
 }
 
 TEST(Rsm, OverheadAttributionCoversActiveCategories)

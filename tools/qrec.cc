@@ -16,6 +16,13 @@
  *       report the replay-speed fields.
  *   qrec inspect -i <file>
  *       Summarize a recorded sphere's logs.
+ *   qrec analyze -i <file> [--json out.json]
+ *       Offline happens-before race analysis over the recorded chunk
+ *       logs: no replay, works on the sphere alone. Reports races
+ *       (with line addresses when the sphere was recorded with
+ *       --exact-shadow), the recording-precision audit, and the
+ *       termination histograms; --json additionally emits the
+ *       machine-readable rows (bench_json schema).
  *
  * The .qrec container wraps the sphere byte stream with the workload
  * identity and the recorded digests so a replay is self-validating.
@@ -26,6 +33,7 @@
 #include <cstring>
 #include <string>
 
+#include "analyze/race_analyzer.hh"
 #include "capo/log_store.hh"
 #include "isa/disassembler.hh"
 #include "core/session.hh"
@@ -172,6 +180,10 @@ buildWorkload(const std::string &name, int threads, int scale)
         return makeNondetMix(threads, 100 * scale);
     if (name == "signal-stress")
         return makeSignalStress(8 * scale);
+    if (name == "race-demo-racy")
+        return makeRaceDemo(threads, 200 * scale, true);
+    if (name == "race-demo-clean")
+        return makeRaceDemo(threads, 200 * scale, false);
     fatal("unknown workload '%s' (try 'qrec list')", name.c_str());
 }
 
@@ -184,7 +196,8 @@ cmdList()
     std::printf("micro-workloads:\n");
     for (const char *n : {"counter-racy", "counter-locked", "pingpong",
                           "false-sharing", "prodcons", "nondet-mix",
-                          "signal-stress"})
+                          "signal-stress", "race-demo-racy",
+                          "race-demo-clean"})
         std::printf("  %s\n", n);
     return 0;
 }
@@ -198,6 +211,8 @@ struct Args
     int replayJobs = 0; //!< 0 = flag not given (sequential only)
     bool record = false;
     bool stats = false;
+    bool exactShadow = false;
+    std::string jsonFile;
 };
 
 Args
@@ -237,6 +252,10 @@ parseArgs(int argc, char **argv, int first, bool wants_workload)
             a.record = true;
         else if (s == "--stats")
             a.stats = true;
+        else if (s == "--exact-shadow")
+            a.exactShadow = true;
+        else if (s == "--json")
+            a.jsonFile = next();
         else
             fatal("unknown option '%s'", s.c_str());
     }
@@ -267,7 +286,9 @@ cmdRecord(const Args &a)
     if (a.file.empty())
         fatal("record needs -o <file>");
     Workload w = buildWorkload(a.workload, a.threads, a.scale);
-    RecordResult rec = recordProgram(w.program);
+    RecorderConfig rcfg;
+    rcfg.rnr.exactShadow = a.exactShadow;
+    RecordResult rec = recordProgram(w.program, {}, rcfg);
     std::printf("recorded %s: %s\n", w.name.c_str(),
                 rec.metrics.summary().c_str());
     Container c{w.name, a.threads, a.scale, rec.metrics.digests,
@@ -360,6 +381,36 @@ cmdInspect(const Args &a)
 }
 
 int
+cmdAnalyze(const Args &a)
+{
+    if (a.file.empty())
+        fatal("analyze needs -i <file>");
+    Container c = loadContainer(a.file);
+    std::printf("analyzing %s (threads=%d scale=%d) from %s\n",
+                c.workload.c_str(), c.threads, c.scale,
+                a.file.c_str());
+    RaceReport rep;
+    try {
+        rep = analyzeSphere(c.logs);
+    } catch (const ParseError &e) {
+        fatal("'%s' is corrupt: %s", a.file.c_str(), e.what());
+    }
+    std::fputs(rep.str().c_str(), stdout);
+
+    if (!a.jsonFile.empty()) {
+        BenchDoc doc = rep.toBenchDoc(c.workload);
+        std::FILE *f = std::fopen(a.jsonFile.c_str(), "wb");
+        if (!f)
+            fatal("cannot write '%s'", a.jsonFile.c_str());
+        std::string text = doc.str();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", a.jsonFile.c_str());
+    }
+    return rep.races.empty() ? 0 : 1;
+}
+
+int
 cmdDisasm(const Args &a)
 {
     Workload w = buildWorkload(a.workload, a.threads, a.scale);
@@ -379,12 +430,14 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: qrec "
-                 "<list|run|record|replay|inspect|disasm> ...\n"
+                 "<list|run|record|replay|inspect|analyze|disasm> ...\n"
                  "  qrec run <workload> [-t N] [-s S] [--record] "
                  "[--stats]\n"
-                 "  qrec record <workload> [-t N] [-s S] -o file.qrec\n"
+                 "  qrec record <workload> [-t N] [-s S] "
+                 "[--exact-shadow] -o file.qrec\n"
                  "  qrec replay -i file.qrec [--replay-jobs N]\n"
                  "  qrec inspect -i file.qrec\n"
+                 "  qrec analyze -i file.qrec [--json out.json]\n"
                  "  qrec disasm <workload> [-t N] [-s S]\n");
     return 2;
 }
@@ -409,6 +462,8 @@ main(int argc, char **argv)
         return cmdReplay(parseArgs(argc, argv, 2, false));
     if (cmd == "inspect")
         return cmdInspect(parseArgs(argc, argv, 2, false));
+    if (cmd == "analyze")
+        return cmdAnalyze(parseArgs(argc, argv, 2, false));
     if (cmd == "disasm")
         return cmdDisasm(parseArgs(argc, argv, 2, true));
     return usage();

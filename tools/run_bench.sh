@@ -56,3 +56,27 @@ echo "== E3: recording overhead =="
 # shellcheck disable=SC2086  # M1_JSON is intentionally word-split
 "$BUILD/tools/bench_json_util" merge RECORD "$ROOT/BENCH_RECORD.json" \
     $M1_JSON "$OUT/BENCH_M2.json" "$OUT/BENCH_E3.json"
+
+# Optional (QR_BENCH_ANALYZE=1): offline race/precision analysis over
+# the whole suite. Records every workload with exact shadow sets, runs
+# qrec analyze on each sphere -- log input only, no replay -- and
+# merges the per-workload rows (races, Bloom false-conflict rate,
+# termination histogram) into ANALYZE_RECORD.json at the repo root.
+if [ "${QR_BENCH_ANALYZE:-0}" = "1" ]; then
+    echo "== ANALYZE: offline race + recording-precision audit =="
+    cmake --build "$BUILD" -j --target qrec bench_json_util
+    ANALYZE_JSON=""
+    for w in barnes fft fmm lu ocean radiosity radix raytrace \
+             water-nsq water-sp; do
+        "$BUILD/tools/qrec" record "$w" -t 4 --exact-shadow \
+            -o "$OUT/analyze_$w.qrec" > /dev/null
+        # analyze exits nonzero when it finds races; that is a finding,
+        # not a harness failure.
+        "$BUILD/tools/qrec" analyze -i "$OUT/analyze_$w.qrec" \
+            --json "$OUT/ANALYZE_$w.json" > /dev/null || true
+        ANALYZE_JSON="$ANALYZE_JSON $OUT/ANALYZE_$w.json"
+    done
+    # shellcheck disable=SC2086  # intentionally word-split
+    "$BUILD/tools/bench_json_util" merge ANALYZE \
+        "$ROOT/ANALYZE_RECORD.json" $ANALYZE_JSON
+fi
