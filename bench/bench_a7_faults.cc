@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A7 -- fault-injection degradation curve: how gracefully does the
+ * recorder degrade as CBUF drain signals get lost? Sweeps the
+ * cbuf-drop probability with an undersized CBUF (so backpressure
+ * actually bites), records each workload under injection, then replays
+ * the damaged sphere in degraded mode. Reports the fraction of chunks
+ * that survive end-to-end, the gap markers that witness the losses,
+ * and the extra recording cycles the fault paths cost.
+ *
+ * Emits BENCH_A7.json: per workload and drop rate,
+ * recovered_frac@<rate>, gap_markers@<rate> and overhead_pct@<rate>
+ * (recording cycles relative to the fault-free recording at the same
+ * CBUF size).
+ */
+
+#include <vector>
+
+#include "common.hh"
+#include "sim/logging.hh"
+
+using namespace qr;
+
+namespace
+{
+
+/** Undersized CBUF so drain pressure is real at bench scale. */
+constexpr std::uint32_t faultCbufEntries = 64;
+
+RecorderConfig
+faultRecorder(const std::string &spec, std::uint64_t seed)
+{
+    RecorderConfig rcfg = benchRecorder();
+    rcfg.cbuf.entries = faultCbufEntries;
+    rcfg.faults.spec = spec;
+    rcfg.faults.seed = seed;
+    return rcfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("A7", "fault injection: degraded recording and replay "
+                      "vs drain-signal loss rate");
+    BenchJson json("A7");
+    const char *names[] = {"radix", "radiosity"};
+    const double rates[] = {0.0, 0.01, 0.1, 0.5, 0.9};
+    Table t({"benchmark", "drop rate", "chunks", "dropped", "gaps",
+             "recovered%", "overhead%"});
+    for (const char *name : names) {
+        Workload w = makeByName(name, benchThreads, benchScale);
+        // Fault-free reference at the same CBUF size: the overhead
+        // column isolates the fault paths, not the small buffer.
+        RecordResult ref = recordProgram(w.program, benchMachine(),
+                                         faultRecorder("", 1));
+        std::uint64_t refChunks = ref.logs.totalChunks();
+        for (double rate : rates) {
+            std::string spec =
+                rate > 0 ? csprintf("cbuf-drop@%g", rate) : "";
+            RecordResult rec = recordProgram(w.program, benchMachine(),
+                                             faultRecorder(spec, 7));
+            const RunMetrics &m = rec.metrics;
+            ReplayResult rep = replaySphere(w.program, rec.logs,
+                                            ReplayMode::Degraded);
+            if (!rep.ok)
+                fatal("degraded replay failed for %s at rate %g",
+                      name, rate);
+            double recovered = refChunks
+                ? percent(
+                      static_cast<double>(rep.degraded.chunksReplayed),
+                      static_cast<double>(refChunks))
+                : 0.0;
+            double overhead = ref.metrics.cycles
+                ? percent(static_cast<double>(m.cycles)
+                              - static_cast<double>(ref.metrics.cycles),
+                          static_cast<double>(ref.metrics.cycles))
+                : 0.0;
+            t.row().cell(name).cell(rate, 2)
+                .cell(m.logSizes.chunkRecords).cell(m.droppedChunks)
+                .cell(m.gapChunks).cell(recovered, 1)
+                .cellPct(overhead, 2);
+            std::string tag = csprintf("@%g", rate);
+            json.add(name, "recovered_frac" + tag, recovered / 100.0);
+            json.add(name, "gap_markers" + tag,
+                     static_cast<double>(m.gapChunks));
+            json.add(name, "overhead_pct" + tag, overhead);
+        }
+    }
+    t.print();
+    benchJsonEmit(json);
+    return 0;
+}

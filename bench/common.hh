@@ -78,7 +78,7 @@ inline RecorderConfig
 benchRecorderHwOnly()
 {
     RecorderConfig rcfg;
-    rcfg.costs = CostModel{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    rcfg.costs = CostModel{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
     return rcfg;
 }
 

@@ -32,7 +32,13 @@ main()
         RecordResult rec = recordProgram(w.program);
 
         std::string path = "/tmp/qr_sphere_" + w.name + ".qrs";
-        std::uint64_t bytes = saveSphere(rec.logs, path);
+        SphereSaveResult saved = saveSphere(rec.logs, path);
+        if (!saved) {
+            std::fprintf(stderr, "save failed: %s\n",
+                         saved.error.c_str());
+            continue;
+        }
+        std::uint64_t bytes = saved.bytes;
         double secs = static_cast<double>(rec.metrics.cycles) / clockHz;
         totalBytes += bytes;
         totalSeconds += secs;

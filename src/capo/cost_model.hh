@@ -55,6 +55,14 @@ struct CostModel
 
     /** Sphere membership management at thread start/exit. */
     Tick sphereManage = 900;
+
+    /** First CBUF drain retry after an injected failure (doubles per
+     *  attempt -- exponential backoff, bounded by Rsm::maxDrainRetries). */
+    Tick cbufDrainRetry = 3000;
+
+    /** Stall charged when a CBUF drain signal is delayed in delivery
+     *  (fault injection: the hardware holds backpressure meanwhile). */
+    Tick cbufDelayStall = 2500;
 };
 
 /** Categories the recording overhead is attributed to (experiment E4). */

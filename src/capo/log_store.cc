@@ -1,8 +1,10 @@
 #include "capo/log_store.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
+#include "fault/fault_plan.hh"
 #include "sim/logging.hh"
 
 namespace qr
@@ -20,50 +22,366 @@ measureLogs(const SphereLogs &logs)
     return sizes;
 }
 
-std::uint64_t
-saveSphere(const SphereLogs &logs, const std::string &path)
+namespace
 {
-    std::vector<std::uint8_t> bytes = logs.serialize();
+
+/** Local FNV-1a (metrics.hh includes this header, so no reuse). */
+std::uint64_t
+fnvBytes(const std::uint8_t *data, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+const char segMagic[4] = {'Q', 'S', 'G', '1'};
+constexpr std::uint8_t segTag = 'S';
+constexpr std::uint8_t trailerTag = 'T';
+/** Tag + segment count + whole-payload checksum. */
+constexpr std::size_t trailerBytes = 1 + 4 + 8;
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &in, std::size_t pos)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(in[pos + i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::vector<std::uint8_t> &in, std::size_t pos)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
+    return v;
+}
+
+/** Assemble the full sealed container byte stream. */
+std::vector<std::uint8_t>
+buildSegmented(const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(payload.size() + payload.size() / segmentPayloadBytes *
+                13 + 32);
+    out.insert(out.end(), segMagic, segMagic + 4);
+    std::uint32_t nsegs = 0;
+    for (std::size_t off = 0; off < payload.size();
+         off += segmentPayloadBytes) {
+        std::size_t len = std::min<std::size_t>(segmentPayloadBytes,
+                                                payload.size() - off);
+        out.push_back(segTag);
+        putU32(out, static_cast<std::uint32_t>(len));
+        out.insert(out.end(), payload.begin() + off,
+                   payload.begin() + off + len);
+        putU64(out, fnvBytes(payload.data() + off, len));
+        nsegs++;
+    }
+    out.push_back(trailerTag);
+    putU32(out, nsegs);
+    putU64(out, fnvBytes(payload.data(), payload.size()));
+    return out;
+}
+
+/** Read a whole file; empty error string on success. */
+std::string
+readFile(const std::string &path, std::vector<std::uint8_t> &bytes)
+{
     std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
-        std::fopen(path.c_str(), "wb"), &std::fclose);
+        std::fopen(path.c_str(), "rb"), &std::fclose);
     if (!f)
-        fatal("cannot open '%s' for writing", path.c_str());
-    std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f.get());
+        return csprintf("cannot open '%s' for reading", path.c_str());
+    std::fseek(f.get(), 0, SEEK_END);
+    long size = std::ftell(f.get());
+    std::fseek(f.get(), 0, SEEK_SET);
+    if (size < 0)
+        return csprintf("cannot size '%s'", path.c_str());
+    bytes.resize(static_cast<std::size_t>(size));
+    std::size_t n = std::fread(bytes.data(), 1, bytes.size(), f.get());
     if (n != bytes.size())
-        fatal("short write to '%s'", path.c_str());
-    return bytes.size();
+        return csprintf("short read from '%s'", path.c_str());
+    return "";
+}
+
+} // namespace
+
+bool
+isSegmented(const std::vector<std::uint8_t> &raw)
+{
+    return raw.size() >= 4 && raw[0] == 'Q' && raw[1] == 'S' &&
+           raw[2] == 'G' && raw[3] == '1';
+}
+
+SegmentedWriteResult
+writeSegmented(const std::vector<std::uint8_t> &payload,
+               const std::string &path, FaultPlan *faults)
+{
+    SegmentedWriteResult res;
+    std::vector<std::uint8_t> bytes = buildSegmented(payload);
+
+    if (faults && faults->fire(FaultSite::IoEnospc)) {
+        // The filesystem is out of space before anything lands: the
+        // temp file never makes it, and any old artifact at @p path
+        // survives untouched.
+        res.error = csprintf("injected ENOSPC: '%s' not written",
+                             path.c_str());
+        res.injected = true;
+        return res;
+    }
+
+    // Injected crash shapes. Both leave a deterministically torn file
+    // *in place* (simulating a crash after rename, or a rename of a
+    // short temp by a sloppy service) so the recovery path has
+    // something real to chew on:
+    //  - short write: the tail write stops early, losing at most the
+    //    last segment and the trailer;
+    //  - torn write: the stream is cut at an arbitrary point past the
+    //    magic.
+    std::size_t writeLen = bytes.size();
+    std::string injectedWhat;
+    if (faults && faults->fire(FaultSite::IoShort)) {
+        std::size_t lastSeg = payload.empty()
+            ? 0
+            : (payload.size() - 1) % segmentPayloadBytes + 1 + 13;
+        std::uint64_t lossMax =
+            std::min<std::uint64_t>(bytes.size() - 4,
+                                    trailerBytes + lastSeg);
+        std::uint64_t loss =
+            1 + faults->draw(FaultSite::IoShort, lossMax);
+        writeLen = bytes.size() - static_cast<std::size_t>(loss);
+        injectedWhat = csprintf("injected short write: %llu of %zu "
+                                "bytes",
+                                static_cast<unsigned long long>(
+                                    writeLen),
+                                bytes.size());
+    } else if (faults && faults->fire(FaultSite::IoTorn)) {
+        writeLen = static_cast<std::size_t>(
+            4 + faults->draw(FaultSite::IoTorn, bytes.size() - 4));
+        injectedWhat = csprintf("injected torn write: %zu of %zu bytes",
+                                writeLen, bytes.size());
+    }
+
+    std::string tmp = path + ".tmp";
+    {
+        std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+            std::fopen(tmp.c_str(), "wb"), &std::fclose);
+        if (!f) {
+            res.error = csprintf("cannot open '%s' for writing",
+                                 tmp.c_str());
+            return res;
+        }
+        std::size_t n = std::fwrite(bytes.data(), 1, writeLen, f.get());
+        if (n != writeLen) {
+            res.error = csprintf("short write to '%s'", tmp.c_str());
+            std::remove(tmp.c_str());
+            return res;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        res.error = csprintf("cannot rename '%s' into place",
+                             tmp.c_str());
+        std::remove(tmp.c_str());
+        return res;
+    }
+    res.bytes = writeLen;
+    if (!injectedWhat.empty()) {
+        res.error = injectedWhat;
+        res.injected = true;
+        return res;
+    }
+    res.ok = true;
+    return res;
+}
+
+SegmentedReadResult
+readSegmented(const std::vector<std::uint8_t> &raw)
+{
+    SegmentedReadResult res;
+    if (!isSegmented(raw)) {
+        res.error = "not a segmented (QSG1) container";
+        return res;
+    }
+    res.ok = true;
+    std::size_t pos = 4;
+    for (;;) {
+        if (pos >= raw.size()) {
+            res.error = "container ends without a trailer";
+            return res;
+        }
+        std::uint8_t tag = raw[pos];
+        if (tag == trailerTag) {
+            if (raw.size() - pos < trailerBytes) {
+                res.error = "truncated trailer";
+                return res;
+            }
+            std::uint32_t nsegs = getU32(raw, pos + 1);
+            std::uint64_t sum = getU64(raw, pos + 5);
+            if (nsegs != res.segments) {
+                res.error = csprintf("trailer expects %u segments, "
+                                     "read %llu",
+                                     nsegs,
+                                     static_cast<unsigned long long>(
+                                         res.segments));
+                return res;
+            }
+            if (sum != fnvBytes(res.payload.data(),
+                                res.payload.size())) {
+                res.error = "trailer checksum mismatch";
+                return res;
+            }
+            if (pos + trailerBytes != raw.size()) {
+                res.error = "trailing bytes after the trailer";
+                return res;
+            }
+            res.sealed = true;
+            return res;
+        }
+        if (tag != segTag) {
+            res.error = csprintf("unexpected tag 0x%02x at offset %zu",
+                                 tag, pos);
+            return res;
+        }
+        if (raw.size() - pos < 5) {
+            res.error = "truncated segment header";
+            return res;
+        }
+        std::uint32_t len = getU32(raw, pos + 1);
+        if (len == 0 || len > segmentPayloadBytes) {
+            res.error = csprintf("implausible segment length %u", len);
+            return res;
+        }
+        if (raw.size() - pos < 5 + static_cast<std::size_t>(len) + 8) {
+            res.error = csprintf("segment %llu torn mid-record",
+                                 static_cast<unsigned long long>(
+                                     res.segments));
+            return res;
+        }
+        std::uint64_t sum = getU64(raw, pos + 5 + len);
+        if (sum != fnvBytes(raw.data() + pos + 5, len)) {
+            res.error = csprintf("segment %llu checksum mismatch",
+                                 static_cast<unsigned long long>(
+                                     res.segments));
+            return res;
+        }
+        res.payload.insert(res.payload.end(), raw.begin() + pos + 5,
+                           raw.begin() + pos + 5 + len);
+        pos += 5 + len + 8;
+        res.segments++;
+    }
+}
+
+SphereSaveResult
+saveSphere(const SphereLogs &logs, const std::string &path,
+           FaultPlan *faults)
+{
+    SegmentedWriteResult w = writeSegmented(logs.serialize(), path,
+                                            faults);
+    SphereSaveResult res;
+    res.ok = w.ok;
+    res.error = w.error;
+    res.bytes = w.bytes;
+    res.injected = w.injected;
+    return res;
 }
 
 SphereLoadResult
 loadSphere(const std::string &path)
 {
     SphereLoadResult res;
-    std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
-        std::fopen(path.c_str(), "rb"), &std::fclose);
-    if (!f) {
-        res.error = csprintf("cannot open '%s' for reading",
-                             path.c_str());
+    std::vector<std::uint8_t> bytes;
+    res.error = readFile(path, bytes);
+    if (!res.error.empty())
         return res;
+
+    const std::vector<std::uint8_t> *payload = &bytes;
+    SegmentedReadResult seg;
+    if (isSegmented(bytes)) {
+        seg = readSegmented(bytes);
+        if (!seg.sealed) {
+            res.error = csprintf("'%s' is a torn sphere container "
+                                 "(%s); 'qrec recover' can salvage it",
+                                 path.c_str(), seg.error.c_str());
+            return res;
+        }
+        payload = &seg.payload;
     }
-    std::fseek(f.get(), 0, SEEK_END);
-    long size = std::ftell(f.get());
-    std::fseek(f.get(), 0, SEEK_SET);
-    if (size < 0) {
-        res.error = csprintf("cannot size '%s'", path.c_str());
-        return res;
-    }
-    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-    std::size_t n = std::fread(bytes.data(), 1, bytes.size(), f.get());
-    if (n != bytes.size()) {
-        res.error = csprintf("short read from '%s'", path.c_str());
-        return res;
-    }
+    // Legacy raw streams fall through with payload = the file bytes.
     try {
-        res.logs = SphereLogs::deserialize(bytes);
+        res.logs = SphereLogs::deserialize(*payload);
         res.ok = true;
     } catch (const ParseError &e) {
         res.error = csprintf("'%s' is not a valid sphere log: %s",
                              path.c_str(), e.what());
+    }
+    return res;
+}
+
+SphereRecoverResult
+recoverSphere(const std::string &path)
+{
+    SphereRecoverResult res;
+    std::vector<std::uint8_t> bytes;
+    res.error = readFile(path, bytes);
+    if (!res.error.empty())
+        return res;
+    if (bytes.empty()) {
+        res.error = csprintf("'%s' is empty: nothing to salvage",
+                             path.c_str());
+        return res;
+    }
+
+    const std::vector<std::uint8_t> *payload = &bytes;
+    SegmentedReadResult seg;
+    bool sealed = true; // legacy raw files have no seal to lose
+    if (isSegmented(bytes)) {
+        seg = readSegmented(bytes);
+        res.segmentsSalvaged = seg.segments;
+        sealed = seg.sealed;
+        if (seg.payload.empty()) {
+            res.error = csprintf("'%s': no intact segments (%s)",
+                                 path.c_str(), seg.error.c_str());
+            return res;
+        }
+        payload = &seg.payload;
+    }
+
+    SphereSalvage salvage;
+    try {
+        salvage = SphereLogs::deserializeTolerant(*payload);
+    } catch (const ParseError &e) {
+        res.error = csprintf("'%s': unusable sphere header: %s",
+                             path.c_str(), e.what());
+        return res;
+    }
+    res.logs = std::move(salvage.logs);
+    res.ok = true;
+    res.complete = sealed && salvage.complete;
+    res.threadsSalvaged = salvage.threadsSalvaged;
+    res.threadsPartial = salvage.threadsPartial;
+    if (!res.complete) {
+        res.note = !sealed && !seg.error.empty()
+            ? (salvage.note.empty()
+                   ? seg.error
+                   : seg.error + "; " + salvage.note)
+            : salvage.note;
     }
     return res;
 }

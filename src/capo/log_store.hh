@@ -3,6 +3,16 @@
  * Persistence for replay-sphere logs: save/load the packed sphere
  * stream to files, plus per-sphere size accounting for the log-rate
  * experiments and the always-on recording example.
+ *
+ * Files are written crash-consistently in a segmented container
+ * ("QSG1"): the payload is split into fixed-size segments, each
+ * carrying its own checksum, and a sealed trailer (segment count +
+ * whole-payload checksum) proves completeness. The bytes go to a
+ * temporary file that is renamed into place only after a full write,
+ * so a crash leaves either the old artifact or a torn temp -- and a
+ * torn file still yields its intact segment prefix to recoverSphere.
+ * Legacy raw sphere streams (pre-segmentation artifacts) remain
+ * readable by loadSphere and recoverSphere.
  */
 
 #ifndef QR_CAPO_LOG_STORE_HH
@@ -10,11 +20,14 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "capo/sphere.hh"
 
 namespace qr
 {
+
+class FaultPlan;
 
 /** Byte-level accounting of one sphere's logs. */
 struct LogSizes
@@ -30,8 +43,75 @@ struct LogSizes
 /** Compute the packed sizes of a sphere's logs. */
 LogSizes measureLogs(const SphereLogs &logs);
 
-/** Save a sphere to @p path. @return bytes written. */
-std::uint64_t saveSphere(const SphereLogs &logs, const std::string &path);
+// --- segmented container (shared by spheres and qrec) -------------------
+
+/** Payload bytes per segment of the QSG1 container. */
+constexpr std::uint32_t segmentPayloadBytes = 1024;
+
+/** @return true if @p raw starts with the QSG1 container magic. */
+bool isSegmented(const std::vector<std::uint8_t> &raw);
+
+/** Outcome of writing a segmented container. */
+struct SegmentedWriteResult
+{
+    bool ok = false;
+    std::string error;        //!< empty on success
+    std::uint64_t bytes = 0;  //!< bytes left on disk at @p path
+    bool injected = false;    //!< failure came from fault injection
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Write @p payload to @p path as a sealed QSG1 container via a
+ * temporary file and rename. With @p faults, the IoEnospc, IoShort and
+ * IoTorn sites can abort the write (old artifact intact) or leave a
+ * deterministically torn file in place (crash simulation); such
+ * injected failures report ok = false with injected = true.
+ */
+SegmentedWriteResult writeSegmented(
+    const std::vector<std::uint8_t> &payload, const std::string &path,
+    FaultPlan *faults = nullptr);
+
+/** Outcome of reading a segmented container. */
+struct SegmentedReadResult
+{
+    std::vector<std::uint8_t> payload; //!< intact segment prefix
+    bool ok = false;     //!< magic valid, >= 0 intact segments read
+    bool sealed = false; //!< trailer valid: payload is complete
+    std::uint64_t segments = 0; //!< intact segments recovered
+    std::string error; //!< why the container is not sealed (if not)
+};
+
+/**
+ * Parse a QSG1 byte stream, salvaging the longest prefix of segments
+ * whose checksums verify. A valid sealed trailer makes the result
+ * complete; anything else reports the salvage with an explanation.
+ */
+SegmentedReadResult readSegmented(const std::vector<std::uint8_t> &raw);
+
+// --- spheres ------------------------------------------------------------
+
+/** Outcome of saving a sphere file. */
+struct SphereSaveResult
+{
+    bool ok = false;
+    std::string error;       //!< empty on success
+    std::uint64_t bytes = 0; //!< bytes left on disk
+    bool injected = false;   //!< failure came from fault injection
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Save a sphere to @p path (sealed QSG1 container). I/O failure --
+ * real or injected via @p faults -- is reported in the result, never
+ * by terminating: an always-on recording service must outlive a full
+ * disk.
+ */
+SphereSaveResult saveSphere(const SphereLogs &logs,
+                            const std::string &path,
+                            FaultPlan *faults = nullptr);
 
 /** Outcome of loading a sphere file. */
 struct SphereLoadResult
@@ -47,8 +127,33 @@ struct SphereLoadResult
  * Load a sphere from @p path. A missing, truncated, or corrupted file
  * is a recoverable error reported in the result, never a crash: an
  * always-on recording service must survive a bad artifact on disk.
+ * Reads sealed QSG1 containers and legacy raw sphere streams; a torn
+ * container is an error here (use recoverSphere to salvage it).
  */
 SphereLoadResult loadSphere(const std::string &path);
+
+/** Outcome of salvaging a sphere file. */
+struct SphereRecoverResult
+{
+    SphereLogs logs;
+    bool ok = false;       //!< something usable was salvaged
+    bool complete = false; //!< file was intact; logs carry everything
+    std::uint64_t segmentsSalvaged = 0; //!< intact container segments
+    std::uint64_t threadsSalvaged = 0;  //!< threads parsed in full
+    std::uint64_t threadsPartial = 0;   //!< threads kept as a prefix
+    std::string note;  //!< what was lost (empty when complete)
+    std::string error; //!< set when nothing could be salvaged
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Salvage whatever a (possibly torn) sphere file still holds: every
+ * intact container segment, then every parseable thread-log prefix of
+ * the recovered payload. Replay of a salvaged sphere is expected to
+ * run in degraded mode (see ReplayMode).
+ */
+SphereRecoverResult recoverSphere(const std::string &path);
 
 } // namespace qr
 

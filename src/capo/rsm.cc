@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_plan.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -18,9 +19,10 @@ RsmStats::totalOverheadCycles() const
 }
 
 Rsm::Rsm(const CostModel &costs_, SphereLogs &logs_,
-         std::vector<Core *> cores_, std::vector<Cbuf *> cbufs_)
+         std::vector<Core *> cores_, std::vector<Cbuf *> cbufs_,
+         FaultPlan *faults_)
     : costs(costs_), logs(logs_), cores(std::move(cores_)),
-      cbufs(std::move(cbufs_))
+      cbufs(std::move(cbufs_)), faults(faults_)
 {
     qr_assert(cores.size() == cbufs.size(),
               "need one CBUF per core");
@@ -197,6 +199,14 @@ Rsm::onChunkLogged(const ChunkRecord &rec, CoreId core,
 void
 Rsm::onCbufSignal(CoreId core, bool full, Tick now)
 {
+    if (faults && faults->fire(FaultSite::CbufDelay)) {
+        // Interrupt delivery is late: the records are still drained in
+        // order, but the core eats extra stall cycles (the hardware
+        // holds the buffer, or backpressure, until software arrives).
+        _stats.delayedSignals++;
+        charge(cores[static_cast<std::size_t>(core)],
+               costs.cbufDelayStall, OverheadCat::CbufDrain, now);
+    }
     drainCbuf(core, full, now);
 }
 
@@ -205,12 +215,29 @@ Rsm::drainCbuf(CoreId core, bool forced, Tick now)
 {
     qr_assert(core >= 0 && core < static_cast<CoreId>(cbufs.size()),
               "bad core id %d in CBUF drain", core);
+    if (faults && faults->armed(FaultSite::DrainFail)) {
+        // Each failed spill attempt costs a retry with exponential
+        // backoff in modeled cycles; after maxDrainRetries the drain is
+        // forced through, so records are never lost at this site.
+        Tick backoff = costs.cbufDrainRetry;
+        for (int attempt = 0; attempt < maxDrainRetries; ++attempt) {
+            if (!faults->fire(FaultSite::DrainFail))
+                break;
+            _stats.drainRetries++;
+            charge(cores[static_cast<std::size_t>(core)], backoff,
+                   OverheadCat::CbufDrain, now);
+            backoff *= 2;
+        }
+    }
     std::vector<ChunkRecord> recs = cbufs[static_cast<std::size_t>(core)]
                                         ->drain();
     if (recs.empty())
         return;
-    for (const ChunkRecord &r : recs)
+    for (const ChunkRecord &r : recs) {
+        if (r.reason == ChunkReason::Gap)
+            _stats.gapMarkers++;
         logsOf(r.tid).chunks.push_back(r);
+    }
     _stats.cbufDrains++;
     if (forced)
         _stats.cbufForcedDrains++;
@@ -228,26 +255,38 @@ Rsm::finalize(Tick now)
         drainCbuf(static_cast<CoreId>(c), false, now);
     logs.sortChunks();
     std::uint64_t drained = logs.totalChunks();
-    qr_assert(drained == _stats.chunksSeen,
-              "chunk accounting mismatch: drained %llu, seen %llu",
+    // Gap markers are synthesized by the CBUF on drain, so they reach
+    // the logs without ever passing through onChunkLogged.
+    qr_assert(drained == _stats.chunksSeen + _stats.gapMarkers,
+              "chunk accounting mismatch: drained %llu, seen %llu + "
+              "%llu gaps",
               static_cast<unsigned long long>(drained),
-              static_cast<unsigned long long>(_stats.chunksSeen));
+              static_cast<unsigned long long>(_stats.chunksSeen),
+              static_cast<unsigned long long>(_stats.gapMarkers));
 
     // Attach the buffered shadow sets chunk-parallel, now that the
-    // per-thread logs are in their final (timestamp) order.
+    // per-thread logs are in their final (timestamp) order. Gap
+    // markers carry no address sets; they get an empty shadow so the
+    // chunk-parallel invariant (nshadows == nchunks) holds.
     for (auto &[tid, shadows] : pendingShadows) {
         ThreadLogs &tl = logs.threads[tid];
-        qr_assert(shadows.size() == tl.chunks.size(),
-                  "tid %d: %zu shadow sets for %zu chunks", tid,
-                  shadows.size(), tl.chunks.size());
         tl.shadows.reserve(tl.chunks.size());
+        std::size_t matched = 0;
         for (const ChunkRecord &rec : tl.chunks) {
+            if (rec.reason == ChunkReason::Gap) {
+                tl.shadows.emplace_back();
+                continue;
+            }
             auto it = shadows.find(rec.ts);
             qr_assert(it != shadows.end(),
                       "tid %d: no shadow for chunk ts %llu", tid,
                       static_cast<unsigned long long>(rec.ts));
             tl.shadows.push_back(std::move(it->second));
+            matched++;
         }
+        qr_assert(matched == shadows.size(),
+                  "tid %d: %zu shadow sets for %zu non-gap chunks", tid,
+                  shadows.size(), matched);
     }
     pendingShadows.clear();
 }

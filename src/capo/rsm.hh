@@ -29,6 +29,8 @@
 namespace qr
 {
 
+class FaultPlan;
+
 /** RSM statistics, including the overhead attribution for E4. */
 struct RsmStats
 {
@@ -38,6 +40,9 @@ struct RsmStats
     std::uint64_t cbufDrains = 0;
     std::uint64_t cbufForcedDrains = 0; //!< full-buffer backpressure
     std::uint64_t chunksSeen = 0;
+    std::uint64_t drainRetries = 0;   //!< failed drain attempts (faults)
+    std::uint64_t delayedSignals = 0; //!< drain signals delivered late
+    std::uint64_t gapMarkers = 0;     //!< gap records drained into logs
 
     std::uint64_t totalOverheadCycles() const;
 };
@@ -49,9 +54,17 @@ class Rsm : public RsmHooks, public ChunkSink
     /**
      * @param cores one per hardware core, index = core id
      * @param cbufs the per-core CBUFs, index = core id
+     * @param faults optional fault plan; the RSM owns the CbufDelay
+     *        (late drain-signal delivery, modeled as stall cycles) and
+     *        DrainFail (bounded retry with exponential backoff) sites
      */
     Rsm(const CostModel &costs, SphereLogs &logs,
-        std::vector<Core *> cores, std::vector<Cbuf *> cbufs);
+        std::vector<Core *> cores, std::vector<Cbuf *> cbufs,
+        FaultPlan *faults = nullptr);
+
+    /** Retry bound for injected drain failures: after this many failed
+     *  attempts the drain is forced through regardless. */
+    static constexpr int maxDrainRetries = 6;
 
     // --- RsmHooks ---------------------------------------------------------
     void kernelEntry(KThread &t, Core &core, Tick now) override;
@@ -94,6 +107,7 @@ class Rsm : public RsmHooks, public ChunkSink
     SphereLogs &logs;
     std::vector<Core *> cores;
     std::vector<Cbuf *> cbufs;
+    FaultPlan *faults;
     std::map<Tid, std::uint64_t> chunkSeq;
     /** Exact shadow sets buffered until finalize (ts is unique per
      *  thread, so it keys the chunk even across CBUF drain reorder). */

@@ -181,10 +181,17 @@ SphereLogs::serialize() const
     return out;
 }
 
-SphereLogs
-SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
+namespace
 {
-    SphereLogs s;
+
+/**
+ * Parse the sphere header (magic, ids, v2 metadata) into @p s.
+ * @return true for the v2 format. Throws on anything unusable.
+ */
+bool
+parseSphereHeader(const std::vector<std::uint8_t> &in, std::size_t &pos,
+                  SphereLogs &s)
+{
     if (in.size() < 4 || in[0] != 'Q' || in[1] != 'R' || in[2] != 'S')
         parseFail("bad sphere log magic");
     if (in[3] != '1' && in[3] != '2') {
@@ -197,7 +204,7 @@ SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
         parseFail("bad sphere log magic");
     }
     bool v2 = in[3] == '2';
-    std::size_t pos = 4;
+    pos = 4;
     s.sphereId = static_cast<std::uint32_t>(getVarint(in, pos));
     s.memBytes = static_cast<std::uint32_t>(getVarint(in, pos));
     s.userTop = static_cast<Addr>(getVarint(in, pos));
@@ -219,80 +226,158 @@ SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
             parseFail("implausible Bloom geometry %u/%u in sphere log",
                       s.meta.bloomBits, s.meta.bloomHashes);
     }
+    return v2;
+}
+
+/**
+ * Parse one thread's log body into @p logs *in place*, so that when a
+ * ParseError is thrown mid-thread the caller still holds the longest
+ * valid prefix (the tolerant loader's salvage unit).
+ */
+void
+parseThreadBody(const std::vector<std::uint8_t> &in, std::size_t &pos,
+                bool v2, int shift, Tid tid, ThreadLogs &logs)
+{
+    std::uint64_t nin = getVarint(in, pos);
+    // Every record is at least one byte, so a count larger than the
+    // remaining stream is corruption; refuse before reserving.
+    if (nin > in.size() - pos)
+        parseFail("input-record count %llu exceeds log tail",
+                  static_cast<unsigned long long>(nin));
+    logs.input.reserve(nin);
+    for (std::uint64_t j = 0; j < nin; ++j)
+        logs.input.push_back(InputRecord::deserialize(in, pos));
+    std::uint64_t nch = getVarint(in, pos);
+    if (nch > in.size() - pos)
+        parseFail("chunk-record count %llu exceeds log tail",
+                  static_cast<unsigned long long>(nch));
+    logs.chunks.reserve(nch);
+    Timestamp prev = 0;
+    for (std::uint64_t j = 0; j < nch; ++j) {
+        ChunkRecord rec = unpackCompact(in, pos, prev, tid);
+        // A zero timestamp delta decodes fine but breaks the strict
+        // per-thread monotonicity every consumer relies on; reject it
+        // here instead of asserting later.
+        if (j > 0 && rec.ts <= prev)
+            parseFail("tid %d: non-monotonic chunk timestamps in "
+                      "sphere log", tid);
+        logs.chunks.push_back(rec);
+        prev = rec.ts;
+    }
+    if (!v2)
+        return;
+    std::uint64_t nsync = getVarint(in, pos);
+    if (nsync > in.size() - pos)
+        parseFail("sync-point count %llu exceeds log tail",
+                  static_cast<unsigned long long>(nsync));
+    logs.syncs.reserve(nsync);
+    for (std::uint64_t j = 0; j < nsync; ++j) {
+        SyncPoint sp;
+        sp.afterChunkSeq = getVarint(in, pos);
+        std::uint64_t other = getVarint(in, pos);
+        if (other > maxSphereTid)
+            parseFail("sync partner id %llu out of range",
+                      static_cast<unsigned long long>(other));
+        sp.other = static_cast<Tid>(other);
+        sp.clockFloor = getVarint(in, pos);
+        if (sp.afterChunkSeq > nch)
+            parseFail("sync point past the end of tid %d's "
+                      "chunk log", tid);
+        logs.syncs.push_back(sp);
+    }
+    std::uint64_t nshadow = getVarint(in, pos);
+    if (nshadow != 0 && nshadow != nch)
+        parseFail("shadow-set count %llu does not match %llu "
+                  "chunks",
+                  static_cast<unsigned long long>(nshadow),
+                  static_cast<unsigned long long>(nch));
+    logs.shadows.reserve(nshadow);
+    for (std::uint64_t j = 0; j < nshadow; ++j) {
+        ChunkShadow sh;
+        sh.reads = getLineSet(in, pos, shift);
+        sh.writes = getLineSet(in, pos, shift);
+        logs.shadows.push_back(std::move(sh));
+    }
+}
+
+/** Parse a thread id, range-checked. */
+Tid
+parseThreadId(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    std::uint64_t rawTid = getVarint(in, pos);
+    if (rawTid > maxSphereTid)
+        parseFail("thread id %llu out of range in sphere log",
+                  static_cast<unsigned long long>(rawTid));
+    return static_cast<Tid>(rawTid);
+}
+
+} // namespace
+
+SphereLogs
+SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
+{
+    SphereLogs s;
+    std::size_t pos = 0;
+    bool v2 = parseSphereHeader(in, pos, s);
     int shift = lineShift(s.meta.lineBytes);
     std::uint64_t nthreads = getVarint(in, pos);
     for (std::uint64_t i = 0; i < nthreads; ++i) {
-        std::uint64_t rawTid = getVarint(in, pos);
-        if (rawTid > maxSphereTid)
-            parseFail("thread id %llu out of range in sphere log",
-                      static_cast<unsigned long long>(rawTid));
-        Tid tid = static_cast<Tid>(rawTid);
+        Tid tid = parseThreadId(in, pos);
         ThreadLogs logs;
-        std::uint64_t nin = getVarint(in, pos);
-        // Every record is at least one byte, so a count larger than the
-        // remaining stream is corruption; refuse before reserving.
-        if (nin > in.size() - pos)
-            parseFail("input-record count %llu exceeds log tail",
-                      static_cast<unsigned long long>(nin));
-        logs.input.reserve(nin);
-        for (std::uint64_t j = 0; j < nin; ++j)
-            logs.input.push_back(InputRecord::deserialize(in, pos));
-        std::uint64_t nch = getVarint(in, pos);
-        if (nch > in.size() - pos)
-            parseFail("chunk-record count %llu exceeds log tail",
-                      static_cast<unsigned long long>(nch));
-        logs.chunks.reserve(nch);
-        Timestamp prev = 0;
-        for (std::uint64_t j = 0; j < nch; ++j) {
-            logs.chunks.push_back(unpackCompact(in, pos, prev, tid));
-            // A zero timestamp delta decodes fine but breaks the
-            // strict per-thread monotonicity every consumer relies on;
-            // reject it here instead of asserting later.
-            if (j > 0 && logs.chunks.back().ts <= prev)
-                parseFail("tid %d: non-monotonic chunk timestamps in "
-                          "sphere log", tid);
-            prev = logs.chunks.back().ts;
-        }
-        if (v2) {
-            std::uint64_t nsync = getVarint(in, pos);
-            if (nsync > in.size() - pos)
-                parseFail("sync-point count %llu exceeds log tail",
-                          static_cast<unsigned long long>(nsync));
-            logs.syncs.reserve(nsync);
-            for (std::uint64_t j = 0; j < nsync; ++j) {
-                SyncPoint sp;
-                sp.afterChunkSeq = getVarint(in, pos);
-                std::uint64_t other = getVarint(in, pos);
-                if (other > maxSphereTid)
-                    parseFail("sync partner id %llu out of range",
-                              static_cast<unsigned long long>(other));
-                sp.other = static_cast<Tid>(other);
-                sp.clockFloor = getVarint(in, pos);
-                if (sp.afterChunkSeq > nch)
-                    parseFail("sync point past the end of tid %d's "
-                              "chunk log", tid);
-                logs.syncs.push_back(sp);
-            }
-            std::uint64_t nshadow = getVarint(in, pos);
-            if (nshadow != 0 && nshadow != nch)
-                parseFail("shadow-set count %llu does not match %llu "
-                          "chunks",
-                          static_cast<unsigned long long>(nshadow),
-                          static_cast<unsigned long long>(nch));
-            logs.shadows.reserve(nshadow);
-            for (std::uint64_t j = 0; j < nshadow; ++j) {
-                ChunkShadow sh;
-                sh.reads = getLineSet(in, pos, shift);
-                sh.writes = getLineSet(in, pos, shift);
-                logs.shadows.push_back(std::move(sh));
-            }
-        }
+        parseThreadBody(in, pos, v2, shift, tid, logs);
         if (!s.threads.emplace(tid, std::move(logs)).second)
             parseFail("duplicate thread %d in sphere log", tid);
     }
     if (pos != in.size())
         parseFail("trailing bytes in sphere log");
     return s;
+}
+
+SphereSalvage
+SphereLogs::deserializeTolerant(const std::vector<std::uint8_t> &in)
+{
+    SphereSalvage salvage;
+    SphereLogs &s = salvage.logs;
+    std::size_t pos = 0;
+    // An unusable header means there is nothing to salvage: let the
+    // ParseError propagate to the caller.
+    bool v2 = parseSphereHeader(in, pos, s);
+    int shift = lineShift(s.meta.lineBytes);
+
+    ThreadLogs *open = nullptr; //!< thread being parsed (fresh entry)
+    Tid openTid = invalidTid;
+    try {
+        std::uint64_t nthreads = getVarint(in, pos);
+        for (std::uint64_t i = 0; i < nthreads; ++i) {
+            Tid tid = parseThreadId(in, pos);
+            auto [it, fresh] = s.threads.emplace(tid, ThreadLogs{});
+            if (!fresh)
+                parseFail("duplicate thread %d in sphere log", tid);
+            open = &it->second;
+            openTid = tid;
+            parseThreadBody(in, pos, v2, shift, tid, *open);
+            open = nullptr;
+            salvage.threadsSalvaged++;
+        }
+        if (pos != in.size())
+            parseFail("trailing bytes in sphere log");
+        salvage.complete = true;
+    } catch (const ParseError &e) {
+        salvage.note = e.what();
+        if (open) {
+            // The corruption landed inside this thread's body: keep the
+            // valid prefix already committed. Shadow sets must be
+            // chunk-parallel or absent, so a partial set is dropped.
+            if (open->shadows.size() != open->chunks.size())
+                open->shadows.clear();
+            if (open->input.empty() && open->chunks.empty()) {
+                s.threads.erase(openTid);
+            } else {
+                salvage.threadsPartial++;
+            }
+        }
+    }
+    return salvage;
 }
 
 std::vector<ChunkRecord>

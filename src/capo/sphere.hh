@@ -146,6 +146,29 @@ struct SphereLogs
      * bytes from the future (recoverable; see loadSphere).
      */
     static SphereLogs deserialize(const std::vector<std::uint8_t> &in);
+
+    /**
+     * Parse as much of a damaged sphere stream as possible (see
+     * SphereSalvage). Throws ParseError only when the header itself is
+     * unusable; anything after a valid header yields a salvage.
+     */
+    static struct SphereSalvage
+    deserializeTolerant(const std::vector<std::uint8_t> &in);
+};
+
+/**
+ * Result of a tolerant sphere parse: every fully-parsed thread plus,
+ * for the thread the corruption landed in, the longest valid prefix of
+ * its logs (with shadow sets dropped if they did not survive whole --
+ * consumers require shadows chunk-parallel or absent).
+ */
+struct SphereSalvage
+{
+    SphereLogs logs;
+    bool complete = false; //!< parsed to the end, nothing lost
+    std::uint64_t threadsSalvaged = 0; //!< threads parsed in full
+    std::uint64_t threadsPartial = 0;  //!< threads kept as a prefix
+    std::string note; //!< what stopped the parse (empty if complete)
 };
 
 } // namespace qr

@@ -1,5 +1,6 @@
 #include "core/config.hh"
 
+#include "fault/fault_plan.hh"
 #include "sim/logging.hh"
 
 namespace qr
@@ -27,6 +28,13 @@ validate(const MachineConfig &mcfg, const RecorderConfig &rcfg)
                               rcfg.cbuf.entries * 16ull;
     if (cbufTotal >= mcfg.memBytes / 2)
         fatal("CBUF regions would consume over half of guest memory");
+    if (!rcfg.faults.spec.empty()) {
+        try {
+            FaultPlan::parse(rcfg.faults.spec, rcfg.faults.seed);
+        } catch (const ParseError &e) {
+            fatal("bad fault spec: %s", e.what());
+        }
+    }
 }
 
 } // namespace qr

@@ -12,6 +12,7 @@
 #define QR_CORE_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "capo/cost_model.hh"
 #include "cpu/core.hh"
@@ -39,12 +40,24 @@ struct MachineConfig
     KernelParams kernel; //!< heapBase/heapLimit are filled by Machine
 };
 
+/**
+ * Fault-injection configuration. An empty spec (the default) disarms
+ * injection entirely and keeps the record path bit-identical to a
+ * build without the fault layer.
+ */
+struct FaultConfig
+{
+    std::string spec;        //!< e.g. "cbuf-drop@0.01,io-torn@tick:3"
+    std::uint64_t seed = 1;  //!< seeds the per-site Rng streams
+};
+
 /** Configuration of the recording extension (hardware + Capo3). */
 struct RecorderConfig
 {
     RnrParams rnr;
     CbufParams cbuf;
     CostModel costs;
+    FaultConfig faults;
 };
 
 /** Validate a configuration; fatal() on user error. */

@@ -59,8 +59,14 @@ Machine::Machine(const MachineConfig &mcfg_, const RecorderConfig &rcfg_,
     _sphereLogs.meta.exactShadow = rcfg.rnr.exactShadow;
 
     if (recording) {
+        if (!rcfg.faults.spec.empty()) {
+            faults = std::make_unique<FaultPlan>(FaultPlan::parse(
+                rcfg.faults.spec, rcfg.faults.seed));
+            for (auto &unit : rnrUnits)
+                unit->setFaultPlan(faults.get());
+        }
         rsm = std::make_unique<Rsm>(rcfg.costs, _sphereLogs, corePtrs,
-                                    cbufPtrs);
+                                    cbufPtrs, faults.get());
         kernel->setRsm(rsm.get());
     }
 }
@@ -138,9 +144,13 @@ Machine::collectMetrics(Tick cycles) const
         m.rswNonZero += rs.rswNonZero;
         m.falseConflicts += rs.falseConflicts;
         m.coalescedAccesses += rs.coalescedLoads + rs.coalescedDrains;
+        m.droppedChunks += rs.droppedChunks;
+        m.lostCbufSignals += rs.lostSignals;
     }
-    for (const auto &cbuf : cbufs)
+    for (const auto &cbuf : cbufs) {
         m.cbufBytes += cbuf->stats().bytesWritten;
+        m.gapChunks += cbuf->stats().gapRecords;
+    }
 
     const KernelStats &ks = kernel->stats();
     m.syscalls = ks.syscalls;
@@ -156,6 +166,8 @@ Machine::collectMetrics(Tick cycles) const
         m.inputRecords = rs.inputRecords;
         m.cbufDrains = rs.cbufDrains;
         m.cbufForcedDrains = rs.cbufForcedDrains;
+        m.cbufDrainRetries = rs.drainRetries;
+        m.delayedCbufSignals = rs.delayedSignals;
         m.logSizes = measureLogs(_sphereLogs);
     }
 

@@ -28,6 +28,7 @@
 #include "capo/rsm.hh"
 #include "capo/sphere.hh"
 #include "core/config.hh"
+#include "fault/fault_plan.hh"
 #include "core/metrics.hh"
 #include "cpu/core.hh"
 #include "isa/assembler.hh"
@@ -88,6 +89,9 @@ class Machine
     /** Access to a core (tests and examples). */
     Core &core(int i) { return *cores[static_cast<std::size_t>(i)]; }
 
+    /** The fault plan driving injected faults (null when disarmed). */
+    const FaultPlan *faultPlan() const { return faults.get(); }
+
     const MachineConfig &config() const { return mcfg; }
 
   private:
@@ -109,6 +113,7 @@ class Machine
     OutputMap output;
     std::unique_ptr<Kernel> kernel;
     SphereLogs _sphereLogs;
+    std::unique_ptr<FaultPlan> faults;
     std::unique_ptr<Rsm> rsm;
     Tick cycle = 0;
     bool started = false;

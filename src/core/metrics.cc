@@ -106,6 +106,21 @@ RunMetrics::statsText() const
                         "not measured (run without exact shadow sets)");
     }
     put("rnr.cbuf_bytes", cbufBytes, "raw bytes written to CBUFs");
+    // Fault-injection accounting is only interesting when something
+    // actually fired; fault-free runs keep the dump unchanged.
+    if (droppedChunks || gapChunks || lostCbufSignals ||
+        cbufDrainRetries || delayedCbufSignals) {
+        put("fault.dropped_chunks", droppedChunks,
+            "chunk records lost at the CBUF");
+        put("fault.gap_chunks", gapChunks,
+            "gap markers drained into the logs");
+        put("fault.lost_signals", lostCbufSignals,
+            "CBUF drain signals suppressed");
+        put("fault.drain_retries", cbufDrainRetries,
+            "failed RSM drain attempts");
+        put("fault.delayed_signals", delayedCbufSignals,
+            "drain signals delivered late");
+    }
     put("capo.cbuf_drains", cbufDrains, "CBUF drain interrupts");
     put("capo.input_records", inputRecords, "input-log records");
     put("capo.overhead_cycles", recordingOverheadCycles,

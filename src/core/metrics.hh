@@ -103,6 +103,13 @@ struct RunMetrics
     std::uint64_t cbufDrains = 0;
     std::uint64_t cbufForcedDrains = 0;
 
+    // --- fault injection (all zero on fault-free runs) --------------------
+    std::uint64_t droppedChunks = 0;      //!< records lost at the CBUF
+    std::uint64_t gapChunks = 0;          //!< gap markers in the logs
+    std::uint64_t lostCbufSignals = 0;    //!< drain signals suppressed
+    std::uint64_t cbufDrainRetries = 0;   //!< failed RSM drain attempts
+    std::uint64_t delayedCbufSignals = 0; //!< late drain deliveries
+
     // --- Capo3 software stack ------------------------------------------------
     std::uint64_t overheadCycles[numOverheadCats] = {};
     std::uint64_t recordingOverheadCycles = 0;

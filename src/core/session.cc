@@ -25,17 +25,18 @@ recordProgram(const Program &prog, const MachineConfig &mcfg,
 }
 
 ReplayResult
-replaySphere(const Program &prog, const SphereLogs &logs)
+replaySphere(const Program &prog, const SphereLogs &logs,
+             ReplayMode mode)
 {
-    Replayer replayer(prog, logs);
+    Replayer replayer(prog, logs, {}, mode);
     return replayer.run();
 }
 
 ParallelReplayResult
 replaySphereParallel(const Program &prog, const SphereLogs &logs,
-                     int jobs)
+                     int jobs, ReplayMode mode)
 {
-    ParallelReplayer replayer(prog, logs, jobs);
+    ParallelReplayer replayer(prog, logs, jobs, {}, mode);
     return replayer.run();
 }
 

@@ -35,18 +35,24 @@ RecordResult recordProgram(const Program &prog,
                            const MachineConfig &mcfg = {},
                            const RecorderConfig &rcfg = {});
 
-/** Replay a recorded sphere against the original program. */
-ReplayResult replaySphere(const Program &prog, const SphereLogs &logs);
+/**
+ * Replay a recorded sphere against the original program. Degraded
+ * mode (for spheres with gap markers or salvaged prefixes) completes
+ * with a DegradedReplay summary instead of aborting.
+ */
+ReplayResult replaySphere(const Program &prog, const SphereLogs &logs,
+                          ReplayMode mode = ReplayMode::Strict);
 
 /**
  * Replay a recorded sphere on the parallel chunk-graph engine with
  * @p jobs worker threads (>= 1). Digests are bit-identical to
  * replaySphere() on every valid sphere; callers wanting a differential
- * check run both and compare.
+ * check run both and compare. Degraded mode matches the sequential
+ * degraded result, summary included, at any job count.
  */
-ParallelReplayResult replaySphereParallel(const Program &prog,
-                                          const SphereLogs &logs,
-                                          int jobs);
+ParallelReplayResult replaySphereParallel(
+    const Program &prog, const SphereLogs &logs, int jobs,
+    ReplayMode mode = ReplayMode::Strict);
 
 /** Record, replay, and verify end to end. */
 struct RoundTrip

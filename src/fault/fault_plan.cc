@@ -1,0 +1,156 @@
+#include "fault/fault_plan.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+const char *
+faultSiteName(FaultSite s)
+{
+    switch (s) {
+      case FaultSite::CbufDrop: return "cbuf-drop";
+      case FaultSite::CbufDelay: return "cbuf-delay";
+      case FaultSite::DrainFail: return "drain-fail";
+      case FaultSite::IoShort: return "io-short";
+      case FaultSite::IoTorn: return "io-torn";
+      case FaultSite::IoEnospc: return "io-enospc";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+/** Map a spec-string site name back to its enum, or NumSites. */
+FaultSite
+siteByName(const std::string &name)
+{
+    for (int i = 0; i < numFaultSites; ++i) {
+        FaultSite s = static_cast<FaultSite>(i);
+        if (name == faultSiteName(s))
+            return s;
+    }
+    return FaultSite::NumSites;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan._spec = spec;
+    plan._seed = seed;
+    // Every site gets its own stream derived from the plan seed so a
+    // site's draw sequence does not depend on which other sites are
+    // armed or how often they are consulted.
+    for (int i = 0; i < numFaultSites; ++i)
+        plan._sites[i].rng.seed(mix64(seed ^ (std::uint64_t(i) + 1)));
+
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string clause = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (clause.empty())
+            parseFail("fault spec: empty clause in '%s'", spec.c_str());
+
+        std::size_t at = clause.find('@');
+        if (at == std::string::npos || at == 0 ||
+            at + 1 >= clause.size()) {
+            parseFail("fault spec: clause '%s' is not site@trigger",
+                      clause.c_str());
+        }
+        std::string name = clause.substr(0, at);
+        std::string trig = clause.substr(at + 1);
+
+        FaultSite site = siteByName(name);
+        if (site == FaultSite::NumSites)
+            parseFail("fault spec: unknown site '%s'", name.c_str());
+        std::uint32_t bit = 1u << static_cast<int>(site);
+        if (plan._armedMask & bit)
+            parseFail("fault spec: site '%s' listed twice",
+                      name.c_str());
+
+        Site &s = plan._sites[static_cast<int>(site)];
+        if (trig.rfind("tick:", 0) == 0) {
+            std::string num = trig.substr(5);
+            if (num.empty()) {
+                parseFail("fault spec: '%s' has an empty tick",
+                          clause.c_str());
+            }
+            char *stop = nullptr;
+            unsigned long long v = std::strtoull(num.c_str(), &stop, 10);
+            if (stop == num.c_str() || *stop != '\0')
+                parseFail("fault spec: bad tick '%s'", num.c_str());
+            s.tickMode = true;
+            s.tick = v;
+        } else {
+            char *stop = nullptr;
+            double p = std::strtod(trig.c_str(), &stop);
+            if (stop == trig.c_str() || *stop != '\0') {
+                parseFail("fault spec: bad probability '%s'",
+                          trig.c_str());
+            }
+            if (!(p >= 0.0) || p > 1.0) {
+                parseFail("fault spec: probability %s outside [0, 1]",
+                          trig.c_str());
+            }
+            s.tickMode = false;
+            s.probPpb =
+                static_cast<std::uint64_t>(std::llround(p * 1e9));
+        }
+        plan._armedMask |= bit;
+    }
+    return plan;
+}
+
+bool
+FaultPlan::fire(FaultSite s)
+{
+    int i = static_cast<int>(s);
+    qr_assert(i >= 0 && i < numFaultSites, "bad fault site");
+    if (!armed(s))
+        return false;
+    Site &site = _sites[i];
+    std::uint64_t q = _stats.queries[i]++;
+    bool hit;
+    if (site.tickMode) {
+        // Persistent failure: once the site has been consulted `tick`
+        // times it fails on every subsequent query (e.g. a disk that
+        // fills and stays full).
+        hit = q >= site.tick;
+    } else {
+        hit = site.probPpb > 0 &&
+              site.rng.below(1000000000ull) < site.probPpb;
+    }
+    if (hit)
+        ++_stats.fires[i];
+    return hit;
+}
+
+std::string
+FaultPlan::summary() const
+{
+    std::string out = "faults:";
+    for (int i = 0; i < numFaultSites; ++i) {
+        if (!(_armedMask & (1u << i)))
+            continue;
+        out += csprintf(" %s=%llu/%llu",
+                        faultSiteName(static_cast<FaultSite>(i)),
+                        static_cast<unsigned long long>(_stats.fires[i]),
+                        static_cast<unsigned long long>(
+                            _stats.queries[i]));
+    }
+    if (_armedMask == 0)
+        out += " none";
+    return out;
+}
+
+} // namespace qr

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic fault-injection plan.
+ *
+ * A FaultPlan is parsed from a compact spec string such as
+ *
+ *     cbuf-drop@0.01,io-short@0.001,io-enospc@tick:500000
+ *
+ * and owns one independent, seeded Rng stream per fault site. Because
+ * the simulator's schedule is deterministic and each site draws only
+ * from its own stream, the sequence of injected faults is a pure
+ * function of (seed, spec) — the same pair always yields the same
+ * degraded recording, which is what the fault-determinism tests pin.
+ *
+ * Two trigger forms exist per site:
+ *  - probability:  `site@P`       fires each query with probability P,
+ *  - tick:         `site@tick:N`  fires on every query once the site
+ *                                 has been consulted N times (a
+ *                                 persistent failure, e.g. a full disk).
+ */
+
+#ifndef QR_FAULT_FAULT_PLAN_HH
+#define QR_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+
+namespace qr
+{
+
+/** Where in the stack a fault can be injected. */
+enum class FaultSite : std::uint8_t
+{
+    CbufDrop,  //!< CBUF drain signal lost -> chunk drop + gap marker
+    CbufDelay, //!< CBUF drain signal delayed -> modeled stall cycles
+    DrainFail, //!< RSM drain attempt fails -> bounded retry + backoff
+    IoShort,   //!< log write stops short (partial final segment)
+    IoTorn,    //!< log write torn mid-segment (crash before seal)
+    IoEnospc,  //!< log write aborted, no space (old artifact intact)
+    NumSites,
+};
+
+/** Number of distinct fault sites. */
+constexpr int numFaultSites = static_cast<int>(FaultSite::NumSites);
+
+/** @return the spec-string name of a fault site (e.g. "cbuf-drop"). */
+const char *faultSiteName(FaultSite s);
+
+/** Query/fire counters, one slot per fault site. */
+struct FaultStats
+{
+    std::uint64_t queries[numFaultSites] = {};
+    std::uint64_t fires[numFaultSites] = {};
+};
+
+/**
+ * A parsed, seeded fault plan. Copyable; copies carry independent Rng
+ * state from the point of the copy (the qrec driver uses this to give
+ * the I/O layer its own plan without perturbing the recorder's
+ * streams — per-site streams make that deterministic either way).
+ */
+class FaultPlan
+{
+  public:
+    /** An empty plan: no site armed, fire() always false. */
+    FaultPlan() = default;
+
+    /**
+     * Parse @p spec ("site@prob[,site@tick:N]...") with @p seed.
+     * An empty spec yields a disarmed plan. Throws ParseError on any
+     * malformed clause (unknown site, bad probability, bad tick).
+     */
+    static FaultPlan parse(const std::string &spec, std::uint64_t seed);
+
+    /** @return true if any site is armed. */
+    bool enabled() const { return _armedMask != 0; }
+
+    /** @return true if @p s specifically is armed. */
+    bool
+    armed(FaultSite s) const
+    {
+        return _armedMask & (1u << static_cast<int>(s));
+    }
+
+    /**
+     * Consult site @p s once: counts the query and rolls its trigger.
+     * Disarmed sites never fire and draw no randomness.
+     */
+    bool fire(FaultSite s);
+
+    /**
+     * Supplementary uniform draw in [0, bound) from @p s's stream,
+     * used to shape a fault that fired (e.g. where a torn write cuts).
+     * Deterministic like fire(); bound must be nonzero.
+     */
+    std::uint64_t
+    draw(FaultSite s, std::uint64_t bound)
+    {
+        return _sites[static_cast<int>(s)].rng.below(bound);
+    }
+
+    const FaultStats &stats() const { return _stats; }
+
+    /** The spec string this plan was parsed from. */
+    const std::string &spec() const { return _spec; }
+
+    std::uint64_t seed() const { return _seed; }
+
+    /** One-line "faults: site=fires/queries ..." report. */
+    std::string summary() const;
+
+  private:
+    struct Site
+    {
+        bool tickMode = false;
+        std::uint64_t probPpb = 0; //!< probability in parts-per-billion
+        std::uint64_t tick = 0;    //!< first firing query (tick mode)
+        Rng rng;
+    };
+
+    Site _sites[numFaultSites];
+    std::uint32_t _armedMask = 0;
+    FaultStats _stats;
+    std::string _spec;
+    std::uint64_t _seed = 1;
+};
+
+} // namespace qr
+
+#endif // QR_FAULT_FAULT_PLAN_HH

@@ -24,15 +24,16 @@ sortUnique(std::vector<Addr> &v)
 
 ChunkGraph
 buildChunkGraph(const Program &prog, const SphereLogs &logs,
-                const ReplayCostModel &costs)
+                const ReplayCostModel &costs, ReplayMode mode)
 {
     ChunkGraph g;
     std::vector<ChunkRecord> schedule = logs.chunksByTimestamp();
     g.nodes.reserve(schedule.size());
 
     // Analysis replay: sequential, recording each chunk's shared-memory
-    // access sets and modeled cost.
-    ReplayCore core(prog, logs, costs);
+    // access sets and modeled cost. In degraded mode replayChunk and
+    // finish never throw; skipped chunks simply leave empty traces.
+    ReplayCore core(prog, logs, costs, mode);
     try {
         for (const ChunkRecord &rec : schedule) {
             ChunkTrace trace;

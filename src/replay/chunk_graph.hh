@@ -92,9 +92,17 @@ struct ChunkGraph
  * of @p prog. If the analysis replay diverges the graph comes back
  * with ok = false and the divergence message (the sphere cannot be
  * replayed at all, sequentially or otherwise).
+ *
+ * In degraded mode the analysis replay never diverges: gap markers
+ * and chunks past a poisoned thread's divergence point contribute
+ * nodes with empty access sets (ordered only by program-order edges,
+ * matching what the real degraded replay skips), and a chunk that
+ * diverged mid-execution keeps its partial write set so later
+ * conflicting chunks are still ordered after it.
  */
 ChunkGraph buildChunkGraph(const Program &prog, const SphereLogs &logs,
-                           const ReplayCostModel &costs = {});
+                           const ReplayCostModel &costs = {},
+                           ReplayMode mode = ReplayMode::Strict);
 
 /**
  * Dense transitive closure over a ChunkGraph for path queries --

@@ -103,8 +103,9 @@ class DagScheduler
 
 ParallelReplayer::ParallelReplayer(const Program &prog_,
                                    const SphereLogs &logs_, int jobs_,
-                                   const ReplayCostModel &costs_)
-    : prog(prog_), logs(logs_), jobs(jobs_), costs(costs_)
+                                   const ReplayCostModel &costs_,
+                                   ReplayMode mode_)
+    : prog(prog_), logs(logs_), jobs(jobs_), costs(costs_), mode(mode_)
 {
     qr_assert(jobs >= 1, "parallel replay needs jobs >= 1, got %d",
               jobs);
@@ -117,7 +118,7 @@ ParallelReplayer::run()
     res.speed.jobs = jobs;
 
     auto t0 = std::chrono::steady_clock::now();
-    ChunkGraph graph = buildChunkGraph(prog, logs, costs);
+    ChunkGraph graph = buildChunkGraph(prog, logs, costs, mode);
     res.speed.graphMicros = microsSince(t0);
     res.graphNodes = graph.nodes.size();
     res.graphEdges = graph.edges;
@@ -134,7 +135,7 @@ ParallelReplayer::run()
     res.speed.criticalPathCycles = graph.criticalPathCycles();
     res.speed.modeledParallelCycles = graph.modeledScheduleCycles(jobs);
 
-    ReplayCore core(prog, logs, costs);
+    ReplayCore core(prog, logs, costs, mode);
     DagScheduler sched(graph);
     int workers = std::max(
         1, std::min<int>(jobs, static_cast<int>(graph.nodes.size())));

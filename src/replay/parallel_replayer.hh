@@ -49,7 +49,8 @@ class ParallelReplayer
   public:
     /** @p jobs must be >= 1 (validate user input before constructing). */
     ParallelReplayer(const Program &prog, const SphereLogs &logs,
-                     int jobs, const ReplayCostModel &costs = {});
+                     int jobs, const ReplayCostModel &costs = {},
+                     ReplayMode mode = ReplayMode::Strict);
 
     /** Build the chunk graph and replay it to completion (or first
      *  divergence). */
@@ -60,6 +61,7 @@ class ParallelReplayer
     const SphereLogs &logs;
     int jobs;
     ReplayCostModel costs;
+    ReplayMode mode;
 };
 
 } // namespace qr

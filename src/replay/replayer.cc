@@ -11,9 +11,26 @@
 namespace qr
 {
 
+std::string
+DegradedReplay::summary() const
+{
+    std::string s = csprintf(
+        "degraded-replay: replayed=%llu skipped=%llu gaps=%llu "
+        "divergences=%llu threads-incomplete=%llu",
+        static_cast<unsigned long long>(chunksReplayed),
+        static_cast<unsigned long long>(chunksSkipped),
+        static_cast<unsigned long long>(gapChunks),
+        static_cast<unsigned long long>(divergences),
+        static_cast<unsigned long long>(threadsIncomplete));
+    if (!firstDivergence.empty())
+        s += csprintf(" first-divergence=[%s]", firstDivergence.c_str());
+    return s;
+}
+
 ReplayCore::ReplayCore(const Program &prog_, const SphereLogs &logs_,
-                       const ReplayCostModel &costs_)
-    : prog(prog_), logs(logs_), costs(costs_), mem(logs_.memBytes)
+                       const ReplayCostModel &costs_, ReplayMode mode_)
+    : prog(prog_), logs(logs_), costs(costs_), mode(mode_),
+      mem(logs_.memBytes)
 {
     qr_assert(logs.memBytes > 0, "sphere logs carry no memory size");
     for (const auto &[addr, value] : prog.dataInit)
@@ -306,6 +323,48 @@ ReplayCore::execInstr(Tid tid, RThread &t, bool is_last,
 void
 ReplayCore::replayChunk(const ChunkRecord &rec, ChunkTrace *trace)
 {
+    if (mode == ReplayMode::Strict) {
+        if (rec.reason == ChunkReason::Gap)
+            diverge("tid %d: gap marker at ts %llu (%u records lost); "
+                    "degraded replay required",
+                    rec.tid, static_cast<unsigned long long>(rec.ts),
+                    rec.size);
+        replayChunkStrict(rec, trace);
+        return;
+    }
+
+    // Degraded mode: never throws. A gap marker means the recorder
+    // lost this thread's chunks here -- everything downstream in the
+    // thread is untrustworthy, so poison it. A caught divergence
+    // (e.g. replaying past a salvaged log's truncation point) poisons
+    // the same way; the partial trace is kept so graph builders still
+    // see the writes that landed before the mismatch.
+    RThread &t = threadFor(rec);
+    if (rec.reason == ChunkReason::Gap) {
+        t.gapsSeen++;
+        t.poisoned = true;
+        return;
+    }
+    if (t.poisoned) {
+        t.skippedChunks++;
+        return;
+    }
+    try {
+        replayChunkStrict(rec, trace);
+    } catch (const Divergence &d) {
+        t.divergences++;
+        t.poisoned = true;
+        if (t.divergences == 1) {
+            t.firstDivTs = rec.ts;
+            t.firstDivMsg = d.msg;
+        }
+        t.trace = nullptr;
+    }
+}
+
+void
+ReplayCore::replayChunkStrict(const ChunkRecord &rec, ChunkTrace *trace)
+{
     RThread &t = threadFor(rec);
     t.trace = trace;
     if (t.exited)
@@ -360,6 +419,9 @@ ReplayCore::collectCounters(ReplayResult &r) const
 ReplayResult
 ReplayCore::finish()
 {
+    if (mode == ReplayMode::Degraded)
+        return finishDegraded();
+
     for (const auto &[tid, tlogs] : logs.threads) {
         const RThread &t = threads.at(tid);
         if (tlogs.chunks.empty())
@@ -394,9 +456,67 @@ ReplayCore::finish()
     return result;
 }
 
+ReplayResult
+ReplayCore::finishDegraded()
+{
+    ReplayResult result;
+    result.degradedMode = true;
+    DegradedReplay &d = result.degraded;
+
+    for (const auto &[tid, tlogs] : logs.threads) {
+        const RThread &t = threads.at(tid);
+        d.chunksReplayed += t.replayedChunks;
+        d.chunksSkipped += t.skippedChunks;
+        d.gapChunks += t.gapsSeen;
+        d.divergences += t.divergences;
+        // A clean exit with fully consumed logs is the strict-mode
+        // bar; anything less marks the thread incomplete (its digests
+        // reflect wherever replay stopped).
+        if (t.poisoned || !t.exited || tlogs.chunks.empty() ||
+            t.inputCursor != tlogs.input.size() ||
+            !t.storeQueue.empty() || !t.pendingCopies.empty() ||
+            !t.pendingWrites.empty()) {
+            d.threadsIncomplete++;
+        }
+    }
+
+    // The earliest divergence by (ts, tid): both components are
+    // per-thread program-order facts, so this pick is identical for
+    // the sequential oracle and any parallel job count.
+    const RThread *first = nullptr;
+    Tid firstTid = 0;
+    for (const auto &[tid, t] : threads) {
+        if (!t.divergences)
+            continue;
+        if (!first || t.firstDivTs < first->firstDivTs ||
+            (t.firstDivTs == first->firstDivTs && tid < firstTid)) {
+            first = &t;
+            firstTid = tid;
+        }
+    }
+    if (first)
+        d.firstDivergence = csprintf(
+            "ts %llu: %s",
+            static_cast<unsigned long long>(first->firstDivTs),
+            first->firstDivMsg.c_str());
+
+    result.digests.memory = mem.digest(logs.userTop);
+    OutputMap outs;
+    for (const auto &[tid, t] : threads)
+        if (!t.outputBytes.empty())
+            outs.emplace(tid, t.outputBytes);
+    result.digests.output = outputDigest(outs);
+    for (const auto &[tid, t] : threads)
+        if (t.exited)
+            result.digests.exits.emplace(tid, t.exitInfo);
+    collectCounters(result);
+    result.ok = true;
+    return result;
+}
+
 Replayer::Replayer(const Program &prog_, const SphereLogs &logs_,
-                   const ReplayCostModel &costs_)
-    : logs(logs_), core(prog_, logs_, costs_)
+                   const ReplayCostModel &costs_, ReplayMode mode_)
+    : logs(logs_), core(prog_, logs_, costs_, mode_)
 {
 }
 

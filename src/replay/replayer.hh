@@ -54,6 +54,40 @@ struct ReplayCostModel
     Tick perInputRecord = 150; //!< log decode + injection
 };
 
+/** How strictly the replayer treats imperfect logs. */
+enum class ReplayMode
+{
+    /** Any gap marker or log mismatch aborts with a divergence. */
+    Strict,
+    /**
+     * Gap markers and divergences poison only the affected thread:
+     * its remaining chunks are skipped (containment -- a thread whose
+     * log lost records must not keep mutating shared memory on stale
+     * state), every other thread replays to completion, and the run
+     * reports a DegradedReplay summary instead of aborting.
+     */
+    Degraded,
+};
+
+/**
+ * Summary of a degraded replay. Deterministic for a given sphere:
+ * every field derives from per-thread program-order events, so the
+ * sequential oracle and the parallel engine at any job count report
+ * identical summaries (pinned by tests/test_fault.cc).
+ */
+struct DegradedReplay
+{
+    std::uint64_t chunksReplayed = 0;
+    std::uint64_t chunksSkipped = 0; //!< skipped on poisoned threads
+    std::uint64_t gapChunks = 0;     //!< gap markers encountered
+    std::uint64_t divergences = 0;   //!< caught log mismatches
+    std::uint64_t threadsIncomplete = 0; //!< no clean exit reached
+    std::string firstDivergence; //!< earliest by (ts, tid); empty if none
+
+    /** One-line "degraded-replay: ..." report. */
+    std::string summary() const;
+};
+
 /** Outcome of a replay. */
 struct ReplayResult
 {
@@ -67,6 +101,9 @@ struct ReplayResult
 
     /** Modeled sequential replay time (for the replay-speed table). */
     Tick modeledCycles = 0;
+
+    bool degradedMode = false; //!< run under ReplayMode::Degraded
+    DegradedReplay degraded;   //!< valid when degradedMode
 };
 
 /**
@@ -108,19 +145,25 @@ class ReplayCore
     };
 
     ReplayCore(const Program &prog, const SphereLogs &logs,
-               const ReplayCostModel &costs);
+               const ReplayCostModel &costs,
+               ReplayMode mode = ReplayMode::Strict);
 
     /**
      * Replay one chunk. With a non-null @p trace, records the chunk's
      * shared-memory access sets and modeled cost into it (analysis
-     * mode; sequential drivers only).
+     * mode; sequential drivers only). In degraded mode this never
+     * throws: gaps and divergences poison the chunk's thread instead
+     * (a diverged chunk keeps its partial trace, so graph builders see
+     * the writes that did land).
      */
     void replayChunk(const ChunkRecord &rec, ChunkTrace *trace = nullptr);
 
     /**
      * End-of-replay checks (leftover records, non-exited threads) and
      * digest computation. Returns the completed result (ok = true);
-     * throws Divergence if any log residue remains.
+     * throws Divergence if any log residue remains. In degraded mode
+     * it never throws: residue marks the thread incomplete in the
+     * DegradedReplay summary instead.
      */
     ReplayResult finish();
 
@@ -156,6 +199,17 @@ class ReplayCore
         std::uint64_t injectedRecords = 0;
         Tick modeledCycles = 0;
 
+        // Degraded-mode state: a poisoned thread executes no further
+        // chunks. Like the counters above, thread-local so concurrent
+        // workers need no atomics (a thread's chunks are totally
+        // ordered by the graph's program-order edges).
+        bool poisoned = false;
+        std::uint64_t skippedChunks = 0;
+        std::uint64_t gapsSeen = 0;
+        std::uint64_t divergences = 0;
+        Timestamp firstDivTs = 0;
+        std::string firstDivMsg;
+
         /** Active trace sink while this thread replays a chunk. */
         ChunkTrace *trace = nullptr;
     };
@@ -164,6 +218,8 @@ class ReplayCore
         __attribute__((format(printf, 2, 3)));
 
     RThread &threadFor(const ChunkRecord &rec);
+    void replayChunkStrict(const ChunkRecord &rec, ChunkTrace *trace);
+    ReplayResult finishDegraded();
     const InputRecord &nextInput(RThread &t, const char *what);
     void startThread(Tid tid, RThread &t);
     void maybeInjectSignal(Tid tid, RThread &t);
@@ -184,6 +240,7 @@ class ReplayCore
     const Program &prog;
     const SphereLogs &logs;
     ReplayCostModel costs;
+    ReplayMode mode;
     Memory mem;
     std::map<Tid, RThread> threads;
 };
@@ -193,7 +250,8 @@ class Replayer
 {
   public:
     Replayer(const Program &prog, const SphereLogs &logs,
-             const ReplayCostModel &costs = {});
+             const ReplayCostModel &costs = {},
+             ReplayMode mode = ReplayMode::Strict);
 
     /** Run the replay to completion (or first divergence). */
     ReplayResult run();

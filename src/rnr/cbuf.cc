@@ -66,7 +66,33 @@ Cbuf::drain()
         out.push_back(ChunkRecord::unpackWords(words));
         tail++;
     }
+    // Surface any records lost since the last drain as explicit gap
+    // markers so the log itself witnesses the loss. The marker takes
+    // the first lost record's (unique) timestamp, keeping per-thread
+    // monotonicity, and its size field carries the loss count.
+    for (const auto &[tid, gap] : pendingGaps) {
+        ChunkRecord marker;
+        marker.ts = gap.first.ts;
+        marker.tid = tid;
+        marker.size = static_cast<std::uint32_t>(gap.count);
+        marker.rsw = 0;
+        marker.reason = ChunkReason::Gap;
+        out.push_back(marker);
+        _stats.gapRecords++;
+    }
+    pendingGaps.clear();
     return out;
+}
+
+void
+Cbuf::noteDropped(const ChunkRecord &rec)
+{
+    qr_assert(full(), "CBUF drop without backpressure");
+    PendingGap &gap = pendingGaps[rec.tid];
+    if (gap.count == 0)
+        gap.first = rec;
+    gap.count++;
+    _stats.droppedRecords++;
 }
 
 } // namespace qr

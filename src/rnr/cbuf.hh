@@ -15,6 +15,7 @@
 #define QR_RNR_CBUF_HH
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "mem/memory.hh"
@@ -40,6 +41,8 @@ struct CbufStats
     std::uint64_t bytesWritten = 0;
     std::uint64_t thresholdEvents = 0;
     std::uint64_t fullEvents = 0; //!< backpressure (synchronous drain)
+    std::uint64_t droppedRecords = 0; //!< records lost under fault injection
+    std::uint64_t gapRecords = 0;     //!< gap markers synthesized on drain
 };
 
 /** One per-core CBUF. */
@@ -65,6 +68,16 @@ class Cbuf
     /** Software drain: read and consume all pending records. */
     std::vector<ChunkRecord> drain();
 
+    /**
+     * Record that @p rec was lost because the buffer was full and the
+     * backpressure signal did not reach software (fault injection).
+     * The loss is advertised to the drain path as one explicit gap
+     * marker per thread: a ChunkReason::Gap record carrying the first
+     * lost record's timestamp and the count of records lost, emitted
+     * with the next drain() batch.
+     */
+    void noteDropped(const ChunkRecord &rec);
+
     /** Records currently pending. */
     std::uint32_t occupancy() const
     { return static_cast<std::uint32_t>(head - tail); }
@@ -88,6 +101,14 @@ class Cbuf
     std::uint64_t head = 0; //!< next slot the hardware writes
     std::uint64_t tail = 0; //!< next slot the software reads
     CbufStats _stats;
+
+    /** Per-thread loss accumulator for the next gap marker. */
+    struct PendingGap
+    {
+        ChunkRecord first;      //!< first record lost in this window
+        std::uint64_t count = 0;
+    };
+    std::map<Tid, PendingGap> pendingGaps;
 };
 
 } // namespace qr

@@ -17,6 +17,7 @@ chunkReasonName(ChunkReason r)
       case ChunkReason::Syscall: return "syscall";
       case ChunkReason::ContextSwitch: return "ctx-switch";
       case ChunkReason::Drain: return "drain";
+      case ChunkReason::Gap: return "gap";
       case ChunkReason::NumReasons: break;
     }
     return "?";

@@ -28,6 +28,7 @@ enum class ChunkReason : std::uint8_t
     Syscall,       //!< trap into the kernel (syscall/exception)
     ContextSwitch, //!< thread descheduled; recording context saved
     Drain,         //!< recording stopped / sphere detached
+    Gap,           //!< marker: records lost here under fault injection
     NumReasons,
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_plan.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -89,6 +90,23 @@ RnrUnit::terminate(ChunkReason reason, Tick now)
                rec.rsw, chunkReasonName(reason));
     }
 
+    if (faults && cbuf.full()) [[unlikely]] {
+        // The buffer can only still be full here if an earlier Full
+        // signal was lost: the hardware re-raises backpressure before
+        // this append. The re-raise is itself subject to loss.
+        if (!faults->fire(FaultSite::CbufDrop) && sink)
+            sink->onCbufSignal(coreId, /*full=*/true, now);
+        if (cbuf.full()) {
+            // No room was made: the record is lost. The loss is
+            // witnessed by a gap marker synthesized on the next drain;
+            // the chunk does not enter the logged-chunk statistics.
+            cbuf.noteDropped(rec);
+            _stats.droppedChunks++;
+            clearChunkState();
+            return;
+        }
+    }
+
     Cbuf::Signal sig = cbuf.append(rec, now);
 
     _stats.chunks++;
@@ -114,8 +132,19 @@ RnrUnit::terminate(ChunkReason reason, Tick now)
 
     if (sink) {
         sink->onChunkLogged(rec, coreId, haveShadow ? &shadow : nullptr);
-        if (sig != Cbuf::Signal::None)
-            sink->onCbufSignal(coreId, sig == Cbuf::Signal::Full, now);
+        if (sig != Cbuf::Signal::None) {
+            if (faults && faults->fire(FaultSite::CbufDrop))
+                [[unlikely]] {
+                // The drain signal is lost in flight; software never
+                // hears about it. A Full loss leaves the buffer at
+                // capacity, to be re-raised (or dropped) at the next
+                // append above.
+                _stats.lostSignals++;
+            } else {
+                sink->onCbufSignal(coreId, sig == Cbuf::Signal::Full,
+                                   now);
+            }
+        }
     } else if (sig == Cbuf::Signal::Full) {
         // No software stack attached (unit tests): discard by draining.
         cbuf.drain();

@@ -50,6 +50,8 @@
 namespace qr
 {
 
+class FaultPlan;
+
 /** Recipient of hardware recording events (implemented by Capo3's RSM). */
 class ChunkSink
 {
@@ -125,6 +127,8 @@ struct RnrStats
     std::uint64_t emptyTerminations = 0; //!< suppressed empty chunks
     std::uint64_t coalescedLoads = 0;  //!< loads absorbed by the caches
     std::uint64_t coalescedDrains = 0; //!< drains absorbed by the caches
+    std::uint64_t droppedChunks = 0; //!< records lost to injected faults
+    std::uint64_t lostSignals = 0;   //!< drain signals lost to faults
 };
 
 /** The per-core recording unit. */
@@ -157,6 +161,15 @@ class RnrUnit : public BusObserver
 
     /** Attach the software stack. */
     void setSink(ChunkSink *s) { sink = s; }
+
+    /**
+     * Attach a fault plan (null: perfect hardware). With a plan, the
+     * CbufDrop site models lost drain signals: the Full signal may be
+     * suppressed, a later append against a still-full buffer re-raises
+     * backpressure, and if the re-raise is also lost the record is
+     * dropped with a gap marker advertised on the next drain.
+     */
+    void setFaultPlan(FaultPlan *p) { faults = p; }
 
     // --- core-side event hooks ------------------------------------------
     /** One user instruction retired. May terminate on size overflow. */
@@ -264,6 +277,7 @@ class RnrUnit : public BusObserver
     Timestamp _clock = 0;
     const SbOccupancySource *sbSource = nullptr;
     ChunkSink *sink = nullptr;
+    FaultPlan *faults = nullptr;
     std::unordered_set<Addr> shadowReads;
     std::unordered_set<Addr> shadowWrites;
     RnrStats _stats;

@@ -123,8 +123,9 @@ TEST(SphereLogs, FileSaveLoadRoundTrips)
     Workload w = makeRacyCounter(2, 200, false);
     RecordResult rec = recordProgram(w.program);
     std::string path = "/tmp/qr_test_sphere.qrs";
-    std::uint64_t n = saveSphere(rec.logs, path);
-    EXPECT_GT(n, 0u);
+    SphereSaveResult saved = saveSphere(rec.logs, path);
+    ASSERT_TRUE(saved) << saved.error;
+    EXPECT_GT(saved.bytes, 0u);
     SphereLoadResult back = loadSphere(path);
     ASSERT_TRUE(back) << back.error;
     EXPECT_EQ(back.logs, rec.logs);
@@ -312,6 +313,130 @@ TEST(SphereLogsCorruption, OutOfRangeTidIsRejected)
     std::vector<std::uint8_t> bytes = logs.serialize();
     EXPECT_THROW(SphereLogs::deserialize(bytes), ParseError);
 }
+
+// --- checked-in corruption corpus ---------------------------------------
+//
+// tests/corpus/ holds a known-good sealed sphere (intact.qrs) plus
+// deterministic byte-level corruptions of it, generated once from
+// makeRacyCounter(4, 1000, false). These pin down the on-disk QSG1
+// format: a loader regression that crashes -- or silently accepts -- a
+// damaged artifact fails here even if the in-process round-trip tests
+// still pass.
+
+#ifdef QR_CORPUS_DIR
+
+static std::string
+corpusPath(const char *name)
+{
+    return std::string(QR_CORPUS_DIR) + "/" + name;
+}
+
+TEST(SphereCorpus, IntactFileLoadsAndRecoversComplete)
+{
+    SphereLoadResult loaded = loadSphere(corpusPath("intact.qrs"));
+    ASSERT_TRUE(loaded) << loaded.error;
+    EXPECT_GT(loaded.logs.totalChunks(), 0u);
+
+    SphereRecoverResult rec = recoverSphere(corpusPath("intact.qrs"));
+    ASSERT_TRUE(rec) << rec.error;
+    EXPECT_TRUE(rec.complete);
+    EXPECT_TRUE(rec.note.empty()) << rec.note;
+    EXPECT_EQ(rec.logs, loaded.logs);
+}
+
+TEST(SphereCorpus, TornTailSalvagesTheSealedPrefix)
+{
+    // The tail (trailer + part of the last segment) never hit disk.
+    SphereLoadResult loaded = loadSphere(corpusPath("torn_tail.qrs"));
+    EXPECT_FALSE(loaded);
+    EXPECT_FALSE(loaded.error.empty());
+
+    SphereRecoverResult rec = recoverSphere(corpusPath("torn_tail.qrs"));
+    ASSERT_TRUE(rec) << rec.error;
+    EXPECT_FALSE(rec.complete);
+    EXPECT_GT(rec.segmentsSalvaged, 0u);
+    EXPECT_GT(rec.threadsSalvaged + rec.threadsPartial, 0u);
+    EXPECT_FALSE(rec.note.empty());
+}
+
+TEST(SphereCorpus, FlippedTrailerChecksumKeepsEveryLog)
+{
+    // Only the seal is damaged: every data segment checksums clean, so
+    // salvage recovers the full payload (it just cannot prove
+    // completeness).
+    SphereLoadResult loaded = loadSphere(corpusPath("bad_trailer.qrs"));
+    EXPECT_FALSE(loaded);
+
+    SphereRecoverResult rec =
+        recoverSphere(corpusPath("bad_trailer.qrs"));
+    ASSERT_TRUE(rec) << rec.error;
+    EXPECT_FALSE(rec.complete);
+    EXPECT_EQ(rec.threadsPartial, 0u);
+
+    SphereLoadResult intact = loadSphere(corpusPath("intact.qrs"));
+    ASSERT_TRUE(intact) << intact.error;
+    EXPECT_EQ(rec.logs, intact.logs);
+}
+
+TEST(SphereCorpus, FlippedSegmentByteStopsSalvageAtTheDamage)
+{
+    // A bit flip inside segment 1 fails that segment's checksum;
+    // salvage keeps segment 0 and drops everything after the damage.
+    SphereLoadResult loaded = loadSphere(corpusPath("bad_segment.qrs"));
+    EXPECT_FALSE(loaded);
+
+    SphereRecoverResult rec =
+        recoverSphere(corpusPath("bad_segment.qrs"));
+    EXPECT_FALSE(rec.complete);
+    if (rec.ok) {
+        EXPECT_GE(rec.segmentsSalvaged, 1u);
+        SphereLoadResult intact = loadSphere(corpusPath("intact.qrs"));
+        ASSERT_TRUE(intact);
+        EXPECT_LT(rec.logs.totalChunks(), intact.logs.totalChunks());
+    }
+}
+
+TEST(SphereCorpus, DuplicatedSegmentIsNeverAcceptedAsComplete)
+{
+    // Each copy of the duplicated segment checksums clean, but the
+    // whole-payload checksum and segment count in the trailer no
+    // longer match -- the loader must not pass the doubled bytes to
+    // the sphere parser as a sealed artifact.
+    SphereLoadResult loaded = loadSphere(corpusPath("dup_segment.qrs"));
+    EXPECT_FALSE(loaded);
+    EXPECT_FALSE(loaded.error.empty());
+
+    SphereRecoverResult rec =
+        recoverSphere(corpusPath("dup_segment.qrs"));
+    EXPECT_FALSE(rec.complete);
+}
+
+TEST(SphereCorpus, EmptyFileIsRejectedEverywhere)
+{
+    SphereLoadResult loaded = loadSphere(corpusPath("empty.qrs"));
+    EXPECT_FALSE(loaded);
+    EXPECT_FALSE(loaded.error.empty());
+
+    SphereRecoverResult rec = recoverSphere(corpusPath("empty.qrs"));
+    EXPECT_FALSE(rec);
+    EXPECT_FALSE(rec.error.empty());
+}
+
+TEST(SphereCorpus, SalvagedSpheresReplayDegraded)
+{
+    // A salvaged prefix is a usable recording, not garbage: degraded
+    // replay must complete (possibly with incomplete threads), while
+    // strict replay of the same salvage may legitimately refuse.
+    SphereRecoverResult rec = recoverSphere(corpusPath("torn_tail.qrs"));
+    ASSERT_TRUE(rec) << rec.error;
+    Workload w = makeRacyCounter(4, 1000, false);
+    ReplayResult rep =
+        replaySphere(w.program, rec.logs, ReplayMode::Degraded);
+    EXPECT_TRUE(rep.ok);
+    EXPECT_TRUE(rep.degradedMode);
+}
+
+#endif // QR_CORPUS_DIR
 
 TEST(SphereLogsV2, PlainSpheresKeepTheLegacyV1Encoding)
 {

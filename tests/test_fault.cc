@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem and degraded operation:
+ * spec parsing, per-site determinism, the zero-fault differential
+ * (an armed-but-silent plan must leave the record path bit-identical),
+ * fault determinism (same seed + spec => same degraded sphere), gap
+ * markers, crash-consistent persistence, salvage, and the degraded
+ * replay summary's equality across sequential and parallel engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdint>
+
+#include "capo/log_store.hh"
+#include "core/session.hh"
+#include "fault/fault_plan.hh"
+#include "sim/logging.hh"
+#include "workloads/micro.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace qr;
+
+// --- FaultPlan spec parsing and determinism -----------------------------
+
+TEST(FaultPlan, EmptySpecIsDisarmed)
+{
+    FaultPlan p = FaultPlan::parse("", 1);
+    EXPECT_FALSE(p.enabled());
+    for (int s = 0; s < numFaultSites; ++s) {
+        EXPECT_FALSE(p.armed(static_cast<FaultSite>(s)));
+        EXPECT_FALSE(p.fire(static_cast<FaultSite>(s)));
+    }
+}
+
+TEST(FaultPlan, ParsesEverySiteAndTrigger)
+{
+    FaultPlan p = FaultPlan::parse(
+        "cbuf-drop@0.01,cbuf-delay@1.0,drain-fail@0,"
+        "io-short@0.001,io-torn@tick:7,io-enospc@tick:500000", 42);
+    EXPECT_TRUE(p.enabled());
+    for (int s = 0; s < numFaultSites; ++s)
+        EXPECT_TRUE(p.armed(static_cast<FaultSite>(s)))
+            << faultSiteName(static_cast<FaultSite>(s));
+    EXPECT_EQ(p.seed(), 42u);
+    EXPECT_NE(p.spec().find("io-torn@tick:7"), std::string::npos);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs)
+{
+    for (const char *bad :
+         {"bogus@0.5", "cbuf-drop", "cbuf-drop@", "cbuf-drop@1.5",
+          "cbuf-drop@-0.1", "cbuf-drop@zzz", "io-torn@tick:",
+          "io-torn@tick:abc", "cbuf-drop@0.5,cbuf-drop@0.5", ",",
+          "cbuf-drop@0.5,,io-torn@0.5"})
+        EXPECT_THROW(FaultPlan::parse(bad, 1), ParseError) << bad;
+}
+
+TEST(FaultPlan, ProbabilityOneAlwaysFiresProbabilityZeroNever)
+{
+    FaultPlan p = FaultPlan::parse("cbuf-drop@1.0,io-torn@0.0", 3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(p.fire(FaultSite::CbufDrop));
+        EXPECT_FALSE(p.fire(FaultSite::IoTorn));
+    }
+    EXPECT_EQ(p.stats().fires[static_cast<int>(FaultSite::CbufDrop)],
+              100u);
+    EXPECT_EQ(p.stats().queries[static_cast<int>(FaultSite::IoTorn)],
+              100u);
+    EXPECT_EQ(p.stats().fires[static_cast<int>(FaultSite::IoTorn)], 0u);
+}
+
+TEST(FaultPlan, TickModeFiresPersistentlyFromTickOn)
+{
+    FaultPlan p = FaultPlan::parse("io-enospc@tick:5", 1);
+    for (int q = 0; q < 12; ++q)
+        EXPECT_EQ(p.fire(FaultSite::IoEnospc), q >= 5) << q;
+}
+
+TEST(FaultPlan, SameSeedSameSpecSameFireStream)
+{
+    const std::string spec = "cbuf-drop@0.3,io-short@0.7";
+    FaultPlan a = FaultPlan::parse(spec, 99);
+    FaultPlan b = FaultPlan::parse(spec, 99);
+    int fires = 0;
+    for (int i = 0; i < 2000; ++i) {
+        bool fa = a.fire(FaultSite::CbufDrop);
+        EXPECT_EQ(fa, b.fire(FaultSite::CbufDrop));
+        EXPECT_EQ(a.fire(FaultSite::IoShort), b.fire(FaultSite::IoShort));
+        EXPECT_EQ(a.draw(FaultSite::IoShort, 1000),
+                  b.draw(FaultSite::IoShort, 1000));
+        fires += fa ? 1 : 0;
+    }
+    // ~600 expected; the stream is random, not degenerate.
+    EXPECT_GT(fires, 400);
+    EXPECT_LT(fires, 800);
+}
+
+TEST(FaultPlan, SitesDrawFromIndependentStreams)
+{
+    // Consuming one site's stream must not shift another's: the
+    // recorder and the I/O layer can hold separate plan copies and
+    // still agree per site.
+    FaultPlan a = FaultPlan::parse("cbuf-drop@0.5,io-torn@0.5", 7);
+    FaultPlan b = FaultPlan::parse("cbuf-drop@0.5,io-torn@0.5", 7);
+    for (int i = 0; i < 500; ++i)
+        a.fire(FaultSite::CbufDrop); // burn one stream in a only
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.fire(FaultSite::IoTorn), b.fire(FaultSite::IoTorn));
+}
+
+// --- zero-fault differential across the suite ---------------------------
+
+RecorderConfig
+faultRecorder(const std::string &spec, std::uint64_t seed = 1,
+              std::uint32_t cbufEntries = 0)
+{
+    RecorderConfig rcfg;
+    rcfg.faults.spec = spec;
+    rcfg.faults.seed = seed;
+    if (cbufEntries)
+        rcfg.cbuf.entries = cbufEntries;
+    return rcfg;
+}
+
+class ZeroFaultDifferential
+    : public ::testing::TestWithParam<const WorkloadSpec *>
+{
+};
+
+TEST_P(ZeroFaultDifferential, ArmedButSilentPlanIsBitIdentical)
+{
+    Workload w = GetParam()->make(4, 1);
+
+    // Reference: no fault plan at all (today's record path).
+    RecordResult ref = recordProgram(w.program);
+    // Every recording site armed at probability zero: all the hooks
+    // execute, none fires. Anything they perturb shows up here.
+    RecordResult silent = recordProgram(
+        w.program, {},
+        faultRecorder("cbuf-drop@0.0,cbuf-delay@0.0,drain-fail@0.0"));
+
+    EXPECT_EQ(silent.logs.serialize(), ref.logs.serialize()) << w.name;
+    EXPECT_EQ(silent.metrics.digests, ref.metrics.digests) << w.name;
+    EXPECT_EQ(silent.metrics.cycles, ref.metrics.cycles) << w.name;
+    EXPECT_EQ(silent.metrics.chunks, ref.metrics.chunks) << w.name;
+    EXPECT_EQ(silent.metrics.droppedChunks, 0u) << w.name;
+    EXPECT_EQ(silent.metrics.gapChunks, 0u) << w.name;
+    EXPECT_EQ(silent.metrics.lostCbufSignals, 0u) << w.name;
+    EXPECT_EQ(silent.metrics.cbufDrainRetries, 0u) << w.name;
+    EXPECT_EQ(silent.metrics.delayedCbufSignals, 0u) << w.name;
+}
+
+std::vector<const WorkloadSpec *>
+suitePointers()
+{
+    std::vector<const WorkloadSpec *> out;
+    for (const auto &spec : splash2Suite())
+        out.push_back(&spec);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splash2, ZeroFaultDifferential, ::testing::ValuesIn(suitePointers()),
+    [](const ::testing::TestParamInfo<const WorkloadSpec *> &info) {
+        std::string name = info.param->name;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+// --- degraded recording: gaps, determinism, degraded replay -------------
+
+/** A gap-heavy recording: tiny CBUF, most drain signals lost. */
+RecordResult
+recordWithGaps(const Workload &w, std::uint64_t seed)
+{
+    return recordProgram(w.program, {},
+                         faultRecorder("cbuf-drop@0.9", seed, 64));
+}
+
+std::uint64_t
+countGapChunks(const SphereLogs &logs)
+{
+    std::uint64_t gaps = 0;
+    for (const auto &[tid, tlogs] : logs.threads)
+        for (const auto &rec : tlogs.chunks)
+            gaps += rec.reason == ChunkReason::Gap ? 1 : 0;
+    return gaps;
+}
+
+TEST(FaultRecording, DropsAreWitnessedByGapMarkers)
+{
+    Workload w = makeRacyCounter(4, 1000, false);
+    RecordResult rec = recordWithGaps(w, 7);
+    EXPECT_GT(rec.metrics.droppedChunks, 0u);
+    EXPECT_GT(rec.metrics.gapChunks, 0u);
+    EXPECT_GT(rec.metrics.lostCbufSignals, 0u);
+    EXPECT_EQ(countGapChunks(rec.logs), rec.metrics.gapChunks);
+    // The degraded sphere still round-trips its serialization.
+    EXPECT_EQ(SphereLogs::deserialize(rec.logs.serialize()), rec.logs);
+}
+
+TEST(FaultRecording, SameSeedAndSpecSameDegradedSphere)
+{
+    Workload w = makeRacyCounter(4, 1000, false);
+    RecordResult a = recordWithGaps(w, 11);
+    RecordResult b = recordWithGaps(w, 11);
+    EXPECT_EQ(a.logs.serialize(), b.logs.serialize());
+    EXPECT_EQ(a.metrics.digests, b.metrics.digests);
+    EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+    EXPECT_EQ(a.metrics.droppedChunks, b.metrics.droppedChunks);
+    EXPECT_EQ(a.metrics.gapChunks, b.metrics.gapChunks);
+}
+
+TEST(FaultRecording, RsmSitesCostCyclesButLoseNothing)
+{
+    Workload w = makeProdCons(4, 60);
+    RecordResult ref = recordProgram(w.program);
+    RecordResult faulty = recordProgram(
+        w.program, {}, faultRecorder("drain-fail@0.8,cbuf-delay@0.9"));
+    EXPECT_GT(faulty.metrics.cbufDrainRetries +
+                  faulty.metrics.delayedCbufSignals, 0u);
+    EXPECT_EQ(faulty.metrics.droppedChunks, 0u);
+    EXPECT_EQ(faulty.metrics.gapChunks, 0u);
+    // Retries and stalls are pure cost: the recording still replays
+    // deterministically against its own digests.
+    ReplayResult rep = replaySphere(w.program, faulty.logs);
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_TRUE(verifyDigests(faulty.metrics.digests, rep.digests).ok);
+    (void)ref;
+}
+
+TEST(DegradedReplay, StrictRefusesGapsDegradedContainsThem)
+{
+    Workload w = makeRacyCounter(4, 1000, false);
+    RecordResult rec = recordWithGaps(w, 7);
+    ASSERT_GT(rec.metrics.gapChunks, 0u);
+
+    ReplayResult strict = replaySphere(w.program, rec.logs);
+    EXPECT_FALSE(strict.ok);
+    EXPECT_NE(strict.divergence.find("gap marker"), std::string::npos)
+        << strict.divergence;
+
+    ReplayResult deg =
+        replaySphere(w.program, rec.logs, ReplayMode::Degraded);
+    ASSERT_TRUE(deg.ok);
+    EXPECT_TRUE(deg.degradedMode);
+    EXPECT_EQ(deg.degraded.gapChunks, rec.metrics.gapChunks);
+    EXPECT_GT(deg.degraded.chunksSkipped, 0u);
+    EXPECT_GT(deg.degraded.threadsIncomplete, 0u);
+    EXPECT_GT(deg.degraded.chunksReplayed, 0u);
+}
+
+TEST(DegradedReplay, SequentialAndParallelAgreeAtEveryJobCount)
+{
+    Workload w = makeRacyCounter(4, 1000, false);
+    RecordResult rec = recordWithGaps(w, 7);
+    ASSERT_GT(rec.metrics.gapChunks, 0u);
+
+    ReplayResult seq =
+        replaySphere(w.program, rec.logs, ReplayMode::Degraded);
+    ASSERT_TRUE(seq.ok);
+    for (int jobs : {1, 4}) {
+        ParallelReplayResult par = replaySphereParallel(
+            w.program, rec.logs, jobs, ReplayMode::Degraded);
+        ASSERT_TRUE(par.replay.ok) << jobs;
+        EXPECT_EQ(par.replay.digests, seq.digests) << jobs;
+        EXPECT_EQ(par.replay.degraded.summary(),
+                  seq.degraded.summary()) << jobs;
+    }
+}
+
+TEST(DegradedReplay, CleanSphereDegradedEqualsStrict)
+{
+    // Degraded mode on a fault-free sphere is a no-op: identical
+    // digests, empty degradation summary.
+    Workload w = makeNondetMix(2, 60);
+    RecordResult rec = recordProgram(w.program);
+    ReplayResult strict = replaySphere(w.program, rec.logs);
+    ReplayResult deg =
+        replaySphere(w.program, rec.logs, ReplayMode::Degraded);
+    ASSERT_TRUE(strict.ok);
+    ASSERT_TRUE(deg.ok);
+    EXPECT_EQ(deg.digests, strict.digests);
+    EXPECT_EQ(deg.degraded.gapChunks, 0u);
+    EXPECT_EQ(deg.degraded.chunksSkipped, 0u);
+    EXPECT_EQ(deg.degraded.divergences, 0u);
+    EXPECT_EQ(deg.degraded.threadsIncomplete, 0u);
+    EXPECT_EQ(deg.degraded.chunksReplayed, strict.replayedChunks);
+}
+
+// --- injected I/O faults and salvage ------------------------------------
+
+TEST(FaultIo, EnospcLeavesTheOldArtifactIntact)
+{
+    Workload w = makeRacyCounter(2, 200, false);
+    RecordResult rec = recordProgram(w.program);
+    const std::string path = "/tmp/qr_fault_enospc.qrs";
+
+    ASSERT_TRUE(saveSphere(rec.logs, path));
+    FaultPlan io = FaultPlan::parse("io-enospc@tick:0", 5);
+    SphereSaveResult res = saveSphere(rec.logs, path, &io);
+    EXPECT_FALSE(res.ok);
+    EXPECT_TRUE(res.injected);
+    // The old sealed artifact survives the failed overwrite.
+    SphereLoadResult back = loadSphere(path);
+    ASSERT_TRUE(back) << back.error;
+    EXPECT_EQ(back.logs, rec.logs);
+    std::remove(path.c_str());
+}
+
+class FaultIoTear : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FaultIoTear, TornWritesSalvageToADegradedReplay)
+{
+    // Big enough that the sphere spans several segments: a short or
+    // torn write can then only damage the tail, never the whole file.
+    Workload w = makeRacyCounter(4, 1000, false);
+    RecordResult rec = recordProgram(w.program);
+    const std::string path = "/tmp/qr_fault_torn.qrs";
+
+    FaultPlan io = FaultPlan::parse(GetParam(), 5);
+    SphereSaveResult res = saveSphere(rec.logs, path, &io);
+    EXPECT_FALSE(res.ok);
+    EXPECT_TRUE(res.injected);
+    EXPECT_GT(res.bytes, 0u);
+
+    // loadSphere refuses the torn file with a recoverable error...
+    SphereLoadResult strict = loadSphere(path);
+    EXPECT_FALSE(strict.ok);
+    EXPECT_NE(strict.error.find("recover"), std::string::npos)
+        << strict.error;
+
+    // ...and recoverSphere salvages every sealed segment before the
+    // tear into something the degraded replayer completes.
+    SphereRecoverResult rcv = recoverSphere(path);
+    ASSERT_TRUE(rcv.ok) << rcv.error;
+    EXPECT_FALSE(rcv.complete);
+    EXPECT_GT(rcv.segmentsSalvaged, 0u);
+    EXPECT_GT(rcv.threadsSalvaged + rcv.threadsPartial, 0u);
+
+    ReplayResult deg =
+        replaySphere(w.program, rcv.logs, ReplayMode::Degraded);
+    EXPECT_TRUE(deg.ok);
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FaultIoTear,
+                         ::testing::Values("io-short@tick:0",
+                                           "io-torn@tick:0"));
+
+TEST(FaultIo, TornWritesAreDeterministic)
+{
+    Workload w = makeRacyCounter(2, 200, false);
+    RecordResult rec = recordProgram(w.program);
+    auto tornBytes = [&](const std::string &path) {
+        FaultPlan io = FaultPlan::parse("io-torn@tick:0", 21);
+        SphereSaveResult res = saveSphere(rec.logs, path, &io);
+        EXPECT_TRUE(res.injected);
+        return res.bytes;
+    };
+    std::uint64_t a = tornBytes("/tmp/qr_fault_det_a.qrs");
+    std::uint64_t b = tornBytes("/tmp/qr_fault_det_b.qrs");
+    EXPECT_EQ(a, b);
+    SphereRecoverResult ra = recoverSphere("/tmp/qr_fault_det_a.qrs");
+    SphereRecoverResult rb = recoverSphere("/tmp/qr_fault_det_b.qrs");
+    ASSERT_TRUE(ra.ok);
+    ASSERT_TRUE(rb.ok);
+    EXPECT_EQ(ra.logs, rb.logs);
+    std::remove("/tmp/qr_fault_det_a.qrs");
+    std::remove("/tmp/qr_fault_det_b.qrs");
+}
+
+TEST(FaultIo, RecoveringAnIntactFileIsComplete)
+{
+    Workload w = makeRacyCounter(2, 200, false);
+    RecordResult rec = recordProgram(w.program);
+    const std::string path = "/tmp/qr_fault_intact.qrs";
+    ASSERT_TRUE(saveSphere(rec.logs, path));
+    SphereRecoverResult rcv = recoverSphere(path);
+    ASSERT_TRUE(rcv.ok) << rcv.error;
+    EXPECT_TRUE(rcv.complete);
+    EXPECT_EQ(rcv.logs, rec.logs);
+    EXPECT_EQ(rcv.threadsPartial, 0u);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <set>
 
+#include "fault/fault_plan.hh"
 #include "mem/memory.hh"
 #include "rnr/bloom.hh"
 #include "rnr/cbuf.hh"
@@ -623,6 +624,80 @@ TEST(RnrUnitDeath, DoubleEnablePanics)
 {
     UnitRig rig;
     EXPECT_DEATH(rig.unit.enable(9), "already recording");
+}
+
+// --- CBUF backpressure under fault injection --------------------------------
+
+/** A sink whose drain interrupts never arrive (software wedged). */
+struct DeafSink : ChunkSink
+{
+    void
+    onChunkLogged(const ChunkRecord &, CoreId,
+                  const ChunkShadow *) override
+    {
+        logged++;
+    }
+    void onCbufSignal(CoreId, bool, Tick) override { signals++; }
+
+    std::uint64_t logged = 0;
+    std::uint64_t signals = 0;
+};
+
+TEST(RnrUnitFault, FullCbufDropsChunksBehindGapMarkers)
+{
+    // Tiny CBUF, every drain signal lost: the buffer must fill, raise
+    // backpressure, and shed chunks into per-thread gap markers --
+    // never overflow (the no-fault overflow stays a panic, see
+    // CbufDeath.OverflowPanics).
+    Memory mem(1 << 20);
+    Cbuf cbuf(CbufParams{8, 0.75}, mem, 0, nullptr);
+    RnrUnit unit(0, RnrParams{}, cbuf);
+    struct : SbOccupancySource
+    {
+        std::uint32_t sbOccupancy() const override { return 0; }
+    } sb;
+    unit.setSbSource(&sb);
+    DeafSink sink;
+    unit.setSink(&sink);
+    FaultPlan faults = FaultPlan::parse("cbuf-drop@1.0", 3);
+    unit.setFaultPlan(&faults);
+    unit.enable(7);
+
+    const int emitted = 20;
+    for (int i = 0; i < emitted; ++i) {
+        unit.onRetire(0);
+        unit.terminate(ChunkReason::Syscall, 0);
+    }
+
+    const RnrStats &rs = unit.stats();
+    EXPECT_TRUE(cbuf.full());
+    EXPECT_EQ(rs.chunks, 8u);                  // what fit in the ring
+    EXPECT_EQ(rs.droppedChunks, 12u);          // what did not
+    EXPECT_GT(rs.lostSignals, 0u);             // why nothing drained
+    EXPECT_EQ(cbuf.stats().droppedRecords, rs.droppedChunks);
+    EXPECT_EQ(sink.logged, rs.chunks); // drops never reach the sink
+
+    // The drain stream ends with one gap marker for the thread whose
+    // records were shed, sized to the loss and timestamp-monotonic.
+    auto recs = cbuf.drain();
+    ASSERT_EQ(recs.size(), 9u);
+    std::uint64_t gapTotal = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_NE(recs[i].reason, ChunkReason::Gap) << i;
+    const ChunkRecord &gap = recs.back();
+    EXPECT_EQ(gap.reason, ChunkReason::Gap);
+    EXPECT_EQ(gap.tid, 7);
+    EXPECT_EQ(gap.rsw, 0u);
+    EXPECT_GT(gap.ts, recs[7].ts); // after the last logged chunk
+    gapTotal += gap.size;
+    EXPECT_EQ(gapTotal, rs.droppedChunks);
+    EXPECT_EQ(cbuf.stats().gapRecords, 1u);
+
+    // After the drain the unit records normally again.
+    unit.onRetire(0);
+    unit.terminate(ChunkReason::Syscall, 0);
+    EXPECT_EQ(unit.stats().chunks, 9u);
+    EXPECT_EQ(cbuf.occupancy(), 1u);
 }
 
 } // namespace

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Single CI gate: everything a change must pass before it merges.
+# Runs, in order,
+#
+#   1. the tier-1 suite (configure + build + full ctest, which now
+#      includes the fault-injection, corpus, and fault_smoke_* entries),
+#   2. the AddressSanitizer/UBSan sweep    (tools/run_asan.sh),
+#   3. the ThreadSanitizer replay sweep    (tools/run_tsan.sh),
+#   4. clang-tidy                          (tools/run_lint.sh),
+#   5. a fault-pipeline smoke: record under injection, salvage the
+#      torn artifact, replay it degraded with parallel jobs.
+#
+# The first failing stage aborts the script with a nonzero exit.
+#
+# Usage: tools/ci.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "=== ci 1/5: tier-1 suite ==="
+cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build "$BUILD" -j "$(nproc)"
+(cd "$BUILD" && ctest --output-on-failure)
+
+echo "=== ci 2/5: asan/ubsan ==="
+tools/run_asan.sh
+
+echo "=== ci 3/5: tsan ==="
+tools/run_tsan.sh
+
+echo "=== ci 4/5: clang-tidy ==="
+tools/run_lint.sh "$BUILD"
+
+echo "=== ci 5/5: fault pipeline smoke ==="
+QREC="$BUILD/tools/qrec"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$QREC" record counter-racy -t 4 -s 2 --cbuf-entries 64 \
+    --faults cbuf-drop@0.9,io-torn@tick:0 --fault-seed 10 \
+    -o "$SMOKE_DIR/smoke.qrec"
+"$QREC" recover -i "$SMOKE_DIR/smoke.qrec" \
+    -o "$SMOKE_DIR/smoke_rec.qrec"
+"$QREC" replay --degraded --replay-jobs 4 \
+    -i "$SMOKE_DIR/smoke_rec.qrec" \
+    | grep -q "identical to sequential"
+
+echo "ci: all gates green"

@@ -8,12 +8,21 @@
  *       Execute a workload (optionally under recording) and report.
  *   qrec record <workload> [-t threads] [-s scale] -o <file>
  *       Record a run and persist the sphere (with replay metadata).
- *   qrec replay -i <file> [--replay-jobs N]
+ *       With --faults <spec> [--fault-seed N], injects deterministic
+ *       faults (see fault/fault_plan.hh) into the recording hardware
+ *       and the log write; an injected write failure leaves a torn
+ *       artifact for `qrec recover` and is reported, not fatal.
+ *   qrec replay -i <file> [--replay-jobs N] [--degraded]
  *       Rebuild the workload from the file's metadata, replay the
  *       sphere, and verify the stored digests. With --replay-jobs,
  *       additionally run the parallel chunk-graph replayer with N
  *       worker threads, check it against the sequential oracle, and
- *       report the replay-speed fields.
+ *       report the replay-speed fields. --degraded replays spheres
+ *       with gap markers or salvaged prefixes to completion and
+ *       reports the degradation summary instead of aborting.
+ *   qrec recover -i <torn> -o <file>
+ *       Salvage a torn container: every intact segment, then every
+ *       parseable thread-log prefix, rewritten as a sealed container.
  *   qrec inspect -i <file>
  *       Summarize a recorded sphere's logs.
  *   qrec analyze -i <file> [--json out.json]
@@ -26,6 +35,9 @@
  *
  * The .qrec container wraps the sphere byte stream with the workload
  * identity and the recorded digests so a replay is self-validating.
+ * On disk the container payload rides in the same crash-consistent
+ * segmented format spheres use (log_store.hh); legacy unsegmented
+ * files remain readable.
  */
 
 #include <cstdio>
@@ -35,6 +47,7 @@
 
 #include "analyze/race_analyzer.hh"
 #include "capo/log_store.hh"
+#include "fault/fault_plan.hh"
 #include "isa/disassembler.hh"
 #include "core/session.hh"
 #include "replay/log_reader.hh"
@@ -78,8 +91,9 @@ getString(const std::vector<std::uint8_t> &in, std::size_t &pos)
     return s;
 }
 
-void
-saveContainer(const Container &c, const std::string &path)
+SegmentedWriteResult
+saveContainer(const Container &c, const std::string &path,
+              FaultPlan *faults = nullptr)
 {
     std::vector<std::uint8_t> out = {'Q', 'R', 'C', '1'};
     putString(out, c.workload);
@@ -97,17 +111,11 @@ saveContainer(const Container &c, const std::string &path)
     std::vector<std::uint8_t> sphere = c.logs.serialize();
     putVarint(out, sphere.size());
     out.insert(out.end(), sphere.begin(), sphere.end());
-
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("cannot write '%s'", path.c_str());
-    std::fwrite(out.data(), 1, out.size(), f);
-    std::fclose(f);
-    std::printf("wrote %zu bytes to %s\n", out.size(), path.c_str());
+    return writeSegmented(out, path, faults);
 }
 
-Container
-loadContainer(const std::string &path)
+std::vector<std::uint8_t>
+readRawFile(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
@@ -119,6 +127,51 @@ loadContainer(const std::string &path)
     if (std::fread(in.data(), 1, in.size(), f) != in.size())
         fatal("short read from '%s'", path.c_str());
     std::fclose(f);
+    return in;
+}
+
+/**
+ * Parse the container meta fields (everything between the magic and
+ * the sphere length) from @p in; on return @p pos sits at the sphere
+ * length varint. Throws ParseError on malformed input.
+ */
+Container
+parseContainerMeta(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    Container c;
+    c.workload = getString(in, pos);
+    c.threads = static_cast<int>(getVarint(in, pos));
+    c.scale = static_cast<int>(getVarint(in, pos));
+    c.digests.memory = getVarint(in, pos);
+    c.digests.output = getVarint(in, pos);
+    std::uint64_t nexits = getVarint(in, pos);
+    for (std::uint64_t i = 0; i < nexits; ++i) {
+        Tid tid = static_cast<Tid>(getVarint(in, pos));
+        ThreadExitInfo info;
+        info.regDigest = getVarint(in, pos);
+        info.instrs = getVarint(in, pos);
+        info.exitCode = static_cast<Word>(getVarint(in, pos));
+        c.digests.exits.emplace(tid, info);
+    }
+    return c;
+}
+
+Container
+loadContainer(const std::string &path)
+{
+    std::vector<std::uint8_t> raw = readRawFile(path);
+
+    std::vector<std::uint8_t> in;
+    if (isSegmented(raw)) {
+        SegmentedReadResult seg = readSegmented(raw);
+        if (!seg.sealed)
+            fatal("'%s' is corrupt: %s; 'qrec recover' can salvage "
+                  "the intact prefix",
+                  path.c_str(), seg.error.c_str());
+        in = std::move(seg.payload);
+    } else {
+        in = std::move(raw); // legacy unsegmented container
+    }
 
     if (in.size() < 4 || std::memcmp(in.data(), "QRC1", 4) != 0)
         fatal("'%s' is not a qrec container", path.c_str());
@@ -126,21 +179,7 @@ loadContainer(const std::string &path)
     // parse failure as a fatal error message instead of an abort.
     try {
         std::size_t pos = 4;
-        Container c;
-        c.workload = getString(in, pos);
-        c.threads = static_cast<int>(getVarint(in, pos));
-        c.scale = static_cast<int>(getVarint(in, pos));
-        c.digests.memory = getVarint(in, pos);
-        c.digests.output = getVarint(in, pos);
-        std::uint64_t nexits = getVarint(in, pos);
-        for (std::uint64_t i = 0; i < nexits; ++i) {
-            Tid tid = static_cast<Tid>(getVarint(in, pos));
-            ThreadExitInfo info;
-            info.regDigest = getVarint(in, pos);
-            info.instrs = getVarint(in, pos);
-            info.exitCode = static_cast<Word>(getVarint(in, pos));
-            c.digests.exits.emplace(tid, info);
-        }
+        Container c = parseContainerMeta(in, pos);
         std::uint64_t nsphere = getVarint(in, pos);
         if (nsphere > in.size() - pos)
             parseFail("container truncated: sphere log needs %llu "
@@ -205,13 +244,18 @@ cmdList()
 struct Args
 {
     std::string workload;
-    std::string file;
+    std::string file;    //!< -i: input container
+    std::string outFile; //!< -o: output container
     int threads = 4;
     int scale = 1;
     int replayJobs = 0; //!< 0 = flag not given (sequential only)
     bool record = false;
     bool stats = false;
     bool exactShadow = false;
+    bool degraded = false;
+    std::string faults; //!< fault-injection spec (empty = none)
+    std::uint64_t faultSeed = 1;
+    std::uint32_t cbufEntries = 0; //!< 0 = keep the default capacity
     std::string jsonFile;
 };
 
@@ -236,8 +280,9 @@ parseArgs(int argc, char **argv, int first, bool wants_workload)
             a.threads = std::atoi(next());
         else if (s == "-s" || s == "--scale")
             a.scale = std::atoi(next());
-        else if (s == "-o" || s == "--out" || s == "-i" ||
-                 s == "--in")
+        else if (s == "-o" || s == "--out")
+            a.outFile = next();
+        else if (s == "-i" || s == "--in")
             a.file = next();
         else if (s == "-j" || s == "--replay-jobs") {
             const char *v = next();
@@ -254,6 +299,27 @@ parseArgs(int argc, char **argv, int first, bool wants_workload)
             a.stats = true;
         else if (s == "--exact-shadow")
             a.exactShadow = true;
+        else if (s == "--degraded")
+            a.degraded = true;
+        else if (s == "--faults")
+            a.faults = next();
+        else if (s == "--fault-seed") {
+            const char *v = next();
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0')
+                fatal("%s expects an integer, got '%s'", s.c_str(), v);
+            a.faultSeed = n;
+        }
+        else if (s == "--cbuf-entries") {
+            const char *v = next();
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 4)
+                fatal("%s expects an integer >= 4, got '%s'",
+                      s.c_str(), v);
+            a.cbufEntries = static_cast<std::uint32_t>(n);
+        }
         else if (s == "--json")
             a.jsonFile = next();
         else
@@ -283,17 +349,135 @@ cmdRun(const Args &a)
 int
 cmdRecord(const Args &a)
 {
-    if (a.file.empty())
+    if (a.outFile.empty())
         fatal("record needs -o <file>");
     Workload w = buildWorkload(a.workload, a.threads, a.scale);
     RecorderConfig rcfg;
     rcfg.rnr.exactShadow = a.exactShadow;
+    rcfg.faults.spec = a.faults;
+    rcfg.faults.seed = a.faultSeed;
+    if (a.cbufEntries)
+        rcfg.cbuf.entries = a.cbufEntries;
     RecordResult rec = recordProgram(w.program, {}, rcfg);
     std::printf("recorded %s: %s\n", w.name.c_str(),
                 rec.metrics.summary().c_str());
+    if (rec.metrics.gapChunks || rec.metrics.droppedChunks)
+        std::printf("faults: dropped %llu chunk(s) behind %llu gap "
+                    "marker(s); replay with --degraded\n",
+                    (unsigned long long)rec.metrics.droppedChunks,
+                    (unsigned long long)rec.metrics.gapChunks);
     Container c{w.name, a.threads, a.scale, rec.metrics.digests,
                 std::move(rec.logs)};
-    saveContainer(c, a.file);
+
+    // The I/O layer rolls its own plan: per-site Rng streams make it
+    // deterministic whether or not the recorder consumed draws.
+    FaultPlan ioPlan;
+    FaultPlan *iop = nullptr;
+    if (!a.faults.empty()) {
+        ioPlan = FaultPlan::parse(a.faults, a.faultSeed);
+        iop = &ioPlan;
+    }
+    SegmentedWriteResult saved = saveContainer(c, a.outFile, iop);
+    if (saved) {
+        std::printf("wrote %llu bytes to %s\n",
+                    (unsigned long long)saved.bytes,
+                    a.outFile.c_str());
+    } else if (saved.injected) {
+        // An injected crash is the expected product of a fault run:
+        // report what is on disk and leave salvage to `qrec recover`.
+        std::printf("injected I/O fault while writing %s: %s "
+                    "(%llu bytes on disk)\n",
+                    a.outFile.c_str(), saved.error.c_str(),
+                    (unsigned long long)saved.bytes);
+    } else {
+        fatal("cannot write '%s': %s", a.outFile.c_str(),
+              saved.error.c_str());
+    }
+    return 0;
+}
+
+int
+cmdRecover(const Args &a)
+{
+    if (a.file.empty())
+        fatal("recover needs -i <file>");
+    if (a.outFile.empty())
+        fatal("recover needs -o <file>");
+
+    std::vector<std::uint8_t> raw = readRawFile(a.file);
+    if (raw.empty())
+        fatal("'%s' is empty; nothing to salvage", a.file.c_str());
+
+    std::vector<std::uint8_t> in;
+    std::uint64_t segments = 0;
+    bool sealed = false;
+    std::string tornNote;
+    if (isSegmented(raw)) {
+        SegmentedReadResult seg = readSegmented(raw);
+        in = std::move(seg.payload);
+        segments = seg.segments;
+        sealed = seg.sealed;
+        tornNote = seg.error;
+    } else {
+        in = std::move(raw); // legacy unsegmented container
+        sealed = true;
+    }
+
+    if (in.size() < 4 || std::memcmp(in.data(), "QRC1", 4) != 0)
+        fatal("'%s' is not a qrec container (no intact header "
+              "segment)", a.file.c_str());
+
+    // The meta fields fit in the first segment, so a torn file that
+    // kept any payload keeps them; losing them means nothing usable.
+    Container c;
+    std::vector<std::uint8_t> sphereBytes;
+    try {
+        std::size_t pos = 4;
+        c = parseContainerMeta(in, pos);
+        std::uint64_t nsphere = getVarint(in, pos);
+        std::uint64_t avail = in.size() - pos;
+        sphereBytes.assign(in.begin() + static_cast<long>(pos),
+                           in.end());
+        if (nsphere < avail)
+            sphereBytes.resize(nsphere); // ignore trailing garbage
+    } catch (const ParseError &e) {
+        fatal("'%s' is unrecoverable (torn inside the container "
+              "meta): %s", a.file.c_str(), e.what());
+    }
+
+    SphereSalvage salvage;
+    try {
+        salvage = SphereLogs::deserializeTolerant(sphereBytes);
+    } catch (const ParseError &e) {
+        fatal("'%s' is unrecoverable (unusable sphere header): %s",
+              a.file.c_str(), e.what());
+    }
+
+    bool complete = sealed && salvage.complete;
+    c.logs = std::move(salvage.logs);
+    SegmentedWriteResult saved = saveContainer(c, a.outFile);
+    if (!saved)
+        fatal("cannot write '%s': %s", a.outFile.c_str(),
+              saved.error.c_str());
+
+    std::printf("salvaged %s: %llu intact segment(s), %llu thread "
+                "log(s) complete, %llu kept as a prefix\n",
+                a.file.c_str(), (unsigned long long)segments,
+                (unsigned long long)salvage.threadsSalvaged,
+                (unsigned long long)salvage.threadsPartial);
+    if (complete) {
+        std::printf("file was intact; full sphere recovered\n");
+    } else {
+        if (!tornNote.empty())
+            std::printf("container: %s\n", tornNote.c_str());
+        if (!salvage.note.empty())
+            std::printf("sphere: %s\n", salvage.note.c_str());
+    }
+    std::printf("wrote %llu bytes to %s\n",
+                (unsigned long long)saved.bytes, a.outFile.c_str());
+    if (!complete)
+        std::printf("replay with: qrec replay --degraded -i %s\n",
+                    a.outFile.c_str());
     return 0;
 }
 
@@ -307,27 +491,40 @@ cmdReplay(const Args &a)
                 c.workload.c_str(), c.threads, c.scale,
                 a.file.c_str());
     Workload w = buildWorkload(c.workload, c.threads, c.scale);
-    ReplayResult rep = replaySphere(w.program, c.logs);
+    ReplayMode mode =
+        a.degraded ? ReplayMode::Degraded : ReplayMode::Strict;
+    ReplayResult rep = replaySphere(w.program, c.logs, mode);
     if (!rep.ok) {
         std::printf("DIVERGED: %s\n", rep.divergence.c_str());
         return 1;
     }
-    VerifyReport v = verifyDigests(c.digests, rep.digests);
-    if (!v.ok) {
-        std::printf("DIGEST MISMATCH:\n%s", v.str().c_str());
-        return 1;
+    if (a.degraded) {
+        std::printf("%s\n", rep.degraded.summary().c_str());
+        // A degraded sphere lost state, so the recorded digests are
+        // informational: report the comparison but do not fail on it.
+        VerifyReport v = verifyDigests(c.digests, rep.digests);
+        std::printf(v.ok ? "digests match the recorded run\n"
+                         : "digests differ from the recorded run "
+                           "(expected after data loss)\n");
+    } else {
+        VerifyReport v = verifyDigests(c.digests, rep.digests);
+        if (!v.ok) {
+            std::printf("DIGEST MISMATCH:\n%s", v.str().c_str());
+            return 1;
+        }
+        std::printf("deterministic: %llu chunks, %llu instructions, "
+                    "%llu injected records -- all digests match\n",
+                    (unsigned long long)rep.replayedChunks,
+                    (unsigned long long)rep.replayedInstrs,
+                    (unsigned long long)rep.injectedRecords);
     }
-    std::printf("deterministic: %llu chunks, %llu instructions, "
-                "%llu injected records -- all digests match\n",
-                (unsigned long long)rep.replayedChunks,
-                (unsigned long long)rep.replayedInstrs,
-                (unsigned long long)rep.injectedRecords);
 
     if (a.replayJobs >= 1) {
         // Differential parallel replay: the chunk-graph engine must
-        // reproduce the sequential oracle bit for bit.
+        // reproduce the sequential oracle bit for bit -- in degraded
+        // mode too, including the degradation summary.
         ParallelReplayResult par =
-            replaySphereParallel(w.program, c.logs, a.replayJobs);
+            replaySphereParallel(w.program, c.logs, a.replayJobs, mode);
         if (!par.replay.ok) {
             std::printf("PARALLEL DIVERGED: %s\n",
                         par.replay.divergence.c_str());
@@ -337,6 +534,14 @@ cmdReplay(const Args &a)
         if (!pv.ok) {
             std::printf("PARALLEL DIGEST MISMATCH vs sequential:\n%s",
                         pv.str().c_str());
+            return 1;
+        }
+        if (a.degraded &&
+            par.replay.degraded.summary() != rep.degraded.summary()) {
+            std::printf("PARALLEL DEGRADED SUMMARY MISMATCH:\n"
+                        "  sequential: %s\n  parallel:   %s\n",
+                        rep.degraded.summary().c_str(),
+                        par.replay.degraded.summary().c_str());
             return 1;
         }
         std::printf("parallel replay: jobs=%d identical to sequential "
@@ -429,13 +634,17 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: qrec "
-                 "<list|run|record|replay|inspect|analyze|disasm> ...\n"
+                 "usage: qrec <list|run|record|replay|recover|inspect|"
+                 "analyze|disasm> ...\n"
                  "  qrec run <workload> [-t N] [-s S] [--record] "
                  "[--stats]\n"
                  "  qrec record <workload> [-t N] [-s S] "
-                 "[--exact-shadow] -o file.qrec\n"
-                 "  qrec replay -i file.qrec [--replay-jobs N]\n"
+                 "[--exact-shadow]\n"
+                 "              [--faults spec] [--fault-seed N] "
+                 "[--cbuf-entries N] -o file.qrec\n"
+                 "  qrec replay -i file.qrec [--replay-jobs N] "
+                 "[--degraded]\n"
+                 "  qrec recover -i torn.qrec -o salvaged.qrec\n"
                  "  qrec inspect -i file.qrec\n"
                  "  qrec analyze -i file.qrec [--json out.json]\n"
                  "  qrec disasm <workload> [-t N] [-s S]\n");
@@ -460,6 +669,8 @@ main(int argc, char **argv)
         return cmdRecord(parseArgs(argc, argv, 2, true));
     if (cmd == "replay")
         return cmdReplay(parseArgs(argc, argv, 2, false));
+    if (cmd == "recover")
+        return cmdRecover(parseArgs(argc, argv, 2, false));
     if (cmd == "inspect")
         return cmdInspect(parseArgs(argc, argv, 2, false));
     if (cmd == "analyze")

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Drive the fault-injection degradation curve: run bench_a7_faults
+# (recording under swept cbuf-drop rates, degraded replay of every
+# damaged sphere) and schema-validate the BENCH_A7.json it emits.
+#
+# Usage: tools/run_faults.sh [build-dir]
+#
+# Environment (passed through to the bench):
+#   QR_BENCH_SCALE      problem-size multiplier (default 4)
+#   QR_BENCH_JSON_DIR   where BENCH_A7.json is written (default: the
+#                       bench build directory)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake --build "$BUILD" -j "$(nproc)" \
+    --target bench_a7_faults bench_json_util
+
+JSON_DIR="${QR_BENCH_JSON_DIR:-$BUILD/bench}"
+export QR_BENCH_JSON_DIR="$JSON_DIR"
+
+"$BUILD/bench/bench_a7_faults"
+"$BUILD/tools/bench_json_util" validate "$JSON_DIR/BENCH_A7.json"
+
+echo "faults: degradation curve in $JSON_DIR/BENCH_A7.json"
