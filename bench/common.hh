@@ -27,6 +27,8 @@
 #include <string>
 
 #include "core/session.hh"
+#include "obs/profile.hh"
+#include "obs/stats_export.hh"
 #include "sim/bench_json.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
@@ -152,10 +154,20 @@ benchHeader(const char *id, const char *title)
                 "TSO SB depth 8; scale=%d\n\n", benchScaleEff());
 }
 
-/** Write @p json as BENCH_<id>.json and report where it went. */
+/**
+ * Write @p json as BENCH_<id>.json and report where it went. The
+ * profiler's per-phase totals (record loop, CBUF drains, graph build,
+ * replay execution) accumulated over the whole bench run are attached
+ * as the schema-v2 "stats" section, so every emitted file can
+ * attribute host time per phase.
+ */
 inline void
-benchJsonEmit(const BenchJson &json)
+benchJsonEmit(BenchJson &json)
 {
+    StatsSnapshot snap;
+    profileSnapshotInto(snap);
+    for (const StatScalar &s : snap.scalars)
+        json.addStat(s.name, s.value);
     std::string path = json.write();
     if (path.empty())
         std::fprintf(stderr, "warning: could not write BENCH_%s.json\n",

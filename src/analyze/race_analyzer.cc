@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/profile.hh"
 #include "replay/chunk_graph.hh"
 #include "rnr/bloom.hh"
 #include "sim/logging.hh"
@@ -396,6 +397,7 @@ RaceReport::happensBefore(std::uint32_t a, std::uint32_t b) const
 RaceReport
 analyzeSphere(const SphereLogs &logs)
 {
+    ProfileScope prof(ProfilePhase::Analyze);
     RaceReport rep;
     rep.exact = logs.hasShadows();
     rep.schedule = logs.chunksByTimestamp();

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "fault/fault_plan.hh"
+#include "obs/event_trace.hh"
+#include "obs/profile.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -41,8 +43,8 @@ Rsm::charge(Core *core, Tick cycles, OverheadCat cat, Tick now)
 void
 Rsm::kernelEntry(KThread &t, Core &core, Tick now)
 {
-    (void)t;
     core.rnrUnit().terminate(ChunkReason::Syscall, now);
+    kernelEntryTick[t.tid] = now;
     charge(&core, costs.syscallInterceptEntry,
            OverheadCat::SyscallIntercept, now);
 }
@@ -68,6 +70,14 @@ Rsm::syscallLogged(KThread &t, Word num, Word ret, const CopyToUser *copy,
     }
     logsOf(t.tid).input.push_back(std::move(rec));
     _stats.inputRecords++;
+    if (eventTrace().armed()) {
+        Tick entry = now;
+        auto it = kernelEntryTick.find(t.tid);
+        if (it != kernelEntryTick.end())
+            entry = it->second;
+        eventTrace().emit(TraceEventKind::SyscallSpan, t.tid, entry,
+                          num, 0, now > entry ? now - entry : 0);
+    }
     charge(charge_core, costs.syscallInterceptExit + costs.inputRecordBase,
            OverheadCat::SyscallIntercept, now);
 }
@@ -173,6 +183,8 @@ Rsm::contextSwitchOut(KThread &t, Core &core, Tick now)
     // everything it did here, including post-chunk input copies.
     t.lastClock = unit.clock();
     unit.disable();
+    eventTrace().emit(TraceEventKind::RsmSwitchOut, t.tid, now,
+                      static_cast<std::uint64_t>(core.id()));
     charge(&core, costs.ctxSwitchSave, OverheadCat::CtxSwitch, now);
 }
 
@@ -182,6 +194,8 @@ Rsm::contextSwitchIn(KThread &t, Core &core, Tick now)
     RnrUnit &unit = core.rnrUnit();
     unit.setClockFloor(t.lastClock);
     unit.enable(t.tid);
+    eventTrace().emit(TraceEventKind::RsmSwitchIn, t.tid, now,
+                      static_cast<std::uint64_t>(core.id()));
     charge(&core, costs.ctxSwitchRestore, OverheadCat::CtxSwitch, now);
 }
 
@@ -215,6 +229,7 @@ Rsm::drainCbuf(CoreId core, bool forced, Tick now)
 {
     qr_assert(core >= 0 && core < static_cast<CoreId>(cbufs.size()),
               "bad core id %d in CBUF drain", core);
+    ProfileScope prof(ProfilePhase::CbufDrain);
     if (faults && faults->armed(FaultSite::DrainFail)) {
         // Each failed spill attempt costs a retry with exponential
         // backoff in modeled cycles; after maxDrainRetries the drain is
@@ -241,10 +256,14 @@ Rsm::drainCbuf(CoreId core, bool forced, Tick now)
     _stats.cbufDrains++;
     if (forced)
         _stats.cbufForcedDrains++;
+    eventTrace().emit(TraceEventKind::CbufDrain, core, now, recs.size(),
+                      forced ? 1 : 0);
     tracef(TraceFlag::Cbuf, "core %d: drained %zu records%s", core,
            recs.size(), forced ? " (backpressure)" : "");
-    charge(cores[static_cast<std::size_t>(core)],
-           costs.cbufDrainBase + costs.cbufDrainPerRecord * recs.size(),
+    Tick cost =
+        costs.cbufDrainBase + costs.cbufDrainPerRecord * recs.size();
+    prof.cycles(cost);
+    charge(cores[static_cast<std::size_t>(core)], cost,
            OverheadCat::CbufDrain, now);
 }
 

@@ -114,6 +114,8 @@ class Rsm : public RsmHooks, public ChunkSink
     std::map<Tid, std::map<Timestamp, ChunkShadow>> pendingShadows;
     /** Clock captured when a thread exited; floors later join edges. */
     std::map<Tid, Timestamp> exitClock;
+    /** Kernel-entry cycle per thread; times the traced syscall span. */
+    std::map<Tid, Tick> kernelEntryTick;
     RsmStats _stats;
 };
 

@@ -1,5 +1,6 @@
 #include "core/machine.hh"
 
+#include "obs/profile.hh"
 #include "sim/logging.hh"
 
 namespace qr
@@ -100,6 +101,7 @@ Machine::run()
     qr_assert(!ran, "Machine::run called twice");
     ran = true;
 
+    ProfileScope prof(ProfilePhase::Record);
     while (step()) {
         if (cycle >= mcfg.maxCycles) {
             kernel->debugDump();
@@ -108,6 +110,7 @@ Machine::run()
                   static_cast<unsigned long long>(mcfg.maxCycles));
         }
     }
+    prof.cycles(cycle);
     return collectMetrics(cycle);
 }
 

@@ -21,6 +21,10 @@ recordProgram(const Program &prog, const MachineConfig &mcfg,
     RecordResult result;
     result.metrics = machine.run();
     result.logs = machine.sphereLogs();
+    // Drain the event tracer per recording so back-to-back sessions
+    // (test suites, bench repeat loops) never mix timelines.
+    if (eventTrace().armed())
+        result.timeline = eventTrace().flush();
     return result;
 }
 

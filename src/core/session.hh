@@ -11,6 +11,7 @@
 #include "core/config.hh"
 #include "core/metrics.hh"
 #include "isa/assembler.hh"
+#include "obs/event_trace.hh"
 #include "replay/parallel_replayer.hh"
 #include "replay/replayer.hh"
 #include "replay/verifier.hh"
@@ -23,6 +24,14 @@ struct RecordResult
 {
     SphereLogs logs;
     RunMetrics metrics;
+
+    /**
+     * The structured event timeline of the run, drained from the
+     * tracer when it was armed (qrec record --trace or QR_TRACE);
+     * empty otherwise. Purely observational: logs/metrics/digests are
+     * bit-identical with the tracer armed or not.
+     */
+    TraceTimeline timeline;
 };
 
 /** Run @p prog with the recording hardware disabled (the baseline). */

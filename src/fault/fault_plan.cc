@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/event_trace.hh"
 #include "sim/logging.hh"
 
 namespace qr
@@ -130,8 +131,13 @@ FaultPlan::fire(FaultSite s)
         hit = site.probPpb > 0 &&
               site.rng.below(1000000000ull) < site.probPpb;
     }
-    if (hit)
+    if (hit) {
         ++_stats.fires[i];
+        // Query index stands in for time: the plan has no clock, but
+        // the index is schedule-deterministic and orders the firings.
+        eventTrace().emit(TraceEventKind::FaultFire, i, q,
+                          static_cast<std::uint64_t>(i), q);
+    }
     return hit;
 }
 

@@ -1,0 +1,356 @@
+#include "obs/event_trace.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "capo/sphere.hh"
+#include "fault/fault_plan.hh"
+#include "rnr/chunk_record.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+/** Thread-local ring handle, validated against (owner, generation). */
+thread_local void *tlOwner = nullptr;
+thread_local void *tlRing = nullptr;
+thread_local std::uint64_t tlGen = 0;
+
+/** Chrome "pid" lanes group related event kinds into processes. */
+enum JsonPid : int
+{
+    pidThreads = 1, //!< per-tid recording events
+    pidCores = 2,   //!< per-core CBUF events
+    pidFaults = 3,  //!< fault-injection firings
+    pidReplay = 4,  //!< replay-side events
+};
+
+int
+jsonPid(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::CbufDrain: return pidCores;
+      case TraceEventKind::FaultFire: return pidFaults;
+      case TraceEventKind::ReplayInject:
+      case TraceEventKind::ReplayChunk: return pidReplay;
+      default: return pidThreads;
+    }
+}
+
+const char *
+jsonPidName(int pid)
+{
+    switch (pid) {
+      case pidThreads: return "record threads";
+      case pidCores: return "record cores";
+      case pidFaults: return "fault injection";
+      case pidReplay: return "replay";
+    }
+    return "?";
+}
+
+/** True for kinds exported as complete ("X") duration events. */
+bool
+isSpanKind(TraceEventKind k)
+{
+    return k == TraceEventKind::ChunkEnd ||
+           k == TraceEventKind::ReplayChunk ||
+           k == TraceEventKind::SyscallSpan;
+}
+
+void
+appendJsonCommon(std::string &out, const TraceEvent &e)
+{
+    out += csprintf("\"pid\": %d, \"tid\": %d, \"ts\": %llu",
+                    jsonPid(e.kind), e.lane,
+                    static_cast<unsigned long long>(e.tick));
+}
+
+} // namespace
+
+const char *
+traceEventKindName(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::ChunkEnd: return "chunk";
+      case TraceEventKind::CbufDrain: return "cbuf-drain";
+      case TraceEventKind::RsmSwitchIn: return "rsm-switch-in";
+      case TraceEventKind::RsmSwitchOut: return "rsm-switch-out";
+      case TraceEventKind::SyscallSpan: return "syscall";
+      case TraceEventKind::ReplayInject: return "replay-inject";
+      case TraceEventKind::ReplayChunk: return "replay-chunk";
+      case TraceEventKind::FaultFire: return "fault";
+      case TraceEventKind::NumKinds: break;
+    }
+    return "?";
+}
+
+// --- EventTrace ---------------------------------------------------------
+
+void
+EventTrace::arm(std::size_t ring_events)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    rings.clear();
+    generation.fetch_add(1, std::memory_order_release);
+    ringEvents = ring_events ? ring_events : 1;
+    _armed.store(true, std::memory_order_relaxed);
+}
+
+void
+EventTrace::disarm()
+{
+    _armed.store(false, std::memory_order_relaxed);
+}
+
+EventTrace::Ring *
+EventTrace::ringForThisThread()
+{
+    if (tlOwner == this && tlRing &&
+        tlGen == generation.load(std::memory_order_acquire))
+        return static_cast<Ring *>(tlRing);
+    std::lock_guard<std::mutex> lock(mutex);
+    rings.push_back(std::make_unique<Ring>());
+    Ring *r = rings.back().get();
+    r->capacity = ringEvents;
+    tlOwner = this;
+    tlRing = r;
+    tlGen = generation.load(std::memory_order_relaxed);
+    return r;
+}
+
+void
+EventTrace::emitSlow(TraceEventKind kind, std::int32_t lane, Tick tick,
+                     std::uint64_t a, std::uint64_t b, Tick dur)
+{
+    Ring *r = ringForThisThread();
+    if (r->events.size() >= r->capacity) {
+        r->dropped++;
+        return;
+    }
+    r->events.push_back(TraceEvent{tick, dur, a, b, lane, kind});
+}
+
+TraceTimeline
+EventTrace::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    TraceTimeline t;
+    for (const auto &ring : rings) {
+        t.dropped += ring->dropped;
+        t.events.insert(t.events.end(), ring->events.begin(),
+                        ring->events.end());
+    }
+    rings.clear();
+    generation.fetch_add(1, std::memory_order_release);
+    std::sort(t.events.begin(), t.events.end(),
+              [](const TraceEvent &x, const TraceEvent &y) {
+                  if (x.tick != y.tick)
+                      return x.tick < y.tick;
+                  if (x.lane != y.lane)
+                      return x.lane < y.lane;
+                  return static_cast<int>(x.kind) <
+                         static_cast<int>(y.kind);
+              });
+    return t;
+}
+
+std::uint64_t
+EventTrace::bufferedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::uint64_t n = 0;
+    for (const auto &ring : rings)
+        n += ring->events.size();
+    return n;
+}
+
+EventTrace &
+eventTrace()
+{
+    static EventTrace trace;
+    return trace;
+}
+
+// --- TraceTimeline ------------------------------------------------------
+
+std::vector<std::uint8_t>
+TraceTimeline::serialize() const
+{
+    std::vector<std::uint8_t> out = {'Q', 'T', 'R', '1'};
+    putVarint(out, dropped);
+    putVarint(out, events.size());
+    for (const TraceEvent &e : events) {
+        putVarint(out, static_cast<std::uint64_t>(e.kind));
+        // Lanes include the -1 sentinel; bias keeps the varint small.
+        putVarint(out, static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(e.lane) + 1));
+        putVarint(out, e.tick);
+        putVarint(out, e.dur);
+        putVarint(out, e.a);
+        putVarint(out, e.b);
+    }
+    return out;
+}
+
+TraceTimeline
+TraceTimeline::deserialize(const std::vector<std::uint8_t> &in)
+{
+    if (in.size() < 4 || std::memcmp(in.data(), "QTR1", 4) != 0)
+        parseFail("not a QTR1 trace stream");
+    TraceTimeline t;
+    std::size_t pos = 4;
+    t.dropped = getVarint(in, pos);
+    std::uint64_t n = getVarint(in, pos);
+    t.events.reserve(std::min<std::uint64_t>(n, 1u << 20));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TraceEvent e;
+        std::uint64_t kind = getVarint(in, pos);
+        if (kind >= static_cast<std::uint64_t>(numTraceEventKinds))
+            parseFail("trace event %llu: bad kind %llu",
+                      static_cast<unsigned long long>(i),
+                      static_cast<unsigned long long>(kind));
+        e.kind = static_cast<TraceEventKind>(kind);
+        e.lane = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(getVarint(in, pos)) - 1);
+        e.tick = getVarint(in, pos);
+        e.dur = getVarint(in, pos);
+        e.a = getVarint(in, pos);
+        e.b = getVarint(in, pos);
+        t.events.push_back(e);
+    }
+    if (pos != in.size())
+        parseFail("trailing bytes in QTR1 trace stream");
+    return t;
+}
+
+std::string
+TraceTimeline::chromeJson() const
+{
+    std::string out = "{\"traceEvents\": [\n";
+    bool first = true;
+    auto row = [&](const std::string &body) {
+        out += first ? "  {" : ",\n  {";
+        out += body;
+        out += "}";
+        first = false;
+    };
+
+    // Metadata rows: name the processes and every lane we will use, so
+    // Perfetto's track labels read "record threads / tid 2" instead of
+    // bare numbers.
+    std::vector<std::pair<int, std::int32_t>> lanes;
+    for (const TraceEvent &e : events)
+        lanes.emplace_back(jsonPid(e.kind), e.lane);
+    std::sort(lanes.begin(), lanes.end());
+    lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+    int lastPid = 0;
+    for (const auto &[pid, lane] : lanes) {
+        if (pid != lastPid) {
+            row(csprintf("\"name\": \"process_name\", \"ph\": \"M\", "
+                         "\"pid\": %d, \"args\": {\"name\": \"%s\"}",
+                         pid, jsonPidName(pid)));
+            lastPid = pid;
+        }
+        const char *what = pid == pidCores ? "core"
+                           : pid == pidFaults ? "site" : "tid";
+        row(csprintf("\"name\": \"thread_name\", \"ph\": \"M\", "
+                     "\"pid\": %d, \"tid\": %d, "
+                     "\"args\": {\"name\": \"%s %d\"}",
+                     pid, lane, what, lane));
+    }
+
+    for (const TraceEvent &e : events) {
+        std::string body = csprintf("\"name\": \"%s\", \"cat\": \"%s\", ",
+                                    traceEventKindName(e.kind),
+                                    jsonPidName(jsonPid(e.kind)));
+        if (isSpanKind(e.kind)) {
+            // Complete events need a nonzero duration to be clickable.
+            body += csprintf("\"ph\": \"X\", \"dur\": %llu, ",
+                             static_cast<unsigned long long>(
+                                 e.dur ? e.dur : 1));
+        } else {
+            body += "\"ph\": \"i\", \"s\": \"t\", ";
+        }
+        appendJsonCommon(body, e);
+        switch (e.kind) {
+          case TraceEventKind::ChunkEnd:
+          case TraceEventKind::ReplayChunk:
+            body += csprintf(", \"args\": {\"size\": %llu, "
+                             "\"reason\": \"%s\"}",
+                             static_cast<unsigned long long>(e.a),
+                             chunkReasonName(
+                                 e.b < static_cast<std::uint64_t>(
+                                           numChunkReasons)
+                                     ? static_cast<ChunkReason>(e.b)
+                                     : ChunkReason::Drain));
+            break;
+          case TraceEventKind::CbufDrain:
+            body += csprintf(", \"args\": {\"records\": %llu, "
+                             "\"forced\": %llu}",
+                             static_cast<unsigned long long>(e.a),
+                             static_cast<unsigned long long>(e.b));
+            break;
+          case TraceEventKind::RsmSwitchIn:
+          case TraceEventKind::RsmSwitchOut:
+            body += csprintf(", \"args\": {\"core\": %llu}",
+                             static_cast<unsigned long long>(e.a));
+            break;
+          case TraceEventKind::SyscallSpan:
+          case TraceEventKind::ReplayInject:
+            body += csprintf(", \"args\": {\"num\": %llu}",
+                             static_cast<unsigned long long>(e.a));
+            break;
+          case TraceEventKind::FaultFire:
+            body += csprintf(
+                ", \"args\": {\"site\": \"%s\", \"query\": %llu}",
+                e.a < static_cast<std::uint64_t>(numFaultSites)
+                    ? faultSiteName(static_cast<FaultSite>(e.a))
+                    : "?",
+                static_cast<unsigned long long>(e.b));
+            break;
+          case TraceEventKind::NumKinds:
+            break;
+        }
+        row(body);
+    }
+    out += csprintf("\n], \"displayTimeUnit\": \"ms\", "
+                    "\"metadata\": {\"tool\": \"qrec trace\", "
+                    "\"droppedEvents\": %llu}}\n",
+                    static_cast<unsigned long long>(dropped));
+    return out;
+}
+
+TraceTimeline
+timelineFromSphere(const SphereLogs &logs)
+{
+    TraceTimeline t;
+    for (const auto &[tid, tl] : logs.threads) {
+        Timestamp prev = 0;
+        for (const ChunkRecord &rec : tl.chunks) {
+            TraceEvent e;
+            e.kind = TraceEventKind::ChunkEnd;
+            e.lane = tid;
+            // Lamport time: the span runs from the thread's previous
+            // chunk boundary to this record's timestamp.
+            e.tick = prev;
+            e.dur = rec.ts > prev ? rec.ts - prev : 1;
+            e.a = rec.size;
+            e.b = static_cast<std::uint64_t>(rec.reason);
+            t.events.push_back(e);
+            prev = rec.ts;
+        }
+    }
+    std::sort(t.events.begin(), t.events.end(),
+              [](const TraceEvent &x, const TraceEvent &y) {
+                  if (x.tick != y.tick)
+                      return x.tick < y.tick;
+                  return x.lane < y.lane;
+              });
+    return t;
+}
+
+} // namespace qr

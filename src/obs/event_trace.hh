@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Structured event tracing: a binary timeline of recorder, replayer
+ * and fault events, exportable as Chrome trace-event JSON.
+ *
+ * The tracer is a process-wide sink of fixed-size TraceEvents. Each
+ * host thread writes into its own bounded ring (no locks on the emit
+ * path; the registry mutex is taken only when a thread touches the
+ * tracer for the first time and at flush), so the parallel replay
+ * workers can emit concurrently without synchronizing. When the ring
+ * fills, further events are dropped and counted -- a flight recorder
+ * never blocks the flight.
+ *
+ * Arming is a single relaxed atomic load on the emit path and the
+ * tracer only *observes*: recording with tracing armed produces
+ * bit-identical spheres, digests and chunk boundaries to a disarmed
+ * run (pinned by tests/test_obs.cc across the whole suite).
+ *
+ * Arm programmatically (eventTrace().arm()), via `qrec record
+ * --trace`, or with the legacy QR_TRACE environment switch -- any
+ * QR_TRACE flag arms both the stderr tracer and this one (sim/trace).
+ *
+ * Flush drains every ring into one timestamp-sorted timeline that
+ * serializes to a compact "QTR1" byte stream (stored in the .qrec
+ * container next to the sphere) and exports to the Chrome
+ * `chrome://tracing` / Perfetto trace-event JSON format via
+ * `qrec trace`.
+ */
+
+#ifndef QR_OBS_EVENT_TRACE_HH
+#define QR_OBS_EVENT_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+struct SphereLogs;
+
+/** What happened; one enumerator per instrumented site. */
+enum class TraceEventKind : std::uint16_t
+{
+    ChunkEnd,      //!< chunk terminated: a=size, b=reason, lane=tid
+    CbufDrain,     //!< CBUF drained: a=records, b=forced, lane=core
+    RsmSwitchIn,   //!< recording context restored: a=core, lane=tid
+    RsmSwitchOut,  //!< recording context saved: a=core, lane=tid
+    SyscallSpan,   //!< syscall logged: a=num, lane=tid
+    ReplayInject,  //!< input record injected: a=kind, lane=tid
+    ReplayChunk,   //!< chunk replayed: a=size, b=reason, lane=tid
+    FaultFire,     //!< fault site fired: a=site, b=query index
+    NumKinds,
+};
+
+/** Number of distinct event kinds. */
+constexpr int numTraceEventKinds =
+    static_cast<int>(TraceEventKind::NumKinds);
+
+/** @return canonical name of an event kind (Chrome JSON event name). */
+const char *traceEventKindName(TraceEventKind k);
+
+/** One fixed-size timeline event. */
+struct TraceEvent
+{
+    Tick tick = 0; //!< modeled time (cycles); replay uses Lamport ts
+    Tick dur = 0;  //!< span length for duration kinds, 0 for instants
+    std::uint64_t a = 0; //!< kind-specific payload (see TraceEventKind)
+    std::uint64_t b = 0; //!< second payload slot
+    std::int32_t lane = 0; //!< tid or core the event belongs to
+    TraceEventKind kind = TraceEventKind::ChunkEnd;
+
+    bool operator==(const TraceEvent &o) const = default;
+};
+
+/** A flushed timeline: sorted events plus ring-drop accounting. */
+struct TraceTimeline
+{
+    std::vector<TraceEvent> events; //!< sorted by (tick, lane, kind)
+    std::uint64_t dropped = 0;      //!< events lost to full rings
+
+    /** Serialize to the compact "QTR1" byte stream. */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Parse a "QTR1" stream; throws ParseError on corruption. */
+    static TraceTimeline deserialize(const std::vector<std::uint8_t> &in);
+
+    /**
+     * Export as Chrome trace-event JSON ("traceEvents" array format):
+     * ChunkEnd/ReplayChunk/SyscallSpan become complete ("X") duration
+     * events, everything else instant ("i") events, with process/
+     * thread-name metadata rows so Perfetto labels the lanes.
+     */
+    std::string chromeJson() const;
+};
+
+/** The process-wide tracer. */
+class EventTrace
+{
+  public:
+    /** Default per-thread ring capacity (events). */
+    static constexpr std::size_t defaultRingEvents = 1u << 16;
+
+    /**
+     * Arm the tracer. Subsequent emit() calls are kept, each host
+     * thread in a ring of @p ring_events events. Re-arming clears any
+     * buffered events.
+     */
+    void arm(std::size_t ring_events = defaultRingEvents);
+
+    /** Disarm; buffered events stay until the next arm() or flush(). */
+    void disarm();
+
+    /** @return true if the tracer is collecting (emit path gate). */
+    bool
+    armed() const
+    {
+        return _armed.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Append one event to the calling thread's ring. A full ring drops
+     * the event and counts it; a disarmed tracer returns immediately.
+     */
+    void
+    emit(TraceEventKind kind, std::int32_t lane, Tick tick,
+         std::uint64_t a = 0, std::uint64_t b = 0, Tick dur = 0)
+    {
+        if (!armed()) [[likely]]
+            return;
+        emitSlow(kind, lane, tick, a, b, dur);
+    }
+
+    /**
+     * Drain every ring into one sorted timeline and clear the rings.
+     * Call after the traced run completed (no concurrent emitters).
+     */
+    TraceTimeline flush();
+
+    /** Events currently buffered across all rings (tests). */
+    std::uint64_t bufferedEvents() const;
+
+  private:
+    struct Ring
+    {
+        std::vector<TraceEvent> events; //!< append-only up to capacity
+        std::size_t capacity = 0;
+        std::uint64_t dropped = 0;
+    };
+
+    void emitSlow(TraceEventKind kind, std::int32_t lane, Tick tick,
+                  std::uint64_t a, std::uint64_t b, Tick dur);
+    Ring *ringForThisThread();
+
+    std::atomic<bool> _armed{false};
+    std::size_t ringEvents = defaultRingEvents;
+    /** Arm generation; thread-local ring handles from an earlier arm
+     *  are stale and re-registered on first use. Atomic so the emit
+     *  path can validate its cached handle without the mutex. */
+    std::atomic<std::uint64_t> generation{0};
+    mutable std::mutex mutex; //!< guards rings/generation, not emits
+    std::vector<std::unique_ptr<Ring>> rings;
+};
+
+/** The global tracer every instrumented site emits into. */
+EventTrace &eventTrace();
+
+/**
+ * Synthesize a timeline from a sphere alone (no recording-time trace):
+ * every chunk record becomes a ChunkEnd span on its thread's lane,
+ * timed by Lamport timestamps. Lets `qrec trace` render any .qrec
+ * file, including ones recorded before tracing existed.
+ */
+TraceTimeline timelineFromSphere(const SphereLogs &logs);
+
+} // namespace qr
+
+#endif // QR_OBS_EVENT_TRACE_HH

@@ -1,0 +1,71 @@
+#include "obs/profile.hh"
+
+#include "obs/stats_export.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+const char *
+profilePhaseName(ProfilePhase p)
+{
+    switch (p) {
+      case ProfilePhase::Record: return "record";
+      case ProfilePhase::CbufDrain: return "cbuf-drain";
+      case ProfilePhase::GraphBuild: return "graph-build";
+      case ProfilePhase::ReplayExec: return "replay-exec";
+      case ProfilePhase::Analyze: return "analyze";
+      case ProfilePhase::NumPhases: break;
+    }
+    return "?";
+}
+
+ProfilePhaseTotals
+Profiler::totals(ProfilePhase p) const
+{
+    int i = static_cast<int>(p);
+    ProfilePhaseTotals t;
+    t.calls = calls[i].load(std::memory_order_relaxed);
+    t.wallMicros =
+        wallNanos[i].load(std::memory_order_relaxed) / 1e3;
+    t.modeledCycles = cycles[i].load(std::memory_order_relaxed);
+    return t;
+}
+
+void
+Profiler::reset()
+{
+    for (int i = 0; i < numProfilePhases; ++i) {
+        calls[i].store(0, std::memory_order_relaxed);
+        wallNanos[i].store(0, std::memory_order_relaxed);
+        cycles[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+Profiler &
+profiler()
+{
+    static Profiler p;
+    return p;
+}
+
+void
+profileSnapshotInto(StatsSnapshot &s)
+{
+    for (int i = 0; i < numProfilePhases; ++i) {
+        auto p = static_cast<ProfilePhase>(i);
+        ProfilePhaseTotals t = profiler().totals(p);
+        if (!t.calls)
+            continue;
+        const char *name = profilePhaseName(p);
+        s.counter(csprintf("profile.%s.calls", name), t.calls,
+                  "spans accounted to the phase");
+        s.gauge(csprintf("profile.%s.wall_micros", name), t.wallMicros,
+                "wall-clock microseconds in the phase");
+        s.counter(csprintf("profile.%s.modeled_cycles", name),
+                  t.modeledCycles,
+                  "modeled cycles attributed to the phase");
+    }
+}
+
+} // namespace qr

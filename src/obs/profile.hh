@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Profiling scopes: cheap RAII wall-clock (+ optional modeled-cycle)
+ * timers around the coarse phases of a qrec run -- the record hot
+ * loop, the CBUF drain path, chunk-graph construction, and replay
+ * execution -- accumulated into a process-wide table.
+ *
+ * Scopes are always on: they cost one steady_clock read at entry/exit
+ * and a couple of relaxed fetch_adds, and they are placed around
+ * phases (thousands of cycles each), never around per-instruction
+ * work. The accumulators are atomics so parallel replay workers can
+ * close scopes concurrently.
+ *
+ * The table exports into StatsSnapshot (profileSnapshotInto) and from
+ * there into `qrec stats` and the bench-JSON schema-v2 "stats"
+ * section, which is how BENCH_*.json attributes time per phase.
+ */
+
+#ifndef QR_OBS_PROFILE_HH
+#define QR_OBS_PROFILE_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+struct StatsSnapshot;
+
+/** The coarse phases a run's time is attributed to. */
+enum class ProfilePhase : int
+{
+    Record,     //!< Machine::run while recording (or baseline)
+    CbufDrain,  //!< Capo3 drain interrupt handling
+    GraphBuild, //!< chunk-dependence graph construction
+    ReplayExec, //!< replay execution (sequential or worker pool)
+    Analyze,    //!< offline race analysis
+    NumPhases,
+};
+
+/** Number of profiled phases. */
+constexpr int numProfilePhases =
+    static_cast<int>(ProfilePhase::NumPhases);
+
+/** @return short name of a phase ("record", "cbuf-drain", ...). */
+const char *profilePhaseName(ProfilePhase p);
+
+/** Accumulated totals for one phase. */
+struct ProfilePhaseTotals
+{
+    std::uint64_t calls = 0;
+    double wallMicros = 0;
+    Tick modeledCycles = 0;
+};
+
+/** The process-wide phase-totals table. */
+class Profiler
+{
+  public:
+    /** Account one completed span. */
+    void
+    add(ProfilePhase p, double wall_micros, Tick modeled_cycles)
+    {
+        int i = static_cast<int>(p);
+        calls[i].fetch_add(1, std::memory_order_relaxed);
+        wallNanos[i].fetch_add(
+            static_cast<std::uint64_t>(wall_micros * 1e3),
+            std::memory_order_relaxed);
+        cycles[i].fetch_add(modeled_cycles, std::memory_order_relaxed);
+    }
+
+    /** Totals for one phase. */
+    ProfilePhaseTotals totals(ProfilePhase p) const;
+
+    /** Zero every accumulator (tests, bench repeat loops). */
+    void reset();
+
+  private:
+    std::array<std::atomic<std::uint64_t>, numProfilePhases> calls{};
+    std::array<std::atomic<std::uint64_t>, numProfilePhases>
+        wallNanos{};
+    std::array<std::atomic<std::uint64_t>, numProfilePhases> cycles{};
+};
+
+/** The global profiler every scope reports into. */
+Profiler &profiler();
+
+/**
+ * RAII span: measures wall time from construction to destruction and
+ * adds it to the global profiler. Modeled cycles are attributed by
+ * calling cycles() before the scope closes (phases that track modeled
+ * time, e.g. the record loop, report the cycle delta they consumed).
+ */
+class ProfileScope
+{
+  public:
+    explicit ProfileScope(ProfilePhase p)
+        : phase(p), start(std::chrono::steady_clock::now())
+    {}
+
+    ProfileScope(const ProfileScope &) = delete;
+    ProfileScope &operator=(const ProfileScope &) = delete;
+
+    /** Attribute @p c modeled cycles to this span. */
+    void cycles(Tick c) { modeledCycles = c; }
+
+    ~ProfileScope()
+    {
+        auto end = std::chrono::steady_clock::now();
+        double micros =
+            std::chrono::duration<double, std::micro>(end - start)
+                .count();
+        profiler().add(phase, micros, modeledCycles);
+    }
+
+  private:
+    ProfilePhase phase;
+    std::chrono::steady_clock::time_point start;
+    Tick modeledCycles = 0;
+};
+
+/**
+ * Append the profiler's per-phase totals to @p s as
+ * "profile.<phase>.{calls,wall_micros,modeled_cycles}" entries,
+ * skipping phases that never ran.
+ */
+void profileSnapshotInto(StatsSnapshot &s);
+
+} // namespace qr
+
+#endif // QR_OBS_PROFILE_HH

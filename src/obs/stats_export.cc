@@ -1,0 +1,293 @@
+#include "obs/stats_export.hh"
+
+#include <algorithm>
+
+#include "capo/input_log.hh"
+#include "capo/sphere.hh"
+#include "core/metrics.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+/** Render a scalar value: integers exactly, gauges compactly. */
+std::string
+renderValue(const StatScalar &s)
+{
+    if (s.integral) {
+        return csprintf("%llu", static_cast<unsigned long long>(
+                                    s.value < 0 ? 0 : s.value + 0.5));
+    }
+    return csprintf("%.6g", s.value);
+}
+
+/** Inclusive upper bound of log2 bucket @p i (i >= 1). */
+std::uint64_t
+bucketUpper(int i)
+{
+    if (i >= 64)
+        return ~0ull;
+    return (1ull << i) - 1;
+}
+
+} // namespace
+
+void
+StatsSnapshot::counter(const std::string &name, std::uint64_t v,
+                       const std::string &help)
+{
+    scalars.push_back(StatScalar{name, help,
+                                 static_cast<double>(v), true, true});
+}
+
+void
+StatsSnapshot::gauge(const std::string &name, double v,
+                     const std::string &help)
+{
+    scalars.push_back(StatScalar{name, help, v, false, false});
+}
+
+void
+StatsSnapshot::histogram(const std::string &name, const Histogram &h,
+                         const std::string &help)
+{
+    histograms.push_back(StatHistogram{name, help, h});
+}
+
+const StatScalar *
+StatsSnapshot::find(const std::string &name) const
+{
+    for (const StatScalar &s : scalars)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+std::string
+StatsSnapshot::json(int indent) const
+{
+    const std::string pad(indent, ' ');
+    const std::string pad1 = pad + "  ";
+    std::string out = "{\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            out += ",\n";
+        first = false;
+    };
+    for (const StatScalar &s : scalars) {
+        sep();
+        out += csprintf("%s\"%s\": %s", pad1.c_str(), s.name.c_str(),
+                        renderValue(s).c_str());
+    }
+    for (const StatHistogram &h : histograms) {
+        sep();
+        out += csprintf(
+            "%s\"%s\": {\"count\": %llu, \"sum\": %llu, "
+            "\"min\": %llu, \"max\": %llu, \"mean\": %.6g, "
+            "\"p50\": %llu, \"p90\": %llu, \"p99\": %llu}",
+            pad1.c_str(), h.name.c_str(),
+            static_cast<unsigned long long>(h.hist.count()),
+            static_cast<unsigned long long>(h.hist.sum()),
+            static_cast<unsigned long long>(h.hist.min()),
+            static_cast<unsigned long long>(h.hist.max()),
+            h.hist.mean(),
+            static_cast<unsigned long long>(h.hist.quantile(0.5)),
+            static_cast<unsigned long long>(h.hist.quantile(0.9)),
+            static_cast<unsigned long long>(h.hist.quantile(0.99)));
+    }
+    out += "\n" + pad + "}";
+    return out;
+}
+
+std::string
+promName(const std::string &dotted)
+{
+    std::string out = "qr_";
+    for (char c : dotted) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+StatsSnapshot::prometheus() const
+{
+    std::string out;
+    for (const StatScalar &s : scalars) {
+        std::string name = promName(s.name);
+        out += csprintf("# HELP %s %s\n", name.c_str(), s.help.c_str());
+        out += csprintf("# TYPE %s %s\n", name.c_str(),
+                        s.isCounter ? "counter" : "gauge");
+        out += csprintf("%s %s\n", name.c_str(),
+                        renderValue(s).c_str());
+    }
+    for (const StatHistogram &h : histograms) {
+        std::string name = promName(h.name);
+        out += csprintf("# HELP %s %s\n", name.c_str(), h.help.c_str());
+        out += csprintf("# TYPE %s histogram\n", name.c_str());
+        const auto &buckets = h.hist.buckets();
+        int top = 0;
+        for (int i = 0; i < 65; ++i)
+            if (buckets[i])
+                top = i;
+        std::uint64_t cum = 0;
+        for (int i = 0; i <= top; ++i) {
+            cum += buckets[i];
+            out += csprintf("%s_bucket{le=\"%llu\"} %llu\n",
+                            name.c_str(),
+                            static_cast<unsigned long long>(
+                                i == 0 ? 0 : bucketUpper(i)),
+                            static_cast<unsigned long long>(cum));
+        }
+        out += csprintf("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(
+                            h.hist.count()));
+        out += csprintf("%s_sum %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(h.hist.sum()));
+        out += csprintf("%s_count %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(
+                            h.hist.count()));
+    }
+    return out;
+}
+
+StatsSnapshot
+snapshotMetrics(const RunMetrics &m)
+{
+    StatsSnapshot s;
+    s.counter("sim.cycles", m.cycles, "simulated cycles");
+    s.counter("sim.instrs", m.instrs, "retired user instructions");
+    s.gauge("sim.ipc",
+            ratio(static_cast<double>(m.instrs),
+                  static_cast<double>(m.cycles)),
+            "aggregate instructions per cycle");
+    s.counter("cpu.loads", m.loads, "retired loads");
+    s.counter("cpu.stores", m.stores, "retired stores");
+    s.counter("cpu.atomics", m.atomics, "locked read-modify-writes");
+    s.counter("kernel.syscalls", m.syscalls, "system calls");
+    s.counter("kernel.ctx_switches", m.contextSwitches,
+              "context switches");
+    s.counter("kernel.migrations", m.migrations,
+              "cross-core migrations");
+    s.counter("kernel.signals", m.signalsDelivered,
+              "signals delivered");
+    s.counter("mem.l1_hits", m.l1Hits, "L1 hits");
+    s.counter("mem.l1_misses", m.l1Misses, "L1 misses");
+    s.counter("mem.bus_txns", m.busTxns, "coherence transactions");
+    s.counter("mem.invalidations", m.invalidations,
+              "lines invalidated");
+    s.counter("rnr.chunks", m.chunks, "chunk records logged");
+    for (int r = 0; r < numChunkReasons; ++r) {
+        s.counter(csprintf("rnr.term.%s",
+                           chunkReasonName(static_cast<ChunkReason>(r))),
+                  m.reasonCounts[r], "chunk terminations by cause");
+    }
+    s.counter("rnr.rsw_nonzero", m.rswNonZero, "chunks with RSW > 0");
+    if (m.exactShadow) {
+        s.counter("rnr.false_conflicts", m.falseConflicts,
+                  "Bloom false-positive terminations");
+    }
+    s.counter("rnr.coalesced_accesses", m.coalescedAccesses,
+              "accesses absorbed by the last-line caches");
+    s.counter("rnr.cbuf_bytes", m.cbufBytes,
+              "raw bytes written to CBUFs");
+    s.counter("fault.dropped_chunks", m.droppedChunks,
+              "chunk records lost at the CBUF");
+    s.counter("fault.gap_chunks", m.gapChunks,
+              "gap markers drained into the logs");
+    s.counter("fault.lost_signals", m.lostCbufSignals,
+              "CBUF drain signals suppressed");
+    s.counter("fault.drain_retries", m.cbufDrainRetries,
+              "failed RSM drain attempts");
+    s.counter("fault.delayed_signals", m.delayedCbufSignals,
+              "drain signals delivered late");
+    s.counter("capo.cbuf_drains", m.cbufDrains,
+              "CBUF drain interrupts");
+    s.counter("capo.cbuf_forced_drains", m.cbufForcedDrains,
+              "drains forced by CBUF backpressure");
+    s.counter("capo.input_records", m.inputRecords,
+              "input-log records");
+    s.counter("capo.overhead_cycles", m.recordingOverheadCycles,
+              "software recording work");
+    for (int c = 0; c < numOverheadCats; ++c) {
+        s.counter(csprintf("capo.overhead.%s",
+                           overheadCatName(static_cast<OverheadCat>(c))),
+                  m.overheadCycles[c], "overhead by category");
+    }
+    s.counter("log.memory_bytes", m.logSizes.memoryBytes,
+              "packed chunk-log bytes");
+    s.counter("log.input_bytes", m.logSizes.inputBytes,
+              "packed input-log bytes");
+    s.gauge("log.mem_bytes_per_kinstr", m.memLogBytesPerKiloInstr(),
+            "memory-log bytes per 1000 instructions");
+    s.gauge("log.input_bytes_per_kinstr", m.inputLogBytesPerKiloInstr(),
+            "input-log bytes per 1000 instructions");
+    s.histogram("rnr.chunk_size", m.chunkSizes,
+                "instructions per chunk");
+    s.histogram("rnr.rsw", m.rswValues,
+                "reordered store window at termination");
+    return s;
+}
+
+StatsSnapshot
+snapshotSphere(const SphereLogs &logs)
+{
+    StatsSnapshot s;
+    std::uint64_t reasons[numChunkReasons] = {};
+    Histogram sizes;
+    Histogram rsw;
+    std::uint64_t rswNonZero = 0;
+    std::uint64_t inputRecords = 0;
+    std::uint64_t syncPoints = 0;
+    for (const auto &[tid, tl] : logs.threads) {
+        for (const ChunkRecord &rec : tl.chunks) {
+            int r = static_cast<int>(rec.reason);
+            if (r >= 0 && r < numChunkReasons)
+                reasons[r]++;
+            sizes.sample(rec.size);
+            rsw.sample(rec.rsw);
+            if (rec.rsw)
+                rswNonZero++;
+        }
+        inputRecords += tl.input.size();
+        syncPoints += tl.syncs.size();
+    }
+    s.counter("sphere.id", logs.sphereId, "replay sphere identifier");
+    s.counter("sphere.threads", logs.threads.size(),
+              "threads in the sphere");
+    s.counter("sphere.mem_bytes", logs.memBytes,
+              "guest memory size of the recording");
+    s.counter("sphere.sync_points", syncPoints,
+              "kernel synchronization edges (v2 spheres)");
+    s.counter("sphere.has_shadows", logs.hasShadows() ? 1 : 0,
+              "1 when every thread carries exact shadow sets");
+    s.counter("rnr.chunks", logs.totalChunks(),
+              "chunk records logged");
+    for (int r = 0; r < numChunkReasons; ++r) {
+        s.counter(csprintf("rnr.term.%s",
+                           chunkReasonName(static_cast<ChunkReason>(r))),
+                  reasons[r], "chunk terminations by cause");
+    }
+    s.counter("rnr.rsw_nonzero", rswNonZero, "chunks with RSW > 0");
+    s.counter("fault.gap_chunks",
+              reasons[static_cast<int>(ChunkReason::Gap)],
+              "gap markers in the logs");
+    s.counter("capo.input_records", inputRecords,
+              "input-log records");
+    s.counter("log.memory_bytes", logs.memoryLogBytes(),
+              "packed chunk-log bytes");
+    s.counter("log.input_bytes", logs.inputLogBytes(),
+              "packed input-log bytes");
+    s.histogram("rnr.chunk_size", sizes, "instructions per chunk");
+    s.histogram("rnr.rsw", rsw,
+                "reordered store window at termination");
+    return s;
+}
+
+} // namespace qr

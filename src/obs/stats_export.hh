@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unified stats export: one snapshot tree collecting the scalar
+ * counters and histograms scattered across RunMetrics, the profiler,
+ * and the sphere itself, exportable as JSON and Prometheus text.
+ *
+ * The snapshot is a flat, ordered list of dotted names (the same names
+ * RunMetrics::statsText prints, e.g. "rnr.term.conflict-raw"), so the
+ * three surfaces -- the human stats dump, `qrec stats` JSON/Prometheus,
+ * and the stats section embedded in bench-JSON schema v2 -- agree on
+ * every metric name.
+ *
+ * snapshotSphere() derives a snapshot from a serialized sphere alone
+ * (chunk/RSW histograms rebuilt from the chunk records, log byte sizes
+ * re-packed), which is what lets `qrec stats -i f.qrec` reproduce the
+ * E6/E7/E8 numbers for any .qrec file without re-running the workload.
+ */
+
+#ifndef QR_OBS_STATS_EXPORT_HH
+#define QR_OBS_STATS_EXPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace qr
+{
+
+struct RunMetrics;
+struct SphereLogs;
+
+/** One scalar statistic in a snapshot. */
+struct StatScalar
+{
+    std::string name; //!< dotted path, e.g. "rnr.chunks"
+    std::string help; //!< one-line description (Prometheus HELP)
+    double value = 0;
+    bool isCounter = true; //!< monotone counter vs. gauge
+    bool integral = true;  //!< render without decimals
+};
+
+/** One histogram statistic in a snapshot. */
+struct StatHistogram
+{
+    std::string name;
+    std::string help;
+    Histogram hist;
+};
+
+/** An ordered tree (by dotted name) of statistics. */
+struct StatsSnapshot
+{
+    std::vector<StatScalar> scalars;
+    std::vector<StatHistogram> histograms;
+
+    /** Append a monotone integer counter. */
+    void counter(const std::string &name, std::uint64_t v,
+                 const std::string &help);
+
+    /** Append a floating-point gauge. */
+    void gauge(const std::string &name, double v,
+               const std::string &help);
+
+    /** Append a histogram. */
+    void histogram(const std::string &name, const Histogram &h,
+                   const std::string &help);
+
+    /** @return the scalar named @p name, or nullptr. */
+    const StatScalar *find(const std::string &name) const;
+
+    /**
+     * Export as a JSON object: scalars as "name": value members,
+     * histograms as objects with count/sum/min/max/mean/p50/p90/p99.
+     * @param indent number of spaces each line is indented by (so the
+     *        object nests cleanly inside bench-JSON documents).
+     */
+    std::string json(int indent = 0) const;
+
+    /**
+     * Export in the Prometheus text exposition format: names prefixed
+     * "qr_" and sanitized to [a-zA-Z0-9_], # HELP / # TYPE comments,
+     * histograms as cumulative le-bucket series with _sum and _count.
+     */
+    std::string prometheus() const;
+};
+
+/** Sanitized Prometheus series name ("rnr.term.x" -> "qr_rnr_term_x"). */
+std::string promName(const std::string &dotted);
+
+/** Snapshot a finished run's RunMetrics (statsText names + histograms). */
+StatsSnapshot snapshotMetrics(const RunMetrics &m);
+
+/** Snapshot a sphere alone: everything derivable from its logs. */
+StatsSnapshot snapshotSphere(const SphereLogs &logs);
+
+} // namespace qr
+
+#endif // QR_OBS_STATS_EXPORT_HH

@@ -7,6 +7,7 @@
 #include <queue>
 #include <thread>
 
+#include "obs/profile.hh"
 #include "sim/logging.hh"
 
 namespace qr
@@ -118,7 +119,11 @@ ParallelReplayer::run()
     res.speed.jobs = jobs;
 
     auto t0 = std::chrono::steady_clock::now();
-    ChunkGraph graph = buildChunkGraph(prog, logs, costs, mode);
+    ChunkGraph graph;
+    {
+        ProfileScope prof(ProfilePhase::GraphBuild);
+        graph = buildChunkGraph(prog, logs, costs, mode);
+    }
     res.speed.graphMicros = microsSince(t0);
     res.graphNodes = graph.nodes.size();
     res.graphEdges = graph.edges;
@@ -141,24 +146,28 @@ ParallelReplayer::run()
         1, std::min<int>(jobs, static_cast<int>(graph.nodes.size())));
 
     auto t1 = std::chrono::steady_clock::now();
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-        pool.emplace_back([&core, &sched, &graph] {
-            std::uint32_t i;
-            while (sched.claim(i)) {
-                try {
-                    core.replayChunk(graph.nodes[i].rec);
-                } catch (const ReplayCore::Divergence &d) {
-                    sched.abort(d.msg);
-                    return;
+    {
+        ProfileScope prof(ProfilePhase::ReplayExec);
+        prof.cycles(res.speed.modeledParallelCycles);
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) {
+            pool.emplace_back([&core, &sched, &graph] {
+                std::uint32_t i;
+                while (sched.claim(i)) {
+                    try {
+                        core.replayChunk(graph.nodes[i].rec);
+                    } catch (const ReplayCore::Divergence &d) {
+                        sched.abort(d.msg);
+                        return;
+                    }
+                    sched.complete(i);
                 }
-                sched.complete(i);
-            }
-        });
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
     }
-    for (std::thread &t : pool)
-        t.join();
     res.speed.execMicros = microsSince(t1);
 
     if (sched.wasAborted()) {

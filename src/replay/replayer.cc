@@ -4,6 +4,8 @@
 
 #include "isa/exec.hh"
 #include "kernel/syscall.hh"
+#include "obs/event_trace.hh"
+#include "obs/profile.hh"
 #include "replay/log_reader.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -105,7 +107,13 @@ ReplayCore::nextInput(RThread &t, const char *what)
         t.trace->injected++;
         t.trace->modeledCycles += costs.perInputRecord;
     }
-    return input[t.inputCursor++];
+    const InputRecord &rec = input[t.inputCursor++];
+    // No modeled clock on the replay side; the per-thread injection
+    // ordinal keeps the lane's events ordered.
+    eventTrace().emit(TraceEventKind::ReplayInject, t.ctx.tid,
+                      t.injectedRecords,
+                      static_cast<std::uint64_t>(rec.kind));
+    return rec;
 }
 
 void
@@ -399,6 +407,8 @@ ReplayCore::replayChunkStrict(const ChunkRecord &rec, ChunkTrace *trace)
     if (t.trace)
         t.trace->modeledCycles += chunkCost;
     t.trace = nullptr;
+    eventTrace().emit(TraceEventKind::ReplayChunk, rec.tid, rec.ts,
+                      rec.size, static_cast<std::uint64_t>(rec.reason));
 }
 
 void
@@ -524,10 +534,13 @@ ReplayResult
 Replayer::run()
 {
     try {
+        ProfileScope prof(ProfilePhase::ReplayExec);
         std::vector<ChunkRecord> schedule = buildSchedule(logs);
         for (const ChunkRecord &rec : schedule)
             core.replayChunk(rec);
-        return core.finish();
+        ReplayResult result = core.finish();
+        prof.cycles(result.modeledCycles);
+        return result;
     } catch (const ReplayCore::Divergence &d) {
         ReplayResult result;
         core.collectCounters(result);

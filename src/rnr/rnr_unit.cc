@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault_plan.hh"
+#include "obs/event_trace.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -115,6 +116,11 @@ RnrUnit::terminate(ChunkReason reason, Tick now)
     _stats.rswValues.sample(rec.rsw);
     if (rec.rsw)
         _stats.rswNonZero++;
+
+    eventTrace().emit(TraceEventKind::ChunkEnd, tid, chunkStart,
+                      rec.size, static_cast<std::uint64_t>(reason),
+                      now > chunkStart ? now - chunkStart : 0);
+    chunkStart = now;
 
     // Materialize the exact shadow sets before they are flash-cleared
     // with the rest of the chunk state; the sink (Capo3) persists them

@@ -275,6 +275,9 @@ class RnrUnit : public BusObserver
     Addr lastReadLine = noLine;  //!< coalescing cache over rset
     Addr lastWriteLine = noLine; //!< coalescing cache over wset
     Timestamp _clock = 0;
+    /** Cycle the open chunk started at (event tracing only; never
+     *  affects the logged records). */
+    Tick chunkStart = 0;
     const SbOccupancySource *sbSource = nullptr;
     ChunkSink *sink = nullptr;
     FaultPlan *faults = nullptr;

@@ -323,9 +323,12 @@ memberString(const JsonValue &v, const char *key, std::string &out)
 std::string
 BenchDoc::str() const
 {
+    // Stats-free documents stay on version 1 so consumers that predate
+    // the section read the same bytes they always did.
+    int version = stats.empty() ? 1 : 2;
     std::string out = "{\n  \"bench\": ";
     appendEscaped(out, bench);
-    out += ",\n  \"schema\": " + std::to_string(schema);
+    out += ",\n  \"schema\": " + std::to_string(version);
     out += ",\n  \"results\": [";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const BenchResult &r = results[i];
@@ -338,7 +341,17 @@ BenchDoc::str() const
         appendEscaped(out, r.metric);
         out += ", \"value\": " + formatNumber(r.value) + "}";
     }
-    out += results.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    out += results.empty() ? "]" : "\n  ]";
+    if (!stats.empty()) {
+        out += ",\n  \"stats\": {";
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+            out += i ? ",\n    " : "\n    ";
+            appendEscaped(out, stats[i].name);
+            out += ": " + formatNumber(stats[i].value);
+        }
+        out += "\n  }";
+    }
+    out += "\n}\n";
     return out;
 }
 
@@ -352,6 +365,13 @@ BenchJson::add(const std::string &workload, const std::string &metric,
                double value)
 {
     doc.results.push_back({doc.bench, workload, metric, value});
+}
+
+void
+BenchJson::addStat(const std::string &name, double value)
+{
+    doc.stats.push_back({name, value});
+    doc.schema = 2;
 }
 
 std::string
@@ -390,7 +410,7 @@ parseBenchJson(const std::string &text, BenchDoc &out, std::string &err)
         return false;
     }
     out.schema = static_cast<int>(schema->num);
-    if (out.schema != 1) {
+    if (out.schema != 1 && out.schema != 2) {
         err = "unsupported schema version " + std::to_string(out.schema);
         return false;
     }
@@ -417,6 +437,24 @@ parseBenchJson(const std::string &text, BenchDoc &out, std::string &err)
         r.value = value->num;
         out.results.push_back(std::move(r));
     }
+    out.stats.clear();
+    if (const JsonValue *stats = member(root, "stats")) {
+        if (out.schema < 2) {
+            err = "\"stats\" section requires schema version 2";
+            return false;
+        }
+        if (stats->kind != JsonValue::Kind::Object) {
+            err = "non-object \"stats\"";
+            return false;
+        }
+        for (const auto &kv : *stats->obj) {
+            if (kv.second.kind != JsonValue::Kind::Number) {
+                err = "non-numeric stat \"" + kv.first + "\"";
+                return false;
+            }
+            out.stats.push_back({kv.first, kv.second.num});
+        }
+    }
     return true;
 }
 
@@ -426,13 +464,20 @@ mergeBenchDocs(const std::string &bench_id,
 {
     BenchDoc out;
     out.bench = bench_id;
-    for (const BenchDoc &d : docs)
+    for (const BenchDoc &d : docs) {
         for (const BenchResult &r : d.results) {
             BenchResult row = r;
             if (row.bench.empty())
                 row.bench = d.bench;
             out.results.push_back(std::move(row));
         }
+        // Stat names are flat, so qualify them with the source bench
+        // to keep merged sections collision-free.
+        for (const BenchStat &st : d.stats)
+            out.stats.push_back({d.bench + "." + st.name, st.value});
+    }
+    if (!out.stats.empty())
+        out.schema = 2;
     return out;
 }
 

@@ -4,22 +4,30 @@
  * for the BENCH_<id>.json files every bench_* binary can emit next to
  * its human-readable table.
  *
- * Schema (version 1):
+ * Schema (version 2; version-1 files remain fully parseable):
  *
  *     {
  *       "bench": "M2",
- *       "schema": 1,
+ *       "schema": 2,
  *       "results": [
  *         {"bench": "M2", "workload": "fft",
  *          "metric": "record_mips", "value": 41.3},
  *         ...
- *       ]
+ *       ],
+ *       "stats": {"profile.record.wall_micros": 812345, ...}
  *     }
  *
  * Every row is one (workload, metric, value) measurement; the per-row
  * "bench" tag carries the source experiment through merges (a merged
  * document, e.g. BENCH_RECORD.json, contains rows from several
  * benches). Aggregate rows use the pseudo-workload "geomean".
+ *
+ * The optional "stats" object is new in version 2: a flat map of
+ * dotted stat names (the same names `qrec stats` and
+ * obs/stats_export.hh use) to numbers, letting a bench attach its
+ * profiling-scope snapshot so a BENCH_*.json can attribute host time
+ * per phase. Documents without stats are written as version 1, so
+ * consumers that predate the section see no change.
  *
  * The parser is a deliberately small but complete JSON reader (objects,
  * arrays, strings with escapes, numbers, booleans, null) so the CTest
@@ -45,14 +53,22 @@ struct BenchResult
     double value = 0.0;
 };
 
+/** One named statistic in a document's optional "stats" section. */
+struct BenchStat
+{
+    std::string name; //!< dotted stat path, e.g. "profile.record.calls"
+    double value = 0.0;
+};
+
 /** A parsed/buildable benchmark document. */
 struct BenchDoc
 {
     std::string bench;
     int schema = 1;
     std::vector<BenchResult> results;
+    std::vector<BenchStat> stats; //!< v2 stats section; empty in v1
 
-    /** Serialize to pretty-printed JSON text. */
+    /** Serialize to pretty-printed JSON text (v2 iff stats present). */
     std::string str() const;
 };
 
@@ -66,6 +82,10 @@ class BenchJson
     /** Record one measurement. */
     void add(const std::string &workload, const std::string &metric,
              double value);
+
+    /** Attach one stat to the v2 "stats" section (upgrades the
+     *  document to schema 2). */
+    void addStat(const std::string &name, double value);
 
     /** Serialized document. */
     std::string str() const { return doc.str(); }
@@ -85,7 +105,8 @@ class BenchJson
 
 /**
  * Parse @p text as a benchmark JSON document, validating the schema
- * (required keys, types, schema version 1).
+ * (required keys, types, schema version 1 or 2; the "stats" section
+ * is only accepted on version 2).
  * @return true on success; on failure @p err describes the problem.
  */
 bool parseBenchJson(const std::string &text, BenchDoc &out,

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/event_trace.hh"
 #include "sim/logging.hh"
 
 namespace qr
@@ -46,6 +47,13 @@ flags()
                 break;
             pos = comma + 1;
         }
+        // One switch arms both tracers: any stderr flag also starts
+        // the structured event timeline (src/obs/event_trace.hh).
+        for (bool on : e)
+            if (on) {
+                eventTrace().arm();
+                break;
+            }
         return e;
     }();
     return enabled;

@@ -5,11 +5,16 @@
  * Enable at run time with the QR_TRACE environment variable, a
  * comma-separated list of flag names (or "all"):
  *
- *     QR_TRACE=chunk,syscall ./build/examples/quickstart
+ *     QR_TRACE=chunk,syscall ./build/tools/qrec run -w fft
  *
  * Trace lines go to stderr as "<flag>: <message>". The enabled-check
  * is a single array load, so instrumented code paths cost nearly
  * nothing when tracing is off.
+ *
+ * Setting any QR_TRACE flag also arms the structured event tracer
+ * (src/obs/event_trace.hh), so one switch produces both the stderr
+ * stream and the binary timeline `qrec trace` exports as Chrome
+ * trace-event JSON.
  */
 
 #ifndef QR_SIM_TRACE_HH

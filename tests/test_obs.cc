@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Observability-layer tests: the structured event tracer (rings,
+ * QTR1 round trips, Chrome trace-event JSON), the stats snapshot
+ * exporters (JSON + Prometheus text), the profiling scopes, the
+ * bench-JSON schema-v2 stats section -- and the differential pin that
+ * armed tracing never changes what gets recorded.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+#include "obs/event_trace.hh"
+#include "obs/profile.hh"
+#include "obs/stats_export.hh"
+#include "sim/bench_json.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+namespace
+{
+
+/** Every test leaves the global tracer disarmed and empty. */
+class Obs : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        eventTrace().disarm();
+        eventTrace().flush();
+    }
+};
+
+TraceEvent
+ev(TraceEventKind kind, std::int32_t lane, Tick tick, std::uint64_t a,
+   std::uint64_t b, Tick dur = 0)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.lane = lane;
+    e.tick = tick;
+    e.a = a;
+    e.b = b;
+    e.dur = dur;
+    return e;
+}
+
+// --- tracer rings -------------------------------------------------------
+
+TEST_F(Obs, DisarmedEmitIsANoOp)
+{
+    eventTrace().emit(TraceEventKind::ChunkEnd, 1, 10, 2, 3);
+    EXPECT_EQ(eventTrace().bufferedEvents(), 0u);
+    TraceTimeline t = eventTrace().flush();
+    EXPECT_TRUE(t.events.empty());
+    EXPECT_EQ(t.dropped, 0u);
+}
+
+TEST_F(Obs, FullRingDropsNewestAndCounts)
+{
+    eventTrace().arm(/* ring_events = */ 8);
+    for (Tick i = 0; i < 20; ++i)
+        eventTrace().emit(TraceEventKind::ChunkEnd, 1, i, i, 0);
+    EXPECT_EQ(eventTrace().bufferedEvents(), 8u);
+    TraceTimeline t = eventTrace().flush();
+    ASSERT_EQ(t.events.size(), 8u);
+    EXPECT_EQ(t.dropped, 12u);
+    // Drop-newest: the survivors are the first 8 emitted.
+    for (Tick i = 0; i < 8; ++i)
+        EXPECT_EQ(t.events[i].tick, i);
+    // The flush drained and cleared everything.
+    EXPECT_EQ(eventTrace().bufferedEvents(), 0u);
+    TraceTimeline again = eventTrace().flush();
+    EXPECT_TRUE(again.events.empty());
+    EXPECT_EQ(again.dropped, 0u);
+}
+
+TEST_F(Obs, RearmClearsBufferedEvents)
+{
+    eventTrace().arm();
+    eventTrace().emit(TraceEventKind::CbufDrain, 0, 5, 7, 1);
+    EXPECT_EQ(eventTrace().bufferedEvents(), 1u);
+    eventTrace().arm();
+    EXPECT_EQ(eventTrace().bufferedEvents(), 0u);
+}
+
+TEST_F(Obs, FlushSortsByTickThenLane)
+{
+    eventTrace().arm();
+    eventTrace().emit(TraceEventKind::ChunkEnd, 3, 20, 0, 0);
+    eventTrace().emit(TraceEventKind::ChunkEnd, 2, 10, 0, 0);
+    eventTrace().emit(TraceEventKind::ChunkEnd, 1, 10, 0, 0);
+    TraceTimeline t = eventTrace().flush();
+    ASSERT_EQ(t.events.size(), 3u);
+    EXPECT_EQ(t.events[0].lane, 1);
+    EXPECT_EQ(t.events[1].lane, 2);
+    EXPECT_EQ(t.events[2].tick, 20u);
+}
+
+// --- QTR1 byte stream ---------------------------------------------------
+
+TEST_F(Obs, TimelineSerializeRoundTrips)
+{
+    TraceTimeline t;
+    t.dropped = 3;
+    t.events.push_back(ev(TraceEventKind::ChunkEnd, 1, 100, 12, 5, 50));
+    t.events.push_back(ev(TraceEventKind::CbufDrain, 0, 110, 64, 1));
+    t.events.push_back(ev(TraceEventKind::FaultFire, -1, 0, 2, 9));
+    t.events.push_back(
+        ev(TraceEventKind::ReplayInject, 4, 7, 1, 0));
+    std::vector<std::uint8_t> bytes = t.serialize();
+    ASSERT_GE(bytes.size(), 4u);
+    EXPECT_EQ(bytes[0], 'Q');
+    TraceTimeline back = TraceTimeline::deserialize(bytes);
+    EXPECT_EQ(back.dropped, t.dropped);
+    ASSERT_EQ(back.events.size(), t.events.size());
+    for (std::size_t i = 0; i < t.events.size(); ++i)
+        EXPECT_EQ(back.events[i], t.events[i]) << "event " << i;
+}
+
+TEST_F(Obs, DeserializeRejectsCorruption)
+{
+    TraceTimeline t;
+    t.events.push_back(ev(TraceEventKind::ChunkEnd, 1, 1, 1, 1));
+    std::vector<std::uint8_t> good = t.serialize();
+
+    std::vector<std::uint8_t> magic = good;
+    magic[2] = 'X';
+    EXPECT_THROW(TraceTimeline::deserialize(magic), ParseError);
+
+    std::vector<std::uint8_t> truncated(good.begin(), good.end() - 1);
+    EXPECT_THROW(TraceTimeline::deserialize(truncated), ParseError);
+
+    std::vector<std::uint8_t> trailing = good;
+    trailing.push_back(0);
+    EXPECT_THROW(TraceTimeline::deserialize(trailing), ParseError);
+
+    std::vector<std::uint8_t> badKind = {'Q', 'T', 'R', '1', 0, 1, 99};
+    EXPECT_THROW(TraceTimeline::deserialize(badKind), ParseError);
+}
+
+// --- Chrome trace-event JSON --------------------------------------------
+
+TEST_F(Obs, ChromeJsonGoldenSingleSpan)
+{
+    TraceTimeline t;
+    t.events.push_back(ev(TraceEventKind::ChunkEnd, 1, 100, 12, 0, 50));
+    const char *expected =
+        "{\"traceEvents\": [\n"
+        "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"args\": {\"name\": \"record threads\"}},\n"
+        "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 1, \"args\": {\"name\": \"tid 1\"}},\n"
+        "  {\"name\": \"chunk\", \"cat\": \"record threads\", "
+        "\"ph\": \"X\", \"dur\": 50, \"pid\": 1, \"tid\": 1, "
+        "\"ts\": 100, \"args\": {\"size\": 12, "
+        "\"reason\": \"conflict-raw\"}}\n"
+        "], \"displayTimeUnit\": \"ms\", "
+        "\"metadata\": {\"tool\": \"qrec trace\", "
+        "\"droppedEvents\": 0}}\n";
+    EXPECT_EQ(t.chromeJson(), expected);
+}
+
+TEST_F(Obs, ChromeJsonShapesEveryKind)
+{
+    TraceTimeline t;
+    t.dropped = 2;
+    t.events.push_back(ev(TraceEventKind::ChunkEnd, 1, 10, 5, 5, 4));
+    t.events.push_back(ev(TraceEventKind::CbufDrain, 0, 20, 64, 1));
+    t.events.push_back(ev(TraceEventKind::RsmSwitchIn, 2, 30, 1, 0));
+    t.events.push_back(ev(TraceEventKind::RsmSwitchOut, 2, 40, 1, 0));
+    t.events.push_back(ev(TraceEventKind::SyscallSpan, 1, 50, 3, 0, 6));
+    t.events.push_back(ev(TraceEventKind::ReplayInject, 1, 60, 0, 0));
+    // Spans with a zero recorded duration still need dur >= 1 to be
+    // clickable in the viewer.
+    t.events.push_back(ev(TraceEventKind::ReplayChunk, 1, 70, 9, 7, 0));
+    std::string json = t.chromeJson();
+    EXPECT_NE(json.find("\"name\": \"cbuf-drain\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\", \"s\": \"t\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"records\": 64, \"forced\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"rsm-switch-in\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"reason\": \"drain\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\", \"dur\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"droppedEvents\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"process_name\""),
+              std::string::npos);
+    // Four distinct pid groups appear: threads, cores, replay.
+    EXPECT_NE(json.find("\"record cores\""), std::string::npos);
+    EXPECT_NE(json.find("\"replay\""), std::string::npos);
+}
+
+TEST_F(Obs, TimelineFromSphereCoversEveryChunk)
+{
+    Workload w = makeFft(4, 1);
+    RecordResult rec = recordProgram(w.program);
+    TraceTimeline t = timelineFromSphere(rec.logs);
+    EXPECT_EQ(t.events.size(), rec.logs.totalChunks());
+    for (const TraceEvent &e : t.events) {
+        EXPECT_EQ(e.kind, TraceEventKind::ChunkEnd);
+        EXPECT_GE(e.dur, 1u);
+    }
+    for (std::size_t i = 1; i < t.events.size(); ++i)
+        EXPECT_LE(t.events[i - 1].tick, t.events[i].tick);
+}
+
+// --- the observational invariant ----------------------------------------
+
+/**
+ * Recording with the tracer armed must be invisible: same sphere
+ * bytes, same digests, same chunk boundaries, for every workload in
+ * the paper's suite.
+ */
+TEST_F(Obs, ArmedTracingChangesNothing)
+{
+    for (const WorkloadSpec &spec : splash2Suite()) {
+        SCOPED_TRACE(spec.name);
+        Workload w = spec.make(4, 1);
+
+        eventTrace().disarm();
+        eventTrace().flush();
+        RecordResult off = recordProgram(w.program);
+
+        eventTrace().arm();
+        RecordResult on = recordProgram(w.program);
+        eventTrace().disarm();
+
+        EXPECT_EQ(off.logs.serialize(), on.logs.serialize());
+        EXPECT_EQ(off.metrics.digests, on.metrics.digests);
+        EXPECT_EQ(off.metrics.chunks, on.metrics.chunks);
+        EXPECT_EQ(off.metrics.cycles, on.metrics.cycles);
+        EXPECT_TRUE(off.timeline.events.empty());
+        EXPECT_FALSE(on.timeline.events.empty());
+    }
+}
+
+// --- profiling scopes ---------------------------------------------------
+
+TEST_F(Obs, ProfileScopeAccumulates)
+{
+    profiler().reset();
+    {
+        ProfileScope scope(ProfilePhase::Analyze);
+        scope.cycles(42);
+    }
+    {
+        ProfileScope scope(ProfilePhase::Analyze);
+        scope.cycles(8);
+    }
+    ProfilePhaseTotals t = profiler().totals(ProfilePhase::Analyze);
+    EXPECT_EQ(t.calls, 2u);
+    EXPECT_EQ(t.modeledCycles, 50u);
+    EXPECT_GE(t.wallMicros, 0.0);
+    profiler().reset();
+    t = profiler().totals(ProfilePhase::Analyze);
+    EXPECT_EQ(t.calls, 0u);
+}
+
+TEST_F(Obs, ProfileSnapshotSkipsIdlePhases)
+{
+    profiler().reset();
+    {
+        ProfileScope scope(ProfilePhase::GraphBuild);
+        scope.cycles(7);
+    }
+    StatsSnapshot s;
+    profileSnapshotInto(s);
+    const StatScalar *calls = s.find("profile.graph-build.calls");
+    ASSERT_NE(calls, nullptr);
+    EXPECT_EQ(calls->value, 1.0);
+    const StatScalar *cyc = s.find("profile.graph-build.modeled_cycles");
+    ASSERT_NE(cyc, nullptr);
+    EXPECT_EQ(cyc->value, 7.0);
+    EXPECT_EQ(s.find("profile.analyze.calls"), nullptr);
+    profiler().reset();
+}
+
+TEST_F(Obs, RecordingPopulatesTheRecordPhase)
+{
+    profiler().reset();
+    Workload w = makeLu(4, 1);
+    RecordResult rec = recordProgram(w.program);
+    ProfilePhaseTotals t = profiler().totals(ProfilePhase::Record);
+    EXPECT_EQ(t.calls, 1u);
+    EXPECT_EQ(t.modeledCycles, rec.metrics.cycles);
+    ProfilePhaseTotals d = profiler().totals(ProfilePhase::CbufDrain);
+    EXPECT_EQ(d.calls, rec.metrics.cbufDrains);
+    profiler().reset();
+}
+
+// --- stats snapshots ----------------------------------------------------
+
+TEST_F(Obs, PrometheusGolden)
+{
+    StatsSnapshot s;
+    s.counter("rnr.chunks", 7, "chunk records logged");
+    s.gauge("sim.ipc", 0.5, "aggregate instructions per cycle");
+    Histogram h;
+    h.sample(0);
+    h.sample(1);
+    h.sample(6);
+    s.histogram("rnr.chunk_size", h, "instructions per chunk");
+    const char *expected =
+        "# HELP qr_rnr_chunks chunk records logged\n"
+        "# TYPE qr_rnr_chunks counter\n"
+        "qr_rnr_chunks 7\n"
+        "# HELP qr_sim_ipc aggregate instructions per cycle\n"
+        "# TYPE qr_sim_ipc gauge\n"
+        "qr_sim_ipc 0.5\n"
+        "# HELP qr_rnr_chunk_size instructions per chunk\n"
+        "# TYPE qr_rnr_chunk_size histogram\n"
+        "qr_rnr_chunk_size_bucket{le=\"0\"} 1\n"
+        "qr_rnr_chunk_size_bucket{le=\"1\"} 2\n"
+        "qr_rnr_chunk_size_bucket{le=\"3\"} 2\n"
+        "qr_rnr_chunk_size_bucket{le=\"7\"} 3\n"
+        "qr_rnr_chunk_size_bucket{le=\"+Inf\"} 3\n"
+        "qr_rnr_chunk_size_sum 7\n"
+        "qr_rnr_chunk_size_count 3\n";
+    EXPECT_EQ(s.prometheus(), expected);
+}
+
+TEST_F(Obs, PromNameSanitizes)
+{
+    EXPECT_EQ(promName("rnr.term.conflict-raw"),
+              "qr_rnr_term_conflict_raw");
+    EXPECT_EQ(promName("log.mem_bytes_per_kinstr"),
+              "qr_log_mem_bytes_per_kinstr");
+}
+
+TEST_F(Obs, JsonGolden)
+{
+    StatsSnapshot s;
+    s.counter("rnr.chunks", 7, "chunk records logged");
+    Histogram h;
+    h.sample(4);
+    s.histogram("rnr.rsw", h, "rsw");
+    const char *expected =
+        "{\n"
+        "  \"rnr.chunks\": 7,\n"
+        "  \"rnr.rsw\": {\"count\": 1, \"sum\": 4, \"min\": 4, "
+        "\"max\": 4, \"mean\": 4, \"p50\": 6, \"p90\": 6, "
+        "\"p99\": 6}\n"
+        "}";
+    EXPECT_EQ(s.json(), expected);
+}
+
+TEST_F(Obs, SnapshotMetricsMatchesStatsTextNames)
+{
+    Workload w = makeRadix(4, 1);
+    RecordResult rec = recordProgram(w.program);
+    StatsSnapshot s = snapshotMetrics(rec.metrics);
+    const StatScalar *chunks = s.find("rnr.chunks");
+    ASSERT_NE(chunks, nullptr);
+    EXPECT_EQ(chunks->value,
+              static_cast<double>(rec.metrics.chunks));
+    EXPECT_NE(s.find("rnr.term.conflict-raw"), nullptr);
+    EXPECT_NE(s.find("capo.overhead_cycles"), nullptr);
+    EXPECT_NE(s.find("log.memory_bytes"), nullptr);
+    ASSERT_EQ(s.histograms.size(), 2u);
+    EXPECT_EQ(s.histograms[0].hist.count(), rec.metrics.chunks);
+}
+
+TEST_F(Obs, SnapshotSphereAgreesWithMetrics)
+{
+    Workload w = makeOcean(4, 1);
+    RecordResult rec = recordProgram(w.program);
+    StatsSnapshot fromMetrics = snapshotMetrics(rec.metrics);
+    StatsSnapshot fromSphere = snapshotSphere(rec.logs);
+    // Everything derivable from the sphere alone matches the live run.
+    for (const char *name :
+         {"rnr.chunks", "rnr.term.conflict-raw", "rnr.term.syscall",
+          "rnr.rsw_nonzero", "log.memory_bytes", "log.input_bytes",
+          "capo.input_records"}) {
+        const StatScalar *a = fromMetrics.find(name);
+        const StatScalar *b = fromSphere.find(name);
+        ASSERT_NE(a, nullptr) << name;
+        ASSERT_NE(b, nullptr) << name;
+        EXPECT_EQ(a->value, b->value) << name;
+    }
+}
+
+// --- bench-JSON schema v2 -----------------------------------------------
+
+TEST_F(Obs, BenchJsonStatsSectionRoundTrips)
+{
+    BenchJson j("M9");
+    j.add("fft", "record_mips", 41.5);
+    j.addStat("profile.record.calls", 3);
+    j.addStat("profile.record.wall_micros", 1200.5);
+    std::string text = j.str();
+    EXPECT_NE(text.find("\"schema\": 2"), std::string::npos);
+    BenchDoc doc;
+    std::string err;
+    ASSERT_TRUE(parseBenchJson(text, doc, err)) << err;
+    EXPECT_EQ(doc.schema, 2);
+    ASSERT_EQ(doc.stats.size(), 2u);
+    ASSERT_EQ(doc.results.size(), 1u);
+    bool sawWall = false;
+    for (const BenchStat &st : doc.stats)
+        if (st.name == "profile.record.wall_micros") {
+            EXPECT_DOUBLE_EQ(st.value, 1200.5);
+            sawWall = true;
+        }
+    EXPECT_TRUE(sawWall);
+}
+
+TEST_F(Obs, BenchJsonWithoutStatsStaysV1)
+{
+    BenchJson j("M9");
+    j.add("fft", "record_mips", 41.5);
+    std::string text = j.str();
+    EXPECT_NE(text.find("\"schema\": 1"), std::string::npos);
+    EXPECT_EQ(text.find("\"stats\""), std::string::npos);
+    BenchDoc doc;
+    std::string err;
+    ASSERT_TRUE(parseBenchJson(text, doc, err)) << err;
+    EXPECT_EQ(doc.schema, 1);
+    EXPECT_TRUE(doc.stats.empty());
+}
+
+TEST_F(Obs, BenchJsonRejectsBadSchemas)
+{
+    BenchDoc doc;
+    std::string err;
+    EXPECT_FALSE(parseBenchJson(
+        "{\"bench\": \"X\", \"schema\": 3, \"results\": []}", doc,
+        err));
+    // A stats section on a v1 document is a schema violation, not a
+    // silent extension.
+    EXPECT_FALSE(parseBenchJson(
+        "{\"bench\": \"X\", \"schema\": 1, \"results\": [], "
+        "\"stats\": {\"a\": 1}}",
+        doc, err));
+    EXPECT_NE(err.find("schema version 2"), std::string::npos);
+    EXPECT_FALSE(parseBenchJson(
+        "{\"bench\": \"X\", \"schema\": 2, \"results\": [], "
+        "\"stats\": {\"a\": \"nope\"}}",
+        doc, err));
+}
+
+TEST_F(Obs, BenchJsonMergeQualifiesStatNames)
+{
+    BenchJson a("A");
+    a.add("fft", "m", 1.0);
+    a.addStat("profile.record.calls", 2);
+    BenchJson b("B");
+    b.add("lu", "m", 2.0);
+    BenchDoc merged =
+        mergeBenchDocs("ALL", {a.document(), b.document()});
+    EXPECT_EQ(merged.schema, 2);
+    ASSERT_EQ(merged.stats.size(), 1u);
+    EXPECT_EQ(merged.stats[0].name, "A.profile.record.calls");
+    std::string err;
+    BenchDoc back;
+    ASSERT_TRUE(parseBenchJson(merged.str(), back, err)) << err;
+    ASSERT_EQ(back.stats.size(), 1u);
+}
+
+} // namespace
+} // namespace qr

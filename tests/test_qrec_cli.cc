@@ -53,6 +53,22 @@ qrecAvailable()
     return runQrec("list") == 0;
 }
 
+/** Slurp a file; empty string if it cannot be opened. */
+std::string
+readFileText(const char *path)
+{
+    std::string text;
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f)
+        return text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
 TEST(QrecCli, RecordReplayInspectRoundTrip)
 {
     if (!qrecAvailable())
@@ -214,6 +230,101 @@ TEST(QrecCli, AnalyzeWorksWithoutExactShadows)
         << out;
     EXPECT_NE(out.find("precision: n/a"), std::string::npos) << out;
     std::remove(file);
+}
+
+TEST(QrecCli, TraceExportsChromeJson)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_trace_test.qrec";
+    const char *json = "/tmp/qr_cli_trace_test.json";
+    std::string out;
+    ASSERT_EQ(runQrecCapture(std::string("record fft -t 4 -s 1 "
+                                         "--trace -o ") + file,
+                             out),
+              0)
+        << out;
+    EXPECT_NE(out.find("traced "), std::string::npos) << out;
+
+    // A traced container still replays: the trace section rides after
+    // the sphere and never perturbs it.
+    EXPECT_EQ(runQrec(std::string("replay -i ") + file), 0);
+
+    std::string info;
+    ASSERT_EQ(runQrecCapture(std::string("trace -i ") + file + " -o " +
+                                 json,
+                             info),
+              0)
+        << info;
+    EXPECT_NE(info.find("recorded timeline"), std::string::npos)
+        << info;
+    std::string text = readFileText(json);
+    EXPECT_NE(text.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    std::remove(file);
+    std::remove(json);
+}
+
+TEST(QrecCli, TraceSynthesizesTimelineForUntracedContainers)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_trace_synth.qrec";
+    ASSERT_EQ(runQrec(std::string("record lu -t 4 -s 1 -o ") + file),
+              0);
+    std::string out;
+    ASSERT_EQ(runQrecCapture(std::string("trace -i ") + file, out), 0)
+        << out;
+    EXPECT_NE(out.find("synthesized from chunk records"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(out.find("\"name\": \"chunk\""), std::string::npos);
+    std::remove(file);
+}
+
+TEST(QrecCli, StatsExportsJsonAndPrometheus)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_stats_test.qrec";
+    ASSERT_EQ(runQrec(std::string("record radix -t 4 -s 1 -o ") + file),
+              0);
+
+    std::string json;
+    ASSERT_EQ(runQrecCapture(std::string("stats -i ") + file, json), 0)
+        << json;
+    EXPECT_NE(json.find("\"sphere.threads\": 4"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"rnr.chunks\":"), std::string::npos);
+    EXPECT_NE(json.find("\"rnr.chunk_size\": {\"count\":"),
+              std::string::npos);
+
+    std::string prom;
+    ASSERT_EQ(runQrecCapture(std::string("stats -i ") + file +
+                                 " --prom",
+                             prom),
+              0)
+        << prom;
+    EXPECT_NE(prom.find("# TYPE qr_rnr_chunks counter"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("qr_rnr_chunk_size_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("qr_rnr_chunk_size_count"), std::string::npos);
+    std::remove(file);
+}
+
+TEST(QrecCli, TraceAndStatsRequireAnInput)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    EXPECT_NE(runQrec("trace"), 0);
+    EXPECT_NE(runQrec("stats"), 0);
+    EXPECT_NE(runQrec("trace -i /tmp/does_not_exist.qrec"), 0);
 }
 
 TEST(QrecCli, RejectsCorruptContainer)

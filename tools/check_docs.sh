@@ -1,0 +1,41 @@
+#!/bin/sh
+# Docs lint: the README must cover the whole user-facing surface.
+#
+# Fails (nonzero exit, one line per gap) when
+#   - a qrec subcommand dispatched in tools/qrec.cc, or
+#   - a QR_* knob (getenv in C++, $QR_* in the shell harnesses, or a
+#     -DQR_* CMake cache option)
+# is not mentioned anywhere in README.md. Run from the repo root or
+# via CTest (the docs_lint entry); tools/ci.sh runs it on every gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+subcommands=$(grep -oE 'cmd == "[a-z-]+"' tools/qrec.cc \
+    | sed 's/.*"\(.*\)"/\1/' | sort -u)
+for sub in $subcommands; do
+    if ! grep -q "qrec $sub" README.md; then
+        echo "docs-lint: qrec subcommand '$sub' is not in README.md"
+        fail=1
+    fi
+done
+
+cpp_vars=$(grep -rhoE 'getenv\("QR_[A-Z0-9_]+"\)' src tools bench \
+    | grep -oE 'QR_[A-Z0-9_]+')
+sh_vars=$(grep -rhoE '\$\{?QR_[A-Z0-9_]+' tools/*.sh \
+    | grep -oE 'QR_[A-Z0-9_]+')
+cmake_vars=$(grep -rhoE '\-DQR_[A-Z0-9_]+' tools/*.sh \
+    | grep -oE 'QR_[A-Z0-9_]+')
+for var in $(printf '%s\n%s\n%s\n' "$cpp_vars" "$sh_vars" \
+    "$cmake_vars" | sort -u); do
+    if ! grep -q "$var" README.md; then
+        echo "docs-lint: environment knob $var is not in README.md"
+        fail=1
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "docs-lint: README.md covers every subcommand and QR_* knob"
+fi
+exit $fail

@@ -1,0 +1,57 @@
+# Validates a Chrome trace-event JSON file emitted by `qrec trace`:
+# it must parse as JSON, carry a non-empty "traceEvents" array whose
+# rows have the name/ph keys Perfetto requires, and identify itself in
+# the metadata. Run as: cmake -DJSON=<file> -P check_trace_json.cmake
+
+if(NOT DEFINED JSON)
+    message(FATAL_ERROR "pass -DJSON=<trace file>")
+endif()
+file(READ "${JSON}" text)
+
+if(CMAKE_VERSION VERSION_LESS 3.19)
+    # No string(JSON) parser available: settle for shape checks.
+    foreach(needle "\"traceEvents\"" "\"ph\"" "\"displayTimeUnit\"")
+        string(FIND "${text}" "${needle}" at)
+        if(at EQUAL -1)
+            message(FATAL_ERROR "${JSON}: missing ${needle}")
+        endif()
+    endforeach()
+    return()
+endif()
+
+string(JSON kind ERROR_VARIABLE err TYPE "${text}" traceEvents)
+if(err)
+    message(FATAL_ERROR "${JSON}: not parseable JSON: ${err}")
+endif()
+if(NOT kind STREQUAL "ARRAY")
+    message(FATAL_ERROR "${JSON}: traceEvents is ${kind}, not ARRAY")
+endif()
+
+string(JSON n LENGTH "${text}" traceEvents)
+if(n LESS 1)
+    message(FATAL_ERROR "${JSON}: traceEvents is empty")
+endif()
+
+# Every row needs a name and a phase; spot-check first and last.
+math(EXPR last "${n} - 1")
+foreach(i 0 ${last})
+    string(JSON name ERROR_VARIABLE err GET "${text}" traceEvents ${i}
+           name)
+    if(err)
+        message(FATAL_ERROR "${JSON}: event ${i} has no name: ${err}")
+    endif()
+    string(JSON ph ERROR_VARIABLE err GET "${text}" traceEvents ${i} ph)
+    if(err)
+        message(FATAL_ERROR "${JSON}: event ${i} has no ph: ${err}")
+    endif()
+endforeach()
+
+string(JSON unit ERROR_VARIABLE err GET "${text}" displayTimeUnit)
+if(err OR NOT unit STREQUAL "ms")
+    message(FATAL_ERROR "${JSON}: bad displayTimeUnit")
+endif()
+string(JSON tool ERROR_VARIABLE err GET "${text}" metadata tool)
+if(err OR NOT tool STREQUAL "qrec trace")
+    message(FATAL_ERROR "${JSON}: bad metadata.tool")
+endif()
+message(STATUS "${JSON}: ${n} trace events, valid")

@@ -3,12 +3,18 @@
 # Runs, in order,
 #
 #   1. the tier-1 suite (configure + build + full ctest, which now
-#      includes the fault-injection, corpus, and fault_smoke_* entries),
+#      includes the fault-injection, corpus, fault_smoke_* and
+#      trace_smoke_* entries),
 #   2. the AddressSanitizer/UBSan sweep    (tools/run_asan.sh),
 #   3. the ThreadSanitizer replay sweep    (tools/run_tsan.sh),
 #   4. clang-tidy                          (tools/run_lint.sh),
 #   5. a fault-pipeline smoke: record under injection, salvage the
-#      torn artifact, replay it degraded with parallel jobs.
+#      torn artifact, replay it degraded with parallel jobs,
+#   6. an observability smoke: record with the event tracer armed,
+#      export and validate the Chrome trace JSON, dump stats in both
+#      formats,
+#   7. the docs lint (tools/check_docs.sh): every qrec subcommand and
+#      QR_* knob must be documented in README.md.
 #
 # The first failing stage aborts the script with a nonzero exit.
 #
@@ -18,21 +24,21 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "=== ci 1/5: tier-1 suite ==="
+echo "=== ci 1/7: tier-1 suite ==="
 cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD" -j "$(nproc)"
 (cd "$BUILD" && ctest --output-on-failure)
 
-echo "=== ci 2/5: asan/ubsan ==="
+echo "=== ci 2/7: asan/ubsan ==="
 tools/run_asan.sh
 
-echo "=== ci 3/5: tsan ==="
+echo "=== ci 3/7: tsan ==="
 tools/run_tsan.sh
 
-echo "=== ci 4/5: clang-tidy ==="
+echo "=== ci 4/7: clang-tidy ==="
 tools/run_lint.sh "$BUILD"
 
-echo "=== ci 5/5: fault pipeline smoke ==="
+echo "=== ci 5/7: fault pipeline smoke ==="
 QREC="$BUILD/tools/qrec"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -44,5 +50,17 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 "$QREC" replay --degraded --replay-jobs 4 \
     -i "$SMOKE_DIR/smoke_rec.qrec" \
     | grep -q "identical to sequential"
+
+echo "=== ci 6/7: observability smoke ==="
+"$QREC" record fft -t 4 -s 1 --trace -o "$SMOKE_DIR/trace.qrec" \
+    | grep -q "traced"
+"$QREC" trace -i "$SMOKE_DIR/trace.qrec" -o "$SMOKE_DIR/trace.json"
+cmake -DJSON="$SMOKE_DIR/trace.json" -P tools/check_trace_json.cmake
+"$QREC" stats -i "$SMOKE_DIR/trace.qrec" | grep -q '"rnr.chunks":'
+"$QREC" stats --prom -i "$SMOKE_DIR/trace.qrec" \
+    | grep -q "# TYPE qr_rnr_chunks counter"
+
+echo "=== ci 7/7: docs lint ==="
+tools/check_docs.sh
 
 echo "ci: all gates green"

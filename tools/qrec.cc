@@ -32,12 +32,25 @@
  *       --exact-shadow), the recording-precision audit, and the
  *       termination histograms; --json additionally emits the
  *       machine-readable rows (bench_json schema).
+ *   qrec trace -i <file> [-o trace.json]
+ *       Export the recording's structured event timeline as Chrome
+ *       trace-event JSON (load in chrome://tracing or Perfetto).
+ *       Uses the timeline embedded by `record --trace`; without one,
+ *       synthesizes chunk spans from the sphere's chunk records, so
+ *       any .qrec file can be visualized.
+ *   qrec stats -i <file> [--prom] [-o out]
+ *       Export the unified stats snapshot derived from the sphere
+ *       (chunk/RSW histograms, termination reasons, log sizes) as
+ *       JSON, or as Prometheus text with --prom.
  *
  * The .qrec container wraps the sphere byte stream with the workload
- * identity and the recorded digests so a replay is self-validating.
- * On disk the container payload rides in the same crash-consistent
- * segmented format spheres use (log_store.hh); legacy unsegmented
- * files remain readable.
+ * identity and the recorded digests so a replay is self-validating;
+ * `record --trace` appends an optional event-timeline section after
+ * the sphere (older readers of the pre-trace layout never see it,
+ * and containers without it parse exactly as before). On disk the
+ * container payload rides in the same crash-consistent segmented
+ * format spheres use (log_store.hh); legacy unsegmented files remain
+ * readable.
  */
 
 #include <cstdio>
@@ -50,6 +63,8 @@
 #include "fault/fault_plan.hh"
 #include "isa/disassembler.hh"
 #include "core/session.hh"
+#include "obs/event_trace.hh"
+#include "obs/stats_export.hh"
 #include "replay/log_reader.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
@@ -69,6 +84,8 @@ struct Container
     int scale = 1;
     Digests digests;
     SphereLogs logs;
+    /** Serialized event timeline ("QTR1"); empty when not traced. */
+    std::vector<std::uint8_t> trace;
 };
 
 void
@@ -111,6 +128,12 @@ saveContainer(const Container &c, const std::string &path,
     std::vector<std::uint8_t> sphere = c.logs.serialize();
     putVarint(out, sphere.size());
     out.insert(out.end(), sphere.begin(), sphere.end());
+    // Optional trailing section: the event timeline. The sphere bytes
+    // above are unchanged whether or not a trace rides along.
+    if (!c.trace.empty()) {
+        putVarint(out, c.trace.size());
+        out.insert(out.end(), c.trace.begin(), c.trace.end());
+    }
     return writeSegmented(out, path, faults);
 }
 
@@ -186,11 +209,18 @@ loadContainer(const std::string &path)
                       "bytes, %llu remain",
                       static_cast<unsigned long long>(nsphere),
                       static_cast<unsigned long long>(in.size() - pos));
-        if (nsphere != in.size() - pos)
-            parseFail("trailing bytes in container");
-        std::vector<std::uint8_t> sphere(in.begin() +
-                                             static_cast<long>(pos),
-                                         in.end());
+        std::vector<std::uint8_t> sphere(
+            in.begin() + static_cast<long>(pos),
+            in.begin() + static_cast<long>(pos + nsphere));
+        pos += nsphere;
+        if (pos != in.size()) {
+            // Optional trace section appended by `record --trace`.
+            std::uint64_t ntrace = getVarint(in, pos);
+            if (ntrace != in.size() - pos)
+                parseFail("trailing bytes in container");
+            c.trace.assign(in.begin() + static_cast<long>(pos),
+                           in.end());
+        }
         c.logs = SphereLogs::deserialize(sphere);
         return c;
     } catch (const ParseError &e) {
@@ -253,6 +283,8 @@ struct Args
     bool stats = false;
     bool exactShadow = false;
     bool degraded = false;
+    bool trace = false; //!< arm the structured event tracer
+    bool prom = false;  //!< stats: Prometheus text instead of JSON
     std::string faults; //!< fault-injection spec (empty = none)
     std::uint64_t faultSeed = 1;
     std::uint32_t cbufEntries = 0; //!< 0 = keep the default capacity
@@ -301,6 +333,10 @@ parseArgs(int argc, char **argv, int first, bool wants_workload)
             a.exactShadow = true;
         else if (s == "--degraded")
             a.degraded = true;
+        else if (s == "--trace")
+            a.trace = true;
+        else if (s == "--prom")
+            a.prom = true;
         else if (s == "--faults")
             a.faults = next();
         else if (s == "--fault-seed") {
@@ -358,6 +394,8 @@ cmdRecord(const Args &a)
     rcfg.faults.seed = a.faultSeed;
     if (a.cbufEntries)
         rcfg.cbuf.entries = a.cbufEntries;
+    if (a.trace)
+        eventTrace().arm();
     RecordResult rec = recordProgram(w.program, {}, rcfg);
     std::printf("recorded %s: %s\n", w.name.c_str(),
                 rec.metrics.summary().c_str());
@@ -367,7 +405,18 @@ cmdRecord(const Args &a)
                     (unsigned long long)rec.metrics.droppedChunks,
                     (unsigned long long)rec.metrics.gapChunks);
     Container c{w.name, a.threads, a.scale, rec.metrics.digests,
-                std::move(rec.logs)};
+                std::move(rec.logs), {}};
+    if (!rec.timeline.events.empty() || rec.timeline.dropped) {
+        c.trace = rec.timeline.serialize();
+        std::printf("traced %zu event(s)%s\n",
+                    rec.timeline.events.size(),
+                    rec.timeline.dropped
+                        ? csprintf(" (%llu dropped)",
+                                   (unsigned long long)
+                                       rec.timeline.dropped)
+                              .c_str()
+                        : "");
+    }
 
     // The I/O layer rolls its own plan: per-site Rng streams make it
     // deterministic whether or not the recorder consumed draws.
@@ -615,6 +664,67 @@ cmdAnalyze(const Args &a)
     return rep.races.empty() ? 0 : 1;
 }
 
+/** Write @p text to @p path, or to stdout when @p path is empty. */
+void
+writeTextOut(const std::string &text, const std::string &path)
+{
+    if (path.empty()) {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot write '%s'", path.c_str());
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+int
+cmdTrace(const Args &a)
+{
+    if (a.file.empty())
+        fatal("trace needs -i <file>");
+    Container c = loadContainer(a.file);
+    TraceTimeline timeline;
+    bool embedded = !c.trace.empty();
+    if (embedded) {
+        try {
+            timeline = TraceTimeline::deserialize(c.trace);
+        } catch (const ParseError &e) {
+            fatal("'%s' has a corrupt trace section: %s",
+                  a.file.c_str(), e.what());
+        }
+    } else {
+        timeline = timelineFromSphere(c.logs);
+    }
+    std::fprintf(stderr,
+                 "%s: %zu event(s) (%s)%s\n", a.file.c_str(),
+                 timeline.events.size(),
+                 embedded ? "recorded timeline"
+                          : "synthesized from chunk records",
+                 timeline.dropped
+                     ? csprintf(", %llu dropped at the ring",
+                                (unsigned long long)timeline.dropped)
+                           .c_str()
+                     : "");
+    writeTextOut(timeline.chromeJson(), a.outFile);
+    return 0;
+}
+
+int
+cmdStats(const Args &a)
+{
+    if (a.file.empty())
+        fatal("stats needs -i <file>");
+    Container c = loadContainer(a.file);
+    StatsSnapshot snap = snapshotSphere(c.logs);
+    std::string text =
+        a.prom ? snap.prometheus() : snap.json() + "\n";
+    writeTextOut(text, a.outFile);
+    return 0;
+}
+
 int
 cmdDisasm(const Args &a)
 {
@@ -635,11 +745,11 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: qrec <list|run|record|replay|recover|inspect|"
-                 "analyze|disasm> ...\n"
+                 "analyze|trace|stats|disasm> ...\n"
                  "  qrec run <workload> [-t N] [-s S] [--record] "
                  "[--stats]\n"
                  "  qrec record <workload> [-t N] [-s S] "
-                 "[--exact-shadow]\n"
+                 "[--exact-shadow] [--trace]\n"
                  "              [--faults spec] [--fault-seed N] "
                  "[--cbuf-entries N] -o file.qrec\n"
                  "  qrec replay -i file.qrec [--replay-jobs N] "
@@ -647,6 +757,8 @@ usage()
                  "  qrec recover -i torn.qrec -o salvaged.qrec\n"
                  "  qrec inspect -i file.qrec\n"
                  "  qrec analyze -i file.qrec [--json out.json]\n"
+                 "  qrec trace -i file.qrec [-o trace.json]\n"
+                 "  qrec stats -i file.qrec [--prom] [-o out]\n"
                  "  qrec disasm <workload> [-t N] [-s S]\n");
     return 2;
 }
@@ -675,6 +787,10 @@ main(int argc, char **argv)
         return cmdInspect(parseArgs(argc, argv, 2, false));
     if (cmd == "analyze")
         return cmdAnalyze(parseArgs(argc, argv, 2, false));
+    if (cmd == "trace")
+        return cmdTrace(parseArgs(argc, argv, 2, false));
+    if (cmd == "stats")
+        return cmdStats(parseArgs(argc, argv, 2, false));
     if (cmd == "disasm")
         return cmdDisasm(parseArgs(argc, argv, 2, true));
     return usage();
