@@ -161,6 +161,14 @@ ReplaySpeed::modeledSpeedup() const
 }
 
 double
+ReplaySpeed::measuredSpeedup() const
+{
+    if (seqExecMicros <= 0 || execMicros <= 0)
+        return 0.0;
+    return seqExecMicros / execMicros;
+}
+
+double
 ReplaySpeed::availableParallelism() const
 {
     if (criticalPathCycles == 0)
@@ -172,7 +180,7 @@ ReplaySpeed::availableParallelism() const
 std::string
 ReplaySpeed::summary() const
 {
-    return csprintf(
+    std::string s = csprintf(
         "replay-speed: jobs=%d modeled-sequential=%llu "
         "modeled-parallel=%llu modeled-speedup=%.2fx "
         "critical-path=%llu available-parallelism=%.2fx "
@@ -183,6 +191,10 @@ ReplaySpeed::summary() const
         modeledSpeedup(),
         static_cast<unsigned long long>(criticalPathCycles),
         availableParallelism(), graphMicros, execMicros);
+    if (seqExecMicros > 0)
+        s += csprintf(" seq-wall=%.0fus measured-speedup=%.2fx",
+                      seqExecMicros, measuredSpeedup());
+    return s;
 }
 
 } // namespace qr

@@ -57,9 +57,17 @@ struct ReplaySpeed
     Tick criticalPathCycles = 0;      //!< schedule with unbounded jobs
     double graphMicros = 0;           //!< wall: analysis + edge build
     double execMicros = 0;            //!< wall: worker-pool execution
+    double seqExecMicros = 0;         //!< wall: sequential oracle exec
 
     /** Modeled sequential / parallel replay-time ratio. */
     double modeledSpeedup() const;
+
+    /**
+     * Measured wall-clock speedup: sequential oracle exec time over
+     * the worker pool's exec time. Zero when either was not measured.
+     * Genuinely > 1 only with enough real cores for the workers.
+     */
+    double measuredSpeedup() const;
 
     /** Upper bound on speedup: sequential / critical path. */
     double availableParallelism() const;

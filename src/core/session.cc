@@ -44,6 +44,40 @@ replaySphereParallel(const Program &prog, const SphereLogs &logs,
     return replayer.run();
 }
 
+ReplayComparison
+compareReplay(const Program &prog, const SphereLogs &logs, int jobs,
+              ReplayMode mode)
+{
+    ReplayComparison cmp;
+    cmp.sequential = replaySphere(prog, logs, mode);
+    cmp.parallel = replaySphereParallel(prog, logs, jobs, mode);
+    cmp.parallel.speed.seqExecMicros = cmp.sequential.execMicros;
+
+    const ReplayResult &s = cmp.sequential;
+    const ReplayResult &p = cmp.parallel.replay;
+    if (s.ok != p.ok)
+        cmp.mismatch = "ok";
+    else if (s.divergence != p.divergence)
+        cmp.mismatch = "divergence";
+    else if (s.digests != p.digests)
+        cmp.mismatch = "digests";
+    else if (s.injectedRecords != p.injectedRecords)
+        cmp.mismatch = "injected-records";
+    else if (s.replayedChunks != p.replayedChunks)
+        cmp.mismatch = "replayed-chunks";
+    else if (s.replayedInstrs != p.replayedInstrs)
+        cmp.mismatch = "replayed-instrs";
+    else if (s.modeledCycles != p.modeledCycles)
+        cmp.mismatch = "modeled-cycles";
+    else if (s.degradedMode != p.degradedMode)
+        cmp.mismatch = "degraded-mode";
+    else if (s.degradedMode &&
+             s.degraded.summary() != p.degraded.summary())
+        cmp.mismatch = "degraded-summary";
+    cmp.identical = cmp.mismatch.empty();
+    return cmp;
+}
+
 RoundTrip
 recordAndReplay(const Program &prog, const MachineConfig &mcfg,
                 const RecorderConfig &rcfg)

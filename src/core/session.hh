@@ -63,6 +63,36 @@ ParallelReplayResult replaySphereParallel(
     const Program &prog, const SphereLogs &logs, int jobs,
     ReplayMode mode = ReplayMode::Strict);
 
+/**
+ * Differential replay: the sequential oracle and the parallel engine
+ * over the same sphere, with the parallel result's speed accounting
+ * completed (seqExecMicros from the oracle run, so measuredSpeedup()
+ * is live) and the bit-identity verdict precomputed.
+ */
+struct ReplayComparison
+{
+    ReplayResult sequential;
+    ParallelReplayResult parallel;
+
+    /** True iff both runs agree on every architectural outcome:
+     *  ok/divergence, digests, injected counts, replayed counts and
+     *  the degraded summary. */
+    bool identical = false;
+
+    /** First mismatching field when !identical (for diagnostics). */
+    std::string mismatch;
+};
+
+/**
+ * Run replaySphere() and replaySphereParallel() over @p logs and
+ * compare every architectural outcome. The parallel engine must be
+ * bit-identical to the oracle at any job count; a false verdict here
+ * is an engine bug, not a property of the sphere.
+ */
+ReplayComparison compareReplay(const Program &prog,
+                               const SphereLogs &logs, int jobs,
+                               ReplayMode mode = ReplayMode::Strict);
+
 /** Record, replay, and verify end to end. */
 struct RoundTrip
 {

@@ -33,11 +33,16 @@ buildChunkGraph(const Program &prog, const SphereLogs &logs,
     // Analysis replay: sequential, recording each chunk's shared-memory
     // access sets and modeled cost. In degraded mode replayChunk and
     // finish never throw; skipped chunks simply leave empty traces.
+    // A single local WorkerContext over a local thread table: the
+    // analysis is a plain sequential replay that happens to trace.
     ReplayCore core(prog, logs, costs, mode);
+    ReplayCore::ThreadStateTable table(logs);
+    ReplayCore::WorkerContext wc;
+    wc.threads = &table;
     try {
         for (const ChunkRecord &rec : schedule) {
             ChunkTrace trace;
-            core.replayChunk(rec, &trace);
+            core.replayChunk(wc, rec, &trace);
             ChunkNode node;
             node.rec = rec;
             node.reads = std::move(trace.reads);
@@ -50,7 +55,7 @@ buildChunkGraph(const Program &prog, const SphereLogs &logs,
         }
         // Consume the end-of-replay residue checks too: a sphere whose
         // logs do not fully account for execution has no valid graph.
-        core.finish();
+        core.finish(table);
     } catch (const ReplayCore::Divergence &d) {
         g.divergence = d.msg;
         return g;

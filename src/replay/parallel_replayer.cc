@@ -1,14 +1,16 @@
 #include "replay/parallel_replayer.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
-#include <queue>
+#include <cstdlib>
 #include <thread>
+#include <unordered_map>
 
 #include "obs/profile.hh"
+#include "replay/ready_queue.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace qr
 {
@@ -24,80 +26,115 @@ microsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** (slot, commit-sequence version) pair of one shared line. */
+struct SlotVersion
+{
+    std::uint32_t slot;
+    std::uint32_t version;
+};
+
 /**
- * The worker-pool scheduler: a mutex-protected ready queue over the
- * DAG. Claiming a chunk and publishing its completion both go through
- * the lock, which also carries the happens-before edge each dependence
- * needs (a successor's worker acquires the lock after its
- * predecessor's worker released it).
+ * Precomputed commit-fence plan: for every node, the line versions it
+ * must observe at claim (all lines it reads or overwrites, at the
+ * version the last writer before it publishes) and the versions it
+ * publishes at commit (one bump per line it writes). Derived from the
+ * same access sets the graph edges come from, in schedule order, so a
+ * passed check certifies the claim really happened after every
+ * conflicting predecessor's commit fence.
  */
-class DagScheduler
+struct FencePlan
+{
+    std::vector<std::vector<SlotVersion>> expect;  //!< checked at claim
+    std::vector<std::vector<SlotVersion>> publish; //!< stored at commit
+    std::size_t slots = 0;
+};
+
+FencePlan
+buildFencePlan(const ChunkGraph &g)
+{
+    FencePlan plan;
+    plan.expect.resize(g.nodes.size());
+    plan.publish.resize(g.nodes.size());
+    std::unordered_map<Addr, std::uint32_t> slotOf;
+    std::vector<std::uint32_t> lastVersion; // indexed by slot
+
+    for (std::uint32_t i = 0; i < g.nodes.size(); ++i) {
+        const ChunkNode &node = g.nodes[i];
+        // Reads first: expectations reference prior chunks only (the
+        // node's own writes have not bumped versions yet).
+        for (Addr a : node.reads) {
+            auto it = slotOf.find(a);
+            if (it != slotOf.end() && lastVersion[it->second] > 0)
+                plan.expect[i].push_back(
+                    {it->second, lastVersion[it->second]});
+        }
+        for (Addr a : node.writes) {
+            auto [it, fresh] = slotOf.emplace(
+                a, static_cast<std::uint32_t>(lastVersion.size()));
+            if (fresh)
+                lastVersion.push_back(0);
+            std::uint32_t slot = it->second;
+            if (lastVersion[slot] > 0)
+                plan.expect[i].push_back({slot, lastVersion[slot]});
+            lastVersion[slot]++;
+            plan.publish[i].push_back({slot, lastVersion[slot]});
+        }
+    }
+    plan.slots = lastVersion.size();
+    return plan;
+}
+
+/**
+ * Seeded schedule perturbation (QR_REPLAY_STRESS): yields and short
+ * sleeps injected at the claim and commit points to shake out worker
+ * interleavings the natural timing would never produce. Deterministic
+ * per (seed, worker) so stress failures replay under the same knob.
+ */
+class StressInjector
 {
   public:
-    explicit DagScheduler(const ChunkGraph &g) : graph(g)
+    StressInjector(std::uint64_t seed, int worker)
+        : on(seed != 0), rng(mix64(seed ^ (0x9e3779b97f4a7c15ull *
+                                           (worker + 1))))
     {
-        preds.reserve(g.nodes.size());
-        for (const ChunkNode &n : g.nodes)
-            preds.push_back(n.preds);
-        for (std::uint32_t i = 0; i < g.nodes.size(); ++i)
-            if (preds[i] == 0)
-                ready.push(i);
     }
 
-    /** Claim the next ready chunk; false when replay is over. */
-    bool
-    claim(std::uint32_t &out)
-    {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [this] {
-            return !ready.empty() || aborted ||
-                   done == graph.nodes.size();
-        });
-        if (aborted || ready.empty())
-            return false;
-        out = ready.top();
-        ready.pop();
-        return true;
-    }
-
-    /** Publish completion of @p i, waking workers for new ready work. */
     void
-    complete(std::uint32_t i)
+    perturb()
     {
-        std::lock_guard<std::mutex> lock(mu);
-        done++;
-        for (std::uint32_t s : graph.nodes[i].succs)
-            if (--preds[s] == 0)
-                ready.push(s);
-        cv.notify_all();
-    }
-
-    /** Abort the pool, keeping the first divergence reported. */
-    void
-    abort(const std::string &msg)
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!aborted) {
-            aborted = true;
-            divergence = msg;
+        if (!on)
+            return;
+        std::uint64_t roll = rng.below(100);
+        if (roll < 40) {
+            std::this_thread::yield();
+        } else if (roll < 60) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(1 + rng.below(40)));
         }
-        cv.notify_all();
     }
-
-    bool wasAborted() const { return aborted; }
-    const std::string &firstDivergence() const { return divergence; }
 
   private:
-    const ChunkGraph &graph;
-    std::mutex mu;
-    std::condition_variable cv;
-    /** Min-heap: idle workers claim the lowest schedule index first. */
-    std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
-                        std::greater<std::uint32_t>> ready;
-    std::vector<std::uint32_t> preds;
-    std::size_t done = 0;
-    bool aborted = false;
-    std::string divergence;
+    bool on;
+    Rng rng;
+};
+
+std::uint64_t
+stressSeedFromEnv()
+{
+    const char *env = std::getenv("QR_REPLAY_STRESS");
+    if (!env || !*env)
+        return 0;
+    return std::strtoull(env, nullptr, 0);
+}
+
+/** What one worker brings back to the join. */
+struct WorkerReport
+{
+    ReplayCore::WorkerContext wc;
+    std::uint64_t fenceChecks = 0;
+    bool hasDivergence = false;
+    std::uint32_t divergenceIndex = 0; //!< schedule index
+    std::string divergenceMsg;
 };
 
 } // namespace
@@ -140,10 +177,98 @@ ParallelReplayer::run()
     res.speed.criticalPathCycles = graph.criticalPathCycles();
     res.speed.modeledParallelCycles = graph.modeledScheduleCycles(jobs);
 
+    const std::size_t n = graph.nodes.size();
     ReplayCore core(prog, logs, costs, mode);
-    DagScheduler sched(graph);
+    ReplayCore::ThreadStateTable table(logs);
+    FencePlan plan = buildFencePlan(graph);
+    core.image().versions.arm(plan.slots);
+    res.versionSlots = plan.slots;
+
+    // Per-node predecessor counters. fetch_sub(acq_rel) at commit forms
+    // a release sequence: the worker whose decrement hits zero -- and,
+    // through the ready queue's cell handoff, the worker that claims
+    // the successor -- has acquired every predecessor's effects.
+    std::vector<std::atomic<std::uint32_t>> preds(n);
+    ReadyQueue queue(std::max<std::size_t>(n, 1));
+    for (std::uint32_t i = 0; i < n; ++i) {
+        preds[i].store(graph.nodes[i].preds, std::memory_order_relaxed);
+        if (graph.nodes[i].preds == 0)
+            queue.push(i);
+    }
+    std::atomic<std::size_t> remaining{n};
+    if (n == 0)
+        queue.close();
+
     int workers = std::max(
-        1, std::min<int>(jobs, static_cast<int>(graph.nodes.size())));
+        1, std::min<int>(jobs, static_cast<int>(std::max<std::size_t>(
+               n, 1))));
+    std::uint64_t stressSeed = stressSeedFromEnv();
+    std::vector<WorkerReport> reports(
+        static_cast<std::size_t>(workers));
+    for (WorkerReport &r : reports)
+        r.wc.threads = &table;
+
+    auto workerMain = [&](int w) {
+        WorkerReport &rep = reports[static_cast<std::size_t>(w)];
+        StressInjector stress(stressSeed, w);
+        LineVersionTable &versions = core.image().versions;
+        std::uint32_t i;
+        while (queue.pop(i)) {
+            stress.perturb(); // claim point
+
+            // Claim-time fence check: every line this chunk reads or
+            // overwrites must already carry the commit version its
+            // last-writing predecessor published.
+            for (const SlotVersion &sv : plan.expect[i]) {
+                std::uint32_t cur = versions.current(sv.slot);
+                if (cur < sv.version) {
+                    rep.hasDivergence = true;
+                    rep.divergenceIndex = i;
+                    rep.divergenceMsg = csprintf(
+                        "engine invariant violated: chunk ts %llu "
+                        "(tid %d) claimed before a predecessor's "
+                        "commit fence (line slot %u at version %u, "
+                        "need %u)",
+                        static_cast<unsigned long long>(
+                            graph.nodes[i].rec.ts),
+                        graph.nodes[i].rec.tid, sv.slot, cur,
+                        sv.version);
+                    queue.close();
+                    return;
+                }
+                rep.fenceChecks++;
+            }
+
+            try {
+                core.replayChunk(rep.wc, graph.nodes[i].rec);
+            } catch (const ReplayCore::Divergence &d) {
+                if (!rep.hasDivergence ||
+                    i < rep.divergenceIndex) {
+                    rep.hasDivergence = true;
+                    rep.divergenceIndex = i;
+                    rep.divergenceMsg = d.msg;
+                }
+                queue.close();
+                return;
+            }
+
+            stress.perturb(); // commit point
+
+            // Commit fence: publish this chunk's line versions
+            // (release) before any successor can become ready.
+            for (const SlotVersion &sv : plan.publish[i])
+                versions.publish(sv.slot, sv.version);
+
+            for (std::uint32_t s : graph.nodes[i].succs)
+                if (preds[s].fetch_sub(
+                        1, std::memory_order_acq_rel) == 1)
+                    queue.push(s);
+
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                1)
+                queue.close();
+        }
+    };
 
     auto t1 = std::chrono::steady_clock::now();
     {
@@ -151,36 +276,42 @@ ParallelReplayer::run()
         prof.cycles(res.speed.modeledParallelCycles);
         std::vector<std::thread> pool;
         pool.reserve(static_cast<std::size_t>(workers));
-        for (int w = 0; w < workers; ++w) {
-            pool.emplace_back([&core, &sched, &graph] {
-                std::uint32_t i;
-                while (sched.claim(i)) {
-                    try {
-                        core.replayChunk(graph.nodes[i].rec);
-                    } catch (const ReplayCore::Divergence &d) {
-                        sched.abort(d.msg);
-                        return;
-                    }
-                    sched.complete(i);
-                }
-            });
-        }
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back(workerMain, w);
         for (std::thread &t : pool)
             t.join();
     }
     res.speed.execMicros = microsSince(t1);
+    res.replay.execMicros = res.speed.execMicros;
 
-    if (sched.wasAborted()) {
-        core.collectCounters(res.replay);
+    for (const WorkerReport &r : reports)
+        res.fenceChecks += r.fenceChecks;
+
+    // Deterministic divergence pick: lowest schedule index across all
+    // workers, independent of which worker finished first.
+    const WorkerReport *firstDiv = nullptr;
+    for (const WorkerReport &r : reports)
+        if (r.hasDivergence &&
+            (!firstDiv || r.divergenceIndex < firstDiv->divergenceIndex))
+            firstDiv = &r;
+    if (firstDiv) {
+        for (const WorkerReport &r : reports)
+            r.wc.accumulateInto(res.replay);
         res.replay.ok = false;
-        res.replay.divergence = sched.firstDivergence();
+        res.replay.divergence = firstDiv->divergenceMsg;
+        res.replay.execMicros = 0;
         return res;
     }
 
     try {
-        res.replay = core.finish();
+        res.replay = core.finish(table);
+        res.replay.execMicros = res.speed.execMicros;
+        for (const WorkerReport &r : reports)
+            r.wc.accumulateInto(res.replay);
     } catch (const ReplayCore::Divergence &d) {
-        core.collectCounters(res.replay);
+        res.replay = ReplayResult{};
+        for (const WorkerReport &r : reports)
+            r.wc.accumulateInto(res.replay);
         res.replay.ok = false;
         res.replay.divergence = d.msg;
     }

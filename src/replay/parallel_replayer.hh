@@ -1,23 +1,51 @@
 /**
  * @file
- * Parallel chunk-graph replay.
+ * Parallel chunk-graph replay with true concurrent workers.
  *
  * The sequential replayer walks the total (timestamp, tid) order; this
  * engine replays the chunk-dependence DAG (chunk_graph.hh) with a pool
- * of N worker threads. Workers pull ready chunks (all predecessors
- * done) from a shared queue and execute them through the same
- * ReplayCore the sequential oracle uses; per-thread replay state
- * (ThreadContext, replay store queue, pending copies) is confined to
- * one chunk at a time by the graph's program-order edges, and every
- * conflicting shared-memory access pair is ordered by a dependence
- * edge, so workers synchronize only at DAG edges (via the scheduler
- * lock) and the result is bit-identical to sequential replay.
+ * of N real std::thread workers:
  *
- * Divergences are never dropped: a worker that hits one aborts the
- * pool and the first divergence (by completion) is reported exactly as
- * the sequential replayer would report it. The analysis pass that
- * builds the graph *is* a sequential replay, so a corrupt log
- * surfaces the identical divergence message before any worker starts.
+ *  - Ready chunks (all predecessors done) live in a lock-free MPMC
+ *    ReadyQueue (ready_queue.hh); a worker that drains it parks on the
+ *    queue's condition variable until a peer publishes new work or the
+ *    pool shuts down.
+ *
+ *  - Each worker owns a private WorkerContext: counters, modeled
+ *    cycles and divergence records accumulate worker-locally and merge
+ *    only at join. Per-guest-thread state (register file, store queue,
+ *    pending inputs) sits in the shared ThreadStateTable, but the
+ *    graph's program-order edges make each slot an exclusive borrow of
+ *    whichever worker executes that thread's current chunk.
+ *
+ *  - Commit protocol: after executing a chunk, a worker publishes the
+ *    chunk's effects by (a) bumping the commit-sequence version of
+ *    every line the chunk wrote (release), then (b) decrementing each
+ *    successor's predecessor counter with fetch_sub(acq_rel). The
+ *    counter's release sequence chains *all* predecessors' effects, so
+ *    the worker that pushes the successor into the ready queue -- and
+ *    through the queue's own release/acquire cell handoff, the worker
+ *    that claims it -- observes every prior effect. Guest-memory words
+ *    themselves are plain loads/stores; the DAG edges are the only
+ *    ordering they need, and TSan verifies exactly that.
+ *
+ *  - Claim-time fence check: before executing a chunk, the worker
+ *    verifies every line the chunk will read or overwrite has reached
+ *    the commit version its DAG predecessors must have published.
+ *    A failed check is an engine invariant violation (a chunk about to
+ *    observe a predecessor's effects before its commit fence) and
+ *    aborts the pool loudly rather than replaying wrong state.
+ *
+ * Divergences are never dropped: workers record them per-worker with
+ * the chunk's schedule index, the pool drains, and the merge reports
+ * the divergence of the *lowest* schedule index -- a deterministic
+ * pick, independent of worker timing. The analysis pass that builds
+ * the graph *is* a sequential replay, so a corrupt log surfaces the
+ * identical divergence message before any worker starts.
+ *
+ * Set QR_REPLAY_STRESS=<seed> to inject seeded random yields/delays at
+ * the claim and commit points -- the schedule-perturbation hook the
+ * concurrency stress tests use to explore worker interleavings.
  */
 
 #ifndef QR_REPLAY_PARALLEL_REPLAYER_HH
@@ -36,11 +64,19 @@ struct ParallelReplayResult
      *  sequential oracle bit for bit. */
     ReplayResult replay;
 
-    /** Modeled + wall-clock replay-speed accounting. */
+    /** Modeled + wall-clock replay-speed accounting. The caller fills
+     *  speed.seqExecMicros (from a sequential oracle run) to light up
+     *  measuredSpeedup(). */
     ReplaySpeed speed;
 
     std::uint64_t graphNodes = 0;
     std::uint64_t graphEdges = 0;
+
+    /** Commit-fence instrumentation: shared lines under versioning and
+     *  claim-time version checks that passed. Tests assert the checks
+     *  actually ran (> 0 on any sphere with cross-thread conflicts). */
+    std::uint64_t versionSlots = 0;
+    std::uint64_t fenceChecks = 0;
 };
 
 /** Replays one recorded sphere with @p jobs worker threads. */

@@ -1,0 +1,135 @@
+#include "replay/ready_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 2;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+ReadyQueue::ReadyQueue(std::size_t capacity)
+    : cells(roundUpPow2(capacity)), mask(cells.size() - 1)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        cells[i].seq.store(i, std::memory_order_relaxed);
+}
+
+void
+ReadyQueue::push(std::uint32_t value)
+{
+    Cell *cell;
+    std::size_t pos = enqueuePos.load(std::memory_order_relaxed);
+    for (;;) {
+        cell = &cells[pos & mask];
+        std::size_t seq = cell->seq.load(std::memory_order_acquire);
+        std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                             static_cast<std::intptr_t>(pos);
+        if (diff == 0) {
+            if (enqueuePos.compare_exchange_weak(
+                    pos, pos + 1, std::memory_order_relaxed))
+                break;
+        } else if (diff < 0) {
+            // The driver sizes the queue to the node count, so a full
+            // ring means the caller's accounting is broken.
+            qr_assert(false, "ReadyQueue overflow (capacity %zu)",
+                      cells.size());
+        } else {
+            pos = enqueuePos.load(std::memory_order_relaxed);
+        }
+    }
+    cell->value = value;
+    cell->seq.store(pos + 1, std::memory_order_release);
+
+    // Dekker pairing with pop(): the consumer registers in waiters,
+    // fences, then re-polls; we publish the cell, fence, then read
+    // waiters. At least one side must see the other.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters.load(std::memory_order_relaxed) > 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+    }
+}
+
+bool
+ReadyQueue::tryPop(std::uint32_t &value)
+{
+    Cell *cell;
+    std::size_t pos = dequeuePos.load(std::memory_order_relaxed);
+    for (;;) {
+        cell = &cells[pos & mask];
+        std::size_t seq = cell->seq.load(std::memory_order_acquire);
+        std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                             static_cast<std::intptr_t>(pos + 1);
+        if (diff == 0) {
+            if (dequeuePos.compare_exchange_weak(
+                    pos, pos + 1, std::memory_order_relaxed))
+                break;
+        } else if (diff < 0) {
+            return false; // drained
+        } else {
+            pos = dequeuePos.load(std::memory_order_relaxed);
+        }
+    }
+    value = cell->value;
+    cell->seq.store(pos + mask + 1, std::memory_order_release);
+    return true;
+}
+
+bool
+ReadyQueue::pop(std::uint32_t &value)
+{
+    // Fast path: spin briefly before paying for the parking lot.
+    for (int spin = 0; spin < 64; ++spin) {
+        if (tryPop(value))
+            return true;
+        if (closedFlag.load(std::memory_order_acquire))
+            return false;
+    }
+
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        waiters.fetch_add(1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (tryPop(value)) {
+            waiters.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+        if (closedFlag.load(std::memory_order_acquire)) {
+            waiters.fetch_sub(1, std::memory_order_relaxed);
+            return false;
+        }
+        cv.wait(lock);
+        waiters.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void
+ReadyQueue::close()
+{
+    closedFlag.store(true, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lock(mu);
+    cv.notify_all();
+}
+
+void
+LineVersionTable::arm(std::size_t slots)
+{
+    seq = std::vector<std::atomic<std::uint32_t>>(slots);
+    for (auto &s : seq)
+        s.store(0, std::memory_order_relaxed);
+}
+
+} // namespace qr

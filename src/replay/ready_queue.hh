@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The parallel replayer's scheduler primitives, exposed standalone so
+ * the concurrency property tests can hammer them with synthetic DAGs:
+ *
+ *  - ReadyQueue: a bounded lock-free MPMC queue of ready chunk
+ *    indices (Vyukov ring: one sequence atom per cell, producers and
+ *    consumers synchronize per cell, never on a global lock). Workers
+ *    that find it drained park on a condition variable; producers only
+ *    touch the mutex when a consumer is actually parked, so the claim
+ *    and publish fast paths stay lock-free.
+ *
+ *  - LineVersionTable: per-line commit-sequence versions over the
+ *    committed memory image. The replay driver assigns each shared
+ *    line a dense slot; a worker publishes slot versions (release)
+ *    when it commits a chunk, and a claimer verifies (acquire) that
+ *    every line it is about to read has reached the version its DAG
+ *    predecessors must have published. A failed check means a chunk
+ *    observed a predecessor's effects before that predecessor's commit
+ *    fence -- an engine invariant violation, reported loudly.
+ *
+ * Both carry real happens-before edges, but the *data* ordering the
+ * replay relies on flows through the in-degree counters: a successor
+ * only enters the queue after its last predecessor's
+ * fetch_sub(acq_rel), whose release sequence chains every
+ * predecessor's effects to the claimer's acquire pop.
+ */
+
+#ifndef QR_REPLAY_READY_QUEUE_HH
+#define QR_REPLAY_READY_QUEUE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace qr
+{
+
+/**
+ * Bounded lock-free MPMC queue with condition-variable parking.
+ *
+ * Capacity is fixed at construction and must cover the maximum number
+ * of simultaneously ready items (the replay driver sizes it to the
+ * node count, which can never be exceeded). push() on a full queue is
+ * an assertion failure, not a blocking wait.
+ *
+ * close() wakes every parked consumer and makes pop() return false
+ * immediately -- even if items remain queued. That is the semantics an
+ * aborting worker pool wants: nothing after a divergence may execute.
+ */
+class ReadyQueue
+{
+  public:
+    /** @p capacity is rounded up to a power of two, minimum 2. */
+    explicit ReadyQueue(std::size_t capacity);
+
+    ReadyQueue(const ReadyQueue &) = delete;
+    ReadyQueue &operator=(const ReadyQueue &) = delete;
+
+    /** Enqueue @p value (lock-free; wakes one parked consumer). */
+    void push(std::uint32_t value);
+
+    /** Dequeue without blocking. */
+    bool tryPop(std::uint32_t &value);
+
+    /**
+     * Dequeue, parking on the condition variable while the queue is
+     * drained. Returns false once the queue is closed.
+     */
+    bool pop(std::uint32_t &value);
+
+    /** Close the queue: pop() fails fast, parked consumers wake. */
+    void close();
+
+    bool closed() const
+    {
+        return closedFlag.load(std::memory_order_acquire);
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::size_t> seq;
+        std::uint32_t value;
+    };
+
+    std::vector<Cell> cells;
+    std::size_t mask;
+
+    // Separate cache lines: producers bump enqueuePos, consumers bump
+    // dequeuePos; sharing a line would bounce it on every operation.
+    alignas(64) std::atomic<std::size_t> enqueuePos{0};
+    alignas(64) std::atomic<std::size_t> dequeuePos{0};
+
+    std::atomic<bool> closedFlag{false};
+
+    // Parking lot: only touched when a consumer finds the queue
+    // drained. waiters is checked by producers with a seq_cst fence
+    // pairing against the consumer's registration (Dekker pattern), so
+    // a push can never slip between a consumer's last tryPop and its
+    // wait without a notify.
+    std::atomic<int> waiters{0};
+    std::mutex mu;
+    std::condition_variable cv;
+};
+
+/**
+ * Per-line commit-sequence versions (see file comment). Slots are
+ * dense indices the driver assigns to shared lines; versions start at
+ * 0 and each committing writer publishes the next value, so WAW-
+ * ordered writers publish 1, 2, 3, ... in DAG order.
+ */
+class LineVersionTable
+{
+  public:
+    LineVersionTable() = default;
+
+    /** Size the table to @p slots lines, all at version 0. */
+    void arm(std::size_t slots);
+
+    bool armed() const { return !seq.empty(); }
+    std::size_t slots() const { return seq.size(); }
+
+    /** Publish @p version for @p slot (release). */
+    void
+    publish(std::uint32_t slot, std::uint32_t version)
+    {
+        seq[slot].store(version, std::memory_order_release);
+    }
+
+    /** Committed version of @p slot (acquire). */
+    std::uint32_t
+    current(std::uint32_t slot) const
+    {
+        return seq[slot].load(std::memory_order_acquire);
+    }
+
+  private:
+    std::vector<std::atomic<std::uint32_t>> seq;
+};
+
+} // namespace qr
+
+#endif // QR_REPLAY_READY_QUEUE_HH

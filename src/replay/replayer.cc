@@ -1,5 +1,6 @@
 #include "replay/replayer.hh"
 
+#include <chrono>
 #include <cstdarg>
 
 #include "isa/exec.hh"
@@ -29,20 +30,40 @@ DegradedReplay::summary() const
     return s;
 }
 
+ReplayCore::ThreadStateTable::ThreadStateTable(const SphereLogs &logs)
+{
+    // Pre-create every logged thread's slot so the map is never
+    // mutated during replay -- required for concurrent replayChunk.
+    for (const auto &[tid, tlogs] : logs.threads) {
+        RThread &t = slots[tid];
+        t.ctx.tid = tid;
+    }
+}
+
+ReplayCore::RThread *
+ReplayCore::ThreadStateTable::find(Tid tid)
+{
+    auto it = slots.find(tid);
+    return it == slots.end() ? nullptr : &it->second;
+}
+
+void
+ReplayCore::WorkerContext::accumulateInto(ReplayResult &r) const
+{
+    r.replayedChunks += replayedChunks;
+    r.replayedInstrs += replayedInstrs;
+    r.injectedRecords += injectedRecords;
+    r.modeledCycles += modeledCycles;
+}
+
 ReplayCore::ReplayCore(const Program &prog_, const SphereLogs &logs_,
                        const ReplayCostModel &costs_, ReplayMode mode_)
     : prog(prog_), logs(logs_), costs(costs_), mode(mode_),
-      mem(logs_.memBytes)
+      img(logs_.memBytes)
 {
     qr_assert(logs.memBytes > 0, "sphere logs carry no memory size");
     for (const auto &[addr, value] : prog.dataInit)
-        mem.write(addr, value);
-    // Pre-create every logged thread's state so the map is never
-    // mutated during replay -- required for concurrent replayChunk.
-    for (const auto &[tid, tlogs] : logs.threads) {
-        RThread &t = threads[tid];
-        t.ctx.tid = tid;
-    }
+        img.write(addr, value);
 }
 
 void
@@ -56,43 +77,43 @@ ReplayCore::diverge(const char *fmt, ...)
 }
 
 ReplayCore::RThread &
-ReplayCore::threadFor(const ChunkRecord &rec)
+ReplayCore::threadFor(WorkerContext &wc, const ChunkRecord &rec)
 {
-    auto it = threads.find(rec.tid);
-    if (it == threads.end())
+    RThread *t = wc.threads->find(rec.tid);
+    if (!t)
         diverge("tid %d: chunk ts %llu but no thread logs", rec.tid,
                 static_cast<unsigned long long>(rec.ts));
-    return it->second;
+    return *t;
 }
 
 Word
-ReplayCore::memRead(RThread &t, Addr addr)
+ReplayCore::memRead(WorkerContext &wc, Addr addr)
 {
-    if (t.trace)
-        t.trace->reads.push_back(addr);
-    return mem.read(addr);
+    if (wc.trace)
+        wc.trace->reads.push_back(addr);
+    return img.read(addr);
 }
 
 void
-ReplayCore::memWrite(RThread &t, Addr addr, Word value)
+ReplayCore::memWrite(WorkerContext &wc, Addr addr, Word value)
 {
-    if (t.trace)
-        t.trace->writes.push_back(addr);
-    mem.write(addr, value);
+    if (wc.trace)
+        wc.trace->writes.push_back(addr);
+    img.write(addr, value);
 }
 
 void
-ReplayCore::drainStores(RThread &t, std::size_t keep)
+ReplayCore::drainStores(WorkerContext &wc, RThread &t, std::size_t keep)
 {
     while (t.storeQueue.size() > keep) {
         auto [a, v] = t.storeQueue.front();
         t.storeQueue.pop_front();
-        memWrite(t, a, v);
+        memWrite(wc, a, v);
     }
 }
 
 const InputRecord &
-ReplayCore::nextInput(RThread &t, const char *what)
+ReplayCore::nextInput(WorkerContext &wc, RThread &t, const char *what)
 {
     auto it = logs.threads.find(t.ctx.tid);
     if (it == logs.threads.end())
@@ -101,25 +122,26 @@ ReplayCore::nextInput(RThread &t, const char *what)
     if (t.inputCursor >= input.size())
         diverge("tid %d: input log exhausted while replaying %s",
                 t.ctx.tid, what);
-    t.injectedRecords++;
-    t.modeledCycles += costs.perInputRecord;
-    if (t.trace) {
-        t.trace->injected++;
-        t.trace->modeledCycles += costs.perInputRecord;
+    t.injectedSeq++;
+    wc.injectedRecords++;
+    wc.modeledCycles += costs.perInputRecord;
+    if (wc.trace) {
+        wc.trace->injected++;
+        wc.trace->modeledCycles += costs.perInputRecord;
     }
     const InputRecord &rec = input[t.inputCursor++];
     // No modeled clock on the replay side; the per-thread injection
     // ordinal keeps the lane's events ordered.
     eventTrace().emit(TraceEventKind::ReplayInject, t.ctx.tid,
-                      t.injectedRecords,
+                      t.injectedSeq,
                       static_cast<std::uint64_t>(rec.kind));
     return rec;
 }
 
 void
-ReplayCore::startThread(Tid tid, RThread &t)
+ReplayCore::startThread(WorkerContext &wc, Tid tid, RThread &t)
 {
-    const InputRecord &rec = nextInput(t, "thread start");
+    const InputRecord &rec = nextInput(wc, t, "thread start");
     if (rec.kind != InputKind::ThreadStart)
         diverge("tid %d: expected thread-start record, found %s", tid,
                 inputKindName(rec.kind));
@@ -131,41 +153,42 @@ ReplayCore::startThread(Tid tid, RThread &t)
 }
 
 void
-ReplayCore::maybeInjectSignal(Tid tid, RThread &t)
+ReplayCore::maybeInjectSignal(WorkerContext &wc, Tid tid, RThread &t)
 {
     const auto &input = logs.threads.at(tid).input;
     while (t.inputCursor < input.size()) {
         const InputRecord &rec = input[t.inputCursor];
         if (rec.kind != InputKind::SignalDeliver ||
-            rec.afterChunkSeq != t.replayedChunks)
+            rec.afterChunkSeq != t.chunkSeq)
             return;
         t.inputCursor++;
-        t.injectedRecords++;
-        t.modeledCycles += costs.perInputRecord;
-        if (t.trace) {
-            t.trace->injected++;
-            t.trace->modeledCycles += costs.perInputRecord;
+        t.injectedSeq++;
+        wc.injectedRecords++;
+        wc.modeledCycles += costs.perInputRecord;
+        if (wc.trace) {
+            wc.trace->injected++;
+            wc.trace->modeledCycles += costs.perInputRecord;
         }
         if (t.ctx.pc != rec.sp)
             diverge("tid %d: signal saved pc 0x%x but replay pc is 0x%x",
                     tid, rec.sp, t.ctx.pc);
         // Post the signal number and redirect into the handler, exactly
         // as the kernel did at this chunk boundary.
-        memWrite(t, rec.copyAddr, rec.num);
+        memWrite(wc, rec.copyAddr, rec.num);
         t.ctx.pc = rec.pc;
     }
 }
 
 void
-ReplayCore::applyPending(RThread &t)
+ReplayCore::applyPending(WorkerContext &wc, RThread &t)
 {
     for (const auto &[addr, words] : t.pendingCopies)
         for (std::size_t i = 0; i < words.size(); ++i)
-            memWrite(t, addr + static_cast<Addr>(i) * 4, words[i]);
+            memWrite(wc, addr + static_cast<Addr>(i) * 4, words[i]);
     t.pendingCopies.clear();
     for (const auto &[buf, len] : t.pendingWrites) {
         for (Word off = 0; off < len; off += 4) {
-            Word w = memRead(t, buf + off);
+            Word w = memRead(wc, buf + off);
             for (int b = 0; b < 4; ++b)
                 t.outputBytes.push_back(
                     static_cast<std::uint8_t>(w >> (8 * b)));
@@ -175,16 +198,17 @@ ReplayCore::applyPending(RThread &t)
 }
 
 Word
-ReplayCore::loadWord(RThread &t, Addr addr)
+ReplayCore::loadWord(WorkerContext &wc, RThread &t, Addr addr)
 {
     for (auto it = t.storeQueue.rbegin(); it != t.storeQueue.rend(); ++it)
         if (it->first == addr)
             return it->second;
-    return memRead(t, addr);
+    return memRead(wc, addr);
 }
 
 void
-ReplayCore::handleSyscall(Tid tid, RThread &t, bool is_last)
+ReplayCore::handleSyscall(WorkerContext &wc, Tid tid, RThread &t,
+                          bool is_last)
 {
     if (!is_last)
         diverge("tid %d: syscall in the middle of a chunk (pc 0x%x)",
@@ -192,11 +216,11 @@ ReplayCore::handleSyscall(Tid tid, RThread &t, bool is_last)
 
     // Kernel entry is serializing: mirror the recorded store-buffer
     // drain so kernel reads (e.g. write()) see the drained values.
-    drainStores(t);
+    drainStores(wc, t);
 
     Word num = t.ctx.reg(Reg::a7);
     if (num == static_cast<Word>(Sys::Exit)) {
-        const InputRecord &rec = nextInput(t, "thread exit");
+        const InputRecord &rec = nextInput(wc, t, "thread exit");
         if (rec.kind != InputKind::ThreadExit)
             diverge("tid %d: expected thread-exit record, found %s", tid,
                     inputKindName(rec.kind));
@@ -214,7 +238,7 @@ ReplayCore::handleSyscall(Tid tid, RThread &t, bool is_last)
         return;
     }
 
-    const InputRecord &rec = nextInput(t, "syscall result");
+    const InputRecord &rec = nextInput(wc, t, "syscall result");
     if (rec.kind != InputKind::SyscallRet)
         diverge("tid %d: expected syscall record, found %s", tid,
                 inputKindName(rec.kind));
@@ -243,8 +267,9 @@ ReplayCore::handleSyscall(Tid tid, RThread &t, bool is_last)
 }
 
 void
-ReplayCore::execInstr(Tid tid, RThread &t, bool is_last,
-                      std::uint32_t idx, const ChunkRecord &rec)
+ReplayCore::execInstr(WorkerContext &wc, Tid tid, RThread &t,
+                      bool is_last, std::uint32_t idx,
+                      const ChunkRecord &rec)
 {
     if (t.exited)
         diverge("tid %d: chunk ts %llu has instructions after exit "
@@ -260,14 +285,14 @@ ReplayCore::execInstr(Tid tid, RThread &t, bool is_last,
     if (execPure(in, t.ctx, nextPc)) {
         t.ctx.pc = nextPc;
         t.ctx.instrs++;
-        t.replayedInstrs++;
+        wc.replayedInstrs++;
         return;
     }
 
     switch (in.op) {
       case Opcode::Lw: {
         Addr addr = t.ctx.reg(in.rs1) + in.imm;
-        Word val = loadWord(t, addr);
+        Word val = loadWord(wc, t, addr);
         t.ctx.setReg(in.rd, val);
         t.ctx.mixMem(addr, val);
         break;
@@ -281,34 +306,34 @@ ReplayCore::execInstr(Tid tid, RThread &t, bool is_last,
       case Opcode::Cas:
       case Opcode::FetchAdd:
       case Opcode::Swap: {
-        drainStores(t);
+        drainStores(wc, t);
         Addr addr = t.ctx.reg(in.rs1);
-        Word old = memRead(t, addr);
+        Word old = memRead(wc, addr);
         if (in.op == Opcode::Cas) {
             if (old == t.ctx.reg(in.rd))
-                memWrite(t, addr, t.ctx.reg(in.rs2));
+                memWrite(wc, addr, t.ctx.reg(in.rs2));
         } else if (in.op == Opcode::FetchAdd) {
-            memWrite(t, addr, old + t.ctx.reg(in.rs2));
+            memWrite(wc, addr, old + t.ctx.reg(in.rs2));
         } else {
-            memWrite(t, addr, t.ctx.reg(in.rd));
+            memWrite(wc, addr, t.ctx.reg(in.rd));
         }
         t.ctx.setReg(in.rd, old);
         t.ctx.mixMem(addr, old);
         break;
       }
       case Opcode::Fence:
-        drainStores(t);
+        drainStores(wc, t);
         break;
       case Opcode::Syscall:
         t.ctx.pc = nextPc;
         t.ctx.instrs++;
-        t.replayedInstrs++;
-        handleSyscall(tid, t, is_last);
+        wc.replayedInstrs++;
+        handleSyscall(wc, tid, t, is_last);
         return;
       case Opcode::Rdtsc:
       case Opcode::Rdrand:
       case Opcode::Cpuid: {
-        const InputRecord &nrec = nextInput(t, "nondet value");
+        const InputRecord &nrec = nextInput(wc, t, "nondet value");
         if (nrec.kind != InputKind::Nondet)
             diverge("tid %d: expected nondet record, found %s", tid,
                     inputKindName(nrec.kind));
@@ -325,11 +350,12 @@ ReplayCore::execInstr(Tid tid, RThread &t, bool is_last,
 
     t.ctx.pc = nextPc;
     t.ctx.instrs++;
-    t.replayedInstrs++;
+    wc.replayedInstrs++;
 }
 
 void
-ReplayCore::replayChunk(const ChunkRecord &rec, ChunkTrace *trace)
+ReplayCore::replayChunk(WorkerContext &wc, const ChunkRecord &rec,
+                        ChunkTrace *trace)
 {
     if (mode == ReplayMode::Strict) {
         if (rec.reason == ChunkReason::Gap)
@@ -337,7 +363,7 @@ ReplayCore::replayChunk(const ChunkRecord &rec, ChunkTrace *trace)
                     "degraded replay required",
                     rec.tid, static_cast<unsigned long long>(rec.ts),
                     rec.size);
-        replayChunkStrict(rec, trace);
+        replayChunkStrict(wc, rec, trace);
         return;
     }
 
@@ -347,7 +373,7 @@ ReplayCore::replayChunk(const ChunkRecord &rec, ChunkTrace *trace)
     // (e.g. replaying past a salvaged log's truncation point) poisons
     // the same way; the partial trace is kept so graph builders still
     // see the writes that landed before the mismatch.
-    RThread &t = threadFor(rec);
+    RThread &t = threadFor(wc, rec);
     if (rec.reason == ChunkReason::Gap) {
         t.gapsSeen++;
         t.poisoned = true;
@@ -358,7 +384,7 @@ ReplayCore::replayChunk(const ChunkRecord &rec, ChunkTrace *trace)
         return;
     }
     try {
-        replayChunkStrict(rec, trace);
+        replayChunkStrict(wc, rec, trace);
     } catch (const Divergence &d) {
         t.divergences++;
         t.poisoned = true;
@@ -366,74 +392,61 @@ ReplayCore::replayChunk(const ChunkRecord &rec, ChunkTrace *trace)
             t.firstDivTs = rec.ts;
             t.firstDivMsg = d.msg;
         }
-        t.trace = nullptr;
+        wc.trace = nullptr;
     }
 }
 
 void
-ReplayCore::replayChunkStrict(const ChunkRecord &rec, ChunkTrace *trace)
+ReplayCore::replayChunkStrict(WorkerContext &wc, const ChunkRecord &rec,
+                              ChunkTrace *trace)
 {
-    RThread &t = threadFor(rec);
-    t.trace = trace;
+    RThread &t = threadFor(wc, rec);
+    wc.trace = trace;
     if (t.exited)
         diverge("tid %d: chunk ts %llu after thread exit", rec.tid,
                 static_cast<unsigned long long>(rec.ts));
     if (!t.started)
-        startThread(rec.tid, t);
+        startThread(wc, rec.tid, t);
 
     // Boundary work in recorded order: the kernel's syscall-exit
     // copies/reads happen before a signal is delivered on the way back
     // to user mode.
-    applyPending(t);
-    maybeInjectSignal(rec.tid, t);
+    applyPending(wc, t);
+    maybeInjectSignal(wc, rec.tid, t);
 
     for (std::uint32_t i = 0; i < rec.size; ++i)
-        execInstr(rec.tid, t, i + 1 == rec.size, i, rec);
+        execInstr(wc, rec.tid, t, i + 1 == rec.size, i, rec);
 
     if (t.storeQueue.size() < rec.rsw)
         diverge("tid %d: chunk ts %llu records rsw %u but only %zu "
                 "stores are buffered",
                 rec.tid, static_cast<unsigned long long>(rec.ts),
                 rec.rsw, t.storeQueue.size());
-    drainStores(t, rec.rsw);
+    drainStores(wc, t, rec.rsw);
 
     tracef(TraceFlag::Replay, "tid %d: chunk ts=%llu size=%u rsw=%u",
            rec.tid, static_cast<unsigned long long>(rec.ts), rec.size,
            rec.rsw);
-    t.replayedChunks++;
+    t.chunkSeq++;
+    wc.replayedChunks++;
     Tick chunkCost =
         costs.perChunk + static_cast<Tick>(rec.size) * costs.perInstr;
-    t.modeledCycles += chunkCost;
-    if (t.trace)
-        t.trace->modeledCycles += chunkCost;
-    t.trace = nullptr;
+    wc.modeledCycles += chunkCost;
+    if (wc.trace)
+        wc.trace->modeledCycles += chunkCost;
+    wc.trace = nullptr;
     eventTrace().emit(TraceEventKind::ReplayChunk, rec.tid, rec.ts,
                       rec.size, static_cast<std::uint64_t>(rec.reason));
 }
 
-void
-ReplayCore::collectCounters(ReplayResult &r) const
-{
-    r.replayedInstrs = 0;
-    r.replayedChunks = 0;
-    r.injectedRecords = 0;
-    r.modeledCycles = 0;
-    for (const auto &[tid, t] : threads) {
-        r.replayedInstrs += t.replayedInstrs;
-        r.replayedChunks += t.replayedChunks;
-        r.injectedRecords += t.injectedRecords;
-        r.modeledCycles += t.modeledCycles;
-    }
-}
-
 ReplayResult
-ReplayCore::finish()
+ReplayCore::finish(ThreadStateTable &threads)
 {
     if (mode == ReplayMode::Degraded)
-        return finishDegraded();
+        return finishDegraded(threads);
 
     for (const auto &[tid, tlogs] : logs.threads) {
-        const RThread &t = threads.at(tid);
+        const RThread &t = threads.slots.at(tid);
         if (tlogs.chunks.empty())
             diverge("tid %d: has logs but was never scheduled", tid);
         if (!t.exited)
@@ -453,29 +466,30 @@ ReplayCore::finish()
     }
 
     ReplayResult result;
-    result.digests.memory = mem.digest(logs.userTop);
+    result.digests.memory = img.digest(logs.userTop);
     OutputMap outs;
-    for (const auto &[tid, t] : threads)
+    for (const auto &[tid, t] : threads.slots)
         if (!t.outputBytes.empty())
             outs.emplace(tid, t.outputBytes);
     result.digests.output = outputDigest(outs);
-    for (const auto &[tid, t] : threads)
+    for (const auto &[tid, t] : threads.slots)
         result.digests.exits.emplace(tid, t.exitInfo);
-    collectCounters(result);
     result.ok = true;
     return result;
 }
 
 ReplayResult
-ReplayCore::finishDegraded()
+ReplayCore::finishDegraded(ThreadStateTable &threads)
 {
     ReplayResult result;
     result.degradedMode = true;
     DegradedReplay &d = result.degraded;
 
     for (const auto &[tid, tlogs] : logs.threads) {
-        const RThread &t = threads.at(tid);
-        d.chunksReplayed += t.replayedChunks;
+        const RThread &t = threads.slots.at(tid);
+        // Per-thread program-order facts only: the summary must be
+        // identical for the sequential oracle and any worker count.
+        d.chunksReplayed += t.chunkSeq;
         d.chunksSkipped += t.skippedChunks;
         d.gapChunks += t.gapsSeen;
         d.divergences += t.divergences;
@@ -495,7 +509,7 @@ ReplayCore::finishDegraded()
     // the sequential oracle and any parallel job count.
     const RThread *first = nullptr;
     Tid firstTid = 0;
-    for (const auto &[tid, t] : threads) {
+    for (const auto &[tid, t] : threads.slots) {
         if (!t.divergences)
             continue;
         if (!first || t.firstDivTs < first->firstDivTs ||
@@ -510,24 +524,24 @@ ReplayCore::finishDegraded()
             static_cast<unsigned long long>(first->firstDivTs),
             first->firstDivMsg.c_str());
 
-    result.digests.memory = mem.digest(logs.userTop);
+    result.digests.memory = img.digest(logs.userTop);
     OutputMap outs;
-    for (const auto &[tid, t] : threads)
+    for (const auto &[tid, t] : threads.slots)
         if (!t.outputBytes.empty())
             outs.emplace(tid, t.outputBytes);
     result.digests.output = outputDigest(outs);
-    for (const auto &[tid, t] : threads)
+    for (const auto &[tid, t] : threads.slots)
         if (t.exited)
             result.digests.exits.emplace(tid, t.exitInfo);
-    collectCounters(result);
     result.ok = true;
     return result;
 }
 
 Replayer::Replayer(const Program &prog_, const SphereLogs &logs_,
                    const ReplayCostModel &costs_, ReplayMode mode_)
-    : logs(logs_), core(prog_, logs_, costs_, mode_)
+    : logs(logs_), core(prog_, logs_, costs_, mode_), table(logs_)
 {
+    wc.threads = &table;
 }
 
 ReplayResult
@@ -535,15 +549,21 @@ Replayer::run()
 {
     try {
         ProfileScope prof(ProfilePhase::ReplayExec);
+        auto t0 = std::chrono::steady_clock::now();
         std::vector<ChunkRecord> schedule = buildSchedule(logs);
         for (const ChunkRecord &rec : schedule)
-            core.replayChunk(rec);
-        ReplayResult result = core.finish();
+            core.replayChunk(wc, rec);
+        ReplayResult result = core.finish(table);
+        wc.accumulateInto(result);
+        result.execMicros =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         prof.cycles(result.modeledCycles);
         return result;
     } catch (const ReplayCore::Divergence &d) {
         ReplayResult result;
-        core.collectCounters(result);
+        wc.accumulateInto(result);
         result.ok = false;
         result.divergence = d.msg;
         return result;

@@ -12,14 +12,33 @@
  * drained stores into the next chunk's write filter. Kernel input
  * copies are deferred to the same anchor.
  *
- * The per-chunk execution machinery lives in ReplayCore, shared by two
- * drivers: the sequential Replayer (the oracle -- walks the total
- * (timestamp, tid) order) and the ParallelReplayer
- * (parallel_replayer.hh -- walks the chunk-dependence DAG with a
- * worker pool). ReplayCore::replayChunk only touches the chunk's own
- * per-thread state plus shared guest memory, so chunks of different
- * threads may execute concurrently as long as the caller orders
- * conflicting chunks (which the DAG guarantees).
+ * Ownership model (the concurrent-replay contract):
+ *
+ *  - ReplayCore holds only *immutable* shared inputs -- the Program,
+ *    the SphereLogs, the cost model and the replay mode -- plus the
+ *    CommittedImage: the committed guest-memory image all chunks read
+ *    and write, with an optional per-line commit-sequence table the
+ *    parallel driver arms to verify its fence protocol.
+ *
+ *  - All mutable per-chunk execution state (register files, replay
+ *    store queues, pending input cursors and deferred copies) lives in
+ *    per-guest-thread RThread slots inside a ThreadStateTable the
+ *    *driver* owns. Slots are pre-created before replay starts and
+ *    never added or removed afterwards, and a slot is only ever
+ *    touched by the worker currently executing a chunk of that guest
+ *    thread -- program-order edges in the chunk graph make that
+ *    exclusive borrow race-free, with the scheduler's acquire/release
+ *    on the edge carrying the handoff between workers.
+ *
+ *  - Everything a worker accumulates across chunks (replayed counts,
+ *    modeled cycles, caught divergences, the analysis trace sink)
+ *    lives in its private WorkerContext and is merged at join, so the
+ *    execution hot path needs no shared counters at all.
+ *
+ * Two drivers share the core: the sequential Replayer (the oracle --
+ * walks the total (timestamp, tid) order with a single WorkerContext)
+ * and the ParallelReplayer (parallel_replayer.hh -- real concurrent
+ * workers over the chunk-dependence DAG).
  *
  * Replay is paranoid: any mismatch between the log and the re-executed
  * instruction stream (wrong record kind, syscall number, mid-chunk
@@ -41,6 +60,7 @@
 #include "cpu/thread_context.hh"
 #include "isa/assembler.hh"
 #include "mem/memory.hh"
+#include "replay/ready_queue.hh"
 #include "sim/types.hh"
 
 namespace qr
@@ -73,7 +93,8 @@ enum class ReplayMode
  * Summary of a degraded replay. Deterministic for a given sphere:
  * every field derives from per-thread program-order events, so the
  * sequential oracle and the parallel engine at any job count report
- * identical summaries (pinned by tests/test_fault.cc).
+ * identical summaries (pinned by tests/test_fault.cc and
+ * tests/test_concurrent_replay.cc).
  */
 struct DegradedReplay
 {
@@ -102,6 +123,9 @@ struct ReplayResult
     /** Modeled sequential replay time (for the replay-speed table). */
     Tick modeledCycles = 0;
 
+    /** Measured wall-clock of the execution phase, microseconds. */
+    double execMicros = 0;
+
     bool degradedMode = false; //!< run under ReplayMode::Degraded
     DegradedReplay degraded;   //!< valid when degradedMode
 };
@@ -123,17 +147,43 @@ struct ChunkTrace
 };
 
 /**
+ * The committed guest-memory image: the only mutable state ReplayCore
+ * itself holds. Word loads/stores are plain (two chunks touching the
+ * same word are always ordered by a DAG edge, and the scheduler's
+ * acquire/release on that edge carries the data); the embedded
+ * LineVersionTable is the *verification* layer the parallel driver
+ * arms to assert, at every chunk claim, that each line it will read
+ * has reached the commit version its predecessors must have published.
+ */
+class CommittedImage
+{
+  public:
+    explicit CommittedImage(std::uint64_t bytes) : mem(bytes) {}
+
+    Word read(Addr addr) const { return mem.read(addr); }
+    void write(Addr addr, Word value) { mem.write(addr, value); }
+    std::uint64_t digest(Addr limit) const { return mem.digest(limit); }
+
+    /** Commit-fence versions, armed by the parallel driver only. */
+    LineVersionTable versions;
+
+  private:
+    Memory mem;
+};
+
+/**
  * The shared per-chunk replay engine. Drivers feed it chunk records;
- * it executes them against guest memory and per-thread contexts, and
- * throws Divergence at the first log/execution mismatch.
+ * it executes them against the committed image and the driver-owned
+ * thread table, and throws Divergence at the first log/execution
+ * mismatch.
  *
  * Thread-safety contract for parallel drivers: replayChunk(a) and
  * replayChunk(b) may run concurrently iff a and b belong to different
- * threads and are not ordered by a chunk-graph dependence (no shared
- * word is accessed by both with at least one write). All per-thread
- * state is pre-created at construction, so the thread map is never
- * mutated during replay. finish() must be called after all chunks
- * completed (single-threaded).
+ * guest threads and are not ordered by a chunk-graph dependence (no
+ * shared word is accessed by both with at least one write). All
+ * per-thread state is pre-created at table construction, so no map is
+ * ever mutated during replay. finish() must be called after all
+ * chunks completed (single-threaded).
  */
 class ReplayCore
 {
@@ -144,33 +194,11 @@ class ReplayCore
         std::string msg;
     };
 
-    ReplayCore(const Program &prog, const SphereLogs &logs,
-               const ReplayCostModel &costs,
-               ReplayMode mode = ReplayMode::Strict);
-
     /**
-     * Replay one chunk. With a non-null @p trace, records the chunk's
-     * shared-memory access sets and modeled cost into it (analysis
-     * mode; sequential drivers only). In degraded mode this never
-     * throws: gaps and divergences poison the chunk's thread instead
-     * (a diverged chunk keeps its partial trace, so graph builders see
-     * the writes that did land).
+     * Mutable replay state of one guest thread. Exclusively borrowed
+     * by whichever worker is executing a chunk of this thread; the
+     * chunk graph's program-order edges serialize those borrows.
      */
-    void replayChunk(const ChunkRecord &rec, ChunkTrace *trace = nullptr);
-
-    /**
-     * End-of-replay checks (leftover records, non-exited threads) and
-     * digest computation. Returns the completed result (ok = true);
-     * throws Divergence if any log residue remains. In degraded mode
-     * it never throws: residue marks the thread incomplete in the
-     * DegradedReplay summary instead.
-     */
-    ReplayResult finish();
-
-    /** Sum the per-thread counters into @p r (used on divergence). */
-    void collectCounters(ReplayResult &r) const;
-
-  private:
     struct RThread
     {
         ThreadContext ctx;
@@ -191,58 +219,127 @@ class ReplayCore
         std::vector<std::uint8_t> outputBytes;
         ThreadExitInfo exitInfo;
 
-        // Per-thread counters: summed by finish()/collectCounters().
-        // Keeping them thread-local (instead of on a shared result)
-        // lets concurrent workers run without atomics.
-        std::uint64_t replayedChunks = 0;
-        std::uint64_t replayedInstrs = 0;
-        std::uint64_t injectedRecords = 0;
-        Tick modeledCycles = 0;
+        /** Chunks of this thread replayed so far: the program-order
+         *  ordinal signal records anchor to (afterChunkSeq). */
+        std::uint64_t chunkSeq = 0;
+        /** Input records this thread consumed (event-trace ordinal). */
+        std::uint64_t injectedSeq = 0;
 
         // Degraded-mode state: a poisoned thread executes no further
-        // chunks. Like the counters above, thread-local so concurrent
-        // workers need no atomics (a thread's chunks are totally
-        // ordered by the graph's program-order edges).
+        // chunks. Program-order facts, so the degraded summary is
+        // identical at any worker count without atomics.
         bool poisoned = false;
         std::uint64_t skippedChunks = 0;
         std::uint64_t gapsSeen = 0;
         std::uint64_t divergences = 0;
         Timestamp firstDivTs = 0;
         std::string firstDivMsg;
-
-        /** Active trace sink while this thread replays a chunk. */
-        ChunkTrace *trace = nullptr;
     };
 
+    /**
+     * The driver-owned table of per-guest-thread replay state: one
+     * pre-created slot per logged thread, structurally frozen for the
+     * whole replay (concurrent workers index it without locks).
+     */
+    class ThreadStateTable
+    {
+      public:
+        explicit ThreadStateTable(const SphereLogs &logs);
+
+        /** Slot for @p tid, or nullptr if the sphere never logged it. */
+        RThread *find(Tid tid);
+
+        std::map<Tid, RThread> slots;
+    };
+
+    /**
+     * One worker's private execution state: the borrowed thread table,
+     * the analysis trace sink, and the counters it accumulates across
+     * the chunks it executes. Workers merge into the ReplayResult at
+     * join (accumulateInto), so nothing here is shared while running.
+     */
+    struct WorkerContext
+    {
+        ThreadStateTable *threads = nullptr;
+
+        std::uint64_t replayedChunks = 0;
+        std::uint64_t replayedInstrs = 0;
+        std::uint64_t injectedRecords = 0;
+        Tick modeledCycles = 0;
+
+        /** Active trace sink while replaying a chunk (analysis mode;
+         *  sequential drivers only). */
+        ChunkTrace *trace = nullptr;
+
+        /** Add this worker's counters into @p r. */
+        void accumulateInto(ReplayResult &r) const;
+    };
+
+    ReplayCore(const Program &prog, const SphereLogs &logs,
+               const ReplayCostModel &costs,
+               ReplayMode mode = ReplayMode::Strict);
+
+    /**
+     * Replay one chunk on behalf of @p wc (whose thread table supplies
+     * the guest thread's slot). With a non-null @p trace, records the
+     * chunk's shared-memory access sets and modeled cost into it
+     * (analysis mode; sequential drivers only). In degraded mode this
+     * never throws: gaps and divergences poison the chunk's thread
+     * instead (a diverged chunk keeps its partial trace, so graph
+     * builders see the writes that did land).
+     */
+    void replayChunk(WorkerContext &wc, const ChunkRecord &rec,
+                     ChunkTrace *trace = nullptr);
+
+    /**
+     * End-of-replay checks (leftover records, non-exited threads) and
+     * digest computation over @p threads. Returns the completed result
+     * (ok = true) with zeroed counters -- drivers accumulate their
+     * WorkerContexts afterwards; throws Divergence if any log residue
+     * remains. In degraded mode it never throws: residue marks the
+     * thread incomplete in the DegradedReplay summary instead.
+     */
+    ReplayResult finish(ThreadStateTable &threads);
+
+    /** The committed memory image (parallel drivers arm versioning). */
+    CommittedImage &image() { return img; }
+
+  private:
     [[noreturn]] void diverge(const char *fmt, ...)
         __attribute__((format(printf, 2, 3)));
 
-    RThread &threadFor(const ChunkRecord &rec);
-    void replayChunkStrict(const ChunkRecord &rec, ChunkTrace *trace);
-    ReplayResult finishDegraded();
-    const InputRecord &nextInput(RThread &t, const char *what);
-    void startThread(Tid tid, RThread &t);
-    void maybeInjectSignal(Tid tid, RThread &t);
-    void applyPending(RThread &t);
-    void execInstr(Tid tid, RThread &t, bool is_last, std::uint32_t idx,
-                   const ChunkRecord &rec);
-    Word loadWord(RThread &t, Addr addr);
-    void handleSyscall(Tid tid, RThread &t, bool is_last);
+    RThread &threadFor(WorkerContext &wc, const ChunkRecord &rec);
+    void replayChunkStrict(WorkerContext &wc, const ChunkRecord &rec,
+                           ChunkTrace *trace);
+    ReplayResult finishDegraded(ThreadStateTable &threads);
+    const InputRecord &nextInput(WorkerContext &wc, RThread &t,
+                                 const char *what);
+    void startThread(WorkerContext &wc, Tid tid, RThread &t);
+    void maybeInjectSignal(WorkerContext &wc, Tid tid, RThread &t);
+    void applyPending(WorkerContext &wc, RThread &t);
+    void execInstr(WorkerContext &wc, Tid tid, RThread &t, bool is_last,
+                   std::uint32_t idx, const ChunkRecord &rec);
+    Word loadWord(WorkerContext &wc, RThread &t, Addr addr);
+    void handleSyscall(WorkerContext &wc, Tid tid, RThread &t,
+                       bool is_last);
 
     /** Shared-memory access points; route through these so analysis
      *  replays can observe every globally visible read and write. */
-    Word memRead(RThread &t, Addr addr);
-    void memWrite(RThread &t, Addr addr, Word value);
+    Word memRead(WorkerContext &wc, Addr addr);
+    void memWrite(WorkerContext &wc, Addr addr, Word value);
 
     /** Drain the store queue down to @p keep entries. */
-    void drainStores(RThread &t, std::size_t keep = 0);
+    void drainStores(WorkerContext &wc, RThread &t,
+                     std::size_t keep = 0);
 
+    // Immutable shared inputs -- safe to read from any worker.
     const Program &prog;
     const SphereLogs &logs;
-    ReplayCostModel costs;
-    ReplayMode mode;
-    Memory mem;
-    std::map<Tid, RThread> threads;
+    const ReplayCostModel costs;
+    const ReplayMode mode;
+
+    // The committed image: word accesses ordered by DAG edges.
+    CommittedImage img;
 };
 
 /** Replays one recorded sphere sequentially (the oracle). */
@@ -259,6 +356,8 @@ class Replayer
   private:
     const SphereLogs &logs;
     ReplayCore core;
+    ReplayCore::ThreadStateTable table;
+    ReplayCore::WorkerContext wc;
 };
 
 } // namespace qr

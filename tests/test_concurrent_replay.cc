@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Schedule-perturbation stress tests of the concurrent parallel
+ * replayer. QR_REPLAY_STRESS=<seed> makes every worker inject seeded
+ * random yields and microsecond sleeps at the chunk claim and commit
+ * points, driving the pool through interleavings the natural timing
+ * would never produce. Whatever the interleaving, the architectural
+ * outcome must be bit-identical to the sequential oracle: digests,
+ * injected-input counts, replayed counts, and -- for gap-poisoned
+ * spheres -- the full DegradedReplay summary. 50 perturbed runs sweep
+ * jobs 2/4/8, on clean recordings, on fault-injected gap-heavy
+ * recordings, and on salvaged corpus spheres.
+ *
+ * The commit-fence instrumentation (per-line version checks) must also
+ * be live in every run: versionSlots/fenceChecks > 0 on conflicting
+ * workloads proves the protocol is being asserted, not just assumed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "capo/log_store.hh"
+#include "core/session.hh"
+#include "workloads/micro.hh"
+
+namespace
+{
+
+using namespace qr;
+
+/** Scoped QR_REPLAY_STRESS: armed for one replay, then cleared so
+ *  later tests (and other suites in this binary) run unperturbed. */
+class StressEnv
+{
+  public:
+    explicit StressEnv(std::uint64_t seed)
+    {
+        setenv("QR_REPLAY_STRESS", std::to_string(seed).c_str(), 1);
+    }
+    ~StressEnv() { unsetenv("QR_REPLAY_STRESS"); }
+};
+
+RecorderConfig
+gapRecorder(std::uint64_t seed)
+{
+    RecorderConfig rcfg;
+    rcfg.faults.spec = "cbuf-drop@0.9";
+    rcfg.faults.seed = seed;
+    rcfg.cbuf.entries = 64;
+    return rcfg;
+}
+
+/** One perturbed parallel run vs. the oracle, all observables. */
+void
+expectStressedIdentical(const Program &prog, const SphereLogs &logs,
+                        const ReplayResult &seq, int jobs,
+                        std::uint64_t stressSeed, ReplayMode mode)
+{
+    StressEnv env(stressSeed);
+    ParallelReplayResult par =
+        replaySphereParallel(prog, logs, jobs, mode);
+    ASSERT_EQ(par.replay.ok, seq.ok)
+        << "jobs=" << jobs << " stress=" << stressSeed << ": "
+        << par.replay.divergence;
+    EXPECT_EQ(par.replay.digests, seq.digests)
+        << "jobs=" << jobs << " stress=" << stressSeed;
+    EXPECT_EQ(par.replay.injectedRecords, seq.injectedRecords)
+        << "jobs=" << jobs << " stress=" << stressSeed;
+    EXPECT_EQ(par.replay.replayedChunks, seq.replayedChunks)
+        << "jobs=" << jobs << " stress=" << stressSeed;
+    EXPECT_EQ(par.replay.replayedInstrs, seq.replayedInstrs)
+        << "jobs=" << jobs << " stress=" << stressSeed;
+    EXPECT_EQ(par.replay.modeledCycles, seq.modeledCycles)
+        << "jobs=" << jobs << " stress=" << stressSeed;
+    if (mode == ReplayMode::Degraded) {
+        EXPECT_EQ(par.replay.degradedMode, seq.degradedMode);
+        EXPECT_EQ(par.replay.degraded.summary(),
+                  seq.degraded.summary())
+            << "jobs=" << jobs << " stress=" << stressSeed;
+    }
+}
+
+TEST(ConcurrentReplay, FiftyPerturbedRunsMatchTheOracle)
+{
+    Workload w = makeRacyCounter(4, 300, false);
+    RecordResult rec = recordProgram(w.program);
+    ReplayResult seq = replaySphere(w.program, rec.logs);
+    ASSERT_TRUE(seq.ok) << seq.divergence;
+
+    const int jobSweep[] = {2, 4, 8};
+    for (std::uint64_t i = 0; i < 50; ++i)
+        expectStressedIdentical(w.program, rec.logs, seq,
+                                jobSweep[i % 3], i + 1,
+                                ReplayMode::Strict);
+}
+
+TEST(ConcurrentReplay, FiftyPerturbedDegradedRunsKeepTheSummary)
+{
+    // A gap-heavy recording: tiny CBUF, most drain signals lost. The
+    // degraded summary (replayed/skipped/gaps/incomplete and the
+    // earliest divergence) is derived purely from per-thread
+    // program-order facts, so no interleaving may change a digit.
+    Workload w = makeRacyCounter(4, 1000, false);
+    RecordResult rec = recordProgram(w.program, {}, gapRecorder(7));
+    ASSERT_GT(rec.metrics.gapChunks, 0u)
+        << "fault plan produced no gaps; stress test would be vacuous";
+
+    ReplayResult seq =
+        replaySphere(w.program, rec.logs, ReplayMode::Degraded);
+    ASSERT_TRUE(seq.ok) << seq.divergence;
+    ASSERT_TRUE(seq.degradedMode);
+
+    const int jobSweep[] = {2, 4, 8};
+    for (std::uint64_t i = 0; i < 50; ++i)
+        expectStressedIdentical(w.program, rec.logs, seq,
+                                jobSweep[i % 3], 1000 + i,
+                                ReplayMode::Degraded);
+}
+
+TEST(ConcurrentReplay, CommitFenceProtocolIsExercised)
+{
+    // Racy counters conflict on the shared word constantly, so the
+    // fence plan must cover lines and the claim-time checks must run.
+    Workload w = makeRacyCounter(4, 300, false);
+    RecordResult rec = recordProgram(w.program);
+    ParallelReplayResult par =
+        replaySphereParallel(w.program, rec.logs, 4);
+    ASSERT_TRUE(par.replay.ok) << par.replay.divergence;
+    EXPECT_GT(par.versionSlots, 0u);
+    EXPECT_GT(par.fenceChecks, 0u);
+}
+
+TEST(ConcurrentReplay, StressKnobDoesNotChangeFenceCoverage)
+{
+    Workload w = makeFalseSharing(4, 200);
+    RecordResult rec = recordProgram(w.program);
+    ParallelReplayResult calm =
+        replaySphereParallel(w.program, rec.logs, 4);
+    ASSERT_TRUE(calm.replay.ok);
+    StressEnv env(99);
+    ParallelReplayResult stressed =
+        replaySphereParallel(w.program, rec.logs, 4);
+    ASSERT_TRUE(stressed.replay.ok);
+    // The fence plan is schedule-derived, not timing-derived.
+    EXPECT_EQ(stressed.versionSlots, calm.versionSlots);
+    EXPECT_EQ(stressed.fenceChecks, calm.fenceChecks);
+    EXPECT_EQ(stressed.replay.digests, calm.replay.digests);
+}
+
+TEST(ConcurrentReplay, MeasuredWallClockIsReported)
+{
+    Workload w = makeRacyCounter(4, 300, false);
+    RecordResult rec = recordProgram(w.program);
+    ReplayComparison cmp = compareReplay(w.program, rec.logs, 4);
+    ASSERT_TRUE(cmp.identical) << cmp.mismatch;
+    EXPECT_GT(cmp.sequential.execMicros, 0.0);
+    EXPECT_GT(cmp.parallel.speed.execMicros, 0.0);
+    EXPECT_GT(cmp.parallel.speed.seqExecMicros, 0.0);
+    // Measured speedup is a wall-clock ratio: positive, finite, and
+    // honest -- no assertion that it exceeds 1, which only real spare
+    // cores can deliver. The modeled number is a separate claim.
+    EXPECT_GT(cmp.parallel.speed.measuredSpeedup(), 0.0);
+    EXPECT_GT(cmp.parallel.speed.modeledSpeedup(), 0.0);
+}
+
+#ifdef QR_CORPUS_DIR
+
+std::string
+corpusPath(const char *name)
+{
+    return std::string(QR_CORPUS_DIR) + "/" + name;
+}
+
+TEST(ConcurrentReplay, SalvagedCorpusSpheresStressDegraded)
+{
+    // torn_tail.qrs: the checked-in crash-truncated sphere (recorded
+    // from makeRacyCounter(4, 1000, false)). Salvage gives a prefix
+    // whose degraded replay poisons the truncated threads; every
+    // perturbed parallel run must report the oracle's exact summary.
+    SphereRecoverResult salvage =
+        recoverSphere(corpusPath("torn_tail.qrs"));
+    ASSERT_TRUE(salvage) << salvage.error;
+    Workload w = makeRacyCounter(4, 1000, false);
+
+    ReplayResult seq =
+        replaySphere(w.program, salvage.logs, ReplayMode::Degraded);
+    ASSERT_TRUE(seq.ok) << seq.divergence;
+    ASSERT_TRUE(seq.degradedMode);
+
+    for (int jobs : {2, 4, 8})
+        for (std::uint64_t s = 1; s <= 5; ++s)
+            expectStressedIdentical(w.program, salvage.logs, seq,
+                                    jobs, 5000 + s,
+                                    ReplayMode::Degraded);
+}
+
+#endif // QR_CORPUS_DIR
+
+} // namespace

@@ -11,11 +11,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <tuple>
 
 #include "core/session.hh"
 #include "guest/runtime.hh"
 #include "replay/chunk_graph.hh"
+#include "replay/ready_queue.hh"
 #include "sim/rng.hh"
 #include "workloads/workload.hh"
 
@@ -271,6 +276,307 @@ TEST(ChunkGraphSoundness, ConflictingPairsAreOrderedByAPath)
             }
         }
     }
+}
+
+/*
+ * Scheduler-primitive properties: the concurrent replay engine's
+ * ready queue and commit-fence protocol, hammered directly with
+ * synthetic random DAGs and real worker threads. The DAGs are built
+ * exactly the way chunk graphs are (last-writer / readers-since walk
+ * over random access sets), so every pair of nodes sharing a line
+ * with at least one write is path-ordered -- the precondition the
+ * replay engine guarantees. The properties under test: any worker
+ * interleaving is a topological execution that (a) commits every node
+ * exactly once and (b) never lets a node observe a predecessor's
+ * effects before that predecessor's commit fence, asserted through
+ * the same per-line sequence versions the engine uses.
+ */
+
+/** A synthetic chunk DAG with its commit-fence plan. */
+struct SynthDag
+{
+    struct Node
+    {
+        std::vector<std::uint32_t> succs;
+        std::uint32_t preds = 0;
+    };
+    std::vector<Node> nodes;
+    /** Per node: (line, minimum version) checked at claim. */
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        expect;
+    /** Per node: (line, version) published at commit. */
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        publish;
+    std::size_t lines = 0;
+};
+
+SynthDag
+randomDag(std::uint64_t seed, std::size_t n, std::uint32_t linePool)
+{
+    Rng rng(mix64(seed + 1));
+    SynthDag d;
+    d.nodes.resize(n);
+    d.expect.resize(n);
+    d.publish.resize(n);
+    d.lines = linePool;
+
+    std::vector<std::int64_t> lastWriter(linePool, -1);
+    std::vector<std::vector<std::uint32_t>> readersSince(linePool);
+    std::vector<std::uint32_t> version(linePool, 0);
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::vector<std::uint32_t> succsOf; // predecessors, deduped below
+        auto addEdge = [&](std::uint32_t from) {
+            if (from != i)
+                d.nodes[from].succs.push_back(i);
+        };
+        std::uint32_t nReads = static_cast<std::uint32_t>(rng.below(3));
+        std::uint32_t nWrites = static_cast<std::uint32_t>(rng.below(3));
+        // Claim-time expectations only cover *prior* nodes' versions:
+        // a node never waits on a version it publishes itself (the
+        // engine's FencePlan computes read expectations the same way,
+        // before the node's own writes bump the counters).
+        for (std::uint32_t r = 0; r < nReads; ++r) {
+            std::uint32_t line =
+                static_cast<std::uint32_t>(rng.below(linePool));
+            if (lastWriter[line] >= 0 && lastWriter[line] != i) {
+                addEdge(static_cast<std::uint32_t>(lastWriter[line]));
+                d.expect[i].emplace_back(line, version[line]);
+            }
+            readersSince[line].push_back(i);
+        }
+        for (std::uint32_t w = 0; w < nWrites; ++w) {
+            std::uint32_t line =
+                static_cast<std::uint32_t>(rng.below(linePool));
+            if (lastWriter[line] >= 0 && lastWriter[line] != i) {
+                addEdge(static_cast<std::uint32_t>(lastWriter[line]));
+                d.expect[i].emplace_back(line, version[line]);
+            }
+            for (std::uint32_t r : readersSince[line])
+                addEdge(r);
+            readersSince[line].clear();
+            lastWriter[line] = i;
+            version[line]++;
+            d.publish[i].emplace_back(line, version[line]);
+        }
+        (void)succsOf;
+    }
+    for (auto &node : d.nodes) {
+        std::sort(node.succs.begin(), node.succs.end());
+        node.succs.erase(
+            std::unique(node.succs.begin(), node.succs.end()),
+            node.succs.end());
+    }
+    for (const auto &node : d.nodes)
+        for (std::uint32_t s : node.succs)
+            d.nodes[s].preds++;
+    // Dedup expectations too (a line can be read and written by the
+    // same node); keep the max version per line.
+    for (auto &ex : d.expect) {
+        std::sort(ex.begin(), ex.end());
+        ex.erase(std::unique(ex.begin(), ex.end()), ex.end());
+    }
+    return d;
+}
+
+/**
+ * Run @p workers real threads over @p d through the engine's own
+ * primitives (ReadyQueue + LineVersionTable + atomic pred counters)
+ * and count protocol violations. "Effects" are modeled as a plain
+ * per-line array each committer stamps with its version before the
+ * release publish -- exactly how guest memory rides the protocol.
+ */
+void
+runSynthDagPool(const SynthDag &d, int workers,
+                std::uint64_t perturbSeed)
+{
+    const std::size_t n = d.nodes.size();
+    ReadyQueue queue(std::max<std::size_t>(n, 1));
+    LineVersionTable versions;
+    versions.arm(d.lines);
+    std::vector<std::atomic<std::uint32_t>> preds(n);
+    std::vector<std::atomic<std::uint32_t>> commits(n);
+    std::vector<std::uint32_t> data(d.lines, 0); // plain: DAG-ordered
+    std::atomic<std::size_t> remaining{n};
+    std::atomic<std::uint64_t> fenceViolations{0};
+    std::atomic<std::uint64_t> staleData{0};
+    std::atomic<std::uint64_t> doubleCommits{0};
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        preds[i].store(d.nodes[i].preds, std::memory_order_relaxed);
+        commits[i].store(0, std::memory_order_relaxed);
+        if (d.nodes[i].preds == 0)
+            queue.push(i);
+    }
+    if (n == 0)
+        queue.close();
+
+    auto worker = [&](int w) {
+        Rng rng(mix64(perturbSeed ^ (0x517cc1b727220a95ull * (w + 1))));
+        std::uint32_t i;
+        while (queue.pop(i)) {
+            if (rng.below(4) == 0)
+                std::this_thread::yield();
+            else if (rng.below(8) == 0)
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    static_cast<long>(1 + rng.below(20))));
+
+            bool fenced = true;
+            for (const auto &[line, need] : d.expect[i]) {
+                if (versions.current(line) < need) {
+                    fenceViolations.fetch_add(1);
+                    fenced = false;
+                }
+            }
+            // Only touch the plain data once the version check passed:
+            // the acquire load above is what orders the access.
+            if (fenced)
+                for (const auto &[line, need] : d.expect[i])
+                    if (data[line] < need)
+                        staleData.fetch_add(1);
+
+            if (commits[i].fetch_add(1) != 0)
+                doubleCommits.fetch_add(1);
+
+            if (rng.below(4) == 0)
+                std::this_thread::yield();
+
+            for (const auto &[line, ver] : d.publish[i]) {
+                data[line] = ver;
+                versions.publish(line, ver);
+            }
+            for (std::uint32_t s : d.nodes[i].succs)
+                if (preds[s].fetch_sub(
+                        1, std::memory_order_acq_rel) == 1)
+                    queue.push(s);
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                1)
+                queue.close();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back(worker, w);
+    for (std::thread &t : pool)
+        t.join();
+
+    EXPECT_EQ(fenceViolations.load(), 0u) << "workers=" << workers;
+    EXPECT_EQ(staleData.load(), 0u) << "workers=" << workers;
+    EXPECT_EQ(doubleCommits.load(), 0u) << "workers=" << workers;
+    EXPECT_EQ(remaining.load(), 0u) << "workers=" << workers;
+    for (std::uint32_t i = 0; i < n; ++i)
+        EXPECT_EQ(commits[i].load(), 1u)
+            << "node " << i << " workers=" << workers;
+}
+
+TEST(CommitFence, RandomDagsCommitOnceAndNeverOutrunTheFence)
+{
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        SynthDag d = randomDag(seed, 120, 10);
+        for (int workers : {2, 4, 8})
+            runSynthDagPool(d, workers, seed * 131 + workers);
+    }
+}
+
+TEST(CommitFence, LinearChainSerializesCompletely)
+{
+    // Degenerate DAG: one line written by every node. The fence plan
+    // forces versions 1..n in strict order no matter the worker count.
+    const std::size_t n = 64;
+    SynthDag d;
+    d.nodes.resize(n);
+    d.expect.resize(n);
+    d.publish.resize(n);
+    d.lines = 1;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (i > 0) {
+            d.nodes[i - 1].succs.push_back(i);
+            d.nodes[i].preds = 1;
+            d.expect[i].emplace_back(0u, i);
+        }
+        d.publish[i].emplace_back(0u, i + 1);
+    }
+    for (int workers : {2, 8})
+        runSynthDagPool(d, workers, 42 + workers);
+}
+
+TEST(ReadyQueue, ConcurrentPushPopDeliversEachValueExactlyOnce)
+{
+    constexpr int producers = 4, consumers = 4, perProducer = 250;
+    constexpr std::uint32_t total = producers * perProducer;
+    ReadyQueue q(total);
+    std::vector<std::atomic<std::uint32_t>> seen(total);
+    for (auto &s : seen)
+        s.store(0, std::memory_order_relaxed);
+    std::atomic<std::uint32_t> consumed{0};
+
+    std::vector<std::thread> pool;
+    for (int c = 0; c < consumers; ++c)
+        pool.emplace_back([&] {
+            std::uint32_t v;
+            while (q.pop(v)) {
+                seen[v].fetch_add(1);
+                consumed.fetch_add(1);
+            }
+        });
+    for (int p = 0; p < producers; ++p)
+        pool.emplace_back([&, p] {
+            Rng rng(mix64(p + 1));
+            for (std::uint32_t k = 0; k < perProducer; ++k) {
+                q.push(static_cast<std::uint32_t>(p) * perProducer + k);
+                if (rng.below(8) == 0)
+                    std::this_thread::yield();
+            }
+        });
+    // Producers are threads [consumers, consumers+producers).
+    for (int p = 0; p < producers; ++p)
+        pool[static_cast<std::size_t>(consumers + p)].join();
+    while (consumed.load() < total)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    q.close();
+    for (int c = 0; c < consumers; ++c)
+        pool[static_cast<std::size_t>(c)].join();
+
+    for (std::uint32_t v = 0; v < total; ++v)
+        EXPECT_EQ(seen[v].load(), 1u) << "value " << v;
+}
+
+TEST(ReadyQueue, CloseWakesParkedConsumers)
+{
+    ReadyQueue q(8);
+    std::atomic<int> wokeEmpty{0};
+    std::vector<std::thread> pool;
+    for (int c = 0; c < 3; ++c)
+        pool.emplace_back([&] {
+            std::uint32_t v;
+            if (!q.pop(v)) // parks: the queue is empty and open
+                wokeEmpty.fetch_add(1);
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    for (std::thread &t : pool)
+        t.join();
+    EXPECT_EQ(wokeEmpty.load(), 3);
+    // Closed queues fail fast even with items still queued: an
+    // aborting pool must not execute stragglers.
+    EXPECT_TRUE(q.closed());
+    std::uint32_t v;
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(ReadyQueue, TryPopIsNonBlockingAndOrdered)
+{
+    ReadyQueue q(4);
+    std::uint32_t v = 99;
+    EXPECT_FALSE(q.tryPop(v));
+    q.push(7);
+    q.push(8);
+    ASSERT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 7u);
+    ASSERT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 8u);
+    EXPECT_FALSE(q.tryPop(v));
 }
 
 TEST(RandomProgramsLong, ManySeedsDefaultConfig)

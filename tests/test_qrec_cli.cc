@@ -130,6 +130,67 @@ TEST(QrecCli, ParallelReplayReportsSpeed)
     std::remove(file);
 }
 
+TEST(QrecCli, ParallelReplayReportsMeasuredWallClock)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_wall_test.qrec";
+    ASSERT_EQ(runQrec(std::string("record counter-racy -t 4 -s 2 -o ") +
+                      file),
+              0);
+    std::string out;
+    ASSERT_EQ(runQrecCapture(std::string("replay -i ") + file +
+                                 " --replay-jobs 4",
+                             out),
+              0)
+        << out;
+    // With a sequential oracle run in the same invocation, the speed
+    // line reports real wall clock next to the model: the sequential
+    // baseline and the measured ratio. (No assertion on the ratio's
+    // magnitude -- a single-core host cannot beat 1.0.)
+    EXPECT_NE(out.find("wall="), std::string::npos) << out;
+    EXPECT_NE(out.find("seq-wall="), std::string::npos) << out;
+    EXPECT_NE(out.find("measured-speedup="), std::string::npos) << out;
+    EXPECT_NE(out.find("modeled-speedup="), std::string::npos) << out;
+    std::remove(file);
+}
+
+TEST(QrecCli, StatsReplayJobsExportsBothSpeedups)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_stats_replay_test.qrec";
+    ASSERT_EQ(runQrec(std::string("record counter-racy -t 4 -s 1 -o ") +
+                      file),
+              0);
+    std::string json;
+    ASSERT_EQ(runQrecCapture(std::string("stats -i ") + file +
+                                 " --replay-jobs 4",
+                             json),
+              0)
+        << json;
+    EXPECT_NE(json.find("\"replay.jobs\": 4"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"replay.modeled_speedup\":"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"replay.measured_speedup\":"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"replay.seq_exec_micros\":"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"replay.exec_micros\":"), std::string::npos);
+    // Without the flag the gauges must not appear: replaying is an
+    // opt-in cost for a stats dump.
+    std::string plain;
+    ASSERT_EQ(runQrecCapture(std::string("stats -i ") + file, plain),
+              0);
+    EXPECT_EQ(plain.find("\"replay.measured_speedup\":"),
+              std::string::npos)
+        << plain;
+    std::remove(file);
+}
+
 TEST(QrecCli, RejectsBadReplayJobs)
 {
     if (!qrecAvailable())

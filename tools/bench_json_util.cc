@@ -7,10 +7,17 @@
  *
  * Used by tools/run_bench.sh to assemble BENCH_RECORD.json and by the
  * CTest smoke entry to prove that bench binaries emit parseable JSON.
+ *
+ * Beyond the generic schema check, validate enforces the replay-speed
+ * pairing rule: a workload reporting either replay.modeled_speedup or
+ * replay.measured_speedup must report both. The two are different
+ * claims (DAG schedule model vs. wall clock) and a document carrying
+ * only one invites misreading the modeled number as measured.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,6 +25,27 @@
 
 namespace
 {
+
+/** Empty string when the pairing rule holds, else the offender. */
+std::string
+checkSpeedupPairing(const qr::BenchDoc &doc)
+{
+    std::map<std::string, unsigned> seen; // workload -> bit 0/1 flags
+    for (const qr::BenchResult &r : doc.results) {
+        if (r.metric == "replay.modeled_speedup")
+            seen[r.workload] |= 1;
+        else if (r.metric == "replay.measured_speedup")
+            seen[r.workload] |= 2;
+    }
+    for (const auto &[workload, flags] : seen)
+        if (flags != 3)
+            return workload + ": has replay." +
+                   (flags == 1 ? "modeled" : "measured") +
+                   "_speedup but not its " +
+                   (flags == 1 ? "measured" : "modeled") +
+                   " counterpart";
+    return "";
+}
 
 bool
 readFile(const char *path, std::string &out)
@@ -66,6 +94,12 @@ main(int argc, char **argv)
             if (!parseBenchJson(text, doc, err)) {
                 std::fprintf(stderr, "%s: invalid: %s\n", argv[i],
                              err.c_str());
+                return 1;
+            }
+            std::string pairErr = checkSpeedupPairing(doc);
+            if (!pairErr.empty()) {
+                std::fprintf(stderr, "%s: invalid: %s\n", argv[i],
+                             pairErr.c_str());
                 return 1;
             }
             std::printf("%s: ok (bench %s, %zu results)\n", argv[i],

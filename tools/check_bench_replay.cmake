@@ -1,0 +1,92 @@
+# Validates a BENCH_E9/BENCH_REPLAY bench-JSON document: it must parse,
+# declare schema 2 (stats attached), carry at least one result row, and
+# pair every workload's replay.modeled_speedup with a
+# replay.measured_speedup row (and vice versa) -- the two are distinct
+# claims and publishing one without the other is a harness bug. Values
+# must be non-negative numbers; modeled speedups are >= 1 by
+# construction (a DAG schedule never loses to its own critical path).
+# Run as: cmake -DJSON=<file> -P check_bench_replay.cmake
+
+if(NOT DEFINED JSON)
+    message(FATAL_ERROR "pass -DJSON=<bench json file>")
+endif()
+file(READ "${JSON}" text)
+
+if(CMAKE_VERSION VERSION_LESS 3.19)
+    # No string(JSON) parser available: settle for shape checks.
+    foreach(needle "\"schema\": 2" "replay.modeled_speedup"
+            "replay.measured_speedup" "\"stats\"")
+        string(FIND "${text}" "${needle}" at)
+        if(at EQUAL -1)
+            message(FATAL_ERROR "${JSON}: missing ${needle}")
+        endif()
+    endforeach()
+    return()
+endif()
+
+string(JSON schema ERROR_VARIABLE err GET "${text}" schema)
+if(err)
+    message(FATAL_ERROR "${JSON}: not parseable bench JSON: ${err}")
+endif()
+if(NOT schema EQUAL 2)
+    message(FATAL_ERROR "${JSON}: schema is ${schema}, expected 2")
+endif()
+
+string(JSON kind ERROR_VARIABLE err TYPE "${text}" stats)
+if(err OR NOT kind STREQUAL "OBJECT")
+    message(FATAL_ERROR "${JSON}: schema 2 requires a stats object")
+endif()
+
+string(JSON n ERROR_VARIABLE err LENGTH "${text}" results)
+if(err OR n LESS 1)
+    message(FATAL_ERROR "${JSON}: no result rows")
+endif()
+
+set(modeled "")
+set(measured "")
+math(EXPR last "${n} - 1")
+foreach(i RANGE ${last})
+    string(JSON workload GET "${text}" results ${i} workload)
+    string(JSON metric GET "${text}" results ${i} metric)
+    string(JSON value ERROR_VARIABLE err GET "${text}" results ${i}
+           value)
+    if(err)
+        message(FATAL_ERROR
+                "${JSON}: row ${i} (${workload}) has no value")
+    endif()
+    if(metric STREQUAL "replay.modeled_speedup")
+        list(APPEND modeled "${workload}")
+        if(value LESS 1)
+            message(FATAL_ERROR "${JSON}: ${workload}: modeled speedup "
+                    "${value} < 1 -- schedule model is broken")
+        endif()
+    elseif(metric STREQUAL "replay.measured_speedup")
+        list(APPEND measured "${workload}")
+        if(value LESS 0)
+            message(FATAL_ERROR "${JSON}: ${workload}: negative "
+                    "measured speedup ${value}")
+        endif()
+    endif()
+endforeach()
+
+if(NOT modeled)
+    message(FATAL_ERROR "${JSON}: no replay.modeled_speedup rows")
+endif()
+foreach(w ${modeled})
+    list(FIND measured "${w}" at)
+    if(at EQUAL -1)
+        message(FATAL_ERROR "${JSON}: ${w}: has replay.modeled_speedup "
+                "but no replay.measured_speedup")
+    endif()
+endforeach()
+foreach(w ${measured})
+    list(FIND modeled "${w}" at)
+    if(at EQUAL -1)
+        message(FATAL_ERROR "${JSON}: ${w}: has replay.measured_speedup "
+                "but no replay.modeled_speedup")
+    endif()
+endforeach()
+
+list(LENGTH modeled nw)
+message(STATUS
+        "${JSON}: ${nw} workloads, modeled and measured speedups paired")

@@ -6,7 +6,10 @@
 #      includes the fault-injection, corpus, fault_smoke_* and
 #      trace_smoke_* entries),
 #   2. the AddressSanitizer/UBSan sweep    (tools/run_asan.sh),
-#   3. the ThreadSanitizer replay sweep    (tools/run_tsan.sh),
+#   3. the ThreadSanitizer gate (tools/run_tsan.sh): the full
+#      parallel-replay differential suite -- differential, stress,
+#      degraded-fault and scheduler-property tests plus an end-to-end
+#      qrec differential replay -- with any race report fatal,
 #   4. clang-tidy                          (tools/run_lint.sh),
 #   5. a fault-pipeline smoke: record under injection, salvage the
 #      torn artifact, replay it degraded with parallel jobs,

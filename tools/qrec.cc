@@ -38,10 +38,13 @@
  *       Uses the timeline embedded by `record --trace`; without one,
  *       synthesizes chunk spans from the sphere's chunk records, so
  *       any .qrec file can be visualized.
- *   qrec stats -i <file> [--prom] [-o out]
+ *   qrec stats -i <file> [--prom] [--replay-jobs N] [-o out]
  *       Export the unified stats snapshot derived from the sphere
  *       (chunk/RSW histograms, termination reasons, log sizes) as
- *       JSON, or as Prometheus text with --prom.
+ *       JSON, or as Prometheus text with --prom. With --replay-jobs,
+ *       run the differential replay and add the replay.modeled_speedup
+ *       and replay.measured_speedup gauges (modeled schedule ratio vs.
+ *       wall-clock ratio -- distinct numbers by design).
  *
  * The .qrec container wraps the sphere byte stream with the workload
  * identity and the recorded digests so a replay is self-validating;
@@ -574,6 +577,9 @@ cmdReplay(const Args &a)
         // mode too, including the degradation summary.
         ParallelReplayResult par =
             replaySphereParallel(w.program, c.logs, a.replayJobs, mode);
+        // The sequential run above is the oracle: its exec wall time
+        // completes the speed accounting (measured-speedup).
+        par.speed.seqExecMicros = rep.execMicros;
         if (!par.replay.ok) {
             std::printf("PARALLEL DIVERGED: %s\n",
                         par.replay.divergence.c_str());
@@ -719,6 +725,30 @@ cmdStats(const Args &a)
         fatal("stats needs -i <file>");
     Container c = loadContainer(a.file);
     StatsSnapshot snap = snapshotSphere(c.logs);
+    if (a.replayJobs >= 1) {
+        // Differential replay under the hood so the snapshot reports
+        // the modeled schedule number *and* the measured wall-clock
+        // ratio as distinct gauges.
+        Workload w = buildWorkload(c.workload, c.threads, c.scale);
+        ReplayMode mode =
+            a.degraded ? ReplayMode::Degraded : ReplayMode::Strict;
+        ReplayComparison cmp =
+            compareReplay(w.program, c.logs, a.replayJobs, mode);
+        if (!cmp.identical)
+            fatal("stats --replay-jobs: parallel replay mismatch (%s)",
+                  cmp.mismatch.c_str());
+        const ReplaySpeed &sp = cmp.parallel.speed;
+        snap.gauge("replay.jobs", sp.jobs,
+                   "worker threads in the parallel replay");
+        snap.gauge("replay.modeled_speedup", sp.modeledSpeedup(),
+                   "modeled sequential / parallel replay cycles");
+        snap.gauge("replay.measured_speedup", sp.measuredSpeedup(),
+                   "measured sequential / parallel exec wall-clock");
+        snap.gauge("replay.seq_exec_micros", sp.seqExecMicros,
+                   "sequential oracle exec wall-clock (us)");
+        snap.gauge("replay.exec_micros", sp.execMicros,
+                   "parallel worker-pool exec wall-clock (us)");
+    }
     std::string text =
         a.prom ? snap.prometheus() : snap.json() + "\n";
     writeTextOut(text, a.outFile);
@@ -758,7 +788,8 @@ usage()
                  "  qrec inspect -i file.qrec\n"
                  "  qrec analyze -i file.qrec [--json out.json]\n"
                  "  qrec trace -i file.qrec [-o trace.json]\n"
-                 "  qrec stats -i file.qrec [--prom] [-o out]\n"
+                 "  qrec stats -i file.qrec [--prom] "
+                 "[--replay-jobs N] [-o out]\n"
                  "  qrec disasm <workload> [-t N] [-s S]\n");
     return 2;
 }

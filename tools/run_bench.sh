@@ -7,6 +7,10 @@
 #
 # Environment knobs forwarded to the benches (see bench/common.hh):
 #   QR_BENCH_SCALE, QR_BENCH_WORKLOADS, QR_BENCH_MIN_SECS
+# Optional extra steps:
+#   QR_BENCH_REPLAY=1   emit BENCH_REPLAY.json (modeled vs measured
+#                       parallel replay speedup, schema v2)
+#   QR_BENCH_ANALYZE=1  emit ANALYZE_RECORD.json (offline race audit)
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -62,6 +66,22 @@ echo "== E3: recording overhead =="
 # qrec analyze on each sphere -- log input only, no replay -- and
 # merges the per-workload rows (races, Bloom false-conflict rate,
 # termination histogram) into ANALYZE_RECORD.json at the repo root.
+# Optional (QR_BENCH_REPLAY=1): the replay-speed experiment. Runs E9
+# (record + sequential oracle + parallel chunk-graph replay at 2/4
+# jobs over the whole suite) and publishes BENCH_REPLAY.json at the
+# repo root: schema v2, with replay.modeled_speedup (DAG schedule
+# model) and replay.measured_speedup (wall clock) as distinct rows per
+# workload plus the geomeans. The measured number only exceeds 1.0
+# when the host gives the workers real cores.
+if [ "${QR_BENCH_REPLAY:-0}" = "1" ]; then
+    echo "== REPLAY: parallel replay speed (modeled vs measured) =="
+    cmake --build "$BUILD" -j --target bench_e9_replay bench_json_util
+    "$BUILD/bench/bench_e9_replay"
+    "$BUILD/tools/bench_json_util" merge REPLAY \
+        "$ROOT/BENCH_REPLAY.json" "$OUT/BENCH_E9.json"
+    "$BUILD/tools/bench_json_util" validate "$ROOT/BENCH_REPLAY.json"
+fi
+
 if [ "${QR_BENCH_ANALYZE:-0}" = "1" ]; then
     echo "== ANALYZE: offline race + recording-precision audit =="
     cmake --build "$BUILD" -j --target qrec bench_json_util

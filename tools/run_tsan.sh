@@ -1,8 +1,11 @@
 #!/bin/sh
 # Race-check the parallel replayer: configure a ThreadSanitizer build,
-# compile, and run the replay-focused tests (the parallel differential
-# suite plus the sequential replay and property suites that drive the
-# same ReplayCore). Any reported race fails the script.
+# compile, and run the FULL parallel-replay differential suite -- the
+# parallel/sequential differential tests, the concurrent-replay stress
+# tests (seeded QR_REPLAY_STRESS schedule perturbation), the degraded
+# fault differentials, the scheduler-primitive property tests, and an
+# end-to-end qrec record -> differential replay at 4 jobs. This is a
+# hard ci.sh gate: any reported race fails the script.
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -13,13 +16,26 @@ BUILD="${1:-build-tsan}"
 cmake -B "$BUILD" -S . -DQR_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$(nproc)" \
-    --target test_parallel_replay test_replay test_property qrec
+    --target test_parallel_replay test_replay test_property \
+             test_concurrent_replay test_fault qrec
 
 # halt_on_error makes the first race fail the run instead of just
 # printing; ctest then reports it as a test failure.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
-cd "$BUILD"
-ctest --output-on-failure -R 'ParallelReplay|RandomizedDifferential'
+(
+    cd "$BUILD"
+    ctest --output-on-failure -R \
+        'ParallelReplay|ConcurrentReplay|RandomizedDifferential|DegradedReplay|ReadyQueue|CommitFence'
+)
+
+# End-to-end differential under TSan: the real CLI path (record, then
+# sequential + parallel replay with digest comparison), stressed.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$BUILD/tools/qrec" record counter-racy -t 4 -s 2 \
+    -o "$SMOKE_DIR/tsan.qrec" > /dev/null
+QR_REPLAY_STRESS=7 "$BUILD/tools/qrec" replay --replay-jobs 4 \
+    -i "$SMOKE_DIR/tsan.qrec" | grep -q "identical to sequential"
 
 echo "tsan: no races detected in the parallel replayer"
