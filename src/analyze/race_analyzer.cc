@@ -1,11 +1,15 @@
 #include "analyze/race_analyzer.hh"
 
 #include <algorithm>
+#include <deque>
 #include <map>
+#include <numeric>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "obs/profile.hh"
+#include "obs/stats_export.hh"
 #include "replay/chunk_graph.hh"
 #include "rnr/bloom.hh"
 #include "sim/logging.hh"
@@ -207,13 +211,18 @@ buildBaseGraph(const SphereLogs &logs,
  * other path a -> ... -> b exists: a direct synchronization edge, or a
  * hop through any successor that still reaches b. Uncovered conflict
  * edges are races; removing them can uncover further races that were
- * masked behind the removed ordering, hence the iteration.
+ * masked behind the removed ordering, hence the iteration. @p rounds
+ * reports how many rounds ran; @p capped is set when the 64-round
+ * safety cap cut the iteration off before it converged (classification
+ * of the still-live edges is then unverified). A @p cap of 0 iterates
+ * to natural convergence: every continuing round kills at least one
+ * edge, so at most |live| rounds run.
  */
 void
 classifyRaces(const BaseGraph &base, std::vector<ConflictEdge *> &live,
-              std::size_t n)
+              std::uint32_t cap, std::uint32_t &rounds, bool &capped)
 {
-    for (int round = 0; round < 64; ++round) {
+    for (std::uint32_t round = 0; cap == 0 || round < cap; ++round) {
         std::vector<std::vector<std::uint32_t>> succs = base.succs;
         for (const ConflictEdge *e : live)
             succs[e->from].push_back(e->to);
@@ -236,13 +245,14 @@ classifyRaces(const BaseGraph &base, std::vector<ConflictEdge *> &live,
             }
             (covered ? still : newlyRacy).push_back(e);
         }
+        rounds = round + 1;
         if (newlyRacy.empty())
             return;
         for (ConflictEdge *e : newlyRacy)
             e->racy = true;
         live = std::move(still);
     }
-    (void)n;
+    capped = true;
 }
 
 /**
@@ -395,7 +405,7 @@ RaceReport::happensBefore(std::uint32_t a, std::uint32_t b) const
 }
 
 RaceReport
-analyzeSphere(const SphereLogs &logs)
+analyzeSphere(const SphereLogs &logs, std::uint32_t fixpoint_cap)
 {
     ProfileScope prof(ProfilePhase::Analyze);
     RaceReport rep;
@@ -422,12 +432,19 @@ analyzeSphere(const SphereLogs &logs)
         rep.conflicts.reserve(edgeMap.size());
         for (auto &[key, e] : edgeMap)
             rep.conflicts.push_back(std::move(e));
+        for (ConflictEdge &e : rep.conflicts) {
+            e.fromTid = rep.schedule[e.from].tid;
+            e.fromTs = rep.schedule[e.from].ts;
+            e.toTid = rep.schedule[e.to].tid;
+            e.toTs = rep.schedule[e.to].ts;
+        }
 
         std::vector<ConflictEdge *> live;
         live.reserve(rep.conflicts.size());
         for (ConflictEdge &e : rep.conflicts)
             live.push_back(&e);
-        classifyRaces(base, live, rep.schedule.size());
+        classifyRaces(base, live, fixpoint_cap, rep.fixpointRounds,
+                      rep.fixpointCapped);
 
         for (const ConflictEdge &e : rep.conflicts) {
             if (!e.racy)
@@ -467,6 +484,10 @@ analyzeSphere(const SphereLogs &logs)
                 ConflictEdge e;
                 e.from = i;
                 e.to = j;
+                e.fromTid = rep.schedule[i].tid;
+                e.fromTs = rep.schedule[i].ts;
+                e.toTid = rep.schedule[j].tid;
+                e.toTs = rep.schedule[j].ts;
                 switch (rep.schedule[i].reason) {
                   case ChunkReason::ConflictRaw: e.raw = true; break;
                   case ChunkReason::ConflictWar: e.war = true; break;
@@ -516,6 +537,682 @@ analyzeSphere(const SphereLogs &logs)
     return rep;
 }
 
+// --- streaming analysis -------------------------------------------------
+
+namespace
+{
+
+/**
+ * One frontier chunk: everything later analysis can still ask of it.
+ * The clock is the chunk's vector clock over the *merged* graph
+ * (program + sync + synchronized conflict edges), which doubles as a
+ * reachability oracle: a chunk c reaches a later chunk b iff
+ * clock(b)[slot(c)] >= pos(c) + 1 -- program order makes per-thread
+ * reachability into b downward-closed in position, so the per-slot
+ * maximum decides every query the dense ReachMatrix used to answer.
+ */
+struct StreamNode
+{
+    /** Merged-graph successor: enough identity to run the clock
+     *  reachability test after the target node itself retired. */
+    struct Succ
+    {
+        std::uint32_t to;
+        std::uint32_t pos;
+        int slot;
+    };
+
+    Tid tid = invalidTid;
+    Timestamp ts = 0;
+    std::uint32_t pos = 0; //!< per-thread chunk index
+    int slot = 0;
+    std::vector<std::uint64_t> clock;
+    std::vector<Succ> succs;
+};
+
+/** One resolved kernel synchronization edge, in per-thread terms. */
+struct StreamSyncEdge
+{
+    int srcSlot = 0;
+    int dstSlot = 0;
+    std::uint64_t srcPos = 0;
+    std::uint64_t dstPos = 0;
+    std::uint32_t srcId = 0; //!< schedule index, once the source ran
+    bool srcSeen = false;
+    bool consumed = false;
+};
+
+/** Sync edges indexed for the streaming pass. */
+struct StreamSyncIndex
+{
+    std::vector<StreamSyncEdge> edges;
+    /** Per-slot edge indices sorted by dstPos / srcPos. */
+    std::vector<std::vector<std::uint32_t>> byDst;
+    std::vector<std::vector<std::uint32_t>> bySrc;
+
+    std::uint64_t
+    bytes() const
+    {
+        std::uint64_t b = edges.size() * sizeof(StreamSyncEdge);
+        for (const auto &v : byDst)
+            b += v.size() * sizeof(std::uint32_t);
+        for (const auto &v : bySrc)
+            b += v.size() * sizeof(std::uint32_t);
+        return b;
+    }
+};
+
+/**
+ * Resolve every SyncPoint into a (srcSlot, srcPos) -> (dstSlot,
+ * dstPos) edge without materializing any chunk log: the "last partner
+ * chunk with ts < clockFloor" lookup becomes a floor-sorted two-pointer
+ * walk over each partner's timestamp stream, and the eager builder's
+ * from >= to drop is applied on (ts, tid) pairs -- the schedule
+ * comparator -- since schedule indices do not exist yet.
+ */
+StreamSyncIndex
+resolveSyncEdges(const SphereCursor &cur,
+                 const std::map<Tid, int> &slotOf,
+                 std::uint64_t &sync_edges)
+{
+    int nslots = static_cast<int>(cur.nThreads());
+    const std::vector<Tid> &tids = cur.tids();
+
+    struct RawSync
+    {
+        int dstSlot;
+        std::uint64_t dstPos;
+        int srcSlot;
+        Timestamp floor;
+        std::uint64_t srcCount = 0; //!< partner chunks with ts < floor
+        Timestamp srcTs = 0;
+        Timestamp dstTs = 0;
+    };
+    std::vector<RawSync> raw;
+    for (int t = 0; t < nslots; ++t) {
+        for (const SyncPoint &sp : cur.syncsOf(t)) {
+            // A thread that logged nothing after the sync has nothing
+            // left to order; an unknown partner cannot source an edge.
+            if (sp.afterChunkSeq >= cur.chunkCount(t))
+                continue;
+            auto partner = slotOf.find(sp.other);
+            if (partner == slotOf.end())
+                continue;
+            raw.push_back({t, sp.afterChunkSeq, partner->second,
+                           sp.clockFloor});
+        }
+    }
+
+    // Count, per edge, the partner chunks below the floor: sort each
+    // source slot's floors and advance them against one ascending
+    // timestamp decode of that slot.
+    std::vector<std::vector<std::uint32_t>> bySrcSlot(nslots);
+    for (std::uint32_t i = 0; i < raw.size(); ++i)
+        bySrcSlot[raw[i].srcSlot].push_back(i);
+    for (int s = 0; s < nslots; ++s) {
+        auto &order = bySrcSlot[s];
+        std::sort(order.begin(), order.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return raw[a].floor < raw[b].floor;
+                  });
+        std::size_t p = 0;
+        cur.forEachChunkTs(s, [&](std::uint64_t idx, Timestamp ts) {
+            while (p < order.size() && raw[order[p]].floor <= ts)
+                raw[order[p++]].srcCount = idx;
+            return p < order.size();
+        });
+        while (p < order.size())
+            raw[order[p++]].srcCount = cur.chunkCount(s);
+    }
+
+    // Fetch the endpoint timestamps the same way.
+    struct TsQuery
+    {
+        std::uint64_t pos;
+        std::uint32_t edge;
+        bool src;
+    };
+    std::vector<std::vector<TsQuery>> queries(nslots);
+    for (std::uint32_t i = 0; i < raw.size(); ++i) {
+        if (raw[i].srcCount == 0)
+            continue; // waker logged nothing before the sync
+        queries[raw[i].srcSlot].push_back(
+            {raw[i].srcCount - 1, i, true});
+        queries[raw[i].dstSlot].push_back({raw[i].dstPos, i, false});
+    }
+    for (int s = 0; s < nslots; ++s) {
+        auto &q = queries[s];
+        std::sort(q.begin(), q.end(),
+                  [](const TsQuery &a, const TsQuery &b) {
+                      return a.pos < b.pos;
+                  });
+        std::size_t p = 0;
+        cur.forEachChunkTs(s, [&](std::uint64_t idx, Timestamp ts) {
+            while (p < q.size() && q[p].pos == idx) {
+                (q[p].src ? raw[q[p].edge].srcTs
+                          : raw[q[p].edge].dstTs) = ts;
+                p++;
+            }
+            return p < q.size();
+        });
+    }
+
+    StreamSyncIndex index;
+    index.byDst.resize(nslots);
+    index.bySrc.resize(nslots);
+    for (const RawSync &r : raw) {
+        if (r.srcCount == 0)
+            continue;
+        // The eager builder drops from >= to on schedule indices; the
+        // schedule is (ts, tid)-lexicographic, so compare that.
+        if (std::pair(r.srcTs, tids[r.srcSlot]) >=
+            std::pair(r.dstTs, tids[r.dstSlot]))
+            continue;
+        StreamSyncEdge e;
+        e.srcSlot = r.srcSlot;
+        e.dstSlot = r.dstSlot;
+        e.srcPos = r.srcCount - 1;
+        e.dstPos = r.dstPos;
+        index.edges.push_back(e);
+        sync_edges++;
+    }
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(index.edges.size()); ++i) {
+        index.bySrc[index.edges[i].srcSlot].push_back(i);
+        index.byDst[index.edges[i].dstSlot].push_back(i);
+    }
+    for (int s = 0; s < nslots; ++s) {
+        std::stable_sort(index.bySrc[s].begin(), index.bySrc[s].end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return index.edges[a].srcPos <
+                                    index.edges[b].srcPos;
+                         });
+        std::stable_sort(index.byDst[s].begin(), index.byDst[s].end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return index.edges[a].dstPos <
+                                    index.edges[b].dstPos;
+                         });
+    }
+    return index;
+}
+
+/** Audit of one conflict termination awaiting its requester chunk. */
+struct PendingAudit
+{
+    Tid tid;
+    ChunkReason reason;
+    BloomFilter wset;
+    BloomFilter rset;
+    std::vector<Addr> exactSet;
+
+    PendingAudit(Tid t, ChunkReason r, const BloomParams &bp)
+        : tid(t), reason(r), wset(bp), rset(bp)
+    {}
+};
+
+/** Replica of auditTermination's filter query for one pending audit. */
+bool
+auditHits(const PendingAudit &p, Addr line)
+{
+    switch (p.reason) {
+      case ChunkReason::ConflictRaw:
+      case ChunkReason::ConflictWaw:
+        return p.wset.test(line);
+      case ChunkReason::ConflictWar:
+        // A WAR termination means the write missed the write set.
+        return !p.wset.test(line) && p.rset.test(line);
+      default:
+        return false;
+    }
+}
+
+/** Degraded-mode possible-race candidate awaiting its requester. */
+struct PendingCandidate
+{
+    std::uint32_t id;
+    int slot;
+    std::uint32_t pos;
+    Tid tid;
+    Timestamp ts;
+    ChunkReason reason;
+};
+
+void
+mergeMax(std::vector<std::uint64_t> &dst,
+         const std::vector<std::uint64_t> &src)
+{
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] = std::max(dst[i], src[i]);
+}
+
+} // namespace
+
+void
+StreamStats::statsInto(StatsSnapshot &s) const
+{
+    s.counter("analyze.peak_resident_bytes", peakResidentBytes,
+              "peak streaming-analyzer resident bytes (deterministic "
+              "accounting, sampled at batch boundaries after frontier "
+              "retirement)");
+    s.counter("analyze.window_chunks", windowChunks,
+              "configured streaming batch size in chunks");
+    s.counter("analyze.window_batches", windowBatches,
+              "streaming batches processed");
+    s.counter("analyze.retired_chunks", retiredChunks,
+              "chunks retired from the streaming frontier");
+    s.counter("analyze.peak_live_chunks", peakLiveChunks,
+              "peak frontier size after retirement, in chunks");
+    s.counter("analyze.evicted_payload_bytes", evictedPayloadBytes,
+              "mmapped payload bytes released during analysis");
+}
+
+RaceReport
+analyzeSphereStreaming(SphereCursor &cur, const StreamOptions &opt,
+                       StreamStats *stats)
+{
+    ProfileScope prof(ProfilePhase::Analyze);
+    const std::uint32_t window =
+        opt.window ? opt.window : StreamOptions{}.window;
+
+    RaceReport rep;
+    rep.exact = cur.exact();
+    rep.nChunks = cur.totalChunks();
+    rep.nThreads = static_cast<std::uint32_t>(cur.nThreads());
+    // Single exact-fixpoint pass by design (the eager path reports 0
+    // in degraded mode, where no classification runs).
+    rep.fixpointRounds = rep.exact ? 1 : 0;
+    const int nslots = static_cast<int>(rep.nThreads);
+    const std::vector<Tid> &tids = cur.tids();
+    for (int s = 0; s < nslots; ++s)
+        rep.threadSlot[tids[s]] = s;
+    for (int s = 0; s < nslots; ++s)
+        if (cur.chunkCount(s) > 1)
+            rep.programEdges += cur.chunkCount(s) - 1;
+
+    StreamSyncIndex sync =
+        resolveSyncEdges(cur, rep.threadSlot, rep.syncEdges);
+    const RecordMeta &meta = cur.recordMeta();
+    const BloomParams bp{meta.bloomBits,
+                         static_cast<int>(meta.bloomHashes)};
+    const std::uint64_t filterBytes = meta.bloomBits / 8;
+
+    // The frontier: live chunk nodes plus the per-line sweep state and
+    // pending forward-looking work. Everything a future chunk can name
+    // as an in-edge source is rooted here; the rest retires at batch
+    // boundaries.
+    std::unordered_map<std::uint32_t, StreamNode> nodes;
+    std::vector<std::uint32_t> lastOfSlot(
+        static_cast<std::size_t>(nslots), 0);
+    std::vector<bool> haveLast(static_cast<std::size_t>(nslots), false);
+    std::unordered_map<Addr, std::uint32_t> lastWriter;
+    std::unordered_map<Addr, std::vector<std::uint32_t>> readersSince;
+    std::unordered_map<std::uint32_t, std::uint32_t> syncRoots;
+    std::deque<PendingAudit> audits;
+    std::deque<PendingCandidate> candidates;
+    std::vector<std::size_t> srcPtr(static_cast<std::size_t>(nslots),
+                                    0);
+    std::vector<std::size_t> dstPtr(static_cast<std::size_t>(nslots),
+                                    0);
+    std::uint64_t conflictCount = 0;
+    std::uint64_t raceBytes = 0;     //!< retained race/conflict lines
+    StreamStats st;
+    st.windowChunks = window;
+
+    auto residentBytes = [&]() -> std::uint64_t {
+        std::uint64_t b = cur.residentBytes() + sync.bytes();
+        for (const auto &[id, n] : nodes)
+            b += sizeof(std::uint32_t) + sizeof(StreamNode) +
+                 n.clock.size() * sizeof(std::uint64_t) +
+                 n.succs.size() * sizeof(StreamNode::Succ);
+        b += lastWriter.size() * (sizeof(Addr) + sizeof(std::uint32_t));
+        for (const auto &[line, rs] : readersSince)
+            b += sizeof(Addr) + rs.size() * sizeof(std::uint32_t);
+        b += syncRoots.size() * 2 * sizeof(std::uint32_t);
+        for (const PendingAudit &a : audits)
+            b += sizeof(PendingAudit) + 2 * filterBytes +
+                 a.exactSet.size() * sizeof(Addr);
+        b += candidates.size() * sizeof(PendingCandidate);
+        b += (rep.races.size() + rep.conflicts.size()) *
+                 sizeof(ConflictEdge) +
+             raceBytes;
+        return b;
+    };
+
+    auto batchBoundary = [&]() {
+        st.windowBatches++;
+        // Mark-and-sweep frontier retirement: roots are exactly the
+        // nodes a future chunk can still name as an in-edge source.
+        std::unordered_set<std::uint32_t> keep;
+        for (int s = 0; s < nslots; ++s)
+            if (haveLast[static_cast<std::size_t>(s)])
+                keep.insert(lastOfSlot[static_cast<std::size_t>(s)]);
+        for (const auto &[line, w] : lastWriter)
+            keep.insert(w);
+        for (const auto &[line, rs] : readersSince)
+            keep.insert(rs.begin(), rs.end());
+        for (const auto &[id, refs] : syncRoots)
+            keep.insert(id);
+        for (auto it = nodes.begin(); it != nodes.end();) {
+            if (!keep.count(it->first)) {
+                st.retiredChunks++;
+                it = nodes.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        st.peakLiveChunks = std::max<std::uint64_t>(st.peakLiveChunks,
+                                                    nodes.size());
+        st.evictedPayloadBytes += cur.evictConsumed();
+        st.peakResidentBytes =
+            std::max(st.peakResidentBytes, residentBytes());
+    };
+
+    CursorChunk cc;
+    std::uint32_t inBatch = 0;
+    std::vector<std::uint32_t> baseSrcs;
+    std::vector<ConflictEdge> tedges;
+    std::map<std::uint32_t, std::size_t> tedgeOf;
+    std::vector<std::size_t> order;
+    std::vector<std::uint32_t> mergedSrcs;
+    while (cur.next(cc)) {
+        const ChunkRecord &rec = cc.rec;
+        rep.reasonCounts[static_cast<int>(rec.reason)]++;
+        rep.rswValues.sample(rec.rsw);
+        rep.chunkSizes.sample(rec.size);
+        const int slot = rep.threadSlot.at(rec.tid);
+        const std::uint32_t id = cc.schedule;
+
+        StreamNode node;
+        node.tid = rec.tid;
+        node.ts = rec.ts;
+        node.pos = cc.posInThread;
+        node.slot = slot;
+        node.clock.assign(static_cast<std::size_t>(nslots), 0);
+
+        // Base (program + sync) in-edges of this chunk.
+        baseSrcs.clear();
+        if (node.pos > 0)
+            baseSrcs.push_back(
+                lastOfSlot[static_cast<std::size_t>(slot)]);
+        auto &srcRow = sync.bySrc[static_cast<std::size_t>(slot)];
+        auto &sp = srcPtr[static_cast<std::size_t>(slot)];
+        while (sp < srcRow.size() &&
+               sync.edges[srcRow[sp]].srcPos == node.pos) {
+            StreamSyncEdge &e = sync.edges[srcRow[sp]];
+            e.srcId = id;
+            e.srcSeen = true;
+            syncRoots[id]++;
+            sp++;
+        }
+        auto &dstRow = sync.byDst[static_cast<std::size_t>(slot)];
+        auto &dp = dstPtr[static_cast<std::size_t>(slot)];
+        while (dp < dstRow.size() &&
+               sync.edges[dstRow[dp]].dstPos == node.pos) {
+            StreamSyncEdge &e = sync.edges[dstRow[dp]];
+            qr_assert(e.srcSeen,
+                      "sync edge target ran before its source");
+            e.consumed = true;
+            baseSrcs.push_back(e.srcId);
+            auto root = syncRoots.find(e.srcId);
+            if (root != syncRoots.end() && --root->second == 0)
+                syncRoots.erase(root);
+            dp++;
+        }
+        std::sort(baseSrcs.begin(), baseSrcs.end());
+        baseSrcs.erase(std::unique(baseSrcs.begin(), baseSrcs.end()),
+                       baseSrcs.end());
+        for (std::uint32_t a : baseSrcs)
+            mergeMax(node.clock, nodes.at(a).clock);
+        node.clock[static_cast<std::size_t>(slot)] = node.pos + 1;
+
+        tedges.clear();
+        tedgeOf.clear();
+        if (rep.exact) {
+            // Conflict sweep, target = this chunk: identical structure
+            // to the eager sweepConflicts, against the live maps.
+            const ChunkShadow &sh = *cc.shadow;
+            auto note = [&](std::uint32_t from, ChunkReason kind,
+                            Addr line) {
+                auto [it, fresh] =
+                    tedgeOf.try_emplace(from, tedges.size());
+                if (fresh) {
+                    tedges.emplace_back();
+                    tedges.back().from = from;
+                    tedges.back().to = id;
+                }
+                ConflictEdge &e = tedges[it->second];
+                switch (kind) {
+                  case ChunkReason::ConflictRaw: e.raw = true; break;
+                  case ChunkReason::ConflictWar: e.war = true; break;
+                  case ChunkReason::ConflictWaw: e.waw = true; break;
+                  default:
+                    qr_assert(false, "non-conflict kind in sweep");
+                }
+                e.lines.push_back(line);
+            };
+            for (Addr line : sh.reads) {
+                auto w = lastWriter.find(line);
+                if (w != lastWriter.end() &&
+                    nodes.at(w->second).tid != rec.tid)
+                    note(w->second, ChunkReason::ConflictRaw, line);
+                readersSince[line].push_back(id);
+            }
+            for (Addr line : sh.writes) {
+                auto w = lastWriter.find(line);
+                if (w != lastWriter.end() && w->second != id &&
+                    nodes.at(w->second).tid != rec.tid)
+                    note(w->second, ChunkReason::ConflictWaw, line);
+                for (std::uint32_t r : readersSince[line])
+                    if (r != id && nodes.at(r).tid != rec.tid)
+                        note(r, ChunkReason::ConflictWar, line);
+                readersSince[line].clear();
+                lastWriter[line] = id;
+            }
+            for (ConflictEdge &e : tedges) {
+                std::sort(e.lines.begin(), e.lines.end());
+                e.lines.erase(
+                    std::unique(e.lines.begin(), e.lines.end()),
+                    e.lines.end());
+            }
+
+            // Judge in decreasing source order: every edge whose
+            // status this edge's coverage can depend on (same target,
+            // larger source -- a strictly nested interval) is final
+            // and, if synchronized, already merged into the clock.
+            order.resize(tedges.size());
+            std::iota(order.begin(), order.end(), std::size_t{0});
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return tedges[a].from > tedges[b].from;
+                      });
+            for (std::size_t oi : order) {
+                ConflictEdge &e = tedges[oi];
+                const StreamNode &src = nodes.at(e.from);
+                e.fromTid = src.tid;
+                e.fromTs = src.ts;
+                e.toTid = rec.tid;
+                e.toTs = rec.ts;
+                bool covered = std::binary_search(
+                    baseSrcs.begin(), baseSrcs.end(), e.from);
+                if (!covered) {
+                    for (const StreamNode::Succ &sr : src.succs) {
+                        if (sr.to == id)
+                            continue;
+                        if (node.clock[static_cast<std::size_t>(
+                                sr.slot)] >=
+                            static_cast<std::uint64_t>(sr.pos) + 1) {
+                            covered = true;
+                            break;
+                        }
+                    }
+                }
+                if (covered)
+                    mergeMax(node.clock, src.clock);
+                else
+                    e.racy = true;
+            }
+        }
+
+        // Merged-graph in-edges: base plus synchronized conflicts.
+        mergedSrcs = baseSrcs;
+        for (const ConflictEdge &e : tedges)
+            if (!e.racy)
+                mergedSrcs.push_back(e.from);
+        std::sort(mergedSrcs.begin(), mergedSrcs.end());
+        mergedSrcs.erase(
+            std::unique(mergedSrcs.begin(), mergedSrcs.end()),
+            mergedSrcs.end());
+        rep.totalEdges += mergedSrcs.size();
+        for (std::uint32_t a : mergedSrcs)
+            nodes.at(a).succs.push_back({id, node.pos, slot});
+        // Transitive reduction, judged per in-edge with the final
+        // merged clock: (a, id) is implied iff another successor of a
+        // reaches id.
+        for (std::uint32_t a : mergedSrcs) {
+            const StreamNode &src = nodes.at(a);
+            bool implied = false;
+            for (const StreamNode::Succ &sr : src.succs) {
+                if (sr.to == id)
+                    continue;
+                if (node.clock[static_cast<std::size_t>(sr.slot)] >=
+                    static_cast<std::uint64_t>(sr.pos) + 1) {
+                    implied = true;
+                    break;
+                }
+            }
+            if (!implied)
+                rep.reducedEdges++;
+        }
+
+        if (rep.exact) {
+            const ChunkShadow &sh = *cc.shadow;
+            // This chunk as requester: settle pending audits the way
+            // auditTermination's forward scan would have.
+            for (auto it = audits.begin(); it != audits.end();) {
+                if (it->tid == rec.tid) {
+                    ++it;
+                    continue;
+                }
+                const std::vector<Addr> &requester =
+                    it->reason == ChunkReason::ConflictRaw ? sh.reads
+                                                           : sh.writes;
+                bool anyHit = false;
+                bool anyExact = false;
+                for (Addr line : requester) {
+                    if (!auditHits(*it, line))
+                        continue;
+                    anyHit = true;
+                    if (containsLine(it->exactSet, line)) {
+                        anyExact = true;
+                        break;
+                    }
+                }
+                if (!anyHit) {
+                    ++it;
+                    continue;
+                }
+                if (anyExact)
+                    rep.audit.trueConflicts++;
+                else
+                    rep.audit.bloomFalseConflicts++;
+                it = audits.erase(it);
+            }
+            if (isConflictReason(rec.reason)) {
+                PendingAudit p(rec.tid, rec.reason, bp);
+                for (Addr line : sh.writes)
+                    p.wset.insert(line);
+                if (rec.reason == ChunkReason::ConflictWar)
+                    for (Addr line : sh.reads)
+                        p.rset.insert(line);
+                p.exactSet = rec.reason == ChunkReason::ConflictWar
+                                 ? sh.reads
+                                 : sh.writes;
+                audits.push_back(std::move(p));
+            }
+
+            for (ConflictEdge &e : tedges) {
+                conflictCount++;
+                if (e.racy) {
+                    raceBytes += e.lines.size() * sizeof(Addr);
+                    rep.racyLines.insert(rep.racyLines.end(),
+                                         e.lines.begin(),
+                                         e.lines.end());
+                    rep.races.push_back(e);
+                }
+                if (opt.keepConflicts) {
+                    raceBytes += e.lines.size() * sizeof(Addr);
+                    rep.conflicts.push_back(std::move(e));
+                }
+            }
+        } else {
+            // Degraded mode: this chunk is the "first later chunk of
+            // another thread" for every pending candidate it does not
+            // share a thread with; the clock decides synchronization.
+            for (auto it = candidates.begin();
+                 it != candidates.end();) {
+                if (it->tid == rec.tid) {
+                    ++it;
+                    continue;
+                }
+                ConflictEdge e;
+                e.from = it->id;
+                e.to = id;
+                e.fromTid = it->tid;
+                e.fromTs = it->ts;
+                e.toTid = rec.tid;
+                e.toTs = rec.ts;
+                switch (it->reason) {
+                  case ChunkReason::ConflictRaw: e.raw = true; break;
+                  case ChunkReason::ConflictWar: e.war = true; break;
+                  default: e.waw = true; break;
+                }
+                e.racy =
+                    node.clock[static_cast<std::size_t>(it->slot)] <
+                    static_cast<std::uint64_t>(it->pos) + 1;
+                conflictCount++;
+                if (e.racy)
+                    rep.races.push_back(e);
+                if (opt.keepConflicts)
+                    rep.conflicts.push_back(std::move(e));
+                it = candidates.erase(it);
+            }
+            if (isConflictReason(rec.reason))
+                candidates.push_back({id, slot, node.pos, rec.tid,
+                                      rec.ts, rec.reason});
+        }
+
+        nodes.emplace(id, std::move(node));
+        lastOfSlot[static_cast<std::size_t>(slot)] = id;
+        haveLast[static_cast<std::size_t>(slot)] = true;
+        if (++inBatch >= window) {
+            batchBoundary();
+            inBatch = 0;
+        }
+    }
+    if (inBatch > 0 || st.windowBatches == 0)
+        batchBoundary();
+
+    rep.audit.unattributed += audits.size();
+    for (int r = 0; r < numChunkReasons; ++r)
+        if (isConflictReason(static_cast<ChunkReason>(r)))
+            rep.audit.conflictTerminations += rep.reasonCounts[r];
+    rep.conflictEdges = conflictCount;
+
+    auto byEndpoints = [](const ConflictEdge &a, const ConflictEdge &b) {
+        return std::pair(a.from, a.to) < std::pair(b.from, b.to);
+    };
+    std::sort(rep.races.begin(), rep.races.end(), byEndpoints);
+    std::sort(rep.conflicts.begin(), rep.conflicts.end(), byEndpoints);
+    std::sort(rep.racyLines.begin(), rep.racyLines.end());
+    rep.racyLines.erase(
+        std::unique(rep.racyLines.begin(), rep.racyLines.end()),
+        rep.racyLines.end());
+
+    if (stats)
+        *stats = st;
+    return rep;
+}
+
 std::string
 RaceReport::str() const
 {
@@ -532,6 +1229,11 @@ RaceReport::str() const
                     static_cast<unsigned long long>(conflictEdges),
                     static_cast<unsigned long long>(totalEdges),
                     static_cast<unsigned long long>(reducedEdges));
+    if (fixpointCapped)
+        out += csprintf("warning: race fixpoint hit the %u-round cap "
+                        "without converging; some conflict edges "
+                        "reported as synchronized may be racy\n",
+                        fixpointRounds);
 
     // A racy line shows up once per conflicting chunk pair; cap the
     // per-edge listing so a tight racy loop doesn't swamp the report
@@ -551,12 +1253,11 @@ RaceReport::str() const
             out += csprintf(
                 "  race [%s] tid %d chunk %llu (ts %llu) <-> tid %d "
                 "chunk %llu (ts %llu): line(s)%s\n",
-                e.kindStr().c_str(), schedule[e.from].tid,
+                e.kindStr().c_str(), e.fromTid,
                 static_cast<unsigned long long>(e.from),
-                static_cast<unsigned long long>(schedule[e.from].ts),
-                schedule[e.to].tid,
+                static_cast<unsigned long long>(e.fromTs), e.toTid,
                 static_cast<unsigned long long>(e.to),
-                static_cast<unsigned long long>(schedule[e.to].ts),
+                static_cast<unsigned long long>(e.toTs),
                 lines.c_str());
         }
         if (races.size() > maxListed)
@@ -587,12 +1288,11 @@ RaceReport::str() const
             out += csprintf(
                 "  possible race [%s] tid %d chunk %llu (ts %llu) <-> "
                 "tid %d chunk %llu (ts %llu)\n",
-                e.kindStr().c_str(), schedule[e.from].tid,
+                e.kindStr().c_str(), e.fromTid,
                 static_cast<unsigned long long>(e.from),
-                static_cast<unsigned long long>(schedule[e.from].ts),
-                schedule[e.to].tid,
+                static_cast<unsigned long long>(e.fromTs), e.toTid,
                 static_cast<unsigned long long>(e.to),
-                static_cast<unsigned long long>(schedule[e.to].ts));
+                static_cast<unsigned long long>(e.toTs));
         }
         if (races.size() > maxListed)
             out += csprintf("  ... and %zu more candidate(s)\n",
@@ -627,6 +1327,7 @@ RaceReport::toBenchDoc(const std::string &workload) const
     add("conflict_edges", static_cast<double>(conflictEdges));
     add("total_edges", static_cast<double>(totalEdges));
     add("reduced_edges", static_cast<double>(reducedEdges));
+    add("fixpoint_capped", fixpointCapped ? 1.0 : 0.0);
     add("races", static_cast<double>(races.size()));
     add("racy_lines", static_cast<double>(racyLines.size()));
     add("conflict_terminations",

@@ -51,11 +51,19 @@
 namespace qr
 {
 
+struct StatsSnapshot;
+
 /** One cross-thread dependence between two chunks. */
 struct ConflictEdge
 {
     std::uint32_t from = 0; //!< schedule index of the earlier chunk
     std::uint32_t to = 0;   //!< schedule index of the later chunk
+    /** Endpoint identities, denormalized so reports do not need the
+     *  full schedule vector (the streaming analyzer never builds it). */
+    Tid fromTid = invalidTid;
+    Tid toTid = invalidTid;
+    Timestamp fromTs = 0;
+    Timestamp toTs = 0;
     bool raw = false;       //!< a write in @p from feeds a read in @p to
     bool war = false;       //!< a read in @p from precedes a write in @p to
     bool waw = false;       //!< both chunks write a common line
@@ -64,6 +72,8 @@ struct ConflictEdge
     std::vector<Addr> lines;
     /** No alternative happens-before path orders the endpoints. */
     bool racy = false;
+
+    bool operator==(const ConflictEdge &o) const = default;
 
     /** "[RAW|WAW]"-style kind tag. */
     std::string kindStr() const;
@@ -109,6 +119,17 @@ struct RaceReport
     Histogram rswValues;
     Histogram chunkSizes;
 
+    // --- race-fixpoint diagnostics ----------------------------------------
+    /** Rounds the eager race fixpoint ran (streaming: single pass, 1). */
+    std::uint32_t fixpointRounds = 0;
+    /**
+     * The eager classifier's legacy 64-round cap was hit before the
+     * fixpoint converged: some reported "synchronized" conflict edges
+     * may actually be racy. The streaming classifier computes the exact
+     * fixpoint and never caps.
+     */
+    bool fixpointCapped = false;
+
     // --- vector clocks ----------------------------------------------------
     /** tid -> component slot in the vector clocks. */
     std::map<Tid, int> threadSlot;
@@ -146,8 +167,74 @@ struct RaceReport
  * Analyze a recorded sphere. Pure function of the logs: throws
  * qr::ParseError if the sphere is malformed (non-monotonic timestamps,
  * mismatched shadow sets), never mutates its input.
+ *
+ * @p fixpoint_cap bounds the race-fixpoint rounds (the legacy default
+ * of 64 is not always enough -- radix-style cascades can need hundreds
+ * -- in which case the report carries fixpointCapped plus a warning).
+ * Pass 0 to iterate to natural convergence, where the result provably
+ * matches analyzeSphereStreaming.
  */
-RaceReport analyzeSphere(const SphereLogs &logs);
+RaceReport analyzeSphere(const SphereLogs &logs,
+                         std::uint32_t fixpoint_cap = 64);
+
+// --- streaming analysis -------------------------------------------------
+
+/** Knobs of the streaming analyzer. */
+struct StreamOptions
+{
+    /**
+     * Chunks per processing batch: frontier garbage collection,
+     * payload eviction, and memory sampling run at batch boundaries.
+     * Any value yields identical analysis results; the window only
+     * trades bookkeeping frequency against transient frontier size.
+     * 0 means the default.
+     */
+    std::uint32_t window = 4096;
+
+    /**
+     * Retain the full conflicts list in the report. Large spheres can
+     * carry O(chunks) conflict edges; consumers that only need races
+     * and the aggregate counters (qrec analyze, the scale bench) turn
+     * this off to keep the report itself flat. conflictEdges still
+     * counts every edge.
+     */
+    bool keepConflicts = true;
+};
+
+/** Resource accounting of one streaming analysis. */
+struct StreamStats
+{
+    /**
+     * Peak deterministic byte accounting of the analyzer's resident
+     * state (frontier nodes, pending audits/candidates, sweep maps,
+     * cursor state, retained results), sampled at batch boundaries
+     * after frontier retirement.
+     */
+    std::uint64_t peakResidentBytes = 0;
+    std::uint64_t windowBatches = 0;    //!< batch boundaries processed
+    std::uint64_t windowChunks = 0;     //!< configured batch size
+    std::uint64_t retiredChunks = 0;    //!< nodes evicted from frontier
+    std::uint64_t peakLiveChunks = 0;   //!< frontier nodes, post-retire
+    std::uint64_t evictedPayloadBytes = 0; //!< madvise'd off the map
+
+    /** Append as "analyze.*" entries (stats export / bench-JSON v2). */
+    void statsInto(StatsSnapshot &s) const;
+};
+
+/**
+ * Analyze a serialized sphere through a SphereCursor without ever
+ * materializing SphereLogs: one pass over the (ts, tid) schedule with
+ * a sliding frontier window, replacing the whole-matrix reachability
+ * fixpoint with per-chunk frontier vector clocks. Produces the same
+ * report as analyzeSphere (bit-identical str()/toBenchDoc/races/
+ * conflicts/audit) whenever the eager fixpoint converges within its
+ * round cap, while resident memory stays proportional to the frontier,
+ * not the sphere. The report's schedule and vectorClocks members stay
+ * empty -- they are O(chunks) by definition.
+ */
+RaceReport analyzeSphereStreaming(SphereCursor &cur,
+                                  const StreamOptions &opt = {},
+                                  StreamStats *stats = nullptr);
 
 } // namespace qr
 

@@ -68,62 +68,7 @@ InputRecord
 InputRecord::deserialize(const std::vector<std::uint8_t> &in,
                          std::size_t &pos)
 {
-    if (pos >= in.size())
-        parseFail("input record past end of log");
-    InputRecord r;
-    r.kind = static_cast<InputKind>(in[pos++]);
-    switch (r.kind) {
-      case InputKind::ThreadStart:
-        r.pc = static_cast<Word>(getVarint(in, pos));
-        r.sp = static_cast<Word>(getVarint(in, pos));
-        r.arg = static_cast<Word>(getVarint(in, pos));
-        r.parent = static_cast<Word>(getVarint(in, pos));
-        break;
-      case InputKind::SyscallRet: {
-        if (pos >= in.size())
-            parseFail("truncated syscall record");
-        std::uint8_t flags = in[pos++];
-        r.num = static_cast<Word>(getVarint(in, pos));
-        r.ret = static_cast<Word>(getVarint(in, pos));
-        if (flags & 1) {
-            r.hasNewPc = true;
-            r.newPc = static_cast<Word>(getVarint(in, pos));
-        }
-        if (flags & 2) {
-            r.copyAddr = static_cast<Addr>(getVarint(in, pos));
-            std::uint64_t n = getVarint(in, pos);
-            // Each copied word takes at least one byte; a count beyond
-            // the remaining bytes is corruption, not a huge allocation.
-            if (n > in.size() - pos)
-                parseFail("copy-word count %llu exceeds log tail",
-                          static_cast<unsigned long long>(n));
-            r.copyWords.reserve(n);
-            for (std::uint64_t i = 0; i < n; ++i)
-                r.copyWords.push_back(
-                    static_cast<Word>(getVarint(in, pos)));
-        }
-        break;
-      }
-      case InputKind::Nondet:
-        r.num = static_cast<Word>(getVarint(in, pos));
-        r.ret = static_cast<Word>(getVarint(in, pos));
-        break;
-      case InputKind::SignalDeliver:
-        r.num = static_cast<Word>(getVarint(in, pos));
-        r.afterChunkSeq = getVarint(in, pos);
-        r.pc = static_cast<Word>(getVarint(in, pos));
-        r.sp = static_cast<Word>(getVarint(in, pos));
-        r.copyAddr = static_cast<Addr>(getVarint(in, pos));
-        break;
-      case InputKind::ThreadExit:
-        r.ret = static_cast<Word>(getVarint(in, pos));
-        r.instrs = getVarint(in, pos);
-        break;
-      default:
-        parseFail("corrupt input log: kind %u",
-                  static_cast<unsigned>(r.kind));
-    }
-    return r;
+    return deserializeFrom(in, pos);
 }
 
 std::uint64_t

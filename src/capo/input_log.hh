@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rnr/chunk_record.hh" // varint helpers
 #include "sim/types.hh"
 
 namespace qr
@@ -64,9 +65,75 @@ struct InputRecord
     static InputRecord deserialize(const std::vector<std::uint8_t> &in,
                                    std::size_t &pos);
 
+    /** Generic-source decode; @p Bytes needs size() and operator[]. */
+    template <class Bytes>
+    static InputRecord deserializeFrom(const Bytes &in, std::size_t &pos);
+
     /** Packed size in bytes. */
     std::uint64_t packedBytes() const;
 };
+
+template <class Bytes>
+InputRecord
+InputRecord::deserializeFrom(const Bytes &in, std::size_t &pos)
+{
+    if (pos >= in.size())
+        parseFail("input record past end of log");
+    InputRecord r;
+    r.kind = static_cast<InputKind>(in[pos++]);
+    switch (r.kind) {
+      case InputKind::ThreadStart:
+        r.pc = static_cast<Word>(getVarintFrom(in, pos));
+        r.sp = static_cast<Word>(getVarintFrom(in, pos));
+        r.arg = static_cast<Word>(getVarintFrom(in, pos));
+        r.parent = static_cast<Word>(getVarintFrom(in, pos));
+        break;
+      case InputKind::SyscallRet: {
+        if (pos >= in.size())
+            parseFail("truncated syscall record");
+        std::uint8_t flags = in[pos++];
+        r.num = static_cast<Word>(getVarintFrom(in, pos));
+        r.ret = static_cast<Word>(getVarintFrom(in, pos));
+        if (flags & 1) {
+            r.hasNewPc = true;
+            r.newPc = static_cast<Word>(getVarintFrom(in, pos));
+        }
+        if (flags & 2) {
+            r.copyAddr = static_cast<Addr>(getVarintFrom(in, pos));
+            std::uint64_t n = getVarintFrom(in, pos);
+            // Each copied word takes at least one byte; a count beyond
+            // the remaining bytes is corruption, not a huge allocation.
+            if (n > in.size() - pos)
+                parseFail("copy-word count %llu exceeds log tail",
+                          static_cast<unsigned long long>(n));
+            r.copyWords.reserve(n);
+            for (std::uint64_t i = 0; i < n; ++i)
+                r.copyWords.push_back(
+                    static_cast<Word>(getVarintFrom(in, pos)));
+        }
+        break;
+      }
+      case InputKind::Nondet:
+        r.num = static_cast<Word>(getVarintFrom(in, pos));
+        r.ret = static_cast<Word>(getVarintFrom(in, pos));
+        break;
+      case InputKind::SignalDeliver:
+        r.num = static_cast<Word>(getVarintFrom(in, pos));
+        r.afterChunkSeq = getVarintFrom(in, pos);
+        r.pc = static_cast<Word>(getVarintFrom(in, pos));
+        r.sp = static_cast<Word>(getVarintFrom(in, pos));
+        r.copyAddr = static_cast<Addr>(getVarintFrom(in, pos));
+        break;
+      case InputKind::ThreadExit:
+        r.ret = static_cast<Word>(getVarintFrom(in, pos));
+        r.instrs = getVarintFrom(in, pos);
+        break;
+      default:
+        parseFail("corrupt input log: kind %u",
+                  static_cast<unsigned>(r.kind));
+    }
+    return r;
+}
 
 } // namespace qr
 

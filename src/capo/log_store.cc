@@ -2,13 +2,27 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define QR_HAVE_MMAP 0
+#endif
 
 #include "fault/fault_plan.hh"
 #include "sim/logging.hh"
 
 namespace qr
 {
+
+static_assert((1u << segmentPayloadShift) == segmentPayloadBytes,
+              "PayloadView shift arithmetic assumes 1 KiB segments");
 
 LogSizes
 measureLogs(const SphereLogs &logs)
@@ -75,6 +89,59 @@ getU64(const std::vector<std::uint8_t> &in, std::size_t pos)
     return v;
 }
 
+std::uint32_t
+loadU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+loadU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+storeU32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+storeU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+constexpr std::uint64_t fnvBasis = 0xcbf29ce484222325ull;
+
+std::uint64_t
+fnvUpdate(std::uint64_t h, const std::uint8_t *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Sealed QSG1 container size for a payload of @p payloadLen bytes. */
+std::size_t
+sealedContainerBytes(std::size_t payloadLen)
+{
+    std::size_t nsegs =
+        (payloadLen + segmentPayloadBytes - 1) / segmentPayloadBytes;
+    return 4 + payloadLen + nsegs * (5 + 8) + trailerBytes;
+}
+
 /** Assemble the full sealed container byte stream. */
 std::vector<std::uint8_t>
 buildSegmented(const std::vector<std::uint8_t> &payload)
@@ -135,7 +202,7 @@ writeSegmented(const std::vector<std::uint8_t> &payload,
                const std::string &path, FaultPlan *faults)
 {
     SegmentedWriteResult res;
-    std::vector<std::uint8_t> bytes = buildSegmented(payload);
+    const std::size_t sealedBytes = sealedContainerBytes(payload.size());
 
     if (faults && faults->fire(FaultSite::IoEnospc)) {
         // The filesystem is out of space before anything lands: the
@@ -155,53 +222,77 @@ writeSegmented(const std::vector<std::uint8_t> &payload,
     //    last segment and the trailer;
     //  - torn write: the stream is cut at an arbitrary point past the
     //    magic.
-    std::size_t writeLen = bytes.size();
+    std::size_t writeLen = sealedBytes;
     std::string injectedWhat;
     if (faults && faults->fire(FaultSite::IoShort)) {
         std::size_t lastSeg = payload.empty()
             ? 0
             : (payload.size() - 1) % segmentPayloadBytes + 1 + 13;
         std::uint64_t lossMax =
-            std::min<std::uint64_t>(bytes.size() - 4,
+            std::min<std::uint64_t>(sealedBytes - 4,
                                     trailerBytes + lastSeg);
         std::uint64_t loss =
             1 + faults->draw(FaultSite::IoShort, lossMax);
-        writeLen = bytes.size() - static_cast<std::size_t>(loss);
+        writeLen = sealedBytes - static_cast<std::size_t>(loss);
         injectedWhat = csprintf("injected short write: %llu of %zu "
                                 "bytes",
                                 static_cast<unsigned long long>(
                                     writeLen),
-                                bytes.size());
+                                sealedBytes);
     } else if (faults && faults->fire(FaultSite::IoTorn)) {
         writeLen = static_cast<std::size_t>(
-            4 + faults->draw(FaultSite::IoTorn, bytes.size() - 4));
+            4 + faults->draw(FaultSite::IoTorn, sealedBytes - 4));
         injectedWhat = csprintf("injected torn write: %zu of %zu bytes",
-                                writeLen, bytes.size());
+                                writeLen, sealedBytes);
     }
 
-    std::string tmp = path + ".tmp";
-    {
-        std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
-            std::fopen(tmp.c_str(), "wb"), &std::fclose);
-        if (!f) {
-            res.error = csprintf("cannot open '%s' for writing",
-                                 tmp.c_str());
+    if (MappedSegmentWriter::available()) {
+        // Append-mapped fast path: identical bytes to the buffered
+        // writer (same segmentation, same seal/rename protocol), but
+        // the payload lands with pointer-bump memcpy instead of a
+        // staged copy of the whole container.
+        MappedSegmentWriter w;
+        if (!w.create(path)) {
+            res.error = w.error();
             return res;
         }
-        std::size_t n = std::fwrite(bytes.data(), 1, writeLen, f.get());
-        if (n != writeLen) {
-            res.error = csprintf("short write to '%s'", tmp.c_str());
+        w.append(payload.data(), payload.size());
+        std::uint64_t left = w.seal(writeLen);
+        if (left == 0 && !w.error().empty()) {
+            res.error = w.error();
+            return res;
+        }
+        res.bytes = left;
+    } else {
+        std::vector<std::uint8_t> bytes = buildSegmented(payload);
+        qr_assert(bytes.size() == sealedBytes,
+                  "sealed container size model out of sync");
+        std::string tmp = path + ".tmp";
+        {
+            std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+                std::fopen(tmp.c_str(), "wb"), &std::fclose);
+            if (!f) {
+                res.error = csprintf("cannot open '%s' for writing",
+                                     tmp.c_str());
+                return res;
+            }
+            std::size_t n = std::fwrite(bytes.data(), 1, writeLen,
+                                        f.get());
+            if (n != writeLen) {
+                res.error = csprintf("short write to '%s'",
+                                     tmp.c_str());
+                std::remove(tmp.c_str());
+                return res;
+            }
+        }
+        if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+            res.error = csprintf("cannot rename '%s' into place",
+                                 tmp.c_str());
             std::remove(tmp.c_str());
             return res;
         }
+        res.bytes = writeLen;
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        res.error = csprintf("cannot rename '%s' into place",
-                             tmp.c_str());
-        std::remove(tmp.c_str());
-        return res;
-    }
-    res.bytes = writeLen;
     if (!injectedWhat.empty()) {
         res.error = injectedWhat;
         res.injected = true;
@@ -288,6 +379,412 @@ readSegmented(const std::vector<std::uint8_t> &raw)
     }
 }
 
+// --- MappedSphereFile ---------------------------------------------------
+
+MappedSphereFile::~MappedSphereFile()
+{
+    closeMap();
+}
+
+void
+MappedSphereFile::closeMap()
+{
+#if QR_HAVE_MMAP
+    if (map_)
+        ::munmap(map_, mapBytes_);
+    if (fd_ >= 0)
+        ::close(fd_);
+#endif
+    map_ = nullptr;
+    mapBytes_ = 0;
+    fd_ = -1;
+    base_ = nullptr;
+    fallback_.clear();
+    mapped_ = false;
+}
+
+std::size_t
+MappedSphereFile::segFileOff(std::size_t seg) const
+{
+    // Regular layout: every segment record is tag + len + 1 KiB + sum.
+    return 4 + seg * (5 + segmentPayloadBytes + 8);
+}
+
+std::size_t
+MappedSphereFile::segLen(std::size_t seg) const
+{
+    if (seg + 1 == nsegs_)
+        return payloadBytes_ - (nsegs_ - 1) * segmentPayloadBytes;
+    return segmentPayloadBytes;
+}
+
+bool
+MappedSphereFile::open(const std::string &path)
+{
+    closeMap();
+    error_.clear();
+    isContainer_ = sealed_ = false;
+    regular_ = true;
+    nsegs_ = payloadBytes_ = fileBytes_ = evictedBytes_ = 0;
+    verified_.clear();
+
+#if QR_HAVE_MMAP
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+        error_ = csprintf("cannot open '%s' for reading", path.c_str());
+        return false;
+    }
+    struct stat st;
+    if (::fstat(fd_, &st) != 0 || st.st_size < 0) {
+        error_ = csprintf("cannot size '%s'", path.c_str());
+        closeMap();
+        return false;
+    }
+    fileBytes_ = static_cast<std::uint64_t>(st.st_size);
+    if (fileBytes_ > 0) {
+        map_ = ::mmap(nullptr, fileBytes_, PROT_READ, MAP_PRIVATE, fd_,
+                      0);
+        if (map_ == MAP_FAILED) {
+            map_ = nullptr;
+        } else {
+            mapBytes_ = fileBytes_;
+            base_ = static_cast<const std::uint8_t *>(map_);
+            mapped_ = true;
+            ::madvise(map_, mapBytes_, MADV_SEQUENTIAL);
+        }
+    }
+#endif
+    if (!mapped_) {
+        // No (working) mmap: fall back to one buffered read.
+        std::string err = readFile(path, fallback_);
+        if (!err.empty()) {
+            error_ = err;
+            closeMap();
+            return false;
+        }
+        base_ = fallback_.data();
+        fileBytes_ = fallback_.size();
+    }
+
+    // Structural walk: tags, lengths, trailer count. No checksums --
+    // those are verified lazily per segment (or via verifyAll()).
+    if (fileBytes_ < 4 || std::memcmp(base_, segMagic, 4) != 0) {
+        error_ = "not a segmented (QSG1) container";
+        return false;
+    }
+    isContainer_ = true;
+    std::size_t pos = 4;
+    std::uint32_t prevLen = segmentPayloadBytes;
+    for (;;) {
+        if (pos >= fileBytes_) {
+            error_ = "container ends without a trailer";
+            return false;
+        }
+        std::uint8_t tag = base_[pos];
+        if (tag == trailerTag) {
+            if (fileBytes_ - pos < trailerBytes) {
+                error_ = "truncated trailer";
+                return false;
+            }
+            std::uint32_t expect = loadU32(base_ + pos + 1);
+            if (expect != nsegs_) {
+                error_ = csprintf("trailer expects %u segments, "
+                                  "read %llu",
+                                  expect,
+                                  static_cast<unsigned long long>(
+                                      nsegs_));
+                return false;
+            }
+            if (pos + trailerBytes != fileBytes_) {
+                error_ = "trailing bytes after the trailer";
+                return false;
+            }
+            sealed_ = true;
+            verified_.assign(nsegs_, false);
+            return true;
+        }
+        if (tag != segTag) {
+            error_ = csprintf("unexpected tag 0x%02x at offset %zu",
+                              tag, pos);
+            return false;
+        }
+        if (fileBytes_ - pos < 5) {
+            error_ = "truncated segment header";
+            return false;
+        }
+        std::uint32_t len = loadU32(base_ + pos + 1);
+        if (len == 0 || len > segmentPayloadBytes) {
+            error_ = csprintf("implausible segment length %u", len);
+            return false;
+        }
+        if (fileBytes_ - pos < 5 + static_cast<std::size_t>(len) + 8) {
+            error_ = csprintf("segment %llu torn mid-record",
+                              static_cast<unsigned long long>(nsegs_));
+            return false;
+        }
+        // A short segment is only legal in final position.
+        if (prevLen != segmentPayloadBytes)
+            regular_ = false;
+        prevLen = len;
+        payloadBytes_ += len;
+        pos += 5 + static_cast<std::size_t>(len) + 8;
+        nsegs_++;
+    }
+}
+
+PayloadView
+MappedSphereFile::payload() const
+{
+    qr_assert(canStream(),
+              "payload view requires a sealed, regular container");
+    return PayloadView(this, 0,
+                       static_cast<std::size_t>(payloadBytes_));
+}
+
+const std::uint8_t *
+MappedSphereFile::segmentData(std::size_t seg) const
+{
+    const std::uint8_t *p = base_ + segFileOff(seg) + 5;
+    if (!verified_[seg]) {
+        std::size_t len = segLen(seg);
+        if (loadU64(p + len) != fnvBytes(p, len))
+            parseFail("segment %llu checksum mismatch",
+                      static_cast<unsigned long long>(seg));
+        verified_[seg] = true;
+    }
+    return p;
+}
+
+std::string
+MappedSphereFile::verifyAll() const
+{
+    qr_assert(canStream(), "verifyAll requires a streamable container");
+    std::uint64_t whole = fnvBasis;
+    for (std::size_t seg = 0; seg < nsegs_; ++seg) {
+        const std::uint8_t *p = base_ + segFileOff(seg) + 5;
+        std::size_t len = segLen(seg);
+        if (loadU64(p + len) != fnvBytes(p, len))
+            return csprintf("segment %llu checksum mismatch",
+                            static_cast<unsigned long long>(seg));
+        verified_[seg] = true;
+        whole = fnvUpdate(whole, p, len);
+    }
+    if (loadU64(base_ + fileBytes_ - 8) != whole)
+        return "trailer checksum mismatch";
+    return "";
+}
+
+std::size_t
+MappedSphereFile::dontNeedSegments(std::size_t first, std::size_t last)
+{
+#if QR_HAVE_MMAP
+    if (!mapped_ || !regular_)
+        return 0;
+    last = std::min<std::size_t>(last, nsegs_);
+    if (first >= last)
+        return 0;
+    std::size_t lo = segFileOff(first);
+    std::size_t hi = segFileOff(last);
+    long page = ::sysconf(_SC_PAGESIZE);
+    if (page <= 0)
+        return 0;
+    std::size_t mask = static_cast<std::size_t>(page) - 1;
+    std::size_t alo = (lo + mask) & ~mask;
+    std::size_t ahi = hi & ~mask;
+    if (alo >= ahi)
+        return 0;
+    ::madvise(static_cast<char *>(map_) + alo, ahi - alo,
+              MADV_DONTNEED);
+    evictedBytes_ += ahi - alo;
+    return ahi - alo;
+#else
+    (void)first;
+    (void)last;
+    return 0;
+#endif
+}
+
+// --- MappedSegmentWriter ------------------------------------------------
+
+bool
+MappedSegmentWriter::available()
+{
+    return QR_HAVE_MMAP != 0;
+}
+
+MappedSegmentWriter::~MappedSegmentWriter()
+{
+    if (open_)
+        abandon();
+}
+
+bool
+MappedSegmentWriter::ensure(std::size_t need)
+{
+#if QR_HAVE_MMAP
+    if (pos_ + need <= cap_)
+        return true;
+    std::size_t newCap = std::max(cap_ * 2, pos_ + need);
+    newCap = (newCap + ((1u << 20) - 1)) & ~((std::size_t{1} << 20) - 1);
+    if (map_)
+        ::munmap(map_, cap_);
+    map_ = nullptr;
+    if (::ftruncate(fd_, static_cast<off_t>(newCap)) != 0) {
+        error_ = csprintf("short write to '%s'", tmp_.c_str());
+        return false;
+    }
+    void *m = ::mmap(nullptr, newCap, PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd_, 0);
+    if (m == MAP_FAILED) {
+        error_ = csprintf("short write to '%s'", tmp_.c_str());
+        return false;
+    }
+    map_ = static_cast<std::uint8_t *>(m);
+    cap_ = newCap;
+    return true;
+#else
+    (void)need;
+    return false;
+#endif
+}
+
+bool
+MappedSegmentWriter::create(const std::string &path)
+{
+#if QR_HAVE_MMAP
+    qr_assert(!open_, "writer already open");
+    path_ = path;
+    tmp_ = path + ".tmp";
+    error_.clear();
+    pos_ = segStart_ = 0;
+    segFill_ = 0;
+    nsegs_ = 0;
+    payloadBytes_ = 0;
+    payloadHash_ = fnvBasis;
+    cap_ = 0;
+    fd_ = ::open(tmp_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0) {
+        error_ = csprintf("cannot open '%s' for writing", tmp_.c_str());
+        return false;
+    }
+    open_ = true;
+    if (!ensure(4 + trailerBytes)) {
+        abandon();
+        // abandon() clears open_ but the error must survive it
+        return false;
+    }
+    std::memcpy(map_, segMagic, 4);
+    pos_ = 4;
+    return true;
+#else
+    (void)path;
+    error_ = "mapped writer unavailable on this platform";
+    return false;
+#endif
+}
+
+void
+MappedSegmentWriter::closeSegment()
+{
+    storeU32(map_ + segStart_ + 1, segFill_);
+    std::uint64_t sum = fnvBytes(map_ + segStart_ + 5, segFill_);
+    if (!ensure(8))
+        return;
+    storeU64(map_ + pos_, sum);
+    pos_ += 8;
+    nsegs_++;
+    segFill_ = 0;
+}
+
+void
+MappedSegmentWriter::append(const std::uint8_t *data, std::size_t n)
+{
+    if (!open_ || !error_.empty())
+        return;
+    while (n > 0) {
+        if (segFill_ == 0) {
+            if (!ensure(5))
+                return;
+            segStart_ = pos_;
+            map_[pos_] = segTag;
+            pos_ += 5;
+        }
+        std::size_t take =
+            std::min<std::size_t>(n, segmentPayloadBytes - segFill_);
+        if (!ensure(take))
+            return;
+        std::memcpy(map_ + pos_, data, take);
+        payloadHash_ = fnvUpdate(payloadHash_, data, take);
+        pos_ += take;
+        segFill_ += static_cast<std::uint32_t>(take);
+        payloadBytes_ += take;
+        data += take;
+        n -= take;
+        if (segFill_ == segmentPayloadBytes)
+            closeSegment();
+    }
+}
+
+std::uint64_t
+MappedSegmentWriter::seal(std::size_t keepBytes)
+{
+#if QR_HAVE_MMAP
+    if (!open_)
+        return 0;
+    if (error_.empty() && segFill_ > 0)
+        closeSegment();
+    if (error_.empty() && ensure(trailerBytes)) {
+        map_[pos_] = trailerTag;
+        storeU32(map_ + pos_ + 1, nsegs_);
+        storeU64(map_ + pos_ + 5, payloadHash_);
+        pos_ += trailerBytes;
+    }
+    if (!error_.empty()) {
+        abandon();
+        return 0;
+    }
+    std::size_t finalBytes = std::min(keepBytes, pos_);
+    ::munmap(map_, cap_);
+    map_ = nullptr;
+    bool shrunk =
+        ::ftruncate(fd_, static_cast<off_t>(finalBytes)) == 0;
+    ::close(fd_);
+    fd_ = -1;
+    open_ = false;
+    if (!shrunk) {
+        error_ = csprintf("short write to '%s'", tmp_.c_str());
+        std::remove(tmp_.c_str());
+        return 0;
+    }
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+        error_ = csprintf("cannot rename '%s' into place",
+                          tmp_.c_str());
+        std::remove(tmp_.c_str());
+        return 0;
+    }
+    return finalBytes;
+#else
+    (void)keepBytes;
+    return 0;
+#endif
+}
+
+void
+MappedSegmentWriter::abandon()
+{
+#if QR_HAVE_MMAP
+    if (map_)
+        ::munmap(map_, cap_);
+    map_ = nullptr;
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+    if (open_)
+        std::remove(tmp_.c_str());
+    open_ = false;
+#endif
+}
+
 SphereSaveResult
 saveSphere(const SphereLogs &logs, const std::string &path,
            FaultPlan *faults)
@@ -306,31 +803,71 @@ SphereLoadResult
 loadSphere(const std::string &path)
 {
     SphereLoadResult res;
-    std::vector<std::uint8_t> bytes;
-    res.error = readFile(path, bytes);
-    if (!res.error.empty())
-        return res;
+    MappedSphereFile map;
+    bool openOk = map.open(path);
 
-    const std::vector<std::uint8_t> *payload = &bytes;
-    SegmentedReadResult seg;
-    if (isSegmented(bytes)) {
-        seg = readSegmented(bytes);
-        if (!seg.sealed) {
-            res.error = csprintf("'%s' is a torn sphere container "
-                                 "(%s); 'qrec recover' can salvage it",
-                                 path.c_str(), seg.error.c_str());
+    if (!map.isContainer()) {
+        // Unreadable file, or a legacy raw sphere stream without the
+        // QSG1 magic: take the buffered path (which reports read
+        // errors in the historical words).
+        std::vector<std::uint8_t> bytes;
+        res.error = readFile(path, bytes);
+        if (!res.error.empty())
+            return res;
+        try {
+            res.logs = SphereLogs::deserialize(bytes);
+            res.ok = true;
+        } catch (const ParseError &e) {
+            res.error = csprintf("'%s' is not a valid sphere log: %s",
+                                 path.c_str(), e.what());
+        }
+        return res;
+    }
+
+    std::string tornWhy;
+    if (!openOk) {
+        tornWhy = map.error();
+    } else if (map.canStream()) {
+        // Strict load: every checksum, including the trailer hash,
+        // must verify -- lazy verification is for the streaming
+        // analyzer, which still touches every segment it decodes.
+        tornWhy = map.verifyAll();
+        if (tornWhy.empty()) {
+            try {
+                res.logs = SphereLogs::deserialize(map.payload());
+                res.ok = true;
+            } catch (const ParseError &e) {
+                res.error =
+                    csprintf("'%s' is not a valid sphere log: %s",
+                             path.c_str(), e.what());
+            }
             return res;
         }
-        payload = &seg.payload;
-    }
-    // Legacy raw streams fall through with payload = the file bytes.
-    try {
-        res.logs = SphereLogs::deserialize(*payload);
-        res.ok = true;
-    } catch (const ParseError &e) {
-        res.error = csprintf("'%s' is not a valid sphere log: %s",
+    } else {
+        // Structurally sealed but with an irregular (hand-crafted)
+        // segment layout the fixed-shift view cannot address: fall
+        // back to the eager reader.
+        std::vector<std::uint8_t> bytes;
+        res.error = readFile(path, bytes);
+        if (!res.error.empty())
+            return res;
+        SegmentedReadResult seg = readSegmented(bytes);
+        if (seg.sealed) {
+            try {
+                res.logs = SphereLogs::deserialize(seg.payload);
+                res.ok = true;
+            } catch (const ParseError &e) {
+                res.error =
+                    csprintf("'%s' is not a valid sphere log: %s",
                              path.c_str(), e.what());
+            }
+            return res;
+        }
+        tornWhy = seg.error;
     }
+    res.error = csprintf("'%s' is a torn sphere container "
+                         "(%s); 'qrec recover' can salvage it",
+                         path.c_str(), tornWhy.c_str());
     return res;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "capo/payload_view.hh"
 #include "capo/sphere.hh"
 
 namespace qr
@@ -89,6 +90,168 @@ struct SegmentedReadResult
  * complete; anything else reports the salvage with an explanation.
  */
 SegmentedReadResult readSegmented(const std::vector<std::uint8_t> &raw);
+
+/**
+ * Zero-copy reader for a sealed QSG1 container.
+ *
+ * open() mmaps the file (falling back to a heap buffer where mmap is
+ * unavailable) and walks the segment structure only -- tags, lengths,
+ * trailer count -- without hashing anything, then hints
+ * madvise(SEQUENTIAL). Segment checksums are verified lazily, on the
+ * first touch of each segment through a PayloadView, so consumers pay
+ * for integrity checking as they read instead of up front. Strict
+ * consumers (loadSphere) call verifyAll() to get readSegmented()'s
+ * full acceptance check, including the whole-payload trailer hash.
+ *
+ * The object is the SegmentSource behind every PayloadView derived
+ * from payload(): it must stay alive, and stay put, while any view is
+ * in use (non-copyable, non-movable).
+ */
+class MappedSphereFile : public SegmentSource
+{
+  public:
+    MappedSphereFile() = default;
+    ~MappedSphereFile() override;
+
+    MappedSphereFile(const MappedSphereFile &) = delete;
+    MappedSphereFile &operator=(const MappedSphereFile &) = delete;
+
+    /**
+     * Map @p path and check the container structure. @return true iff
+     * the file is a structurally sealed QSG1 container (checksums not
+     * yet examined); error() explains a false return.
+     */
+    bool open(const std::string &path);
+
+    /** @return why open() failed (empty after success). */
+    const std::string &error() const { return error_; }
+
+    /** @return true if the file carried the QSG1 magic. */
+    bool isContainer() const { return isContainer_; }
+
+    /** @return true after a successful open(): trailer count checks. */
+    bool sealed() const { return sealed_; }
+
+    /**
+     * @return true when every interior segment is exactly
+     * segmentPayloadBytes long, which is what the fixed-shift
+     * PayloadView arithmetic requires. The writer always emits this
+     * layout; a false return means a hand-crafted container that must
+     * take the eager readSegmented() path.
+     */
+    bool canStream() const { return sealed_ && regular_; }
+
+    std::uint64_t segments() const { return nsegs_; }
+    std::uint64_t payloadBytes() const { return payloadBytes_; }
+    std::uint64_t fileBytes() const { return fileBytes_; }
+
+    /** @return true when the file is really mmapped (not a buffer). */
+    bool mapped() const { return mapped_; }
+
+    /** @return bytes released so far via dontNeedSegments(). */
+    std::uint64_t evictedBytes() const { return evictedBytes_; }
+
+    /** View of the whole payload. Requires canStream(). */
+    PayloadView payload() const;
+
+    /**
+     * Eagerly verify every segment checksum plus the whole-payload
+     * trailer hash (readSegmented()'s acceptance check). @return an
+     * empty string on success, else the failure in readSegmented()'s
+     * words.
+     */
+    std::string verifyAll() const;
+
+    // SegmentSource
+    const std::uint8_t *segmentData(std::size_t seg) const override;
+    std::size_t dontNeedSegments(std::size_t first,
+                                 std::size_t last) override;
+
+  private:
+    const std::uint8_t *base_ = nullptr; //!< whole-file bytes
+    std::vector<std::uint8_t> fallback_; //!< buffer when not mmapped
+    void *map_ = nullptr;
+    std::size_t mapBytes_ = 0;
+    int fd_ = -1;
+
+    std::string error_;
+    bool isContainer_ = false;
+    bool sealed_ = false;
+    bool regular_ = true;
+    bool mapped_ = false;
+    std::uint64_t nsegs_ = 0;
+    std::uint64_t payloadBytes_ = 0;
+    std::uint64_t fileBytes_ = 0;
+    std::uint64_t evictedBytes_ = 0;
+    mutable std::vector<bool> verified_;
+
+    std::size_t segFileOff(std::size_t seg) const;
+    std::size_t segLen(std::size_t seg) const;
+    void closeMap();
+};
+
+/**
+ * Growable append-mapped writer for sealed QSG1 containers, in the
+ * COREMU cm-mapped-log style: the temp file is ftruncate()d to a
+ * capacity, mmapped read-write, and records land with a pointer-bump
+ * memcpy; running out of room remaps at double the size. seal()
+ * writes the trailer, truncates to the real length, and renames into
+ * place -- the same crash-consistency protocol (and bit-identical
+ * output) as the buffered writeSegmented() path, which remains the
+ * fallback where mmap is unavailable.
+ */
+class MappedSegmentWriter
+{
+  public:
+    MappedSegmentWriter() = default;
+    ~MappedSegmentWriter();
+
+    MappedSegmentWriter(const MappedSegmentWriter &) = delete;
+    MappedSegmentWriter &operator=(const MappedSegmentWriter &) = delete;
+
+    /** @return true iff mapped writing is compiled in and usable. */
+    static bool available();
+
+    /** Start writing @p path (via @p path + ".tmp"). */
+    bool create(const std::string &path);
+
+    /** Append payload bytes (buffered into 1 KiB segments). */
+    void append(const std::uint8_t *data, std::size_t n);
+
+    /** Payload bytes appended so far. */
+    std::uint64_t payloadBytes() const { return payloadBytes_; }
+
+    /**
+     * Seal the container and rename it into place. When @p keepBytes
+     * is smaller than the sealed container, the renamed file is
+     * truncated to that many bytes first (crash-shape injection).
+     * @return bytes left on disk, or 0 with error() set.
+     */
+    std::uint64_t seal(std::size_t keepBytes = SIZE_MAX);
+
+    /** Drop the temp file without sealing. */
+    void abandon();
+
+    const std::string &error() const { return error_; }
+
+  private:
+    std::string path_;
+    std::string tmp_;
+    std::string error_;
+    int fd_ = -1;
+    std::uint8_t *map_ = nullptr;
+    std::size_t cap_ = 0;
+    std::size_t pos_ = 0;         //!< container bytes emitted
+    std::size_t segStart_ = 0;    //!< file offset of open segment hdr
+    std::uint32_t segFill_ = 0;   //!< payload bytes in open segment
+    std::uint32_t nsegs_ = 0;
+    std::uint64_t payloadBytes_ = 0;
+    std::uint64_t payloadHash_ = 0; //!< running whole-payload FNV-1a
+    bool open_ = false;
+
+    bool ensure(std::size_t need);
+    void closeSegment();
+};
 
 // --- spheres ------------------------------------------------------------
 

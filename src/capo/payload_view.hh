@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Non-owning view of a sphere payload, generic over its backing store.
+ *
+ * A PayloadView either wraps a contiguous heap buffer or addresses the
+ * concatenated segment payloads of an mmapped QSG1 container through a
+ * SegmentSource. The container writer emits fixed-size segments
+ * (segmentPayloadBytes, except a short final one), so a payload offset
+ * maps to (segment, offset-in-segment) with shift/mask arithmetic and
+ * no per-byte indirection beyond a one-entry segment cache. Segment
+ * checksums are verified lazily by the source on first touch, which is
+ * what lets loads and streaming analysis start without reading the
+ * whole file.
+ *
+ * Views never own memory: the buffer or SegmentSource must outlive
+ * every view (and every sub-view) derived from it.
+ */
+
+#ifndef QR_CAPO_PAYLOAD_VIEW_HH
+#define QR_CAPO_PAYLOAD_VIEW_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qr
+{
+
+/** log2(segmentPayloadBytes); checked in log_store.cc. */
+constexpr unsigned segmentPayloadShift = 10;
+
+/**
+ * Backing store of a segmented PayloadView. segmentData() returns the
+ * start of one segment's payload, verifying its checksum on first
+ * touch (throws ParseError on a mismatch). dontNeedSegments() lets a
+ * consumer drop fully-consumed segments from resident memory.
+ */
+class SegmentSource
+{
+  public:
+    virtual ~SegmentSource() = default;
+
+    /** @return payload bytes of segment @p seg (verified lazily). */
+    virtual const std::uint8_t *segmentData(std::size_t seg) const = 0;
+
+    /**
+     * Hint that segments [@p first, @p last) will not be touched
+     * again. @return bytes released (0 when unsupported).
+     */
+    virtual std::size_t
+    dontNeedSegments(std::size_t first, std::size_t last)
+    {
+        (void)first;
+        (void)last;
+        return 0;
+    }
+};
+
+class PayloadView
+{
+  public:
+    PayloadView() = default;
+
+    /** View of a contiguous buffer. */
+    PayloadView(const std::uint8_t *flat, std::size_t len)
+        : flat_(flat), len_(len)
+    {}
+
+    /** View of a whole vector (convenience for tests and callers). */
+    explicit PayloadView(const std::vector<std::uint8_t> &bytes)
+        : flat_(bytes.data()), len_(bytes.size())
+    {}
+
+    /**
+     * View of @p len payload bytes starting at @p off within the
+     * segmented payload of @p src.
+     */
+    PayloadView(const SegmentSource *src, std::size_t off,
+                std::size_t len)
+        : src_(src), off_(off), len_(len)
+    {}
+
+    std::size_t size() const { return len_; }
+
+    std::uint8_t
+    operator[](std::size_t i) const
+    {
+        if (flat_)
+            return flat_[i];
+        std::size_t pos = off_ + i;
+        std::size_t seg = pos >> segmentPayloadShift;
+        if (seg != cachedSeg_) {
+            cachedPtr_ = src_->segmentData(seg);
+            cachedSeg_ = seg;
+        }
+        return cachedPtr_[pos & ((1u << segmentPayloadShift) - 1)];
+    }
+
+    /** Sub-view of [@p off, @p off + @p len) of this view. */
+    PayloadView
+    subview(std::size_t off, std::size_t len) const
+    {
+        if (flat_)
+            return PayloadView(flat_ + off, len);
+        return PayloadView(src_, off_ + off, len);
+    }
+
+    /**
+     * Advise that [@p lo, @p hi) of this view is fully consumed.
+     * Only whole segments inside the range are released.
+     * @return bytes released.
+     */
+    std::size_t
+    dontNeedRange(std::size_t lo, std::size_t hi)
+    {
+        if (flat_ || !src_ || hi <= lo)
+            return 0;
+        constexpr std::size_t segBytes = 1u << segmentPayloadShift;
+        std::size_t first = (off_ + lo + segBytes - 1) / segBytes;
+        std::size_t last = (off_ + hi) / segBytes;
+        if (first >= last)
+            return 0;
+        return const_cast<SegmentSource *>(src_)
+            ->dontNeedSegments(first, last);
+    }
+
+  private:
+    const std::uint8_t *flat_ = nullptr;
+    const SegmentSource *src_ = nullptr;
+    std::size_t off_ = 0;
+    std::size_t len_ = 0;
+
+    mutable std::size_t cachedSeg_ = static_cast<std::size_t>(-1);
+    mutable const std::uint8_t *cachedPtr_ = nullptr;
+};
+
+} // namespace qr
+
+#endif // QR_CAPO_PAYLOAD_VIEW_HH

@@ -38,19 +38,21 @@ putLineSet(std::vector<std::uint8_t> &out, const std::vector<Addr> &lines,
     }
 }
 
-std::vector<Addr>
-getLineSet(const std::vector<std::uint8_t> &in, std::size_t &pos,
-           int shift)
+/** Decode a line set into @p lines (cleared first). */
+template <class Bytes>
+void
+getLineSetInto(const Bytes &in, std::size_t &pos, int shift,
+               std::vector<Addr> &lines)
 {
-    std::uint64_t n = getVarint(in, pos);
+    std::uint64_t n = getVarintFrom(in, pos);
     if (n > in.size() - pos)
         parseFail("shadow-line count %llu exceeds log tail",
                   static_cast<unsigned long long>(n));
-    std::vector<Addr> lines;
+    lines.clear();
     lines.reserve(n);
     Addr prev = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
-        std::uint64_t delta = getVarint(in, pos) << shift;
+        std::uint64_t delta = getVarintFrom(in, pos) << shift;
         if (i > 0 && delta == 0)
             parseFail("duplicate shadow line in sphere log");
         std::uint64_t line = prev + delta;
@@ -59,6 +61,14 @@ getLineSet(const std::vector<std::uint8_t> &in, std::size_t &pos,
         prev = static_cast<Addr>(line);
         lines.push_back(prev);
     }
+}
+
+template <class Bytes>
+std::vector<Addr>
+getLineSet(const Bytes &in, std::size_t &pos, int shift)
+{
+    std::vector<Addr> lines;
+    getLineSetInto(in, pos, shift, lines);
     return lines;
 }
 
@@ -188,9 +198,9 @@ namespace
  * Parse the sphere header (magic, ids, v2 metadata) into @p s.
  * @return true for the v2 format. Throws on anything unusable.
  */
+template <class Bytes>
 bool
-parseSphereHeader(const std::vector<std::uint8_t> &in, std::size_t &pos,
-                  SphereLogs &s)
+parseSphereHeader(const Bytes &in, std::size_t &pos, SphereLogs &s)
 {
     if (in.size() < 4 || in[0] != 'Q' || in[1] != 'R' || in[2] != 'S')
         parseFail("bad sphere log magic");
@@ -205,17 +215,17 @@ parseSphereHeader(const std::vector<std::uint8_t> &in, std::size_t &pos,
     }
     bool v2 = in[3] == '2';
     pos = 4;
-    s.sphereId = static_cast<std::uint32_t>(getVarint(in, pos));
-    s.memBytes = static_cast<std::uint32_t>(getVarint(in, pos));
-    s.userTop = static_cast<Addr>(getVarint(in, pos));
+    s.sphereId = static_cast<std::uint32_t>(getVarintFrom(in, pos));
+    s.memBytes = static_cast<std::uint32_t>(getVarintFrom(in, pos));
+    s.userTop = static_cast<Addr>(getVarintFrom(in, pos));
     if (v2) {
         s.meta.lineBytes =
-            static_cast<std::uint32_t>(getVarint(in, pos));
+            static_cast<std::uint32_t>(getVarintFrom(in, pos));
         s.meta.bloomBits =
-            static_cast<std::uint32_t>(getVarint(in, pos));
+            static_cast<std::uint32_t>(getVarintFrom(in, pos));
         s.meta.bloomHashes =
-            static_cast<std::uint32_t>(getVarint(in, pos));
-        s.meta.exactShadow = getVarint(in, pos) != 0;
+            static_cast<std::uint32_t>(getVarintFrom(in, pos));
+        s.meta.exactShadow = getVarintFrom(in, pos) != 0;
         if (s.meta.lineBytes == 0 || s.meta.lineBytes > 4096 ||
             (s.meta.lineBytes & (s.meta.lineBytes - 1)) != 0)
             parseFail("implausible line size %u in sphere log",
@@ -234,11 +244,12 @@ parseSphereHeader(const std::vector<std::uint8_t> &in, std::size_t &pos,
  * ParseError is thrown mid-thread the caller still holds the longest
  * valid prefix (the tolerant loader's salvage unit).
  */
+template <class Bytes>
 void
-parseThreadBody(const std::vector<std::uint8_t> &in, std::size_t &pos,
+parseThreadBody(const Bytes &in, std::size_t &pos,
                 bool v2, int shift, Tid tid, ThreadLogs &logs)
 {
-    std::uint64_t nin = getVarint(in, pos);
+    std::uint64_t nin = getVarintFrom(in, pos);
     // Every record is at least one byte, so a count larger than the
     // remaining stream is corruption; refuse before reserving.
     if (nin > in.size() - pos)
@@ -246,15 +257,15 @@ parseThreadBody(const std::vector<std::uint8_t> &in, std::size_t &pos,
                   static_cast<unsigned long long>(nin));
     logs.input.reserve(nin);
     for (std::uint64_t j = 0; j < nin; ++j)
-        logs.input.push_back(InputRecord::deserialize(in, pos));
-    std::uint64_t nch = getVarint(in, pos);
+        logs.input.push_back(InputRecord::deserializeFrom(in, pos));
+    std::uint64_t nch = getVarintFrom(in, pos);
     if (nch > in.size() - pos)
         parseFail("chunk-record count %llu exceeds log tail",
                   static_cast<unsigned long long>(nch));
     logs.chunks.reserve(nch);
     Timestamp prev = 0;
     for (std::uint64_t j = 0; j < nch; ++j) {
-        ChunkRecord rec = unpackCompact(in, pos, prev, tid);
+        ChunkRecord rec = unpackCompactFrom(in, pos, prev, tid);
         // A zero timestamp delta decodes fine but breaks the strict
         // per-thread monotonicity every consumer relies on; reject it
         // here instead of asserting later.
@@ -266,26 +277,26 @@ parseThreadBody(const std::vector<std::uint8_t> &in, std::size_t &pos,
     }
     if (!v2)
         return;
-    std::uint64_t nsync = getVarint(in, pos);
+    std::uint64_t nsync = getVarintFrom(in, pos);
     if (nsync > in.size() - pos)
         parseFail("sync-point count %llu exceeds log tail",
                   static_cast<unsigned long long>(nsync));
     logs.syncs.reserve(nsync);
     for (std::uint64_t j = 0; j < nsync; ++j) {
         SyncPoint sp;
-        sp.afterChunkSeq = getVarint(in, pos);
-        std::uint64_t other = getVarint(in, pos);
+        sp.afterChunkSeq = getVarintFrom(in, pos);
+        std::uint64_t other = getVarintFrom(in, pos);
         if (other > maxSphereTid)
             parseFail("sync partner id %llu out of range",
                       static_cast<unsigned long long>(other));
         sp.other = static_cast<Tid>(other);
-        sp.clockFloor = getVarint(in, pos);
+        sp.clockFloor = getVarintFrom(in, pos);
         if (sp.afterChunkSeq > nch)
             parseFail("sync point past the end of tid %d's "
                       "chunk log", tid);
         logs.syncs.push_back(sp);
     }
-    std::uint64_t nshadow = getVarint(in, pos);
+    std::uint64_t nshadow = getVarintFrom(in, pos);
     if (nshadow != 0 && nshadow != nch)
         parseFail("shadow-set count %llu does not match %llu "
                   "chunks",
@@ -301,26 +312,26 @@ parseThreadBody(const std::vector<std::uint8_t> &in, std::size_t &pos,
 }
 
 /** Parse a thread id, range-checked. */
+template <class Bytes>
 Tid
-parseThreadId(const std::vector<std::uint8_t> &in, std::size_t &pos)
+parseThreadId(const Bytes &in, std::size_t &pos)
 {
-    std::uint64_t rawTid = getVarint(in, pos);
+    std::uint64_t rawTid = getVarintFrom(in, pos);
     if (rawTid > maxSphereTid)
         parseFail("thread id %llu out of range in sphere log",
                   static_cast<unsigned long long>(rawTid));
     return static_cast<Tid>(rawTid);
 }
 
-} // namespace
-
+template <class Bytes>
 SphereLogs
-SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
+deserializeImpl(const Bytes &in)
 {
     SphereLogs s;
     std::size_t pos = 0;
     bool v2 = parseSphereHeader(in, pos, s);
     int shift = lineShift(s.meta.lineBytes);
-    std::uint64_t nthreads = getVarint(in, pos);
+    std::uint64_t nthreads = getVarintFrom(in, pos);
     for (std::uint64_t i = 0; i < nthreads; ++i) {
         Tid tid = parseThreadId(in, pos);
         ThreadLogs logs;
@@ -331,6 +342,20 @@ SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
     if (pos != in.size())
         parseFail("trailing bytes in sphere log");
     return s;
+}
+
+} // namespace
+
+SphereLogs
+SphereLogs::deserialize(const std::vector<std::uint8_t> &in)
+{
+    return deserializeImpl(in);
+}
+
+SphereLogs
+SphereLogs::deserialize(const PayloadView &in)
+{
+    return deserializeImpl(in);
 }
 
 SphereSalvage
@@ -415,6 +440,247 @@ SphereLogs::chunkIndexByThread(
     for (std::uint32_t i = 0; i < schedule.size(); ++i)
         index[schedule[i].tid].push_back(i);
     return index;
+}
+
+// --- SphereCursor -------------------------------------------------------
+
+SphereCursor::SphereCursor(PayloadView payload) : payload_(payload)
+{
+    SphereLogs hdr;
+    std::size_t pos = 0;
+    v2_ = parseSphereHeader(payload_, pos, hdr);
+    meta_ = hdr.meta;
+    sphereId_ = hdr.sphereId;
+    memBytes_ = hdr.memBytes;
+    userTop_ = hdr.userTop;
+    shift_ = lineShift(meta_.lineBytes);
+
+    // The validating scan applies exactly the eager parser's checks in
+    // the same order (so corrupt input fails with the same messages)
+    // but materializes nothing beyond offsets, counts, and syncs.
+    // Pages already validated are dropped as the scan moves on; next()
+    // re-faults them on demand.
+    std::size_t scanEvictLo = 0;
+    auto scanEvict = [&](std::size_t upTo) {
+        if (upTo - scanEvictLo >= (std::size_t{8} << 20)) {
+            payload_.dontNeedRange(scanEvictLo, upTo);
+            scanEvictLo = upTo;
+        }
+    };
+
+    std::uint64_t nthreads = getVarintFrom(payload_, pos);
+    std::vector<Addr> scratch;
+    for (std::uint64_t i = 0; i < nthreads; ++i) {
+        Tid tid = parseThreadId(payload_, pos);
+        ThreadState t;
+        t.tid = tid;
+        t.sectionStart = pos;
+
+        std::uint64_t nin = getVarintFrom(payload_, pos);
+        if (nin > payload_.size() - pos)
+            parseFail("input-record count %llu exceeds log tail",
+                      static_cast<unsigned long long>(nin));
+        for (std::uint64_t j = 0; j < nin; ++j)
+            (void)InputRecord::deserializeFrom(payload_, pos);
+
+        std::uint64_t nch = getVarintFrom(payload_, pos);
+        if (nch > payload_.size() - pos)
+            parseFail("chunk-record count %llu exceeds log tail",
+                      static_cast<unsigned long long>(nch));
+        t.nch = nch;
+        t.chunkStart = pos;
+        Timestamp prev = 0;
+        for (std::uint64_t j = 0; j < nch; ++j) {
+            ChunkRecord rec = unpackCompactFrom(payload_, pos, prev,
+                                                tid);
+            if (j > 0 && rec.ts <= prev)
+                parseFail("tid %d: non-monotonic chunk timestamps in "
+                          "sphere log", tid);
+            prev = rec.ts;
+            if ((j & 0xffff) == 0)
+                scanEvict(pos);
+        }
+        t.chunkEnd = pos;
+        t.chunkOff = t.chunkStart;
+
+        std::uint64_t nshadow = 0;
+        if (v2_) {
+            std::uint64_t nsync = getVarintFrom(payload_, pos);
+            if (nsync > payload_.size() - pos)
+                parseFail("sync-point count %llu exceeds log tail",
+                          static_cast<unsigned long long>(nsync));
+            t.syncs.reserve(nsync);
+            for (std::uint64_t j = 0; j < nsync; ++j) {
+                SyncPoint sp;
+                sp.afterChunkSeq = getVarintFrom(payload_, pos);
+                std::uint64_t other = getVarintFrom(payload_, pos);
+                if (other > maxSphereTid)
+                    parseFail("sync partner id %llu out of range",
+                              static_cast<unsigned long long>(other));
+                sp.other = static_cast<Tid>(other);
+                sp.clockFloor = getVarintFrom(payload_, pos);
+                if (sp.afterChunkSeq > nch)
+                    parseFail("sync point past the end of tid %d's "
+                              "chunk log", tid);
+                t.syncs.push_back(sp);
+            }
+            nshadow = getVarintFrom(payload_, pos);
+            if (nshadow != 0 && nshadow != nch)
+                parseFail("shadow-set count %llu does not match %llu "
+                          "chunks",
+                          static_cast<unsigned long long>(nshadow),
+                          static_cast<unsigned long long>(nch));
+            t.shadowOff = pos;
+            for (std::uint64_t j = 0; j < nshadow; ++j) {
+                getLineSetInto(payload_, pos, shift_, scratch);
+                getLineSetInto(payload_, pos, shift_, scratch);
+                if ((j & 0xfff) == 0)
+                    scanEvict(pos);
+            }
+        } else {
+            t.shadowOff = pos;
+        }
+        t.hasShadows = nshadow == nch;
+        t.sectionEnd = pos;
+        t.evictLo = t.sectionStart;
+        t.evictMidLo = t.chunkEnd;
+        totalChunks_ += nch;
+
+        for (const ThreadState &prior : threads_)
+            if (prior.tid == tid)
+                parseFail("duplicate thread %d in sphere log", tid);
+        threads_.push_back(std::move(t));
+        scanEvict(pos);
+    }
+    if (pos != payload_.size())
+        parseFail("trailing bytes in sphere log");
+
+    std::sort(threads_.begin(), threads_.end(),
+              [](const ThreadState &a, const ThreadState &b) {
+                  return a.tid < b.tid;
+              });
+    tids_.reserve(threads_.size());
+    exact_ = meta_.exactShadow;
+    for (auto &t : threads_) {
+        tids_.push_back(t.tid);
+        if (!t.hasShadows)
+            exact_ = false;
+    }
+    for (auto &t : threads_)
+        advance(t);
+}
+
+std::uint64_t
+SphereCursor::chunkCount(std::size_t slot) const
+{
+    return threads_[slot].nch;
+}
+
+const std::vector<SyncPoint> &
+SphereCursor::syncsOf(std::size_t slot) const
+{
+    return threads_[slot].syncs;
+}
+
+void
+SphereCursor::forEachChunkTs(
+    std::size_t slot,
+    const std::function<bool(std::uint64_t, Timestamp)> &fn) const
+{
+    const ThreadState &t = threads_[slot];
+    std::size_t pos = t.chunkStart;
+    Timestamp prev = 0;
+    for (std::uint64_t j = 0; j < t.nch; ++j) {
+        ChunkRecord rec = unpackCompactFrom(payload_, pos, prev,
+                                            t.tid);
+        prev = rec.ts;
+        if (!fn(j, rec.ts))
+            return;
+    }
+}
+
+void
+SphereCursor::advance(ThreadState &t)
+{
+    if (t.decoded >= t.nch) {
+        t.hasPending = false;
+        return;
+    }
+    t.pending = unpackCompactFrom(payload_, t.chunkOff, t.prevTs,
+                                  t.tid);
+    t.prevTs = t.pending.ts;
+    t.decoded++;
+    t.hasPending = true;
+}
+
+bool
+SphereCursor::next(CursorChunk &out)
+{
+    ThreadState *best = nullptr;
+    for (auto &t : threads_) {
+        if (!t.hasPending)
+            continue;
+        if (!best || t.pending.ts < best->pending.ts ||
+            (t.pending.ts == best->pending.ts && t.tid < best->tid))
+            best = &t;
+    }
+    if (!best)
+        return false;
+    out.rec = best->pending;
+    out.schedule = emitted_++;
+    out.posInThread = static_cast<std::uint32_t>(best->idx++);
+    out.shadow = nullptr;
+    if (exact_) {
+        getLineSetInto(payload_, best->shadowOff, shift_,
+                       best->shadowBuf.reads);
+        getLineSetInto(payload_, best->shadowOff, shift_,
+                       best->shadowBuf.writes);
+        out.shadow = &best->shadowBuf;
+    }
+    advance(*best);
+    return true;
+}
+
+std::uint64_t
+SphereCursor::evictConsumed()
+{
+    std::uint64_t released = 0;
+    for (auto &t : threads_) {
+        // Two consumed intervals per thread: the head (inputs + chunk
+        // records already decoded) and the tail (syncs held in memory,
+        // plus shadows already handed out). The bytes between the two
+        // are chunk records next() has not reached yet.
+        // Advance a sweep marker only when bytes were actually
+        // released: dontNeedRange is page-and-segment granular, so a
+        // narrow interval releases nothing -- moving the marker past
+        // it anyway would leak those pages forever. Left in place, the
+        // interval simply grows until it spans a whole page.
+        auto sweep = [&](std::size_t &lo, std::size_t hi) {
+            if (hi <= lo)
+                return;
+            std::size_t r = payload_.dontNeedRange(lo, hi);
+            if (r > 0) {
+                released += r;
+                lo = hi;
+            }
+        };
+        sweep(t.evictLo, t.chunkOff);
+        sweep(t.evictMidLo, exact_ ? t.shadowOff : t.sectionEnd);
+    }
+    return released;
+}
+
+std::uint64_t
+SphereCursor::residentBytes() const
+{
+    std::uint64_t bytes = sizeof(SphereCursor);
+    for (const auto &t : threads_) {
+        bytes += sizeof(ThreadState);
+        bytes += t.syncs.size() * sizeof(SyncPoint);
+        bytes += (t.shadowBuf.reads.size() +
+                  t.shadowBuf.writes.size()) * sizeof(Addr);
+    }
+    return bytes;
 }
 
 } // namespace qr

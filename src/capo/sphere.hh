@@ -12,10 +12,12 @@
 #define QR_CAPO_SPHERE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
 #include "capo/input_log.hh"
+#include "capo/payload_view.hh"
 #include "rnr/chunk_record.hh"
 #include "sim/types.hh"
 
@@ -148,6 +150,13 @@ struct SphereLogs
     static SphereLogs deserialize(const std::vector<std::uint8_t> &in);
 
     /**
+     * Parse a serialized sphere straight off a (possibly mmapped)
+     * PayloadView -- same validation and failure messages as the
+     * vector overload, zero staging copy.
+     */
+    static SphereLogs deserialize(const PayloadView &in);
+
+    /**
      * Parse as much of a damaged sphere stream as possible (see
      * SphereSalvage). Throws ParseError only when the header itself is
      * unusable; anything after a valid header yields a salvage.
@@ -169,6 +178,115 @@ struct SphereSalvage
     std::uint64_t threadsSalvaged = 0; //!< threads parsed in full
     std::uint64_t threadsPartial = 0;  //!< threads kept as a prefix
     std::string note; //!< what stopped the parse (empty if complete)
+};
+
+/** One chunk as handed out by a SphereCursor. */
+struct CursorChunk
+{
+    ChunkRecord rec;
+    std::uint32_t schedule = 0;    //!< global (ts, tid) schedule index
+    std::uint32_t posInThread = 0; //!< per-thread chunk index
+    /** Exact shadow set; only valid until the next next() call, and
+     *  only non-null when the cursor streams an exact-shadow sphere. */
+    const ChunkShadow *shadow = nullptr;
+};
+
+/**
+ * Streaming iterator over a serialized sphere: yields chunk records in
+ * (ts, tid) schedule order -- the same total order chunksByTimestamp()
+ * produces -- without ever materializing SphereLogs. Construction runs
+ * one validating scan over the payload (applying exactly the eager
+ * parser's checks, so corrupt input fails with the same ParseError
+ * messages), retaining only per-thread offsets, counts, and sync
+ * points; next() then decodes each thread's chunk and shadow streams
+ * lockstep off the PayloadView. Resident state is O(threads + syncs),
+ * independent of chunk count.
+ *
+ * The PayloadView's backing store must outlive the cursor.
+ */
+class SphereCursor
+{
+  public:
+    /** Validating scan; throws ParseError on corrupt input. */
+    explicit SphereCursor(PayloadView payload);
+
+    std::uint32_t sphereId() const { return sphereId_; }
+    const RecordMeta &recordMeta() const { return meta_; }
+
+    /** True iff every thread carries exact shadow sets. */
+    bool exact() const { return exact_; }
+
+    std::size_t nThreads() const { return threads_.size(); }
+    std::uint64_t totalChunks() const { return totalChunks_; }
+
+    /** Thread ids, ascending; the index is the thread "slot". */
+    const std::vector<Tid> &tids() const { return tids_; }
+
+    /** Chunk count of the thread in @p slot. */
+    std::uint64_t chunkCount(std::size_t slot) const;
+
+    /** Sync points recorded by the thread in @p slot. */
+    const std::vector<SyncPoint> &syncsOf(std::size_t slot) const;
+
+    /**
+     * Decode the chunk timestamps of @p slot in program order,
+     * invoking fn(perThreadIndex, ts) until it returns false. Used by
+     * the analyzer's sync-source resolution prepass; independent of
+     * the main next() stream.
+     */
+    void forEachChunkTs(
+        std::size_t slot,
+        const std::function<bool(std::uint64_t, Timestamp)> &fn) const;
+
+    /** @return false when the schedule is exhausted. */
+    bool next(CursorChunk &out);
+
+    /**
+     * Release fully-consumed payload ranges back to the OS (mmapped
+     * backing only). @return bytes newly released.
+     */
+    std::uint64_t evictConsumed();
+
+    /** Deterministic accounting of the cursor's resident state. */
+    std::uint64_t residentBytes() const;
+
+  private:
+    struct ThreadState
+    {
+        Tid tid = invalidTid;
+        std::uint64_t nch = 0;
+        std::uint64_t idx = 0;     //!< chunks emitted so far
+        std::uint64_t decoded = 0; //!< chunks decoded off the stream
+        std::size_t sectionStart = 0; //!< thread body payload offset
+        std::size_t chunkStart = 0;   //!< chunk-region payload offset
+        std::size_t chunkEnd = 0;     //!< first offset past the chunks
+        std::size_t chunkOff = 0;     //!< chunk decode position
+        std::size_t shadowOff = 0;    //!< shadow decode position
+        std::size_t sectionEnd = 0;
+        Timestamp prevTs = 0;
+        bool hasShadows = false;
+        bool hasPending = false;
+        ChunkRecord pending;
+        ChunkShadow shadowBuf;
+        std::vector<SyncPoint> syncs;
+        std::size_t evictLo = 0;    //!< watermark: consumed head range
+        std::size_t evictMidLo = 0; //!< watermark: consumed tail range
+    };
+
+    void advance(ThreadState &t);
+
+    PayloadView payload_;
+    RecordMeta meta_;
+    std::uint32_t sphereId_ = 1;
+    std::uint32_t memBytes_ = 0;
+    Addr userTop_ = 0;
+    bool v2_ = false;
+    bool exact_ = false;
+    int shift_ = 0;
+    std::uint64_t totalChunks_ = 0;
+    std::uint32_t emitted_ = 0;
+    std::vector<ThreadState> threads_;
+    std::vector<Tid> tids_;
 };
 
 } // namespace qr

@@ -69,19 +69,7 @@ putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
 std::uint64_t
 getVarint(const std::vector<std::uint8_t> &in, std::size_t &pos)
 {
-    std::uint64_t v = 0;
-    int shift = 0;
-    for (;;) {
-        if (pos >= in.size())
-            parseFail("varint runs past end of log");
-        std::uint8_t b = in[pos++];
-        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-        if (!(b & 0x80))
-            return v;
-        shift += 7;
-        if (shift >= 64)
-            parseFail("varint too long");
-    }
+    return getVarintFrom(in, pos);
 }
 
 void
@@ -103,19 +91,7 @@ ChunkRecord
 unpackCompact(const std::vector<std::uint8_t> &in, std::size_t &pos,
               Timestamp prev_ts, Tid tid)
 {
-    if (pos >= in.size())
-        parseFail("compact record runs past end of log");
-    std::uint8_t hdr = in[pos++];
-    ChunkRecord rec;
-    rec.reason = static_cast<ChunkReason>(hdr & 0x0f);
-    if (static_cast<int>(rec.reason) >= numChunkReasons)
-        parseFail("corrupt compact chunk record");
-    rec.size = static_cast<std::uint32_t>(getVarint(in, pos));
-    rec.ts = prev_ts + getVarint(in, pos);
-    rec.rsw = (hdr & 0x10)
-        ? static_cast<std::uint16_t>(getVarint(in, pos)) : 0;
-    rec.tid = tid;
-    return rec;
+    return unpackCompactFrom(in, pos, prev_ts, tid);
 }
 
 } // namespace qr

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace qr
@@ -94,9 +95,55 @@ ChunkRecord unpackCompact(const std::vector<std::uint8_t> &in,
 /** LEB128 varint append (shared with the input-log encoder). */
 void putVarint(std::vector<std::uint8_t> &out, std::uint64_t v);
 
+/**
+ * LEB128 varint decode at @p pos (advanced), generic over the byte
+ * source. @p Bytes needs only size() and operator[]; this lets the
+ * same decoder run over a heap buffer or a PayloadView backed by an
+ * mmapped container without staging a copy.
+ */
+template <class Bytes>
+std::uint64_t
+getVarintFrom(const Bytes &in, std::size_t &pos)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        if (pos >= in.size())
+            parseFail("varint runs past end of log");
+        std::uint8_t b = in[pos++];
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        if (shift >= 64)
+            parseFail("varint too long");
+    }
+}
+
 /** LEB128 varint decode at @p pos (advanced). */
 std::uint64_t getVarint(const std::vector<std::uint8_t> &in,
                         std::size_t &pos);
+
+/** Generic-source variant of unpackCompact(); see getVarintFrom(). */
+template <class Bytes>
+ChunkRecord
+unpackCompactFrom(const Bytes &in, std::size_t &pos, Timestamp prev_ts,
+                  Tid tid)
+{
+    if (pos >= in.size())
+        parseFail("compact record runs past end of log");
+    std::uint8_t hdr = in[pos++];
+    ChunkRecord rec;
+    rec.reason = static_cast<ChunkReason>(hdr & 0x0f);
+    if (static_cast<int>(rec.reason) >= numChunkReasons)
+        parseFail("corrupt compact chunk record");
+    rec.size = static_cast<std::uint32_t>(getVarintFrom(in, pos));
+    rec.ts = prev_ts + getVarintFrom(in, pos);
+    rec.rsw = (hdr & 0x10)
+        ? static_cast<std::uint16_t>(getVarintFrom(in, pos)) : 0;
+    rec.tid = tid;
+    return rec;
+}
 
 } // namespace qr
 

@@ -1,6 +1,7 @@
 #include "sim/bench_json.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +42,14 @@ std::string
 formatNumber(double v)
 {
     char buf[32];
+    // Counters (chunk counts, byte totals) must round-trip exactly:
+    // %.6g would turn a million-chunk sphere into "1e+06" and break
+    // integer consumers like check_bench_stream.cmake's math(EXPR).
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
     std::snprintf(buf, sizeof(buf), "%.6g", v);
     // JSON has no inf/nan; degrade to null-ish 0 rather than emit an
     // unparseable token.

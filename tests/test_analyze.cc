@@ -199,6 +199,68 @@ TEST(RaceAnalyzer, BenchDocRoundTripsThroughTheJsonParser)
               static_cast<double>(rep.nChunks));
 }
 
+/**
+ * A sphere whose race fixpoint needs exactly 65 rounds: 65 WAW edges
+ * on distinct lines forming strictly nested (from, to) intervals, so
+ * each edge is covered only through the next-inner one and the Jacobi
+ * iteration peels exactly one edge per round, innermost first.
+ */
+SphereLogs
+makeNestedConflictChain()
+{
+    SphereLogs logs;
+    logs.meta.exactShadow = true;
+    ThreadLogs &a = logs.threads[1];
+    ThreadLogs &b = logs.threads[2];
+    auto chunk = [](Tid tid, Timestamp ts) {
+        ChunkRecord c;
+        c.tid = tid;
+        c.ts = ts;
+        c.size = 10;
+        c.reason = ChunkReason::Drain;
+        return c;
+    };
+    auto line = [](int i) { return 0x10000 + Addr(i) * 64; };
+    for (int i = 1; i <= 65; ++i) {
+        a.chunks.push_back(chunk(1, Timestamp(i)));
+        a.shadows.push_back({{}, {line(i)}});
+        // B's chunk at ts 66+k rewrites A's line 65-k: edge i spans
+        // (ts i, ts 131-i), nested strictly inside edge i-1.
+        b.chunks.push_back(chunk(2, Timestamp(65 + i)));
+        b.shadows.push_back({{}, {line(66 - i)}});
+    }
+    return logs;
+}
+
+TEST(RaceAnalyzer, FixpointCapIsReportedNotSilent)
+{
+    SphereLogs logs = makeNestedConflictChain();
+    RaceReport rep = analyzeSphere(logs);
+    EXPECT_TRUE(rep.fixpointCapped);
+    EXPECT_EQ(rep.fixpointRounds, 64u);
+    // 64 rounds peel 64 of the 65 edges; the outermost is still
+    // (wrongly) reported as synchronized, hence the warning.
+    EXPECT_EQ(rep.races.size(), 64u);
+    EXPECT_NE(rep.str().find("warning: race fixpoint hit the 64-round "
+                             "cap"),
+              std::string::npos);
+    EXPECT_NE(rep.toBenchDoc("nested-chain").str()
+                  .find("fixpoint_capped"),
+              std::string::npos);
+}
+
+TEST(RaceAnalyzer, UncappedFixpointConvergesOnTheNestedChain)
+{
+    SphereLogs logs = makeNestedConflictChain();
+    RaceReport rep = analyzeSphere(logs, /*fixpoint_cap=*/0);
+    EXPECT_FALSE(rep.fixpointCapped);
+    // Rounds 1..65 each kill one edge; round 66 confirms convergence.
+    EXPECT_EQ(rep.fixpointRounds, 66u);
+    EXPECT_EQ(rep.races.size(), 65u);
+    EXPECT_EQ(rep.str().find("warning: race fixpoint"),
+              std::string::npos);
+}
+
 TEST(RaceAnalyzer, MalformedSphereThrowsParseErrorNotAbort)
 {
     // Non-monotonic per-thread timestamps violate the Lamport

@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "capo/input_log.hh"
+#include "capo/payload_view.hh"
 #include "capo/log_store.hh"
 #include "capo/sphere.hh"
 #include "core/session.hh"
@@ -314,6 +318,51 @@ TEST(SphereLogsCorruption, OutOfRangeTidIsRejected)
     EXPECT_THROW(SphereLogs::deserialize(bytes), ParseError);
 }
 
+TEST(MappedSegmentWriterTest, BitIdenticalToTheBufferedWriter)
+{
+    if (!MappedSegmentWriter::available())
+        GTEST_SKIP() << "mmap writing not compiled in";
+    Workload w = makeRacyCounter(4, 500, false);
+    RecordResult rec = recordProgram(w.program);
+    std::vector<std::uint8_t> payload = rec.logs.serialize();
+
+    std::string buffered = "/tmp/qr_test_writer_buffered.qrs";
+    std::string mapped = "/tmp/qr_test_writer_mapped.qrs";
+    SegmentedWriteResult wr = writeSegmented(payload, buffered);
+    ASSERT_TRUE(wr) << wr.error;
+
+    MappedSegmentWriter mw;
+    ASSERT_TRUE(mw.create(mapped)) << mw.error();
+    // Ragged appends: the container layout must depend only on the
+    // payload bytes, never on the append granularity.
+    std::size_t off = 0, step = 1;
+    while (off < payload.size()) {
+        std::size_t n = std::min(step, payload.size() - off);
+        mw.append(payload.data() + off, n);
+        off += n;
+        step = step * 2 + 3;
+    }
+    EXPECT_EQ(mw.payloadBytes(), payload.size());
+    ASSERT_GT(mw.seal(), 0u) << mw.error();
+
+    auto slurp = [](const std::string &p) {
+        std::vector<std::uint8_t> bytes;
+        std::FILE *f = std::fopen(p.c_str(), "rb");
+        EXPECT_NE(f, nullptr) << p;
+        if (!f)
+            return bytes;
+        std::uint8_t buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.insert(bytes.end(), buf, buf + n);
+        std::fclose(f);
+        return bytes;
+    };
+    EXPECT_EQ(slurp(mapped), slurp(buffered));
+    std::remove(buffered.c_str());
+    std::remove(mapped.c_str());
+}
+
 // --- checked-in corruption corpus ---------------------------------------
 //
 // tests/corpus/ holds a known-good sealed sphere (intact.qrs) plus
@@ -420,6 +469,129 @@ TEST(SphereCorpus, EmptyFileIsRejectedEverywhere)
     SphereRecoverResult rec = recoverSphere(corpusPath("empty.qrs"));
     EXPECT_FALSE(rec);
     EXPECT_FALSE(rec.error.empty());
+}
+
+TEST(SphereCorpus, TruncatedMidSegmentIsARecoverableError)
+{
+    // The file ends in the middle of segment 3's payload (crash after
+    // ~3.5 KiB hit disk). Strict loading must refuse -- pointing at
+    // recovery, not crashing -- and salvage must keep exactly the
+    // intact segment prefix.
+    SphereLoadResult loaded =
+        loadSphere(corpusPath("truncated_midseg.qrs"));
+    EXPECT_FALSE(loaded);
+    EXPECT_NE(loaded.error.find("torn"), std::string::npos)
+        << loaded.error;
+    EXPECT_NE(loaded.error.find("recover"), std::string::npos)
+        << loaded.error;
+
+    SphereRecoverResult rec =
+        recoverSphere(corpusPath("truncated_midseg.qrs"));
+    ASSERT_TRUE(rec) << rec.error;
+    EXPECT_FALSE(rec.complete);
+    EXPECT_EQ(rec.segmentsSalvaged, 3u);
+    EXPECT_GT(rec.logs.totalChunks(), 0u);
+    EXPECT_GT(rec.threadsSalvaged + rec.threadsPartial, 0u);
+}
+
+// --- mmap loader over the corpus -----------------------------------------
+//
+// MappedSphereFile is the zero-copy path the streaming analyzer rides.
+// Every corpus shape must map -- or refuse -- without a crash, and the
+// lazy per-segment checksum verification must fail exactly where the
+// eager readSegmented() acceptance does.
+
+/** Touch every payload byte through the lazy view; returns a sum so
+ *  the loop cannot be optimized away. */
+std::uint64_t
+touchAll(const MappedSphereFile &map)
+{
+    PayloadView pv = map.payload();
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < pv.size(); ++i)
+        sum += pv[i];
+    return sum;
+}
+
+TEST(MappedCorpus, IntactFileStreamsAndVerifies)
+{
+    MappedSphereFile map;
+    ASSERT_TRUE(map.open(corpusPath("intact.qrs"))) << map.error();
+    EXPECT_TRUE(map.isContainer());
+    EXPECT_TRUE(map.sealed());
+    EXPECT_TRUE(map.canStream());
+    EXPECT_EQ(map.verifyAll(), "");
+    EXPECT_GT(map.payloadBytes(), 0u);
+
+    SphereLoadResult eager = loadSphere(corpusPath("intact.qrs"));
+    ASSERT_TRUE(eager) << eager.error;
+    EXPECT_EQ(SphereLogs::deserialize(map.payload()), eager.logs);
+}
+
+TEST(MappedCorpus, TornTailFailsTheStructuralWalk)
+{
+    // open() does no hashing, but the structural walk still sees the
+    // mid-record cut -- a torn file never reaches the lazy path.
+    MappedSphereFile map;
+    EXPECT_FALSE(map.open(corpusPath("torn_tail.qrs")));
+    EXPECT_TRUE(map.isContainer());
+    EXPECT_FALSE(map.canStream());
+    EXPECT_NE(map.error().find("torn"), std::string::npos)
+        << map.error();
+}
+
+TEST(MappedCorpus, TruncatedMidSegmentFailsTheStructuralWalk)
+{
+    MappedSphereFile map;
+    EXPECT_FALSE(map.open(corpusPath("truncated_midseg.qrs")));
+    EXPECT_TRUE(map.isContainer());
+    EXPECT_NE(map.error().find("segment 3"), std::string::npos)
+        << map.error();
+}
+
+TEST(MappedCorpus, FlippedTrailerIsCaughtByVerifyAllOnly)
+{
+    // Every data segment checksums clean, so lazy streaming reads the
+    // whole payload happily; only the eager whole-payload acceptance
+    // (what loadSphere uses) can see the broken seal.
+    MappedSphereFile map;
+    ASSERT_TRUE(map.open(corpusPath("bad_trailer.qrs")))
+        << map.error();
+    EXPECT_TRUE(map.canStream());
+    EXPECT_NE(map.verifyAll().find("trailer checksum"),
+              std::string::npos);
+    EXPECT_NO_THROW((void)touchAll(map));
+}
+
+TEST(MappedCorpus, FlippedSegmentByteThrowsOnFirstTouch)
+{
+    // The structural walk passes (lengths are fine); the flipped byte
+    // surfaces as ParseError on the first touch of segment 1, and as
+    // a verifyAll() failure in readSegmented()'s words.
+    MappedSphereFile map;
+    ASSERT_TRUE(map.open(corpusPath("bad_segment.qrs")))
+        << map.error();
+    EXPECT_TRUE(map.canStream());
+    EXPECT_THROW((void)touchAll(map), ParseError);
+    EXPECT_NE(map.verifyAll().find("segment 1 checksum"),
+              std::string::npos);
+}
+
+TEST(MappedCorpus, DuplicatedSegmentFailsTheTrailerCount)
+{
+    MappedSphereFile map;
+    EXPECT_FALSE(map.open(corpusPath("dup_segment.qrs")));
+    EXPECT_TRUE(map.isContainer());
+    EXPECT_NE(map.error().find("segments"), std::string::npos)
+        << map.error();
+}
+
+TEST(MappedCorpus, EmptyFileIsNotAContainer)
+{
+    MappedSphereFile map;
+    EXPECT_FALSE(map.open(corpusPath("empty.qrs")));
+    EXPECT_FALSE(map.isContainer());
+    EXPECT_FALSE(map.error().empty());
 }
 
 TEST(SphereCorpus, SalvagedSpheresReplayDegraded)

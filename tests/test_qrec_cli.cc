@@ -273,8 +273,54 @@ TEST(QrecCli, AnalyzeEmitsParseableJson)
     EXPECT_NE(text.find("\"bench\": \"ANALYZE\""), std::string::npos)
         << text;
     EXPECT_NE(text.find("false_conflict_rate"), std::string::npos);
+    // Schema-2 stats section: streaming-analyzer resource accounting.
+    EXPECT_NE(text.find("\"schema\": 2"), std::string::npos) << text;
+    EXPECT_NE(text.find("analyze.peak_resident_bytes"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("analyze.fixpoint_capped"), std::string::npos)
+        << text;
     std::remove(file);
     std::remove(json);
+}
+
+TEST(QrecCli, AnalyzeWindowFlagAndEnvKnob)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_analyze_window.qrec";
+    ASSERT_EQ(runQrec(std::string("record race-demo-clean -t 2 "
+                                  "--exact-shadow -o ") + file),
+              0);
+
+    // The window is a pure memory knob: any value, same report.
+    std::string base, w1;
+    EXPECT_EQ(runQrecCapture(std::string("analyze -i ") + file, base),
+              0);
+    EXPECT_EQ(runQrecCapture(std::string("analyze -i ") + file +
+                                 " --window 1",
+                             w1),
+              0);
+    EXPECT_EQ(base, w1);
+
+    // The env knob is inherited through popen's shell.
+    setenv("QR_ANALYZE_WINDOW", "3", 1);
+    std::string env;
+    EXPECT_EQ(runQrecCapture(std::string("analyze -i ") + file, env),
+              0);
+    unsetenv("QR_ANALYZE_WINDOW");
+    EXPECT_EQ(base, env);
+
+    // Malformed values are rejected with the usual flag diagnostics.
+    for (const char *bad : {"0", "-2", "junk", ""}) {
+        std::string out;
+        int rc = runQrecCapture(std::string("analyze -i ") + file +
+                                    " --window \"" + bad + "\"",
+                                out);
+        EXPECT_NE(rc, 0) << "--window '" << bad << "' was accepted:\n"
+                         << out;
+        EXPECT_NE(out.find("window"), std::string::npos) << out;
+    }
+    std::remove(file);
 }
 
 TEST(QrecCli, AnalyzeWorksWithoutExactShadows)

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Differential tests of the streaming analyzer: analyzeSphereStreaming
+ * must be bit-identical to the eager analyzeSphere on every suite
+ * workload, in exact and degraded mode, for any window size, and on
+ * salvaged corpus spheres. The eager path is the oracle; the streaming
+ * path is the one qrec and the scale bench actually run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/race_analyzer.hh"
+#include "capo/log_store.hh"
+#include "capo/payload_view.hh"
+#include "capo/sphere.hh"
+#include "core/session.hh"
+#include "sim/bench_json.hh"
+#include "workloads/micro.hh"
+#include "workloads/workload.hh"
+
+namespace qr
+{
+namespace
+{
+
+RecordResult
+recordExact(const Workload &w, std::uint32_t bloom_bits = 1024)
+{
+    RecorderConfig rcfg;
+    rcfg.rnr.exactShadow = true;
+    rcfg.rnr.bloom.bits = bloom_bits;
+    return recordProgram(w.program, {}, rcfg);
+}
+
+/**
+ * Run both analyzers over @p logs and require bit-identical reports:
+ * same human-readable text, same bench JSON, same edges, same audit.
+ * The streaming report intentionally omits the schedule and vector
+ * clocks, and always reports a single fixpoint pass -- everything else
+ * must match byte for byte.
+ */
+void
+expectStreamingIdentical(const SphereLogs &logs, const std::string &tag,
+                         std::uint32_t window = 0)
+{
+    // The oracle runs to natural convergence (cap 0): equivalence to
+    // the streaming single pass only holds at the true fixpoint, and
+    // the legacy 64-round default provably cuts radix short.
+    RaceReport eager = analyzeSphere(logs, /*fixpoint_cap=*/0);
+    ASSERT_FALSE(eager.fixpointCapped) << tag;
+
+    std::vector<std::uint8_t> bytes = logs.serialize();
+    SphereCursor cur{PayloadView(bytes)};
+    StreamOptions opt;
+    opt.window = window;
+    StreamStats stats;
+    RaceReport stream = analyzeSphereStreaming(cur, opt, &stats);
+
+    EXPECT_EQ(stream.str(), eager.str()) << tag;
+    EXPECT_EQ(stream.toBenchDoc(tag).str(), eager.toBenchDoc(tag).str())
+        << tag;
+
+    EXPECT_EQ(stream.exact, eager.exact) << tag;
+    EXPECT_EQ(stream.nThreads, eager.nThreads) << tag;
+    EXPECT_EQ(stream.nChunks, eager.nChunks) << tag;
+    EXPECT_EQ(stream.programEdges, eager.programEdges) << tag;
+    EXPECT_EQ(stream.syncEdges, eager.syncEdges) << tag;
+    EXPECT_EQ(stream.conflictEdges, eager.conflictEdges) << tag;
+    EXPECT_EQ(stream.totalEdges, eager.totalEdges) << tag;
+    EXPECT_EQ(stream.reducedEdges, eager.reducedEdges) << tag;
+    EXPECT_EQ(stream.threadSlot, eager.threadSlot) << tag;
+    EXPECT_FALSE(stream.fixpointCapped) << tag;
+
+    EXPECT_EQ(stream.conflicts, eager.conflicts) << tag;
+    EXPECT_EQ(stream.races, eager.races) << tag;
+    EXPECT_EQ(stream.racyLines, eager.racyLines) << tag;
+
+    EXPECT_EQ(stream.audit.conflictTerminations,
+              eager.audit.conflictTerminations) << tag;
+    EXPECT_EQ(stream.audit.trueConflicts, eager.audit.trueConflicts)
+        << tag;
+    EXPECT_EQ(stream.audit.bloomFalseConflicts,
+              eager.audit.bloomFalseConflicts) << tag;
+    EXPECT_EQ(stream.audit.unattributed, eager.audit.unattributed)
+        << tag;
+    for (int r = 0; r < numChunkReasons; ++r)
+        EXPECT_EQ(stream.reasonCounts[r], eager.reasonCounts[r])
+            << tag << " reason " << r;
+
+    // The streaming report is the flat one: no schedule, no clocks.
+    EXPECT_TRUE(stream.schedule.empty()) << tag;
+    EXPECT_TRUE(stream.vectorClocks.empty()) << tag;
+    EXPECT_GT(stats.peakResidentBytes, 0u) << tag;
+    EXPECT_GT(stats.windowBatches, 0u) << tag;
+}
+
+TEST(StreamAnalyze, EverySuiteWorkloadExactMode)
+{
+    for (const WorkloadSpec &spec : splash2Suite()) {
+        Workload w = spec.make(4, 1);
+        RecordResult rec = recordExact(w);
+        ASSERT_TRUE(rec.logs.hasShadows()) << spec.name;
+        expectStreamingIdentical(rec.logs, spec.name);
+    }
+}
+
+TEST(StreamAnalyze, EverySuiteWorkloadDegradedMode)
+{
+    for (const WorkloadSpec &spec : splash2Suite()) {
+        Workload w = spec.make(4, 1);
+        RecordResult rec = recordProgram(w.program);
+        ASSERT_FALSE(rec.logs.hasShadows()) << spec.name;
+        expectStreamingIdentical(rec.logs, spec.name + "-degraded");
+    }
+}
+
+TEST(StreamAnalyze, RaceDemoTwinsAcrossWindowSizes)
+{
+    // A window of 1 garbage-collects after every chunk; a window far
+    // larger than the sphere never does mid-stream. Either way the
+    // report must not change -- the window is purely a memory knob.
+    for (bool racy : {false, true}) {
+        Workload w = makeRaceDemo(4, 100, racy);
+        RecordResult rec = recordExact(w);
+        for (std::uint32_t window : {1u, 7u, 1u << 20}) {
+            expectStreamingIdentical(
+                rec.logs,
+                w.name + (racy ? "-racy-w" : "-clean-w") +
+                    std::to_string(window),
+                window);
+        }
+    }
+}
+
+TEST(StreamAnalyze, TinyFiltersKeepTheAuditIdentical)
+{
+    // Deliberately tiny Bloom filters force aliasing, so the precision
+    // audit has real work in both true- and false-conflict buckets.
+    Workload w = makeByName("radix", 4, 1);
+    RecordResult rec = recordExact(w, /*bloom_bits=*/64);
+    expectStreamingIdentical(rec.logs, "radix-tiny-bloom");
+}
+
+TEST(StreamAnalyze, DroppingConflictsKeepsRacesAndCounters)
+{
+    Workload w = makeRaceDemo(4, 100, true);
+    RecordResult rec = recordExact(w);
+    RaceReport eager = analyzeSphere(rec.logs);
+
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    SphereCursor cur{PayloadView(bytes)};
+    StreamOptions opt;
+    opt.keepConflicts = false;
+    RaceReport stream = analyzeSphereStreaming(cur, opt);
+
+    EXPECT_TRUE(stream.conflicts.empty());
+    EXPECT_EQ(stream.conflictEdges, eager.conflictEdges);
+    EXPECT_EQ(stream.races, eager.races);
+    EXPECT_EQ(stream.racyLines, eager.racyLines);
+    EXPECT_EQ(stream.totalEdges, eager.totalEdges);
+    EXPECT_EQ(stream.reducedEdges, eager.reducedEdges);
+}
+
+TEST(StreamAnalyze, StreamingSupersedesTheCappedLegacyFixpoint)
+{
+    // radix's conflict cascade needs more than the legacy 64 rounds:
+    // at the default cap the eager analyzer must say so, and the
+    // streaming single pass must find every race the truncated
+    // iteration found plus the ones it left unverified.
+    Workload w = makeByName("radix", 4, 1);
+    RecordResult rec = recordExact(w);
+    RaceReport capped = analyzeSphere(rec.logs);
+    ASSERT_TRUE(capped.fixpointCapped);
+    EXPECT_EQ(capped.fixpointRounds, 64u);
+    EXPECT_NE(capped.str().find("warning: race fixpoint"),
+              std::string::npos);
+
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    SphereCursor cur{PayloadView(bytes)};
+    RaceReport stream = analyzeSphereStreaming(cur);
+    EXPECT_FALSE(stream.fixpointCapped);
+    EXPECT_GT(stream.races.size(), capped.races.size());
+    for (const ConflictEdge &e : capped.races)
+        EXPECT_TRUE(std::find(stream.races.begin(), stream.races.end(),
+                              e) != stream.races.end())
+            << "capped race " << e.from << "->" << e.to
+            << " missing from the exact fixpoint";
+}
+
+#ifdef QR_CORPUS_DIR
+
+std::string
+corpusPath(const char *name)
+{
+    return std::string(QR_CORPUS_DIR) + "/" + name;
+}
+
+TEST(StreamAnalyze, SalvagedCorpusSpheresAnalyzeIdentically)
+{
+    // Salvaged spheres are re-serialized (salvage repairs the framing)
+    // and then analyzed both ways; the prefix logs are real recorded
+    // data from makeRacyCounter, shadows dropped by the salvage.
+    for (const char *name : {"torn_tail.qrs", "intact.qrs"}) {
+        SphereRecoverResult salvage = recoverSphere(corpusPath(name));
+        ASSERT_TRUE(salvage.ok) << name << ": " << salvage.error;
+        expectStreamingIdentical(salvage.logs, name);
+    }
+}
+
+#endif // QR_CORPUS_DIR
+
+} // namespace
+} // namespace qr

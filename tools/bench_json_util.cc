@@ -2,11 +2,16 @@
  * @file
  * Command-line helper for BENCH_<id>.json files:
  *
- *   bench_json_util validate FILE...        parse + schema-check each file
+ *   bench_json_util validate [--min-schema N] FILE...
+ *                                           parse + schema-check each file
  *   bench_json_util merge ID OUT FILE...    merge into one document "ID"
  *
  * Used by tools/run_bench.sh to assemble BENCH_RECORD.json and by the
  * CTest smoke entry to prove that bench binaries emit parseable JSON.
+ * --min-schema N rejects documents declaring an older schema than N:
+ * regenerated artifacts must not silently regress to v1 (no stats
+ * section), and checked-in artifacts are validated at their expected
+ * version.
  *
  * Beyond the generic schema check, validate enforces the replay-speed
  * pairing rule: a workload reporting either replay.modeled_speedup or
@@ -16,6 +21,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -67,7 +73,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: bench_json_util validate FILE...\n"
+                 "usage: bench_json_util validate [--min-schema N] "
+                 "FILE...\n"
                  "       bench_json_util merge ID OUT FILE...\n");
     return 2;
 }
@@ -82,9 +89,26 @@ main(int argc, char **argv)
         return usage();
 
     if (std::strcmp(argv[1], "validate") == 0) {
-        if (argc < 3)
+        int first = 2;
+        int minSchema = 1;
+        if (first < argc &&
+            std::strcmp(argv[first], "--min-schema") == 0) {
+            if (first + 1 >= argc)
+                return usage();
+            char *end = nullptr;
+            long n = std::strtol(argv[first + 1], &end, 10);
+            if (end == argv[first + 1] || *end || n < 1) {
+                std::fprintf(stderr,
+                             "--min-schema expects a positive integer, "
+                             "got '%s'\n", argv[first + 1]);
+                return 2;
+            }
+            minSchema = static_cast<int>(n);
+            first += 2;
+        }
+        if (first >= argc)
             return usage();
-        for (int i = 2; i < argc; ++i) {
+        for (int i = first; i < argc; ++i) {
             std::string text, err;
             BenchDoc doc;
             if (!readFile(argv[i], text)) {
@@ -94,6 +118,14 @@ main(int argc, char **argv)
             if (!parseBenchJson(text, doc, err)) {
                 std::fprintf(stderr, "%s: invalid: %s\n", argv[i],
                              err.c_str());
+                return 1;
+            }
+            if (doc.schema < minSchema) {
+                std::fprintf(stderr,
+                             "%s: invalid: schema %d is older than the "
+                             "required minimum %d (stale artifact -- "
+                             "regenerate with tools/run_bench.sh)\n",
+                             argv[i], doc.schema, minSchema);
                 return 1;
             }
             std::string pairErr = checkSpeedupPairing(doc);

@@ -1,0 +1,99 @@
+# Validates a BENCH_STREAM document: it must parse, declare schema 2,
+# attach the streaming analyzer's resource accounting as stats, and
+# carry the 1x/10x/100x sweep rows. The flat-memory claim is re-derived
+# from the rows themselves -- the 100x sphere must hold >= 100x the
+# chunks of the 1x sphere while analyze.peak_resident_bytes stays
+# within 2x -- so the artifact proves the bar, independent of the bench
+# process's own exit code.
+# Run as: cmake -DJSON=<file> -P check_bench_stream.cmake
+
+if(NOT DEFINED JSON)
+    message(FATAL_ERROR "pass -DJSON=<bench json file>")
+endif()
+file(READ "${JSON}" text)
+
+if(CMAKE_VERSION VERSION_LESS 3.19)
+    # No string(JSON) parser available: settle for shape checks.
+    foreach(needle "\"schema\": 2" "analyze.peak_resident_bytes"
+            "analyze.chunks" "analyze.mem_ratio_100x" "\"stats\"")
+        string(FIND "${text}" "${needle}" at)
+        if(at EQUAL -1)
+            message(FATAL_ERROR "${JSON}: missing ${needle}")
+        endif()
+    endforeach()
+    return()
+endif()
+
+string(JSON schema ERROR_VARIABLE err GET "${text}" schema)
+if(err)
+    message(FATAL_ERROR "${JSON}: not parseable bench JSON: ${err}")
+endif()
+if(NOT schema EQUAL 2)
+    message(FATAL_ERROR "${JSON}: schema is ${schema}, expected 2")
+endif()
+
+string(JSON kind ERROR_VARIABLE err TYPE "${text}" stats)
+if(err OR NOT kind STREQUAL "OBJECT")
+    message(FATAL_ERROR "${JSON}: schema 2 requires a stats object")
+endif()
+string(JSON peak ERROR_VARIABLE err GET "${text}" stats
+       analyze.peak_resident_bytes)
+if(err)
+    message(FATAL_ERROR
+            "${JSON}: stats lack analyze.peak_resident_bytes")
+endif()
+
+string(JSON n ERROR_VARIABLE err LENGTH "${text}" results)
+if(err OR n LESS 1)
+    message(FATAL_ERROR "${JSON}: no result rows")
+endif()
+
+# Collect the per-scale chunk counts and peak resident bytes.
+math(EXPR last "${n} - 1")
+foreach(i RANGE ${last})
+    string(JSON workload GET "${text}" results ${i} workload)
+    string(JSON metric GET "${text}" results ${i} metric)
+    string(JSON value ERROR_VARIABLE err GET "${text}" results ${i}
+           value)
+    if(err)
+        message(FATAL_ERROR
+                "${JSON}: row ${i} (${workload}) has no value")
+    endif()
+    foreach(scale 1x 10x 100x)
+        if(workload STREQUAL "${scale}")
+            if(metric STREQUAL "analyze.chunks")
+                set(chunks_${scale} "${value}")
+            elseif(metric STREQUAL "analyze.peak_resident_bytes")
+                set(peak_${scale} "${value}")
+            endif()
+        endif()
+    endforeach()
+endforeach()
+
+foreach(scale 1x 10x 100x)
+    if(NOT DEFINED chunks_${scale} OR NOT DEFINED peak_${scale})
+        message(FATAL_ERROR "${JSON}: missing analyze.chunks / "
+                "analyze.peak_resident_bytes rows for scale ${scale}")
+    endif()
+    if(chunks_${scale} LESS_EQUAL 0 OR peak_${scale} LESS_EQUAL 0)
+        message(FATAL_ERROR
+                "${JSON}: non-positive measurement at ${scale}")
+    endif()
+endforeach()
+
+# chunks(100x) >= 100 * chunks(1x): the sweep really scaled the sphere.
+math(EXPR chunk_floor "100 * ${chunks_1x}")
+if(chunks_100x LESS ${chunk_floor})
+    message(FATAL_ERROR "${JSON}: 100x sphere has ${chunks_100x} chunks "
+            "< 100 * ${chunks_1x} -- the sweep did not scale")
+endif()
+
+# peak(100x) <= 2 * peak(1x): resident memory stayed flat.
+math(EXPR peak_ceiling "2 * ${peak_1x}")
+if(peak_100x GREATER ${peak_ceiling})
+    message(FATAL_ERROR "${JSON}: peak resident ${peak_100x} B at 100x "
+            "exceeds 2 * ${peak_1x} B -- memory is not flat")
+endif()
+
+message(STATUS "${JSON}: chunks ${chunks_1x} -> ${chunks_100x}, "
+        "peak resident ${peak_1x} B -> ${peak_100x} B (flat)")

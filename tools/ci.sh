@@ -16,7 +16,11 @@
 #   6. an observability smoke: record with the event tracer armed,
 #      export and validate the Chrome trace JSON, dump stats in both
 #      formats,
-#   7. the docs lint (tools/check_docs.sh): every qrec subcommand and
+#   7. a streaming-analysis smoke: a tiny E10 sweep records 1x/10x/
+#      100x spheres, analyzes them through the mmap + cursor pipeline,
+#      and the BENCH_STREAM.json artifact must prove the flat-memory
+#      bar (check_bench_stream.cmake) at schema v2,
+#   8. the docs lint (tools/check_docs.sh): every qrec subcommand and
 #      QR_* knob must be documented in README.md.
 #
 # The first failing stage aborts the script with a nonzero exit.
@@ -27,21 +31,21 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "=== ci 1/7: tier-1 suite ==="
+echo "=== ci 1/8: tier-1 suite ==="
 cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD" -j "$(nproc)"
 (cd "$BUILD" && ctest --output-on-failure)
 
-echo "=== ci 2/7: asan/ubsan ==="
+echo "=== ci 2/8: asan/ubsan ==="
 tools/run_asan.sh
 
-echo "=== ci 3/7: tsan ==="
+echo "=== ci 3/8: tsan ==="
 tools/run_tsan.sh
 
-echo "=== ci 4/7: clang-tidy ==="
+echo "=== ci 4/8: clang-tidy ==="
 tools/run_lint.sh "$BUILD"
 
-echo "=== ci 5/7: fault pipeline smoke ==="
+echo "=== ci 5/8: fault pipeline smoke ==="
 QREC="$BUILD/tools/qrec"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -54,7 +58,7 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     -i "$SMOKE_DIR/smoke_rec.qrec" \
     | grep -q "identical to sequential"
 
-echo "=== ci 6/7: observability smoke ==="
+echo "=== ci 6/8: observability smoke ==="
 "$QREC" record fft -t 4 -s 1 --trace -o "$SMOKE_DIR/trace.qrec" \
     | grep -q "traced"
 "$QREC" trace -i "$SMOKE_DIR/trace.qrec" -o "$SMOKE_DIR/trace.json"
@@ -63,7 +67,16 @@ cmake -DJSON="$SMOKE_DIR/trace.json" -P tools/check_trace_json.cmake
 "$QREC" stats --prom -i "$SMOKE_DIR/trace.qrec" \
     | grep -q "# TYPE qr_rnr_chunks counter"
 
-echo "=== ci 7/7: docs lint ==="
+echo "=== ci 7/8: streaming analysis smoke ==="
+QR_BENCH_SCALE=1 QR_BENCH_WORKLOADS=radix QR_BENCH_MIN_SECS=0 \
+    QR_BENCH_JSON_DIR="$SMOKE_DIR" "$BUILD/bench/bench_e10_stream" \
+    > /dev/null
+cmake -DJSON="$SMOKE_DIR/BENCH_STREAM.json" \
+    -P tools/check_bench_stream.cmake
+"$BUILD/tools/bench_json_util" validate --min-schema 2 \
+    "$SMOKE_DIR/BENCH_STREAM.json"
+
+echo "=== ci 8/8: docs lint ==="
 tools/check_docs.sh
 
 echo "ci: all gates green"

@@ -25,13 +25,18 @@
  *       parseable thread-log prefix, rewritten as a sealed container.
  *   qrec inspect -i <file>
  *       Summarize a recorded sphere's logs.
- *   qrec analyze -i <file> [--json out.json]
+ *   qrec analyze -i <file> [--window N] [--json out.json]
  *       Offline happens-before race analysis over the recorded chunk
- *       logs: no replay, works on the sphere alone. Reports races
- *       (with line addresses when the sphere was recorded with
- *       --exact-shadow), the recording-precision audit, and the
- *       termination histograms; --json additionally emits the
- *       machine-readable rows (bench_json schema).
+ *       logs: no replay, works on the sphere alone. Sealed containers
+ *       are analyzed straight off the mmapped file through the
+ *       streaming analyzer, so memory stays flat in the chunk count;
+ *       --window (or QR_ANALYZE_WINDOW) sets the streaming batch size
+ *       in chunks -- a pure memory/bookkeeping knob that never changes
+ *       the results. Reports races (with line addresses when the
+ *       sphere was recorded with --exact-shadow), the recording-
+ *       precision audit, and the termination histograms; --json
+ *       additionally emits the machine-readable rows plus the
+ *       analyze.* resource stats (bench_json schema 2).
  *   qrec trace -i <file> [-o trace.json]
  *       Export the recording's structured event timeline as Chrome
  *       trace-event JSON (load in chrome://tracing or Perfetto).
@@ -67,6 +72,7 @@
 #include "isa/disassembler.hh"
 #include "core/session.hh"
 #include "obs/event_trace.hh"
+#include "obs/profile.hh"
 #include "obs/stats_export.hh"
 #include "replay/log_reader.hh"
 #include "sim/logging.hh"
@@ -98,15 +104,22 @@ putString(std::vector<std::uint8_t> &out, const std::string &s)
     out.insert(out.end(), s.begin(), s.end());
 }
 
+/**
+ * Length-prefixed string decode, generic over the byte source so the
+ * container meta parses identically off a heap buffer and off a
+ * mmapped PayloadView.
+ */
+template <class Bytes>
 std::string
-getString(const std::vector<std::uint8_t> &in, std::size_t &pos)
+getString(const Bytes &in, std::size_t &pos)
 {
-    std::uint64_t n = getVarint(in, pos);
+    std::uint64_t n = getVarintFrom(in, pos);
     if (n > in.size() - pos)
         parseFail("truncated string in container");
-    std::string s(reinterpret_cast<const char *>(in.data()) +
-                      static_cast<std::ptrdiff_t>(pos),
-                  n);
+    std::string s;
+    s.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        s += static_cast<char>(in[pos + static_cast<std::size_t>(i)]);
     pos += n;
     return s;
 }
@@ -161,22 +174,23 @@ readRawFile(const std::string &path)
  * the sphere length) from @p in; on return @p pos sits at the sphere
  * length varint. Throws ParseError on malformed input.
  */
+template <class Bytes>
 Container
-parseContainerMeta(const std::vector<std::uint8_t> &in, std::size_t &pos)
+parseContainerMeta(const Bytes &in, std::size_t &pos)
 {
     Container c;
     c.workload = getString(in, pos);
-    c.threads = static_cast<int>(getVarint(in, pos));
-    c.scale = static_cast<int>(getVarint(in, pos));
-    c.digests.memory = getVarint(in, pos);
-    c.digests.output = getVarint(in, pos);
-    std::uint64_t nexits = getVarint(in, pos);
+    c.threads = static_cast<int>(getVarintFrom(in, pos));
+    c.scale = static_cast<int>(getVarintFrom(in, pos));
+    c.digests.memory = getVarintFrom(in, pos);
+    c.digests.output = getVarintFrom(in, pos);
+    std::uint64_t nexits = getVarintFrom(in, pos);
     for (std::uint64_t i = 0; i < nexits; ++i) {
-        Tid tid = static_cast<Tid>(getVarint(in, pos));
+        Tid tid = static_cast<Tid>(getVarintFrom(in, pos));
         ThreadExitInfo info;
-        info.regDigest = getVarint(in, pos);
-        info.instrs = getVarint(in, pos);
-        info.exitCode = static_cast<Word>(getVarint(in, pos));
+        info.regDigest = getVarintFrom(in, pos);
+        info.instrs = getVarintFrom(in, pos);
+        info.exitCode = static_cast<Word>(getVarintFrom(in, pos));
         c.digests.exits.emplace(tid, info);
     }
     return c;
@@ -291,6 +305,7 @@ struct Args
     std::string faults; //!< fault-injection spec (empty = none)
     std::uint64_t faultSeed = 1;
     std::uint32_t cbufEntries = 0; //!< 0 = keep the default capacity
+    std::uint32_t window = 0; //!< analyze: streaming batch (0 = default)
     std::string jsonFile;
 };
 
@@ -358,6 +373,15 @@ parseArgs(int argc, char **argv, int first, bool wants_workload)
                 fatal("%s expects an integer >= 4, got '%s'",
                       s.c_str(), v);
             a.cbufEntries = static_cast<std::uint32_t>(n);
+        }
+        else if (s == "--window") {
+            const char *v = next();
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 1 << 30)
+                fatal("%s expects a positive integer, got '%s'",
+                      s.c_str(), v);
+            a.window = static_cast<std::uint32_t>(n);
         }
         else if (s == "--json")
             a.jsonFile = next();
@@ -640,25 +664,130 @@ cmdInspect(const Args &a)
     return 0;
 }
 
+/** Streaming-analyze batch size: --window beats QR_ANALYZE_WINDOW. */
+std::uint32_t
+analyzeWindow(const Args &a)
+{
+    if (a.window)
+        return a.window;
+    if (const char *s = std::getenv("QR_ANALYZE_WINDOW")) {
+        char *end = nullptr;
+        long n = std::strtol(s, &end, 10);
+        if (end == s || *end != '\0' || n < 1 || n > 1 << 30)
+            fatal("QR_ANALYZE_WINDOW expects a positive integer, "
+                  "got '%s'", s);
+        return static_cast<std::uint32_t>(n);
+    }
+    return 0; // analyzer default
+}
+
 int
 cmdAnalyze(const Args &a)
 {
     if (a.file.empty())
         fatal("analyze needs -i <file>");
-    Container c = loadContainer(a.file);
-    std::printf("analyzing %s (threads=%d scale=%d) from %s\n",
-                c.workload.c_str(), c.threads, c.scale,
-                a.file.c_str());
+
+    StreamOptions opt;
+    opt.window = analyzeWindow(a);
+    // qrec only prints and counts races; don't retain the O(chunks)
+    // conflict list.
+    opt.keepConflicts = false;
+    StreamStats streamStats;
+    bool streamed = false;
+
     RaceReport rep;
-    try {
-        rep = analyzeSphere(c.logs);
-    } catch (const ParseError &e) {
-        fatal("'%s' is corrupt: %s", a.file.c_str(), e.what());
+    std::string workload;
+    int threads = 0;
+    int scale = 0;
+
+    // Fast path: a sealed regular container streams straight off the
+    // mapping -- the sphere is never materialized as SphereLogs and
+    // analyzer memory stays flat in the chunk count.
+    MappedSphereFile map;
+    bool openOk = map.open(a.file);
+    if (map.isContainer() && openOk && map.canStream()) {
+        std::string why = map.verifyAll();
+        if (!why.empty())
+            fatal("'%s' is corrupt: %s; 'qrec recover' can salvage "
+                  "the intact prefix", a.file.c_str(), why.c_str());
+        PayloadView pv = map.payload();
+        try {
+            if (pv.size() < 4 || pv[0] != 'Q' || pv[1] != 'R' ||
+                pv[2] != 'C' || pv[3] != '1')
+                fatal("'%s' is not a qrec container", a.file.c_str());
+            std::size_t pos = 4;
+            Container meta = parseContainerMeta(pv, pos);
+            workload = meta.workload;
+            threads = meta.threads;
+            scale = meta.scale;
+            std::uint64_t nsphere = getVarintFrom(pv, pos);
+            if (nsphere > pv.size() - pos)
+                parseFail("container truncated: sphere log needs "
+                          "%llu bytes, %llu remain",
+                          static_cast<unsigned long long>(nsphere),
+                          static_cast<unsigned long long>(pv.size() -
+                                                          pos));
+            PayloadView sphere =
+                pv.subview(pos, static_cast<std::size_t>(nsphere));
+            pos += static_cast<std::size_t>(nsphere);
+            if (pos != pv.size()) {
+                // Optional trace section; validated, not needed here.
+                std::uint64_t ntrace = getVarintFrom(pv, pos);
+                if (ntrace != pv.size() - pos)
+                    parseFail("trailing bytes in container");
+            }
+            std::printf("analyzing %s (threads=%d scale=%d) from "
+                        "%s\n", workload.c_str(), threads, scale,
+                        a.file.c_str());
+            SphereCursor cur{sphere};
+            rep = analyzeSphereStreaming(cur, opt, &streamStats);
+            streamed = true;
+        } catch (const ParseError &e) {
+            fatal("'%s' is corrupt: %s", a.file.c_str(), e.what());
+        }
+    } else if (map.isContainer() && !openOk) {
+        fatal("'%s' is corrupt: %s; 'qrec recover' can salvage "
+              "the intact prefix", a.file.c_str(),
+              map.error().c_str());
+    } else {
+        // Legacy unsegmented or irregular hand-crafted container:
+        // buffered load, eager analysis, identical output.
+        Container c = loadContainer(a.file);
+        workload = c.workload;
+        threads = c.threads;
+        scale = c.scale;
+        std::printf("analyzing %s (threads=%d scale=%d) from %s\n",
+                    workload.c_str(), threads, scale, a.file.c_str());
+        try {
+            std::vector<std::uint8_t> bytes = c.logs.serialize();
+            SphereCursor cur{PayloadView(bytes)};
+            rep = analyzeSphereStreaming(cur, opt, &streamStats);
+            streamed = true;
+        } catch (const ParseError &e) {
+            fatal("'%s' is corrupt: %s", a.file.c_str(), e.what());
+        }
     }
     std::fputs(rep.str().c_str(), stdout);
 
     if (!a.jsonFile.empty()) {
-        BenchDoc doc = rep.toBenchDoc(c.workload);
+        BenchDoc doc = rep.toBenchDoc(workload);
+        // v2 stats section: analyzer resource accounting plus the
+        // analyze profile phase.
+        StatsSnapshot snap;
+        if (streamed)
+            streamStats.statsInto(snap);
+        snap.counter("analyze.fixpoint_capped",
+                     rep.fixpointCapped ? 1 : 0,
+                     "1 when the race fixpoint was cut off by its "
+                     "round cap (eager path only)");
+        profileSnapshotInto(snap);
+        for (const StatScalar &s : snap.scalars) {
+            if (s.name.rfind("analyze.", 0) == 0 ||
+                s.name.rfind("profile.analyze.", 0) == 0) {
+                doc.stats.push_back({s.name, s.value});
+                doc.schema = 2;
+            }
+        }
         std::FILE *f = std::fopen(a.jsonFile.c_str(), "wb");
         if (!f)
             fatal("cannot write '%s'", a.jsonFile.c_str());
@@ -786,7 +915,8 @@ usage()
                  "[--degraded]\n"
                  "  qrec recover -i torn.qrec -o salvaged.qrec\n"
                  "  qrec inspect -i file.qrec\n"
-                 "  qrec analyze -i file.qrec [--json out.json]\n"
+                 "  qrec analyze -i file.qrec [--window N] "
+                 "[--json out.json]\n"
                  "  qrec trace -i file.qrec [-o trace.json]\n"
                  "  qrec stats -i file.qrec [--prom] "
                  "[--replay-jobs N] [-o out]\n"

@@ -11,6 +11,13 @@
 #   QR_BENCH_REPLAY=1   emit BENCH_REPLAY.json (modeled vs measured
 #                       parallel replay speedup, schema v2)
 #   QR_BENCH_ANALYZE=1  emit ANALYZE_RECORD.json (offline race audit)
+#   QR_BENCH_STREAM=1   emit BENCH_STREAM.json (streaming mmap analysis
+#                       at 1x/10x/100x the largest suite sphere; the
+#                       flat-memory bar is checked before publication)
+#
+# Every published artifact is validated at schema v2: a regeneration
+# that silently dropped the stats section would otherwise go unnoticed
+# until a consumer looked for it.
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -60,6 +67,8 @@ echo "== E3: recording overhead =="
 # shellcheck disable=SC2086  # M1_JSON is intentionally word-split
 "$BUILD/tools/bench_json_util" merge RECORD "$ROOT/BENCH_RECORD.json" \
     $M1_JSON "$OUT/BENCH_M2.json" "$OUT/BENCH_E3.json"
+"$BUILD/tools/bench_json_util" validate --min-schema 2 \
+    "$ROOT/BENCH_RECORD.json"
 
 # Optional (QR_BENCH_ANALYZE=1): offline race/precision analysis over
 # the whole suite. Records every workload with exact shadow sets, runs
@@ -79,7 +88,24 @@ if [ "${QR_BENCH_REPLAY:-0}" = "1" ]; then
     "$BUILD/bench/bench_e9_replay"
     "$BUILD/tools/bench_json_util" merge REPLAY \
         "$ROOT/BENCH_REPLAY.json" "$OUT/BENCH_E9.json"
-    "$BUILD/tools/bench_json_util" validate "$ROOT/BENCH_REPLAY.json"
+    "$BUILD/tools/bench_json_util" validate --min-schema 2 \
+        "$ROOT/BENCH_REPLAY.json"
+fi
+
+# Optional (QR_BENCH_STREAM=1): the streaming-analysis scale sweep.
+# E10 records spheres at 1x/10x/100x the largest suite sphere's chunk
+# count, analyzes each through the mmap + SphereCursor pipeline, and
+# BENCH_STREAM.json carries the flat-memory proof: analyze.chunks must
+# grow >= 100x while analyze.peak_resident_bytes stays within 2x.
+if [ "${QR_BENCH_STREAM:-0}" = "1" ]; then
+    echo "== STREAM: streaming mmap analysis at scale =="
+    cmake --build "$BUILD" -j --target bench_e10_stream bench_json_util
+    "$BUILD/bench/bench_e10_stream"
+    cmake -DJSON="$OUT/BENCH_STREAM.json" \
+        -P "$ROOT/tools/check_bench_stream.cmake"
+    "$BUILD/tools/bench_json_util" validate --min-schema 2 \
+        "$OUT/BENCH_STREAM.json"
+    cp "$OUT/BENCH_STREAM.json" "$ROOT/BENCH_STREAM.json"
 fi
 
 if [ "${QR_BENCH_ANALYZE:-0}" = "1" ]; then
@@ -99,4 +125,6 @@ if [ "${QR_BENCH_ANALYZE:-0}" = "1" ]; then
     # shellcheck disable=SC2086  # intentionally word-split
     "$BUILD/tools/bench_json_util" merge ANALYZE \
         "$ROOT/ANALYZE_RECORD.json" $ANALYZE_JSON
+    "$BUILD/tools/bench_json_util" validate --min-schema 2 \
+        "$ROOT/ANALYZE_RECORD.json"
 fi
