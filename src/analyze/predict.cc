@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Predictive race classification; see predict.hh for the model.
+ *
+ * Implementation shape: a second streaming pass over the sphere. The
+ * witnessed report (pass 1) already carries every cross-thread
+ * conflict edge with schedule indices; this pass re-walks the cursor
+ * in the same (ts, tid) schedule order maintaining *sync-preserving*
+ * vector clocks -- program order plus spawn and terminal edges only --
+ * and judges each conflict edge the moment its destination chunk
+ * streams by. Nodes stay resident only while pinned: they are the
+ * slot's latest chunk (the program-order clock source), an unconsumed
+ * hard sync source, or the source of a not-yet-reached conflict edge.
+ * Resident state is O(threads + pending edges), never O(chunks).
+ */
+
+#include "analyze/predict.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "analyze/sync_index.hh"
+#include "obs/stats_export.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+const char *
+raceTierStr(RaceTier t)
+{
+    switch (t) {
+      case RaceTier::Witnessed:
+        return "witnessed";
+      case RaceTier::Predicted:
+        return "predicted";
+      case RaceTier::LocksetCandidate:
+        return "lockset-candidate";
+      case RaceTier::Synchronized:
+        return "synchronized";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** One resident chunk of the predictive walk. */
+struct PredictNode
+{
+    int slot = 0;
+    std::uint64_t pos = 0;
+    std::uint32_t pins = 0; //!< unconsumed hard-sync + conflict uses
+    /** Sync-preserving clock: chunks of each thread ordered before. */
+    std::vector<std::uint64_t> clock;
+};
+
+} // namespace
+
+PredictReport
+predictRaces(SphereCursor &cur, const RaceReport &witnessed)
+{
+    PredictReport out;
+    out.exact = witnessed.exact;
+    out.witnessed = witnessed.races.size();
+    if (!witnessed.exact) {
+        // Degraded spheres have no line identity and their candidates
+        // are already schedule-order guesses; nothing to predict.
+        return out;
+    }
+    if (witnessed.conflicts.size() !=
+        static_cast<std::size_t>(witnessed.conflictEdges))
+        parseFail(
+            "predict: the witnessed report dropped its conflicts list "
+            "(re-run the analysis with keepConflicts)");
+
+    const int nslots = static_cast<int>(cur.nThreads());
+    std::map<Tid, int> slotOf;
+    for (int s = 0; s < nslots; ++s)
+        slotOf[cur.tids()[static_cast<std::size_t>(s)]] = s;
+
+    std::uint64_t resolved = 0;
+    StreamSyncIndex sync = resolveSyncEdges(cur, slotOf, resolved);
+
+    // Split the sync edges into the orders a reschedule must preserve
+    // (spawn, terminal) and the accidental lock-handoff directions;
+    // the latter feed the lockset windows instead of the clocks.
+    std::vector<char> soft(sync.edges.size(), 0);
+    std::vector<std::vector<std::uint64_t>> softIn(
+        static_cast<std::size_t>(nslots));
+    std::vector<std::vector<std::uint64_t>> softOut(
+        static_cast<std::size_t>(nslots));
+    for (std::size_t i = 0; i < sync.edges.size(); ++i) {
+        const StreamSyncEdge &e = sync.edges[i];
+        if (classifySyncEdge(e, cur) == SyncEdgeKind::Handoff) {
+            soft[i] = 1;
+            out.softSyncEdges++;
+            softIn[static_cast<std::size_t>(e.dstSlot)].push_back(
+                e.dstPos);
+            softOut[static_cast<std::size_t>(e.srcSlot)].push_back(
+                e.srcPos);
+        } else {
+            out.hardSyncEdges++;
+        }
+    }
+    for (auto &v : softIn)
+        std::sort(v.begin(), v.end());
+    for (auto &v : softOut)
+        std::sort(v.begin(), v.end());
+
+    // A chunk "holds the lock" when it sits inside an [acquire-wake-in,
+    // release-wake-out) window of its thread: there is a handoff INTO
+    // the thread at or before it, and no handoff OUT OF the thread in
+    // between. An out edge in the chunk itself is fine -- wakes
+    // terminate chunks, so a release shares a chunk only with accesses
+    // that preceded it.
+    auto held = [&](int slot, std::uint64_t pos) {
+        const auto &in = softIn[static_cast<std::size_t>(slot)];
+        auto it = std::upper_bound(in.begin(), in.end(), pos);
+        if (it == in.begin())
+            return false;
+        std::uint64_t instar = *(it - 1);
+        const auto &ou = softOut[static_cast<std::size_t>(slot)];
+        auto ot = std::lower_bound(ou.begin(), ou.end(), instar);
+        return !(ot != ou.end() && *ot < pos);
+    };
+
+    // Conflict edges grouped by destination schedule index, and pin
+    // counts keeping each source chunk resident until every edge out
+    // of it has been judged.
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> byTo;
+    std::unordered_map<std::uint32_t, std::uint32_t> outPins;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(witnessed.conflicts.size());
+         ++i) {
+        byTo[witnessed.conflicts[i].to].push_back(i);
+        outPins[witnessed.conflicts[i].from]++;
+    }
+
+    std::unordered_map<std::uint32_t, PredictNode> nodes;
+    std::vector<std::uint32_t> lastOf(
+        static_cast<std::size_t>(nslots), UINT32_MAX);
+
+    auto unpin = [&](std::uint32_t id) {
+        auto it = nodes.find(id);
+        if (it == nodes.end())
+            return;
+        if (it->second.pins > 0)
+            it->second.pins--;
+        if (it->second.pins == 0 &&
+            lastOf[static_cast<std::size_t>(it->second.slot)] != id)
+            nodes.erase(it);
+    };
+
+    std::vector<std::size_t> srcPtr(static_cast<std::size_t>(nslots),
+                                    0);
+    std::vector<std::size_t> dstPtr(static_cast<std::size_t>(nslots),
+                                    0);
+    std::vector<std::uint64_t> clock(static_cast<std::size_t>(nslots));
+    std::uint64_t judged = 0;
+    std::uint64_t witnessedTier = 0;
+
+    CursorChunk cc;
+    while (cur.next(cc)) {
+        const int s = slotOf.at(cc.rec.tid);
+        const std::uint64_t pos = cc.posInThread;
+        const std::uint32_t idx = cc.schedule;
+
+        // Program-order clock, then merge unconsumed hard in-edges.
+        // Sources always precede destinations in the schedule (the
+        // resolver drops inverted edges), so their nodes are resident.
+        if (pos == 0)
+            std::fill(clock.begin(), clock.end(), 0);
+        else
+            clock = nodes.at(lastOf[static_cast<std::size_t>(s)]).clock;
+        clock[static_cast<std::size_t>(s)] = pos + 1;
+        auto &din = sync.byDst[static_cast<std::size_t>(s)];
+        auto &dp = dstPtr[static_cast<std::size_t>(s)];
+        while (dp < din.size() &&
+               sync.edges[din[dp]].dstPos <= pos) {
+            const std::uint32_t ei = din[dp++];
+            if (soft[ei] || !sync.edges[ei].srcSeen)
+                continue;
+            const PredictNode &src = nodes.at(sync.edges[ei].srcId);
+            for (int k = 0; k < nslots; ++k)
+                clock[static_cast<std::size_t>(k)] = std::max(
+                    clock[static_cast<std::size_t>(k)],
+                    src.clock[static_cast<std::size_t>(k)]);
+            unpin(sync.edges[ei].srcId);
+        }
+
+        // Judge every conflict edge ending here.
+        auto ct = byTo.find(idx);
+        if (ct != byTo.end()) {
+            for (std::uint32_t ci : ct->second) {
+                const ConflictEdge &e = witnessed.conflicts[ci];
+                auto fit = nodes.find(e.from);
+                if (fit == nodes.end())
+                    parseFail("predict: conflict edge %u -> %u does "
+                              "not match the cursor schedule",
+                              e.from, e.to);
+                const PredictNode &fn = fit->second;
+                const bool orderCov =
+                    clock[static_cast<std::size_t>(fn.slot)] >=
+                    fn.pos + 1;
+                const bool sh = held(fn.slot, fn.pos);
+                const bool dh = held(s, pos);
+                RaceTier tier;
+                if (e.racy) {
+                    tier = RaceTier::Witnessed;
+                    witnessedTier++;
+                } else if (orderCov) {
+                    tier = RaceTier::Synchronized;
+                    out.synchronized++;
+                    out.orderCovered++;
+                } else if (sh && dh) {
+                    tier = RaceTier::Synchronized;
+                    out.synchronized++;
+                    out.lockProtected++;
+                } else if (sh || dh) {
+                    tier = RaceTier::LocksetCandidate;
+                    out.locksetCandidates++;
+                } else {
+                    tier = RaceTier::Predicted;
+                    out.predicted++;
+                }
+                if (tier == RaceTier::Predicted ||
+                    tier == RaceTier::LocksetCandidate)
+                    out.findings.push_back({e, tier, sh, dh});
+                judged++;
+                unpin(e.from);
+            }
+            byTo.erase(ct);
+        }
+
+        // Mark the sync edges this chunk sources; hard ones pin it.
+        std::uint32_t pins = 0;
+        auto op = outPins.find(idx);
+        if (op != outPins.end())
+            pins += op->second;
+        auto &sot = sync.bySrc[static_cast<std::size_t>(s)];
+        auto &sp = srcPtr[static_cast<std::size_t>(s)];
+        while (sp < sot.size() &&
+               sync.edges[sot[sp]].srcPos <= pos) {
+            StreamSyncEdge &e = sync.edges[sot[sp++]];
+            if (e.srcPos < pos)
+                continue;
+            e.srcId = idx;
+            e.srcSeen = true;
+            if (!soft[sot[sp - 1]])
+                pins++;
+        }
+
+        const std::uint32_t prev =
+            lastOf[static_cast<std::size_t>(s)];
+        lastOf[static_cast<std::size_t>(s)] = idx;
+        PredictNode n;
+        n.slot = s;
+        n.pos = pos;
+        n.pins = pins;
+        n.clock = clock;
+        nodes.emplace(idx, std::move(n));
+        if (prev != UINT32_MAX) {
+            auto pit = nodes.find(prev);
+            if (pit != nodes.end() && pit->second.pins == 0)
+                nodes.erase(pit);
+        }
+        cur.evictConsumed();
+    }
+
+    if (judged != witnessed.conflicts.size())
+        parseFail("predict: judged %llu of %zu conflict edges; the "
+                  "cursor does not match the witnessed report",
+                  static_cast<unsigned long long>(judged),
+                  witnessed.conflicts.size());
+    out.witnessed = witnessedTier;
+
+    std::sort(out.findings.begin(), out.findings.end(),
+              [](const PredictFinding &a, const PredictFinding &b) {
+                  return std::pair(a.edge.to, a.edge.from) <
+                         std::pair(b.edge.to, b.edge.from);
+              });
+    for (const PredictFinding &f : out.findings)
+        if (f.tier == RaceTier::Predicted)
+            out.predictedLines.insert(out.predictedLines.end(),
+                                      f.edge.lines.begin(),
+                                      f.edge.lines.end());
+    std::sort(out.predictedLines.begin(), out.predictedLines.end());
+    out.predictedLines.erase(std::unique(out.predictedLines.begin(),
+                                         out.predictedLines.end()),
+                             out.predictedLines.end());
+    return out;
+}
+
+std::string
+PredictReport::str() const
+{
+    std::string s;
+    if (!exact) {
+        s += csprintf(
+            "predictive analysis needs exact shadow sets; sphere has "
+            "none (witnessed candidates: %llu)\n",
+            static_cast<unsigned long long>(witnessed));
+        return s;
+    }
+    s += csprintf(
+        "predictive tiers over %llu conflict edge(s): %llu witnessed "
+        "+ %llu predicted + %llu lockset-candidate + %llu "
+        "synchronized\n",
+        static_cast<unsigned long long>(witnessed + predicted +
+                                        locksetCandidates +
+                                        synchronized),
+        static_cast<unsigned long long>(witnessed),
+        static_cast<unsigned long long>(predicted),
+        static_cast<unsigned long long>(locksetCandidates),
+        static_cast<unsigned long long>(synchronized));
+    s += csprintf(
+        "sync-preserving order: %llu hard (spawn/terminal) + %llu "
+        "handoff edge(s); %llu edge(s) order-covered, %llu "
+        "lock-protected\n",
+        static_cast<unsigned long long>(hardSyncEdges),
+        static_cast<unsigned long long>(softSyncEdges),
+        static_cast<unsigned long long>(orderCovered),
+        static_cast<unsigned long long>(lockProtected));
+
+    constexpr std::size_t maxListed = 16;
+    for (std::size_t i = 0; i < findings.size() && i < maxListed;
+         ++i) {
+        const PredictFinding &f = findings[i];
+        std::string lines;
+        for (Addr a : f.edge.lines)
+            lines += csprintf(" 0x%x", a);
+        s += csprintf(
+            "  %s [%s] tid %d chunk %llu (ts %llu) <-> tid %d chunk "
+            "%llu (ts %llu): line(s)%s [src %s, dst %s]\n",
+            raceTierStr(f.tier), f.edge.kindStr().c_str(),
+            f.edge.fromTid,
+            static_cast<unsigned long long>(f.edge.from),
+            static_cast<unsigned long long>(f.edge.fromTs),
+            f.edge.toTid, static_cast<unsigned long long>(f.edge.to),
+            static_cast<unsigned long long>(f.edge.toTs),
+            lines.c_str(), f.srcHeld ? "held" : "unheld",
+            f.dstHeld ? "held" : "unheld");
+    }
+    if (findings.size() > maxListed)
+        s += csprintf("  ... and %zu more finding(s)\n",
+                      findings.size() - maxListed);
+    if (!predictedLines.empty()) {
+        s += "predicted lines:";
+        for (Addr a : predictedLines)
+            s += csprintf(" 0x%x", a);
+        s += '\n';
+    }
+    return s;
+}
+
+void
+PredictReport::statsInto(StatsSnapshot &s) const
+{
+    s.counter("analyze.predict.witnessed", witnessed,
+              "conflict edges unordered in the recorded graph");
+    s.counter("analyze.predict.predicted", predicted,
+              "schedule-masked races a reschedule can expose");
+    s.counter("analyze.predict.lockset_candidates", locksetCandidates,
+              "edges with one-sided lock evidence");
+    s.counter("analyze.predict.synchronized", synchronized,
+              "edges ordered or consistently lock-protected");
+    s.counter("analyze.predict.hard_sync_edges", hardSyncEdges,
+              "spawn/terminal sync edges (reschedule-invariant)");
+    s.counter("analyze.predict.soft_sync_edges", softSyncEdges,
+              "futex handoff edges (schedule accidents)");
+    s.counter("analyze.predict.order_covered", orderCovered,
+              "edges covered by the sync-preserving order");
+    s.counter("analyze.predict.lock_protected", lockProtected,
+              "edges inside lock windows on both endpoints");
+    s.counter("analyze.predict.predicted_lines",
+              predictedLines.size(),
+              "distinct line addresses with a predicted race");
+}
+
+void
+PredictReport::benchInto(BenchDoc &doc,
+                         const std::string &workload) const
+{
+    auto add = [&](const char *metric, double value) {
+        doc.results.push_back({doc.bench, workload, metric, value});
+    };
+    add("predicted_races", static_cast<double>(predicted));
+    add("lockset_candidates", static_cast<double>(locksetCandidates));
+    add("synchronized_conflicts", static_cast<double>(synchronized));
+    add("order_covered", static_cast<double>(orderCovered));
+    add("lock_protected", static_cast<double>(lockProtected));
+    add("hard_sync_edges", static_cast<double>(hardSyncEdges));
+    add("soft_sync_edges", static_cast<double>(softSyncEdges));
+    add("predicted_lines", static_cast<double>(predictedLines.size()));
+}
+
+} // namespace qr

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Predictive race detection over recorded chunk logs.
+ *
+ * The race analyzer (race_analyzer.hh) reports *witnessed* races: the
+ * conflict edges no happens-before path orders, i.e. the races the
+ * recorded schedule happened to expose. But the recorded sphere
+ * over-serializes the execution: every futex handoff edge the kernel
+ * logged orders two critical sections whose order was an accident of
+ * the scheduler, and every conflict edge orders two accesses by the
+ * accident of who got to memory first. A race the recording *masked*
+ * -- two unsynchronized accesses that this schedule happened to
+ * serialize through an unrelated lock handoff -- is invisible to the
+ * witnessed fixpoint, yet manifests under a legal reschedule.
+ *
+ * This pass re-examines every synchronized (covered) conflict edge of
+ * a witnessed report against two weaker orders:
+ *
+ *  1. The *sync-preserving* order: program order, spawn edges and
+ *     terminal (join-shaped) wakes -- the orderings every reschedule
+ *     must preserve. Handoff futex wakes are dropped: the lock only
+ *     guarantees mutual exclusion, not direction. An edge covered here
+ *     (`orderCovered`) can never flip and stays synchronized.
+ *
+ *  2. Chunk-granularity Eraser locksets, recovered from the futex
+ *     SyncPoints: a chunk "holds the lock" when it falls inside an
+ *     [acquire-wake-in, release-wake-out) window of its thread. An
+ *     edge whose endpoints are both lock-held is consistently
+ *     protected (the handoff direction may flip, but mutual exclusion
+ *     still separates the accesses): synchronized. One-sided evidence
+ *     is the Eraser "lockset shrank" signal: a lockset-candidate.
+ *     No evidence on either side: the race is *predicted*.
+ *
+ * The recording has no lock identity (SyncPoints carry only the waker
+ * tid) and no uncontended-acquire events, so the lockset is a
+ * single-lock, chunk-granularity approximation; see
+ * src/analyze/README.md for the precision argument and the twin
+ * workloads that pin it.
+ */
+
+#ifndef QR_ANALYZE_PREDICT_HH
+#define QR_ANALYZE_PREDICT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/race_analyzer.hh"
+#include "capo/sphere.hh"
+
+namespace qr
+{
+
+struct StatsSnapshot;
+
+/** Classification of one cross-thread conflict edge. */
+enum class RaceTier
+{
+    /** Unordered in the recorded graph: the witnessed race the plain
+     *  analyzer already reports. */
+    Witnessed,
+    /** Ordered only by schedule accidents, with no lockset evidence on
+     *  either endpoint: manifests under a legal reschedule. */
+    Predicted,
+    /** Ordered only by schedule accidents, with lockset evidence on
+     *  exactly one endpoint: inconsistent locking discipline. */
+    LocksetCandidate,
+    /** Ordered by sync-preserving edges, or consistently
+     *  lock-protected on both endpoints. */
+    Synchronized,
+};
+
+/** Short lower-case tag ("witnessed", "predicted", ...). */
+const char *raceTierStr(RaceTier t);
+
+/** One predicted or lockset-candidate edge, with its evidence. */
+struct PredictFinding
+{
+    ConflictEdge edge;
+    RaceTier tier = RaceTier::Synchronized;
+    bool srcHeld = false; //!< source chunk inside a lock window
+    bool dstHeld = false; //!< destination chunk inside a lock window
+};
+
+/** Everything the predictive pass derives from one sphere. */
+struct PredictReport
+{
+    bool exact = false; //!< sphere carried exact shadow sets
+
+    // --- tier counts over every cross-thread conflict edge ----------------
+    std::uint64_t witnessed = 0;
+    std::uint64_t predicted = 0;
+    std::uint64_t locksetCandidates = 0;
+    std::uint64_t synchronized = 0;
+
+    // --- evidence shape ---------------------------------------------------
+    std::uint64_t hardSyncEdges = 0; //!< spawn + terminal wakes
+    std::uint64_t softSyncEdges = 0; //!< handoff futex wakes
+    std::uint64_t orderCovered = 0;  //!< edges the hard order covers
+    std::uint64_t lockProtected = 0; //!< edges held on both endpoints
+
+    /** Predicted and lockset-candidate edges, schedule order. */
+    std::vector<PredictFinding> findings;
+    /** Union of predicted line addresses (sorted unique). */
+    std::vector<Addr> predictedLines;
+
+    /** Human-readable multi-line report. */
+    std::string str() const;
+
+    /** Append as "analyze.predict.*" entries. */
+    void statsInto(StatsSnapshot &s) const;
+
+    /** Append rows to an ANALYZE bench document. */
+    void benchInto(BenchDoc &doc, const std::string &workload) const;
+};
+
+/**
+ * Classify every conflict edge of @p witnessed against the
+ * sync-preserving order and the recovered locksets. @p cur must be a
+ * fresh cursor over the same serialized sphere @p witnessed was
+ * computed from, and @p witnessed must retain its conflicts list
+ * (StreamOptions::keepConflicts); throws ParseError when the counts
+ * disagree. On degraded (shadow-less) spheres prediction is not
+ * meaningful -- candidates carry no line identity -- so the report
+ * only restates the witnessed count.
+ */
+PredictReport predictRaces(SphereCursor &cur,
+                           const RaceReport &witnessed);
+
+} // namespace qr
+
+#endif // QR_ANALYZE_PREDICT_HH

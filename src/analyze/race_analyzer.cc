@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "analyze/sync_index.hh"
 #include "obs/profile.hh"
 #include "obs/stats_export.hh"
 #include "replay/chunk_graph.hh"
@@ -569,172 +570,6 @@ struct StreamNode
     std::vector<std::uint64_t> clock;
     std::vector<Succ> succs;
 };
-
-/** One resolved kernel synchronization edge, in per-thread terms. */
-struct StreamSyncEdge
-{
-    int srcSlot = 0;
-    int dstSlot = 0;
-    std::uint64_t srcPos = 0;
-    std::uint64_t dstPos = 0;
-    std::uint32_t srcId = 0; //!< schedule index, once the source ran
-    bool srcSeen = false;
-    bool consumed = false;
-};
-
-/** Sync edges indexed for the streaming pass. */
-struct StreamSyncIndex
-{
-    std::vector<StreamSyncEdge> edges;
-    /** Per-slot edge indices sorted by dstPos / srcPos. */
-    std::vector<std::vector<std::uint32_t>> byDst;
-    std::vector<std::vector<std::uint32_t>> bySrc;
-
-    std::uint64_t
-    bytes() const
-    {
-        std::uint64_t b = edges.size() * sizeof(StreamSyncEdge);
-        for (const auto &v : byDst)
-            b += v.size() * sizeof(std::uint32_t);
-        for (const auto &v : bySrc)
-            b += v.size() * sizeof(std::uint32_t);
-        return b;
-    }
-};
-
-/**
- * Resolve every SyncPoint into a (srcSlot, srcPos) -> (dstSlot,
- * dstPos) edge without materializing any chunk log: the "last partner
- * chunk with ts < clockFloor" lookup becomes a floor-sorted two-pointer
- * walk over each partner's timestamp stream, and the eager builder's
- * from >= to drop is applied on (ts, tid) pairs -- the schedule
- * comparator -- since schedule indices do not exist yet.
- */
-StreamSyncIndex
-resolveSyncEdges(const SphereCursor &cur,
-                 const std::map<Tid, int> &slotOf,
-                 std::uint64_t &sync_edges)
-{
-    int nslots = static_cast<int>(cur.nThreads());
-    const std::vector<Tid> &tids = cur.tids();
-
-    struct RawSync
-    {
-        int dstSlot;
-        std::uint64_t dstPos;
-        int srcSlot;
-        Timestamp floor;
-        std::uint64_t srcCount = 0; //!< partner chunks with ts < floor
-        Timestamp srcTs = 0;
-        Timestamp dstTs = 0;
-    };
-    std::vector<RawSync> raw;
-    for (int t = 0; t < nslots; ++t) {
-        for (const SyncPoint &sp : cur.syncsOf(t)) {
-            // A thread that logged nothing after the sync has nothing
-            // left to order; an unknown partner cannot source an edge.
-            if (sp.afterChunkSeq >= cur.chunkCount(t))
-                continue;
-            auto partner = slotOf.find(sp.other);
-            if (partner == slotOf.end())
-                continue;
-            raw.push_back({t, sp.afterChunkSeq, partner->second,
-                           sp.clockFloor});
-        }
-    }
-
-    // Count, per edge, the partner chunks below the floor: sort each
-    // source slot's floors and advance them against one ascending
-    // timestamp decode of that slot.
-    std::vector<std::vector<std::uint32_t>> bySrcSlot(nslots);
-    for (std::uint32_t i = 0; i < raw.size(); ++i)
-        bySrcSlot[raw[i].srcSlot].push_back(i);
-    for (int s = 0; s < nslots; ++s) {
-        auto &order = bySrcSlot[s];
-        std::sort(order.begin(), order.end(),
-                  [&](std::uint32_t a, std::uint32_t b) {
-                      return raw[a].floor < raw[b].floor;
-                  });
-        std::size_t p = 0;
-        cur.forEachChunkTs(s, [&](std::uint64_t idx, Timestamp ts) {
-            while (p < order.size() && raw[order[p]].floor <= ts)
-                raw[order[p++]].srcCount = idx;
-            return p < order.size();
-        });
-        while (p < order.size())
-            raw[order[p++]].srcCount = cur.chunkCount(s);
-    }
-
-    // Fetch the endpoint timestamps the same way.
-    struct TsQuery
-    {
-        std::uint64_t pos;
-        std::uint32_t edge;
-        bool src;
-    };
-    std::vector<std::vector<TsQuery>> queries(nslots);
-    for (std::uint32_t i = 0; i < raw.size(); ++i) {
-        if (raw[i].srcCount == 0)
-            continue; // waker logged nothing before the sync
-        queries[raw[i].srcSlot].push_back(
-            {raw[i].srcCount - 1, i, true});
-        queries[raw[i].dstSlot].push_back({raw[i].dstPos, i, false});
-    }
-    for (int s = 0; s < nslots; ++s) {
-        auto &q = queries[s];
-        std::sort(q.begin(), q.end(),
-                  [](const TsQuery &a, const TsQuery &b) {
-                      return a.pos < b.pos;
-                  });
-        std::size_t p = 0;
-        cur.forEachChunkTs(s, [&](std::uint64_t idx, Timestamp ts) {
-            while (p < q.size() && q[p].pos == idx) {
-                (q[p].src ? raw[q[p].edge].srcTs
-                          : raw[q[p].edge].dstTs) = ts;
-                p++;
-            }
-            return p < q.size();
-        });
-    }
-
-    StreamSyncIndex index;
-    index.byDst.resize(nslots);
-    index.bySrc.resize(nslots);
-    for (const RawSync &r : raw) {
-        if (r.srcCount == 0)
-            continue;
-        // The eager builder drops from >= to on schedule indices; the
-        // schedule is (ts, tid)-lexicographic, so compare that.
-        if (std::pair(r.srcTs, tids[r.srcSlot]) >=
-            std::pair(r.dstTs, tids[r.dstSlot]))
-            continue;
-        StreamSyncEdge e;
-        e.srcSlot = r.srcSlot;
-        e.dstSlot = r.dstSlot;
-        e.srcPos = r.srcCount - 1;
-        e.dstPos = r.dstPos;
-        index.edges.push_back(e);
-        sync_edges++;
-    }
-    for (std::uint32_t i = 0;
-         i < static_cast<std::uint32_t>(index.edges.size()); ++i) {
-        index.bySrc[index.edges[i].srcSlot].push_back(i);
-        index.byDst[index.edges[i].dstSlot].push_back(i);
-    }
-    for (int s = 0; s < nslots; ++s) {
-        std::stable_sort(index.bySrc[s].begin(), index.bySrc[s].end(),
-                         [&](std::uint32_t a, std::uint32_t b) {
-                             return index.edges[a].srcPos <
-                                    index.edges[b].srcPos;
-                         });
-        std::stable_sort(index.byDst[s].begin(), index.byDst[s].end(),
-                         [&](std::uint32_t a, std::uint32_t b) {
-                             return index.edges[a].dstPos <
-                                    index.edges[b].dstPos;
-                         });
-    }
-    return index;
-}
 
 /** Audit of one conflict termination awaiting its requester chunk. */
 struct PendingAudit

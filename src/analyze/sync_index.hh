@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Resolution of recorded kernel SyncPoints into concrete per-thread
+ * synchronization edges, shared by every streaming pass over a
+ * SphereCursor (the race analyzer, the predictive pass, the sphere
+ * linter).
+ *
+ * A SyncPoint as Capo3 logs it is one-sided: the woken/spawned thread
+ * records "my chunk at position afterChunkSeq is ordered after
+ * everything thread `other` logged below clockFloor". Resolving that
+ * into a (srcSlot, srcPos) -> (dstSlot, dstPos) edge requires finding
+ * the waker's last chunk with ts < clockFloor, which the eager
+ * analyzer did with a binary search over materialized logs; here it is
+ * a floor-sorted two-pointer walk over the cursor's timestamp streams,
+ * so no chunk log is ever materialized.
+ */
+
+#ifndef QR_ANALYZE_SYNC_INDEX_HH
+#define QR_ANALYZE_SYNC_INDEX_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "capo/sphere.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** One resolved kernel synchronization edge, in per-thread terms. */
+struct StreamSyncEdge
+{
+    int srcSlot = 0;
+    int dstSlot = 0;
+    std::uint64_t srcPos = 0;
+    std::uint64_t dstPos = 0;
+    std::uint32_t srcId = 0; //!< schedule index, once the source ran
+    bool srcSeen = false;
+    bool consumed = false;
+};
+
+/** Sync edges indexed for the streaming pass. */
+struct StreamSyncIndex
+{
+    std::vector<StreamSyncEdge> edges;
+    /** Per-slot edge indices sorted by dstPos / srcPos. */
+    std::vector<std::vector<std::uint32_t>> byDst;
+    std::vector<std::vector<std::uint32_t>> bySrc;
+
+    std::uint64_t
+    bytes() const
+    {
+        std::uint64_t b = edges.size() * sizeof(StreamSyncEdge);
+        for (const auto &v : byDst)
+            b += v.size() * sizeof(std::uint32_t);
+        for (const auto &v : bySrc)
+            b += v.size() * sizeof(std::uint32_t);
+        return b;
+    }
+};
+
+/**
+ * Resolve every SyncPoint into a (srcSlot, srcPos) -> (dstSlot,
+ * dstPos) edge without materializing any chunk log: the "last partner
+ * chunk with ts < clockFloor" lookup becomes a floor-sorted two-pointer
+ * walk over each partner's timestamp stream, and the eager builder's
+ * from >= to drop is applied on (ts, tid) pairs -- the schedule
+ * comparator -- since schedule indices do not exist yet.
+ */
+StreamSyncIndex resolveSyncEdges(const SphereCursor &cur,
+                                 const std::map<Tid, int> &slotOf,
+                                 std::uint64_t &sync_edges);
+
+/**
+ * Heuristic kind of a resolved sync edge, used by the predictive pass
+ * to separate true orderings from accidental lock-handoff directions.
+ */
+enum class SyncEdgeKind
+{
+    /** Spawn edge: the destination is the thread's first chunk. The
+     *  child could not have run before being created -- a true order. */
+    Spawn,
+    /** Terminal wake: the source is the waker's final chunk, the
+     *  shape of a join (the waker exited before the wake landed) --
+     *  a true order. */
+    Terminal,
+    /** Any other futex wake: a lock/condvar handoff whose direction
+     *  is an accident of the recorded schedule. */
+    Handoff,
+};
+
+/** Classify @p e against the cursor's per-thread chunk counts. */
+SyncEdgeKind classifySyncEdge(const StreamSyncEdge &e,
+                              const SphereCursor &cur);
+
+} // namespace qr
+
+#endif // QR_ANALYZE_SYNC_INDEX_HH

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * The `qrec verify` sphere linter; see verify.hh for the layer model.
+ */
+
+#include "analyze/verify.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "capo/log_store.hh"
+#include "capo/sphere.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+const char *
+lintSeverityStr(LintSeverity s)
+{
+    return s == LintSeverity::Error ? "error" : "warning";
+}
+
+const std::vector<LintRule> &
+lintRules()
+{
+    static const std::vector<LintRule> rules = {
+        {"QRV001", LintSeverity::Error,
+         "artifact is empty"},
+        {"QRV002", LintSeverity::Error,
+         "bytes are not a sphere artifact"},
+        {"QRV003", LintSeverity::Error,
+         "container torn at the tail: trailing chunk records lost, "
+         "every thread log still present"},
+        {"QRV004", LintSeverity::Error,
+         "container truncated mid-stream: whole thread logs lost"},
+        {"QRV005", LintSeverity::Error,
+         "a container segment fails its checksum"},
+        {"QRV006", LintSeverity::Error,
+         "the container trailer hash disagrees with the payload"},
+        {"QRV007", LintSeverity::Error,
+         "container structure mismatch (segment accounting, trailing "
+         "bytes, or unknown record tags)"},
+        {"QRV008", LintSeverity::Error,
+         "per-thread chunk timestamps are not strictly monotonic"},
+        {"QRV009", LintSeverity::Error,
+         "malformed sphere stream"},
+        {"QRV010", LintSeverity::Warning,
+         "a sync point names a partner thread absent from the sphere"},
+        {"QRV011", LintSeverity::Warning,
+         "recording metadata declares exact shadow sets but no thread "
+         "carries any"},
+        {"QRV012", LintSeverity::Warning,
+         "a gap marker chunk carries shadow data (gaps record loss, "
+         "never accesses)"},
+        {"QRV013", LintSeverity::Warning,
+         "a sync point's clock floor lies beyond every clock its "
+         "waker logged"},
+        {"QRV014", LintSeverity::Warning,
+         "a sync edge is inverted: the waker's chunk does not precede "
+         "the woken chunk in the (ts, tid) schedule"},
+        {"QRV015", LintSeverity::Warning,
+         "a shadow line address lies outside recorded guest memory"},
+        {"QRV016", LintSeverity::Warning,
+         "implausible Bloom/line geometry in the recording metadata"},
+    };
+    return rules;
+}
+
+namespace
+{
+
+LintSeverity
+severityOf(const char *code)
+{
+    for (const LintRule &r : lintRules())
+        if (std::string(r.code) == code)
+            return r.severity;
+    return LintSeverity::Error;
+}
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+std::uint64_t
+LintReport::errors() const
+{
+    std::uint64_t n = 0;
+    for (const LintFinding &f : findings)
+        if (f.severity == LintSeverity::Error)
+            n++;
+    return n;
+}
+
+std::uint64_t
+LintReport::warnings() const
+{
+    std::uint64_t n = 0;
+    for (const LintFinding &f : findings)
+        if (f.severity == LintSeverity::Warning)
+            n++;
+    return n;
+}
+
+std::string
+LintReport::str() const
+{
+    std::string s;
+    for (const LintFinding &f : findings) {
+        std::string where;
+        if (f.tid != invalidTid)
+            where = csprintf(" [tid %d]", f.tid);
+        s += csprintf("%s: %s %s%s: %s\n", uri.c_str(),
+                      lintSeverityStr(f.severity), f.code.c_str(),
+                      where.c_str(), f.message.c_str());
+    }
+    if (clean())
+        s += csprintf(
+            "%s: clean: %llu thread(s), %llu chunk(s), %llu sync "
+            "point(s)%s\n",
+            uri.c_str(), static_cast<unsigned long long>(threads),
+            static_cast<unsigned long long>(chunks),
+            static_cast<unsigned long long>(syncPoints),
+            container ? (sealed ? ", sealed container"
+                                : ", unsealed container")
+                      : ", raw stream");
+    else
+        s += csprintf("%s: %llu error(s), %llu warning(s)\n",
+                      uri.c_str(),
+                      static_cast<unsigned long long>(errors()),
+                      static_cast<unsigned long long>(warnings()));
+    return s;
+}
+
+LintReport
+lintSphereBytes(const std::vector<std::uint8_t> &raw,
+                const std::string &uri)
+{
+    LintReport rep;
+    rep.uri = uri;
+    auto add = [&](const char *code, std::string msg,
+                   Tid tid = invalidTid) {
+        rep.findings.push_back(
+            {code, severityOf(code), std::move(msg), tid});
+    };
+
+    if (raw.empty()) {
+        add("QRV001", "artifact is empty (0 bytes)");
+        return rep;
+    }
+
+    // --- layer 1: the QSG1 container --------------------------------------
+    const std::vector<std::uint8_t> *bytes = &raw;
+    std::vector<std::uint8_t> payload;
+    bool torn = false;
+    std::string tornWhy;
+    if (isSegmented(raw)) {
+        rep.container = true;
+        SegmentedReadResult seg = readSegmented(raw);
+        payload = std::move(seg.payload);
+        bytes = &payload;
+        switch (seg.kind) {
+          case SegmentedError::None:
+            rep.sealed = true;
+            break;
+          case SegmentedError::SegmentChecksum:
+            // Data after the bad segment is lost too: fall through to
+            // the salvage-based tail/mid-stream classification below.
+            add("QRV005", seg.error);
+            torn = true;
+            tornWhy = seg.error;
+            break;
+          case SegmentedError::TrailerChecksum:
+            add("QRV006", seg.error);
+            break;
+          case SegmentedError::SegmentCountMismatch:
+          case SegmentedError::TrailingBytes:
+          case SegmentedError::UnexpectedTag:
+            add("QRV007", seg.error);
+            break;
+          case SegmentedError::NoTrailer:
+          case SegmentedError::TruncatedTrailer:
+          case SegmentedError::TruncatedSegmentHeader:
+          case SegmentedError::ImplausibleSegmentLength:
+          case SegmentedError::TornSegment:
+            torn = true;
+            tornWhy = seg.error;
+            break;
+          case SegmentedError::NotContainer:
+            break; // unreachable: isSegmented() held
+        }
+    }
+
+    // --- layer 2: the sphere stream ---------------------------------------
+    SphereSalvage sal;
+    try {
+        sal = SphereLogs::deserializeTolerant(*bytes);
+    } catch (const ParseError &e) {
+        if (torn)
+            add("QRV004",
+                csprintf("%s; no thread log salvaged (%s)",
+                         tornWhy.c_str(), e.what()));
+        else
+            add("QRV002", e.what());
+        return rep;
+    }
+    rep.parsed = true;
+    rep.threads = sal.logs.threads.size();
+    rep.chunks = sal.logs.totalChunks();
+    for (const auto &[tid, tl] : sal.logs.threads)
+        rep.syncPoints += tl.syncs.size();
+
+    if (torn) {
+        // What the salvage recovered decides the diagnosis: all
+        // declared threads present means only trailing records of one
+        // log were cut; missing threads mean the tear ate whole logs.
+        if (sal.threadsDeclared ==
+            sal.threadsSalvaged + sal.threadsPartial)
+            add("QRV003",
+                csprintf("%s; all %llu thread log(s) present, "
+                         "trailing chunk records lost (%s)",
+                         tornWhy.c_str(),
+                         static_cast<unsigned long long>(
+                             sal.threadsDeclared),
+                         sal.note.c_str()));
+        else
+            add("QRV004",
+                csprintf("%s; %llu of %llu thread log(s) salvaged "
+                         "(%s)",
+                         tornWhy.c_str(),
+                         static_cast<unsigned long long>(
+                             sal.threadsSalvaged + sal.threadsPartial),
+                         static_cast<unsigned long long>(
+                             sal.threadsDeclared),
+                         sal.note.c_str()));
+    } else if (!sal.complete && (rep.sealed || !rep.container)) {
+        // An intact wrapper around a stream that will not parse: the
+        // corruption is in the sphere encoding itself.
+        if (sal.note.find("non-monotonic") != std::string::npos)
+            add("QRV008", sal.note);
+        else
+            add("QRV009", sal.note);
+    }
+
+    // --- layer 3: semantic invariants -------------------------------------
+    // Only judged on complete streams: a salvaged prefix legitimately
+    // breaks cross-thread invariants (dangling partners, floors past
+    // the cut), and those findings would only restate the tear.
+    if (!sal.complete)
+        return rep;
+
+    const SphereLogs &logs = sal.logs;
+    const RecordMeta &meta = logs.meta;
+    if (!isPow2(meta.lineBytes) || meta.lineBytes < 8 ||
+        meta.lineBytes > 4096)
+        add("QRV016", csprintf("line size %u is not a power of two "
+                               "in [8, 4096]",
+                               meta.lineBytes));
+    if (!isPow2(meta.bloomBits))
+        add("QRV016", csprintf("Bloom filter size %u bits is not a "
+                               "power of two",
+                               meta.bloomBits));
+    if (meta.bloomHashes == 0 || meta.bloomHashes > 8)
+        add("QRV016", csprintf("Bloom hash count %u outside [1, 8]",
+                               meta.bloomHashes));
+    if (meta.exactShadow && !logs.hasShadows())
+        add("QRV011",
+            "metadata declares exact shadow sets but at least one "
+            "thread carries none");
+
+    for (const auto &[tid, tl] : logs.threads) {
+        if (!tl.shadows.empty()) {
+            std::uint64_t gapShadows = 0;
+            std::uint64_t outside = 0;
+            Addr worst = 0;
+            for (std::size_t i = 0; i < tl.chunks.size(); ++i) {
+                const ChunkShadow &sh = tl.shadows[i];
+                if (tl.chunks[i].reason == ChunkReason::Gap &&
+                    (!sh.reads.empty() || !sh.writes.empty()))
+                    gapShadows++;
+                if (logs.memBytes) {
+                    for (Addr a : sh.reads)
+                        if (a >= logs.memBytes)
+                            outside++, worst = std::max(worst, a);
+                    for (Addr a : sh.writes)
+                        if (a >= logs.memBytes)
+                            outside++, worst = std::max(worst, a);
+                }
+            }
+            if (gapShadows)
+                add("QRV012",
+                    csprintf("%llu gap marker chunk(s) carry shadow "
+                             "data",
+                             static_cast<unsigned long long>(
+                                 gapShadows)),
+                    tid);
+            if (outside)
+                add("QRV015",
+                    csprintf("%llu shadow line(s) at or beyond guest "
+                             "memory (%u bytes); worst 0x%x",
+                             static_cast<unsigned long long>(outside),
+                             logs.memBytes, worst),
+                    tid);
+        }
+
+        for (std::size_t i = 0; i < tl.syncs.size(); ++i) {
+            const SyncPoint &sp = tl.syncs[i];
+            auto partner = logs.threads.find(sp.other);
+            if (partner == logs.threads.end()) {
+                add("QRV010",
+                    csprintf("sync point %zu names partner tid %d, "
+                             "absent from the sphere",
+                             i, sp.other),
+                    tid);
+                continue;
+            }
+            const auto &pch = partner->second.chunks;
+            const Timestamp pmax = pch.empty() ? 0 : pch.back().ts;
+            if (sp.clockFloor > pmax + 1) {
+                add("QRV013",
+                    csprintf("sync point %zu floor %llu exceeds "
+                             "waker tid %d's last clock %llu",
+                             i,
+                             static_cast<unsigned long long>(
+                                 sp.clockFloor),
+                             sp.other,
+                             static_cast<unsigned long long>(pmax)),
+                    tid);
+            }
+            // Inverted edge: the Lamport construction guarantees the
+            // waker's chunks below the floor precede the woken chunk.
+            if (sp.afterChunkSeq >= tl.chunks.size())
+                continue;
+            auto src = std::upper_bound(
+                pch.begin(), pch.end(), sp.clockFloor,
+                [](Timestamp f, const ChunkRecord &c) {
+                    return f <= c.ts;
+                });
+            if (src == pch.begin())
+                continue; // waker logged nothing below the floor
+            const ChunkRecord &sc = *(src - 1);
+            const ChunkRecord &dc =
+                tl.chunks[static_cast<std::size_t>(sp.afterChunkSeq)];
+            if (std::pair(sc.ts, sp.other) >= std::pair(dc.ts, tid))
+                add("QRV014",
+                    csprintf("sync point %zu: waker tid %d chunk ts "
+                             "%llu does not precede woken chunk ts "
+                             "%llu",
+                             i, sp.other,
+                             static_cast<unsigned long long>(sc.ts),
+                             static_cast<unsigned long long>(dc.ts)),
+                    tid);
+        }
+    }
+    return rep;
+}
+
+// --- SARIF ---------------------------------------------------------------
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+lintSarif(const std::vector<LintReport> &reports)
+{
+    const std::vector<LintRule> &rules = lintRules();
+    std::map<std::string, std::size_t> ruleIndex;
+    for (std::size_t i = 0; i < rules.size(); ++i)
+        ruleIndex[rules[i].code] = i;
+
+    std::string s;
+    s += "{\n";
+    s += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+    s += "  \"version\": \"2.1.0\",\n";
+    s += "  \"runs\": [\n";
+    s += "    {\n";
+    s += "      \"tool\": {\n";
+    s += "        \"driver\": {\n";
+    s += "          \"name\": \"qrec-verify\",\n";
+    s += "          \"rules\": [\n";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        s += "            {\n";
+        s += csprintf("              \"id\": \"%s\",\n",
+                      rules[i].code);
+        s += csprintf("              \"shortDescription\": { "
+                      "\"text\": \"%s\" },\n",
+                      jsonEscape(rules[i].summary).c_str());
+        s += csprintf("              \"defaultConfiguration\": { "
+                      "\"level\": \"%s\" }\n",
+                      lintSeverityStr(rules[i].severity));
+        s += csprintf("            }%s\n",
+                      i + 1 < rules.size() ? "," : "");
+    }
+    s += "          ]\n";
+    s += "        }\n";
+    s += "      },\n";
+    s += "      \"artifacts\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        s += csprintf(
+            "        { \"location\": { \"uri\": \"%s\" } }%s\n",
+            jsonEscape(reports[i].uri).c_str(),
+            i + 1 < reports.size() ? "," : "");
+    s += "      ],\n";
+    s += "      \"results\": [\n";
+    std::string results;
+    for (std::size_t r = 0; r < reports.size(); ++r) {
+        for (const LintFinding &f : reports[r].findings) {
+            std::string msg = f.message;
+            if (f.tid != invalidTid)
+                msg = csprintf("tid %d: %s", f.tid, msg.c_str());
+            if (!results.empty())
+                results += ",\n";
+            results += "        {\n";
+            results += csprintf("          \"ruleId\": \"%s\",\n",
+                                f.code.c_str());
+            results += csprintf(
+                "          \"ruleIndex\": %zu,\n",
+                ruleIndex.count(f.code) ? ruleIndex.at(f.code) : 0);
+            results +=
+                csprintf("          \"level\": \"%s\",\n",
+                         lintSeverityStr(f.severity));
+            results += csprintf(
+                "          \"message\": { \"text\": \"%s\" },\n",
+                jsonEscape(msg).c_str());
+            results += "          \"locations\": [\n";
+            results += "            {\n";
+            results += "              \"physicalLocation\": {\n";
+            results += csprintf(
+                "                \"artifactLocation\": { \"uri\": "
+                "\"%s\", \"index\": %zu }\n",
+                jsonEscape(reports[r].uri).c_str(), r);
+            results += "              }\n";
+            results += "            }\n";
+            results += "          ]\n";
+            results += "        }";
+        }
+    }
+    if (!results.empty())
+        s += results + "\n";
+    s += "      ]\n";
+    s += "    }\n";
+    s += "  ]\n";
+    s += "}\n";
+    return s;
+}
+
+} // namespace qr

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * `qrec verify`: a replay-free linter for recorded sphere artifacts.
+ *
+ * Answers "is this artifact internally consistent?" from the bytes
+ * alone -- no replay, no Program, no reference run -- so it can gate
+ * artifacts in CI long after the recording machine is gone. Checks
+ * run in three layers, each degrading gracefully into the next:
+ *
+ *  1. Container: the QSG1 segment structure (checksums, trailer,
+ *     segment accounting). A torn container is classified by what the
+ *     salvage recovers: only trailing chunk records lost (QRV003) vs
+ *     whole thread logs gone (QRV004).
+ *  2. Stream: the sphere encoding itself (header, per-thread log
+ *     well-formedness, timestamp monotonicity).
+ *  3. Semantics: invariants of a *well-formed* sphere that the parser
+ *     deliberately accepts but no honest recording produces -- sync
+ *     points naming unknown partners or clock floors beyond the
+ *     waker's logged clocks, inverted sync edges, gap markers carrying
+ *     shadow data, shadow lines outside guest memory, implausible
+ *     Bloom geometry.
+ *
+ * Every finding carries a stable QRVnnn code (see lintRules()); the
+ * report renders as compiler-style text or SARIF 2.1.0 for CI upload.
+ */
+
+#ifndef QR_ANALYZE_VERIFY_HH
+#define QR_ANALYZE_VERIFY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+/** Severity of a linter finding (maps onto SARIF levels). */
+enum class LintSeverity
+{
+    Error,   //!< data lost or stream unusable
+    Warning, //!< artifact usable, invariant violated
+};
+
+/** "error" / "warning". */
+const char *lintSeverityStr(LintSeverity s);
+
+/** Static metadata of one diagnostic code. */
+struct LintRule
+{
+    const char *code;        //!< stable id, e.g. "QRV003"
+    LintSeverity severity; //!< default severity of the code
+    const char *summary;     //!< one-line rule description
+};
+
+/** The full rule table, ascending by code. */
+const std::vector<LintRule> &lintRules();
+
+/** One linter finding against one artifact. */
+struct LintFinding
+{
+    std::string code; //!< QRVnnn
+    LintSeverity severity = LintSeverity::Error;
+    std::string message; //!< human detail (offsets, counts, tids)
+    /** Offending thread, or invalidTid for file-level findings. */
+    Tid tid = invalidTid;
+};
+
+/** Everything `qrec verify` derives from one artifact. */
+struct LintReport
+{
+    std::string uri;        //!< artifact path, for rendering
+    bool container = false; //!< bytes carried the QSG1 magic
+    bool sealed = false;    //!< container trailer verified
+    bool parsed = false;    //!< a sphere header was usable
+
+    // --- artifact shape (post-salvage) ------------------------------------
+    std::uint64_t threads = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t syncPoints = 0;
+
+    std::vector<LintFinding> findings;
+
+    std::uint64_t errors() const;
+    std::uint64_t warnings() const;
+    bool clean() const { return findings.empty(); }
+
+    /** Compiler-style text: "uri: error QRV005: ..." + summary line. */
+    std::string str() const;
+};
+
+/**
+ * Lint one sphere artifact (a sealed/torn QSG1 container or a legacy
+ * raw sphere stream). Never throws on bad input -- malformed bytes
+ * *are* the subject -- and always returns a report, salvaging through
+ * damaged layers so the semantic checks still run on whatever parses.
+ */
+LintReport lintSphereBytes(const std::vector<std::uint8_t> &raw,
+                           const std::string &uri);
+
+/**
+ * Render reports as one SARIF 2.1.0 run (tool "qrec-verify", the full
+ * rule table under driver.rules, one result per finding).
+ */
+std::string lintSarif(const std::vector<LintReport> &reports);
+
+} // namespace qr
+
+#endif // QR_ANALYZE_VERIFY_HH

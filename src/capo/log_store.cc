@@ -308,6 +308,7 @@ readSegmented(const std::vector<std::uint8_t> &raw)
     SegmentedReadResult res;
     if (!isSegmented(raw)) {
         res.error = "not a segmented (QSG1) container";
+        res.kind = SegmentedError::NotContainer;
         return res;
     }
     res.ok = true;
@@ -315,12 +316,14 @@ readSegmented(const std::vector<std::uint8_t> &raw)
     for (;;) {
         if (pos >= raw.size()) {
             res.error = "container ends without a trailer";
+            res.kind = SegmentedError::NoTrailer;
             return res;
         }
         std::uint8_t tag = raw[pos];
         if (tag == trailerTag) {
             if (raw.size() - pos < trailerBytes) {
                 res.error = "truncated trailer";
+                res.kind = SegmentedError::TruncatedTrailer;
                 return res;
             }
             std::uint32_t nsegs = getU32(raw, pos + 1);
@@ -331,15 +334,18 @@ readSegmented(const std::vector<std::uint8_t> &raw)
                                      nsegs,
                                      static_cast<unsigned long long>(
                                          res.segments));
+                res.kind = SegmentedError::SegmentCountMismatch;
                 return res;
             }
             if (sum != fnvBytes(res.payload.data(),
                                 res.payload.size())) {
                 res.error = "trailer checksum mismatch";
+                res.kind = SegmentedError::TrailerChecksum;
                 return res;
             }
             if (pos + trailerBytes != raw.size()) {
                 res.error = "trailing bytes after the trailer";
+                res.kind = SegmentedError::TrailingBytes;
                 return res;
             }
             res.sealed = true;
@@ -348,21 +354,25 @@ readSegmented(const std::vector<std::uint8_t> &raw)
         if (tag != segTag) {
             res.error = csprintf("unexpected tag 0x%02x at offset %zu",
                                  tag, pos);
+            res.kind = SegmentedError::UnexpectedTag;
             return res;
         }
         if (raw.size() - pos < 5) {
             res.error = "truncated segment header";
+            res.kind = SegmentedError::TruncatedSegmentHeader;
             return res;
         }
         std::uint32_t len = getU32(raw, pos + 1);
         if (len == 0 || len > segmentPayloadBytes) {
             res.error = csprintf("implausible segment length %u", len);
+            res.kind = SegmentedError::ImplausibleSegmentLength;
             return res;
         }
         if (raw.size() - pos < 5 + static_cast<std::size_t>(len) + 8) {
             res.error = csprintf("segment %llu torn mid-record",
                                  static_cast<unsigned long long>(
                                      res.segments));
+            res.kind = SegmentedError::TornSegment;
             return res;
         }
         std::uint64_t sum = getU64(raw, pos + 5 + len);
@@ -370,6 +380,7 @@ readSegmented(const std::vector<std::uint8_t> &raw)
             res.error = csprintf("segment %llu checksum mismatch",
                                  static_cast<unsigned long long>(
                                      res.segments));
+            res.kind = SegmentedError::SegmentChecksum;
             return res;
         }
         res.payload.insert(res.payload.end(), raw.begin() + pos + 5,

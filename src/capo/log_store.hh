@@ -74,6 +74,29 @@ SegmentedWriteResult writeSegmented(
     const std::vector<std::uint8_t> &payload, const std::string &path,
     FaultPlan *faults = nullptr);
 
+/**
+ * Structured cause of a segmented-container read failure, one value
+ * per rejection site in readSegmented(). The error string carries the
+ * human detail (offsets, counts); the kind is what machine consumers
+ * (the `qrec verify` linter) branch on, so diagnostics do not have to
+ * pattern-match message text.
+ */
+enum class SegmentedError
+{
+    None = 0,         //!< sealed, nothing wrong
+    NotContainer,     //!< missing QSG1 magic
+    NoTrailer,        //!< segments end without any trailer record
+    TruncatedTrailer, //!< trailer tag present but record cut short
+    SegmentCountMismatch, //!< trailer count != segments actually read
+    TrailerChecksum,  //!< whole-payload hash disagrees with trailer
+    TrailingBytes,    //!< valid trailer but bytes follow it
+    UnexpectedTag,    //!< byte that is neither segment nor trailer tag
+    TruncatedSegmentHeader, //!< file ends inside a segment header
+    ImplausibleSegmentLength, //!< length field zero or > segment size
+    TornSegment,      //!< file ends inside a segment body/checksum
+    SegmentChecksum,  //!< a segment body fails its checksum
+};
+
 /** Outcome of reading a segmented container. */
 struct SegmentedReadResult
 {
@@ -82,6 +105,7 @@ struct SegmentedReadResult
     bool sealed = false; //!< trailer valid: payload is complete
     std::uint64_t segments = 0; //!< intact segments recovered
     std::string error; //!< why the container is not sealed (if not)
+    SegmentedError kind = SegmentedError::None; //!< structured cause
 };
 
 /**

@@ -373,6 +373,7 @@ SphereLogs::deserializeTolerant(const std::vector<std::uint8_t> &in)
     Tid openTid = invalidTid;
     try {
         std::uint64_t nthreads = getVarint(in, pos);
+        salvage.threadsDeclared = nthreads;
         for (std::uint64_t i = 0; i < nthreads; ++i) {
             Tid tid = parseThreadId(in, pos);
             auto [it, fresh] = s.threads.emplace(tid, ThreadLogs{});

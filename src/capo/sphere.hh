@@ -175,6 +175,7 @@ struct SphereSalvage
 {
     SphereLogs logs;
     bool complete = false; //!< parsed to the end, nothing lost
+    std::uint64_t threadsDeclared = 0; //!< per the sphere header
     std::uint64_t threadsSalvaged = 0; //!< threads parsed in full
     std::uint64_t threadsPartial = 0;  //!< threads kept as a prefix
     std::string note; //!< what stopped the parse (empty if complete)

@@ -97,12 +97,15 @@ EventTrace::arm(std::size_t ring_events)
     rings.clear();
     generation.fetch_add(1, std::memory_order_release);
     ringEvents = ring_events ? ring_events : 1;
+    // armed is advisory: a racing emitter at worst records or drops
+    // one event at the transition edge, never corrupts a ring.
     _armed.store(true, std::memory_order_relaxed);
 }
 
 void
 EventTrace::disarm()
 {
+    // Advisory flag, same rationale as arm().
     _armed.store(false, std::memory_order_relaxed);
 }
 
@@ -118,6 +121,8 @@ EventTrace::ringForThisThread()
     r->capacity = ringEvents;
     tlOwner = this;
     tlRing = r;
+    // Under the mutex; the fast-path acquire load above is the read
+    // that orders against arm()'s release bump.
     tlGen = generation.load(std::memory_order_relaxed);
     return r;
 }

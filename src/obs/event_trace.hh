@@ -120,6 +120,8 @@ class EventTrace
     bool
     armed() const
     {
+        // Advisory gate: a stale read races only against arm/disarm
+        // transitions and at worst mis-gates one event.
         return _armed.load(std::memory_order_relaxed);
     }
 

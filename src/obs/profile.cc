@@ -25,6 +25,8 @@ Profiler::totals(ProfilePhase p) const
 {
     int i = static_cast<int>(p);
     ProfilePhaseTotals t;
+    // Independent monotonic counters: readers tolerate cross-counter
+    // skew, so relaxed reads are sufficient.
     t.calls = calls[i].load(std::memory_order_relaxed);
     t.wallMicros =
         wallNanos[i].load(std::memory_order_relaxed) / 1e3;
@@ -36,6 +38,7 @@ void
 Profiler::reset()
 {
     for (int i = 0; i < numProfilePhases; ++i) {
+        // Reset is called from quiescent single-threaded phases only.
         calls[i].store(0, std::memory_order_relaxed);
         wallNanos[i].store(0, std::memory_order_relaxed);
         cycles[i].store(0, std::memory_order_relaxed);

@@ -66,6 +66,8 @@ class Profiler
     add(ProfilePhase p, double wall_micros, Tick modeled_cycles)
     {
         int i = static_cast<int>(p);
+        // Independent monotonic counters; no cross-counter ordering
+        // is promised to readers, so relaxed increments suffice.
         calls[i].fetch_add(1, std::memory_order_relaxed);
         wallNanos[i].fetch_add(
             static_cast<std::uint64_t>(wall_micros * 1e3),

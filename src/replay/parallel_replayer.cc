@@ -121,7 +121,10 @@ class StressInjector
 std::uint64_t
 stressSeedFromEnv()
 {
-    const char *env = std::getenv("QR_REPLAY_STRESS");
+    // Read once on the coordinating thread before any worker spawns;
+    // no setenv anywhere in the process, so the library race
+    // concurrency-mt-unsafe guards against cannot occur.
+    const char *env = std::getenv("QR_REPLAY_STRESS"); // NOLINT(concurrency-mt-unsafe)
     if (!env || !*env)
         return 0;
     return std::strtoull(env, nullptr, 0);

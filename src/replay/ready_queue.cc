@@ -22,6 +22,8 @@ roundUpPow2(std::size_t n)
 ReadyQueue::ReadyQueue(std::size_t capacity)
     : cells(roundUpPow2(capacity)), mask(cells.size() - 1)
 {
+    // Single-threaded construction; handing workers the queue
+    // reference publishes the initialized cells.
     for (std::size_t i = 0; i < cells.size(); ++i)
         cells[i].seq.store(i, std::memory_order_relaxed);
 }
@@ -30,6 +32,9 @@ void
 ReadyQueue::push(std::uint32_t value)
 {
     Cell *cell;
+    // Relaxed on the position counter throughout: it is only a hint
+    // revalidated against the cell's seq, and the seq acquire/release
+    // pair carries all the cross-thread ordering (Vyukov MPMC).
     std::size_t pos = enqueuePos.load(std::memory_order_relaxed);
     for (;;) {
         cell = &cells[pos & mask];
@@ -66,6 +71,8 @@ bool
 ReadyQueue::tryPop(std::uint32_t &value)
 {
     Cell *cell;
+    // Same relaxed-counter discipline as push(): dequeuePos is a hint;
+    // the cell seq acquire/release does the ordering.
     std::size_t pos = dequeuePos.load(std::memory_order_relaxed);
     for (;;) {
         cell = &cells[pos & mask];
@@ -100,6 +107,9 @@ ReadyQueue::pop(std::uint32_t &value)
 
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
+        // waiters is a Dekker flag: the seq_cst fences here and in
+        // push() provide the ordering, so the counter itself can be
+        // relaxed on every adjustment below.
         waiters.fetch_add(1, std::memory_order_relaxed);
         std::atomic_thread_fence(std::memory_order_seq_cst);
         if (tryPop(value)) {
@@ -128,6 +138,8 @@ void
 LineVersionTable::arm(std::size_t slots)
 {
     seq = std::vector<std::atomic<std::uint32_t>>(slots);
+    // arm() runs before the worker pool spawns; thread creation
+    // publishes the zeroed table.
     for (auto &s : seq)
         s.store(0, std::memory_order_relaxed);
 }

@@ -386,7 +386,9 @@ BenchJson::addStat(const std::string &name, double value)
 std::string
 BenchJson::write() const
 {
-    const char *dir = std::getenv("QR_BENCH_JSON_DIR");
+    // Bench writers run on the main thread after workers joined; no
+    // setenv in the process, so the getenv race cannot occur.
+    const char *dir = std::getenv("QR_BENCH_JSON_DIR"); // NOLINT(concurrency-mt-unsafe)
     std::string path = dir && *dir ? std::string(dir) + "/" : "";
     path += "BENCH_" + doc.bench + ".json";
     std::FILE *f = std::fopen(path.c_str(), "w");

@@ -20,7 +20,9 @@ flags()
 {
     static std::array<bool, numTraceFlags> enabled = [] {
         std::array<bool, numTraceFlags> e{};
-        const char *env = std::getenv("QR_TRACE");
+        // Function-local static: C++ guarantees one racer wins the
+        // initializer, and the process never calls setenv.
+        const char *env = std::getenv("QR_TRACE"); // NOLINT(concurrency-mt-unsafe)
         if (!env)
             return e;
         std::string spec(env);

@@ -415,4 +415,133 @@ makeRaceDemo(int threads, int iters, bool racy, Addr *planted_line)
                     threads, g.finish()};
 }
 
+Workload
+makeMaskedRaceDemo(int threads, int iters, bool elide_lock,
+                   Addr *planted_line)
+{
+    GuestBuilder g;
+    Addr slots =
+        g.alignedBlock(static_cast<std::uint32_t>(threads) * 16);
+    Addr shared = g.alignedBlock(1); // the masked race, its own line
+    Addr total = g.alignedBlock(1);
+    Addr lock = g.lockAlloc();
+    if (planted_line)
+        *planted_line = shared;
+
+    // Futex mutex restricted to the contended protocol: acquisition
+    // always swap(2)s and release always syscalls a wake, so every
+    // handoff is visible to the recorded SyncPoints. The hybrid lock's
+    // CAS fast path would acquire without any recordable event, which
+    // is exactly the blindness the predictive twins must not depend
+    // on. Clobbers t1, a0, a1, a7; s4 holds the lock address.
+    auto acquire = [&] {
+        std::string loop = g.newLabel("mlk_acq");
+        std::string done = g.newLabel("mlk_got");
+        g.label(loop);
+        g.li(t1, 2);
+        g.swap(t1, s4);
+        g.beq(t1, zero, done);
+        g.mv(a0, s4);
+        g.li(a1, 2);
+        g.sys(Sys::FutexWait);
+        g.j(loop);
+        g.label(done);
+    };
+    auto release = [&] {
+        g.li(t1, 0);
+        g.swap(t1, s4); // old state is always 2 here
+        g.mv(a0, s4);
+        g.li(a1, 1);
+        g.sys(Sys::FutexWake);
+    };
+    auto bumpShared = [&] {
+        g.lw(t3, s3, 0);
+        g.addi(t3, t3, 1);
+        g.sw(t3, s3, 0);
+    };
+
+    std::string body = "mbody";
+    g.emitWorkerScaffold(threads, body, [&] {
+        // Post-join: total = sum(slots) + shared, printed at exit.
+        g.li(s1, static_cast<Word>(threads));
+        g.li(s2, slots);
+        g.li(t2, 0);
+        std::string sum = g.newLabel("sum");
+        g.label(sum);
+        g.lw(t3, s2, 0);
+        g.add(t2, t2, t3);
+        g.addi(s2, s2, 64);
+        g.addi(s1, s1, -1);
+        g.bne(s1, zero, sum);
+        g.li(t1, shared);
+        g.lw(t3, t1, 0);
+        g.add(t2, t2, t3);
+        g.li(t1, total);
+        g.sw(t2, t1, 0);
+        g.sysWrite(total, 4);
+    });
+
+    g.label(body);
+    g.slli(t1, a0, 6); // 64-byte slot per worker
+    g.li(s2, slots);
+    g.add(s2, s2, t1);
+    g.li(s3, shared);
+    g.li(s4, lock);
+    g.li(s1, static_cast<Word>(iters));
+    g.mv(s5, a0);
+
+    std::string after_pre = g.newLabel("pre");
+    if (elide_lock) {
+        // Main touches the shared line once before it ever takes the
+        // lock. A thread's first chunk cannot sink a handoff edge, so
+        // the access is provably outside any critical-section window.
+        g.bne(s5, zero, after_pre);
+        bumpShared();
+        g.label(after_pre);
+    }
+
+    std::string loop = g.newLabel("loop");
+    g.label(loop);
+    acquire();
+    // Hold the lock across a kernel entry: the scheduler switches at
+    // syscalls, so without this yield the critical section runs to
+    // its release inside one quantum, contenders always find the lock
+    // free, no FutexWait ever blocks, and the recording would carry
+    // no handoff SyncPoints at all -- the predictive pass needs the
+    // contention to be real.
+    g.sys(Sys::Yield);
+    g.lw(t2, s2, 0); // private increment inside the critical section
+    g.addi(t2, t2, 1);
+    g.sw(t2, s2, 0);
+    if (!elide_lock)
+        bumpShared(); // clean twin: consistently lock-protected
+    release();
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, loop);
+
+    std::string after_post = g.newLabel("post");
+    if (elide_lock) {
+        // Worker 1 touches it once after its *last* release. The
+        // first-spawned worker seizes the lock the moment the spawn
+        // syscall schedules it, so it runs one handoff ahead of main
+        // for the whole loop and its final release still wakes main
+        // -- the recorded wake proves the lock was dropped before
+        // this access. (Main finishes last; its final release wakes
+        // nobody, which would leave the access lockset-ambiguous.)
+        // The chain main-pre-bump -> main rel -> ... -> worker 1's
+        // last acquire -> worker-post-bump covers the pair in
+        // schedule order even though no lock protects either access.
+        g.li(t1, 1);
+        g.bne(s5, t1, after_post);
+        bumpShared();
+        g.label(after_post);
+    }
+    g.ret();
+
+    return Workload{elide_lock ? "masked-race-elided"
+                               : "masked-race-clean",
+                    csprintf("threads=%d iters=%d", threads, iters),
+                    threads, g.finish()};
+}
+
 } // namespace qr

@@ -61,6 +61,25 @@ Workload makeSignalStress(int kills);
 Workload makeRaceDemo(int threads, int iters, bool racy,
                       Addr *planted_line = nullptr);
 
+/**
+ * Ground-truth twins for the *predictive* race pass (qrec analyze
+ * --predict). Every worker loops over a futex-lock critical section
+ * incrementing its private slot. The clean twin also increments one
+ * shared counter inside the critical section: consistently locked,
+ * never any kind of race. The @p elide_lock twin moves that increment
+ * outside the lock -- main touches it once before its first acquire,
+ * worker 1 once after its last release -- so the
+ * recorded lock-handoff chain *orders* the accesses and the witnessed
+ * analysis sees no race, yet no synchronization actually protects
+ * them: the schedule masked a real race. The predictive pass must
+ * report the line (returned through @p planted_line) as a predicted
+ * race on the elided twin and zero predicted races on the clean one.
+ * With threads == 2 the elided twin's shared line carries exactly one
+ * conflict edge, so the masking is total (zero witnessed races on it).
+ */
+Workload makeMaskedRaceDemo(int threads, int iters, bool elide_lock,
+                            Addr *planted_line = nullptr);
+
 } // namespace qr
 
 #endif // QR_WORKLOADS_MICRO_HH

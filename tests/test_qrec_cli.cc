@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <string>
 
+#include <sys/wait.h>
+
 namespace
 {
 
@@ -448,6 +450,112 @@ TEST(QrecCli, RejectsCorruptContainer)
     EXPECT_NE(runQrecCapture(std::string("replay -i ") + file, out), 0);
     EXPECT_NE(out.find("corrupt"), std::string::npos) << out;
     std::remove(file);
+}
+
+/** Exit code of a qrec run (the raw system() status decoded). */
+int
+runQrecStatus(const std::string &args)
+{
+    int rc = runQrec(args);
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(QrecCli, AnalyzeExitCodeContract)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    // 0 = no races, 1 = races found, 2 = artifact unusable. CI
+    // scripts branch on the distinction, so pin the exact values.
+    const char *racy = "/tmp/qr_cli_exit_racy.qrec";
+    const char *clean = "/tmp/qr_cli_exit_clean.qrec";
+    ASSERT_EQ(runQrec(std::string("record race-demo-racy -t 4 -s 1 "
+                                  "--exact-shadow -o ") + racy),
+              0);
+    ASSERT_EQ(runQrec(std::string("record race-demo-clean -t 4 -s 1 "
+                                  "--exact-shadow -o ") + clean),
+              0);
+    EXPECT_EQ(runQrecStatus(std::string("analyze -i ") + racy), 1);
+    EXPECT_EQ(runQrecStatus(std::string("analyze -i ") + clean), 0);
+    EXPECT_EQ(runQrecStatus(std::string("analyze --predict -i ") +
+                            clean),
+              0);
+    EXPECT_EQ(runQrecStatus("analyze -i /tmp/does_not_exist.qrec"), 2);
+    EXPECT_EQ(runQrecStatus("analyze"), 2);
+    std::remove(racy);
+    std::remove(clean);
+}
+
+TEST(QrecCli, AnalyzePredictFindsTheMaskedRace)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_predict.qrec";
+    ASSERT_EQ(runQrec(std::string("record masked-race-elided -t 2 "
+                                  "-s 1 --exact-shadow -o ") + file),
+              0);
+    std::string out;
+    int rc = runQrecCapture(std::string("analyze --predict -i ") +
+                            file, out);
+    EXPECT_NE(rc, 0);
+    EXPECT_NE(out.find("predictive tiers"), std::string::npos) << out;
+    EXPECT_NE(out.find("1 predicted"), std::string::npos) << out;
+    EXPECT_NE(out.find("predicted lines:"), std::string::npos) << out;
+    std::remove(file);
+}
+
+TEST(QrecCli, VerifyLintsArtifacts)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    // A healthy recording lints clean (exit 0)...
+    const char *file = "/tmp/qr_cli_verify.qrec";
+    ASSERT_EQ(runQrec(std::string("record fft -t 2 -s 1 -o ") + file),
+              0);
+    std::string out;
+    EXPECT_EQ(runQrecCapture(std::string("verify ") + file, out) == 0,
+              true)
+        << out;
+    EXPECT_NE(out.find("clean:"), std::string::npos) << out;
+
+    // ...garbage is a diagnostic (exit 1), not a crash.
+    const char *junkFile = "/tmp/qr_cli_verify_junk.qrs";
+    std::FILE *f = std::fopen(junkFile, "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("garbage", 1, 7, f);
+    std::fclose(f);
+    EXPECT_EQ(runQrecStatus(std::string("verify ") + junkFile), 1);
+    std::string diag;
+    runQrecCapture(std::string("verify ") + junkFile, diag);
+    EXPECT_NE(diag.find("QRV002"), std::string::npos) << diag;
+
+    // Usage and I/O failures are exit 2.
+    EXPECT_EQ(runQrecStatus("verify"), 2);
+    EXPECT_EQ(runQrecStatus("verify /tmp/does_not_exist.qrs"), 2);
+    EXPECT_EQ(runQrecStatus(std::string("verify --bogus ") + file), 2);
+    std::remove(file);
+    std::remove(junkFile);
+}
+
+TEST(QrecCli, VerifySarifOutput)
+{
+    if (!qrecAvailable())
+        GTEST_SKIP();
+    const char *file = "/tmp/qr_cli_verify_sarif.qrec";
+    const char *sarif = "/tmp/qr_cli_verify_out.sarif";
+    ASSERT_EQ(runQrec(std::string("record fft -t 2 -s 1 -o ") + file),
+              0);
+    EXPECT_EQ(runQrecStatus(std::string("verify --sarif -o ") + sarif +
+                            " " + file),
+              0);
+    std::string text = readFileText(sarif);
+    EXPECT_NE(text.find("\"version\": \"2.1.0\""), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"name\": \"qrec-verify\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"id\": \"QRV016\""), std::string::npos)
+        << "rule table must ride along even on clean runs";
+    std::remove(file);
+    std::remove(sarif);
 }
 
 } // namespace

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Ordering-rationale gate for relaxed atomics.
+#
+# Every std::memory_order_relaxed in src/ must carry a comment saying
+# WHY relaxed is safe: on the same line, or on a // line earlier in
+# the same contiguous statement block (scanning upward stops at the
+# first blank line). The point is that a relaxed operation is a claim
+# about the algorithm -- "no other ordering rides on this access" --
+# and that claim belongs next to the code, where the next edit can
+# falsify it.
+#
+# Usage: tools/check_atomics.sh [dir...]   (default: src)
+set -eu
+
+cd "$(dirname "$0")/.."
+DIRS="${*:-src}"
+
+# shellcheck disable=SC2086
+FILES="$(grep -rl 'memory_order_relaxed' $DIRS --include='*.cc' \
+             --include='*.hh' 2>/dev/null | sort || true)"
+
+if [ -z "$FILES" ]; then
+    echo "check_atomics: no relaxed atomics under: $DIRS"
+    exit 0
+fi
+
+STATUS=0
+TOTAL=0
+for f in $FILES; do
+    BAD="$(awk '
+        /^[[:space:]]*$/ { block_comment = 0; next }
+        { line_comment = ($0 ~ /\/\//) }
+        /memory_order_relaxed/ {
+            if (!line_comment && !block_comment)
+                printf "%s:%d: %s\n", FILENAME, FNR, $0
+        }
+        { if (line_comment) block_comment = 1 }
+    ' "$f")"
+    TOTAL=$((TOTAL + $(grep -c 'memory_order_relaxed' "$f")))
+    if [ -n "$BAD" ]; then
+        echo "$BAD"
+        STATUS=1
+    fi
+done
+
+if [ "$STATUS" -ne 0 ]; then
+    echo "check_atomics: FAIL -- relaxed atomics above lack an" \
+         "ordering-rationale comment (same line or a // line in the" \
+         "same statement block)" >&2
+    exit 1
+fi
+echo "check_atomics: OK ($TOTAL relaxed site(s) documented)"

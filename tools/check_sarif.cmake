@@ -1,0 +1,109 @@
+# Validates a SARIF 2.1.0 log emitted by `qrec verify --sarif`: it
+# must parse as JSON, declare version 2.1.0, identify the qrec-verify
+# driver with its full QRV rule table, and carry well-formed results
+# (ruleId + level + message + one physical location each). Run as:
+#   cmake -DSARIF=<file> [-DMIN_RESULTS=<n>] -P tools/check_sarif.cmake
+
+if(NOT DEFINED SARIF)
+    message(FATAL_ERROR "pass -DSARIF=<sarif file>")
+endif()
+if(NOT DEFINED MIN_RESULTS)
+    set(MIN_RESULTS 0)
+endif()
+file(READ "${SARIF}" text)
+
+if(CMAKE_VERSION VERSION_LESS 3.19)
+    # No string(JSON) parser available: settle for shape checks.
+    foreach(needle "\"2.1.0\"" "\"qrec-verify\"" "\"runs\"" "\"rules\""
+            "\"results\"" "sarif-2.1.0")
+        string(FIND "${text}" "${needle}" at)
+        if(at EQUAL -1)
+            message(FATAL_ERROR "${SARIF}: missing ${needle}")
+        endif()
+    endforeach()
+    return()
+endif()
+
+string(JSON ver ERROR_VARIABLE err GET "${text}" version)
+if(err OR NOT ver STREQUAL "2.1.0")
+    message(FATAL_ERROR "${SARIF}: version is not 2.1.0: ${err}")
+endif()
+string(JSON schema ERROR_VARIABLE err GET "${text}" \$schema)
+if(err)
+    message(FATAL_ERROR "${SARIF}: missing \$schema: ${err}")
+endif()
+
+string(JSON kind ERROR_VARIABLE err TYPE "${text}" runs)
+if(err OR NOT kind STREQUAL "ARRAY")
+    message(FATAL_ERROR "${SARIF}: runs is not an array: ${err}")
+endif()
+string(JSON nruns LENGTH "${text}" runs)
+if(nruns LESS 1)
+    message(FATAL_ERROR "${SARIF}: runs is empty")
+endif()
+
+string(JSON driver ERROR_VARIABLE err GET "${text}" runs 0 tool driver
+       name)
+if(err OR NOT driver STREQUAL "qrec-verify")
+    message(FATAL_ERROR "${SARIF}: tool.driver.name != qrec-verify")
+endif()
+
+# The full QRV rule table must be embedded so a SARIF viewer can
+# explain any code without the qrec binary at hand.
+string(JSON nrules ERROR_VARIABLE err LENGTH "${text}" runs 0 tool
+       driver rules)
+if(err OR nrules LESS 16)
+    message(FATAL_ERROR
+            "${SARIF}: expected the 16-entry QRV rule table, got"
+            " '${nrules}' (${err})")
+endif()
+math(EXPR lastrule "${nrules} - 1")
+foreach(i 0 ${lastrule})
+    string(JSON rid ERROR_VARIABLE err GET "${text}" runs 0 tool driver
+           rules ${i} id)
+    if(err OR NOT rid MATCHES "^QRV[0-9][0-9][0-9]$")
+        message(FATAL_ERROR "${SARIF}: rule ${i} has bad id '${rid}'")
+    endif()
+    string(JSON lvl ERROR_VARIABLE err GET "${text}" runs 0 tool driver
+           rules ${i} defaultConfiguration level)
+    if(err OR NOT lvl MATCHES "^(error|warning)$")
+        message(FATAL_ERROR "${SARIF}: rule ${rid} has bad level")
+    endif()
+endforeach()
+
+string(JSON kind ERROR_VARIABLE err TYPE "${text}" runs 0 results)
+if(err OR NOT kind STREQUAL "ARRAY")
+    message(FATAL_ERROR "${SARIF}: results is not an array: ${err}")
+endif()
+string(JSON nres LENGTH "${text}" runs 0 results)
+if(nres LESS MIN_RESULTS)
+    message(FATAL_ERROR
+            "${SARIF}: ${nres} result(s), expected >= ${MIN_RESULTS}")
+endif()
+
+if(nres GREATER 0)
+    # Every result needs a rule binding and a location; spot-check the
+    # first and last like the other artifact validators do.
+    math(EXPR lastres "${nres} - 1")
+    foreach(i 0 ${lastres})
+        string(JSON rid ERROR_VARIABLE err GET "${text}" runs 0 results
+               ${i} ruleId)
+        if(err OR NOT rid MATCHES "^QRV[0-9][0-9][0-9]$")
+            message(FATAL_ERROR
+                    "${SARIF}: result ${i} has bad ruleId '${rid}'")
+        endif()
+        string(JSON msg ERROR_VARIABLE err GET "${text}" runs 0 results
+               ${i} message text)
+        if(err OR msg STREQUAL "")
+            message(FATAL_ERROR "${SARIF}: result ${i} has no message")
+        endif()
+        string(JSON uri ERROR_VARIABLE err GET "${text}" runs 0 results
+               ${i} locations 0 physicalLocation artifactLocation uri)
+        if(err OR uri STREQUAL "")
+            message(FATAL_ERROR "${SARIF}: result ${i} has no artifact"
+                    " location")
+        endif()
+    endforeach()
+endif()
+message(STATUS
+        "${SARIF}: valid (${nrules} rules, ${nres} result(s))")

@@ -20,7 +20,12 @@
 #      100x spheres, analyzes them through the mmap + cursor pipeline,
 #      and the BENCH_STREAM.json artifact must prove the flat-memory
 #      bar (check_bench_stream.cmake) at schema v2,
-#   8. the docs lint (tools/check_docs.sh): every qrec subcommand and
+#   8. the artifact-verification gate: `qrec verify` must map every
+#      checked-in corpus corruption to its distinct QRV diagnostic,
+#      emit schema-valid SARIF for the lot (tools/check_sarif.cmake),
+#      and `qrec analyze --predict` must still flag the masked race
+#      the elided twin workload plants,
+#   9. the docs lint (tools/check_docs.sh): every qrec subcommand and
 #      QR_* knob must be documented in README.md.
 #
 # The first failing stage aborts the script with a nonzero exit.
@@ -31,21 +36,21 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "=== ci 1/8: tier-1 suite ==="
+echo "=== ci 1/9: tier-1 suite ==="
 cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD" -j "$(nproc)"
 (cd "$BUILD" && ctest --output-on-failure)
 
-echo "=== ci 2/8: asan/ubsan ==="
+echo "=== ci 2/9: asan/ubsan ==="
 tools/run_asan.sh
 
-echo "=== ci 3/8: tsan ==="
+echo "=== ci 3/9: tsan ==="
 tools/run_tsan.sh
 
-echo "=== ci 4/8: clang-tidy ==="
+echo "=== ci 4/9: clang-tidy ==="
 tools/run_lint.sh "$BUILD"
 
-echo "=== ci 5/8: fault pipeline smoke ==="
+echo "=== ci 5/9: fault pipeline smoke ==="
 QREC="$BUILD/tools/qrec"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -58,7 +63,7 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     -i "$SMOKE_DIR/smoke_rec.qrec" \
     | grep -q "identical to sequential"
 
-echo "=== ci 6/8: observability smoke ==="
+echo "=== ci 6/9: observability smoke ==="
 "$QREC" record fft -t 4 -s 1 --trace -o "$SMOKE_DIR/trace.qrec" \
     | grep -q "traced"
 "$QREC" trace -i "$SMOKE_DIR/trace.qrec" -o "$SMOKE_DIR/trace.json"
@@ -67,7 +72,7 @@ cmake -DJSON="$SMOKE_DIR/trace.json" -P tools/check_trace_json.cmake
 "$QREC" stats --prom -i "$SMOKE_DIR/trace.qrec" \
     | grep -q "# TYPE qr_rnr_chunks counter"
 
-echo "=== ci 7/8: streaming analysis smoke ==="
+echo "=== ci 7/9: streaming analysis smoke ==="
 QR_BENCH_SCALE=1 QR_BENCH_WORKLOADS=radix QR_BENCH_MIN_SECS=0 \
     QR_BENCH_JSON_DIR="$SMOKE_DIR" "$BUILD/bench/bench_e10_stream" \
     > /dev/null
@@ -76,7 +81,48 @@ cmake -DJSON="$SMOKE_DIR/BENCH_STREAM.json" \
 "$BUILD/tools/bench_json_util" validate --min-schema 2 \
     "$SMOKE_DIR/BENCH_STREAM.json"
 
-echo "=== ci 8/8: docs lint ==="
+echo "=== ci 8/9: artifact verification gate ==="
+# Every suite sphere (fresh recordings) and the intact corpus sphere
+# lint clean...
+SUITE="$("$QREC" list | sed -n '/SPLASH/,/micro/p' | grep '^  ' \
+    | tr -d ' ')"
+for w in $SUITE; do
+    "$QREC" record "$w" -t 4 -s 1 --exact-shadow \
+        -o "$SMOKE_DIR/suite_$w.qrec" > /dev/null
+done
+# shellcheck disable=SC2046
+"$QREC" verify $(ls "$SMOKE_DIR"/suite_*.qrec) tests/corpus/intact.qrs
+"$QREC" verify "$SMOKE_DIR/trace.qrec" | grep -q "clean:"
+# ...and every checked-in corruption maps to its own diagnostic.
+check_qrv() {
+    OUT="$("$QREC" verify "tests/corpus/$1.qrs" || true)"
+    echo "$OUT" | grep -q "$2" || {
+        echo "ci: verify $1.qrs missed $2:" >&2
+        echo "$OUT" >&2
+        exit 1
+    }
+}
+check_qrv empty QRV001
+check_qrv torn_tail QRV003
+check_qrv truncated_midseg QRV004
+check_qrv bad_segment QRV005
+check_qrv bad_trailer QRV006
+check_qrv dup_segment QRV007
+"$QREC" verify --sarif -o "$SMOKE_DIR/verify.sarif" \
+    tests/corpus/*.qrs "$SMOKE_DIR/trace.qrec" || true
+cmake -DSARIF="$SMOKE_DIR/verify.sarif" -DMIN_RESULTS=6 \
+    -P tools/check_sarif.cmake
+# The predictive pass still recovers the masked race the elided twin
+# plants (and the schedule masks): the tentpole end to end.
+"$QREC" record masked-race-elided -t 2 -s 1 --exact-shadow \
+    -o "$SMOKE_DIR/masked.qrec" > /dev/null
+"$QREC" analyze --predict -i "$SMOKE_DIR/masked.qrec" \
+    | grep -q "1 predicted" || {
+    echo "ci: analyze --predict lost the planted masked race" >&2
+    exit 1
+}
+
+echo "=== ci 9/9: docs lint ==="
 tools/check_docs.sh
 
 echo "ci: all gates green"

@@ -12,6 +12,10 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
+# Relaxed-atomics rationale gate runs first: it is pure shell, so it
+# holds even on hosts without clang-tidy.
+tools/check_atomics.sh src
+
 TIDY="$(command -v clang-tidy || true)"
 if [ -z "$TIDY" ]; then
     echo "run_lint.sh: clang-tidy not found in PATH; skipping" >&2
