@@ -1,0 +1,190 @@
+/**
+ * @file
+ * E11 -- qrecd service throughput: end-to-end spheres per host second
+ * through RecordService (admission -> sharded recording -> retried
+ * QSG1 persistence -> retention), swept over the worker-shard count.
+ * A second pass repeats the sweep's largest shape under the standard
+ * chaos spec to price fault-handling: retries, torn-left salvage and
+ * the repair loop all run on the clock.
+ *
+ * Two invariants are enforced here, not just reported: the ledger
+ * must close (service.unaccounted == 0) on every run, and the chaos
+ * pass must end -- after one repair sweep -- with zero unsealed
+ * artifacts in the store. Either failure exits nonzero, so the bench
+ * doubles as a quick service smoke. Emits BENCH_SERVICE.json
+ * (schema v2) with per-shape spheres_per_sec, saved bytes/s and the
+ * terminal-state counts.
+ *
+ * Spheres are small racy-counter recordings (the service cost under
+ * test is queueing + persistence + rotation, not simulation), scaled
+ * by QR_BENCH_SCALE like every other bench.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include "common.hh"
+#include "service/service.hh"
+#include "workloads/micro.hh"
+
+using namespace qr;
+
+namespace
+{
+
+/** Fresh scratch store under /tmp, wiped on construction and exit. */
+struct ScratchDir
+{
+    std::string path;
+
+    explicit ScratchDir(const std::string &name)
+        : path("/tmp/qr_bench_service_" + name)
+    {
+        wipe();
+    }
+
+    ~ScratchDir() { wipe(); }
+
+    void wipe()
+    {
+        DIR *d = ::opendir(path.c_str());
+        if (d) {
+            while (struct dirent *e = ::readdir(d)) {
+                std::string n = e->d_name;
+                if (n != "." && n != "..")
+                    ::unlink((path + "/" + n).c_str());
+            }
+            ::closedir(d);
+        }
+        ::rmdir(path.c_str());
+    }
+};
+
+SphereRequest
+benchSphere(int iters)
+{
+    Workload w = makeRacyCounter(2, iters, false);
+    SphereRequest req;
+    req.workload = w.name;
+    req.threads = 2;
+    req.scale = 1;
+    req.program = w.program;
+    return req;
+}
+
+struct RunResult
+{
+    double secs = 0.0;
+    std::uint64_t savedBytes = 0;
+    ServiceCounters ctr;
+    std::uint64_t unaccounted = 0;
+    std::size_t unsealedAfterRepair = 0;
+};
+
+/** Drive @p spheres submissions through a service with @p workers
+ *  shards; wall-clock covers submit through waitIdle + shutdown. */
+RunResult
+driveFleet(int workers, int spheres, const std::string &faults,
+           const std::string &tag)
+{
+    ScratchDir dir(tag);
+    ServiceConfig cfg;
+    cfg.dir = dir.path;
+    cfg.workers = workers;
+    cfg.budgets.maxActive = workers;
+    cfg.budgets.maxQueued = static_cast<std::uint64_t>(spheres);
+    cfg.retention.maxArtifacts = static_cast<std::uint64_t>(spheres);
+    cfg.faultSpec = faults;
+    cfg.repairIntervalMs = 20;
+
+    RunResult out;
+    using clock = std::chrono::steady_clock;
+    {
+        RecordService svc(cfg);
+        svc.start();
+        auto t0 = clock::now();
+        for (int i = 0; i < spheres; ++i)
+            svc.submit(benchSphere(50 + (i % 7) * 10));
+        svc.waitIdle();
+        svc.repairNow(); // salvage anything chaos left torn
+        svc.shutdown();
+        out.secs =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        out.ctr = svc.counters();
+        StatsSnapshot snap = svc.snapshot();
+        for (const StatScalar &s : snap.scalars) {
+            if (s.name == "service.unaccounted")
+                out.unaccounted =
+                    static_cast<std::uint64_t>(s.value);
+            if (s.name == "service.store.bytes")
+                out.savedBytes =
+                    static_cast<std::uint64_t>(s.value);
+        }
+        out.unsealedAfterRepair = svc.store().scan().unsealed.size();
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("SERVICE",
+                "qrecd throughput: spheres/s end-to-end vs worker "
+                "shards, clean and under chaos");
+    BenchJson json("SERVICE");
+    Table t({"shape", "spheres", "saved", "torn", "lost", "retried",
+             "spheres/s", "KB/s saved"});
+
+    const int spheres = 8 * benchScaleEff();
+    const std::string chaos =
+        "io-torn@0.1,io-enospc@0.05,drain-fail@0.1,cbuf-drop@0.02";
+    bool ok = true;
+
+    auto report = [&](const std::string &shape, const RunResult &r) {
+        double sps = r.secs > 0 ? r.ctr.saved / r.secs : 0.0;
+        double kbps =
+            r.secs > 0 ? r.savedBytes / r.secs / 1024.0 : 0.0;
+        t.row().cell(shape).cell(r.ctr.submitted).cell(r.ctr.saved)
+            .cell(r.ctr.saveTornLeft).cell(r.ctr.saveLost)
+            .cell(r.ctr.saveRetries).cell(sps, 1).cell(kbps, 1);
+        json.add(shape, "spheres_per_sec", sps);
+        json.add(shape, "saved_kb_per_sec", kbps);
+        json.add(shape, "saved", static_cast<double>(r.ctr.saved));
+        json.add(shape, "save_retries",
+                 static_cast<double>(r.ctr.saveRetries));
+        if (r.unaccounted != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s left %llu spheres unaccounted\n",
+                         shape.c_str(),
+                         static_cast<unsigned long long>(
+                             r.unaccounted));
+            ok = false;
+        }
+        if (r.unsealedAfterRepair != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s left %zu unsealed artifacts after "
+                         "repair\n",
+                         shape.c_str(), r.unsealedAfterRepair);
+            ok = false;
+        }
+    };
+
+    for (int workers : {1, 2, 4}) {
+        std::string shape = "clean-w" + std::to_string(workers);
+        report(shape, driveFleet(workers, spheres, "", shape));
+    }
+    report("chaos-w4", driveFleet(4, spheres, chaos, "chaos-w4"));
+
+    t.print();
+    benchJsonEmit(json);
+    if (ok)
+        std::printf("\nledger closed and store sealed on every "
+                    "shape\n");
+    return ok ? 0 : 1;
+}

@@ -1,9 +1,16 @@
 /**
  * @file
  * Always-on recording service: runs the whole benchmark suite under
- * recording back to back, persists every sphere to disk, accounts the
- * log budget (the paper's practicality question: can RnR be left on?),
- * and spot-checks replayability of the saved files.
+ * recording through the qrecd RecordService (the embedding API behind
+ * `qrec serve`), persists every sphere to its artifact store, accounts
+ * the log budget (the paper's practicality question: can RnR be left
+ * on?), and spot-checks replayability of the saved artifacts.
+ *
+ * Unlike a demo that shrugs off I/O errors, this accounts every
+ * sphere: a failed save is retried once, and any sphere that still
+ * has nothing on disk makes the process exit nonzero -- an always-on
+ * recorder that silently loses spheres is worse than none, because it
+ * converts "no evidence" into "false evidence of a clean run".
  *
  * Build & run:   cmake --build build && ./build/examples/always_on
  */
@@ -11,8 +18,9 @@
 #include <cstdio>
 #include <string>
 
-#include "capo/log_store.hh"
+#include "core/artifact.hh"
 #include "core/session.hh"
+#include "service/service.hh"
 #include "sim/table.hh"
 #include "workloads/workload.hh"
 
@@ -22,52 +30,102 @@ int
 main()
 {
     constexpr double clockHz = 60e6; // QuickIA core clock
-    std::uint64_t totalBytes = 0;
-    double totalSeconds = 0;
 
-    Table t({"sphere", "file", "bytes", "KB/s", "reload+replay"});
-    int sphere = 0;
+    ServiceConfig cfg;
+    cfg.dir = "/tmp/qr_always_on";
+    cfg.workers = 2;
+    cfg.saveRetries = 1; // one retry, then the loss is counted
+    // One suite's worth of artifacts: a re-run rotates the previous
+    // run's spheres out instead of piling them up.
+    cfg.retention.maxArtifacts = splash2Suite().size();
+    RecordService svc(cfg);
+    svc.start();
+
+    std::uint64_t expectedCycles = 0;
+    int submitted = 0;
     for (const auto &spec : splash2Suite()) {
         Workload w = spec.make(4, 2);
-        RecordResult rec = recordProgram(w.program);
-
-        std::string path = "/tmp/qr_sphere_" + w.name + ".qrs";
-        SphereSaveResult saved = saveSphere(rec.logs, path);
-        if (!saved) {
-            std::fprintf(stderr, "save failed: %s\n",
-                         saved.error.c_str());
+        SphereRequest req;
+        req.workload = w.name;
+        req.threads = 4;
+        req.scale = 2;
+        req.program = w.program;
+        SubmitResult r = svc.submit(std::move(req));
+        if (!r.admitted()) {
+            std::fprintf(stderr, "shed %s: %s\n", w.name.c_str(),
+                         admissionOutcomeName(r.outcome));
             continue;
         }
-        std::uint64_t bytes = saved.bytes;
-        double secs = static_cast<double>(rec.metrics.cycles) / clockHz;
-        totalBytes += bytes;
-        totalSeconds += secs;
+        submitted++;
+    }
+    svc.waitIdle();
+    svc.shutdown();
 
-        // Reload from disk and verify it still replays bit-exactly --
-        // the artifact on disk is the product, not the in-memory state.
-        SphereLoadResult reloaded = loadSphere(path);
+    // Every artifact the store retained must reload and replay
+    // bit-exactly -- the file on disk is the product, not the
+    // in-memory state.
+    std::uint64_t totalBytes = 0;
+    double totalSeconds = 0;
+    int replayFailures = 0;
+    Table t({"sphere", "file", "bytes", "KB/s", "reload+replay"});
+    for (const ArtifactFile &f : svc.store().scan().sealed) {
+        ArtifactLoadResult art = loadArtifact(f.path);
         bool ok = false;
-        if (reloaded) {
-            ReplayResult rep = replaySphere(w.program, reloaded.logs);
+        double secs = 0;
+        if (art) {
+            Workload w = makeByName(art.artifact.workload,
+                                    art.artifact.threads,
+                                    art.artifact.scale);
+            ReplayResult rep = replaySphere(w.program, art.artifact.logs);
             ok = rep.ok &&
-                 verifyDigests(rec.metrics.digests, rep.digests).ok;
+                 verifyDigests(art.artifact.digests, rep.digests).ok;
+            secs = static_cast<double>(rep.modeledCycles) / clockHz;
+            expectedCycles += rep.modeledCycles;
         } else {
             std::fprintf(stderr, "reload failed: %s\n",
-                         reloaded.error.c_str());
+                         art.detail.c_str());
         }
-
-        t.row().cell(w.name).cell(path).cell(bytes)
-            .cell(static_cast<double>(bytes) / secs / 1024.0, 1)
+        if (!ok)
+            replayFailures++;
+        totalBytes += f.bytes;
+        totalSeconds += secs;
+        t.row().cell(art.artifact.workload).cell(f.path).cell(f.bytes)
+            .cell(secs > 0
+                      ? static_cast<double>(f.bytes) / secs / 1024.0
+                      : 0.0,
+                  1)
             .cell(ok ? "ok" : "FAILED");
-        sphere++;
     }
     t.print();
 
-    std::printf("\n%d spheres recorded back to back.\n", sphere);
-    std::printf("aggregate log rate: %.1f KB/s of guest execution "
-                "(%.2f GB/day if left always-on)\n",
-                static_cast<double>(totalBytes) / totalSeconds / 1024.0,
-                static_cast<double>(totalBytes) / totalSeconds *
-                    86400.0 / 1e9);
+    ServiceCounters c = svc.counters();
+    std::printf("\n%d spheres recorded back to back "
+                "(%llu save attempt(s), %llu retried).\n",
+                submitted,
+                (unsigned long long)c.saveAttempts,
+                (unsigned long long)c.saveRetries);
+    if (totalSeconds > 0)
+        std::printf("aggregate log rate: %.1f KB/s of guest execution "
+                    "(%.2f GB/day if left always-on)\n",
+                    static_cast<double>(totalBytes) / totalSeconds /
+                        1024.0,
+                    static_cast<double>(totalBytes) / totalSeconds *
+                        86400.0 / 1e9);
+
+    // The exit code is the contract: any sphere that was admitted but
+    // is not a clean replayable artifact on disk fails the run.
+    std::uint64_t lost = c.saveLost + c.saveTornLeft;
+    if (lost || replayFailures ||
+        c.saved != static_cast<std::uint64_t>(submitted)) {
+        std::fprintf(stderr,
+                     "FAILED: %llu sphere(s) lost, %llu torn, "
+                     "%d replay failure(s) out of %d submitted\n",
+                     (unsigned long long)c.saveLost,
+                     (unsigned long long)c.saveTornLeft,
+                     replayFailures, submitted);
+        return 1;
+    }
+    std::printf("all %d spheres saved and replayable; zero losses.\n",
+                submitted);
     return 0;
 }

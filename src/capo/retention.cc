@@ -1,0 +1,272 @@
+#include "capo/retention.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "capo/log_store.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+namespace
+{
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+/**
+ * Sequence number out of "sphere-<seq>-<stem>.qrec"; 0 when the name
+ * does not follow the store's naming scheme (foreign files are still
+ * scanned and repaired, they just sort before every store-named one).
+ */
+std::uint64_t
+seqOfName(const std::string &name)
+{
+    const std::string prefix = "sphere-";
+    if (name.rfind(prefix, 0) != 0)
+        return 0;
+    return std::strtoull(name.c_str() + prefix.size(), nullptr, 10);
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(std::string dir) : _dir(std::move(dir))
+{
+    // Creating the directory is idempotent; a pre-existing one is the
+    // normal restart case and its contents are picked up by rescan().
+    ::mkdir(_dir.c_str(), 0755);
+}
+
+std::string
+ArtifactStore::nextPath(const std::string &stem)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "sphere-%06llu-",
+                  static_cast<unsigned long long>(++_seq));
+    return _dir + "/" + buf + stem + ".qrec";
+}
+
+void
+ArtifactStore::commit(const std::string &path, std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    // A path can be handed over twice when a save retry races the
+    // repair loop (both end in a rename of the same name); the second
+    // handoff refreshes the size instead of double-counting it.
+    for (Retained &r : _retained) {
+        if (r.path != path)
+            continue;
+        _retainedBytes -= r.bytes;
+        _retainedBytes += bytes;
+        r.bytes = bytes;
+        return;
+    }
+    _retained.push_back({path, bytes, false});
+    _retainedBytes += bytes;
+}
+
+bool
+ArtifactStore::remove(const std::string &path, bool unlinkFile)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    auto it = std::find_if(
+        _retained.begin(), _retained.end(),
+        [&](const Retained &r) { return r.path == path; });
+    if (it == _retained.end())
+        return false;
+    _retainedBytes -= it->bytes;
+    _retained.erase(it);
+    if (unlinkFile)
+        ::unlink(path.c_str());
+    return true;
+}
+
+StoreScan
+ArtifactStore::scan() const
+{
+    StoreScan out;
+    DIR *d = ::opendir(_dir.c_str());
+    if (!d)
+        return out;
+    std::vector<std::string> names;
+    while (struct dirent *e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name == "." || name == "..")
+            continue;
+        names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end()); // age order by sequence
+
+    for (const std::string &name : names) {
+        std::string path = _dir + "/" + name;
+        if (endsWith(name, ".tmp")) {
+            out.temps.push_back(path);
+            continue;
+        }
+        if (!endsWith(name, ".qrec"))
+            continue;
+        ArtifactFile f;
+        f.path = path;
+        f.bytes = fileBytes(path);
+        // Structural walk only (no hashing): cheap enough to run on
+        // every repair tick over the whole fleet.
+        MappedSphereFile map;
+        f.sealed = map.open(path) && map.sealed();
+        (f.sealed ? out.sealed : out.unsealed).push_back(std::move(f));
+    }
+    return out;
+}
+
+StoreScan
+ArtifactStore::rescan()
+{
+    StoreScan s = scan();
+    std::lock_guard<std::mutex> lk(_mu);
+    _retained.clear();
+    _retainedBytes = 0;
+    std::uint64_t maxSeq = _seq;
+    for (const ArtifactFile &f : s.sealed) {
+        _retained.push_back({f.path, f.bytes, false});
+        _retainedBytes += f.bytes;
+        std::string name = f.path.substr(_dir.size() + 1);
+        maxSeq = std::max(maxSeq, seqOfName(name));
+    }
+    for (const ArtifactFile &f : s.unsealed) {
+        std::string name = f.path.substr(_dir.size() + 1);
+        maxSeq = std::max(maxSeq, seqOfName(name));
+    }
+    _seq = maxSeq;
+    return s;
+}
+
+std::uint64_t
+ArtifactStore::retainedCount() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _retained.size();
+}
+
+std::uint64_t
+ArtifactStore::retainedBytes() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _retainedBytes;
+}
+
+std::uint64_t
+ArtifactStore::overCountLocked(const RetentionPolicy &p) const
+{
+    if (!p.maxArtifacts || _retained.size() <= p.maxArtifacts)
+        return 0;
+    return _retained.size() - p.maxArtifacts;
+}
+
+bool
+ArtifactStore::overBytesLocked(const RetentionPolicy &p) const
+{
+    return p.maxBytes && _retainedBytes > p.maxBytes;
+}
+
+RotationResult
+ArtifactStore::enforce(const RetentionPolicy &policy,
+                       const CompactFn &compact, FaultPlan *faults)
+{
+    RotationResult res;
+    for (;;) {
+        // Pick the next action under the lock, run the I/O outside
+        // it: compaction rewrites a whole artifact and must not stall
+        // writers committing fresh spheres.
+        std::string victim;
+        std::uint64_t victimBytes = 0;
+        bool doCompact = false;
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            bool overCount = overCountLocked(policy) > 0;
+            bool overBytes = overBytesLocked(policy);
+            if (!overCount && !overBytes)
+                break;
+            // Compaction shrinks bytes but never the artifact count:
+            // only reach for it on a byte-budget breach.
+            if (policy.compactFirst && compact && overBytes &&
+                !overCount) {
+                for (Retained &r : _retained) {
+                    if (r.compactTried)
+                        continue;
+                    r.compactTried = true;
+                    victim = r.path;
+                    victimBytes = r.bytes;
+                    doCompact = true;
+                    break;
+                }
+            }
+            if (!doCompact) {
+                if (_retained.empty())
+                    break;
+                victim = _retained.front().path;
+                victimBytes = _retained.front().bytes;
+            }
+        }
+
+        if (doCompact) {
+            CompactOutcome out = compact(victim, faults);
+            if (out.ok) {
+                res.compacted++;
+                if (victimBytes > out.newBytes)
+                    res.bytesFreed += victimBytes - out.newBytes;
+                updateBytes(victim, out.newBytes);
+            } else {
+                // Failed compaction (e.g. injected ENOSPC mid-rewrite)
+                // keeps the original artifact intact; fall through to
+                // the next pass, which will try another victim or
+                // evict.
+                res.compactFailures++;
+            }
+            continue;
+        }
+
+        if (remove(victim, /* unlinkFile = */ true)) {
+            res.evicted++;
+            res.bytesFreed += victimBytes;
+        } else {
+            break; // raced with an external remove; re-evaluate
+        }
+    }
+    return res;
+}
+
+void
+ArtifactStore::updateBytes(const std::string &path, std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    for (Retained &r : _retained) {
+        if (r.path != path)
+            continue;
+        _retainedBytes -= r.bytes;
+        _retainedBytes += bytes;
+        r.bytes = bytes;
+        return;
+    }
+}
+
+} // namespace qr

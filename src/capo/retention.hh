@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Artifact rotation and retention for a long-running record service.
+ *
+ * An ArtifactStore owns one directory of .qrec artifacts written as
+ * sealed QSG1 containers. Writers allocate monotonically-sequenced
+ * paths with nextPath(), write the artifact (temp file + rename, via
+ * the log_store writers), and hand the sealed file over with commit()
+ * -- the sealed-segment handoff: retention only ever sees artifacts
+ * that are either fully sealed or visibly torn, never half-written.
+ *
+ * enforce() applies a RetentionPolicy (artifact-count and byte
+ * budgets) oldest-first: optionally compact an artifact (a caller-
+ * supplied rewrite, e.g. stripping the optional trace section) before
+ * evicting it outright. Compaction failures -- real or injected
+ * ENOSPC -- leave the old artifact intact and are counted, never
+ * fatal.
+ *
+ * scan() classifies everything on disk (sealed, torn, leftover temp
+ * files) so a supervised repair loop can salvage what a crash left
+ * behind; rescan() rebuilds the retained index after a restart.
+ */
+
+#ifndef QR_CAPO_RETENTION_HH
+#define QR_CAPO_RETENTION_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qr
+{
+
+class FaultPlan;
+
+/** Retention budgets; 0 means "no limit" for either axis. */
+struct RetentionPolicy
+{
+    std::uint64_t maxArtifacts = 0; //!< retained .qrec file budget
+    std::uint64_t maxBytes = 0;     //!< retained byte budget
+    /** Try compacting an artifact before evicting it. */
+    bool compactFirst = true;
+};
+
+/** One artifact (or leftover) found on disk by scan(). */
+struct ArtifactFile
+{
+    std::string path;
+    std::uint64_t bytes = 0;
+    bool sealed = false; //!< structurally sealed QSG1 container
+};
+
+/** Everything scan() found in the store directory. */
+struct StoreScan
+{
+    std::vector<ArtifactFile> sealed;   //!< intact artifacts
+    std::vector<ArtifactFile> unsealed; //!< torn: repair candidates
+    std::vector<std::string> temps;     //!< leftover .tmp files
+};
+
+/** Outcome of one retention-compaction attempt. */
+struct CompactOutcome
+{
+    bool ok = false;
+    std::uint64_t newBytes = 0; //!< size after a successful rewrite
+    bool injected = false;      //!< failure came from fault injection
+    std::string error;
+};
+
+/** Outcome of one enforce() pass. */
+struct RotationResult
+{
+    std::uint64_t compacted = 0;  //!< artifacts rewritten smaller
+    std::uint64_t evicted = 0;    //!< artifacts deleted
+    std::uint64_t bytesFreed = 0;
+    std::uint64_t compactFailures = 0; //!< failed (kept intact)
+};
+
+/**
+ * A directory of retained .qrec artifacts with rotation/retention.
+ * All public methods are thread-safe; writers and the retention /
+ * repair threads of the record service share one store.
+ */
+class ArtifactStore
+{
+  public:
+    /**
+     * Rewrite @p path in place, smaller (retention compaction); must
+     * go through a temp file + rename so failure keeps the original.
+     */
+    using CompactFn =
+        std::function<CompactOutcome(const std::string &path,
+                                     FaultPlan *faults)>;
+
+    explicit ArtifactStore(std::string dir);
+
+    const std::string &dir() const { return _dir; }
+
+    /**
+     * Allocate the next artifact path: <dir>/sphere-<seq>-<stem>.qrec
+     * with a monotonically increasing zero-padded sequence number, so
+     * lexicographic order is age order.
+     */
+    std::string nextPath(const std::string &stem);
+
+    /** Hand over a sealed artifact at @p path into the retained set. */
+    void commit(const std::string &path, std::uint64_t bytes);
+
+    /** Forget (and optionally delete) a retained artifact. */
+    bool remove(const std::string &path, bool unlinkFile);
+
+    /** Classify every .qrec and .tmp file currently in the directory. */
+    StoreScan scan() const;
+
+    /**
+     * Rebuild the retained index from disk (restart path): sealed
+     * artifacts become the retained set, and the sequence counter
+     * advances past every sequence number seen so new artifacts never
+     * collide with survivors.
+     * @return the scan used, so the caller can repair the unsealed
+     * leftovers it names.
+     */
+    StoreScan rescan();
+
+    std::uint64_t retainedCount() const;
+    std::uint64_t retainedBytes() const;
+
+    /**
+     * Enforce @p policy oldest-first: compact (when the policy says
+     * so and @p compact is set), then evict, until both budgets hold.
+     * A compaction failure leaves the artifact intact, is counted,
+     * and is not retried in this pass; eviction still applies if the
+     * budget stays blown.
+     */
+    RotationResult enforce(const RetentionPolicy &policy,
+                           const CompactFn &compact,
+                           FaultPlan *faults = nullptr);
+
+    /**
+     * Record a compacted size for @p path (external rewrite, e.g. the
+     * repair loop shrinking a salvaged artifact). No-op when the path
+     * is not retained.
+     */
+    void updateBytes(const std::string &path, std::uint64_t bytes);
+
+  private:
+    struct Retained
+    {
+        std::string path;
+        std::uint64_t bytes = 0;
+        bool compactTried = false; //!< enforce() already attempted it
+    };
+
+    std::string _dir;
+    mutable std::mutex _mu;
+    std::vector<Retained> _retained; //!< oldest first (path order)
+    std::uint64_t _seq = 0;
+    std::uint64_t _retainedBytes = 0;
+
+    std::uint64_t overCountLocked(const RetentionPolicy &p) const;
+    bool overBytesLocked(const RetentionPolicy &p) const;
+};
+
+} // namespace qr
+
+#endif // QR_CAPO_RETENTION_HH

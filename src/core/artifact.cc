@@ -1,0 +1,210 @@
+#include "core/artifact.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace qr
+{
+namespace
+{
+
+/** Read a whole file; ok=false with detail set on any I/O failure. */
+bool
+readRaw(const std::string &path, std::vector<std::uint8_t> &out,
+        std::string &detail)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        detail = "cannot read '" + path + "'";
+        return false;
+    }
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    out.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+    if (std::fread(out.data(), 1, out.size(), f) != out.size()) {
+        std::fclose(f);
+        detail = "short read from '" + path + "'";
+        return false;
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+void
+putArtifactString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putVarint(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+SegmentedWriteResult
+saveArtifact(const SphereArtifact &c, const std::string &path,
+             FaultPlan *faults)
+{
+    std::vector<std::uint8_t> out = {'Q', 'R', 'C', '1'};
+    putArtifactString(out, c.workload);
+    putVarint(out, static_cast<std::uint64_t>(c.threads));
+    putVarint(out, static_cast<std::uint64_t>(c.scale));
+    putVarint(out, c.digests.memory);
+    putVarint(out, c.digests.output);
+    putVarint(out, c.digests.exits.size());
+    for (const auto &[tid, info] : c.digests.exits) {
+        putVarint(out, static_cast<std::uint64_t>(tid));
+        putVarint(out, info.regDigest);
+        putVarint(out, info.instrs);
+        putVarint(out, info.exitCode);
+    }
+    std::vector<std::uint8_t> sphere = c.logs.serialize();
+    putVarint(out, sphere.size());
+    out.insert(out.end(), sphere.begin(), sphere.end());
+    // Optional trailing section: the event timeline. The sphere bytes
+    // above are unchanged whether or not a trace rides along.
+    if (!c.trace.empty()) {
+        putVarint(out, c.trace.size());
+        out.insert(out.end(), c.trace.begin(), c.trace.end());
+    }
+    return writeSegmented(out, path, faults);
+}
+
+ArtifactLoadResult
+loadArtifact(const std::string &path)
+{
+    ArtifactLoadResult r;
+    std::vector<std::uint8_t> raw;
+    if (!readRaw(path, raw, r.detail)) {
+        r.kind = ArtifactError::Io;
+        return r;
+    }
+
+    std::vector<std::uint8_t> in;
+    if (isSegmented(raw)) {
+        SegmentedReadResult seg = readSegmented(raw);
+        if (!seg.sealed) {
+            r.kind = ArtifactError::Torn;
+            r.detail = seg.error;
+            return r;
+        }
+        in = std::move(seg.payload);
+    } else {
+        in = std::move(raw); // legacy unsegmented container
+    }
+
+    if (in.size() < 4 || std::memcmp(in.data(), "QRC1", 4) != 0) {
+        r.kind = ArtifactError::NotContainer;
+        return r;
+    }
+    // A corrupted container is user input, not a bug: surface every
+    // parse failure as a structured result instead of an abort.
+    try {
+        std::size_t pos = 4;
+        r.artifact = parseArtifactMeta(in, pos);
+        std::uint64_t nsphere = getVarint(in, pos);
+        if (nsphere > in.size() - pos)
+            parseFail("container truncated: sphere log needs %llu "
+                      "bytes, %llu remain",
+                      static_cast<unsigned long long>(nsphere),
+                      static_cast<unsigned long long>(in.size() - pos));
+        std::vector<std::uint8_t> sphere(
+            in.begin() + static_cast<long>(pos),
+            in.begin() + static_cast<long>(pos + nsphere));
+        pos += nsphere;
+        if (pos != in.size()) {
+            // Optional trace section appended by `record --trace`.
+            std::uint64_t ntrace = getVarint(in, pos);
+            if (ntrace != in.size() - pos)
+                parseFail("trailing bytes in container");
+            r.artifact.trace.assign(in.begin() + static_cast<long>(pos),
+                                    in.end());
+        }
+        r.artifact.logs = SphereLogs::deserialize(sphere);
+        r.ok = true;
+        return r;
+    } catch (const ParseError &e) {
+        r.kind = ArtifactError::Corrupt;
+        r.detail = e.what();
+        r.artifact = SphereArtifact{};
+        return r;
+    }
+}
+
+ArtifactRecoverResult
+recoverArtifact(const std::string &inPath, const std::string &outPath)
+{
+    ArtifactRecoverResult r;
+    std::vector<std::uint8_t> raw;
+    if (!readRaw(inPath, raw, r.detail)) {
+        r.stage = RecoverStage::Empty;
+        return r;
+    }
+    if (raw.empty()) {
+        r.stage = RecoverStage::Empty;
+        r.detail = "file is empty";
+        return r;
+    }
+
+    std::vector<std::uint8_t> in;
+    bool sealed = false;
+    if (isSegmented(raw)) {
+        SegmentedReadResult seg = readSegmented(raw);
+        in = std::move(seg.payload);
+        r.segments = seg.segments;
+        sealed = seg.sealed;
+        r.tornNote = seg.error;
+    } else {
+        in = std::move(raw); // legacy unsegmented container
+        sealed = true;
+    }
+
+    if (in.size() < 4 || std::memcmp(in.data(), "QRC1", 4) != 0) {
+        r.stage = RecoverStage::NotContainer;
+        return r;
+    }
+
+    // The meta fields fit in the first segment, so a torn file that
+    // kept any payload keeps them; losing them means nothing usable.
+    SphereArtifact c;
+    std::vector<std::uint8_t> sphereBytes;
+    try {
+        std::size_t pos = 4;
+        c = parseArtifactMeta(in, pos);
+        std::uint64_t nsphere = getVarint(in, pos);
+        std::uint64_t avail = in.size() - pos;
+        sphereBytes.assign(in.begin() + static_cast<long>(pos),
+                           in.end());
+        if (nsphere < avail)
+            sphereBytes.resize(nsphere); // ignore trailing garbage
+    } catch (const ParseError &e) {
+        r.stage = RecoverStage::Meta;
+        r.detail = e.what();
+        return r;
+    }
+
+    SphereSalvage salvage;
+    try {
+        salvage = SphereLogs::deserializeTolerant(sphereBytes);
+    } catch (const ParseError &e) {
+        r.stage = RecoverStage::Sphere;
+        r.detail = e.what();
+        return r;
+    }
+
+    r.complete = sealed && salvage.complete;
+    r.threadsSalvaged = salvage.threadsSalvaged;
+    r.threadsPartial = salvage.threadsPartial;
+    r.sphereNote = salvage.note;
+    c.logs = std::move(salvage.logs);
+    SegmentedWriteResult saved = saveArtifact(c, outPath);
+    if (!saved) {
+        r.stage = RecoverStage::Write;
+        r.detail = saved.error;
+        return r;
+    }
+    r.bytes = saved.bytes;
+    r.ok = true;
+    return r;
+}
+
+} // namespace qr

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The .qrec artifact: the QRC1 container that wraps a sphere byte
+ * stream with the workload identity, the recorded digests, and an
+ * optional event-timeline section, riding in the crash-consistent
+ * QSG1 segmented format (capo/log_store.hh).
+ *
+ * Extracted from the qrec CLI so the record service (src/service/)
+ * and the CLI share one serializer, one loader, and one salvage
+ * routine. The on-disk bytes are unchanged: legacy unsegmented
+ * containers remain readable, and containers written here are
+ * bit-identical to what the CLI always produced.
+ */
+
+#ifndef QR_CORE_ARTIFACT_HH
+#define QR_CORE_ARTIFACT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capo/log_store.hh"
+#include "capo/sphere.hh"
+#include "core/metrics.hh"
+#include "rnr/chunk_record.hh"
+
+namespace qr
+{
+
+/** Everything a .qrec artifact persists next to the sphere bytes. */
+struct SphereArtifact
+{
+    std::string workload;
+    int threads = 4;
+    int scale = 1;
+    Digests digests;
+    SphereLogs logs;
+    /** Serialized event timeline ("QTR1"); empty when not traced. */
+    std::vector<std::uint8_t> trace;
+};
+
+/** Length-prefixed string append (container meta encoding). */
+void putArtifactString(std::vector<std::uint8_t> &out,
+                       const std::string &s);
+
+/**
+ * Length-prefixed string decode, generic over the byte source so the
+ * container meta parses identically off a heap buffer and off a
+ * mmapped PayloadView.
+ */
+template <class Bytes>
+std::string
+getArtifactString(const Bytes &in, std::size_t &pos)
+{
+    std::uint64_t n = getVarintFrom(in, pos);
+    if (n > in.size() - pos)
+        parseFail("truncated string in container");
+    std::string s;
+    s.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        s += static_cast<char>(in[pos + static_cast<std::size_t>(i)]);
+    pos += n;
+    return s;
+}
+
+/**
+ * Parse the container meta fields (everything between the magic and
+ * the sphere length) from @p in; on return @p pos sits at the sphere
+ * length varint. Throws ParseError on malformed input. The logs and
+ * trace members of the returned artifact are left empty -- callers
+ * slice the sphere/trace sections themselves (the streaming analyzer
+ * never materializes them at all).
+ */
+template <class Bytes>
+SphereArtifact
+parseArtifactMeta(const Bytes &in, std::size_t &pos)
+{
+    SphereArtifact c;
+    c.workload = getArtifactString(in, pos);
+    c.threads = static_cast<int>(getVarintFrom(in, pos));
+    c.scale = static_cast<int>(getVarintFrom(in, pos));
+    c.digests.memory = getVarintFrom(in, pos);
+    c.digests.output = getVarintFrom(in, pos);
+    std::uint64_t nexits = getVarintFrom(in, pos);
+    for (std::uint64_t i = 0; i < nexits; ++i) {
+        Tid tid = static_cast<Tid>(getVarintFrom(in, pos));
+        ThreadExitInfo info;
+        info.regDigest = getVarintFrom(in, pos);
+        info.instrs = getVarintFrom(in, pos);
+        info.exitCode = static_cast<Word>(getVarintFrom(in, pos));
+        c.digests.exits.emplace(tid, info);
+    }
+    return c;
+}
+
+/**
+ * Serialize @p c and write it to @p path as a sealed QSG1 container.
+ * With @p faults, the I/O fault sites apply (torn/short/ENOSPC).
+ */
+SegmentedWriteResult saveArtifact(const SphereArtifact &c,
+                                  const std::string &path,
+                                  FaultPlan *faults = nullptr);
+
+/** Structured cause of a loadArtifact() failure. */
+enum class ArtifactError
+{
+    None = 0,     //!< loaded fine
+    Io,           //!< file missing or short read
+    Torn,         //!< segmented container not sealed (recover can salvage)
+    NotContainer, //!< payload lacks the QRC1 magic
+    Corrupt,      //!< sealed payload fails to parse
+};
+
+/** Outcome of loading a .qrec artifact. */
+struct ArtifactLoadResult
+{
+    SphereArtifact artifact;
+    bool ok = false;
+    ArtifactError kind = ArtifactError::None;
+    std::string detail; //!< human cause (segment error, parse message)
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Load a .qrec artifact (sealed QSG1 or legacy unsegmented). Every
+ * failure -- missing file, torn container, corrupt payload -- is a
+ * structured result, never a crash: the record service must survive
+ * any artifact a crash leaves on disk.
+ */
+ArtifactLoadResult loadArtifact(const std::string &path);
+
+/** How far recoverArtifact() got before giving up (for messages). */
+enum class RecoverStage
+{
+    Ok = 0,       //!< salvage written
+    Empty,        //!< input file empty: nothing to salvage
+    NotContainer, //!< no intact QRC1 header segment
+    Meta,         //!< torn inside the container meta fields
+    Sphere,       //!< unusable sphere header
+    Write,        //!< salvage could not be written out
+};
+
+/** Outcome of salvaging a (possibly torn) .qrec artifact. */
+struct ArtifactRecoverResult
+{
+    bool ok = false;
+    bool complete = false; //!< input was intact; nothing was lost
+    RecoverStage stage = RecoverStage::Ok;
+    std::string detail;    //!< failure detail for the stage
+    std::uint64_t segments = 0;        //!< intact QSG1 segments read
+    std::uint64_t threadsSalvaged = 0; //!< thread logs parsed in full
+    std::uint64_t threadsPartial = 0;  //!< thread logs kept as prefix
+    std::string tornNote;   //!< container-level damage description
+    std::string sphereNote; //!< sphere-level damage description
+    std::uint64_t bytes = 0; //!< bytes written to the output path
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Salvage whatever @p inPath still holds -- every intact QSG1
+ * segment, then every parseable thread-log prefix -- and rewrite it
+ * to @p outPath as a sealed artifact. In-place repair (@p outPath ==
+ * @p inPath) is safe: the rewrite goes through a temp file + rename.
+ * A salvaged (non-complete) artifact replays in degraded mode.
+ */
+ArtifactRecoverResult recoverArtifact(const std::string &inPath,
+                                      const std::string &outPath);
+
+} // namespace qr
+
+#endif // QR_CORE_ARTIFACT_HH

@@ -74,6 +74,15 @@ Machine::Machine(const MachineConfig &mcfg_, const RecorderConfig &rcfg_,
 
 Machine::~Machine() = default;
 
+void
+Machine::finalizeRecording()
+{
+    if (rsm && !finalized) {
+        finalized = true;
+        rsm->finalize(cycle);
+    }
+}
+
 bool
 Machine::step()
 {
@@ -82,10 +91,7 @@ Machine::step()
         kernel->startMainThread(prog.entry, _userTop - 16);
     }
     if (kernel->allExited()) {
-        if (rsm && !finalized) {
-            finalized = true;
-            rsm->finalize(cycle);
-        }
+        finalizeRecording();
         return false;
     }
     kernel->tick(cycle);

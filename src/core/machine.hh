@@ -71,6 +71,16 @@ class Machine
     /** Collect metrics explicitly (after a step() loop). */
     RunMetrics metricsNow() const { return collectMetrics(cycle); }
 
+    /**
+     * Finalize the recording early: drain every CBUF and close the
+     * RSM at the current cycle, so sphereLogs() holds a consistent
+     * prefix of the run even though guest threads are still live.
+     * step() drivers that stop before completion (graceful service
+     * shutdown) call this; a completed run finalizes automatically,
+     * and the call is idempotent either way.
+     */
+    void finalizeRecording();
+
     /** Debug view of guest memory. */
     const Memory &memory() const { return mem; }
 

@@ -1,6 +1,7 @@
 #include "core/session.hh"
 
 #include "core/machine.hh"
+#include "obs/profile.hh"
 
 namespace qr
 {
@@ -23,6 +24,41 @@ recordProgram(const Program &prog, const MachineConfig &mcfg,
     result.logs = machine.sphereLogs();
     // Drain the event tracer per recording so back-to-back sessions
     // (test suites, bench repeat loops) never mix timelines.
+    if (eventTrace().armed())
+        result.timeline = eventTrace().flush();
+    return result;
+}
+
+RecordResult
+recordProgramUntil(const Program &prog, const MachineConfig &mcfg,
+                   const RecorderConfig &rcfg,
+                   const std::atomic<bool> &stop)
+{
+    Machine machine(mcfg, rcfg, prog, /* record = */ true);
+    RecordResult result;
+    // Poll the flag every slice, not every cycle: the load is cheap
+    // but the branch in the hot loop is not free, and shutdown
+    // latency of a few thousand simulated cycles is invisible.
+    constexpr Tick slice = 4096;
+    Tick next = slice;
+    ProfileScope prof(ProfilePhase::Record);
+    while (machine.step()) {
+        if (machine.cycles() < next)
+            continue;
+        next = machine.cycles() + slice;
+        // Relaxed: the flag is a latch with no data published behind
+        // it; the worker only needs to observe the transition
+        // eventually, and the finalize below orders everything else.
+        if (stop.load(std::memory_order_relaxed) ||
+            machine.cycles() >= mcfg.maxCycles) {
+            machine.finalizeRecording();
+            result.interrupted = true;
+            break;
+        }
+    }
+    prof.cycles(machine.cycles());
+    result.metrics = machine.metricsNow();
+    result.logs = machine.sphereLogs();
     if (eventTrace().armed())
         result.timeline = eventTrace().flush();
     return result;

@@ -7,6 +7,8 @@
 #ifndef QR_CORE_SESSION_HH
 #define QR_CORE_SESSION_HH
 
+#include <atomic>
+
 #include "capo/sphere.hh"
 #include "core/config.hh"
 #include "core/metrics.hh"
@@ -26,6 +28,14 @@ struct RecordResult
     RunMetrics metrics;
 
     /**
+     * True when the recording was stopped before every guest thread
+     * exited (recordProgramUntil with its stop flag raised): the logs
+     * hold a consistent prefix of the run and replay in degraded
+     * mode; the digests cover only the executed prefix.
+     */
+    bool interrupted = false;
+
+    /**
      * The structured event timeline of the run, drained from the
      * tracer when it was armed (qrec record --trace or QR_TRACE);
      * empty otherwise. Purely observational: logs/metrics/digests are
@@ -43,6 +53,20 @@ RunMetrics runBaseline(const Program &prog,
 RecordResult recordProgram(const Program &prog,
                            const MachineConfig &mcfg = {},
                            const RecorderConfig &rcfg = {});
+
+/**
+ * Run @p prog under recording, polling @p stop between simulation
+ * slices: once it reads true the machine finalizes the recording at
+ * the current cycle (CBUFs drained, RSM closed) and returns what was
+ * captured so far with interrupted = true -- a consistent, degraded-
+ * replayable prefix instead of a torn log. A run that breaches
+ * mcfg.maxCycles is likewise returned interrupted rather than fatal:
+ * a record service must outlive a deadlocked guest.
+ */
+RecordResult recordProgramUntil(const Program &prog,
+                                const MachineConfig &mcfg,
+                                const RecorderConfig &rcfg,
+                                const std::atomic<bool> &stop);
 
 /**
  * Replay a recorded sphere against the original program. Degraded

@@ -1,0 +1,44 @@
+#include "service/admission.hh"
+
+namespace qr
+{
+
+const char *
+admissionOutcomeName(AdmissionOutcome o)
+{
+    switch (o) {
+      case AdmissionOutcome::Admit:
+        return "admit";
+      case AdmissionOutcome::AdmitDegraded:
+        return "admit-degraded";
+      case AdmissionOutcome::RejectQueueFull:
+        return "reject-queue-full";
+      case AdmissionOutcome::RejectByteBudget:
+        return "reject-byte-budget";
+      case AdmissionOutcome::RejectShutdown:
+        return "reject-shutdown";
+    }
+    return "?";
+}
+
+AdmissionOutcome
+AdmissionController::decide(const AdmissionState &s) const
+{
+    if (s.shuttingDown)
+        return AdmissionOutcome::RejectShutdown;
+    // Queue pressure beats byte pressure: a full queue means workers
+    // cannot even start the sphere, degraded or not.
+    if (s.active + s.queued >= budgets.maxActive + budgets.maxQueued)
+        return AdmissionOutcome::RejectQueueFull;
+    if (budgets.retainedByteBudget) {
+        std::uint64_t hard =
+            budgets.retainedByteBudget * budgets.hardByteFactor;
+        if (s.retainedBytes >= hard)
+            return AdmissionOutcome::RejectByteBudget;
+        if (s.retainedBytes >= budgets.retainedByteBudget)
+            return AdmissionOutcome::AdmitDegraded;
+    }
+    return AdmissionOutcome::Admit;
+}
+
+} // namespace qr

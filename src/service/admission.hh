@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Admission control for the qrecd record service: the pure policy
+ * deciding what happens to a sphere submitted to a loaded fleet.
+ *
+ * The controller is deliberately stateless -- it judges one snapshot
+ * of the service (active recordings, queue depth, retained bytes)
+ * against fixed budgets -- so the policy is unit-testable without
+ * threads and the service can consult it under its own lock.
+ *
+ * Load-shedding ladder, most graceful first:
+ *   1. Admit          -- inside every budget.
+ *   2. AdmitDegraded  -- the retained-byte budget is breached (soft):
+ *                        record anyway, but with a clamped CBUF and
+ *                        forced drain-signal drops, so the sphere
+ *                        lands as a small gap-marked (lossy) artifact
+ *                        instead of growing the backlog at full rate.
+ *   3. Reject*        -- queue full, hard byte ceiling, or shutdown:
+ *                        a typed reason the client can act on.
+ */
+
+#ifndef QR_SERVICE_ADMISSION_HH
+#define QR_SERVICE_ADMISSION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace qr
+{
+
+/** Per-sphere and fleet-wide budgets the controller enforces. */
+struct AdmissionBudgets
+{
+    /** Concurrent recordings across all workers. */
+    std::uint64_t maxActive = 4;
+    /** Spheres waiting for a worker beyond the active set. */
+    std::uint64_t maxQueued = 64;
+    /**
+     * Soft retained-byte budget: past this, new spheres are admitted
+     * degraded (gap-marked recording). 0 = unlimited.
+     */
+    std::uint64_t retainedByteBudget = 0;
+    /**
+     * Hard ceiling as a multiple of retainedByteBudget: past
+     * budget * hardByteFactor, new spheres are rejected outright.
+     */
+    std::uint64_t hardByteFactor = 4;
+    /** CBUF entries a degraded admission is clamped to. */
+    std::uint32_t degradedCbufEntries = 64;
+};
+
+/** What the controller decided for one submission. */
+enum class AdmissionOutcome
+{
+    Admit = 0,
+    AdmitDegraded,   //!< record gap-marked under the byte budget
+    RejectQueueFull, //!< active + queued spheres at the budget
+    RejectByteBudget,//!< retained bytes past the hard ceiling
+    RejectShutdown,  //!< service is draining; no new work
+};
+
+/** Stable lowercase name of an outcome (metrics label, logs). */
+const char *admissionOutcomeName(AdmissionOutcome o);
+
+/** @return true when the outcome sheds the sphere entirely. */
+inline bool
+admissionRejected(AdmissionOutcome o)
+{
+    return o != AdmissionOutcome::Admit &&
+           o != AdmissionOutcome::AdmitDegraded;
+}
+
+/** One snapshot of the service state the policy judges. */
+struct AdmissionState
+{
+    std::uint64_t active = 0;        //!< recordings running now
+    std::uint64_t queued = 0;        //!< submissions waiting
+    std::uint64_t retainedBytes = 0; //!< bytes in the artifact store
+    bool shuttingDown = false;
+};
+
+/** The stateless admission policy. */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const AdmissionBudgets &b)
+        : budgets(b)
+    {
+    }
+
+    AdmissionOutcome decide(const AdmissionState &s) const;
+
+    const AdmissionBudgets &budgets;
+};
+
+} // namespace qr
+
+#endif // QR_SERVICE_ADMISSION_HH

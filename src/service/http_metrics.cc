@@ -1,0 +1,203 @@
+#include "service/http_metrics.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qr
+{
+namespace
+{
+
+/** Write all of @p text to @p fd (best effort; peer may hang up). */
+void
+sendAll(int fd, const std::string &text)
+{
+    std::size_t off = 0;
+    while (off < text.size()) {
+        // MSG_NOSIGNAL: a scraper hanging up mid-response must not
+        // SIGPIPE the whole service.
+        ssize_t n = ::send(fd, text.data() + off, text.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+httpResponse(int code, const char *status, const std::string &body,
+             const char *contentType)
+{
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "HTTP/1.1 %d %s\r\n"
+                  "Content-Type: %s\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n\r\n",
+                  code, status, contentType, body.size());
+    return std::string(head) + body;
+}
+
+} // namespace
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop();
+}
+
+bool
+MetricsHttpServer::start(int port, Renderer render)
+{
+    render_ = std::move(render);
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        error_ = "socket() failed";
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, 16) != 0) {
+        error_ = "cannot bind 127.0.0.1:" + std::to_string(port);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+    stopping_.store(false);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+MetricsHttpServer::stop()
+{
+    if (listenFd_ < 0)
+        return;
+    stopping_.store(true);
+    // shutdown() wakes the blocked accept(); close alone is not
+    // guaranteed to on every platform.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    if (thread_.joinable())
+        thread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+    while (!stopping_.load()) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load())
+                break;
+            continue;
+        }
+        handle(fd);
+        ::close(fd);
+    }
+}
+
+void
+MetricsHttpServer::handle(int fd)
+{
+    char buf[1024];
+    ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
+    if (n <= 0)
+        return;
+    buf[n] = '\0';
+    // Request line only; everything after the path is ignored.
+    std::string req(buf);
+    std::size_t sp1 = req.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? sp1 : req.find(' ', sp1 + 1);
+    std::string path =
+        sp2 == std::string::npos
+            ? ""
+            : req.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (req.compare(0, 4, "GET ") != 0) {
+        sendAll(fd, httpResponse(405, "Method Not Allowed",
+                                 "method not allowed\n",
+                                 "text/plain"));
+        return;
+    }
+    if (path == "/metrics") {
+        sendAll(fd, httpResponse(
+                        200, "OK", render_ ? render_() : "",
+                        "text/plain; version=0.0.4; charset=utf-8"));
+    } else if (path == "/healthz") {
+        sendAll(fd, httpResponse(200, "OK", "ok\n", "text/plain"));
+    } else {
+        sendAll(fd, httpResponse(404, "Not Found", "not found\n",
+                                 "text/plain"));
+    }
+}
+
+std::string
+httpGetLocal(int port, const std::string &path, std::string &err)
+{
+    err.clear();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = "socket() failed";
+        return "";
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        err = "cannot connect to 127.0.0.1:" + std::to_string(port);
+        ::close(fd);
+        return "";
+    }
+    std::string req = "GET " + path + " HTTP/1.1\r\n"
+                      "Host: 127.0.0.1\r\n"
+                      "Connection: close\r\n\r\n";
+    sendAll(fd, req);
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    std::size_t eol = resp.find("\r\n");
+    if (eol == std::string::npos ||
+        resp.compare(0, 9, "HTTP/1.1 ") != 0) {
+        err = "malformed HTTP response";
+        return "";
+    }
+    int code = std::atoi(resp.c_str() + 9);
+    std::size_t body = resp.find("\r\n\r\n");
+    if (body == std::string::npos) {
+        err = "truncated HTTP response";
+        return "";
+    }
+    if (code != 200) {
+        err = "HTTP status " + std::to_string(code);
+        return "";
+    }
+    return resp.substr(body + 4);
+}
+
+} // namespace qr

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal loopback HTTP endpoint exposing a live Prometheus scrape of
+ * the record service, plus the matching one-shot client (`qrec stats
+ * --scrape`, the CI soak stage) so nothing in the toolchain needs an
+ * external HTTP client.
+ *
+ * Deliberately tiny: plain POSIX TCP on 127.0.0.1 only, one accept
+ * thread, one request per connection, GET /metrics (Prometheus text)
+ * and GET /healthz ("ok"). The renderer callback is invoked on the
+ * accept thread, so it must be thread-safe against the service -- the
+ * service's snapshot() is exactly that.
+ */
+
+#ifndef QR_SERVICE_HTTP_METRICS_HH
+#define QR_SERVICE_HTTP_METRICS_HH
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace qr
+{
+
+/** Loopback-only HTTP server for /metrics and /healthz. */
+class MetricsHttpServer
+{
+  public:
+    /** Renders the current Prometheus text exposition. */
+    using Renderer = std::function<std::string()>;
+
+    MetricsHttpServer() = default;
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and start the accept
+     * thread. @return false with error() set when the bind fails.
+     */
+    bool start(int port, Renderer render);
+
+    /** Stop the accept thread and close the socket. Idempotent. */
+    void stop();
+
+    /** The bound port (the real one when started with port 0). */
+    int port() const { return port_; }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    void serveLoop();
+    void handle(int fd);
+
+    Renderer render_;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    int listenFd_ = -1;
+    int port_ = -1;
+    std::string error_;
+};
+
+/**
+ * One-shot HTTP GET of http://127.0.0.1:@p port@p path; the response
+ * body on success, an empty string with @p err set on any failure
+ * (connect refused, malformed response, non-200 status).
+ */
+std::string httpGetLocal(int port, const std::string &path,
+                         std::string &err);
+
+} // namespace qr
+
+#endif // QR_SERVICE_HTTP_METRICS_HH

@@ -1,0 +1,521 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "core/artifact.hh"
+#include "core/session.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+namespace
+{
+
+/** @return @p spec with @p clause appended (spec may be empty). */
+std::string
+appendClause(const std::string &spec, const std::string &clause)
+{
+    return spec.empty() ? clause : spec + "," + clause;
+}
+
+/** @return true when @p spec already arms @p site (by name). */
+bool
+specArms(const std::string &spec, const char *site)
+{
+    return spec.find(site) != std::string::npos;
+}
+
+} // namespace
+
+RecordService::RecordService(ServiceConfig cfg)
+    : _cfg(std::move(cfg)), _store(_cfg.dir), _admission(_cfg.budgets)
+{
+    if (_cfg.workers < 1)
+        _cfg.workers = 1;
+    _shards.resize(static_cast<std::size_t>(_cfg.workers));
+    if (!_cfg.faultSpec.empty()) {
+        // Retention compaction rewrites share the fleet chaos plan
+        // (its I/O sites), on an independent stream like the CLI's
+        // I/O-layer copy.
+        _retentionFaults =
+            FaultPlan::parse(_cfg.faultSpec, _cfg.faultSeed ^ 0x5e5);
+    }
+}
+
+RecordService::~RecordService()
+{
+    shutdown();
+}
+
+void
+RecordService::start()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        if (_started)
+            return;
+        _started = true;
+    }
+    // Restart path first: adopt sealed survivors, then heal whatever
+    // the previous life left torn -- before any new sphere can race
+    // the sweep.
+    _store.rescan();
+    repairNow();
+
+    for (std::size_t i = 0; i < _shards.size(); ++i)
+        _workers.emplace_back([this, i] { workerLoop(i); });
+    _repairThread = std::thread([this] { repairLoop(); });
+    if (_cfg.metricsPort >= 0) {
+        if (!_http.start(_cfg.metricsPort,
+                         [this] { return snapshot().prometheus(); }))
+            warn("qrecd: metrics endpoint disabled: %s",
+                 _http.error().c_str());
+    }
+}
+
+int
+RecordService::metricsPort() const
+{
+    return _http.port();
+}
+
+SubmitResult
+RecordService::submit(SphereRequest req)
+{
+    SubmitResult res;
+    std::lock_guard<std::mutex> lk(_mu);
+    _ctr.submitted++;
+
+    AdmissionState st;
+    st.active = _active;
+    st.queued = _queued;
+    st.retainedBytes = _store.retainedBytes();
+    st.shuttingDown = _shuttingDown;
+    res.outcome = _admission.decide(st);
+
+    switch (res.outcome) {
+      case AdmissionOutcome::Admit:
+        _ctr.admitted++;
+        break;
+      case AdmissionOutcome::AdmitDegraded:
+        _ctr.admittedDegraded++;
+        break;
+      case AdmissionOutcome::RejectQueueFull:
+        _ctr.shedQueueFull++;
+        return res;
+      case AdmissionOutcome::RejectByteBudget:
+        _ctr.shedByteBudget++;
+        return res;
+      case AdmissionOutcome::RejectShutdown:
+        _ctr.shedShutdown++;
+        return res;
+    }
+
+    Job job;
+    job.id = ++_nextId;
+    job.req = std::move(req);
+    job.degraded = res.outcome == AdmissionOutcome::AdmitDegraded;
+    res.sphereId = job.id;
+    std::size_t shard =
+        static_cast<std::size_t>(job.id) % _shards.size();
+    _shards[shard].queue.push_back(std::move(job));
+    _queued++;
+    _work.notify_all();
+    return res;
+}
+
+RecorderConfig
+RecordService::recorderConfigFor(const Job &job) const
+{
+    RecorderConfig rcfg = _cfg.rcfg;
+    rcfg.faults.spec = _cfg.faultSpec;
+    // Per-sphere seed: the fleet chaos plan stays one spec, but every
+    // sphere draws its own deterministic fault stream.
+    rcfg.faults.seed = _cfg.faultSeed + job.id;
+    if (job.degraded) {
+        // Degraded admission: clamp the CBUF and force drain-signal
+        // drops, so the sphere lands as a small gap-marked (lossy)
+        // artifact instead of growing the backlog at full rate.
+        rcfg.cbuf.entries = _cfg.budgets.degradedCbufEntries;
+        if (!specArms(rcfg.faults.spec, "cbuf-drop"))
+            rcfg.faults.spec =
+                appendClause(rcfg.faults.spec, "cbuf-drop@0.25");
+    }
+    return rcfg;
+}
+
+void
+RecordService::workerLoop(std::size_t shard)
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lk(_mu);
+            _work.wait(lk, [&] {
+                return !_shards[shard].queue.empty() || _shuttingDown;
+            });
+            if (_shards[shard].queue.empty()) {
+                if (_shuttingDown)
+                    return; // admission closed: no more work can come
+                continue;
+            }
+            job = std::move(_shards[shard].queue.front());
+            _shards[shard].queue.pop_front();
+            _queued--;
+            if (_abortQueued) {
+                // Past the drain deadline: whatever never started is
+                // dropped -- but counted, never silently.
+                _ctr.aborted++;
+                if (idleLocked())
+                    _idle.notify_all();
+                continue;
+            }
+            _active++;
+        }
+        runJob(std::move(job));
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            _active--;
+            if (idleLocked())
+                _idle.notify_all();
+        }
+    }
+}
+
+void
+RecordService::runJob(Job &&job)
+{
+    RecorderConfig rcfg = recorderConfigFor(job);
+    RecordResult rec = recordProgramUntil(job.req.program, _cfg.mcfg,
+                                          rcfg, _stopRecording);
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _ctr.recorded++;
+        if (rec.interrupted)
+            _ctr.interrupted++;
+    }
+    persist(job, std::move(rec));
+}
+
+void
+RecordService::persist(const Job &job, RecordResult &&rec)
+{
+    SphereArtifact art;
+    art.workload = job.req.workload;
+    art.threads = job.req.threads;
+    art.scale = job.req.scale;
+    art.digests = rec.metrics.digests;
+    art.logs = std::move(rec.logs);
+
+    std::string path = _store.nextPath(job.req.workload);
+
+    // The I/O layer rolls its own per-sphere plan, independent of the
+    // recorder's streams (same idiom as the CLI).
+    FaultPlan ioPlan;
+    FaultPlan *iop = nullptr;
+    if (!_cfg.faultSpec.empty()) {
+        ioPlan = FaultPlan::parse(_cfg.faultSpec,
+                                  _cfg.faultSeed + job.id);
+        iop = &ioPlan;
+    }
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(_cfg.saveDeadlineMs);
+    SegmentedWriteResult saved;
+    for (int attempt = 0; attempt <= _cfg.saveRetries; ++attempt) {
+        if (attempt) {
+            {
+                std::lock_guard<std::mutex> lk(_mu);
+                _ctr.saveRetries++;
+            }
+            // Doubling backoff, bounded by the persist deadline: a
+            // full disk must shed the sphere, not wedge the shard.
+            auto backoff = std::chrono::milliseconds(
+                _cfg.backoffBaseMs << (attempt - 1));
+            if (std::chrono::steady_clock::now() + backoff > deadline)
+                break;
+            std::this_thread::sleep_for(backoff);
+        }
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            _ctr.saveAttempts++;
+        }
+        saved = saveArtifact(art, path, iop);
+        if (saved)
+            break;
+    }
+
+    std::lock_guard<std::mutex> lk(_mu);
+    if (saved) {
+        _store.commit(path, saved.bytes);
+        _ctr.saved++;
+    } else if (saved.bytes > 0) {
+        // A torn file survived the last attempt: the repair loop will
+        // salvage its intact prefix into a sealed artifact.
+        _ctr.saveTornLeft++;
+    } else {
+        // Nothing on disk (persistent ENOSPC): a witnessed loss.
+        _ctr.saveLost++;
+    }
+}
+
+void
+RecordService::applyRotation(const RotationResult &r)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    _ctr.retentionCompacted += r.compacted;
+    _ctr.retentionCompactFailures += r.compactFailures;
+    _ctr.retentionEvicted += r.evicted;
+    _ctr.retentionBytesFreed += r.bytesFreed;
+}
+
+CompactOutcome
+RecordService::compactArtifact(const std::string &path,
+                               FaultPlan *faults)
+{
+    CompactOutcome out;
+    ArtifactLoadResult loaded = loadArtifact(path);
+    if (!loaded) {
+        out.error = loaded.detail.empty() ? "artifact unreadable"
+                                          : loaded.detail;
+        return out;
+    }
+    if (loaded.artifact.trace.empty()) {
+        out.error = "no compactible section";
+        return out;
+    }
+    // Drop the optional trace section; the sphere (the replayable
+    // product) is untouched. saveArtifact goes through temp + rename,
+    // so any failure -- injected ENOSPC included -- keeps the
+    // original artifact intact.
+    loaded.artifact.trace.clear();
+    SegmentedWriteResult w = saveArtifact(loaded.artifact, path, faults);
+    if (!w) {
+        out.error = w.error;
+        out.injected = w.injected;
+        return out;
+    }
+    out.ok = true;
+    out.newBytes = w.bytes;
+    return out;
+}
+
+void
+RecordService::repairNow()
+{
+    StoreScan scan = _store.scan();
+    std::uint64_t temps = 0, recovered = 0, unrecoverable = 0,
+                  skipped = 0;
+    for (const std::string &tmp : scan.temps) {
+        if (::unlink(tmp.c_str()) == 0)
+            temps++;
+    }
+    for (const ArtifactFile &f : scan.unsealed) {
+        ArtifactRecoverResult r = recoverArtifact(f.path, f.path);
+        if (r.ok) {
+            recovered++;
+            _store.commit(f.path, r.bytes);
+        } else if (r.stage == RecoverStage::Empty &&
+                   r.detail.rfind("cannot read", 0) == 0) {
+            // The file vanished between scan and salvage: rotation
+            // (or a save retry's rename) won the race. Nothing lost.
+            skipped++;
+        } else {
+            // Not salvageable: quarantine it out of the .qrec
+            // namespace so the loss is visible on disk and the sweep
+            // does not retry it forever.
+            std::string quarantine = f.path + ".unrecoverable";
+            if (::rename(f.path.c_str(), quarantine.c_str()) == 0)
+                unrecoverable++;
+            else
+                skipped++;
+        }
+    }
+
+    // One retention pass after repair: salvaged artifacts count
+    // against the budgets like any other commit.
+    RotationResult rot = _store.enforce(
+        _cfg.retention,
+        [this](const std::string &p, FaultPlan *fp) {
+            return compactArtifact(p, fp);
+        },
+        _cfg.faultSpec.empty() ? nullptr : &_retentionFaults);
+
+    std::lock_guard<std::mutex> lk(_mu);
+    _ctr.repairTempsRemoved += temps;
+    _ctr.repairRecovered += recovered;
+    _ctr.repairUnrecoverable += unrecoverable;
+    _ctr.repairSkipped += skipped;
+    _ctr.retentionCompacted += rot.compacted;
+    _ctr.retentionCompactFailures += rot.compactFailures;
+    _ctr.retentionEvicted += rot.evicted;
+    _ctr.retentionBytesFreed += rot.bytesFreed;
+}
+
+void
+RecordService::repairLoop()
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    for (;;) {
+        _repairTick.wait_for(
+            lk, std::chrono::milliseconds(_cfg.repairIntervalMs),
+            [&] { return _shuttingDown; });
+        if (_shuttingDown)
+            return;
+        lk.unlock();
+        repairNow();
+        lk.lock();
+    }
+}
+
+bool
+RecordService::idleLocked() const
+{
+    return _queued == 0 && _active == 0;
+}
+
+void
+RecordService::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    _idle.wait(lk, [&] { return idleLocked(); });
+}
+
+void
+RecordService::shutdown()
+{
+    std::vector<std::thread> workers;
+    std::thread repair;
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        if (!_started)
+            return;
+        if (!_shuttingDown) {
+            _shuttingDown = true;
+            _work.notify_all();
+            _repairTick.notify_all();
+        }
+        if (_workers.empty())
+            return; // a prior shutdown() already joined everything
+
+        // Bounded drain: let queued + in-flight spheres finish...
+        bool drained = _idle.wait_for(
+            lk, std::chrono::milliseconds(_cfg.drainDeadlineMs),
+            [&] { return idleLocked(); });
+        if (!drained) {
+            // ...then interrupt. In-flight recordings finalize their
+            // prefix and persist sealed; never-started jobs abort.
+            _abortQueued = true;
+            _stopRecording.store(true);
+            _work.notify_all();
+        }
+        workers.swap(_workers);
+        repair.swap(_repairThread);
+    }
+
+    for (std::thread &t : workers)
+        t.join();
+    if (repair.joinable())
+        repair.join();
+    _http.stop();
+
+    // Final sweep with every writer quiesced: seal or salvage
+    // whatever the interrupted tail left behind.
+    repairNow();
+}
+
+ServiceCounters
+RecordService::counters() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _ctr;
+}
+
+StatsSnapshot
+RecordService::snapshot() const
+{
+    ServiceCounters c;
+    std::uint64_t queued, active;
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        c = _ctr;
+        queued = _queued;
+        active = _active;
+    }
+    std::uint64_t retainedBytes = _store.retainedBytes();
+    std::uint64_t retainedCount = _store.retainedCount();
+
+    StatsSnapshot s;
+    s.counter("service.submitted", c.submitted,
+              "spheres submitted to the service");
+    s.counter("service.admitted", c.admitted,
+              "spheres admitted at full fidelity");
+    s.counter("service.admitted_degraded", c.admittedDegraded,
+              "spheres admitted in degraded (gap-marked) mode");
+    s.counter("service.shed.queue_full", c.shedQueueFull,
+              "spheres rejected: queue budget");
+    s.counter("service.shed.byte_budget", c.shedByteBudget,
+              "spheres rejected: hard retained-byte ceiling");
+    s.counter("service.shed.shutdown", c.shedShutdown,
+              "spheres rejected: service draining");
+    s.counter("service.recorded", c.recorded,
+              "recordings run to completion or interruption");
+    s.counter("service.interrupted", c.interrupted,
+              "recordings cut at shutdown (prefix persisted)");
+    s.counter("service.save.attempts", c.saveAttempts,
+              "artifact persist attempts");
+    s.counter("service.save.retries", c.saveRetries,
+              "persist retries after an I/O failure");
+    s.counter("service.saved", c.saved,
+              "artifacts sealed and committed to the store");
+    s.counter("service.save.torn_left", c.saveTornLeft,
+              "persists that left a torn file for the repair loop");
+    s.counter("service.save.lost", c.saveLost,
+              "spheres lost with nothing on disk (witnessed)");
+    s.counter("service.aborted", c.aborted,
+              "queued spheres aborted past the drain deadline");
+    s.counter("service.repair.recovered", c.repairRecovered,
+              "torn artifacts salvaged to sealed by the repair loop");
+    s.counter("service.repair.temps_removed", c.repairTempsRemoved,
+              "leftover temp files swept");
+    s.counter("service.repair.unrecoverable", c.repairUnrecoverable,
+              "artifacts quarantined as unrecoverable");
+    s.counter("service.repair.skipped", c.repairSkipped,
+              "repair candidates that vanished mid-sweep");
+    s.counter("service.retention.compacted", c.retentionCompacted,
+              "artifacts compacted by retention");
+    s.counter("service.retention.compact_failures",
+              c.retentionCompactFailures,
+              "compactions that failed (artifact kept intact)");
+    s.counter("service.retention.evicted", c.retentionEvicted,
+              "artifacts evicted by retention");
+    s.counter("service.retention.bytes_freed", c.retentionBytesFreed,
+              "bytes reclaimed by retention");
+    s.gauge("service.active", static_cast<double>(active),
+            "recordings running right now");
+    s.gauge("service.queued", static_cast<double>(queued),
+            "spheres waiting for a worker");
+    s.gauge("service.store.artifacts",
+            static_cast<double>(retainedCount),
+            "sealed artifacts retained in the store");
+    s.gauge("service.store.bytes", static_cast<double>(retainedBytes),
+            "bytes retained in the store");
+
+    // The zero-silent-loss ledger: every submission must be shed,
+    // persisted (or visibly torn/lost/aborted), or still in flight.
+    std::uint64_t accounted = c.shedQueueFull + c.shedByteBudget +
+                              c.shedShutdown + c.saved +
+                              c.saveTornLeft + c.saveLost + c.aborted +
+                              queued + active;
+    double unaccounted = static_cast<double>(c.submitted) -
+                         static_cast<double>(accounted);
+    s.gauge("service.unaccounted", unaccounted,
+            "submissions not in any ledger bucket (must be 0)");
+    return s;
+}
+
+} // namespace qr

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * qrecd: the crash-tolerant multi-sphere record service.
+ *
+ * A RecordService hosts many concurrent replay spheres over the
+ * existing record stack and owns everything a long-running deployment
+ * needs around it:
+ *
+ *  - admission control (service/admission.hh): typed load shedding,
+ *    with over-budget spheres degraded to gap-marked recording
+ *    instead of refused;
+ *  - sharded record/drain workers: submissions hash to one of N
+ *    worker shards, each recording spheres to completion and
+ *    persisting them with bounded retry + deadline + doubling backoff
+ *    (the QSG1 counterpart of the RSM's own CBUF-drain retry path);
+ *  - rotation/retention (capo/retention.hh): sealed-segment handoff
+ *    into an ArtifactStore, with byte/count budgets enforced by
+ *    compact-then-evict after every commit;
+ *  - a supervised repair loop: leftover temp files are swept and
+ *    every unsealed (torn) artifact is salvaged in place through
+ *    recoverArtifact(), so a SIGKILL'd service heals its own
+ *    directory on the next start;
+ *  - fault-plan chaos: one spec applies to the whole fleet, with
+ *    per-sphere seeds, so soak runs inject CBUF drops, drain
+ *    failures, torn writes and ENOSPC into live traffic
+ *    deterministically;
+ *  - live observability: snapshot() renders the service counters as
+ *    the same StatsSnapshot tree every other surface uses, and an
+ *    optional loopback /metrics endpoint serves the Prometheus text.
+ *
+ * The accounting is closed by construction: every submitted sphere
+ * ends in exactly one of {shed, saved, torn-left-for-repair, lost,
+ * aborted} (or is still in flight), and snapshot() exports the
+ * difference as service.unaccounted -- the zero-silent-loss invariant
+ * the soak harness asserts is that this gauge is 0 and that every
+ * retained artifact verifies clean or replays degraded.
+ */
+
+#ifndef QR_SERVICE_SERVICE_HH
+#define QR_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "capo/retention.hh"
+#include "core/config.hh"
+#include "fault/fault_plan.hh"
+#include "isa/assembler.hh"
+#include "obs/stats_export.hh"
+#include "service/admission.hh"
+#include "service/http_metrics.hh"
+
+namespace qr
+{
+
+struct RecordResult;
+
+/** Everything qrecd is configured with. */
+struct ServiceConfig
+{
+    std::string dir = "qrecd-spheres"; //!< artifact store directory
+    int workers = 2;                   //!< record/drain worker shards
+    AdmissionBudgets budgets;
+    RetentionPolicy retention;
+
+    /** Fleet-wide chaos spec (fault/fault_plan.hh); empty = none. */
+    std::string faultSpec;
+    std::uint64_t faultSeed = 1; //!< per-sphere seeds derive from this
+
+    int saveRetries = 4;      //!< persist attempts beyond the first
+    int backoffBaseMs = 1;    //!< doubling backoff base per retry
+    int saveDeadlineMs = 2000;  //!< give up persisting past this
+    int drainDeadlineMs = 2000; //!< graceful-shutdown drain bound
+    int repairIntervalMs = 200; //!< supervised repair loop period
+
+    /** /metrics HTTP port: -1 = no endpoint, 0 = ephemeral. */
+    int metricsPort = -1;
+
+    MachineConfig mcfg;
+    RecorderConfig rcfg;
+};
+
+/** One sphere submitted to the service. */
+struct SphereRequest
+{
+    std::string workload; //!< stem for the artifact filename
+    int threads = 4;
+    int scale = 1;
+    Program program;
+};
+
+/** What submit() decided (and, when admitted, the sphere's id). */
+struct SubmitResult
+{
+    AdmissionOutcome outcome = AdmissionOutcome::Admit;
+    std::uint64_t sphereId = 0; //!< assigned when admitted
+
+    bool admitted() const { return !admissionRejected(outcome); }
+};
+
+/** Closed-accounting counters; every submission lands in one bucket. */
+struct ServiceCounters
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t admittedDegraded = 0;
+    std::uint64_t shedQueueFull = 0;
+    std::uint64_t shedByteBudget = 0;
+    std::uint64_t shedShutdown = 0;
+    std::uint64_t recorded = 0;
+    std::uint64_t interrupted = 0; //!< recordings cut at shutdown
+    std::uint64_t saveAttempts = 0;
+    std::uint64_t saveRetries = 0;
+    std::uint64_t saved = 0;
+    std::uint64_t saveTornLeft = 0; //!< torn file left for repair
+    std::uint64_t saveLost = 0;     //!< witnessed loss (nothing on disk)
+    std::uint64_t aborted = 0;      //!< queued jobs dropped at shutdown
+    std::uint64_t repairRecovered = 0;
+    std::uint64_t repairTempsRemoved = 0;
+    std::uint64_t repairUnrecoverable = 0;
+    std::uint64_t repairSkipped = 0; //!< raced rotation (file vanished)
+    std::uint64_t retentionCompacted = 0;
+    std::uint64_t retentionCompactFailures = 0;
+    std::uint64_t retentionEvicted = 0;
+    std::uint64_t retentionBytesFreed = 0;
+};
+
+/** The qrecd daemon core (CLI-independent; tests embed it directly). */
+class RecordService
+{
+  public:
+    explicit RecordService(ServiceConfig cfg);
+    ~RecordService();
+
+    RecordService(const RecordService &) = delete;
+    RecordService &operator=(const RecordService &) = delete;
+
+    /**
+     * Start the service: rescan the store (sealed survivors become
+     * the retained set), run one repair sweep over whatever a crash
+     * left behind, then spawn the worker shards, the repair loop and
+     * (when configured) the /metrics endpoint.
+     */
+    void start();
+
+    /**
+     * Submit one sphere. Admission is decided synchronously; an
+     * admitted sphere is queued to its worker shard.
+     */
+    SubmitResult submit(SphereRequest req);
+
+    /** Block until no sphere is queued or recording. */
+    void waitIdle();
+
+    /**
+     * Graceful shutdown: close admission, drain queued + in-flight
+     * spheres within drainDeadlineMs, then interrupt whatever is
+     * still recording (the prefix is finalized and persisted as a
+     * sealed degraded-replayable artifact) and abort what never
+     * started, every one counted. Idempotent; the destructor calls
+     * it.
+     */
+    void shutdown();
+
+    /** Run one synchronous repair sweep (also runs periodically). */
+    void repairNow();
+
+    /** Live stats: counters, queue/store gauges, unaccounted. */
+    StatsSnapshot snapshot() const;
+
+    /** Counters alone (tests assert the accounting directly). */
+    ServiceCounters counters() const;
+
+    const ArtifactStore &store() const { return _store; }
+    ArtifactStore &store() { return _store; }
+
+    /** Bound /metrics port, or -1 when no endpoint is configured. */
+    int metricsPort() const;
+
+    const ServiceConfig &config() const { return _cfg; }
+
+  private:
+    struct Job
+    {
+        std::uint64_t id = 0;
+        SphereRequest req;
+        bool degraded = false;
+    };
+
+    struct Shard
+    {
+        std::deque<Job> queue;
+    };
+
+    void workerLoop(std::size_t shard);
+    void repairLoop();
+    void runJob(Job &&job);
+    void persist(const Job &job, RecordResult &&rec);
+    RecorderConfig recorderConfigFor(const Job &job) const;
+    CompactOutcome compactArtifact(const std::string &path,
+                                   FaultPlan *faults);
+    void applyRotation(const RotationResult &r);
+    bool idleLocked() const;
+
+    ServiceConfig _cfg;
+    ArtifactStore _store;
+    AdmissionController _admission;
+
+    mutable std::mutex _mu;
+    std::condition_variable _work;  //!< queued work / shutdown
+    std::condition_variable _idle;  //!< queues empty, nothing active
+    std::vector<Shard> _shards;
+    std::uint64_t _queued = 0;
+    std::uint64_t _active = 0;
+    std::uint64_t _nextId = 0;
+    bool _shuttingDown = false;
+    bool _abortQueued = false;
+    bool _started = false;
+    ServiceCounters _ctr;
+
+    /**
+     * Raised when the drain deadline passes: in-flight recordings
+     * poll it through recordProgramUntil and finalize early.
+     */
+    std::atomic<bool> _stopRecording{false};
+
+    std::vector<std::thread> _workers;
+    std::thread _repairThread;
+    std::condition_variable _repairTick;
+    FaultPlan _retentionFaults; //!< I/O sites for compaction rewrites
+    MetricsHttpServer _http;
+};
+
+} // namespace qr
+
+#endif // QR_SERVICE_SERVICE_HH

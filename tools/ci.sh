@@ -26,7 +26,13 @@
 #      and `qrec analyze --predict` must still flag the masked race
 #      the elided twin workload plants,
 #   9. the docs lint (tools/check_docs.sh): every qrec subcommand and
-#      QR_* knob must be documented in README.md.
+#      QR_* knob must be documented in README.md,
+#  10. the qrecd soak (tools/soak_qrecd.sh): a short `qrec serve` run
+#      under injected faults with a live /metrics scrape, a hard
+#      SIGKILL, and a repair-mode restart, after which every retained
+#      artifact must verify clean or replay degraded, the fleet SARIF
+#      must validate, and the submission ledger must close
+#      (qr_service_unaccounted = 0).
 #
 # The first failing stage aborts the script with a nonzero exit.
 #
@@ -36,21 +42,21 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "=== ci 1/9: tier-1 suite ==="
+echo "=== ci 1/10: tier-1 suite ==="
 cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD" -j "$(nproc)"
 (cd "$BUILD" && ctest --output-on-failure)
 
-echo "=== ci 2/9: asan/ubsan ==="
+echo "=== ci 2/10: asan/ubsan ==="
 tools/run_asan.sh
 
-echo "=== ci 3/9: tsan ==="
+echo "=== ci 3/10: tsan ==="
 tools/run_tsan.sh
 
-echo "=== ci 4/9: clang-tidy ==="
+echo "=== ci 4/10: clang-tidy ==="
 tools/run_lint.sh "$BUILD"
 
-echo "=== ci 5/9: fault pipeline smoke ==="
+echo "=== ci 5/10: fault pipeline smoke ==="
 QREC="$BUILD/tools/qrec"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -63,7 +69,7 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     -i "$SMOKE_DIR/smoke_rec.qrec" \
     | grep -q "identical to sequential"
 
-echo "=== ci 6/9: observability smoke ==="
+echo "=== ci 6/10: observability smoke ==="
 "$QREC" record fft -t 4 -s 1 --trace -o "$SMOKE_DIR/trace.qrec" \
     | grep -q "traced"
 "$QREC" trace -i "$SMOKE_DIR/trace.qrec" -o "$SMOKE_DIR/trace.json"
@@ -72,7 +78,7 @@ cmake -DJSON="$SMOKE_DIR/trace.json" -P tools/check_trace_json.cmake
 "$QREC" stats --prom -i "$SMOKE_DIR/trace.qrec" \
     | grep -q "# TYPE qr_rnr_chunks counter"
 
-echo "=== ci 7/9: streaming analysis smoke ==="
+echo "=== ci 7/10: streaming analysis smoke ==="
 QR_BENCH_SCALE=1 QR_BENCH_WORKLOADS=radix QR_BENCH_MIN_SECS=0 \
     QR_BENCH_JSON_DIR="$SMOKE_DIR" "$BUILD/bench/bench_e10_stream" \
     > /dev/null
@@ -81,7 +87,7 @@ cmake -DJSON="$SMOKE_DIR/BENCH_STREAM.json" \
 "$BUILD/tools/bench_json_util" validate --min-schema 2 \
     "$SMOKE_DIR/BENCH_STREAM.json"
 
-echo "=== ci 8/9: artifact verification gate ==="
+echo "=== ci 8/10: artifact verification gate ==="
 # Every suite sphere (fresh recordings) and the intact corpus sphere
 # lint clean...
 SUITE="$("$QREC" list | sed -n '/SPLASH/,/micro/p' | grep '^  ' \
@@ -122,7 +128,10 @@ cmake -DSARIF="$SMOKE_DIR/verify.sarif" -DMIN_RESULTS=6 \
     exit 1
 }
 
-echo "=== ci 9/9: docs lint ==="
+echo "=== ci 9/10: docs lint ==="
 tools/check_docs.sh
+
+echo "=== ci 10/10: qrecd soak ==="
+tools/soak_qrecd.sh "$BUILD"
 
 echo "ci: all gates green"

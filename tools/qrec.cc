@@ -77,10 +77,14 @@
  * readable.
  */
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "analyze/predict.hh"
 #include "analyze/race_analyzer.hh"
@@ -88,7 +92,9 @@
 #include "capo/log_store.hh"
 #include "fault/fault_plan.hh"
 #include "isa/disassembler.hh"
+#include "core/artifact.hh"
 #include "core/session.hh"
+#include "service/service.hh"
 #include "obs/event_trace.hh"
 #include "obs/profile.hh"
 #include "obs/stats_export.hh"
@@ -103,164 +109,33 @@ namespace qr
 namespace
 {
 
-/** Everything qrec persists next to the sphere bytes. */
-struct Container
-{
-    std::string workload;
-    int threads = 4;
-    int scale = 1;
-    Digests digests;
-    SphereLogs logs;
-    /** Serialized event timeline ("QTR1"); empty when not traced. */
-    std::vector<std::uint8_t> trace;
-};
-
-void
-putString(std::vector<std::uint8_t> &out, const std::string &s)
-{
-    putVarint(out, s.size());
-    out.insert(out.end(), s.begin(), s.end());
-}
-
 /**
- * Length-prefixed string decode, generic over the byte source so the
- * container meta parses identically off a heap buffer and off a
- * mmapped PayloadView.
+ * The container type and its (de)serializers live in
+ * core/artifact.hh now, shared with the record service; the CLI keeps
+ * only its fatal()-on-failure wrapper, with the exact messages it has
+ * always printed.
  */
-template <class Bytes>
-std::string
-getString(const Bytes &in, std::size_t &pos)
-{
-    std::uint64_t n = getVarintFrom(in, pos);
-    if (n > in.size() - pos)
-        parseFail("truncated string in container");
-    std::string s;
-    s.reserve(static_cast<std::size_t>(n));
-    for (std::uint64_t i = 0; i < n; ++i)
-        s += static_cast<char>(in[pos + static_cast<std::size_t>(i)]);
-    pos += n;
-    return s;
-}
-
-SegmentedWriteResult
-saveContainer(const Container &c, const std::string &path,
-              FaultPlan *faults = nullptr)
-{
-    std::vector<std::uint8_t> out = {'Q', 'R', 'C', '1'};
-    putString(out, c.workload);
-    putVarint(out, static_cast<std::uint64_t>(c.threads));
-    putVarint(out, static_cast<std::uint64_t>(c.scale));
-    putVarint(out, c.digests.memory);
-    putVarint(out, c.digests.output);
-    putVarint(out, c.digests.exits.size());
-    for (const auto &[tid, info] : c.digests.exits) {
-        putVarint(out, static_cast<std::uint64_t>(tid));
-        putVarint(out, info.regDigest);
-        putVarint(out, info.instrs);
-        putVarint(out, info.exitCode);
-    }
-    std::vector<std::uint8_t> sphere = c.logs.serialize();
-    putVarint(out, sphere.size());
-    out.insert(out.end(), sphere.begin(), sphere.end());
-    // Optional trailing section: the event timeline. The sphere bytes
-    // above are unchanged whether or not a trace rides along.
-    if (!c.trace.empty()) {
-        putVarint(out, c.trace.size());
-        out.insert(out.end(), c.trace.begin(), c.trace.end());
-    }
-    return writeSegmented(out, path, faults);
-}
-
-std::vector<std::uint8_t>
-readRawFile(const std::string &path)
-{
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        fatal("cannot read '%s'", path.c_str());
-    std::fseek(f, 0, SEEK_END);
-    long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    std::vector<std::uint8_t> in(static_cast<std::size_t>(size));
-    if (std::fread(in.data(), 1, in.size(), f) != in.size())
-        fatal("short read from '%s'", path.c_str());
-    std::fclose(f);
-    return in;
-}
-
-/**
- * Parse the container meta fields (everything between the magic and
- * the sphere length) from @p in; on return @p pos sits at the sphere
- * length varint. Throws ParseError on malformed input.
- */
-template <class Bytes>
-Container
-parseContainerMeta(const Bytes &in, std::size_t &pos)
-{
-    Container c;
-    c.workload = getString(in, pos);
-    c.threads = static_cast<int>(getVarintFrom(in, pos));
-    c.scale = static_cast<int>(getVarintFrom(in, pos));
-    c.digests.memory = getVarintFrom(in, pos);
-    c.digests.output = getVarintFrom(in, pos);
-    std::uint64_t nexits = getVarintFrom(in, pos);
-    for (std::uint64_t i = 0; i < nexits; ++i) {
-        Tid tid = static_cast<Tid>(getVarintFrom(in, pos));
-        ThreadExitInfo info;
-        info.regDigest = getVarintFrom(in, pos);
-        info.instrs = getVarintFrom(in, pos);
-        info.exitCode = static_cast<Word>(getVarintFrom(in, pos));
-        c.digests.exits.emplace(tid, info);
-    }
-    return c;
-}
-
-Container
+SphereArtifact
 loadContainer(const std::string &path)
 {
-    std::vector<std::uint8_t> raw = readRawFile(path);
-
-    std::vector<std::uint8_t> in;
-    if (isSegmented(raw)) {
-        SegmentedReadResult seg = readSegmented(raw);
-        if (!seg.sealed)
-            fatal("'%s' is corrupt: %s; 'qrec recover' can salvage "
-                  "the intact prefix",
-                  path.c_str(), seg.error.c_str());
-        in = std::move(seg.payload);
-    } else {
-        in = std::move(raw); // legacy unsegmented container
-    }
-
-    if (in.size() < 4 || std::memcmp(in.data(), "QRC1", 4) != 0)
+    ArtifactLoadResult r = loadArtifact(path);
+    if (r)
+        return std::move(r.artifact);
+    switch (r.kind) {
+      case ArtifactError::Io:
+        // detail is "cannot read '<path>'" / "short read from ...".
+        fatal("%s", r.detail.c_str());
+      case ArtifactError::Torn:
+        fatal("'%s' is corrupt: %s; 'qrec recover' can salvage "
+              "the intact prefix",
+              path.c_str(), r.detail.c_str());
+      case ArtifactError::NotContainer:
         fatal("'%s' is not a qrec container", path.c_str());
-    // A corrupted container is user input, not a bug: surface every
-    // parse failure as a fatal error message instead of an abort.
-    try {
-        std::size_t pos = 4;
-        Container c = parseContainerMeta(in, pos);
-        std::uint64_t nsphere = getVarint(in, pos);
-        if (nsphere > in.size() - pos)
-            parseFail("container truncated: sphere log needs %llu "
-                      "bytes, %llu remain",
-                      static_cast<unsigned long long>(nsphere),
-                      static_cast<unsigned long long>(in.size() - pos));
-        std::vector<std::uint8_t> sphere(
-            in.begin() + static_cast<long>(pos),
-            in.begin() + static_cast<long>(pos + nsphere));
-        pos += nsphere;
-        if (pos != in.size()) {
-            // Optional trace section appended by `record --trace`.
-            std::uint64_t ntrace = getVarint(in, pos);
-            if (ntrace != in.size() - pos)
-                parseFail("trailing bytes in container");
-            c.trace.assign(in.begin() + static_cast<long>(pos),
-                           in.end());
-        }
-        c.logs = SphereLogs::deserialize(sphere);
-        return c;
-    } catch (const ParseError &e) {
-        fatal("'%s' is corrupt: %s", path.c_str(), e.what());
+      case ArtifactError::Corrupt:
+      case ArtifactError::None:
+        break;
     }
+    fatal("'%s' is corrupt: %s", path.c_str(), r.detail.c_str());
 }
 
 Workload
@@ -330,6 +205,7 @@ struct Args
     std::uint32_t cbufEntries = 0; //!< 0 = keep the default capacity
     std::uint32_t window = 0; //!< analyze: streaming batch (0 = default)
     bool predict = false; //!< analyze: run the predictive race pass
+    int scrapePort = -1;  //!< stats: scrape a live /metrics endpoint
     std::string jsonFile;
 };
 
@@ -409,6 +285,15 @@ parseArgs(int argc, char **argv, int first, bool wants_workload)
         }
         else if (s == "--predict")
             a.predict = true;
+        else if (s == "--scrape") {
+            const char *v = next();
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 65535)
+                fatal("%s expects a port number, got '%s'",
+                      s.c_str(), v);
+            a.scrapePort = static_cast<int>(n);
+        }
         else if (s == "--json")
             a.jsonFile = next();
         else
@@ -457,8 +342,8 @@ cmdRecord(const Args &a)
                     "marker(s); replay with --degraded\n",
                     (unsigned long long)rec.metrics.droppedChunks,
                     (unsigned long long)rec.metrics.gapChunks);
-    Container c{w.name, a.threads, a.scale, rec.metrics.digests,
-                std::move(rec.logs), {}};
+    SphereArtifact c{w.name, a.threads, a.scale, rec.metrics.digests,
+                     std::move(rec.logs), {}};
     if (!rec.timeline.events.empty() || rec.timeline.dropped) {
         c.trace = rec.timeline.serialize();
         std::printf("traced %zu event(s)%s\n",
@@ -479,7 +364,7 @@ cmdRecord(const Args &a)
         ioPlan = FaultPlan::parse(a.faults, a.faultSeed);
         iop = &ioPlan;
     }
-    SegmentedWriteResult saved = saveContainer(c, a.outFile, iop);
+    SegmentedWriteResult saved = saveArtifact(c, a.outFile, iop);
     if (saved) {
         std::printf("wrote %llu bytes to %s\n",
                     (unsigned long long)saved.bytes,
@@ -506,78 +391,48 @@ cmdRecover(const Args &a)
     if (a.outFile.empty())
         fatal("recover needs -o <file>");
 
-    std::vector<std::uint8_t> raw = readRawFile(a.file);
-    if (raw.empty())
-        fatal("'%s' is empty; nothing to salvage", a.file.c_str());
-
-    std::vector<std::uint8_t> in;
-    std::uint64_t segments = 0;
-    bool sealed = false;
-    std::string tornNote;
-    if (isSegmented(raw)) {
-        SegmentedReadResult seg = readSegmented(raw);
-        in = std::move(seg.payload);
-        segments = seg.segments;
-        sealed = seg.sealed;
-        tornNote = seg.error;
-    } else {
-        in = std::move(raw); // legacy unsegmented container
-        sealed = true;
-    }
-
-    if (in.size() < 4 || std::memcmp(in.data(), "QRC1", 4) != 0)
-        fatal("'%s' is not a qrec container (no intact header "
-              "segment)", a.file.c_str());
-
-    // The meta fields fit in the first segment, so a torn file that
-    // kept any payload keeps them; losing them means nothing usable.
-    Container c;
-    std::vector<std::uint8_t> sphereBytes;
-    try {
-        std::size_t pos = 4;
-        c = parseContainerMeta(in, pos);
-        std::uint64_t nsphere = getVarint(in, pos);
-        std::uint64_t avail = in.size() - pos;
-        sphereBytes.assign(in.begin() + static_cast<long>(pos),
-                           in.end());
-        if (nsphere < avail)
-            sphereBytes.resize(nsphere); // ignore trailing garbage
-    } catch (const ParseError &e) {
-        fatal("'%s' is unrecoverable (torn inside the container "
-              "meta): %s", a.file.c_str(), e.what());
-    }
-
-    SphereSalvage salvage;
-    try {
-        salvage = SphereLogs::deserializeTolerant(sphereBytes);
-    } catch (const ParseError &e) {
-        fatal("'%s' is unrecoverable (unusable sphere header): %s",
-              a.file.c_str(), e.what());
-    }
-
-    bool complete = sealed && salvage.complete;
-    c.logs = std::move(salvage.logs);
-    SegmentedWriteResult saved = saveContainer(c, a.outFile);
-    if (!saved)
+    ArtifactRecoverResult r = recoverArtifact(a.file, a.outFile);
+    if (!r) {
+        switch (r.stage) {
+          case RecoverStage::Empty:
+            if (r.detail == "file is empty")
+                fatal("'%s' is empty; nothing to salvage",
+                      a.file.c_str());
+            // I/O failure: detail is "cannot read ..." verbatim.
+            fatal("%s", r.detail.c_str());
+          case RecoverStage::NotContainer:
+            fatal("'%s' is not a qrec container (no intact header "
+                  "segment)", a.file.c_str());
+          case RecoverStage::Meta:
+            fatal("'%s' is unrecoverable (torn inside the container "
+                  "meta): %s", a.file.c_str(), r.detail.c_str());
+          case RecoverStage::Sphere:
+            fatal("'%s' is unrecoverable (unusable sphere header): "
+                  "%s", a.file.c_str(), r.detail.c_str());
+          case RecoverStage::Write:
+          case RecoverStage::Ok:
+            break;
+        }
         fatal("cannot write '%s': %s", a.outFile.c_str(),
-              saved.error.c_str());
+              r.detail.c_str());
+    }
 
     std::printf("salvaged %s: %llu intact segment(s), %llu thread "
                 "log(s) complete, %llu kept as a prefix\n",
-                a.file.c_str(), (unsigned long long)segments,
-                (unsigned long long)salvage.threadsSalvaged,
-                (unsigned long long)salvage.threadsPartial);
-    if (complete) {
+                a.file.c_str(), (unsigned long long)r.segments,
+                (unsigned long long)r.threadsSalvaged,
+                (unsigned long long)r.threadsPartial);
+    if (r.complete) {
         std::printf("file was intact; full sphere recovered\n");
     } else {
-        if (!tornNote.empty())
-            std::printf("container: %s\n", tornNote.c_str());
-        if (!salvage.note.empty())
-            std::printf("sphere: %s\n", salvage.note.c_str());
+        if (!r.tornNote.empty())
+            std::printf("container: %s\n", r.tornNote.c_str());
+        if (!r.sphereNote.empty())
+            std::printf("sphere: %s\n", r.sphereNote.c_str());
     }
     std::printf("wrote %llu bytes to %s\n",
-                (unsigned long long)saved.bytes, a.outFile.c_str());
-    if (!complete)
+                (unsigned long long)r.bytes, a.outFile.c_str());
+    if (!r.complete)
         std::printf("replay with: qrec replay --degraded -i %s\n",
                     a.outFile.c_str());
     return 0;
@@ -588,7 +443,7 @@ cmdReplay(const Args &a)
 {
     if (a.file.empty())
         fatal("replay needs -i <file>");
-    Container c = loadContainer(a.file);
+    SphereArtifact c = loadContainer(a.file);
     std::printf("replaying %s (threads=%d scale=%d) from %s\n",
                 c.workload.c_str(), c.threads, c.scale,
                 a.file.c_str());
@@ -664,7 +519,7 @@ cmdInspect(const Args &a)
 {
     if (a.file.empty())
         fatal("inspect needs -i <file>");
-    Container c = loadContainer(a.file);
+    SphereArtifact c = loadContainer(a.file);
     std::printf("workload: %s  threads=%d scale=%d\n",
                 c.workload.c_str(), c.threads, c.scale);
     LogSizes sizes = measureLogs(c.logs);
@@ -759,7 +614,7 @@ cmdAnalyze(const Args &a)
                 pv[2] != 'C' || pv[3] != '1')
                 parseFail("not a qrec container");
             std::size_t pos = 4;
-            Container meta = parseContainerMeta(pv, pos);
+            SphereArtifact meta = parseArtifactMeta(pv, pos);
             workload = meta.workload;
             threads = meta.threads;
             scale = meta.scale;
@@ -808,7 +663,7 @@ cmdAnalyze(const Args &a)
             return analyzeError(csprintf("cannot read '%s'",
                                          a.file.c_str()));
         std::fclose(probe);
-        Container c = loadContainer(a.file);
+        SphereArtifact c = loadContainer(a.file);
         workload = c.workload;
         threads = c.threads;
         scale = c.scale;
@@ -939,7 +794,7 @@ cmdVerify(int argc, char **argv, int first)
                 std::memcmp(seg.payload.data(), "QRC1", 4) == 0) {
                 try {
                     std::size_t pos = 4;
-                    parseContainerMeta(seg.payload, pos);
+                    parseArtifactMeta(seg.payload, pos);
                     std::uint64_t nsphere =
                         getVarint(seg.payload, pos);
                     if (nsphere > seg.payload.size() - pos)
@@ -1010,7 +865,7 @@ cmdTrace(const Args &a)
 {
     if (a.file.empty())
         fatal("trace needs -i <file>");
-    Container c = loadContainer(a.file);
+    SphereArtifact c = loadContainer(a.file);
     TraceTimeline timeline;
     bool embedded = !c.trace.empty();
     if (embedded) {
@@ -1040,9 +895,20 @@ cmdTrace(const Args &a)
 int
 cmdStats(const Args &a)
 {
+    if (a.scrapePort > 0) {
+        // Live-fleet mode: pull the Prometheus text straight off a
+        // running qrecd's loopback /metrics endpoint.
+        std::string err;
+        std::string text = httpGetLocal(a.scrapePort, "/metrics", err);
+        if (!err.empty())
+            fatal("cannot scrape 127.0.0.1:%d/metrics: %s",
+                  a.scrapePort, err.c_str());
+        writeTextOut(text, a.outFile);
+        return 0;
+    }
     if (a.file.empty())
         fatal("stats needs -i <file>");
-    Container c = loadContainer(a.file);
+    SphereArtifact c = loadContainer(a.file);
     StatsSnapshot snap = snapshotSphere(c.logs);
     if (a.replayJobs >= 1) {
         // Differential replay under the hood so the snapshot reports
@@ -1089,12 +955,180 @@ cmdDisasm(const Args &a)
     return 0;
 }
 
+/**
+ * SIGTERM/SIGINT latch for `qrec serve`: the submission loop polls it
+ * and falls into the graceful-shutdown path -- admission closes,
+ * queued and in-flight spheres drain under a bounded deadline, and
+ * every open QSG1 segment is sealed (or left for the next start's
+ * repair sweep if the process dies harder than a signal).
+ */
+volatile std::sig_atomic_t gStopSignal = 0;
+
+void
+onStopSignal(int sig)
+{
+    gStopSignal = sig;
+}
+
+/**
+ * `qrec serve` has its own flag set (budgets, retention, chaos), so
+ * like verify it parses its own arguments.
+ */
+int
+cmdServe(int argc, char **argv, int first)
+{
+    ServiceConfig cfg;
+    cfg.dir.clear();
+    double seconds = 5;
+    std::string workloads =
+        "counter-racy,pingpong,prodcons,false-sharing";
+    int threads = 4;
+    int scale = 1;
+
+    for (int i = first; i < argc; ++i) {
+        std::string s = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", s.c_str());
+            return argv[++i];
+        };
+        auto nextU64 = [&]() -> std::uint64_t {
+            const char *v = next();
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0')
+                fatal("%s expects an integer, got '%s'", s.c_str(), v);
+            return n;
+        };
+        if (s == "-d" || s == "--dir")
+            cfg.dir = next();
+        else if (s == "--seconds") {
+            const char *v = next();
+            char *end = nullptr;
+            seconds = std::strtod(v, &end);
+            if (end == v || *end != '\0' || seconds < 0)
+                fatal("%s expects a duration in seconds, got '%s'",
+                      s.c_str(), v);
+        }
+        else if (s == "--workers")
+            cfg.workers = static_cast<int>(nextU64());
+        else if (s == "--max-active")
+            cfg.budgets.maxActive = nextU64();
+        else if (s == "--max-queued")
+            cfg.budgets.maxQueued = nextU64();
+        else if (s == "--byte-budget")
+            cfg.budgets.retainedByteBudget = nextU64();
+        else if (s == "--cbuf-budget")
+            cfg.budgets.degradedCbufEntries =
+                static_cast<std::uint32_t>(nextU64());
+        else if (s == "--retain")
+            cfg.retention.maxArtifacts = nextU64();
+        else if (s == "--retain-bytes")
+            cfg.retention.maxBytes = nextU64();
+        else if (s == "--faults")
+            cfg.faultSpec = next();
+        else if (s == "--fault-seed")
+            cfg.faultSeed = nextU64();
+        else if (s == "--port")
+            cfg.metricsPort = static_cast<int>(nextU64());
+        else if (s == "--drain-ms")
+            cfg.drainDeadlineMs = static_cast<int>(nextU64());
+        else if (s == "--workloads")
+            workloads = next();
+        else if (s == "-t" || s == "--threads")
+            threads = std::atoi(next());
+        else if (s == "-s" || s == "--scale")
+            scale = std::atoi(next());
+        else
+            fatal("unknown option '%s'", s.c_str());
+    }
+    if (cfg.dir.empty())
+        fatal("serve needs -d <dir>");
+    // The CLI is single-threaded up to this point and never setenvs.
+    if (const char *v = std::getenv("QR_SERVE_REPAIR_MS")) { // NOLINT(concurrency-mt-unsafe)
+        char *end = nullptr;
+        long n = std::strtol(v, &end, 10);
+        if (end == v || *end != '\0' || n < 1)
+            fatal("QR_SERVE_REPAIR_MS expects a positive integer, "
+                  "got '%s'", v);
+        cfg.repairIntervalMs = static_cast<int>(n);
+    }
+
+    // Resolve the fleet before arming anything: an unknown workload
+    // name must fail fast, not after spheres have landed.
+    std::vector<Workload> fleet;
+    std::size_t pos = 0;
+    while (pos < workloads.size()) {
+        std::size_t comma = workloads.find(',', pos);
+        if (comma == std::string::npos)
+            comma = workloads.size();
+        std::string name = workloads.substr(pos, comma - pos);
+        if (!name.empty())
+            fleet.push_back(buildWorkload(name, threads, scale));
+        pos = comma + 1;
+    }
+    if (fleet.empty() && seconds > 0)
+        fatal("serve needs at least one workload");
+
+    RecordService svc(cfg);
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+    svc.start();
+
+    std::printf("qrecd: %d worker shard(s), store %s\n", cfg.workers,
+                cfg.dir.c_str());
+    if (cfg.metricsPort >= 0 && svc.metricsPort() > 0)
+        std::printf("metrics: http://127.0.0.1:%d/metrics\n",
+                    svc.metricsPort());
+    std::fflush(stdout);
+
+    if (seconds > 0) {
+        auto endTime =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+        std::size_t i = 0;
+        while (std::chrono::steady_clock::now() < endTime &&
+               !gStopSignal) {
+            const Workload &w = fleet[i++ % fleet.size()];
+            SphereRequest req;
+            req.workload = w.name;
+            req.threads = threads;
+            req.scale = scale;
+            req.program = w.program;
+            svc.submit(std::move(req));
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        if (gStopSignal)
+            std::printf("qrecd: caught signal %d, draining\n",
+                        static_cast<int>(gStopSignal));
+    }
+
+    svc.shutdown();
+    ServiceCounters c = svc.counters();
+    std::printf("qrecd: %llu submitted, %llu saved, %llu shed, "
+                "%llu degraded, %llu interrupted, %llu recovered, "
+                "%llu retained (%llu bytes)\n",
+                (unsigned long long)c.submitted,
+                (unsigned long long)c.saved,
+                (unsigned long long)(c.shedQueueFull +
+                                     c.shedByteBudget +
+                                     c.shedShutdown),
+                (unsigned long long)c.admittedDegraded,
+                (unsigned long long)c.interrupted,
+                (unsigned long long)c.repairRecovered,
+                (unsigned long long)svc.store().retainedCount(),
+                (unsigned long long)svc.store().retainedBytes());
+    std::printf("%s\n", svc.snapshot().json().c_str());
+    return 0;
+}
+
 int
 usage()
 {
     std::fprintf(stderr,
                  "usage: qrec <list|run|record|replay|recover|inspect|"
-                 "analyze|verify|trace|stats|disasm> ...\n"
+                 "analyze|verify|trace|stats|serve|disasm> ...\n"
                  "  qrec run <workload> [-t N] [-s S] [--record] "
                  "[--stats]\n"
                  "  qrec record <workload> [-t N] [-s S] "
@@ -1115,6 +1149,16 @@ usage()
                  "  qrec trace -i file.qrec [-o trace.json]\n"
                  "  qrec stats -i file.qrec [--prom] "
                  "[--replay-jobs N] [-o out]\n"
+                 "  qrec stats --scrape PORT [-o out]\n"
+                 "  qrec serve -d dir [--seconds S] [--workers N] "
+                 "[--max-active N]\n"
+                 "             [--max-queued N] [--byte-budget B] "
+                 "[--cbuf-budget N]\n"
+                 "             [--retain N] [--retain-bytes B] "
+                 "[--faults spec]\n"
+                 "             [--fault-seed N] [--port P] "
+                 "[--drain-ms MS]\n"
+                 "             [--workloads a,b,c] [-t N] [-s S]\n"
                  "  qrec disasm <workload> [-t N] [-s S]\n");
     return 2;
 }
@@ -1149,6 +1193,8 @@ main(int argc, char **argv)
         return cmdTrace(parseArgs(argc, argv, 2, false));
     if (cmd == "stats")
         return cmdStats(parseArgs(argc, argv, 2, false));
+    if (cmd == "serve")
+        return cmdServe(argc, argv, 2);
     if (cmd == "disasm")
         return cmdDisasm(parseArgs(argc, argv, 2, true));
     return usage();

@@ -1,11 +1,13 @@
 #!/bin/sh
-# Race-check the parallel replayer: configure a ThreadSanitizer build,
-# compile, and run the FULL parallel-replay differential suite -- the
-# parallel/sequential differential tests, the concurrent-replay stress
-# tests (seeded QR_REPLAY_STRESS schedule perturbation), the degraded
-# fault differentials, the scheduler-primitive property tests, and an
-# end-to-end qrec record -> differential replay at 4 jobs. This is a
-# hard ci.sh gate: any reported race fails the script.
+# Race-check the concurrent engines: configure a ThreadSanitizer
+# build, compile, and run the FULL parallel-replay differential suite
+# -- the parallel/sequential differential tests, the concurrent-replay
+# stress tests (seeded QR_REPLAY_STRESS schedule perturbation), the
+# degraded fault differentials, the scheduler-primitive property tests
+# -- plus the qrecd record-service suite (worker shards, repair loop,
+# /metrics server), an end-to-end qrec differential replay at 4 jobs,
+# and a short chaos `qrec serve` run. This is a hard ci.sh gate: any
+# reported race fails the script.
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -17,7 +19,8 @@ cmake -B "$BUILD" -S . -DQR_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$(nproc)" \
     --target test_parallel_replay test_replay test_property \
-             test_concurrent_replay test_fault qrec
+             test_concurrent_replay test_fault test_service \
+             test_retention qrec
 
 # halt_on_error makes the first race fail the run instead of just
 # printing; ctest then reports it as a test failure.
@@ -26,7 +29,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 (
     cd "$BUILD"
     ctest --output-on-failure -R \
-        'ParallelReplay|ConcurrentReplay|RandomizedDifferential|DegradedReplay|ReadyQueue|CommitFence'
+        'ParallelReplay|ConcurrentReplay|RandomizedDifferential|DegradedReplay|ReadyQueue|CommitFence|Service\.|ArtifactStore\.|Retention\.|Recovery\.'
 )
 
 # End-to-end differential under TSan: the real CLI path (record, then
@@ -38,4 +41,10 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 QR_REPLAY_STRESS=7 "$BUILD/tools/qrec" replay --replay-jobs 4 \
     -i "$SMOKE_DIR/tsan.qrec" | grep -q "identical to sequential"
 
-echo "tsan: no races detected in the parallel replayer"
+# The record service's full thread zoo (worker shards, repair loop,
+# /metrics accept loop, interrupted drain) under chaos, TSan watching.
+"$BUILD/tools/qrec" serve -d "$SMOKE_DIR/spheres" --seconds 2 \
+    --workers 2 --retain 8 --port 0 \
+    --faults 'io-torn@0.05,drain-fail@0.1,cbuf-drop@0.02' > /dev/null
+
+echo "tsan: no races detected in the parallel replayer or qrecd"
