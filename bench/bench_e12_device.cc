@@ -1,0 +1,170 @@
+/**
+ * @file
+ * E12 -- device-class nondeterminism: the logged bus agents
+ * (`src/bus/`) must make DMA-style device writes replayable at the
+ * same bar as core execution. Four workloads, four claims:
+ *
+ *  - packet-ingest / storage-completion: every delivered completion is
+ *    logged, the serialized device section costs a handful of bytes
+ *    per event (the payload is regenerated from (seed, seq), never
+ *    stored), and sequential + parallel replay re-inject every event
+ *    with bit-identical digests.
+ *  - device-race-racy / device-race-clean: the device pass flags the
+ *    planted unsynchronized ring read on the racy twin and nothing on
+ *    the clean twin, which still shows device/core conflict edges
+ *    (they are all doorbell-ordered).
+ *
+ * The bench enforces each claim itself and exits nonzero on a
+ * violation; the rows also land in BENCH_DEVICE.json so
+ * tools/check_bench_device.cmake can re-derive them from the artifact
+ * in CI.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "analyze/race_analyzer.hh"
+#include "bus/device_stream.hh"
+#include "common.hh"
+#include "workloads/device.hh"
+
+using namespace qr;
+
+namespace
+{
+
+int failures = 0;
+
+void
+require(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "E12 FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+/** Record @p w with the one bus agent its device spec declares. */
+RecordResult
+recordDevice(const Workload &w, bool exact)
+{
+    RecorderConfig rcfg;
+    rcfg.rnr.exactShadow = exact;
+    BusAgentConfig a;
+    a.agentId = 0;
+    a.kind = w.device.kind;
+    a.ringBase = w.device.ringBase;
+    a.slotWords = w.device.slotWords;
+    a.slots = w.device.slots;
+    a.doorbell = w.device.doorbell;
+    a.count = w.device.count;
+    a.rate = w.device.rate;
+    rcfg.devices.push_back(a);
+    return recordProgram(w.program, {}, rcfg);
+}
+
+/** Serialized bytes the device section adds on top of the v2 layout. */
+std::uint64_t
+deviceSectionBytes(const SphereLogs &logs)
+{
+    SphereLogs trimmed = logs;
+    trimmed.devices.clear();
+    return logs.serialize().size() - trimmed.serialize().size();
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("E12", "device-class nondeterminism (logged bus agents)");
+    BenchJson json("DEVICE");
+
+    // --- consumers: log cost + replay injection -------------------------
+    for (const Workload &w : {makePacketIngest(benchThreads, benchScaleEff()),
+                              makeStorageCompletion(benchThreads,
+                                                    benchScaleEff())}) {
+        RecordResult rec = recordDevice(w, false);
+        const std::uint64_t events = rec.metrics.deviceEvents;
+        const std::uint64_t sectionBytes = deviceSectionBytes(rec.logs);
+        require(events == w.device.count,
+                "agent delivered every declared completion");
+        require(sectionBytes > 0, "device section serialized");
+
+        ReplayComparison cmp = compareReplay(w.program, rec.logs, 4);
+        require(cmp.sequential.ok, "sequential replay ok");
+        require(cmp.identical, "parallel replay bit-identical at 4 jobs");
+        require(cmp.sequential.injectedDeviceEvents == events,
+                "sequential replay injected every event");
+        require(cmp.parallel.replay.injectedDeviceEvents == events,
+                "parallel replay injected every event");
+
+        std::printf("%-20s %6llu events  %5llu B section (%4.1f B/event)"
+                    "  injected %llu/%llu  identical=%d\n",
+                    w.name.c_str(),
+                    static_cast<unsigned long long>(events),
+                    static_cast<unsigned long long>(sectionBytes),
+                    events ? static_cast<double>(sectionBytes) /
+                                 static_cast<double>(events)
+                           : 0.0,
+                    static_cast<unsigned long long>(
+                        cmp.sequential.injectedDeviceEvents),
+                    static_cast<unsigned long long>(events),
+                    cmp.identical ? 1 : 0);
+
+        json.add(w.name, "device.events",
+                 static_cast<double>(events));
+        json.add(w.name, "device.bus_txns",
+                 static_cast<double>(rec.metrics.deviceBusTxns));
+        json.add(w.name, "device.stream_bytes",
+                 static_cast<double>(sectionBytes));
+        json.add(w.name, "replay.injected",
+                 static_cast<double>(
+                     cmp.sequential.injectedDeviceEvents));
+        json.add(w.name, "replay.parallel_identical",
+                 cmp.identical ? 1.0 : 0.0);
+    }
+
+    // --- ground-truth twins: the device pass ----------------------------
+    std::printf("\n");
+    for (bool racy : {true, false}) {
+        Addr planted = 0;
+        Workload w = makeDeviceRaceDemo(2, racy, &planted);
+        RecordResult rec = recordDevice(w, /*exact=*/true);
+        RaceReport rep = analyzeSphere(rec.logs);
+
+        bool plantedOnly = true;
+        for (const DeviceRace &r : rep.deviceRaces)
+            if (r.line != planted)
+                plantedOnly = false;
+        if (racy) {
+            require(!rep.deviceRaces.empty(),
+                    "racy twin reports a device race");
+            require(plantedOnly,
+                    "racy twin races confined to the planted line");
+        } else {
+            require(rep.deviceRaces.empty(),
+                    "clean twin reports no device race");
+            require(rep.deviceEdges > 0,
+                    "clean twin still has (ordered) device edges");
+        }
+
+        std::printf("%-20s device races %zu  device edges %llu%s\n",
+                    w.name.c_str(), rep.deviceRaces.size(),
+                    static_cast<unsigned long long>(rep.deviceEdges),
+                    racy ? "  (planted line confirmed)" : "");
+
+        json.add(w.name, "analyze.device_races",
+                 static_cast<double>(rep.deviceRaces.size()));
+        json.add(w.name, "analyze.device_edges",
+                 static_cast<double>(rep.deviceEdges));
+    }
+
+    benchJsonEmit(json);
+    if (failures) {
+        std::fprintf(stderr, "E12: %d invariant(s) violated\n", failures);
+        return 1;
+    }
+    return 0;
+}

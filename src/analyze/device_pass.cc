@@ -1,0 +1,96 @@
+#include "analyze/device_pass.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+std::string
+DeviceRace::str() const
+{
+    return csprintf(
+        "agent %u event %llu line 0x%x vs tid %d chunk ts %llu (%s)",
+        agent, static_cast<unsigned long long>(event), line, tid,
+        static_cast<unsigned long long>(chunkTs),
+        preEvent ? "core access before the device write"
+                 : "unacquired access after the device write");
+}
+
+DevicePass::DevicePass(const std::vector<DeviceStream> &devices,
+                       std::uint32_t line_bytes)
+    : acquired_(devices.size())
+{
+    qr_assert(line_bytes && (line_bytes & (line_bytes - 1)) == 0,
+              "device pass needs a power-of-two line size");
+    const Addr mask = ~static_cast<Addr>(line_bytes - 1);
+    for (std::uint32_t a = 0; a < devices.size(); ++a) {
+        const DeviceStream &d = devices[a];
+        agents_.push_back(d.agentId);
+        events_ += d.events.size();
+        for (const DeviceEvent &ev : d.events) {
+            Addr first = ev.addr & mask;
+            Addr last = ev.words
+                            ? (ev.addr + 4u * ev.words - 1) & mask
+                            : first;
+            for (Addr line = first; line <= last; line += line_bytes)
+                payload_[line].push_back({a, ev.seq, ev.ts});
+            auto &owners = doorbell_[ev.doorbell & mask];
+            if (std::find(owners.begin(), owners.end(), a) ==
+                owners.end())
+                owners.push_back(a);
+        }
+    }
+}
+
+void
+DevicePass::chunk(Tid tid, Timestamp ts, const ChunkShadow &sh)
+{
+    // Acquires first: a poll and the payload reads it publishes often
+    // share a chunk, and the Lamport construction already guarantees a
+    // successful poll's chunk timestamps after the event it observed.
+    for (Addr line : sh.reads) {
+        auto db = doorbell_.find(line);
+        if (db == doorbell_.end())
+            continue;
+        for (std::uint32_t a : db->second) {
+            Timestamp &acq = acquired_[a][tid];
+            acq = std::max(acq, ts);
+        }
+    }
+
+    auto classify = [&](Addr line) {
+        auto pe = payload_.find(line);
+        if (pe == payload_.end())
+            return;
+        for (const LineEvent &le : pe->second) {
+            ++edges_;
+            bool ordered = false;
+            if (ts > le.ts) {
+                auto &acq = acquired_[le.agent];
+                auto it = acq.find(tid);
+                ordered = it != acq.end() && it->second > le.ts;
+            }
+            if (ordered)
+                continue;
+            if (!reported_.insert({tid, le.agent, line}).second)
+                continue;
+            DeviceRace r;
+            r.agent = le.agent;
+            r.event = le.seq;
+            r.tid = tid;
+            r.chunkTs = ts;
+            r.line = line;
+            r.preEvent = ts <= le.ts;
+            races_.push_back(r);
+        }
+    };
+    for (Addr line : sh.reads)
+        classify(line);
+    for (Addr line : sh.writes)
+        if (!std::binary_search(sh.reads.begin(), sh.reads.end(), line))
+            classify(line);
+}
+
+} // namespace qr

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Device/core conflict analysis: the pass both race analyzers run over
+ * a sphere's recorded bus-agent streams (v3 spheres; see
+ * bus/device_stream.hh).
+ *
+ * A device completion writes payload lines and then publishes itself
+ * through the agent's doorbell word. The only synchronization a guest
+ * has against the agent is *doorbell acquire*: read the doorbell line
+ * in a chunk that timestamps after the event (the Lamport construction
+ * guarantees a poll that observed the published value does). The pass
+ * therefore classifies every core access to a payload line of some
+ * event:
+ *
+ *  - ordered: the accessing thread previously (or in the same chunk --
+ *    doorbell poll and payload read often share a chunk) read the
+ *    agent's doorbell line in a chunk timestamped after the event;
+ *  - racy, post-event: the access timestamps after the event but no
+ *    doorbell acquire covers it -- the core consumed device data on
+ *    the strength of the recorded interleaving alone;
+ *  - racy, pre-event: the access timestamps before the event -- the
+ *    agent overwrote data a core was still using (the classic
+ *    ring-reuse hazard: nothing in this device model lets a core hold
+ *    a slot back, so a wrapping ring without consumption slack always
+ *    reports these).
+ *
+ * Doorbell lines themselves are synchronization carriers and exempt,
+ * exactly as futex words are exempt from the thread race analysis.
+ * The pass needs exact shadow sets (line addresses); without them a
+ * sphere's device streams are reported but not race-classified.
+ *
+ * Fed in (ts, tid) schedule order by the eager and the streaming
+ * analyzer alike, the pass is a pure function of the sequence, so both
+ * produce bit-identical device sections.
+ */
+
+#ifndef QR_ANALYZE_DEVICE_PASS_HH
+#define QR_ANALYZE_DEVICE_PASS_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/device_stream.hh"
+#include "rnr/chunk_record.hh"
+
+namespace qr
+{
+
+/** One unordered device/core access pair. */
+struct DeviceRace
+{
+    std::uint32_t agent = 0;  //!< device stream index
+    std::uint64_t event = 0;  //!< completion sequence number
+    Tid tid = invalidTid;     //!< the conflicting thread
+    Timestamp chunkTs = 0;    //!< timestamp of the conflicting chunk
+    Addr line = 0;            //!< the shared payload line
+    bool preEvent = false;    //!< core access timestamped before the event
+
+    bool operator==(const DeviceRace &o) const = default;
+
+    /** One-line description for reports. */
+    std::string str() const;
+};
+
+/** Streaming device/core conflict classifier; see the file comment. */
+class DevicePass
+{
+  public:
+    DevicePass(const std::vector<DeviceStream> &devices,
+               std::uint32_t line_bytes);
+
+    /** True when the sphere carries device streams to analyze. */
+    bool active() const { return events_ != 0 || !agents_.empty(); }
+
+    /**
+     * Feed one chunk's exact shadow sets; must be called in (ts, tid)
+     * schedule order (per-thread order is then program order).
+     */
+    void chunk(Tid tid, Timestamp ts, const ChunkShadow &sh);
+
+    std::uint64_t events() const { return events_; }
+    std::uint64_t edges() const { return edges_; }
+
+    /** Races in feed order, deduplicated by (tid, agent, line). */
+    const std::vector<DeviceRace> &races() const { return races_; }
+
+  private:
+    struct LineEvent
+    {
+        std::uint32_t agent;
+        std::uint64_t seq;
+        Timestamp ts;
+    };
+
+    /** payload line -> events writing it, per-agent ts order. */
+    std::unordered_map<Addr, std::vector<LineEvent>> payload_;
+    /** doorbell line -> agents publishing on it. */
+    std::unordered_map<Addr, std::vector<std::uint32_t>> doorbell_;
+    /** per agent: tid -> latest doorbell-reading chunk timestamp. */
+    std::vector<std::map<Tid, Timestamp>> acquired_;
+    std::set<std::tuple<Tid, std::uint32_t, Addr>> reported_;
+    std::vector<DeviceRace> races_;
+    std::vector<std::uint32_t> agents_; //!< agent ids (diagnostics)
+    std::uint64_t events_ = 0;
+    std::uint64_t edges_ = 0;
+};
+
+} // namespace qr
+
+#endif // QR_ANALYZE_DEVICE_PASS_HH

@@ -535,6 +535,23 @@ analyzeSphere(const SphereLogs &logs, std::uint32_t fixpoint_cap)
                              rep.vectorClocks[row + k]);
         }
     }
+
+    // Device streams (v3 spheres): one extra pass in the same schedule
+    // order, classifying device/core payload accesses against doorbell
+    // acquires. Needs line addresses, so it is exact-shadow only; a
+    // Bloom-only sphere still reports its event counts.
+    if (!logs.devices.empty()) {
+        DevicePass dev(logs.devices, logs.meta.lineBytes);
+        if (rep.exact)
+            for (std::uint32_t i = 0;
+                 i < static_cast<std::uint32_t>(rep.schedule.size());
+                 ++i)
+                dev.chunk(rep.schedule[i].tid, rep.schedule[i].ts,
+                          *index.shadows[i]);
+        rep.deviceEvents = dev.events();
+        rep.deviceEdges = dev.edges();
+        rep.deviceRaces = dev.races();
+    }
     return rep;
 }
 
@@ -741,6 +758,12 @@ analyzeSphereStreaming(SphereCursor &cur, const StreamOptions &opt,
         st.peakResidentBytes =
             std::max(st.peakResidentBytes, residentBytes());
     };
+
+    // Device pass, fed chunk by chunk in the same (ts, tid) order the
+    // eager analyzer uses, so both produce bit-identical device
+    // sections. The streams themselves are tiny and already
+    // materialized by the cursor's validating scan.
+    DevicePass devicePass(cur.devices(), cur.recordMeta().lineBytes);
 
     CursorChunk cc;
     std::uint32_t inBatch = 0;
@@ -1016,6 +1039,9 @@ analyzeSphereStreaming(SphereCursor &cur, const StreamOptions &opt,
                                       rec.ts, rec.reason});
         }
 
+        if (rep.exact && devicePass.active())
+            devicePass.chunk(rec.tid, rec.ts, *cc.shadow);
+
         nodes.emplace(id, std::move(node));
         lastOfSlot[static_cast<std::size_t>(slot)] = id;
         haveLast[static_cast<std::size_t>(slot)] = true;
@@ -1042,6 +1068,12 @@ analyzeSphereStreaming(SphereCursor &cur, const StreamOptions &opt,
     rep.racyLines.erase(
         std::unique(rep.racyLines.begin(), rep.racyLines.end()),
         rep.racyLines.end());
+
+    if (devicePass.active()) {
+        rep.deviceEvents = devicePass.events();
+        rep.deviceEdges = devicePass.edges();
+        rep.deviceRaces = devicePass.races();
+    }
 
     if (stats)
         *stats = st;
@@ -1135,6 +1167,27 @@ RaceReport::str() const
         out += "precision: n/a (no exact shadow sets in this sphere)\n";
     }
 
+    if (deviceEvents) {
+        out += csprintf("device streams: %llu completion event(s), "
+                        "%llu device/core payload-line pair(s)\n",
+                        static_cast<unsigned long long>(deviceEvents),
+                        static_cast<unsigned long long>(deviceEdges));
+        if (exact) {
+            out += csprintf("device races: %zu unordered device/core "
+                            "access(es)\n",
+                            deviceRaces.size());
+            for (std::size_t i = 0;
+                 i < deviceRaces.size() && i < maxListed; ++i)
+                out += "  device race " + deviceRaces[i].str() + "\n";
+            if (deviceRaces.size() > maxListed)
+                out += csprintf("  ... and %zu more\n",
+                                deviceRaces.size() - maxListed);
+        } else {
+            out += "device races: n/a (record with --exact-shadow to "
+                   "classify device/core accesses)\n";
+        }
+    }
+
     out += "terminations:";
     for (int r = 0; r < numChunkReasons; ++r)
         if (reasonCounts[r])
@@ -1173,11 +1226,22 @@ RaceReport::toBenchDoc(const std::string &workload) const
     add("unattributed_conflicts",
         static_cast<double>(audit.unattributed));
     add("false_conflict_rate", audit.falseConflictRate());
-    for (int r = 0; r < numChunkReasons; ++r)
+    if (deviceEvents) {
+        add("device_events", static_cast<double>(deviceEvents));
+        add("device_edges", static_cast<double>(deviceEdges));
+        add("device_races", static_cast<double>(deviceRaces.size()));
+    }
+    for (int r = 0; r < numChunkReasons; ++r) {
+        // Device is a synthetic in-memory reason; it never terminates
+        // a recorded chunk, and skipping it keeps pre-device bench
+        // documents byte-identical.
+        if (static_cast<ChunkReason>(r) == ChunkReason::Device)
+            continue;
         json.add(workload,
                  csprintf("term_%s",
                           chunkReasonName(static_cast<ChunkReason>(r))),
                  static_cast<double>(reasonCounts[r]));
+    }
     add("rsw_nonzero_frac", 1.0 - rswValues.zeroFraction());
     add("rsw_mean", rswValues.mean());
     add("chunk_size_mean", chunkSizes.mean());

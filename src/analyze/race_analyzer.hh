@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/device_pass.hh"
 #include "capo/sphere.hh"
 #include "sim/bench_json.hh"
 #include "sim/stats.hh"
@@ -112,6 +113,18 @@ struct RaceReport
     std::vector<ConflictEdge> races;
     /** Union of racy line addresses (sorted unique; exact mode only). */
     std::vector<Addr> racyLines;
+
+    // --- device streams (v3 spheres) --------------------------------------
+    std::uint64_t deviceEvents = 0; //!< recorded bus-agent completions
+    /** (chunk, event) payload-line conflict pairs, ordered or not. */
+    std::uint64_t deviceEdges = 0;
+    /**
+     * Unordered device/core accesses (analyze/device_pass.hh),
+     * deduplicated by (tid, agent, line). Classified only on
+     * exact-shadow spheres; on Bloom-only spheres the streams are
+     * counted but not race-judged.
+     */
+    std::vector<DeviceRace> deviceRaces;
 
     // --- precision / recording statistics ---------------------------------
     PrecisionAudit audit;

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <utility>
 
+#include "bus/device_stream.hh"
 #include "capo/log_store.hh"
 #include "capo/sphere.hh"
 #include "sim/logging.hh"
@@ -64,6 +66,12 @@ lintRules()
          "a shadow line address lies outside recorded guest memory"},
         {"QRV016", LintSeverity::Warning,
          "implausible Bloom/line geometry in the recording metadata"},
+        {"QRV017", LintSeverity::Warning,
+         "a device event writes payload or doorbell at or beyond "
+         "recorded guest memory"},
+        {"QRV018", LintSeverity::Warning,
+         "malformed device stream (duplicate agent id, unknown device "
+         "kind, zero-word event, or digest mismatch)"},
     };
     return rules;
 }
@@ -273,6 +281,65 @@ lintSphereBytes(const std::vector<std::uint8_t> &raw,
         add("QRV011",
             "metadata declares exact shadow sets but at least one "
             "thread carries none");
+
+    // Device streams (v3 spheres). The parser is deliberately lenient
+    // on device semantics -- it only enforces structure and timestamp
+    // monotonicity -- so the linter is where dangling writes and
+    // malformed streams surface.
+    {
+        std::set<std::uint32_t> agentIds;
+        for (std::size_t d = 0; d < logs.devices.size(); ++d) {
+            const DeviceStream &ds = logs.devices[d];
+            if (!agentIds.insert(ds.agentId).second)
+                add("QRV018",
+                    csprintf("device stream %zu reuses agent id %u",
+                             d, ds.agentId));
+            if (ds.kind == DeviceKind::None)
+                add("QRV018",
+                    csprintf("device stream %zu (agent %u) has no "
+                             "recognizable device kind",
+                             d, ds.agentId));
+            std::uint64_t zeroWords = 0, badDigest = 0, outside = 0;
+            Addr worst = 0;
+            for (const DeviceEvent &ev : ds.events) {
+                if (ev.words == 0)
+                    zeroWords++;
+                else if (ev.digest !=
+                         deviceEventDigest(ds.seed, ev.seq, ev.words))
+                    badDigest++;
+                if (logs.memBytes) {
+                    Addr end = ev.addr + 4ull * ev.words;
+                    if (end > logs.memBytes || ev.addr >= logs.memBytes)
+                        outside++, worst = std::max(worst, ev.addr);
+                    if (ev.doorbell + 4 > logs.memBytes)
+                        outside++,
+                            worst = std::max(worst, ev.doorbell);
+                }
+            }
+            if (zeroWords)
+                add("QRV018",
+                    csprintf("agent %u: %llu event(s) deliver zero "
+                             "payload words",
+                             ds.agentId,
+                             static_cast<unsigned long long>(
+                                 zeroWords)));
+            if (badDigest)
+                add("QRV018",
+                    csprintf("agent %u: %llu event digest(s) disagree "
+                             "with the seed/sequence payload function",
+                             ds.agentId,
+                             static_cast<unsigned long long>(
+                                 badDigest)));
+            if (outside)
+                add("QRV017",
+                    csprintf("agent %u: %llu payload/doorbell "
+                             "target(s) at or beyond guest memory "
+                             "(%u bytes); worst 0x%x",
+                             ds.agentId,
+                             static_cast<unsigned long long>(outside),
+                             logs.memBytes, worst));
+        }
+    }
 
     for (const auto &[tid, tl] : logs.threads) {
         if (!tl.shadows.empty()) {

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A DMA-style bus agent: device-class nondeterminism for the recorder.
+ *
+ * The RSM logs syscalls, signals, and RDTSC, but those are all inputs
+ * *pulled* by a core. A BusAgent models the other class: an
+ * asynchronous memory agent (NIC ingress DMA, storage completion
+ * engine) that *pushes* data into guest memory outside any core's
+ * chunk stream. Mechanically it is a first-class bus citizen:
+ *
+ *  - it writes guest memory directly (functional memory keeps values
+ *    current) and issues one BusRdX per distinct line it touches, so
+ *    every L1 invalidates stale copies and -- the part the recorder
+ *    cares about -- every core's RnrUnit snoops the transaction and
+ *    terminates any chunk whose filters conflict with the device
+ *    write, exactly as it would for a remote core's store;
+ *  - it participates in the Lamport protocol as a BusObserver with a
+ *    pseudo core id above all real cores: it merges every observed
+ *    request timestamp, and its own transactions merge every
+ *    observer's reply, so the timestamp it stamps on each completion
+ *    totally orders the event against all chunk commits (conflicting
+ *    chunks strictly before, dependent readers strictly after);
+ *  - each completion is logged as one DeviceEvent in a per-agent
+ *    DeviceStream (device_stream.hh) that rides the sphere artifact,
+ *    and replay injects the same writes at the same (ts, tid) anchor.
+ *
+ * Delivery is fully deterministic: one completion every `rate` machine
+ * cycles until `count` have been delivered, payload generated from the
+ * agent seed. Nondeterminism enters through *scheduling* -- where the
+ * completions land relative to the cores' chunks -- which is precisely
+ * what the log captures.
+ */
+
+#ifndef QR_BUS_BUS_AGENT_HH
+#define QR_BUS_BUS_AGENT_HH
+
+#include <cstdint>
+
+#include "bus/device_stream.hh"
+#include "mem/bus.hh"
+#include "sim/types.hh"
+
+namespace qr
+{
+
+class Memory;
+
+/** Static configuration of one bus agent (from the workload's device
+ *  spec plus the qrec --device-rate override). */
+struct BusAgentConfig
+{
+    std::uint32_t agentId = 0;
+    DeviceKind kind = DeviceKind::None;
+    std::uint64_t seed = 1;
+
+    Addr ringBase = 0;           //!< first payload slot (word-aligned)
+    std::uint32_t slotWords = 8; //!< payload words per completion
+    std::uint32_t slots = 8;     //!< ring capacity (slots reused mod N)
+    Addr doorbell = 0;           //!< completion-count word the agent
+                                 //!< publishes after each payload
+    std::uint64_t count = 0;     //!< completions to deliver in total
+    std::uint32_t rate = 64;     //!< machine cycles between deliveries
+    std::uint32_t lineBytes = 64;
+};
+
+/** Counters exported into the machine's metrics. */
+struct BusAgentStats
+{
+    std::uint64_t events = 0;  //!< completions delivered
+    std::uint64_t busTxns = 0; //!< BusRdX transactions issued
+};
+
+/**
+ * The record-side agent. Owned by the Machine when recording with a
+ * device armed; ticked once per machine cycle after the cores.
+ */
+class BusAgent : public BusObserver
+{
+  public:
+    /**
+     * @p requester must be unique on the bus (the machine passes
+     * numCores + agent index): the bus skips the requester's own id
+     * when broadcasting, and no real core may be skipped for an agent
+     * transaction.
+     */
+    BusAgent(const BusAgentConfig &cfg, Bus &bus, Memory &mem,
+             CoreId requester);
+
+    /** Advance one machine cycle; possibly deliver one completion. */
+    void tick(Tick now);
+
+    /** True once all `count` completions have been delivered. */
+    bool done() const { return stream_.events.size() >= cfg_.count; }
+
+    const BusAgentConfig &config() const { return cfg_; }
+    const DeviceStream &stream() const { return stream_; }
+    const BusAgentStats &stats() const { return stats_; }
+
+    // BusObserver: merge clocks with every remote transaction, like a
+    // core's RnR unit does (no filters, so never a conflict).
+    Timestamp observeRemote(const BusTxn &txn, Tick now) override;
+    CoreId observerId() const override { return requester_; }
+
+  private:
+    void deliver(Tick now);
+
+    BusAgentConfig cfg_;
+    Bus &bus_;
+    Memory &mem_;
+    CoreId requester_;
+    Timestamp clock_ = 0;
+    std::uint32_t cooldown_; //!< cycles until the next delivery
+    DeviceStream stream_;
+    BusAgentStats stats_;
+};
+
+} // namespace qr
+
+#endif // QR_BUS_BUS_AGENT_HH

@@ -1,0 +1,113 @@
+#include "bus/device_stream.hh"
+
+#include <algorithm>
+
+#include "fault/fault_plan.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace qr
+{
+
+const char *
+deviceKindName(DeviceKind k)
+{
+    switch (k) {
+      case DeviceKind::Nic: return "nic";
+      case DeviceKind::Disk: return "disk";
+      default: return "none";
+    }
+}
+
+DeviceKind
+deviceKindFromName(const std::string &name)
+{
+    if (name == "nic")
+        return DeviceKind::Nic;
+    if (name == "disk")
+        return DeviceKind::Disk;
+    return DeviceKind::None;
+}
+
+Word
+devicePayloadWord(std::uint64_t seed, std::uint64_t seq,
+                  std::uint32_t word_idx)
+{
+    // Three rounds of the splitmix64 finalizer keep distinct
+    // completions and distinct words of one completion uncorrelated.
+    return static_cast<Word>(
+        mix64(mix64(seed ^ mix64(seq + 1)) + word_idx));
+}
+
+std::uint64_t
+deviceEventDigest(std::uint64_t seed, std::uint64_t seq,
+                  std::uint32_t words)
+{
+    // Same FNV-1a constants as Memory::digest, folded word-wise over
+    // exactly what the event makes visible: the payload, then the
+    // doorbell value (seq + 1) that publishes it.
+    std::uint64_t h = 1469598103934665603ull;
+    auto fold = [&h](Word w) {
+        for (int b = 0; b < 4; ++b) {
+            h ^= (w >> (8 * b)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (std::uint32_t i = 0; i < words; ++i)
+        fold(devicePayloadWord(seed, seq, i));
+    fold(static_cast<Word>(seq + 1));
+    return h;
+}
+
+std::string
+DeviceFaultSummary::summary() const
+{
+    return csprintf("device-faults: dropped=%llu torn=%llu late=%llu",
+                    static_cast<unsigned long long>(dropped),
+                    static_cast<unsigned long long>(torn),
+                    static_cast<unsigned long long>(late));
+}
+
+DeviceFaultSummary
+applyDeviceReplayFaults(std::vector<DeviceStream> &streams,
+                        FaultPlan &plan)
+{
+    DeviceFaultSummary sum;
+    if (!plan.armed(FaultSite::DevDrop) &&
+        !plan.armed(FaultSite::DevTorn) &&
+        !plan.armed(FaultSite::DevLate)) {
+        return sum;
+    }
+    for (DeviceStream &stream : streams) {
+        std::vector<DeviceEvent> kept;
+        kept.reserve(stream.events.size());
+        for (DeviceEvent ev : stream.events) {
+            if (plan.fire(FaultSite::DevDrop)) {
+                ++sum.dropped;
+                continue;
+            }
+            if (ev.words > 1 && plan.fire(FaultSite::DevTorn)) {
+                // Torn transfer: some payload tail never lands, but
+                // the recorded digest still claims the full payload —
+                // injection recomputes and flags the mismatch.
+                ev.words = 1 + static_cast<std::uint32_t>(
+                    plan.draw(FaultSite::DevTorn, ev.words - 1));
+                ++sum.torn;
+            }
+            if (plan.fire(FaultSite::DevLate)) {
+                ev.ts += 1 + plan.draw(FaultSite::DevLate, 16);
+                ++sum.late;
+            }
+            kept.push_back(ev);
+        }
+        // dev-late can push an event past its successors; restore the
+        // strict per-agent monotonicity the schedule merge requires by
+        // carrying the shift forward.
+        for (std::size_t i = 1; i < kept.size(); ++i)
+            kept[i].ts = std::max(kept[i].ts, kept[i - 1].ts + 1);
+        stream.events = std::move(kept);
+    }
+    return sum;
+}
+
+} // namespace qr

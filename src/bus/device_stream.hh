@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The serialized artifact of a recorded bus agent: per-agent device
+ * event streams.
+ *
+ * A BusAgent (bus_agent.hh) is a DMA-like device that writes guest
+ * memory outside any core's chunk stream. Each completion it delivers
+ * is logged as one DeviceEvent: the payload target range, the doorbell
+ * word it publishes, a digest of everything it wrote, and a Lamport
+ * timestamp anchoring the event into the chunk commit order. Payload
+ * *data* is never stored -- it is a pure function of (agent seed,
+ * event sequence number, word index), regenerated at replay and
+ * cross-checked against the digest, so a device stream costs a few
+ * bytes per completion regardless of payload size.
+ *
+ * Replay integration: every event becomes a synthetic schedule record
+ * with a per-agent pseudo thread id above the range real threads can
+ * occupy (deviceTidBase > the sphere parser's thread-id ceiling), so
+ * the (ts, tid) total order, the chunk-dependence graph's program-order
+ * chains, and the parallel engine's commit fences all cover device
+ * injection without special cases.
+ */
+
+#ifndef QR_BUS_DEVICE_STREAM_HH
+#define QR_BUS_DEVICE_STREAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace qr
+{
+
+class FaultPlan;
+
+/** What class of device an agent models. */
+enum class DeviceKind : std::uint8_t
+{
+    None, //!< no device (workload declares no agent)
+    Nic,  //!< packet ingest: payload slots + ring head doorbell
+    Disk, //!< storage completion: CQ entries + head doorbell
+};
+
+/** @return spec-string name of a device kind ("nic"/"disk"). */
+const char *deviceKindName(DeviceKind k);
+
+/** Parse "nic"/"disk"; DeviceKind::None on anything else. */
+DeviceKind deviceKindFromName(const std::string &name);
+
+/**
+ * One logged device completion. The agent wrote @p words payload words
+ * at @p addr, then published the completion by writing its sequence
+ * number + 1 to the @p doorbell word; @p ts is the agent's Lamport
+ * clock after merging every snooped core's response, so sorting all
+ * chunk records and device events by (ts, tid) reproduces the recorded
+ * interleaving exactly (see src/bus/README.md for the proof sketch).
+ */
+struct DeviceEvent
+{
+    Timestamp ts = 0;
+    Addr addr = 0;            //!< payload base (word-aligned)
+    std::uint32_t words = 0;  //!< payload length in words
+    Addr doorbell = 0;        //!< published completion-count word
+    std::uint64_t digest = 0; //!< FNV-1a over payload words + doorbell
+
+    /**
+     * Completion sequence number: the payload-generation input and the
+     * doorbell value minus one. Equal to the event's stream index, so
+     * it is derived at parse time rather than serialized -- but kept
+     * explicit on the in-memory event so a dev-drop replay fault can
+     * remove an event without corrupting its successors' payloads.
+     */
+    std::uint64_t seq = 0;
+
+    bool operator==(const DeviceEvent &o) const = default;
+};
+
+/** The recorded event stream of one bus agent. */
+struct DeviceStream
+{
+    std::uint32_t agentId = 0;
+    DeviceKind kind = DeviceKind::None;
+    std::uint64_t seed = 1; //!< payload-generation seed
+    std::vector<DeviceEvent> events;
+
+    bool operator==(const DeviceStream &o) const = default;
+};
+
+/**
+ * First pseudo thread id used for device agents in replay schedules.
+ * Strictly above the sphere parser's thread-id ceiling (1 << 20), so a
+ * synthetic device record can never collide with a logged thread.
+ */
+constexpr Tid deviceTidBase = (1 << 20) + 1;
+
+/** Pseudo thread id of agent stream index @p agent_idx. */
+constexpr Tid
+deviceTidFor(std::size_t agent_idx)
+{
+    return deviceTidBase + static_cast<Tid>(agent_idx);
+}
+
+/** True iff @p tid is a device pseudo thread id. */
+constexpr bool
+isDeviceTid(Tid tid)
+{
+    return tid >= deviceTidBase;
+}
+
+/** Agent stream index of a device pseudo thread id. */
+constexpr std::size_t
+deviceIndexOf(Tid tid)
+{
+    return static_cast<std::size_t>(tid - deviceTidBase);
+}
+
+/**
+ * Payload word @p word_idx of completion @p seq under @p seed: the
+ * pure function both the recording agent and replay injection evaluate
+ * (splitmix64 finalizer over the triple), so payloads never need to be
+ * stored to be reproduced bit-identically.
+ */
+Word devicePayloadWord(std::uint64_t seed, std::uint64_t seq,
+                       std::uint32_t word_idx);
+
+/**
+ * FNV-1a digest of one completion's visible writes: the payload words
+ * of (@p seed, @p seq), then the doorbell value seq + 1. What the
+ * agent logs and what replay injection verifies before committing.
+ */
+std::uint64_t deviceEventDigest(std::uint64_t seed, std::uint64_t seq,
+                                std::uint32_t words);
+
+/** Aggregate outcome of applyDeviceReplayFaults. */
+struct DeviceFaultSummary
+{
+    std::uint64_t dropped = 0; //!< completions removed from the stream
+    std::uint64_t torn = 0;    //!< payloads truncated (digest kept)
+    std::uint64_t late = 0;    //!< anchors pushed to a later timestamp
+
+    bool any() const { return dropped || torn || late; }
+
+    /** One-line "device-faults: ..." report. */
+    std::string summary() const;
+};
+
+/**
+ * Replay-side device fault injection: consult the dev-drop / dev-torn /
+ * dev-late sites of @p plan once per recorded completion (in stream
+ * order, single-threaded) and mutate @p streams accordingly *before*
+ * any replay or graph build runs, so the outcome is identical at any
+ * worker count:
+ *
+ *  - dev-drop removes the completion (its memory writes never happen;
+ *    strict replay reports the digest mismatch, degraded replay
+ *    completes and reports differing digests),
+ *  - dev-torn truncates the payload while keeping the recorded digest,
+ *    so injection detects the tear as a divergence at the anchor,
+ *  - dev-late pushes the anchor later by a drawn delta (subsequent
+ *    events are pushed along to keep per-agent timestamps strictly
+ *    monotonic), replaying the completion after chunks that recorded
+ *    against its data.
+ */
+DeviceFaultSummary applyDeviceReplayFaults(
+    std::vector<DeviceStream> &streams, FaultPlan &plan);
+
+} // namespace qr
+
+#endif // QR_BUS_DEVICE_STREAM_HH

@@ -72,6 +72,73 @@ getLineSet(const Bytes &in, std::size_t &pos, int shift)
     return lines;
 }
 
+void
+put64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+template <class Bytes>
+std::uint64_t
+get64From(const Bytes &in, std::size_t &pos)
+{
+    if (in.size() - pos < 8)
+        parseFail("sphere log truncated inside a 64-bit field");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(in[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+}
+
+/**
+ * Parse the v3 trailing device section into @p devices. Timestamps
+ * must be strictly monotonic per agent (the schedule merge depends on
+ * it); semantic oddities (duplicate agent ids, zero-word events, bad
+ * kinds) decode fine here and are the verifier's QRV018 business.
+ */
+template <class Bytes>
+void
+parseDeviceSection(const Bytes &in, std::size_t &pos,
+                   std::vector<DeviceStream> &devices)
+{
+    std::uint64_t nagents = getVarintFrom(in, pos);
+    if (nagents > in.size() - pos)
+        parseFail("device-stream count %llu exceeds log tail",
+                  static_cast<unsigned long long>(nagents));
+    devices.reserve(nagents);
+    for (std::uint64_t i = 0; i < nagents; ++i) {
+        DeviceStream d;
+        d.agentId =
+            static_cast<std::uint32_t>(getVarintFrom(in, pos));
+        d.kind = static_cast<DeviceKind>(getVarintFrom(in, pos));
+        d.seed = get64From(in, pos);
+        std::uint64_t nev = getVarintFrom(in, pos);
+        if (nev > in.size() - pos)
+            parseFail("device-event count %llu exceeds log tail",
+                      static_cast<unsigned long long>(nev));
+        d.events.reserve(nev);
+        Timestamp prev = 0;
+        for (std::uint64_t j = 0; j < nev; ++j) {
+            DeviceEvent ev;
+            ev.ts = prev + getVarintFrom(in, pos);
+            if (j > 0 && ev.ts <= prev)
+                parseFail("agent %u: non-monotonic device-event "
+                          "timestamps in sphere log", d.agentId);
+            ev.addr = static_cast<Addr>(getVarintFrom(in, pos));
+            ev.words =
+                static_cast<std::uint32_t>(getVarintFrom(in, pos));
+            ev.doorbell = static_cast<Addr>(getVarintFrom(in, pos));
+            ev.digest = get64From(in, pos);
+            ev.seq = j;
+            prev = ev.ts;
+            d.events.push_back(ev);
+        }
+        devices.push_back(std::move(d));
+    }
+}
+
 } // namespace
 
 bool
@@ -140,14 +207,18 @@ SphereLogs::serialize() const
 {
     // v2 payload (sync points, shadow sets, recording metadata) forces
     // the new format; plain spheres keep the legacy byte stream so old
-    // artifacts and new ones hash identically.
-    bool v2 = meta != RecordMeta{};
+    // artifacts and new ones hash identically. Device streams bump the
+    // version once more: v3 is the v2 layout plus a trailing device
+    // section, chosen only when an agent actually recorded something.
+    bool v3 = !devices.empty();
+    bool v2 = v3 || meta != RecordMeta{};
     for (const auto &[tid, logs] : threads)
         if (!logs.syncs.empty() || !logs.shadows.empty())
             v2 = true;
 
     std::vector<std::uint8_t> out;
-    const char magic[4] = {'Q', 'R', 'S', v2 ? '2' : '1'};
+    const char magic[4] = {'Q', 'R', 'S',
+                           v3 ? '3' : (v2 ? '2' : '1')};
     out.insert(out.end(), magic, magic + 4);
     putVarint(out, sphereId);
     putVarint(out, memBytes);
@@ -188,6 +259,24 @@ SphereLogs::serialize() const
             putLineSet(out, sh.writes, shift);
         }
     }
+    if (v3) {
+        putVarint(out, devices.size());
+        for (const DeviceStream &d : devices) {
+            putVarint(out, d.agentId);
+            putVarint(out, static_cast<std::uint64_t>(d.kind));
+            put64(out, d.seed);
+            putVarint(out, d.events.size());
+            Timestamp prev = 0;
+            for (const DeviceEvent &ev : d.events) {
+                putVarint(out, ev.ts - prev);
+                putVarint(out, ev.addr);
+                putVarint(out, ev.words);
+                putVarint(out, ev.doorbell);
+                put64(out, ev.digest);
+                prev = ev.ts;
+            }
+        }
+    }
     return out;
 }
 
@@ -195,25 +284,27 @@ namespace
 {
 
 /**
- * Parse the sphere header (magic, ids, v2 metadata) into @p s.
- * @return true for the v2 format. Throws on anything unusable.
+ * Parse the sphere header (magic, ids, v2+ metadata) into @p s.
+ * @return the format version (1, 2, or 3). Throws on anything
+ * unusable.
  */
 template <class Bytes>
-bool
+int
 parseSphereHeader(const Bytes &in, std::size_t &pos, SphereLogs &s)
 {
     if (in.size() < 4 || in[0] != 'Q' || in[1] != 'R' || in[2] != 'S')
         parseFail("bad sphere log magic");
-    if (in[3] != '1' && in[3] != '2') {
+    if (in[3] < '1' || in[3] > '3') {
         // Distinguish "not a sphere at all" from "a sphere written by a
         // newer tool": the latter is common user input worth a precise
         // message.
-        if (in[3] > '2' && in[3] <= '9')
+        if (in[3] > '3' && in[3] <= '9')
             parseFail("sphere log version '%c' is from the future "
-                      "(this build reads versions 1-2)", in[3]);
+                      "(this build reads versions 1-3)", in[3]);
         parseFail("bad sphere log magic");
     }
-    bool v2 = in[3] == '2';
+    int version = in[3] - '0';
+    bool v2 = version >= 2;
     pos = 4;
     s.sphereId = static_cast<std::uint32_t>(getVarintFrom(in, pos));
     s.memBytes = static_cast<std::uint32_t>(getVarintFrom(in, pos));
@@ -236,7 +327,7 @@ parseSphereHeader(const Bytes &in, std::size_t &pos, SphereLogs &s)
             parseFail("implausible Bloom geometry %u/%u in sphere log",
                       s.meta.bloomBits, s.meta.bloomHashes);
     }
-    return v2;
+    return version;
 }
 
 /**
@@ -329,7 +420,8 @@ deserializeImpl(const Bytes &in)
 {
     SphereLogs s;
     std::size_t pos = 0;
-    bool v2 = parseSphereHeader(in, pos, s);
+    int version = parseSphereHeader(in, pos, s);
+    bool v2 = version >= 2;
     int shift = lineShift(s.meta.lineBytes);
     std::uint64_t nthreads = getVarintFrom(in, pos);
     for (std::uint64_t i = 0; i < nthreads; ++i) {
@@ -339,6 +431,8 @@ deserializeImpl(const Bytes &in)
         if (!s.threads.emplace(tid, std::move(logs)).second)
             parseFail("duplicate thread %d in sphere log", tid);
     }
+    if (version >= 3)
+        parseDeviceSection(in, pos, s.devices);
     if (pos != in.size())
         parseFail("trailing bytes in sphere log");
     return s;
@@ -366,7 +460,8 @@ SphereLogs::deserializeTolerant(const std::vector<std::uint8_t> &in)
     std::size_t pos = 0;
     // An unusable header means there is nothing to salvage: let the
     // ParseError propagate to the caller.
-    bool v2 = parseSphereHeader(in, pos, s);
+    int version = parseSphereHeader(in, pos, s);
+    bool v2 = version >= 2;
     int shift = lineShift(s.meta.lineBytes);
 
     ThreadLogs *open = nullptr; //!< thread being parsed (fresh entry)
@@ -385,6 +480,8 @@ SphereLogs::deserializeTolerant(const std::vector<std::uint8_t> &in)
             open = nullptr;
             salvage.threadsSalvaged++;
         }
+        if (version >= 3)
+            parseDeviceSection(in, pos, s.devices);
         if (pos != in.size())
             parseFail("trailing bytes in sphere log");
         salvage.complete = true;
@@ -449,7 +546,8 @@ SphereCursor::SphereCursor(PayloadView payload) : payload_(payload)
 {
     SphereLogs hdr;
     std::size_t pos = 0;
-    v2_ = parseSphereHeader(payload_, pos, hdr);
+    int version = parseSphereHeader(payload_, pos, hdr);
+    v2_ = version >= 2;
     meta_ = hdr.meta;
     sphereId_ = hdr.sphereId;
     memBytes_ = hdr.memBytes;
@@ -553,6 +651,8 @@ SphereCursor::SphereCursor(PayloadView payload) : payload_(payload)
         threads_.push_back(std::move(t));
         scanEvict(pos);
     }
+    if (version >= 3)
+        parseDeviceSection(payload_, pos, devices_);
     if (pos != payload_.size())
         parseFail("trailing bytes in sphere log");
 

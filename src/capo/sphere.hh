@@ -16,6 +16,7 @@
 #include <map>
 #include <vector>
 
+#include "bus/device_stream.hh"
 #include "capo/input_log.hh"
 #include "capo/payload_view.hh"
 #include "rnr/chunk_record.hh"
@@ -94,6 +95,12 @@ struct SphereLogs
 
     std::map<Tid, ThreadLogs> threads;
 
+    /**
+     * Recorded bus-agent event streams (v3 format; empty on spheres
+     * recorded without devices, which keep their legacy encoding).
+     */
+    std::vector<DeviceStream> devices;
+
     bool operator==(const SphereLogs &o) const = default;
 
     /** True iff every thread carries exact shadow sets. */
@@ -138,7 +145,9 @@ struct SphereLogs
      * Serialize the whole sphere to a byte stream. Spheres carrying v2
      * payload (sync points, shadow sets, or non-default RecordMeta) use
      * the "QRS2" format; plain spheres keep the byte-identical legacy
-     * "QRS1" encoding.
+     * "QRS1" encoding. Spheres with device streams use "QRS3" (the v2
+     * layout plus a trailing device section), so pre-device spheres
+     * serialize byte-identically to what older builds wrote.
      */
     std::vector<std::uint8_t> serialize() const;
 
@@ -230,6 +239,13 @@ class SphereCursor
     const std::vector<SyncPoint> &syncsOf(std::size_t slot) const;
 
     /**
+     * Device event streams (v3 spheres; empty otherwise). Unlike chunk
+     * logs these are a few bytes per completion, so the cursor
+     * materializes them fully during the validating scan.
+     */
+    const std::vector<DeviceStream> &devices() const { return devices_; }
+
+    /**
      * Decode the chunk timestamps of @p slot in program order,
      * invoking fn(perThreadIndex, ts) until it returns false. Used by
      * the analyzer's sync-source resolution prepass; independent of
@@ -288,6 +304,7 @@ class SphereCursor
     std::uint32_t emitted_ = 0;
     std::vector<ThreadState> threads_;
     std::vector<Tid> tids_;
+    std::vector<DeviceStream> devices_;
 };
 
 } // namespace qr

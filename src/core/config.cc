@@ -35,6 +35,20 @@ validate(const MachineConfig &mcfg, const RecorderConfig &rcfg)
             fatal("bad fault spec: %s", e.what());
         }
     }
+    for (const BusAgentConfig &d : rcfg.devices) {
+        if (d.kind == DeviceKind::None)
+            fatal("bus agent %u has no device kind", d.agentId);
+        if (d.rate == 0)
+            fatal("bus agent %u: delivery rate must be nonzero",
+                  d.agentId);
+        if (d.slots == 0 || d.slotWords == 0)
+            fatal("bus agent %u: empty ring geometry", d.agentId);
+        std::uint64_t ringEnd = d.ringBase +
+            std::uint64_t(d.slots) * d.slotWords * 4;
+        if (ringEnd > mcfg.memBytes || d.doorbell + 4 > mcfg.memBytes)
+            fatal("bus agent %u: ring or doorbell outside guest "
+                  "memory", d.agentId);
+    }
 }
 
 } // namespace qr

@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "bus/bus_agent.hh"
 #include "capo/cost_model.hh"
 #include "cpu/core.hh"
 #include "kernel/kernel.hh"
@@ -58,6 +60,9 @@ struct RecorderConfig
     CbufParams cbuf;
     CostModel costs;
     FaultConfig faults;
+
+    /** Bus agents to arm (empty: no device, legacy sphere format). */
+    std::vector<BusAgentConfig> devices;
 };
 
 /** Validate a configuration; fatal() on user error. */

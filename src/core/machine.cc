@@ -69,6 +69,17 @@ Machine::Machine(const MachineConfig &mcfg_, const RecorderConfig &rcfg_,
         rsm = std::make_unique<Rsm>(rcfg.costs, _sphereLogs, corePtrs,
                                     cbufPtrs, faults.get());
         kernel->setRsm(rsm.get());
+        // Bus agents are record-only machinery: replay reproduces
+        // their writes by injection, and baseline machines have no
+        // chunk stream for the events to anchor against.
+        for (std::size_t i = 0; i < rcfg.devices.size(); ++i) {
+            BusAgentConfig acfg = rcfg.devices[i];
+            acfg.lineBytes = rcfg.rnr.lineBytes;
+            agents.push_back(std::make_unique<BusAgent>(
+                acfg, bus, mem,
+                mcfg.numCores + static_cast<CoreId>(i)));
+            bus.attachObserver(agents.back().get());
+        }
     }
 }
 
@@ -80,6 +91,8 @@ Machine::finalizeRecording()
     if (rsm && !finalized) {
         finalized = true;
         rsm->finalize(cycle);
+        for (const auto &agent : agents)
+            _sphereLogs.devices.push_back(agent->stream());
     }
 }
 
@@ -97,6 +110,8 @@ Machine::step()
     kernel->tick(cycle);
     for (auto &core : cores)
         core->tick(cycle);
+    for (auto &agent : agents)
+        agent->tick(cycle);
     cycle++;
     return true;
 }
@@ -159,6 +174,11 @@ Machine::collectMetrics(Tick cycles) const
     for (const auto &cbuf : cbufs) {
         m.cbufBytes += cbuf->stats().bytesWritten;
         m.gapChunks += cbuf->stats().gapRecords;
+    }
+
+    for (const auto &agent : agents) {
+        m.deviceEvents += agent->stats().events;
+        m.deviceBusTxns += agent->stats().busTxns;
     }
 
     const KernelStats &ks = kernel->stats();

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "bus/bus_agent.hh"
 #include "capo/rsm.hh"
 #include "capo/sphere.hh"
 #include "core/config.hh"
@@ -102,6 +103,13 @@ class Machine
     /** The fault plan driving injected faults (null when disarmed). */
     const FaultPlan *faultPlan() const { return faults.get(); }
 
+    /** Armed bus agents (empty unless recording with devices). */
+    const std::vector<std::unique_ptr<BusAgent>> &
+    busAgents() const
+    {
+        return agents;
+    }
+
     const MachineConfig &config() const { return mcfg; }
 
   private:
@@ -120,6 +128,7 @@ class Machine
     std::vector<std::unique_ptr<Cbuf>> cbufs;
     std::vector<std::unique_ptr<RnrUnit>> rnrUnits;
     std::vector<std::unique_ptr<Core>> cores;
+    std::vector<std::unique_ptr<BusAgent>> agents;
     OutputMap output;
     std::unique_ptr<Kernel> kernel;
     SphereLogs _sphereLogs;

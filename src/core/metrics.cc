@@ -121,6 +121,14 @@ RunMetrics::statsText() const
         put("fault.delayed_signals", delayedCbufSignals,
             "drain signals delivered late");
     }
+    // Device counters follow the fault convention: silent on runs
+    // without an agent so pre-device stats dumps stay byte-identical.
+    if (deviceEvents || deviceBusTxns) {
+        put("device.events", deviceEvents,
+            "bus-agent completions delivered");
+        put("device.bus_txns", deviceBusTxns,
+            "bus-agent coherence transactions");
+    }
     put("capo.cbuf_drains", cbufDrains, "CBUF drain interrupts");
     put("capo.input_records", inputRecords, "input-log records");
     put("capo.overhead_cycles", recordingOverheadCycles,

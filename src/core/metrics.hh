@@ -111,6 +111,10 @@ struct RunMetrics
     std::uint64_t cbufDrains = 0;
     std::uint64_t cbufForcedDrains = 0;
 
+    // --- bus agents (all zero without --device) ---------------------------
+    std::uint64_t deviceEvents = 0;  //!< completions delivered
+    std::uint64_t deviceBusTxns = 0; //!< agent coherence transactions
+
     // --- fault injection (all zero on fault-free runs) --------------------
     std::uint64_t droppedChunks = 0;      //!< records lost at the CBUF
     std::uint64_t gapChunks = 0;          //!< gap markers in the logs

@@ -19,6 +19,9 @@ faultSiteName(FaultSite s)
       case FaultSite::IoShort: return "io-short";
       case FaultSite::IoTorn: return "io-torn";
       case FaultSite::IoEnospc: return "io-enospc";
+      case FaultSite::DevDrop: return "dev-drop";
+      case FaultSite::DevTorn: return "dev-torn";
+      case FaultSite::DevLate: return "dev-late";
       default: return "?";
     }
 }

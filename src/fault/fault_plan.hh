@@ -39,6 +39,9 @@ enum class FaultSite : std::uint8_t
     IoShort,   //!< log write stops short (partial final segment)
     IoTorn,    //!< log write torn mid-segment (crash before seal)
     IoEnospc,  //!< log write aborted, no space (old artifact intact)
+    DevDrop,   //!< replay: device completion never delivered
+    DevTorn,   //!< replay: device payload truncated mid-transfer
+    DevLate,   //!< replay: device completion anchored late
     NumSites,
 };
 

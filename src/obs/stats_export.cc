@@ -207,6 +207,12 @@ snapshotMetrics(const RunMetrics &m)
               "failed RSM drain attempts");
     s.counter("fault.delayed_signals", m.delayedCbufSignals,
               "drain signals delivered late");
+    if (m.deviceEvents || m.deviceBusTxns) {
+        s.counter("device.events", m.deviceEvents,
+                  "bus-agent completions delivered");
+        s.counter("device.bus_txns", m.deviceBusTxns,
+                  "bus-agent coherence transactions");
+    }
     s.counter("capo.cbuf_drains", m.cbufDrains,
               "CBUF drain interrupts");
     s.counter("capo.cbuf_forced_drains", m.cbufForcedDrains,
@@ -280,6 +286,15 @@ snapshotSphere(const SphereLogs &logs)
               "gap markers in the logs");
     s.counter("capo.input_records", inputRecords,
               "input-log records");
+    if (!logs.devices.empty()) {
+        std::uint64_t devEvents = 0;
+        for (const DeviceStream &d : logs.devices)
+            devEvents += d.events.size();
+        s.counter("sphere.device_streams", logs.devices.size(),
+                  "bus-agent event streams (v3 spheres)");
+        s.counter("device.events", devEvents,
+                  "recorded bus-agent completions");
+    }
     s.counter("log.memory_bytes", logs.memoryLogBytes(),
               "packed chunk-log bytes");
     s.counter("log.input_bytes", logs.inputLogBytes(),

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "replay/log_reader.hh"
 #include "sim/logging.hh"
 
 namespace qr
@@ -27,7 +28,7 @@ buildChunkGraph(const Program &prog, const SphereLogs &logs,
                 const ReplayCostModel &costs, ReplayMode mode)
 {
     ChunkGraph g;
-    std::vector<ChunkRecord> schedule = logs.chunksByTimestamp();
+    std::vector<ChunkRecord> schedule = buildSchedule(logs);
     g.nodes.reserve(schedule.size());
 
     // Analysis replay: sequential, recording each chunk's shared-memory

@@ -1,12 +1,50 @@
 #include "replay/log_reader.hh"
 
+#include <algorithm>
+
+#include "bus/device_stream.hh"
+
 namespace qr
 {
 
 std::vector<ChunkRecord>
 buildSchedule(const SphereLogs &logs)
 {
-    return logs.chunksByTimestamp();
+    std::vector<ChunkRecord> all = logs.chunksByTimestamp();
+    if (logs.devices.empty())
+        return all;
+
+    // Each recorded device event becomes one synthetic record under
+    // its agent's pseudo tid, merged into the same (ts, tid) order.
+    // The agent's Lamport stamp already orders the event after every
+    // chunk it terminated and before every chunk that read its data;
+    // pseudo tids above all real tids break pure ties in the device's
+    // favor of neither (tied records are provably concurrent).
+    for (std::size_t i = 0; i < logs.devices.size(); ++i) {
+        const DeviceStream &d = logs.devices[i];
+        Timestamp prev = 0;
+        for (std::size_t j = 0; j < d.events.size(); ++j) {
+            const DeviceEvent &ev = d.events[j];
+            if (j > 0 && ev.ts <= prev)
+                parseFail("agent %u: non-monotonic device-event "
+                          "timestamps", d.agentId);
+            prev = ev.ts;
+            ChunkRecord rec;
+            rec.ts = ev.ts;
+            rec.size = ev.words;
+            rec.rsw = 0;
+            rec.reason = ChunkReason::Device;
+            rec.tid = deviceTidFor(i);
+            all.push_back(rec);
+        }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const ChunkRecord &a, const ChunkRecord &b) {
+                  if (a.ts != b.ts)
+                      return a.ts < b.ts;
+                  return a.tid < b.tid;
+              });
+    return all;
 }
 
 } // namespace qr

@@ -25,6 +25,14 @@ DegradedReplay::summary() const
         static_cast<unsigned long long>(gapChunks),
         static_cast<unsigned long long>(divergences),
         static_cast<unsigned long long>(threadsIncomplete));
+    if (deviceInjected || deviceSkipped || deviceDivergences) {
+        s += csprintf(" device-injected=%llu device-skipped=%llu "
+                      "device-divergences=%llu",
+                      static_cast<unsigned long long>(deviceInjected),
+                      static_cast<unsigned long long>(deviceSkipped),
+                      static_cast<unsigned long long>(
+                          deviceDivergences));
+    }
     if (!firstDivergence.empty())
         s += csprintf(" first-divergence=[%s]", firstDivergence.c_str());
     return s;
@@ -38,6 +46,8 @@ ReplayCore::ThreadStateTable::ThreadStateTable(const SphereLogs &logs)
         RThread &t = slots[tid];
         t.ctx.tid = tid;
     }
+    for (std::size_t i = 0; i < logs.devices.size(); ++i)
+        devices[deviceTidFor(i)];
 }
 
 ReplayCore::RThread *
@@ -47,12 +57,20 @@ ReplayCore::ThreadStateTable::find(Tid tid)
     return it == slots.end() ? nullptr : &it->second;
 }
 
+ReplayCore::DevState *
+ReplayCore::ThreadStateTable::findDevice(Tid tid)
+{
+    auto it = devices.find(tid);
+    return it == devices.end() ? nullptr : &it->second;
+}
+
 void
 ReplayCore::WorkerContext::accumulateInto(ReplayResult &r) const
 {
     r.replayedChunks += replayedChunks;
     r.replayedInstrs += replayedInstrs;
     r.injectedRecords += injectedRecords;
+    r.injectedDeviceEvents += injectedDeviceEvents;
     r.modeledCycles += modeledCycles;
 }
 
@@ -354,9 +372,112 @@ ReplayCore::execInstr(WorkerContext &wc, Tid tid, RThread &t,
 }
 
 void
+ReplayCore::injectDeviceStrict(WorkerContext &wc,
+                               const ChunkRecord &rec, DevState &dv,
+                               ChunkTrace *trace)
+{
+    wc.trace = trace;
+    std::size_t agentIdx = deviceIndexOf(rec.tid);
+    if (agentIdx >= logs.devices.size())
+        diverge("device record for unknown agent stream %zu", agentIdx);
+    const DeviceStream &d = logs.devices[agentIdx];
+    if (dv.next >= d.events.size())
+        diverge("agent %u: schedule has more device records than "
+                "logged events", d.agentId);
+    const DeviceEvent &ev = d.events[dv.next];
+    if (ev.ts != rec.ts)
+        diverge("agent %u: device record ts %llu does not match "
+                "logged event ts %llu",
+                d.agentId, static_cast<unsigned long long>(rec.ts),
+                static_cast<unsigned long long>(ev.ts));
+
+    // The payload is regenerated, never stored: recompute the digest
+    // of what injection is about to write and hold it against the
+    // recorded one, so a torn or corrupted event surfaces here -- at
+    // the anchor -- rather than as an end-of-replay digest mismatch.
+    if (deviceEventDigest(d.seed, ev.seq, ev.words) != ev.digest)
+        diverge("agent %u: device event seq %llu digest mismatch "
+                "(torn transfer?)",
+                d.agentId,
+                static_cast<unsigned long long>(ev.seq));
+    if (std::uint64_t(ev.addr) + 4ull * ev.words > logs.memBytes ||
+        std::uint64_t(ev.doorbell) + 4 > logs.memBytes) {
+        diverge("agent %u: device event seq %llu writes outside guest "
+                "memory",
+                d.agentId,
+                static_cast<unsigned long long>(ev.seq));
+    }
+
+    // Same visibility order as the recording agent: payload words,
+    // then the doorbell publication. Routed through memWrite so
+    // analysis replays hand the write set to the chunk graph (which is
+    // how device edges join the fence plan under parallel replay).
+    for (std::uint32_t w = 0; w < ev.words; ++w)
+        memWrite(wc, ev.addr + 4u * w,
+                 devicePayloadWord(d.seed, ev.seq, w));
+    memWrite(wc, ev.doorbell, static_cast<Word>(ev.seq + 1));
+
+    dv.next++;
+    dv.injected++;
+    wc.injectedDeviceEvents++;
+    Tick cost = costs.perChunk +
+                static_cast<Tick>(ev.words) * costs.perInstr;
+    wc.modeledCycles += cost;
+    if (wc.trace)
+        wc.trace->modeledCycles += cost;
+    wc.trace = nullptr;
+    tracef(TraceFlag::Replay,
+           "agent %u: injected seq=%llu ts=%llu words=%u", d.agentId,
+           static_cast<unsigned long long>(ev.seq),
+           static_cast<unsigned long long>(ev.ts), ev.words);
+    eventTrace().emit(TraceEventKind::ReplayInject, rec.tid, ev.ts,
+                      ev.words, ev.seq);
+}
+
+void
+ReplayCore::injectDeviceEvent(WorkerContext &wc, const ChunkRecord &rec,
+                              ChunkTrace *trace)
+{
+    DevState *dv = wc.threads->findDevice(rec.tid);
+    if (!dv) {
+        diverge("device record ts %llu but no agent state (tid %d)",
+                static_cast<unsigned long long>(rec.ts), rec.tid);
+    }
+    if (mode == ReplayMode::Strict) {
+        injectDeviceStrict(wc, rec, *dv, trace);
+        return;
+    }
+    // Degraded mode mirrors thread containment: a failed injection
+    // poisons the agent (its later completions would publish doorbell
+    // values the guest never saw in that order), every other lane
+    // replays to completion.
+    if (dv->poisoned) {
+        dv->skipped++;
+        dv->next++;
+        return;
+    }
+    try {
+        injectDeviceStrict(wc, rec, *dv, trace);
+    } catch (const Divergence &d) {
+        dv->divergences++;
+        dv->poisoned = true;
+        dv->next++;
+        if (dv->divergences == 1) {
+            dv->firstDivTs = rec.ts;
+            dv->firstDivMsg = d.msg;
+        }
+        wc.trace = nullptr;
+    }
+}
+
+void
 ReplayCore::replayChunk(WorkerContext &wc, const ChunkRecord &rec,
                         ChunkTrace *trace)
 {
+    if (rec.reason == ChunkReason::Device) {
+        injectDeviceEvent(wc, rec, trace);
+        return;
+    }
     if (mode == ReplayMode::Strict) {
         if (rec.reason == ChunkReason::Gap)
             diverge("tid %d: gap marker at ts %llu (%u records lost); "
@@ -464,6 +585,16 @@ ReplayCore::finish(ThreadStateTable &threads)
             diverge("tid %d: %zu outputs were never regenerated",
                     tid, t.pendingWrites.size());
     }
+    for (std::size_t i = 0; i < logs.devices.size(); ++i) {
+        const DevState *dv = threads.findDevice(deviceTidFor(i));
+        std::uint64_t total = logs.devices[i].events.size();
+        if (!dv || dv->injected != total) {
+            diverge("agent %u: %llu device events were never injected",
+                    logs.devices[i].agentId,
+                    static_cast<unsigned long long>(
+                        total - (dv ? dv->injected : 0)));
+        }
+    }
 
     ReplayResult result;
     result.digests.memory = img.digest(logs.userTop);
@@ -503,26 +634,47 @@ ReplayCore::finishDegraded(ThreadStateTable &threads)
             d.threadsIncomplete++;
         }
     }
+    for (const auto &[tid, dv] : threads.devices) {
+        d.deviceInjected += dv.injected;
+        d.deviceSkipped += dv.skipped;
+        d.deviceDivergences += dv.divergences;
+    }
 
     // The earliest divergence by (ts, tid): both components are
-    // per-thread program-order facts, so this pick is identical for
-    // the sequential oracle and any parallel job count.
+    // per-thread (or per-agent) program-order facts, so this pick is
+    // identical for the sequential oracle and any parallel job count.
+    // Device pseudo tids sit above every real tid, so a tied device
+    // divergence deterministically loses to a thread one.
     const RThread *first = nullptr;
+    const DevState *firstDev = nullptr;
+    Timestamp firstTs = 0;
     Tid firstTid = 0;
+    auto better = [&](Timestamp ts, Tid tid) {
+        return (!first && !firstDev) || ts < firstTs ||
+               (ts == firstTs && tid < firstTid);
+    };
     for (const auto &[tid, t] : threads.slots) {
-        if (!t.divergences)
-            continue;
-        if (!first || t.firstDivTs < first->firstDivTs ||
-            (t.firstDivTs == first->firstDivTs && tid < firstTid)) {
+        if (t.divergences && better(t.firstDivTs, tid)) {
             first = &t;
+            firstDev = nullptr;
+            firstTs = t.firstDivTs;
             firstTid = tid;
         }
     }
-    if (first)
+    for (const auto &[tid, dv] : threads.devices) {
+        if (dv.divergences && better(dv.firstDivTs, tid)) {
+            first = nullptr;
+            firstDev = &dv;
+            firstTs = dv.firstDivTs;
+            firstTid = tid;
+        }
+    }
+    if (first || firstDev)
         d.firstDivergence = csprintf(
             "ts %llu: %s",
-            static_cast<unsigned long long>(first->firstDivTs),
-            first->firstDivMsg.c_str());
+            static_cast<unsigned long long>(firstTs),
+            (first ? first->firstDivMsg : firstDev->firstDivMsg)
+                .c_str());
 
     result.digests.memory = img.digest(logs.userTop);
     OutputMap outs;

@@ -105,6 +105,13 @@ struct DegradedReplay
     std::uint64_t threadsIncomplete = 0; //!< no clean exit reached
     std::string firstDivergence; //!< earliest by (ts, tid); empty if none
 
+    // Device-injection accounting (all zero on device-free spheres;
+    // the summary line appends them only when an agent was involved,
+    // keeping pre-device output byte-identical).
+    std::uint64_t deviceInjected = 0;    //!< events injected cleanly
+    std::uint64_t deviceSkipped = 0;     //!< skipped on poisoned agents
+    std::uint64_t deviceDivergences = 0; //!< failed injections
+
     /** One-line "degraded-replay: ..." report. */
     std::string summary() const;
 };
@@ -119,6 +126,7 @@ struct ReplayResult
     std::uint64_t replayedInstrs = 0;
     std::uint64_t replayedChunks = 0;
     std::uint64_t injectedRecords = 0;
+    std::uint64_t injectedDeviceEvents = 0; //!< bus-agent completions
 
     /** Modeled sequential replay time (for the replay-speed table). */
     Tick modeledCycles = 0;
@@ -237,9 +245,30 @@ class ReplayCore
     };
 
     /**
+     * Mutable injection state of one recorded bus agent. Exclusively
+     * borrowed like an RThread: device records of one agent chain
+     * program-order edges in the chunk graph, so only one worker at a
+     * time executes a given agent's events.
+     */
+    struct DevState
+    {
+        std::uint64_t next = 0;     //!< stream index of the next event
+        std::uint64_t injected = 0; //!< events injected cleanly
+
+        // Degraded-mode containment, mirroring RThread: a poisoned
+        // agent injects no further events.
+        bool poisoned = false;
+        std::uint64_t skipped = 0;
+        std::uint64_t divergences = 0;
+        Timestamp firstDivTs = 0;
+        std::string firstDivMsg;
+    };
+
+    /**
      * The driver-owned table of per-guest-thread replay state: one
-     * pre-created slot per logged thread, structurally frozen for the
-     * whole replay (concurrent workers index it without locks).
+     * pre-created slot per logged thread (plus one per device agent),
+     * structurally frozen for the whole replay (concurrent workers
+     * index it without locks).
      */
     class ThreadStateTable
     {
@@ -249,7 +278,11 @@ class ReplayCore
         /** Slot for @p tid, or nullptr if the sphere never logged it. */
         RThread *find(Tid tid);
 
+        /** Agent slot for pseudo tid @p tid, or nullptr. */
+        DevState *findDevice(Tid tid);
+
         std::map<Tid, RThread> slots;
+        std::map<Tid, DevState> devices; //!< keyed by pseudo tid
     };
 
     /**
@@ -265,6 +298,7 @@ class ReplayCore
         std::uint64_t replayedChunks = 0;
         std::uint64_t replayedInstrs = 0;
         std::uint64_t injectedRecords = 0;
+        std::uint64_t injectedDeviceEvents = 0;
         Tick modeledCycles = 0;
 
         /** Active trace sink while replaying a chunk (analysis mode;
@@ -311,6 +345,10 @@ class ReplayCore
     RThread &threadFor(WorkerContext &wc, const ChunkRecord &rec);
     void replayChunkStrict(WorkerContext &wc, const ChunkRecord &rec,
                            ChunkTrace *trace);
+    void injectDeviceEvent(WorkerContext &wc, const ChunkRecord &rec,
+                           ChunkTrace *trace);
+    void injectDeviceStrict(WorkerContext &wc, const ChunkRecord &rec,
+                            DevState &dv, ChunkTrace *trace);
     ReplayResult finishDegraded(ThreadStateTable &threads);
     const InputRecord &nextInput(WorkerContext &wc, RThread &t,
                                  const char *what);

@@ -18,6 +18,7 @@ chunkReasonName(ChunkReason r)
       case ChunkReason::ContextSwitch: return "ctx-switch";
       case ChunkReason::Drain: return "drain";
       case ChunkReason::Gap: return "gap";
+      case ChunkReason::Device: return "device";
       case ChunkReason::NumReasons: break;
     }
     return "?";

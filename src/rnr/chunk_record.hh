@@ -30,6 +30,7 @@ enum class ChunkReason : std::uint8_t
     ContextSwitch, //!< thread descheduled; recording context saved
     Drain,         //!< recording stopped / sphere detached
     Gap,           //!< marker: records lost here under fault injection
+    Device,        //!< synthetic: bus-agent event in a replay schedule
     NumReasons,
 };
 
@@ -135,7 +136,11 @@ unpackCompactFrom(const Bytes &in, std::size_t &pos, Timestamp prev_ts,
     std::uint8_t hdr = in[pos++];
     ChunkRecord rec;
     rec.reason = static_cast<ChunkReason>(hdr & 0x0f);
-    if (static_cast<int>(rec.reason) >= numChunkReasons)
+    // Device records exist only in in-memory schedules (built from the
+    // sphere's device section), never in packed thread logs -- so the
+    // on-disk domain of the reason nibble is unchanged from v2.
+    if (static_cast<int>(rec.reason) >= numChunkReasons ||
+        rec.reason == ChunkReason::Device)
         parseFail("corrupt compact chunk record");
     rec.size = static_cast<std::uint32_t>(getVarintFrom(in, pos));
     rec.ts = prev_ts + getVarintFrom(in, pos);

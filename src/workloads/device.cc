@@ -1,0 +1,282 @@
+#include "workloads/device.hh"
+
+#include "guest/runtime.hh"
+#include "sim/logging.hh"
+
+namespace qr
+{
+
+namespace
+{
+
+/**
+ * Emit the private-compute body shared by every device workload's
+ * non-consumer workers: @p iters increments of the worker's own
+ * 64-byte slot at @p slots_base. Entered with a0 = worker index;
+ * clobbers t1/t2, s1/s2.
+ */
+void
+emitPrivateCompute(GuestBuilder &g, Addr slots_base, int iters)
+{
+    g.slli(t1, a0, 6); // one full line per worker
+    g.li(s2, slots_base);
+    g.add(s2, s2, t1);
+    g.li(s1, static_cast<Word>(iters));
+    std::string loop = g.newLabel("priv");
+    g.label(loop);
+    g.lw(t2, s2, 0);
+    g.addi(t2, t2, 1);
+    g.sw(t2, s2, 0);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, loop);
+    g.ret();
+}
+
+/**
+ * Emit the post-join epilogue shared by the device workloads: sum the
+ * per-worker compute slots plus the consumer's result word into
+ * @p total and print it.
+ */
+void
+emitSumEpilogue(GuestBuilder &g, int threads, Addr slots_base,
+                Addr result, Addr total)
+{
+    g.li(s1, static_cast<Word>(threads));
+    g.li(s2, slots_base);
+    g.li(t2, 0);
+    std::string sum = g.newLabel("sum");
+    g.label(sum);
+    g.lw(t3, s2, 0);
+    g.add(t2, t2, t3);
+    g.addi(s2, s2, 64);
+    g.addi(s1, s1, -1);
+    g.bne(s1, zero, sum);
+    g.li(t1, result);
+    g.lw(t3, t1, 0);
+    g.add(t2, t2, t3);
+    g.li(t1, total);
+    g.sw(t2, t1, 0);
+    g.sysWrite(total, 4);
+}
+
+} // namespace
+
+Workload
+makePacketIngest(int threads, int scale)
+{
+    qr_assert(threads >= 1 && scale >= 1,
+              "packet-ingest needs threads/scale >= 1");
+    GuestDeviceSpec spec;
+    spec.kind = DeviceKind::Nic;
+    spec.slotWords = 8; // 32-byte packets, two per line
+    spec.slots = 8;
+    spec.count = static_cast<std::uint32_t>(16 * scale);
+    spec.rate = 96;
+
+    GuestBuilder g;
+    spec.ringBase = g.alignedBlock(spec.slots * spec.slotWords);
+    spec.doorbell = g.alignedBlock(1);
+    Addr result = g.alignedBlock(1);
+    Addr slots =
+        g.alignedBlock(static_cast<std::uint32_t>(threads) * 16);
+    Addr total = g.alignedBlock(1);
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        emitSumEpilogue(g, threads, slots, result, total);
+    });
+
+    g.label(body);
+    std::string compute = g.newLabel("compute");
+    g.bne(a0, zero, compute);
+
+    // Worker 0: consume spec.count packets in arrival order. The
+    // doorbell poll is the acquire -- no payload line is touched until
+    // the doorbell covers its packet -- so the consumer never races
+    // the agent and the payload values it checksums are exactly the
+    // recorded ones.
+    g.li(s1, 0); // next packet sequence number
+    g.li(s2, 0); // checksum accumulator
+    g.li(s3, spec.doorbell);
+    g.li(s4, spec.ringBase);
+    g.li(s5, spec.count);
+    std::string pkt = g.newLabel("pkt");
+    std::string poll = g.newLabel("poll");
+    g.label(pkt);
+    g.label(poll);
+    g.lw(t1, s3, 0); // doorbell holds the completion count
+    g.addi(t2, s1, 1);
+    g.bltu(t1, t2, poll);
+    g.andi(t2, s1, spec.slots - 1); // slot = seq % slots
+    g.slli(t2, t2, 5);              // * 32 bytes per slot
+    g.add(t2, t2, s4);
+    for (std::uint32_t w = 0; w < spec.slotWords; ++w) {
+        g.lw(t3, t2, static_cast<std::int32_t>(4 * w));
+        g.add(s2, s2, t3);
+    }
+    g.addi(s1, s1, 1);
+    g.bltu(s1, s5, pkt);
+    g.li(t1, result);
+    g.sw(s2, t1, 0);
+    g.ret();
+
+    g.label(compute);
+    emitPrivateCompute(g, slots, 150 * scale);
+
+    Workload w{"packet-ingest",
+               csprintf("threads=%d packets=%u ring=%ux%uw", threads,
+                        spec.count, spec.slots, spec.slotWords),
+               threads, g.finish()};
+    w.device = spec;
+    return w;
+}
+
+Workload
+makeStorageCompletion(int threads, int scale)
+{
+    qr_assert(threads >= 1 && scale >= 1,
+              "storage-completion needs threads/scale >= 1");
+    GuestDeviceSpec spec;
+    spec.kind = DeviceKind::Disk;
+    spec.slotWords = 4; // 16-byte CQ entries, four per line
+    spec.slots = 16;
+    spec.count = static_cast<std::uint32_t>(24 * scale);
+    spec.rate = 128;
+
+    GuestBuilder g;
+    spec.ringBase = g.alignedBlock(spec.slots * spec.slotWords);
+    spec.doorbell = g.alignedBlock(1);
+    Addr result = g.alignedBlock(1);
+    Addr slots =
+        g.alignedBlock(static_cast<std::uint32_t>(threads) * 16);
+    Addr total = g.alignedBlock(1);
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        emitSumEpilogue(g, threads, slots, result, total);
+    });
+
+    g.label(body);
+    std::string compute = g.newLabel("compute");
+    g.bne(a0, zero, compute);
+
+    // Worker 0: drain the completion queue, XOR-folding each entry
+    // after its doorbell acquire, and mix in the completion index so
+    // reordered entries cannot fold to the same value.
+    g.li(s1, 0); // next completion
+    g.li(s2, 0); // fold accumulator
+    g.li(s3, spec.doorbell);
+    g.li(s4, spec.ringBase);
+    g.li(s5, spec.count);
+    std::string cqe = g.newLabel("cqe");
+    std::string poll = g.newLabel("poll");
+    g.label(cqe);
+    g.label(poll);
+    g.lw(t1, s3, 0);
+    g.addi(t2, s1, 1);
+    g.bltu(t1, t2, poll);
+    g.andi(t2, s1, spec.slots - 1); // entry = seq % slots
+    g.slli(t2, t2, 4);              // * 16 bytes per entry
+    g.add(t2, t2, s4);
+    for (std::uint32_t w = 0; w < spec.slotWords; ++w) {
+        g.lw(t3, t2, static_cast<std::int32_t>(4 * w));
+        g.xor_(s2, s2, t3);
+    }
+    g.add(s2, s2, s1);
+    g.addi(s1, s1, 1);
+    g.bltu(s1, s5, cqe);
+    g.li(t1, result);
+    g.sw(s2, t1, 0);
+    g.ret();
+
+    g.label(compute);
+    emitPrivateCompute(g, slots, 150 * scale);
+
+    Workload w{"storage-completion",
+               csprintf("threads=%d completions=%u cq=%ux%uw", threads,
+                        spec.count, spec.slots, spec.slotWords),
+               threads, g.finish()};
+    w.device = spec;
+    return w;
+}
+
+Workload
+makeDeviceRaceDemo(int threads, bool racy, Addr *planted_line)
+{
+    qr_assert(threads >= 1, "device-race needs threads >= 1");
+    GuestDeviceSpec spec;
+    spec.kind = DeviceKind::Nic;
+    spec.slotWords = 16; // one full line per slot
+    spec.slots = 4;
+    spec.count = 4; // == slots: no ring reuse, each line written once
+    // Deliberately slow cadence: the racy twin's unsynchronized ring
+    // read must execute before the first completion delivers, so the
+    // planted race is deterministically pre-event (the read's chunk is
+    // terminated by event 0's BusRdX and timestamps before it) at any
+    // thread count. Spawning a worker costs a few thousand cycles, so
+    // the first delivery must not outrun the spawn prologue plus the
+    // consumer's first few body instructions.
+    spec.rate = 16384;
+
+    GuestBuilder g;
+    spec.ringBase = g.alignedBlock(spec.slots * spec.slotWords);
+    spec.doorbell = g.alignedBlock(1);
+    Addr result = g.alignedBlock(1);
+    Addr slots =
+        g.alignedBlock(static_cast<std::uint32_t>(threads) * 16);
+    Addr total = g.alignedBlock(1);
+    if (planted_line)
+        *planted_line = spec.ringBase;
+
+    std::string body = "body";
+    g.emitWorkerScaffold(threads, body, [&] {
+        emitSumEpilogue(g, threads, slots, result, total);
+    });
+
+    g.label(body);
+    std::string compute = g.newLabel("compute");
+    g.bne(a0, zero, compute);
+
+    g.li(s2, 0); // checksum accumulator
+    g.li(s4, spec.ringBase);
+    if (racy) {
+        // The planted race: read slot 0 before any doorbell poll, so
+        // nothing orders this load against the agent's write of the
+        // same line.
+        g.lw(t3, s4, 0);
+        g.add(s2, s2, t3);
+    }
+    // The acquire: spin until the doorbell covers every completion.
+    // All payload reads below happen after it in program order, so the
+    // clean twin has zero unordered device/core accesses.
+    g.li(s3, spec.doorbell);
+    g.li(s5, spec.count);
+    std::string poll = g.newLabel("poll");
+    g.label(poll);
+    g.lw(t1, s3, 0);
+    g.bne(t1, s5, poll);
+    g.mv(t2, s4);
+    g.li(t4, spec.ringBase +
+                 static_cast<Addr>(spec.slots * spec.slotWords * 4));
+    std::string sum = g.newLabel("ring");
+    g.label(sum);
+    g.lw(t3, t2, 0);
+    g.add(s2, s2, t3);
+    g.addi(t2, t2, 4);
+    g.bltu(t2, t4, sum);
+    g.li(t1, result);
+    g.sw(s2, t1, 0);
+    g.ret();
+
+    g.label(compute);
+    emitPrivateCompute(g, slots, 64);
+
+    Workload w{racy ? "device-race-racy" : "device-race-clean",
+               csprintf("threads=%d slots=%ux%uw", threads, spec.slots,
+                        spec.slotWords),
+               threads, g.finish()};
+    w.device = spec;
+    return w;
+}
+
+} // namespace qr

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Device workloads: guest programs that consume a BusAgent's writes.
+ *
+ * Unlike every other workload, these are only meaningful under `qrec
+ * record --device <kind>`: their guest code spins on the agent's
+ * doorbell word, so running them without the agent deadlocks (the CLI
+ * refuses instead). Each factory allocates the ring and doorbell in
+ * guest data and publishes the geometry through Workload::device.
+ */
+
+#ifndef QR_WORKLOADS_DEVICE_HH
+#define QR_WORKLOADS_DEVICE_HH
+
+#include "workloads/workload.hh"
+
+namespace qr
+{
+
+/**
+ * Packet ingest: a NIC-like agent fills an 8-slot payload ring and
+ * advances the doorbell; worker 0 polls the doorbell and checksums
+ * each packet in arrival order while the remaining workers run
+ * private compute. The checksum is printed at exit, so replay
+ * bit-identity covers every payload word the consumer observed.
+ */
+Workload makePacketIngest(int threads, int scale);
+
+/**
+ * Storage completions: a disk-like agent posts 4-word completion
+ * queue entries; worker 0 drains the queue, XOR-folding each entry
+ * and counting completions, while the other workers run private
+ * compute. Folded value and count are printed at exit.
+ */
+Workload makeStorageCompletion(int threads, int scale);
+
+/**
+ * Ground-truth twins for device/core race analysis, the device analog
+ * of makeRaceDemo. Every worker increments a private per-line slot
+ * (race-free); worker 0 additionally consumes a 4-completion NIC ring
+ * whose slots each occupy a full cache line. The clean twin polls the
+ * doorbell to completion-count before touching any payload line, so
+ * every payload read is ordered after the event that wrote it and the
+ * analyzer must report zero device races. The racy twin first reads
+ * ring slot 0 *without* polling -- a core access unordered against the
+ * agent's write of that line -- and the analyzer must flag exactly
+ * that line, returned through @p planted_line when non-null.
+ */
+Workload makeDeviceRaceDemo(int threads, bool racy,
+                            Addr *planted_line = nullptr);
+
+} // namespace qr
+
+#endif // QR_WORKLOADS_DEVICE_HH

@@ -17,10 +17,33 @@
 #include <string>
 #include <vector>
 
+#include "bus/device_stream.hh"
 #include "isa/assembler.hh"
 
 namespace qr
 {
+
+/**
+ * A bus agent a workload's guest code expects: the workload allocates
+ * the ring and doorbell in guest data and publishes their geometry
+ * here, and `qrec record --device <kind>` arms a BusAgent with exactly
+ * this spec (kind mismatches are fatal). A workload with kind None
+ * declares no device. Guest programs that poll a doorbell deadlock if
+ * recorded without the agent, which is why arming stays explicit.
+ */
+struct GuestDeviceSpec
+{
+    DeviceKind kind = DeviceKind::None;
+    Addr ringBase = 0;          //!< payload ring base (line-aligned)
+    std::uint32_t slotWords = 0; //!< payload words per completion
+    std::uint32_t slots = 0;     //!< ring depth (completion reuses slot
+                                 //!< seq % slots)
+    Addr doorbell = 0;      //!< completion-count word (its own line)
+    std::uint32_t count = 0; //!< completions the guest consumes
+    std::uint32_t rate = 64; //!< default ticks between completions
+
+    bool present() const { return kind != DeviceKind::None; }
+};
 
 /** A runnable guest workload. */
 struct Workload
@@ -29,6 +52,14 @@ struct Workload
     std::string params; //!< human-readable problem description
     int nThreads = 4;
     Program program;
+    GuestDeviceSpec device; //!< bus agent the guest expects, if any
+
+    Workload() = default;
+    Workload(std::string name_, std::string params_, int n_threads,
+             Program prog)
+        : name(std::move(name_)), params(std::move(params_)),
+          nThreads(n_threads), program(std::move(prog))
+    {}
 };
 
 /** Factory signature: (threads, scale) -> workload. */

@@ -275,7 +275,7 @@ TEST(SphereLogsCorruption, FutureVersionIsRejectedRecoverably)
     RecordResult rec = recordProgram(w.program);
     std::vector<std::uint8_t> bytes = rec.logs.serialize();
     ASSERT_GE(bytes.size(), 4u);
-    for (char v : {'3', '4', '9'}) {
+    for (char v : {'4', '5', '9'}) {
         std::vector<std::uint8_t> mut = bytes;
         mut[3] = static_cast<std::uint8_t>(v);
         try {

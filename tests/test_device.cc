@@ -1,0 +1,430 @@
+/**
+ * @file
+ * BusAgent device tests: payload regeneration, v3 sphere
+ * serialization (including pre-device back-compat and future-version
+ * rejection), record/replay bit-identity of the device workloads
+ * across sequential, parallel, and degraded engines, device replay
+ * faults, and the analyzer's device/core race ground truth on the
+ * twin workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyze/race_analyzer.hh"
+#include "analyze/verify.hh"
+#include "bus/device_stream.hh"
+#include "capo/log_store.hh"
+#include "capo/payload_view.hh"
+#include "capo/sphere.hh"
+#include "core/session.hh"
+#include "fault/fault_plan.hh"
+#include "replay/log_reader.hh"
+#include "sim/logging.hh"
+#include "workloads/device.hh"
+#include "workloads/micro.hh"
+
+namespace qr
+{
+namespace
+{
+
+struct DevRecorded
+{
+    Workload w;
+    RecordResult rec;
+};
+
+/** Record a device workload with its declared agent armed, the way
+ *  `qrec record --device <kind>` does. */
+DevRecorded
+recordDevice(Workload w, bool exact = false)
+{
+    EXPECT_TRUE(w.device.present()) << w.name;
+    RecorderConfig rcfg;
+    rcfg.rnr.exactShadow = exact;
+    BusAgentConfig a;
+    a.agentId = 0;
+    a.kind = w.device.kind;
+    a.ringBase = w.device.ringBase;
+    a.slotWords = w.device.slotWords;
+    a.slots = w.device.slots;
+    a.doorbell = w.device.doorbell;
+    a.count = w.device.count;
+    a.rate = w.device.rate;
+    rcfg.devices.push_back(a);
+    RecordResult rec = recordProgram(w.program, {}, rcfg);
+    return {std::move(w), std::move(rec)};
+}
+
+// --- payload regeneration ------------------------------------------------
+
+TEST(DevicePayload, PureFunctionOfSeedSeqWord)
+{
+    EXPECT_EQ(devicePayloadWord(7, 3, 0), devicePayloadWord(7, 3, 0));
+    EXPECT_NE(devicePayloadWord(7, 3, 0), devicePayloadWord(7, 4, 0));
+    EXPECT_NE(devicePayloadWord(7, 3, 0), devicePayloadWord(8, 3, 0));
+    EXPECT_NE(devicePayloadWord(7, 3, 0), devicePayloadWord(7, 3, 1));
+    EXPECT_EQ(deviceEventDigest(1, 0, 8), deviceEventDigest(1, 0, 8));
+    EXPECT_NE(deviceEventDigest(1, 0, 8), deviceEventDigest(1, 1, 8));
+    EXPECT_NE(deviceEventDigest(1, 0, 8), deviceEventDigest(1, 0, 7));
+}
+
+// --- serialization -------------------------------------------------------
+
+TEST(DeviceSphere, RecordsStreamAndSerializesAsV3)
+{
+    DevRecorded r = recordDevice(makePacketIngest(2, 1));
+    ASSERT_EQ(r.rec.logs.devices.size(), 1u);
+    const DeviceStream &ds = r.rec.logs.devices[0];
+    EXPECT_EQ(ds.kind, DeviceKind::Nic);
+    ASSERT_EQ(ds.events.size(), r.w.device.count);
+    for (std::size_t i = 0; i < ds.events.size(); ++i) {
+        const DeviceEvent &ev = ds.events[i];
+        EXPECT_EQ(ev.seq, i);
+        EXPECT_EQ(ev.words, r.w.device.slotWords);
+        EXPECT_EQ(ev.digest,
+                  deviceEventDigest(ds.seed, ev.seq, ev.words));
+        if (i) {
+            EXPECT_GT(ev.ts, ds.events[i - 1].ts);
+        }
+    }
+
+    std::vector<std::uint8_t> bytes = r.rec.logs.serialize();
+    ASSERT_GE(bytes.size(), 4u);
+    EXPECT_EQ(bytes[3], '3');
+    SphereLogs round = SphereLogs::deserialize(bytes);
+    ASSERT_EQ(round.devices.size(), 1u);
+    EXPECT_EQ(round.devices[0], ds);
+    EXPECT_EQ(round.serialize(), bytes);
+}
+
+TEST(DeviceSphere, DevicelessSpheresKeepThePreDeviceFormat)
+{
+    Workload w = makeRacyCounter(2, 100, false);
+    RecordResult rec = recordProgram(w.program);
+    EXPECT_TRUE(rec.logs.devices.empty());
+    std::vector<std::uint8_t> bytes = rec.logs.serialize();
+    ASSERT_GE(bytes.size(), 4u);
+    EXPECT_NE(bytes[3], '3'); // no device section, no v3 header
+    SphereLogs round = SphereLogs::deserialize(bytes);
+    EXPECT_TRUE(round.devices.empty());
+    EXPECT_EQ(round.serialize(), bytes);
+}
+
+TEST(DeviceSphere, FutureVersionFailsRecoverably)
+{
+    DevRecorded r = recordDevice(makePacketIngest(2, 1));
+    std::vector<std::uint8_t> bytes = r.rec.logs.serialize();
+    bytes[3] = '4';
+    try {
+        SphereLogs::deserialize(bytes);
+        FAIL() << "a future-version sphere must not parse";
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("future"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(DeviceSphere, BuildScheduleMergesDeviceRecords)
+{
+    DevRecorded r = recordDevice(makeStorageCompletion(2, 1));
+    const SphereLogs &logs = r.rec.logs;
+    std::vector<ChunkRecord> sched = buildSchedule(logs);
+    std::uint64_t devRecords = 0;
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+        if (i) {
+            EXPECT_GE(std::pair(sched[i].ts, sched[i].tid),
+                      std::pair(sched[i - 1].ts, sched[i - 1].tid));
+        }
+        if (sched[i].reason == ChunkReason::Device) {
+            devRecords++;
+            EXPECT_EQ(sched[i].tid, deviceTidFor(0));
+            EXPECT_TRUE(isDeviceTid(sched[i].tid));
+        } else {
+            EXPECT_FALSE(isDeviceTid(sched[i].tid));
+        }
+    }
+    EXPECT_EQ(devRecords, logs.devices[0].events.size());
+    EXPECT_EQ(sched.size(),
+              logs.totalChunks() + logs.devices[0].events.size());
+}
+
+// --- replay bit-identity -------------------------------------------------
+
+TEST(DeviceReplay, PacketIngestBitIdenticalAcrossEngines)
+{
+    DevRecorded r = recordDevice(makePacketIngest(3, 2));
+    std::uint64_t events = r.rec.logs.devices[0].events.size();
+
+    ReplayResult seq = replaySphere(r.w.program, r.rec.logs);
+    ASSERT_TRUE(seq.ok) << seq.divergence;
+    EXPECT_TRUE(
+        verifyDigests(r.rec.metrics.digests, seq.digests).ok);
+    EXPECT_EQ(seq.injectedDeviceEvents, events);
+
+    for (int jobs : {1, 2, 4, 8}) {
+        ReplayComparison cmp =
+            compareReplay(r.w.program, r.rec.logs, jobs);
+        EXPECT_TRUE(cmp.identical) << "jobs=" << jobs << ": "
+                                   << cmp.mismatch;
+    }
+}
+
+TEST(DeviceReplay, StorageCompletionBitIdenticalAcrossEngines)
+{
+    DevRecorded r = recordDevice(makeStorageCompletion(2, 1));
+    ReplayResult seq = replaySphere(r.w.program, r.rec.logs);
+    ASSERT_TRUE(seq.ok) << seq.divergence;
+    EXPECT_TRUE(
+        verifyDigests(r.rec.metrics.digests, seq.digests).ok);
+    for (int jobs : {2, 8}) {
+        ReplayComparison cmp =
+            compareReplay(r.w.program, r.rec.logs, jobs);
+        EXPECT_TRUE(cmp.identical) << "jobs=" << jobs << ": "
+                                   << cmp.mismatch;
+    }
+}
+
+TEST(DeviceReplay, DegradedModeInjectsAndMatchesParallel)
+{
+    DevRecorded r = recordDevice(makePacketIngest(2, 1));
+    std::uint64_t events = r.rec.logs.devices[0].events.size();
+    ReplayResult seq =
+        replaySphere(r.w.program, r.rec.logs, ReplayMode::Degraded);
+    ASSERT_TRUE(seq.degradedMode);
+    EXPECT_EQ(seq.degraded.deviceInjected, events);
+    EXPECT_EQ(seq.degraded.deviceDivergences, 0u);
+    EXPECT_EQ(seq.degraded.divergences, 0u);
+    ReplayComparison cmp = compareReplay(r.w.program, r.rec.logs, 4,
+                                         ReplayMode::Degraded);
+    EXPECT_TRUE(cmp.identical) << cmp.mismatch;
+}
+
+// --- replay fault injection ----------------------------------------------
+
+TEST(DeviceFaults, DroppedCompletionsDivergeStrictReplay)
+{
+    DevRecorded r = recordDevice(makePacketIngest(2, 1));
+    SphereLogs faulted = r.rec.logs;
+    FaultPlan plan = FaultPlan::parse("dev-drop@1.0", 11);
+    DeviceFaultSummary sum =
+        applyDeviceReplayFaults(faulted.devices, plan);
+    EXPECT_EQ(sum.dropped, r.rec.logs.devices[0].events.size());
+    EXPECT_TRUE(faulted.devices[0].events.empty());
+
+    // Without the completions the consumer's doorbell polls replay
+    // against a doorbell that is never written: a divergence, never a
+    // silently wrong replay.
+    ReplayResult rep = replaySphere(r.w.program, faulted);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_FALSE(rep.divergence.empty());
+
+    // Degraded replay contains the damage and still terminates.
+    ReplayResult deg =
+        replaySphere(r.w.program, faulted, ReplayMode::Degraded);
+    ASSERT_TRUE(deg.degradedMode);
+    EXPECT_GT(deg.degraded.divergences + deg.degraded.threadsIncomplete,
+              0u);
+}
+
+TEST(DeviceFaults, PartialDropPreservesSurvivorSequenceNumbers)
+{
+    DevRecorded r = recordDevice(makePacketIngest(2, 2));
+    SphereLogs faulted = r.rec.logs;
+    FaultPlan plan = FaultPlan::parse("dev-drop@0.5", 3);
+    DeviceFaultSummary sum =
+        applyDeviceReplayFaults(faulted.devices, plan);
+    const DeviceStream &ds = faulted.devices[0];
+    ASSERT_EQ(ds.events.size() + sum.dropped,
+              r.rec.logs.devices[0].events.size());
+    // Survivors keep their recorded seq (the payload-generation
+    // input), so their digests still verify after the drop.
+    for (std::size_t i = 0; i < ds.events.size(); ++i) {
+        if (i) {
+            EXPECT_GT(ds.events[i].seq, ds.events[i - 1].seq);
+        }
+        EXPECT_EQ(ds.events[i].digest,
+                  deviceEventDigest(ds.seed, ds.events[i].seq,
+                                    ds.events[i].words));
+    }
+}
+
+TEST(DeviceFaults, TornPayloadDetectedAtTheAnchor)
+{
+    DevRecorded r = recordDevice(makeStorageCompletion(2, 1));
+    SphereLogs faulted = r.rec.logs;
+    FaultPlan plan = FaultPlan::parse("dev-torn@1.0", 5);
+    DeviceFaultSummary sum =
+        applyDeviceReplayFaults(faulted.devices, plan);
+    EXPECT_GT(sum.torn, 0u);
+    ReplayResult rep = replaySphere(r.w.program, faulted);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.divergence.find("agent"), std::string::npos)
+        << rep.divergence;
+}
+
+TEST(DeviceFaults, LateAnchorsStayStrictlyMonotonic)
+{
+    DevRecorded r = recordDevice(makePacketIngest(2, 1));
+    SphereLogs faulted = r.rec.logs;
+    FaultPlan plan = FaultPlan::parse("dev-late@1.0", 9);
+    DeviceFaultSummary sum =
+        applyDeviceReplayFaults(faulted.devices, plan);
+    EXPECT_GT(sum.late, 0u);
+    EXPECT_TRUE(sum.any());
+    const std::vector<DeviceEvent> &evs = faulted.devices[0].events;
+    for (std::size_t i = 1; i < evs.size(); ++i)
+        EXPECT_GT(evs[i].ts, evs[i - 1].ts);
+    // The schedule merge depends on that monotonicity.
+    EXPECT_NO_THROW(buildSchedule(faulted));
+}
+
+// --- analyzer ground truth ----------------------------------------------
+
+TEST(DeviceAnalyze, RacyTwinFlagsExactlyThePlantedLine)
+{
+    Addr planted = 0;
+    DevRecorded r =
+        recordDevice(makeDeviceRaceDemo(2, true, &planted), true);
+    RaceReport rep = analyzeSphere(r.rec.logs, 0);
+    ASSERT_TRUE(rep.exact);
+    EXPECT_EQ(rep.deviceEvents, r.w.device.count);
+    ASSERT_FALSE(rep.deviceRaces.empty());
+    for (const DeviceRace &dr : rep.deviceRaces) {
+        EXPECT_EQ(dr.line, planted) << dr.str();
+        EXPECT_TRUE(dr.preEvent) << dr.str();
+    }
+    // The twins' thread-side work is race-free by construction.
+    EXPECT_TRUE(rep.races.empty());
+}
+
+TEST(DeviceAnalyze, CleanTwinReportsZeroDeviceRaces)
+{
+    DevRecorded r = recordDevice(makeDeviceRaceDemo(2, false), true);
+    RaceReport rep = analyzeSphere(r.rec.logs, 0);
+    ASSERT_TRUE(rep.exact);
+    EXPECT_EQ(rep.deviceEvents, r.w.device.count);
+    EXPECT_GT(rep.deviceEdges, 0u);
+    EXPECT_TRUE(rep.deviceRaces.empty());
+    EXPECT_TRUE(rep.races.empty());
+}
+
+TEST(DeviceAnalyze, StreamingMatchesEagerOnBothTwins)
+{
+    for (bool racy : {false, true}) {
+        DevRecorded r =
+            recordDevice(makeDeviceRaceDemo(2, racy), true);
+        RaceReport eager = analyzeSphere(r.rec.logs, 0);
+        std::vector<std::uint8_t> bytes = r.rec.logs.serialize();
+        SphereCursor cur{PayloadView(bytes)};
+        RaceReport stream = analyzeSphereStreaming(cur);
+        EXPECT_EQ(stream.deviceEvents, eager.deviceEvents);
+        EXPECT_EQ(stream.deviceEdges, eager.deviceEdges);
+        EXPECT_EQ(stream.deviceRaces, eager.deviceRaces);
+        EXPECT_EQ(stream.str(), eager.str()) << "racy=" << racy;
+    }
+}
+
+TEST(DeviceAnalyze, BloomOnlySpheresCountButDoNotClassify)
+{
+    DevRecorded r = recordDevice(makeDeviceRaceDemo(2, true), false);
+    RaceReport rep = analyzeSphere(r.rec.logs, 0);
+    EXPECT_FALSE(rep.exact);
+    EXPECT_EQ(rep.deviceEvents, r.w.device.count);
+    EXPECT_TRUE(rep.deviceRaces.empty());
+    EXPECT_NE(rep.str().find("n/a"), std::string::npos);
+}
+
+// --- pre-device back-compat against the golden corpus --------------------
+
+#ifdef QR_CORPUS_DIR
+
+std::string
+corpusPath(const char *name)
+{
+    return std::string(QR_CORPUS_DIR) + "/" + name;
+}
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::vector<std::uint8_t> bytes;
+    if (f) {
+        std::uint8_t buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.insert(bytes.end(), buf, buf + n);
+        std::fclose(f);
+    }
+    return bytes;
+}
+
+/** A sphere recorded before the device section existed must parse
+ *  with no device streams and re-serialize in its original format. */
+TEST(DeviceCompat, GoldenSphereParsesWithNoDeviceStream)
+{
+    SphereLoadResult loaded = loadSphere(corpusPath("intact.qrs"));
+    ASSERT_TRUE(loaded) << loaded.error;
+    EXPECT_TRUE(loaded.logs.devices.empty());
+    std::vector<std::uint8_t> bytes = loaded.logs.serialize();
+    ASSERT_GE(bytes.size(), 4u);
+    EXPECT_NE(bytes[3], '3');
+    EXPECT_EQ(SphereLogs::deserialize(bytes).serialize(), bytes);
+}
+
+/** The device-aware replayer must replay a pre-device sphere exactly
+ *  as before: no injection, no device accounting. */
+TEST(DeviceCompat, GoldenSphereReplaysWithZeroDeviceEvents)
+{
+    SphereLoadResult loaded = loadSphere(corpusPath("intact.qrs"));
+    ASSERT_TRUE(loaded) << loaded.error;
+    Workload w = makeRacyCounter(4, 1000, false);
+    ReplayResult rep = replaySphere(w.program, loaded.logs);
+    ASSERT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_EQ(rep.injectedDeviceEvents, 0u);
+    ReplayComparison cmp = compareReplay(w.program, loaded.logs, 4);
+    EXPECT_TRUE(cmp.identical) << cmp.mismatch;
+    EXPECT_EQ(cmp.parallel.replay.injectedDeviceEvents, 0u);
+}
+
+/** The new QRV017/QRV018 device rules must stay silent on artifacts
+ *  that predate device streams. */
+TEST(DeviceCompat, GoldenSphereLintsCleanOfDeviceFindings)
+{
+    LintReport rep =
+        lintSphereBytes(readAll(corpusPath("intact.qrs")), "intact");
+    EXPECT_TRUE(rep.clean()) << rep.str();
+    for (const LintFinding &f : rep.findings)
+        EXPECT_TRUE(f.code != "QRV017" && f.code != "QRV018")
+            << f.message;
+}
+
+/** The analyzer's device section must not appear for pre-device
+ *  spheres: counts zero and no "device" lines in the report. */
+TEST(DeviceCompat, GoldenSphereAnalyzesWithoutDeviceSection)
+{
+    SphereLoadResult loaded = loadSphere(corpusPath("intact.qrs"));
+    ASSERT_TRUE(loaded) << loaded.error;
+    RaceReport rep = analyzeSphere(loaded.logs, 0);
+    EXPECT_EQ(rep.deviceEvents, 0u);
+    EXPECT_EQ(rep.deviceEdges, 0u);
+    EXPECT_TRUE(rep.deviceRaces.empty());
+    EXPECT_EQ(rep.str().find("device"), std::string::npos);
+    BenchDoc doc = rep.toBenchDoc("compat");
+    for (const BenchResult &row : doc.results)
+        EXPECT_EQ(row.metric.find("device"), std::string::npos)
+            << row.metric;
+}
+
+#endif // QR_CORPUS_DIR
+
+} // namespace
+} // namespace qr

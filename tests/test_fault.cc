@@ -41,7 +41,8 @@ TEST(FaultPlan, ParsesEverySiteAndTrigger)
 {
     FaultPlan p = FaultPlan::parse(
         "cbuf-drop@0.01,cbuf-delay@1.0,drain-fail@0,"
-        "io-short@0.001,io-torn@tick:7,io-enospc@tick:500000", 42);
+        "io-short@0.001,io-torn@tick:7,io-enospc@tick:500000,"
+        "dev-drop@0.1,dev-torn@0.1,dev-late@0.1", 42);
     EXPECT_TRUE(p.enabled());
     for (int s = 0; s < numFaultSites; ++s)
         EXPECT_TRUE(p.armed(static_cast<FaultSite>(s)))

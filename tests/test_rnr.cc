@@ -233,8 +233,14 @@ TEST(ChunkRecord, CompactEncodingRoundTrips)
         rec.ts = ts;
         rec.size = static_cast<std::uint32_t>(rng.below(1 << 20));
         rec.rsw = static_cast<std::uint16_t>(rng.below(16));
-        rec.reason = static_cast<ChunkReason>(
-            rng.below(numChunkReasons));
+        // Any reason the hardware can log. ChunkReason::Device is
+        // excluded by construction: device records are synthetic
+        // schedule entries (replay/log_reader.cc), never serialized
+        // through the compact on-disk encoding.
+        do {
+            rec.reason = static_cast<ChunkReason>(
+                rng.below(numChunkReasons));
+        } while (rec.reason == ChunkReason::Device);
         rec.tid = 5;
         recs.push_back(rec);
     }

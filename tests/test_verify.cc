@@ -324,7 +324,7 @@ TEST(Verify, SarifEscapesMessageText)
 TEST(Verify, RuleTableIsSortedAndComplete)
 {
     const std::vector<LintRule> &rules = lintRules();
-    ASSERT_EQ(rules.size(), 16u);
+    ASSERT_EQ(rules.size(), 18u);
     for (std::size_t i = 1; i < rules.size(); ++i)
         EXPECT_LT(std::string(rules[i - 1].code), rules[i].code);
 }

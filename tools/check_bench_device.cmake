@@ -1,0 +1,118 @@
+# Validates a BENCH_DEVICE document (bench_e12_device): it must parse,
+# declare schema 2 with a stats section, and carry rows that re-prove
+# the device claims from the artifact alone, independent of the bench
+# process's own exit code:
+#   - each consumer workload (packet-ingest, storage-completion)
+#     delivered events, serialized a non-empty device section, and
+#     replay re-injected exactly every event with the parallel engine
+#     bit-identical;
+#   - the racy ground-truth twin reports at least one device race, the
+#     clean twin none while still seeing (ordered) device edges.
+# Run as: cmake -DJSON=<file> -P check_bench_device.cmake
+
+if(NOT DEFINED JSON)
+    message(FATAL_ERROR "pass -DJSON=<bench json file>")
+endif()
+file(READ "${JSON}" text)
+
+if(CMAKE_VERSION VERSION_LESS 3.19)
+    # No string(JSON) parser available: settle for shape checks.
+    foreach(needle "\"schema\": 2" "device.events" "replay.injected"
+            "replay.parallel_identical" "analyze.device_races"
+            "\"stats\"")
+        string(FIND "${text}" "${needle}" at)
+        if(at EQUAL -1)
+            message(FATAL_ERROR "${JSON}: missing ${needle}")
+        endif()
+    endforeach()
+    return()
+endif()
+
+string(JSON schema ERROR_VARIABLE err GET "${text}" schema)
+if(err)
+    message(FATAL_ERROR "${JSON}: not parseable bench JSON: ${err}")
+endif()
+if(NOT schema EQUAL 2)
+    message(FATAL_ERROR "${JSON}: schema is ${schema}, expected 2")
+endif()
+
+string(JSON kind ERROR_VARIABLE err TYPE "${text}" stats)
+if(err OR NOT kind STREQUAL "OBJECT")
+    message(FATAL_ERROR "${JSON}: schema 2 requires a stats object")
+endif()
+
+string(JSON n ERROR_VARIABLE err LENGTH "${text}" results)
+if(err OR n LESS 1)
+    message(FATAL_ERROR "${JSON}: no result rows")
+endif()
+
+# Collect every (workload, metric) -> value into variables named
+# v_<workload>_<metric> with non-alphanumerics mapped to _.
+math(EXPR last "${n} - 1")
+foreach(i RANGE ${last})
+    string(JSON workload GET "${text}" results ${i} workload)
+    string(JSON metric GET "${text}" results ${i} metric)
+    string(JSON value ERROR_VARIABLE err GET "${text}" results ${i}
+           value)
+    if(err)
+        message(FATAL_ERROR
+                "${JSON}: row ${i} (${workload}) has no value")
+    endif()
+    string(REGEX REPLACE "[^a-zA-Z0-9]" "_" wkey "${workload}")
+    string(REGEX REPLACE "[^a-zA-Z0-9]" "_" mkey "${metric}")
+    set(v_${wkey}_${mkey} "${value}")
+endforeach()
+
+# --- consumers: logging + replay injection ---------------------------
+foreach(w packet_ingest storage_completion)
+    foreach(m device_events device_stream_bytes replay_injected
+            replay_parallel_identical)
+        if(NOT DEFINED v_${w}_${m})
+            message(FATAL_ERROR "${JSON}: missing ${m} row for ${w}")
+        endif()
+    endforeach()
+    if(v_${w}_device_events LESS_EQUAL 0)
+        message(FATAL_ERROR "${JSON}: ${w} delivered no device events")
+    endif()
+    if(v_${w}_device_stream_bytes LESS_EQUAL 0)
+        message(FATAL_ERROR
+                "${JSON}: ${w} serialized an empty device section")
+    endif()
+    if(NOT v_${w}_replay_injected EQUAL v_${w}_device_events)
+        message(FATAL_ERROR "${JSON}: ${w} injected "
+                "${v_${w}_replay_injected} of "
+                "${v_${w}_device_events} recorded events")
+    endif()
+    if(NOT v_${w}_replay_parallel_identical EQUAL 1)
+        message(FATAL_ERROR
+                "${JSON}: ${w} parallel replay not bit-identical")
+    endif()
+endforeach()
+
+# --- ground-truth twins: the device pass -----------------------------
+foreach(w device_race_racy device_race_clean)
+    if(NOT DEFINED v_${w}_analyze_device_races)
+        message(FATAL_ERROR
+                "${JSON}: missing analyze.device_races row for ${w}")
+    endif()
+endforeach()
+if(v_device_race_racy_analyze_device_races LESS 1)
+    message(FATAL_ERROR
+            "${JSON}: racy twin reports no device race")
+endif()
+if(NOT v_device_race_clean_analyze_device_races EQUAL 0)
+    message(FATAL_ERROR "${JSON}: clean twin reports "
+            "${v_device_race_clean_analyze_device_races} device races")
+endif()
+if(NOT DEFINED v_device_race_clean_analyze_device_edges OR
+   v_device_race_clean_analyze_device_edges LESS 1)
+    message(FATAL_ERROR "${JSON}: clean twin shows no device edges")
+endif()
+
+message(STATUS "${JSON}: device rows consistent -- "
+        "packet-ingest ${v_packet_ingest_device_events} events / "
+        "${v_packet_ingest_device_stream_bytes} B, "
+        "storage-completion ${v_storage_completion_device_events} "
+        "events, racy twin "
+        "${v_device_race_racy_analyze_device_races} race(s), "
+        "clean twin 0")

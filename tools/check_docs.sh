@@ -1,12 +1,20 @@
 #!/bin/sh
-# Docs lint: the README must cover the whole user-facing surface.
+# Docs lint: the README and the architecture guide must cover the
+# whole user-facing surface.
 #
 # Fails (nonzero exit, one line per gap) when
-#   - a qrec subcommand dispatched in tools/qrec.cc, or
+#   - a qrec subcommand dispatched in tools/qrec.cc,
+#   - a documented exit-code contract (a "exit 0 =" line in the qrec
+#     usage text) missing from that subcommand's README CLI row,
+#   - a --device* flag parsed by tools/qrec.cc,
 #   - a QR_* knob (getenv in C++, $QR_* in the shell harnesses, or a
-#     -DQR_* CMake cache option)
-# is not mentioned anywhere in README.md. Run from the repo root or
-# via CTest (the docs_lint entry); tools/ci.sh runs it on every gate.
+#     -DQR_* CMake cache option), or
+#   - a src/<subsystem>/ directory or a src/*/README.md absent from
+#     docs/ARCHITECTURE.md (the subsystem list is derived from the
+#     source tree, so a new subsystem fails the lint until the guide
+#     names it)
+# is not documented. Run from the repo root or via CTest (the
+# docs_lint entry); tools/ci.sh runs it on every gate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,6 +25,53 @@ subcommands=$(grep -oE 'cmd == "[a-z-]+"' tools/qrec.cc \
 for sub in $subcommands; do
     if ! grep -q "qrec $sub" README.md; then
         echo "docs-lint: qrec subcommand '$sub' is not in README.md"
+        fail=1
+    fi
+done
+
+# Exit-code contracts: a subcommand whose usage text documents an
+# "exit 0 = ..." line must spell the same contract out in its README
+# CLI row ("Exit codes: 0 ... 1 ... 2 ...").
+contract_subs=$(awk '
+    match($0, /qrec [a-z-]+/) {
+        cmd = substr($0, RSTART + 5, RLENGTH - 5)
+    }
+    /exit 0 =/ && cmd != "" { print cmd; cmd = "" }
+' tools/qrec.cc | sort -u)
+for sub in $contract_subs; do
+    if ! grep "qrec $sub" README.md | grep -q "Exit codes: 0"; then
+        echo "docs-lint: 'qrec $sub' documents an exit-code contract" \
+             "in its usage text but its README.md row has no" \
+             "'Exit codes: 0 ...' entry"
+        fail=1
+    fi
+done
+
+# Every --device* flag the CLI parses must appear in the README's
+# flag tables.
+device_flags=$(grep -oE '"--device[a-z-]*"' tools/qrec.cc \
+    | tr -d '"' | sort -u)
+for flag in $device_flags; do
+    if ! grep -q -- "$flag" README.md; then
+        echo "docs-lint: qrec flag '$flag' is not in README.md"
+        fail=1
+    fi
+done
+
+# The architecture guide must name every subsystem directory and link
+# every per-subsystem README. The list is derived from the tree:
+# adding src/<new>/ without touching the guide fails here.
+for dir in src/*/; do
+    sys=$(basename "$dir")
+    if ! grep -q "src/$sys/" docs/ARCHITECTURE.md; then
+        echo "docs-lint: subsystem src/$sys/ is not in" \
+             "docs/ARCHITECTURE.md"
+        fail=1
+    fi
+    if [ -f "src/$sys/README.md" ] && \
+       ! grep -q "src/$sys/README.md" docs/ARCHITECTURE.md; then
+        echo "docs-lint: docs/ARCHITECTURE.md does not link" \
+             "src/$sys/README.md"
         fail=1
     fi
 done
@@ -36,6 +91,8 @@ for var in $(printf '%s\n%s\n%s\n' "$cpp_vars" "$sh_vars" \
 done
 
 if [ "$fail" -eq 0 ]; then
-    echo "docs-lint: README.md covers every subcommand and QR_* knob"
+    echo "docs-lint: README.md covers every subcommand, exit-code" \
+         "contract, --device flag, and QR_* knob;" \
+         "docs/ARCHITECTURE.md covers every subsystem"
 fi
 exit $fail

@@ -25,9 +25,18 @@
 #      emit schema-valid SARIF for the lot (tools/check_sarif.cmake),
 #      and `qrec analyze --predict` must still flag the masked race
 #      the elided twin workload plants,
-#   9. the docs lint (tools/check_docs.sh): every qrec subcommand and
-#      QR_* knob must be documented in README.md,
-#  10. the qrecd soak (tools/soak_qrecd.sh): a short `qrec serve` run
+#   9. the device-nondeterminism gate: the device ground-truth twins
+#      recorded with their NIC agent armed must verify clean and
+#      replay bit-identically at 1/2/4/8 jobs (strict and degraded);
+#      `qrec analyze` must flag exactly the racy twin's planted line
+#      (exit 1) and nothing on the clean twin (exit 0); and a tiny E12
+#      run must produce a BENCH_DEVICE.json that passes
+#      check_bench_device.cmake plus schema validation,
+#  10. the docs lint (tools/check_docs.sh): every qrec subcommand,
+#      exit-code contract, --device flag, and QR_* knob must be
+#      documented in README.md, and docs/ARCHITECTURE.md must cover
+#      every subsystem,
+#  11. the qrecd soak (tools/soak_qrecd.sh): a short `qrec serve` run
 #      under injected faults with a live /metrics scrape, a hard
 #      SIGKILL, and a repair-mode restart, after which every retained
 #      artifact must verify clean or replay degraded, the fleet SARIF
@@ -42,21 +51,21 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "=== ci 1/10: tier-1 suite ==="
+echo "=== ci 1/11: tier-1 suite ==="
 cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD" -j "$(nproc)"
 (cd "$BUILD" && ctest --output-on-failure)
 
-echo "=== ci 2/10: asan/ubsan ==="
+echo "=== ci 2/11: asan/ubsan ==="
 tools/run_asan.sh
 
-echo "=== ci 3/10: tsan ==="
+echo "=== ci 3/11: tsan ==="
 tools/run_tsan.sh
 
-echo "=== ci 4/10: clang-tidy ==="
+echo "=== ci 4/11: clang-tidy ==="
 tools/run_lint.sh "$BUILD"
 
-echo "=== ci 5/10: fault pipeline smoke ==="
+echo "=== ci 5/11: fault pipeline smoke ==="
 QREC="$BUILD/tools/qrec"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -69,7 +78,7 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     -i "$SMOKE_DIR/smoke_rec.qrec" \
     | grep -q "identical to sequential"
 
-echo "=== ci 6/10: observability smoke ==="
+echo "=== ci 6/11: observability smoke ==="
 "$QREC" record fft -t 4 -s 1 --trace -o "$SMOKE_DIR/trace.qrec" \
     | grep -q "traced"
 "$QREC" trace -i "$SMOKE_DIR/trace.qrec" -o "$SMOKE_DIR/trace.json"
@@ -78,7 +87,7 @@ cmake -DJSON="$SMOKE_DIR/trace.json" -P tools/check_trace_json.cmake
 "$QREC" stats --prom -i "$SMOKE_DIR/trace.qrec" \
     | grep -q "# TYPE qr_rnr_chunks counter"
 
-echo "=== ci 7/10: streaming analysis smoke ==="
+echo "=== ci 7/11: streaming analysis smoke ==="
 QR_BENCH_SCALE=1 QR_BENCH_WORKLOADS=radix QR_BENCH_MIN_SECS=0 \
     QR_BENCH_JSON_DIR="$SMOKE_DIR" "$BUILD/bench/bench_e10_stream" \
     > /dev/null
@@ -87,7 +96,7 @@ cmake -DJSON="$SMOKE_DIR/BENCH_STREAM.json" \
 "$BUILD/tools/bench_json_util" validate --min-schema 2 \
     "$SMOKE_DIR/BENCH_STREAM.json"
 
-echo "=== ci 8/10: artifact verification gate ==="
+echo "=== ci 8/11: artifact verification gate ==="
 # Every suite sphere (fresh recordings) and the intact corpus sphere
 # lint clean...
 SUITE="$("$QREC" list | sed -n '/SPLASH/,/micro/p' | grep '^  ' \
@@ -128,10 +137,61 @@ cmake -DSARIF="$SMOKE_DIR/verify.sarif" -DMIN_RESULTS=6 \
     exit 1
 }
 
-echo "=== ci 9/10: docs lint ==="
+echo "=== ci 9/11: device nondeterminism gate ==="
+# The device ground-truth twins end to end: record with the NIC agent
+# armed, lint the artifacts, and prove replay digest identity on both
+# engines at every job count, strict and degraded.
+"$QREC" record device-race-racy -t 2 --exact-shadow --device nic \
+    -o "$SMOKE_DIR/dev_racy.qrec" > /dev/null
+"$QREC" record device-race-clean -t 2 --exact-shadow --device nic \
+    -o "$SMOKE_DIR/dev_clean.qrec" > /dev/null
+"$QREC" verify "$SMOKE_DIR/dev_racy.qrec" "$SMOKE_DIR/dev_clean.qrec"
+for f in dev_racy dev_clean; do
+    for j in 1 2 4 8; do
+        "$QREC" replay --replay-jobs "$j" -i "$SMOKE_DIR/$f.qrec" \
+            | grep -q "identical to sequential"
+        "$QREC" replay --degraded --replay-jobs "$j" \
+            -i "$SMOKE_DIR/$f.qrec" \
+            | grep -q "identical to sequential"
+    done
+done
+# The analyzer's exit-code contract on both twins: the racy one flags
+# exactly the planted line (one device race) and exits 1, the clean
+# one reports zero device races and exits 0.
+if RACY_OUT="$("$QREC" analyze -i "$SMOKE_DIR/dev_racy.qrec")"; then
+    echo "ci: analyze did not exit 1 on the racy device twin" >&2
+    exit 1
+fi
+echo "$RACY_OUT" \
+    | grep -q "device races: 1 unordered device/core access(es)" || {
+    echo "ci: racy device twin did not report exactly one race:" >&2
+    echo "$RACY_OUT" >&2
+    exit 1
+}
+echo "$RACY_OUT" | grep -q "device race agent 0 event 0 line" || {
+    echo "ci: racy device twin race is not the planted read:" >&2
+    echo "$RACY_OUT" >&2
+    exit 1
+}
+CLEAN_OUT="$("$QREC" analyze -i "$SMOKE_DIR/dev_clean.qrec")"
+echo "$CLEAN_OUT" \
+    | grep -q "device races: 0 unordered device/core access(es)" || {
+    echo "ci: clean device twin reported a device race:" >&2
+    echo "$CLEAN_OUT" >&2
+    exit 1
+}
+# A tiny E12 run, then re-derive its claims from the JSON artifact.
+QR_BENCH_SCALE=1 QR_BENCH_MIN_SECS=0 QR_BENCH_JSON_DIR="$SMOKE_DIR" \
+    "$BUILD/bench/bench_e12_device" > /dev/null
+cmake -DJSON="$SMOKE_DIR/BENCH_DEVICE.json" \
+    -P tools/check_bench_device.cmake
+"$BUILD/tools/bench_json_util" validate --min-schema 2 \
+    "$SMOKE_DIR/BENCH_DEVICE.json"
+
+echo "=== ci 10/11: docs lint ==="
 tools/check_docs.sh
 
-echo "=== ci 10/10: qrecd soak ==="
+echo "=== ci 11/11: qrecd soak ==="
 tools/soak_qrecd.sh "$BUILD"
 
 echo "ci: all gates green"

@@ -12,6 +12,14 @@
  *       faults (see fault/fault_plan.hh) into the recording hardware
  *       and the log write; an injected write failure leaves a torn
  *       artifact for `qrec recover` and is reported, not fatal.
+ *       --device nic|disk [--device-rate R] arms the DMA-style bus
+ *       agent a device workload declares (bus/bus_agent.hh): its
+ *       asynchronous guest-memory writes are snooped, logged as a
+ *       per-agent event stream in the sphere, and replay-injected at
+ *       their recorded anchors. Device workloads poll the agent's
+ *       doorbell, so recording one without --device is refused (it
+ *       would deadlock); --device on a deviceless workload is refused
+ *       too. R overrides the workload's delivery cadence in ticks.
  *   qrec replay -i <file> [--replay-jobs N] [--degraded]
  *       Rebuild the workload from the file's metadata, replay the
  *       sphere, and verify the stored digests. With --replay-jobs,
@@ -20,6 +28,10 @@
  *       report the replay-speed fields. --degraded replays spheres
  *       with gap markers or salvaged prefixes to completion and
  *       reports the degradation summary instead of aborting.
+ *       --faults with dev-drop/dev-torn/dev-late sites perturbs the
+ *       loaded device streams before replay (dropped, torn, and late
+ *       completions); strict replay reports the resulting divergence,
+ *       degraded replay completes and counts it.
  *   qrec recover -i <torn> -o <file>
  *       Salvage a torn container: every intact segment, then every
  *       parseable thread-log prefix, rewritten as a sealed container.
@@ -101,6 +113,7 @@
 #include "replay/log_reader.hh"
 #include "sim/logging.hh"
 #include "sim/table.hh"
+#include "workloads/device.hh"
 #include "workloads/micro.hh"
 #include "workloads/workload.hh"
 
@@ -167,6 +180,14 @@ buildWorkload(const std::string &name, int threads, int scale)
         return makeMaskedRaceDemo(threads, 50 * scale, true);
     if (name == "masked-race-clean")
         return makeMaskedRaceDemo(threads, 50 * scale, false);
+    if (name == "packet-ingest")
+        return makePacketIngest(threads, scale);
+    if (name == "storage-completion")
+        return makeStorageCompletion(threads, scale);
+    if (name == "device-race-racy")
+        return makeDeviceRaceDemo(threads, true);
+    if (name == "device-race-clean")
+        return makeDeviceRaceDemo(threads, false);
     fatal("unknown workload '%s' (try 'qrec list')", name.c_str());
 }
 
@@ -182,6 +203,10 @@ cmdList()
                           "signal-stress", "race-demo-racy",
                           "race-demo-clean", "masked-race-elided",
                           "masked-race-clean"})
+        std::printf("  %s\n", n);
+    std::printf("device workloads (need record --device):\n");
+    for (const char *n : {"packet-ingest", "storage-completion",
+                          "device-race-racy", "device-race-clean"})
         std::printf("  %s\n", n);
     return 0;
 }
@@ -202,6 +227,8 @@ struct Args
     bool prom = false;  //!< stats: Prometheus text instead of JSON
     std::string faults; //!< fault-injection spec (empty = none)
     std::uint64_t faultSeed = 1;
+    std::string device; //!< record: arm the workload's bus agent
+    std::uint32_t deviceRate = 0; //!< 0 = use the workload's cadence
     std::uint32_t cbufEntries = 0; //!< 0 = keep the default capacity
     std::uint32_t window = 0; //!< analyze: streaming batch (0 = default)
     bool predict = false; //!< analyze: run the predictive race pass
@@ -257,6 +284,17 @@ parseArgs(int argc, char **argv, int first, bool wants_workload)
             a.prom = true;
         else if (s == "--faults")
             a.faults = next();
+        else if (s == "--device")
+            a.device = next();
+        else if (s == "--device-rate") {
+            const char *v = next();
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 1 << 20)
+                fatal("%s expects a positive integer, got '%s'",
+                      s.c_str(), v);
+            a.deviceRate = static_cast<std::uint32_t>(n);
+        }
         else if (s == "--fault-seed") {
             const char *v = next();
             char *end = nullptr;
@@ -306,6 +344,10 @@ int
 cmdRun(const Args &a)
 {
     Workload w = buildWorkload(a.workload, a.threads, a.scale);
+    if (w.device.present())
+        fatal("workload '%s' polls a device doorbell; only 'qrec "
+              "record --device %s' arms the bus agent",
+              w.name.c_str(), deviceKindName(w.device.kind));
     RunMetrics m;
     if (a.record) {
         RecordResult rec = recordProgram(w.program);
@@ -332,11 +374,44 @@ cmdRecord(const Args &a)
     rcfg.faults.seed = a.faultSeed;
     if (a.cbufEntries)
         rcfg.cbuf.entries = a.cbufEntries;
+    if (!a.device.empty()) {
+        DeviceKind kind = deviceKindFromName(a.device);
+        if (kind == DeviceKind::None)
+            fatal("--device expects nic|disk, got '%s'",
+                  a.device.c_str());
+        if (!w.device.present())
+            fatal("workload '%s' declares no device ring; drop "
+                  "--device or pick one from 'qrec list'",
+                  w.name.c_str());
+        if (kind != w.device.kind)
+            fatal("workload '%s' expects --device %s, not %s",
+                  w.name.c_str(), deviceKindName(w.device.kind),
+                  a.device.c_str());
+        BusAgentConfig acfg;
+        acfg.agentId = 0;
+        acfg.kind = w.device.kind;
+        acfg.ringBase = w.device.ringBase;
+        acfg.slotWords = w.device.slotWords;
+        acfg.slots = w.device.slots;
+        acfg.doorbell = w.device.doorbell;
+        acfg.count = w.device.count;
+        acfg.rate = a.deviceRate ? a.deviceRate : w.device.rate;
+        rcfg.devices.push_back(acfg);
+    } else if (w.device.present()) {
+        fatal("workload '%s' polls a device doorbell and deadlocks "
+              "without its agent; record it with --device %s",
+              w.name.c_str(), deviceKindName(w.device.kind));
+    }
     if (a.trace)
         eventTrace().arm();
     RecordResult rec = recordProgram(w.program, {}, rcfg);
     std::printf("recorded %s: %s\n", w.name.c_str(),
                 rec.metrics.summary().c_str());
+    if (rec.metrics.deviceEvents)
+        std::printf("device: %llu completion(s) delivered "
+                    "(%llu bus transactions)\n",
+                    (unsigned long long)rec.metrics.deviceEvents,
+                    (unsigned long long)rec.metrics.deviceBusTxns);
     if (rec.metrics.gapChunks || rec.metrics.droppedChunks)
         std::printf("faults: dropped %llu chunk(s) behind %llu gap "
                     "marker(s); replay with --degraded\n",
@@ -448,6 +523,16 @@ cmdReplay(const Args &a)
                 c.workload.c_str(), c.threads, c.scale,
                 a.file.c_str());
     Workload w = buildWorkload(c.workload, c.threads, c.scale);
+    if (!a.faults.empty() && !c.logs.devices.empty()) {
+        // Device-completion faults are a *replay-side* perturbation:
+        // mutate the loaded streams once, up front, so the sequential
+        // oracle and every parallel job count see identical streams.
+        FaultPlan devPlan = FaultPlan::parse(a.faults, a.faultSeed);
+        DeviceFaultSummary df =
+            applyDeviceReplayFaults(c.logs.devices, devPlan);
+        if (df.any())
+            std::printf("%s\n", df.summary().c_str());
+    }
     ReplayMode mode =
         a.degraded ? ReplayMode::Degraded : ReplayMode::Strict;
     ReplayResult rep = replaySphere(w.program, c.logs, mode);
@@ -475,6 +560,10 @@ cmdReplay(const Args &a)
                     (unsigned long long)rep.replayedInstrs,
                     (unsigned long long)rep.injectedRecords);
     }
+    if (rep.injectedDeviceEvents)
+        std::printf("device injection: %llu event(s) replayed at "
+                    "their recorded anchors\n",
+                    (unsigned long long)rep.injectedDeviceEvents);
 
     if (a.replayJobs >= 1) {
         // Differential parallel replay: the chunk-graph engine must
@@ -542,6 +631,16 @@ cmdInspect(const Args &a)
             .cell(logs.chunks.empty() ? 0 : logs.chunks.back().ts);
     }
     t.print();
+    for (const DeviceStream &d : c.logs.devices)
+        std::printf("device %u (%s): %zu event(s), ts %llu..%llu\n",
+                    d.agentId, deviceKindName(d.kind),
+                    d.events.size(),
+                    d.events.empty()
+                        ? 0ull
+                        : (unsigned long long)d.events.front().ts,
+                    d.events.empty()
+                        ? 0ull
+                        : (unsigned long long)d.events.back().ts);
     return 0;
 }
 
@@ -719,7 +818,8 @@ cmdAnalyze(const Args &a)
         std::fclose(f);
         std::printf("wrote %s\n", a.jsonFile.c_str());
     }
-    bool racy = !rep.races.empty() || (a.predict && pred.predicted);
+    bool racy = !rep.races.empty() || !rep.deviceRaces.empty() ||
+                (a.predict && pred.predicted);
     return racy ? 1 : 0;
 }
 
@@ -1133,10 +1233,12 @@ usage()
                  "[--stats]\n"
                  "  qrec record <workload> [-t N] [-s S] "
                  "[--exact-shadow] [--trace]\n"
+                 "              [--device nic|disk] [--device-rate R]"
+                 "\n"
                  "              [--faults spec] [--fault-seed N] "
                  "[--cbuf-entries N] -o file.qrec\n"
                  "  qrec replay -i file.qrec [--replay-jobs N] "
-                 "[--degraded]\n"
+                 "[--degraded] [--faults spec]\n"
                  "  qrec recover -i torn.qrec -o salvaged.qrec\n"
                  "  qrec inspect -i file.qrec\n"
                  "  qrec analyze -i file.qrec [--predict] "

@@ -4,10 +4,12 @@
 # -- the parallel/sequential differential tests, the concurrent-replay
 # stress tests (seeded QR_REPLAY_STRESS schedule perturbation), the
 # degraded fault differentials, the scheduler-primitive property tests
-# -- plus the qrecd record-service suite (worker shards, repair loop,
-# /metrics server), an end-to-end qrec differential replay at 4 jobs,
-# and a short chaos `qrec serve` run. This is a hard ci.sh gate: any
-# reported race fails the script.
+# -- plus the device-injection differentials (worker threads
+# committing bus-agent events behind the same fences as chunks), the
+# qrecd record-service suite (worker shards, repair loop, /metrics
+# server), end-to-end qrec differential replays at 4 jobs (one
+# core-only, one with a device stream), and a short chaos `qrec serve`
+# run. This is a hard ci.sh gate: any reported race fails the script.
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -20,7 +22,7 @@ cmake -B "$BUILD" -S . -DQR_SANITIZE=thread \
 cmake --build "$BUILD" -j "$(nproc)" \
     --target test_parallel_replay test_replay test_property \
              test_concurrent_replay test_fault test_service \
-             test_retention qrec
+             test_retention test_device qrec
 
 # halt_on_error makes the first race fail the run instead of just
 # printing; ctest then reports it as a test failure.
@@ -29,7 +31,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 (
     cd "$BUILD"
     ctest --output-on-failure -R \
-        'ParallelReplay|ConcurrentReplay|RandomizedDifferential|DegradedReplay|ReadyQueue|CommitFence|Service\.|ArtifactStore\.|Retention\.|Recovery\.'
+        'ParallelReplay|ConcurrentReplay|RandomizedDifferential|DegradedReplay|ReadyQueue|CommitFence|DeviceReplay|DeviceFaults|Service\.|ArtifactStore\.|Retention\.|Recovery\.'
 )
 
 # End-to-end differential under TSan: the real CLI path (record, then
@@ -40,6 +42,13 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     -o "$SMOKE_DIR/tsan.qrec" > /dev/null
 QR_REPLAY_STRESS=7 "$BUILD/tools/qrec" replay --replay-jobs 4 \
     -i "$SMOKE_DIR/tsan.qrec" | grep -q "identical to sequential"
+
+# Same differential with a device stream in the sphere: the workers
+# inject bus-agent events behind commit fences, TSan watching.
+"$BUILD/tools/qrec" record packet-ingest -t 4 -s 2 --device nic \
+    -o "$SMOKE_DIR/tsan_dev.qrec" > /dev/null
+QR_REPLAY_STRESS=7 "$BUILD/tools/qrec" replay --replay-jobs 4 \
+    -i "$SMOKE_DIR/tsan_dev.qrec" | grep -q "identical to sequential"
 
 # The record service's full thread zoo (worker shards, repair loop,
 # /metrics accept loop, interrupted drain) under chaos, TSan watching.
